@@ -1,0 +1,116 @@
+// Ablation — beam counting statistics: how the 95% Poisson CI width on a
+// measured cross section shrinks with fluence, and that the ChipIR
+// multi-board derating leaves the estimator unbiased (it scales events and
+// fluence together). This is the statistical machinery every figure rests
+// on (JESD89A-style error bars).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "beam/experiment.hpp"
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "devices/catalog.hpp"
+#include "faultinject/avf.hpp"
+#include "stats/poisson.hpp"
+#include "stats/rng.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace tnr;
+
+void emit_table(std::ostream& os) {
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const auto vulnerability = faultinject::VulnerabilityTable::uniform(
+        workloads::suite_for_device("NVIDIA K20"));
+    const beam::BeamExperiment exp(beam::Beamline::rotax(), device, "MxM",
+                                   vulnerability);
+    const double truth = exp.true_error_rate(devices::ErrorType::kSdc) /
+                         beam::Beamline::rotax().reference_flux();
+
+    os << "CI width vs beam time (ROTAX, K20/MxM SDC; true sigma = "
+       << core::format_scientific(truth) << " cm^2):\n";
+    core::TablePrinter table({"beam time", "errors", "sigma_hat",
+                              "95% CI rel. width", "CI covers truth"});
+    stats::Rng rng(999);
+    for (const double hours : {0.25, 1.0, 4.0, 16.0, 64.0}) {
+        beam::ExperimentConfig cfg;
+        cfg.beam_time_s = hours * 3600.0;
+        const auto r = exp.run(cfg, rng);
+        const auto ci = r.sdc.confidence_interval();
+        table.add_row(
+            {core::format_fixed(hours, 2) + " h", std::to_string(r.sdc.errors),
+             core::format_scientific(r.sdc.cross_section()),
+             core::format_percent(r.sdc.cross_section() > 0.0
+                                      ? ci.width() / r.sdc.cross_section()
+                                      : 0.0),
+             ci.contains(truth) ? "yes" : "no"});
+    }
+    table.print(os);
+
+    os << "\nDerating sweep (ChipIR multi-board, 64 h each): the estimator "
+          "must stay unbiased:\n";
+    const beam::BeamExperiment chipir_exp(beam::Beamline::chipir(), device,
+                                          "MxM", vulnerability);
+    const double chipir_truth =
+        chipir_exp.true_error_rate(devices::ErrorType::kSdc) /
+        beam::Beamline::chipir().reference_flux();
+    core::TablePrinter derating({"derating", "errors", "sigma_hat",
+                                 "sigma_hat / truth"});
+    for (const double d : {1.0, 0.82, 0.67, 0.4}) {
+        beam::ExperimentConfig cfg;
+        cfg.beam_time_s = 64.0 * 3600.0;
+        cfg.derating = d;
+        const auto r = chipir_exp.run(cfg, rng);
+        derating.add_row({core::format_fixed(d, 2),
+                          std::to_string(r.sdc.errors),
+                          core::format_scientific(r.sdc.cross_section()),
+                          core::format_fixed(
+                              r.sdc.cross_section() / chipir_truth, 3)});
+    }
+    derating.print(os);
+}
+
+void BM_PoissonInterval(benchmark::State& state) {
+    const auto count = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::poisson_mean_interval(count));
+    }
+}
+BENCHMARK(BM_PoissonInterval)->Arg(0)->Arg(10)->Arg(10000);
+
+void BM_ExperimentRun(benchmark::State& state) {
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const auto vulnerability = faultinject::VulnerabilityTable::uniform(
+        workloads::suite_for_device("NVIDIA K20"));
+    const beam::BeamExperiment exp(beam::Beamline::rotax(), device, "MxM",
+                                   vulnerability);
+    stats::Rng rng(1);
+    beam::ExperimentConfig cfg;
+    cfg.beam_time_s = 3600.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(exp.run(cfg, rng));
+    }
+}
+BENCHMARK(BM_ExperimentRun)->Unit(benchmark::kMicrosecond);
+
+void BM_PoissonSampling(benchmark::State& state) {
+    stats::Rng rng(2);
+    const double mean = static_cast<double>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.poisson(mean));
+    }
+}
+BENCHMARK(BM_PoissonSampling)->Arg(5)->Arg(500)->Arg(500000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv, "Ablation — beam counting statistics and derating",
+        emit_table);
+}

@@ -1,0 +1,102 @@
+// Ablation — the microscopic origin of thermal-neutron upsets: charge
+// deposition by the 10B(n,alpha)7Li products into per-technology sensitive
+// volumes. Grounds the catalog's effective P(upset | capture) and gives the
+// geometric reason FinFET parts (TitanX/TitanV) show weaker thermal
+// response than planar-CMOS ones (K20, APU) — the paper's transistor-type
+// observation.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "physics/charge_deposition.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace tnr;
+using namespace tnr::physics;
+
+constexpr std::uint64_t kSamples = 200000;
+constexpr double kLayerUm = 0.3;  // 10B-bearing contact/liner layer.
+
+void emit_table(std::ostream& os) {
+    stats::Rng rng(777);
+
+    os << "Reaction products (1-D mean-LET track model):\n";
+    core::TablePrinter ions({"ion", "energy [keV]", "range in Si [um]",
+                             "mean LET [keV/um]", "full-stop charge [fC]"});
+    for (const auto& [name, ion] :
+         {std::pair{"alpha", b10_alpha()}, std::pair{"7Li", b10_lithium()}}) {
+        ions.add_row({name, core::format_fixed(ion.energy_kev, 0),
+                      core::format_fixed(ion.range_um, 1),
+                      core::format_fixed(ion.mean_let(), 0),
+                      core::format_fixed(charge_fc(ion.energy_kev), 1)});
+    }
+    ions.print(os);
+
+    os << "\nDerived P(upset | capture) per technology (0.3 um 10B layer):\n";
+    core::TablePrinter tech({"technology", "Qcrit [fC]", "depth [um]",
+                             "coverage", "P(upset|capture)"});
+    const struct {
+        const char* label;
+        SensitiveVolume volume;
+    } nodes[] = {
+        {"90nm legacy planar", volume_90nm_legacy()},
+        {"28nm planar (K20/APU/Zynq)", volume_28nm_planar()},
+        {"16nm FinFET (TitanX)", volume_16nm_finfet()},
+    };
+    for (const auto& node : nodes) {
+        const double p = upset_probability(kLayerUm, node.volume, kSamples, rng);
+        tech.add_row({node.label, core::format_fixed(node.volume.qcrit_fc, 1),
+                      core::format_fixed(node.volume.depth_um, 2),
+                      core::format_percent(node.volume.area_coverage, 0),
+                      core::format_percent(p, 2)});
+    }
+    tech.print(os);
+    os << "\n(The catalog's effective constant is 5%; the 28 nm geometry "
+          "derives ~6%, and\nthe FinFET geometry a third of that — the "
+          "microscopic reason the paper's\nFinFET parts show larger "
+          "HE/thermal ratios than planar-CMOS ones.)\n\n";
+
+    os << "Critical-charge sweep (28 nm geometry, full coverage for "
+          "shape):\n";
+    core::TablePrinter sweep({"Qcrit [fC]", "P(upset|aligned capture)"});
+    SensitiveVolume v = volume_28nm_planar();
+    v.area_coverage = 1.0;
+    for (const double q : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 80.0}) {
+        v.qcrit_fc = q;
+        sweep.add_row({core::format_fixed(q, 1),
+                       core::format_percent(
+                           upset_probability(kLayerUm, v, kSamples, rng), 1)});
+    }
+    sweep.print(os);
+    os << "\n(The plateau holds while any clipping track beats Qcrit; the "
+          "cliff past ~15 fC\nis range geometry — deposits that large need "
+          "oblique path lengths the 5 um\nalpha range cannot deliver "
+          "through a 1 um window. Hardened parts with tens of\nfC critical "
+          "charge are effectively immune; everything modern is not.)\n";
+}
+
+void BM_UpsetProbability(benchmark::State& state) {
+    stats::Rng rng(1);
+    const SensitiveVolume v = volume_28nm_planar();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(upset_probability(
+            kLayerUm, v, static_cast<std::uint64_t>(state.range(0)), rng));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UpsetProbability)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv,
+        "Ablation — 10B(n,alpha) charge deposition and critical charge",
+        emit_table);
+}

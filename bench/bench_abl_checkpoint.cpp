@@ -1,0 +1,90 @@
+// Ablation — checkpointing vs weather (the paper's introduction: "when
+// supercomputer time is allocated, the checkpoint frequency may need to
+// consider weather conditions"). For a Summit-class machine of K20-like
+// nodes: DUE FIT per node -> system MTBF -> Young/Daly optimal interval and
+// machine-time waste, sunny vs rainy, sea level vs altitude.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/checkpoint.hpp"
+#include "core/fit.hpp"
+#include "core/report.hpp"
+#include "devices/catalog.hpp"
+#include "environment/site.hpp"
+
+namespace {
+
+using namespace tnr;
+
+void emit_table(std::ostream& os) {
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    constexpr std::size_t kNodes = 4608;  // Summit's node count.
+    core::CheckpointParameters params;
+    params.checkpoint_cost_s = 240.0;
+    params.restart_cost_s = 600.0;
+
+    const struct {
+        const char* label;
+        environment::Site site;
+        bool rainy;
+    } scenarios[] = {
+        {"NYC datacenter, sunny", environment::nyc_datacenter(), false},
+        {"NYC datacenter, rainy", environment::nyc_datacenter(), true},
+        {"Leadville datacenter, sunny", environment::leadville_datacenter(),
+         false},
+        {"Leadville datacenter, rainy", environment::leadville_datacenter(),
+         true},
+    };
+
+    os << "4608-node system of K20-class accelerators, Young/Daly "
+          "checkpointing\n(checkpoint 240 s, restart 600 s):\n\n";
+    core::TablePrinter table({"scenario", "node DUE FIT", "system MTBF [h]",
+                              "optimal interval [min]", "waste"});
+    for (auto scenario : scenarios) {
+        if (scenario.rainy) {
+            scenario.site.environment.weather = environment::Weather::kRainy;
+        }
+        const auto fit =
+            core::device_fit(device, devices::ErrorType::kDue, scenario.site);
+        const auto plan = core::plan_for_fit(fit, kNodes, params);
+        table.add_row({scenario.label, core::format_fixed(fit.total(), 1),
+                       core::format_fixed(plan.mtbf_s / 3600.0, 2),
+                       core::format_fixed(plan.optimal_interval_s / 60.0, 1),
+                       core::format_percent(plan.waste_fraction)});
+    }
+    table.print(os);
+    os << "\n(Rain doubles the thermal flux, raising the DUE rate and "
+          "shortening the\noptimal checkpoint interval — weather becomes an "
+          "operations parameter.)\n";
+}
+
+void BM_PlanForFit(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::plan_for_fit(500.0, 4608));
+    }
+}
+BENCHMARK(BM_PlanForFit);
+
+void BM_WasteScan(benchmark::State& state) {
+    core::CheckpointParameters params;
+    for (auto _ : state) {
+        double best = 1.0;
+        for (double t = 600.0; t < 86400.0; t *= 1.1) {
+            best = std::min(best, core::waste_fraction(t, 3.0e5, params));
+        }
+        benchmark::DoNotOptimize(best);
+    }
+}
+BENCHMARK(BM_WasteScan)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv, "Ablation — checkpoint frequency vs weather and altitude",
+        emit_table);
+}

@@ -1,0 +1,101 @@
+// Ablation — device-level ECC (the "protection mechanisms enabled"
+// configuration the paper tests under): enabling ECC trades silent
+// corruption for detected errors. Prints beam cross sections and field FIT
+// rates for the K20 with ECC off/on, plus a protection-strength sweep.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/fit.hpp"
+#include "core/report.hpp"
+#include "devices/catalog.hpp"
+#include "devices/ecc_policy.hpp"
+#include "environment/site.hpp"
+#include "physics/beamline_spectra.hpp"
+
+namespace {
+
+using namespace tnr;
+
+void emit_table(std::ostream& os) {
+    const auto raw = devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const auto ecc = devices::with_ecc(raw, devices::EccProtection{});
+    const auto site = environment::leadville_datacenter();
+    const auto chipir = physics::chipir_spectrum();
+    const auto rotax = physics::rotax_spectrum();
+
+    os << "NVIDIA K20, ECC disabled vs enabled (memory fraction 60%, "
+          "correctable 95%):\n\n";
+    core::TablePrinter table({"configuration", "sigma_SDC@ChipIR",
+                              "sigma_SDC@ROTAX", "SDC FIT @ Leadville",
+                              "DUE FIT @ Leadville"});
+    for (const auto* device : {&raw, &ecc}) {
+        const auto fit_sdc =
+            core::device_fit(*device, devices::ErrorType::kSdc, site);
+        const auto fit_due =
+            core::device_fit(*device, devices::ErrorType::kDue, site);
+        table.add_row(
+            {device->name(),
+             core::format_scientific(
+                 device->folded_cross_section(devices::ErrorType::kSdc, *chipir)),
+             core::format_scientific(
+                 device->folded_cross_section(devices::ErrorType::kSdc, *rotax)),
+             core::format_fixed(fit_sdc.total(), 1),
+             core::format_fixed(fit_due.total(), 1)});
+    }
+    table.print(os);
+
+    os << "\nProtection sweep (memory fraction of raw SDC channel):\n";
+    core::TablePrinter sweep({"memory fraction", "SDC FIT", "DUE FIT",
+                              "SDC reduction"});
+    const auto base_sdc =
+        core::device_fit(raw, devices::ErrorType::kSdc, site).total();
+    for (const double mf : {0.0, 0.3, 0.6, 0.9}) {
+        devices::EccProtection p;
+        p.memory_fraction_sdc = mf;
+        const auto device = devices::with_ecc(raw, p);
+        const auto fit_sdc =
+            core::device_fit(device, devices::ErrorType::kSdc, site);
+        const auto fit_due =
+            core::device_fit(device, devices::ErrorType::kDue, site);
+        sweep.add_row({core::format_percent(mf, 0),
+                       core::format_fixed(fit_sdc.total(), 1),
+                       core::format_fixed(fit_due.total(), 1),
+                       core::format_percent(1.0 - fit_sdc.total() / base_sdc)});
+    }
+    sweep.print(os);
+    os << "\n(SDCs — the dangerous silent outcome — drop nearly in "
+          "proportion to the\nprotected fraction; DUEs rise slightly from "
+          "uncorrectable detections. Both\nneutron populations are "
+          "protected alike: ECC does not change the Fig.-5 ratio.)\n";
+}
+
+void BM_WithEcc(benchmark::State& state) {
+    const auto raw =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(devices::with_ecc(raw, {}));
+    }
+}
+BENCHMARK(BM_WithEcc);
+
+void BM_EccFit(benchmark::State& state) {
+    const auto device = devices::with_ecc(
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20")), {});
+    const auto site = environment::leadville_datacenter();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::device_fit(device, devices::ErrorType::kSdc, site));
+    }
+}
+BENCHMARK(BM_EccFit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv, "Ablation — device ECC: trading SDCs for DUEs",
+        emit_table);
+}

@@ -1,0 +1,113 @@
+// Ablation — ECC efficacy (§IV conclusion): SECDED corrects every
+// single-bit transient/intermittent DRAM error the thermal campaign
+// produced; SEFI bursts escape. Replays the Fig.-4 error log through the
+// Hamming(72,64) decoder.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "memory/correct_loop.hpp"
+#include "memory/ecc.hpp"
+#include "physics/beamline_spectra.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace tnr;
+
+void emit_table(std::ostream& os) {
+    // Re-run a ROTAX DDR3 campaign and push every observed error through a
+    // SECDED word model: single-bit events flip 1 bit of a codeword; SEFI
+    // events flip a burst that spans whole words.
+    memory::CorrectLoopConfig loop;
+    loop.array_cells = 1u << 18;
+    loop.pass_interval_s = 5.0;
+    memory::CorrectLoopTester tester(memory::ddr3_module(), loop,
+                                     40.0 * physics::kRotaxTotalFlux, 2024);
+    const auto report = tester.run(1800.0);
+
+    stats::Rng rng(55);
+    std::uint64_t corrected = 0;
+    std::uint64_t detected_uncorrectable = 0;
+    std::uint64_t escaped = 0;
+    for (const auto& err : report.errors) {
+        if (err.classified == memory::FaultCategory::kSefi) {
+            // A SEFI corrupts a contiguous run far wider than one ECC word:
+            // model the first affected word with 8 flipped bits.
+            memory::Codeword word = memory::Secded::encode(rng.next());
+            for (std::uint8_t b = 0; b < 8; ++b) word.flip(b);
+            const auto outcome = memory::Secded::decode(word);
+            if (outcome == memory::EccOutcome::kDetectedDouble) {
+                ++detected_uncorrectable;
+            } else {
+                ++escaped;
+            }
+        } else {
+            memory::Codeword word = memory::Secded::encode(rng.next());
+            word.flip(static_cast<std::uint8_t>(rng.uniform_index(64)));
+            if (memory::Secded::decode(word) ==
+                memory::EccOutcome::kCorrectedSingle) {
+                ++corrected;
+            } else {
+                ++escaped;
+            }
+        }
+    }
+
+    os << "SECDED replay of " << report.errors.size()
+       << " thermal-campaign DRAM errors:\n";
+    core::TablePrinter table({"outcome", "events", "share"});
+    const auto total = static_cast<double>(report.errors.size());
+    table.add_row({"corrected (single-bit)", std::to_string(corrected),
+                   core::format_percent(corrected / total)});
+    table.add_row({"detected uncorrectable (SEFI)",
+                   std::to_string(detected_uncorrectable),
+                   core::format_percent(detected_uncorrectable / total)});
+    table.add_row({"escaped silently", std::to_string(escaped),
+                   core::format_percent(escaped / total)});
+    table.print(os);
+    os << "\n(Paper §IV: all transient/intermittent errors were single-bit, "
+          "so SECDED\ncorrects them; only SEFIs — control-logic events "
+          "corrupting many cells —\nremain, and they are detected rather "
+          "than silent.)\n";
+}
+
+void BM_SecdedEncode(benchmark::State& state) {
+    stats::Rng rng(1);
+    std::uint64_t data = rng.next();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(memory::Secded::encode(data));
+        ++data;
+    }
+}
+BENCHMARK(BM_SecdedEncode);
+
+void BM_SecdedDecodeClean(benchmark::State& state) {
+    memory::Codeword word = memory::Secded::encode(0x123456789ABCDEFULL);
+    for (auto _ : state) {
+        memory::Codeword copy = word;
+        benchmark::DoNotOptimize(memory::Secded::decode(copy));
+    }
+}
+BENCHMARK(BM_SecdedDecodeClean);
+
+void BM_SecdedDecodeCorrect(benchmark::State& state) {
+    memory::Codeword word = memory::Secded::encode(0x123456789ABCDEFULL);
+    word.flip(17);
+    for (auto _ : state) {
+        memory::Codeword copy = word;
+        benchmark::DoNotOptimize(memory::Secded::decode(copy));
+    }
+}
+BENCHMARK(BM_SecdedDecodeCorrect);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv, "Ablation — SECDED ECC vs thermal-neutron DRAM errors",
+        emit_table);
+}

@@ -1,0 +1,113 @@
+// Ablation — field data vs beam data (the related-work methodology of
+// Sridharan et al.): simulate a year of error logs for identical fleets at
+// different sites and weather climates, then mine the logs and compare the
+// recovered rates against the beam-derived predictions. Also shows the
+// ablation the paper implies: a boron-free part has no weather signature.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/fieldstudy.hpp"
+#include "core/fit.hpp"
+#include "core/report.hpp"
+#include "devices/catalog.hpp"
+#include "environment/site.hpp"
+
+namespace {
+
+using namespace tnr;
+
+void emit_table(std::ostream& os) {
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const auto depleted = device.with_thermal_scale(0.0);
+
+    core::FleetLogConfig cfg;
+    cfg.nodes = 5000;
+    cfg.days = 365.0;
+    cfg.rain_probability = 0.3;
+
+    const struct {
+        const char* label;
+        const devices::Device* part;
+        environment::Site site;
+    } fleets[] = {
+        {"K20 fleet, NYC DC", &device, environment::nyc_datacenter()},
+        {"K20 fleet, Leadville DC", &device,
+         environment::leadville_datacenter()},
+        {"boron-free fleet, Leadville DC", &depleted,
+         environment::leadville_datacenter()},
+    };
+
+    os << "One year, 5000 nodes per fleet, 30% rainy days — log-mined vs "
+          "beam-predicted:\n\n";
+    core::TablePrinter table({"fleet", "events", "mined SDC FIT",
+                              "predicted (weather-weighted)",
+                              "rainy/sunny rate ratio"});
+    std::uint64_t seed = 42000;
+    for (const auto& fleet : fleets) {
+        const auto log = core::simulate_fleet_log(*fleet.part, fleet.site, cfg,
+                                                  ++seed);
+        const auto analysis = core::analyze_fleet_log(log);
+        environment::Site rainy_site = fleet.site;
+        rainy_site.environment.weather = environment::Weather::kRainy;
+        const double predicted =
+            0.7 * core::device_fit(*fleet.part, devices::ErrorType::kSdc,
+                                   fleet.site)
+                      .total() +
+            0.3 * core::device_fit(*fleet.part, devices::ErrorType::kSdc,
+                                   rainy_site)
+                      .total();
+        table.add_row(
+            {fleet.label, std::to_string(log.events.size()),
+             core::format_fixed(analysis.node_fit_sdc, 1),
+             core::format_fixed(predicted, 1),
+             core::format_fixed(analysis.rain_ratio.ratio, 3) + " [" +
+                 core::format_fixed(analysis.rain_ratio.ci.lower, 3) + ", " +
+                 core::format_fixed(analysis.rain_ratio.ci.upper, 3) + "]"});
+    }
+    table.print(os);
+    os << "\n(The boron-heavy fleet's logs carry a clear weather signature "
+          "— rainy days\nrun ~25-30% hotter at altitude — while the "
+          "boron-free fleet's ratio pins 1.0.\nMining production logs for "
+          "exactly this signature is how a site could detect\n10B-heavy "
+          "parts without beam time.)\n";
+}
+
+void BM_SimulateYearLog(benchmark::State& state) {
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    core::FleetLogConfig cfg;
+    cfg.nodes = static_cast<std::size_t>(state.range(0));
+    cfg.days = 365.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::simulate_fleet_log(
+            device, environment::leadville_datacenter(), cfg, 1));
+    }
+}
+BENCHMARK(BM_SimulateYearLog)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeLog(benchmark::State& state) {
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    core::FleetLogConfig cfg;
+    cfg.nodes = 5000;
+    cfg.days = 365.0;
+    const auto log = core::simulate_fleet_log(
+        device, environment::leadville_datacenter(), cfg, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::analyze_fleet_log(log));
+    }
+}
+BENCHMARK(BM_AnalyzeLog)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv, "Ablation — field logs vs beam predictions",
+        emit_table);
+}

@@ -1,0 +1,112 @@
+// Ablation — FPGA configuration-memory persistence and mitigation (§IV's
+// FPGA discussion): compares scrub policies under a thermal beam, showing
+// error streams without mitigation, the paper's reprogram-on-error
+// protocol, and periodic scrubbing; plus the essential-bit area sweep that
+// underlies the MNIST single/double build scaling.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "fpga/beam_run.hpp"
+#include "workloads/mnist.hpp"
+
+namespace {
+
+using namespace tnr;
+
+fpga::FpgaBeamConfig base_config(fpga::ScrubPolicy policy) {
+    fpga::FpgaBeamConfig cfg;
+    cfg.policy = policy;
+    cfg.sigma_bit_cm2 = 4.0e-16;
+    cfg.flux_n_cm2_s = 2.72e6;  // ROTAX.
+    cfg.seconds_per_run = 30.0;
+    return cfg;
+}
+
+void emit_table(std::ostream& os) {
+    os << "MNIST design on a Zynq-class fabric under the ROTAX thermal beam "
+          "(6000 runs):\n\n";
+    core::TablePrinter table({"policy", "output errors", "distinct events",
+                              "repeated (stream) runs", "DUEs", "reprograms",
+                              "scrubs"});
+    const struct {
+        const char* label;
+        fpga::ScrubPolicy policy;
+        bool tmr;
+    } rows[] = {
+        {"none", fpga::ScrubPolicy::kNone, false},
+        {"reprogram-on-error", fpga::ScrubPolicy::kReprogramOnError, false},
+        {"periodic-scrub", fpga::ScrubPolicy::kPeriodicScrub, false},
+        {"TMR + periodic-scrub", fpga::ScrubPolicy::kPeriodicScrub, true},
+    };
+    for (const auto& row : rows) {
+        auto cfg = base_config(row.policy);
+        cfg.scrub_period_runs = 8;
+        cfg.tmr = row.tmr;
+        fpga::FpgaBeamRun run(cfg, workloads::make_mnist(), 9000);
+        const auto r = run.run(6000);
+        table.add_row({row.label, std::to_string(r.output_errors),
+                       std::to_string(r.distinct_error_events),
+                       std::to_string(r.repeated_error_runs),
+                       std::to_string(r.dues), std::to_string(r.reprograms),
+                       std::to_string(r.scrubs)});
+    }
+    table.print(os);
+    os << "\n(Paper: without reloading, a configuration upset persists and "
+          "the same wrong\noutput streams out; the experimenters reprogram "
+          "at each observed error, and\nDUEs are very rare because the "
+          "functionality only collapses after heavy\naccumulation. TMR "
+          "voting suppresses even the residual errors — at 3x the\narea "
+          "and upset arrival rate — as long as scrubbing clears single-"
+          "replica hits\nbefore their partners land.)\n\n";
+
+    os << "Essential-bit (design area) sweep, reprogram-on-error:\n";
+    core::TablePrinter area({"essential fraction", "distinct events",
+                             "observed sigma_SDC [cm^2]"});
+    for (const double f : {0.05, 0.10, 0.20, 0.40}) {
+        auto cfg = base_config(fpga::ScrubPolicy::kReprogramOnError);
+        cfg.layout.essential_fraction = f;
+        fpga::FpgaBeamRun run(cfg, workloads::make_mnist(), 9100);
+        const auto r = run.run(6000);
+        area.add_row({core::format_fixed(f, 2),
+                      std::to_string(r.distinct_error_events),
+                      core::format_scientific(r.sigma_sdc())});
+    }
+    area.print(os);
+    os << "\n(Observed sigma scales with the design's essential bits — the "
+          "resource-usage\nargument behind the double-precision MNIST build "
+          "showing ~2x HE / ~4x thermal\nsigma of the single build.)\n";
+}
+
+void BM_FpgaBeamRun(benchmark::State& state) {
+    for (auto _ : state) {
+        fpga::FpgaBeamRun run(
+            base_config(fpga::ScrubPolicy::kReprogramOnError),
+            workloads::make_mnist(), 1);
+        benchmark::DoNotOptimize(run.run(static_cast<std::uint64_t>(state.range(0))));
+    }
+}
+BENCHMARK(BM_FpgaBeamRun)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_ConfigMemoryIrradiate(benchmark::State& state) {
+    fpga::ConfigMemory mem;
+    stats::Rng rng(1);
+    for (auto _ : state) {
+        mem.irradiate(100, rng);
+        benchmark::DoNotOptimize(mem.essential_upsets());
+        mem.reprogram();
+    }
+}
+BENCHMARK(BM_ConfigMemoryIrradiate)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv,
+        "Ablation — FPGA configuration memory: persistence & scrub policies",
+        emit_table);
+}

@@ -1,0 +1,95 @@
+// Ablation — DRAM patrol scrubbing vs thermal single-bit faults: how often
+// do two independent faults align in one SECDED word before a scrub clears
+// them? Quantifies the paper's §IV conclusion from the operations side:
+// with all thermal transients/intermittents single-bit and uniform, SECDED
+// plus *any* scrub cadence is safe — the surviving DUE channel is SEFIs.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "environment/site.hpp"
+#include "memory/scrub_policy.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace tnr;
+
+void emit_table(std::ostream& os) {
+    const double flux = environment::leadville_datacenter().thermal_flux();
+
+    os << "DDR3 module at a Leadville data center (thermal flux "
+       << core::format_fixed(flux, 1) << " n/cm^2/h):\n\n";
+    core::TablePrinter table({"scrub interval", "faults/interval",
+                              "P(word collision)/interval",
+                              "uncorrectable / year"});
+    const struct {
+        const char* label;
+        double seconds;
+    } intervals[] = {
+        {"1 hour", 3600.0},
+        {"1 day", 86400.0},
+        {"1 week", 7.0 * 86400.0},
+        {"1 month", 30.0 * 86400.0},
+        {"1 year (no patrol)", 365.0 * 86400.0},
+    };
+    for (const auto& iv : intervals) {
+        const auto a = memory::analyze_scrub_interval(memory::ddr3_module(),
+                                                      flux, iv.seconds);
+        table.add_row({iv.label,
+                       core::format_scientific(a.faults_per_interval, 2),
+                       core::format_scientific(a.collision_probability, 2),
+                       core::format_scientific(a.uncorrectable_per_year, 2)});
+    }
+    table.print(os);
+
+    os << "\nMonte Carlo validation on an accelerated synthetic module "
+          "(3000 trials):\n";
+    memory::DramConfig tiny = memory::ddr3_module();
+    tiny.capacity_gbit = 0.01;
+    stats::Rng rng(3030);
+    const auto analytic =
+        memory::analyze_scrub_interval(tiny, 3.3e13, 3600.0);
+    const double mc = memory::simulate_collision_probability(tiny, 3.3e13,
+                                                             3600.0, 3000, rng);
+    core::TablePrinter check({"model", "P(collision)"});
+    check.add_row({"analytic birthday bound",
+                   core::format_fixed(analytic.collision_probability, 4)});
+    check.add_row({"Monte Carlo", core::format_fixed(mc, 4)});
+    check.print(os);
+    os << "\n(At realistic fluxes even a yearly scrub leaves "
+          "word-collision DUEs below\n1e-6 per module-year: the thermal "
+          "single-bit population is fully handled by\nSECDED, so the "
+          "residual DRAM DUE budget belongs to SEFIs — matching the\n"
+          "paper's observation that only SEFIs were multi-bit.)\n";
+}
+
+void BM_ScrubAnalysis(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(memory::analyze_scrub_interval(
+            memory::ddr3_module(), 130.0, 86400.0));
+    }
+}
+BENCHMARK(BM_ScrubAnalysis);
+
+void BM_ScrubMonteCarlo(benchmark::State& state) {
+    memory::DramConfig tiny = memory::ddr3_module();
+    tiny.capacity_gbit = 0.01;
+    stats::Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(memory::simulate_collision_probability(
+            tiny, 3.3e13, 3600.0, 100, rng));
+    }
+}
+BENCHMARK(BM_ScrubMonteCarlo)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv, "Ablation — patrol scrubbing vs thermal single-bit faults",
+        emit_table);
+}

@@ -1,0 +1,96 @@
+// Fig. 1 — "High energy and thermal neutrons normalized cross sections for
+// AMD APU and FPGA": per-workload normalized cross sections at ChipIR and
+// ROTAX for the three APU configurations (CED/SC/BFS) and the FPGA (MNIST),
+// using fault-injection-derived workload weights. As in the paper, values
+// are normalized to the lowest cross section per vendor.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+#include <limits>
+
+#include "beam/campaign.hpp"
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "devices/catalog.hpp"
+#include "faultinject/avf.hpp"
+#include "workloads/bfs.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace tnr;
+
+const beam::CampaignResult& campaign() {
+    static const beam::CampaignResult result = [] {
+        beam::CampaignConfig cfg;
+        cfg.beam_time_per_run_s = 3600.0 * 24.0;
+        cfg.seed = 11;
+        cfg.avf_trials = 120;  // real SWIFI-derived workload weights.
+        return beam::Campaign(cfg).run();
+    }();
+    return result;
+}
+
+void emit_vendor(std::ostream& os, const char* vendor_label,
+                 const std::vector<std::string>& device_names) {
+    // Find the vendor-wide minimum nonzero cross section for normalization.
+    double norm = std::numeric_limits<double>::infinity();
+    for (const auto& m : campaign().measurements) {
+        if (std::find(device_names.begin(), device_names.end(), m.device) ==
+            device_names.end()) {
+            continue;
+        }
+        if (m.errors > 0) norm = std::min(norm, m.cross_section());
+    }
+    os << vendor_label << " (normalized to the vendor's lowest measured "
+       << "cross section):\n";
+    core::TablePrinter table(
+        {"device", "workload", "beamline", "type", "normalized sigma"});
+    for (const auto& m : campaign().measurements) {
+        if (std::find(device_names.begin(), device_names.end(), m.device) ==
+            device_names.end()) {
+            continue;
+        }
+        table.add_row({m.device, m.workload, m.beamline,
+                       devices::to_string(m.type),
+                       core::format_fixed(m.cross_section() / norm, 2)});
+    }
+    table.print(os);
+    os << '\n';
+}
+
+void emit_table(std::ostream& os) {
+    emit_vendor(os, "AMD APU, heterogeneous codes (CED / SC / BFS)",
+                {"AMD APU (CPU)", "AMD APU (GPU)", "AMD APU (CPU+GPU)"});
+    emit_vendor(os, "Xilinx FPGA, MNIST", {"Xilinx Zynq-7000 FPGA"});
+}
+
+void BM_AvfTableHeterogeneous(benchmark::State& state) {
+    const auto suite = workloads::heterogeneous_suite();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(faultinject::VulnerabilityTable::measure(
+            suite, static_cast<std::size_t>(state.range(0)), 1));
+    }
+}
+BENCHMARK(BM_AvfTableHeterogeneous)->Arg(20)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SingleInjectionBfs(benchmark::State& state) {
+    auto w = workloads::make_bfs();
+    faultinject::FaultInjector injector(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(injector.inject_once(*w));
+    }
+}
+BENCHMARK(BM_SingleInjectionBfs)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv,
+        "Fig. 1 — normalized HE vs thermal cross sections, APU & FPGA",
+        emit_table);
+}

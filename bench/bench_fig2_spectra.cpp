@@ -1,0 +1,90 @@
+// Fig. 2 — "The neutron spectra of the beamlines used for irradiation in
+// lethargy scale": regenerates the ChipIR vs ROTAX lethargy-flux curves and
+// the published integral fluxes, then times the spectrum machinery.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "physics/beamline_spectra.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace tnr;
+
+void emit_table(std::ostream& os) {
+    const auto chipir = physics::chipir_spectrum();
+    const auto rotax = physics::rotax_spectrum();
+
+    os << "Integral fluxes (paper: ChipIR >10MeV = 5.4e6, ChipIR thermal = "
+          "4e5, ROTAX total = 2.72e6 n/cm^2/s):\n";
+    core::TablePrinter quotes({"beamline", "Phi(>10MeV)", "Phi(thermal)",
+                               "Phi(total)"});
+    quotes.add_row({"ChipIR",
+                    core::format_scientific(chipir->high_energy_flux()),
+                    core::format_scientific(chipir->thermal_flux()),
+                    core::format_scientific(chipir->total_flux())});
+    quotes.add_row({"ROTAX",
+                    core::format_scientific(rotax->high_energy_flux()),
+                    core::format_scientific(rotax->thermal_flux()),
+                    core::format_scientific(rotax->total_flux())});
+    quotes.print(os);
+
+    os << "\nLethargy spectra E*dPhi/dE [n/cm^2/s] (log-log, as Fig. 2):\n";
+    core::TablePrinter table({"E [eV]", "ChipIR", "ROTAX"});
+    const auto chipir_pts = chipir->lethargy_table(25);
+    for (const auto& [e, f] : chipir_pts) {
+        table.add_row({core::format_scientific(e, 1),
+                       core::format_scientific(f, 2),
+                       core::format_scientific(e * rotax->flux_density(e), 2)});
+    }
+    table.print(os);
+}
+
+void BM_ChipIrFluxDensity(benchmark::State& state) {
+    const auto s = physics::chipir_spectrum();
+    double e = 1.0e-3;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s->flux_density(e));
+        e = (e > 1.0e8) ? 1.0e-3 : e * 1.7;
+    }
+}
+BENCHMARK(BM_ChipIrFluxDensity);
+
+void BM_ChipIrIntegralFlux(benchmark::State& state) {
+    const auto s = physics::chipir_spectrum();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s->integral_flux(1.0e7, 1.0e9));
+    }
+}
+BENCHMARK(BM_ChipIrIntegralFlux);
+
+void BM_SpectrumSampling(benchmark::State& state) {
+    const auto s = physics::chipir_spectrum();
+    tnr::stats::Rng rng(1);
+    (void)s->sample_energy(rng);  // build the CDF table outside the loop.
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s->sample_energy(rng));
+    }
+}
+BENCHMARK(BM_SpectrumSampling);
+
+void BM_LethargyTable(benchmark::State& state) {
+    const auto s = physics::rotax_spectrum();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s->lethargy_table(
+            static_cast<std::size_t>(state.range(0))));
+    }
+}
+BENCHMARK(BM_LethargyTable)->Arg(64)->Arg(512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv, "Fig. 2 — ChipIR vs ROTAX beam spectra (lethargy scale)",
+        emit_table);
+}

@@ -1,0 +1,107 @@
+// Fig. 5 — "Average cross section ratio for all devices": runs the full
+// simulated ChipIR+ROTAX campaign and prints the HE/thermal cross-section
+// ratio per device and error type next to the paper's values.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "beam/campaign.hpp"
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "devices/catalog.hpp"
+
+namespace {
+
+using namespace tnr;
+
+const beam::CampaignResult& campaign() {
+    static const beam::CampaignResult result = [] {
+        beam::CampaignConfig cfg;
+        cfg.beam_time_per_run_s = 3600.0 * 24.0;
+        cfg.seed = 2020;
+        return beam::Campaign(cfg).run();
+    }();
+    return result;
+}
+
+std::string paper_value(const std::string& device, devices::ErrorType type) {
+    static const std::map<std::pair<std::string, int>, std::string> known = {
+        {{"Intel Xeon Phi", 0}, "10.14"},
+        {{"Intel Xeon Phi", 1}, "6.37"},
+        {{"NVIDIA K20", 0}, "~2"},
+        {{"NVIDIA K20", 1}, "~3"},
+        {{"NVIDIA TitanX", 0}, "~3"},
+        {{"NVIDIA TitanX", 1}, "~7"},
+        {{"NVIDIA TitanV", 0}, "~5 [jsc2020]"},
+        {{"NVIDIA TitanV", 1}, "~8 [jsc2020]"},
+        {{"AMD APU (CPU)", 0}, "~2.2"},
+        {{"AMD APU (CPU)", 1}, "~2"},
+        {{"AMD APU (GPU)", 0}, "~2.8"},
+        {{"AMD APU (GPU)", 1}, "~1.3"},
+        {{"AMD APU (CPU+GPU)", 0}, "~2.5"},
+        {{"AMD APU (CPU+GPU)", 1}, "1.18"},
+        {{"Xilinx Zynq-7000 FPGA", 0}, "2.33"},
+        {{"Xilinx Zynq-7000 FPGA", 1}, "(DUE never observed)"},
+    };
+    const auto it = known.find({device, type == devices::ErrorType::kDue});
+    return it != known.end() ? it->second : "-";
+}
+
+void emit_table(std::ostream& os) {
+    os << "HE / thermal cross-section ratio per device (pooled over its "
+          "workload suite,\n24 h of simulated beam per run, 95% CI):\n\n";
+    core::TablePrinter table({"device", "type", "measured ratio", "95% CI",
+                              "paper"});
+    for (const auto& row : campaign().ratio_rows) {
+        const auto ratio = row.ratio();
+        std::string measured = "no thermal errors";
+        std::string ci = "-";
+        if (ratio.has_value()) {
+            measured = core::format_fixed(ratio->ratio, 2);
+            ci = "[" + core::format_fixed(ratio->ci.lower, 2) + ", " +
+                 core::format_fixed(ratio->ci.upper, 2) + "]";
+        }
+        table.add_row({row.device, devices::to_string(row.type), measured, ci,
+                       paper_value(row.device, row.type)});
+    }
+    table.print(os);
+}
+
+void BM_FullCampaign(benchmark::State& state) {
+    beam::CampaignConfig cfg;
+    cfg.beam_time_per_run_s = static_cast<double>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(beam::Campaign(cfg).run());
+    }
+}
+BENCHMARK(BM_FullCampaign)->Arg(600)->Arg(3600)->Unit(benchmark::kMillisecond);
+
+void BM_DeviceCalibration(benchmark::State& state) {
+    const auto& spec = devices::standard_specs().front();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(devices::build_calibrated(spec));
+    }
+}
+BENCHMARK(BM_DeviceCalibration)->Unit(benchmark::kMillisecond);
+
+void BM_FoldedCrossSection(benchmark::State& state) {
+    const auto device = devices::build_calibrated(
+        devices::spec_by_name("NVIDIA K20"));
+    const auto spectrum = physics::chipir_spectrum();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            device.folded_cross_section(devices::ErrorType::kSdc, *spectrum));
+    }
+}
+BENCHMARK(BM_FoldedCrossSection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv,
+        "Fig. 5 — average HE/thermal cross-section ratio for all devices",
+        emit_table);
+}

@@ -1,0 +1,160 @@
+// [jsc2020] companion figures (cs_xeon_gpus / cs_APU_FPGA, summarised in
+// the paper's §IV commentary) — per-code cross sections for every device at
+// both facilities, with the observations the text calls out:
+//   * HE SDC cross sections vary >2x across codes; on the Xeon Phi the
+//     thermal SDC variation stays under ~20% (10B outside the structures
+//     that drive HE code-dependence);
+//   * on the K20 the thermal per-code trend tracks the HE one;
+//   * YOLO is the only K20 code whose DUE sigma exceeds its SDC sigma;
+//   * the double-precision MNIST FPGA build: ~2x resources, ~2x HE sigma,
+//     ~4x thermal sigma.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "beam/campaign.hpp"
+#include "beam/code_sensitivity.hpp"
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "devices/catalog.hpp"
+#include "faultinject/avf.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace tnr;
+
+const beam::CampaignResult& campaign() {
+    static const beam::CampaignResult result = [] {
+        beam::CampaignConfig cfg;
+        cfg.beam_time_per_run_s = 3600.0 * 24.0;
+        cfg.seed = 271828;
+        cfg.avf_trials = 150;
+        return beam::Campaign(cfg).run();
+    }();
+    return result;
+}
+
+void emit_device(std::ostream& os, const std::string& device) {
+    os << device << ":\n";
+    core::TablePrinter table({"code", "sigma_SDC ChipIR", "sigma_SDC ROTAX",
+                              "sigma_DUE ChipIR", "sigma_DUE ROTAX"});
+    const auto find = [&](const std::string& workload,
+                          const std::string& beamline,
+                          devices::ErrorType type) -> std::string {
+        for (const auto& m : campaign().measurements) {
+            if (m.device == device && m.workload == workload &&
+                m.beamline == beamline && m.type == type) {
+                return core::format_scientific(m.cross_section(), 2);
+            }
+        }
+        return "-";
+    };
+    for (const auto& entry : workloads::suite_for_device(device)) {
+        table.add_row({entry.name,
+                       find(entry.name, "ChipIR", devices::ErrorType::kSdc),
+                       find(entry.name, "ROTAX", devices::ErrorType::kSdc),
+                       find(entry.name, "ChipIR", devices::ErrorType::kDue),
+                       find(entry.name, "ROTAX", devices::ErrorType::kDue)});
+    }
+    table.print(os);
+    os << '\n';
+}
+
+void emit_table(std::ostream& os) {
+    for (const char* device :
+         {"Intel Xeon Phi", "NVIDIA K20", "NVIDIA TitanX", "NVIDIA TitanV",
+          "AMD APU (CPU)", "AMD APU (GPU)", "AMD APU (CPU+GPU)",
+          "Xilinx Zynq-7000 FPGA"}) {
+        emit_device(os, device);
+    }
+
+    // Spot-check the textual claims.
+    const auto sigma = [&](const char* device, const char* workload,
+                           const char* beamline, devices::ErrorType type) {
+        for (const auto& m : campaign().measurements) {
+            if (m.device == device && m.workload == workload &&
+                m.beamline == beamline && m.type == type) {
+                return m.cross_section();
+            }
+        }
+        return 0.0;
+    };
+    double he_min = 1e9;
+    double he_max = 0.0;
+    double th_min = 1e9;
+    double th_max = 0.0;
+    for (const char* code : {"MxM", "LUD", "LavaMD", "HotSpot"}) {
+        he_min = std::min(he_min, sigma("Intel Xeon Phi", code, "ChipIR",
+                                        devices::ErrorType::kSdc));
+        he_max = std::max(he_max, sigma("Intel Xeon Phi", code, "ChipIR",
+                                        devices::ErrorType::kSdc));
+        th_min = std::min(th_min, sigma("Intel Xeon Phi", code, "ROTAX",
+                                        devices::ErrorType::kSdc));
+        th_max = std::max(th_max, sigma("Intel Xeon Phi", code, "ROTAX",
+                                        devices::ErrorType::kSdc));
+    }
+    core::TablePrinter claims({"claim", "paper", "measured"});
+    claims.add_row({"Xeon Phi HE SDC spread across codes", ">2x",
+                    core::format_fixed(he_max / he_min, 2) + "x"});
+    claims.add_row({"Xeon Phi thermal SDC spread", "<20%",
+                    core::format_percent(th_max / th_min - 1.0)});
+    claims.add_row(
+        {"K20 YOLO DUE/SDC (ChipIR)", ">1 (only such code)",
+         core::format_fixed(sigma("NVIDIA K20", "YOLO", "ChipIR",
+                                  devices::ErrorType::kDue) /
+                                sigma("NVIDIA K20", "YOLO", "ChipIR",
+                                      devices::ErrorType::kSdc),
+                            2)});
+    claims.add_row(
+        {"FPGA MNIST-dp / MNIST thermal sigma", "~4x",
+         core::format_fixed(
+             sigma("Xilinx Zynq-7000 FPGA", "MNIST-dp", "ROTAX",
+                   devices::ErrorType::kSdc) /
+                 sigma("Xilinx Zynq-7000 FPGA", "MNIST", "ROTAX",
+                       devices::ErrorType::kSdc),
+             2) +
+             "x"});
+    claims.add_row(
+        {"FPGA MNIST-dp / MNIST HE sigma", "~2x (area)",
+         core::format_fixed(
+             sigma("Xilinx Zynq-7000 FPGA", "MNIST-dp", "ChipIR",
+                   devices::ErrorType::kSdc) /
+                 sigma("Xilinx Zynq-7000 FPGA", "MNIST", "ChipIR",
+                       devices::ErrorType::kSdc),
+             2) +
+             "x"});
+    claims.print(os);
+}
+
+void BM_CodeModelBuild(benchmark::State& state) {
+    const auto suite = workloads::suite_for_device("Intel Xeon Phi");
+    const auto table = faultinject::VulnerabilityTable::measure(
+        suite, static_cast<std::size_t>(state.range(0)), 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(beam::CodeSensitivityModel::build(
+            devices::try_spec_by_name("Intel Xeon Phi"), suite, table));
+    }
+}
+BENCHMARK(BM_CodeModelBuild)->Arg(50)->Unit(benchmark::kMicrosecond);
+
+void BM_WeightedCampaign(benchmark::State& state) {
+    beam::CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 600.0;
+    cfg.avf_trials = 30;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(beam::Campaign(cfg).run());
+    }
+}
+BENCHMARK(BM_WeightedCampaign)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv,
+        "[jsc2020] per-code cross sections (cs_xeon_gpus / cs_APU_FPGA)",
+        emit_table);
+}

@@ -1,0 +1,70 @@
+// Kernel throughput: google-benchmark timings of the nine workload kernels
+// themselves — the substrate every SWIFI trial and FPGA beam run executes.
+// No paper table here; this is the performance card of the suite.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace tnr;
+
+void emit_table(std::ostream& os) {
+    core::TablePrinter table({"kernel", "injectable state [bytes]",
+                              "segments"});
+    for (const auto& entry : workloads::full_suite()) {
+        auto w = entry.make();
+        w->reset();
+        table.add_row({entry.name, std::to_string(w->state_bytes()),
+                       std::to_string(w->segments().size())});
+    }
+    table.print(os);
+}
+
+void BM_Kernel(benchmark::State& state, const std::string& name) {
+    auto w = workloads::entry_by_name(name).make();
+    w->reset();
+    for (auto _ : state) {
+        w->run();
+        benchmark::DoNotOptimize(w->verify());
+    }
+}
+
+#define TNR_KERNEL_BENCH(name, label)                                  \
+    void BM_##name(benchmark::State& state) { BM_Kernel(state, label); } \
+    BENCHMARK(BM_##name)->Unit(benchmark::kMicrosecond)
+
+TNR_KERNEL_BENCH(MxM, "MxM");
+TNR_KERNEL_BENCH(Lud, "LUD");
+TNR_KERNEL_BENCH(LavaMd, "LavaMD");
+TNR_KERNEL_BENCH(HotSpot, "HotSpot");
+TNR_KERNEL_BENCH(Sc, "SC");
+TNR_KERNEL_BENCH(Ced, "CED");
+TNR_KERNEL_BENCH(Bfs, "BFS");
+TNR_KERNEL_BENCH(Yolo, "YOLO");
+TNR_KERNEL_BENCH(Mnist, "MNIST");
+TNR_KERNEL_BENCH(MnistDp, "MNIST-dp");
+
+#undef TNR_KERNEL_BENCH
+
+void BM_ResetCost(benchmark::State& state) {
+    auto w = workloads::entry_by_name("MxM").make();
+    for (auto _ : state) {
+        w->reset();
+        benchmark::DoNotOptimize(w->state_bytes());
+    }
+}
+BENCHMARK(BM_ResetCost)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv, "Kernel suite throughput (the SWIFI substrate)",
+        emit_table);
+}

@@ -1,0 +1,95 @@
+// Txt-1 (§V) — thermal-flux environment modifiers: rain doubles the thermal
+// flux, a concrete slab adds +20%, cooling water +24%, the paper's combined
+// data-center adjustment is +44%. Prints the modifier table for reference
+// scenarios and the resulting fluxes at NYC and Leadville.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "environment/location.hpp"
+#include "environment/modifiers.hpp"
+#include "environment/site.hpp"
+
+namespace {
+
+using namespace tnr;
+using environment::ThermalEnvironment;
+using environment::Weather;
+
+void emit_table(std::ostream& os) {
+    struct Scenario {
+        const char* label;
+        ThermalEnvironment env;
+        const char* paper;
+    };
+    const Scenario scenarios[] = {
+        {"open field, sunny", ThermalEnvironment::open_field(), "1.00 (ref)"},
+        {"concrete slab", {Weather::kSunny, true, false, 0.0}, "+20%"},
+        {"water cooling", {Weather::kSunny, false, true, 0.0}, "+24%"},
+        {"slab + cooling (data center)", ThermalEnvironment::datacenter(),
+         "+44%"},
+        {"rainy day, open field", {Weather::kRainy, false, false, 0.0},
+         "x2 [ziegler2003]"},
+        {"rainy day, data center", {Weather::kRainy, true, true, 0.0},
+         "x2 on top of +44%"},
+        {"car with passengers (+10%)", {Weather::kSunny, false, false, 0.1},
+         "humans are moderators"},
+    };
+
+    os << "Thermal flux multiplier per environment:\n";
+    core::TablePrinter table({"environment", "multiplier", "paper"});
+    for (const auto& s : scenarios) {
+        table.add_row({s.label,
+                       core::format_fixed(s.env.thermal_multiplier(), 2),
+                       s.paper});
+    }
+    table.print(os);
+
+    os << "\nResulting fluxes [n/cm^2/h]:\n";
+    core::TablePrinter fluxes(
+        {"location", "Phi_HE (>10MeV)", "Phi_th open field", "Phi_th datacenter",
+         "Phi_th datacenter+rain"});
+    for (const auto& loc : {environment::Location::new_york_city(),
+                            environment::Location::leadville_co(),
+                            environment::Location::los_alamos_nm()}) {
+        ThermalEnvironment dc = ThermalEnvironment::datacenter();
+        ThermalEnvironment rain = dc;
+        rain.weather = Weather::kRainy;
+        fluxes.add_row(
+            {loc.name(), core::format_fixed(loc.high_energy_flux(), 1),
+             core::format_fixed(loc.thermal_flux_baseline(), 1),
+             core::format_fixed(
+                 loc.thermal_flux_baseline() * dc.thermal_multiplier(), 1),
+             core::format_fixed(
+                 loc.thermal_flux_baseline() * rain.thermal_multiplier(), 1)});
+    }
+    fluxes.print(os);
+}
+
+void BM_ThermalMultiplier(benchmark::State& state) {
+    ThermalEnvironment env = ThermalEnvironment::datacenter();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(env.thermal_multiplier());
+    }
+}
+BENCHMARK(BM_ThermalMultiplier);
+
+void BM_LocationFlux(benchmark::State& state) {
+    const auto lead = environment::Location::leadville_co();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lead.high_energy_flux());
+        benchmark::DoNotOptimize(lead.thermal_flux_baseline());
+    }
+}
+BENCHMARK(BM_LocationFlux);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv, "Txt-1 — thermal neutron flux environment modifiers",
+        emit_table);
+}

@@ -1,0 +1,107 @@
+// Txt-2 ([jsc2020] FIT figure, summarised in the paper's §V/§VI) — the
+// percentage of each device's FIT rate caused by thermal neutrons at NYC
+// (sea level) and Leadville, CO (10,151 ft), with the +44% data-center
+// thermal adjustment. The paper's quoted anchors:
+//   Xeon Phi: 4.2% (NYC, SDC) up to 10.6% (Leadville, DUE);
+//   K20: 29% of SDC FIT thermal at Leadville;
+//   APU CPU+GPU: 39% of DUEs thermal at Leadville;
+//   overall thermal contribution up to ~40%.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "environment/site.hpp"
+
+namespace {
+
+using namespace tnr;
+
+core::ReliabilityStudy& study() {
+    static core::ReliabilityStudy s = [] {
+        beam::CampaignConfig cfg;
+        cfg.beam_time_per_run_s = 3600.0 * 24.0;
+        cfg.seed = 42;
+        return core::ReliabilityStudy(cfg);
+    }();
+    return s;
+}
+
+void emit_table(std::ostream& os) {
+    const auto nyc = environment::nyc_datacenter();
+    const auto lead = environment::leadville_datacenter();
+
+    os << "Thermal share of the total FIT rate (measured cross sections x "
+          "site fluxes,\n+44% data-center thermal adjustment):\n\n";
+    core::TablePrinter table({"device", "type", "NYC thermal share",
+                              "Leadville thermal share", "paper anchor"});
+    const auto anchor = [](const std::string& device,
+                           devices::ErrorType type) -> std::string {
+        if (device == "Intel Xeon Phi" && type == devices::ErrorType::kSdc) {
+            return "4.2% @ NYC";
+        }
+        if (device == "Intel Xeon Phi" && type == devices::ErrorType::kDue) {
+            return "10.6% @ Leadville";
+        }
+        if (device == "NVIDIA K20" && type == devices::ErrorType::kSdc) {
+            return "29% @ Leadville";
+        }
+        if (device == "AMD APU (CPU+GPU)" && type == devices::ErrorType::kDue) {
+            return "39% @ Leadville";
+        }
+        return "-";
+    };
+    for (const auto& row : study().campaign().ratio_rows) {
+        const auto fit_nyc = study().measured_fit(row.device, row.type, nyc);
+        const auto fit_lead = study().measured_fit(row.device, row.type, lead);
+        table.add_row({row.device, devices::to_string(row.type),
+                       core::format_percent(fit_nyc.thermal_share()),
+                       core::format_percent(fit_lead.thermal_share()),
+                       anchor(row.device, row.type)});
+    }
+    table.print(os);
+
+    os << "\nUnderestimation factor if thermals are ignored "
+          "(total/HE-only):\n";
+    core::TablePrinter under({"device", "type", "NYC", "Leadville"});
+    for (const auto& row : study().campaign().ratio_rows) {
+        const auto fit_nyc = study().measured_fit(row.device, row.type, nyc);
+        const auto fit_lead = study().measured_fit(row.device, row.type, lead);
+        under.add_row({row.device, devices::to_string(row.type),
+                       core::format_fixed(fit_nyc.underestimation(), 3),
+                       core::format_fixed(fit_lead.underestimation(), 3)});
+    }
+    under.print(os);
+}
+
+void BM_MeasuredFit(benchmark::State& state) {
+    (void)study().campaign();  // amortize campaign outside timing.
+    const auto site = environment::leadville_datacenter();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(study().measured_fit(
+            "NVIDIA K20", devices::ErrorType::kSdc, site));
+    }
+}
+BENCHMARK(BM_MeasuredFit)->Unit(benchmark::kMicrosecond);
+
+void BM_FitShareTable(benchmark::State& state) {
+    (void)study().campaign();
+    const std::vector<environment::Site> sites = {
+        environment::nyc_datacenter(), environment::leadville_datacenter()};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(study().fit_share_table(sites));
+    }
+}
+BENCHMARK(BM_FitShareTable)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv,
+        "Txt-2 — FIT decomposition: thermal share at NYC vs Leadville",
+        emit_table);
+}

@@ -1,0 +1,76 @@
+// Txt-3 ([jsc2020] HPC_FIT figure) — projected thermal DDR FIT for the ten
+// fastest supercomputers of the Nov-2019 Top500, from fleet DRAM capacity,
+// site altitude, and the Fig.-4 per-Gbit thermal cross sections.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/fit.hpp"
+#include "core/report.hpp"
+#include "environment/site.hpp"
+#include "memory/dram_config.hpp"
+
+namespace {
+
+using namespace tnr;
+
+void emit_table(std::ostream& os) {
+    auto rows = core::fleet_dram_fit(environment::top10_supercomputers());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.fit > b.fit; });
+
+    os << "Projected whole-fleet thermal DDR FIT (sunny day, slab + liquid "
+          "cooling):\n";
+    core::TablePrinter table({"system", "DRAM [Gbit]", "Phi_th [n/cm^2/h]",
+                              "thermal FIT", "mean time between DDR errors"});
+    for (const auto& row : rows) {
+        const double hours = 1.0e9 / row.fit;
+        table.add_row({row.system, core::format_scientific(row.capacity_gbit, 1),
+                       core::format_fixed(row.thermal_flux, 1),
+                       core::format_fixed(row.fit, 0),
+                       core::format_fixed(hours, 1) + " h"});
+    }
+    table.print(os);
+
+    os << "\nRainy-day projection (thermal flux x2):\n";
+    core::TablePrinter rain({"system", "sunny FIT", "rainy FIT"});
+    auto sites = environment::top10_supercomputers();
+    for (auto& site : sites) {
+        site.environment.weather = environment::Weather::kRainy;
+    }
+    const auto rainy = core::fleet_dram_fit(sites);
+    const auto sunny = core::fleet_dram_fit(environment::top10_supercomputers());
+    for (std::size_t i = 0; i < rainy.size(); ++i) {
+        rain.add_row({sunny[i].system, core::format_fixed(sunny[i].fit, 0),
+                      core::format_fixed(rainy[i].fit, 0)});
+    }
+    rain.print(os);
+}
+
+void BM_FleetProjection(benchmark::State& state) {
+    const auto sites = environment::top10_supercomputers();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::fleet_dram_fit(sites));
+    }
+}
+BENCHMARK(BM_FleetProjection)->Unit(benchmark::kMicrosecond);
+
+void BM_DramThermalFit(benchmark::State& state) {
+    const auto module = memory::ddr4_module();
+    const auto site = environment::nyc_datacenter();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::dram_thermal_fit(module, site));
+    }
+}
+BENCHMARK(BM_DramThermalFit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(
+        argc, argv, "Txt-3 — Top-10 supercomputer thermal DDR FIT projection",
+        emit_table);
+}

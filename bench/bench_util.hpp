@@ -1,0 +1,27 @@
+#pragma once
+// Shared helper for the reproduction benches: every bench binary prints its
+// paper-figure table first (the actual reproduction artifact), then runs its
+// google-benchmark timings of the underlying machinery.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+
+namespace tnr::bench {
+
+/// Prints a banner, runs the table emitter, then hands off to
+/// google-benchmark. Call from each bench's main().
+inline int run_bench_main(int argc, char** argv, const char* title,
+                          const std::function<void(std::ostream&)>& emit_table) {
+    std::cout << "==== " << title << " ====\n\n";
+    emit_table(std::cout);
+    std::cout << std::endl;
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+}  // namespace tnr::bench

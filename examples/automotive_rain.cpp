@@ -1,0 +1,76 @@
+// Automotive scenario (§III.C Motivation): an object-detection network on a
+// COTS GPU in a vehicle. The thermal flux around a car changes with weather
+// (rain x2), road material (concrete +20%), fuel and passengers (water-rich
+// moderators). This example runs the YOLO-lite workload under fault
+// injection to get the fraction of faults that flip a *detection* (critical
+// SDC), then folds the device sensitivity with per-scenario fluxes.
+
+#include <iostream>
+
+#include "core/fit.hpp"
+#include "core/report.hpp"
+#include "devices/catalog.hpp"
+#include "environment/location.hpp"
+#include "environment/modifiers.hpp"
+#include "environment/site.hpp"
+#include "faultinject/avf.hpp"
+#include "workloads/suite.hpp"
+
+int main() {
+    using namespace tnr;
+    using environment::ThermalEnvironment;
+    using environment::Weather;
+
+    // 1. How dangerous is a fault to the detector? Inject into YOLO-lite.
+    const auto avf = faultinject::measure_avf(
+        workloads::entry_by_name("YOLO"), 400, 2019);
+    std::cout << "YOLO-lite fault-injection profile (" << avf.trials
+              << " single-bit injections):\n";
+    core::TablePrinter fi({"outcome", "share"});
+    fi.add_row({"masked", core::format_percent(avf.masked_fraction())});
+    fi.add_row({"SDC", core::format_percent(avf.avf_sdc())});
+    fi.add_row({"  of which critical (detection changed)",
+                core::format_percent(avf.critical_fraction())});
+    fi.add_row({"DUE", core::format_percent(avf.avf_due())});
+    fi.print(std::cout);
+
+    // 2. The vehicle's compute: a Pascal-class COTS GPU.
+    const auto gpu =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA TitanX"));
+
+    // 3. Driving scenarios.
+    struct Scenario {
+        const char* label;
+        ThermalEnvironment env;
+    };
+    const Scenario scenarios[] = {
+        {"sunny day, asphalt, empty car", {Weather::kSunny, false, false, 0.0}},
+        {"sunny day, concrete highway", {Weather::kSunny, true, false, 0.0}},
+        {"sunny, concrete, 4 passengers + full tank",
+         {Weather::kSunny, true, false, 0.20}},
+        {"thunderstorm, concrete, full car",
+         {Weather::kRainy, true, false, 0.20}},
+    };
+
+    const auto denver = environment::Location("Denver, CO", 39.7, -105.0, 1609.0);
+    std::cout << "\nTitanX SDC rate while driving (Denver, 1609 m):\n\n";
+    core::TablePrinter table({"scenario", "thermal multiplier", "FIT (HE)",
+                              "FIT (thermal)", "thermal share"});
+    for (const auto& s : scenarios) {
+        const environment::Site site{"vehicle", denver, s.env, 0.0,
+                                     environment::DramGeneration::kDdr4};
+        const auto fit = core::device_fit(gpu, devices::ErrorType::kSdc, site);
+        table.add_row({s.label,
+                       core::format_fixed(s.env.thermal_multiplier(), 2),
+                       core::format_fixed(fit.high_energy, 1),
+                       core::format_fixed(fit.thermal, 1),
+                       core::format_percent(fit.thermal_share())});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nIn the storm scenario the thermal component more than "
+                 "doubles versus the\nsunny baseline — the paper's point "
+                 "that a car's error rate depends on the\nweather it drives "
+                 "through.\n";
+    return 0;
+}

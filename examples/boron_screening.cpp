@@ -1,0 +1,67 @@
+// Boron screening: the integrator's workflow the paper motivates. The 10B
+// content of a COTS part is proprietary — "the only way to evaluate boron
+// concentration ... is through controlled radiation exposure" — so before
+// adopting a part for a reliability-critical product, screen it at a
+// thermal beamline against a sigma budget.
+
+#include <iostream>
+
+#include "beam/beamline.hpp"
+#include "beam/experiment.hpp"
+#include "beam/screening.hpp"
+#include "core/report.hpp"
+#include "devices/catalog.hpp"
+#include "faultinject/avf.hpp"
+#include "stats/rng.hpp"
+#include "workloads/suite.hpp"
+
+int main() {
+    using namespace tnr;
+
+    // Project budget: thermal SDC sigma must stay below 1e-8 cm^2.
+    const double sigma_max = 1.0e-8;
+    const beam::Beamline rotax = beam::Beamline::rotax();
+
+    // Step 1: plan the beam time. Zero-failure demonstration at 95%:
+    const double t_zero =
+        beam::zero_failure_test_time_s(sigma_max, rotax.reference_flux());
+    std::cout << "Budget: sigma_th(SDC) < " << core::format_scientific(sigma_max)
+              << " cm^2.\nZero-failure demonstration needs "
+              << core::format_fixed(t_zero / 60.0, 1)
+              << " min of ROTAX beam at 95% confidence.\n\n";
+
+    // Step 2: screen three candidate parts (their true boron content is
+    // unknown to the integrator; here they are catalog parts).
+    std::cout << "Screening run (2 h per part, MxM test code):\n";
+    core::TablePrinter table({"candidate", "errors", "sigma_hat", "95% CI",
+                              "verdict"});
+    stats::Rng rng(20200628);
+    for (const char* name :
+         {"Intel Xeon Phi", "NVIDIA TitanX", "NVIDIA K20"}) {
+        const auto device = devices::build_calibrated(devices::spec_by_name(name));
+        const auto suite = workloads::suite_for_device(name);
+        const auto vulnerability =
+            faultinject::VulnerabilityTable::uniform(suite);
+        const beam::BeamExperiment exp(rotax, device, suite.front().name,
+                                       vulnerability);
+        beam::ExperimentConfig cfg;
+        cfg.beam_time_s = 2.0 * 3600.0;
+        const auto run = exp.run(cfg, rng);
+        const auto screening = beam::screen_part(
+            run.sdc.errors, run.sdc.fluence, sigma_max);
+        table.add_row(
+            {name, std::to_string(run.sdc.errors),
+             core::format_scientific(screening.sigma_estimate),
+             "[" + core::format_scientific(screening.sigma_ci.lower, 1) +
+                 ", " + core::format_scientific(screening.sigma_ci.upper, 1) +
+                 "]",
+             beam::to_string(screening.verdict)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe depleted-boron part clears the budget; the "
+                 "boron-heavy parts are rejected\nwithin two hours of beam "
+                 "— the screening the paper argues every COTS adopter\nwith "
+                 "reliability requirements now needs.\n";
+    return 0;
+}

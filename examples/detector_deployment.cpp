@@ -1,0 +1,87 @@
+// Detector deployment walkthrough: everything a Tin-II operator does, end
+// to end — shield verification, a calibration period checking the two
+// tubes match, the data-center deployment with a water event, and the
+// conversion from a count step back to a flux statement.
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "detector/analysis.hpp"
+#include "detector/he3_tube.hpp"
+#include "detector/tin2.hpp"
+#include "environment/location.hpp"
+#include "physics/units.hpp"
+#include "stats/rng.hpp"
+
+int main() {
+    using namespace tnr;
+
+    const detector::Tin2Detector tin2;
+    stats::Rng rng(20190420);
+
+    // Step 0: the physics of the instrument.
+    std::cout << "Step 0 — instrument characterization\n";
+    core::TablePrinter inst({"quantity", "value"});
+    inst.add_row({"He-3 density (4 atm)",
+                  core::format_scientific(tin2.tube().helium_density(), 2) +
+                      " /cm^3"});
+    inst.add_row({"thermal detection efficiency",
+                  core::format_percent(tin2.tube().intrinsic_efficiency(
+                      physics::kThermalReferenceEv))});
+    inst.add_row({"fast-neutron efficiency (1 MeV)",
+                  core::format_scientific(
+                      tin2.tube().intrinsic_efficiency(1.0e6), 2)});
+    inst.add_row({"Cd shield thermal transmission",
+                  core::format_scientific(
+                      tin2.cadmium_thermal_transmission(), 2)});
+    inst.print(std::cout);
+
+    // Step 1: calibration — both tubes bare in the same field must agree
+    // (the paper calibrated for 18 hours before shielding one tube).
+    std::cout << "\nStep 1 — 18 h calibration (both tubes bare):\n";
+    const double base_flux =
+        environment::Location::los_alamos_nm().thermal_flux_baseline() / 3600.0;
+    const double expected_rate = tin2.tube().count_rate(base_flux, 0.0);
+    stats::Rng cal_rng = rng.split();
+    const double hours = 18.0;
+    const auto tube_a = cal_rng.poisson(expected_rate * hours * 3600.0);
+    const auto tube_b = cal_rng.poisson(expected_rate * hours * 3600.0);
+    const auto ratio = stats::poisson_rate_ratio(tube_a, hours, tube_b, hours);
+    std::cout << "  tube A: " << tube_a << " counts, tube B: " << tube_b
+              << " counts; efficiency ratio "
+              << core::format_fixed(ratio.ratio, 3) << " (CI ["
+              << core::format_fixed(ratio.ci.lower, 3) << ", "
+              << core::format_fixed(ratio.ci.upper, 3)
+              << "] — consistent with 1)\n";
+
+    // Step 2: the deployment (4 baseline days, then the water box).
+    std::cout << "\nStep 2 — deployment with water placed on day 5:\n";
+    const auto rec = tin2.record(detector::fig6_schedule(4.0, 3.0), rng);
+    const auto analysis = detector::analyze_step(rec);
+    if (!analysis) {
+        std::cout << "  no step found (unexpected)\n";
+        return 1;
+    }
+    std::cout << "  changepoint at hour " << analysis->change_bin
+              << " (water placed at hour " << rec.phase_start_bins[1] << ")\n"
+              << "  thermal rate: "
+              << core::format_fixed(analysis->thermal_rate_before * 3600.0, 1)
+              << " -> "
+              << core::format_fixed(analysis->thermal_rate_after * 3600.0, 1)
+              << " counts/h  (" << core::format_percent(analysis->relative_step)
+              << " step, paper: ~24%)\n";
+
+    // Step 3: back to flux units.
+    const double efficiency_area =
+        tin2.tube().sensitive_area() *
+        tin2.tube().intrinsic_efficiency(physics::kThermalReferenceEv);
+    std::cout << "\nStep 3 — flux conversion:\n  thermal flux "
+              << core::format_fixed(
+                     analysis->thermal_rate_before / efficiency_area * 3600.0, 2)
+              << " -> "
+              << core::format_fixed(
+                     analysis->thermal_rate_after / efficiency_area * 3600.0, 2)
+              << " n/cm^2/h — the +24% every boron-bearing device in the "
+                 "room now pays in FIT.\n";
+    return 0;
+}

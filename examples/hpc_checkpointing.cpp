@@ -1,0 +1,56 @@
+// HPC operations: size the checkpoint interval of a supercomputer from its
+// devices' neutron-induced DUE rates — and see how ECC, altitude and
+// weather move it. Ends with the paper's introduction made concrete:
+// checkpoint frequency is a function of the weather.
+
+#include <iostream>
+
+#include "core/checkpoint.hpp"
+#include "core/fit.hpp"
+#include "core/report.hpp"
+#include "devices/catalog.hpp"
+#include "devices/ecc_policy.hpp"
+#include "environment/site.hpp"
+
+int main() {
+    using namespace tnr;
+
+    constexpr std::size_t kNodes = 4608;
+    const auto raw =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const auto protected_device = devices::with_ecc(raw, devices::EccProtection{});
+
+    core::CheckpointParameters params;
+    params.checkpoint_cost_s = 240.0;
+    params.restart_cost_s = 600.0;
+
+    std::cout << "Checkpoint planning for a " << kNodes
+              << "-node accelerator machine\n\n";
+    core::TablePrinter table({"device", "site", "weather", "node DUE FIT",
+                              "MTBF [h]", "tau_opt [min]", "waste"});
+    for (const auto* device : {&raw, &protected_device}) {
+        for (const bool rainy : {false, true}) {
+            environment::Site site = environment::leadville_datacenter();
+            if (rainy) site.environment.weather = environment::Weather::kRainy;
+            const auto fit =
+                core::device_fit(*device, devices::ErrorType::kDue, site);
+            const auto plan = core::plan_for_fit(fit, kNodes, params);
+            table.add_row({device->name(), "Leadville DC",
+                           rainy ? "rainy" : "sunny",
+                           core::format_fixed(fit.total(), 1),
+                           core::format_fixed(plan.mtbf_s / 3600.0, 2),
+                           core::format_fixed(plan.optimal_interval_s / 60.0, 1),
+                           core::format_percent(plan.waste_fraction)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTwo operational takeaways:\n"
+                 "  * ECC converts silent corruptions into detected errors: "
+                 "the DUE rate (and\n    checkpoint overhead) rises slightly "
+                 "— the price of not computing garbage;\n"
+                 "  * rain doubles the thermal flux: on a boron-heavy part "
+                 "the optimal\n    checkpoint interval visibly shortens on "
+                 "a stormy day.\n";
+    return 0;
+}

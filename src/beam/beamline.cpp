@@ -1,0 +1,41 @@
+#include "beam/beamline.hpp"
+
+#include <stdexcept>
+
+#include "physics/units.hpp"
+
+namespace tnr::beam {
+
+Beamline::Beamline(std::string name,
+                   std::shared_ptr<const physics::Spectrum> spectrum,
+                   FluenceConvention convention)
+    : name_(std::move(name)),
+      spectrum_(std::move(spectrum)),
+      convention_(convention) {
+    if (!spectrum_) throw std::invalid_argument("Beamline: null spectrum");
+    reference_flux_ = (convention_ == FluenceConvention::kAbove10MeV)
+                          ? spectrum_->high_energy_flux()
+                          : spectrum_->total_flux();
+    if (reference_flux_ <= 0.0) {
+        throw std::invalid_argument("Beamline: zero reference flux");
+    }
+}
+
+double Beamline::reference_flux() const { return reference_flux_; }
+
+Beamline Beamline::chipir() {
+    return Beamline("ChipIR", physics::chipir_spectrum(),
+                    FluenceConvention::kAbove10MeV);
+}
+
+Beamline Beamline::rotax() {
+    return Beamline("ROTAX", physics::rotax_spectrum(),
+                    FluenceConvention::kTotal);
+}
+
+Beamline Beamline::dt14() {
+    return Beamline("D-T 14 MeV", physics::dt14_spectrum(),
+                    FluenceConvention::kTotal);
+}
+
+}  // namespace tnr::beam

@@ -1,0 +1,56 @@
+#pragma once
+// A beamline wraps a spectrum with the facility's fluence-accounting
+// convention: radiation-test cross sections are quoted against a reference
+// flux (the >10 MeV flux at atmospheric-like facilities per JESD89A, the
+// total beam flux at thermal facilities), not the total number of neutrons
+// of every energy.
+
+#include <memory>
+#include <string>
+
+#include "physics/beamline_spectra.hpp"
+#include "physics/spectrum.hpp"
+
+namespace tnr::beam {
+
+class Beamline {
+public:
+    enum class FluenceConvention {
+        kAbove10MeV,  ///< fluence counted above 10 MeV (ChipIR / JESD89A).
+        kTotal,       ///< all neutrons counted (thermal beamlines).
+    };
+
+    Beamline(std::string name, std::shared_ptr<const physics::Spectrum> spectrum,
+             FluenceConvention convention);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const physics::Spectrum& spectrum() const noexcept {
+        return *spectrum_;
+    }
+    [[nodiscard]] std::shared_ptr<const physics::Spectrum> spectrum_ptr()
+        const noexcept {
+        return spectrum_;
+    }
+    [[nodiscard]] FluenceConvention convention() const noexcept {
+        return convention_;
+    }
+
+    /// Flux used for fluence accounting [n/cm^2/s].
+    [[nodiscard]] double reference_flux() const;
+
+    /// The ISIS beamlines of the paper.
+    static Beamline chipir();
+    static Beamline rotax();
+
+    /// A D-T 14 MeV generator (the Weulersse et al. comparison facility
+    /// discussed in the paper's related work).
+    static Beamline dt14();
+
+private:
+    std::string name_;
+    std::shared_ptr<const physics::Spectrum> spectrum_;
+    FluenceConvention convention_;
+    double reference_flux_;
+};
+
+}  // namespace tnr::beam

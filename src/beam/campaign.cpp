@@ -1,0 +1,108 @@
+#include "beam/campaign.hpp"
+
+#include <stdexcept>
+
+namespace tnr::beam {
+
+std::optional<stats::RateRatio> DeviceRatioRow::ratio() const {
+    if (errors_th == 0) return std::nullopt;
+    return stats::poisson_rate_ratio(errors_he, fluence_he, errors_th,
+                                     fluence_th);
+}
+
+std::vector<CrossSectionMeasurement> CampaignResult::for_device(
+    const std::string& device, const std::string& beamline,
+    devices::ErrorType type) const {
+    std::vector<CrossSectionMeasurement> out;
+    for (const auto& m : measurements) {
+        if (m.device == device && m.beamline == beamline && m.type == type) {
+            out.push_back(m);
+        }
+    }
+    return out;
+}
+
+const DeviceRatioRow& CampaignResult::row(const std::string& device,
+                                          devices::ErrorType type) const {
+    for (const auto& r : ratio_rows) {
+        if (r.device == device && r.type == type) return r;
+    }
+    throw std::out_of_range("CampaignResult::row: no row for " + device);
+}
+
+Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
+    if (config_.beam_time_per_run_s <= 0.0) {
+        throw std::invalid_argument("Campaign: bad beam time");
+    }
+    if (config_.chipir_deratings.empty()) {
+        throw std::invalid_argument("Campaign: need at least one ChipIR slot");
+    }
+}
+
+CampaignResult Campaign::run() const { return run(devices::standard_catalog()); }
+
+CampaignResult Campaign::run(const std::vector<devices::Device>& devices) const {
+    const Beamline chipir = Beamline::chipir();
+    const Beamline rotax = Beamline::rotax();
+    stats::Rng rng(config_.seed);
+
+    CampaignResult result;
+
+    for (const auto& device : devices) {
+        const auto suite = workloads::suite_for_device(device.name());
+        const auto vulnerability =
+            (config_.avf_trials > 0)
+                ? faultinject::VulnerabilityTable::measure(
+                      suite, config_.avf_trials, config_.seed)
+                : faultinject::VulnerabilityTable::uniform(suite);
+        const auto code_model = CodeSensitivityModel::build(
+            devices::try_spec_by_name(device.name()), suite, vulnerability);
+
+        DeviceRatioRow sdc_row;
+        sdc_row.device = device.name();
+        sdc_row.type = devices::ErrorType::kSdc;
+        DeviceRatioRow due_row;
+        due_row.device = device.name();
+        due_row.type = devices::ErrorType::kDue;
+
+        std::size_t slot = 0;
+        for (const auto& entry : suite) {
+            // ChipIR: boards can share the beam with a distance derating
+            // (Fig. 3); slots rotate through the published positions.
+            ExperimentConfig he_cfg;
+            he_cfg.beam_time_s = config_.beam_time_per_run_s;
+            he_cfg.derating =
+                config_.chipir_deratings[slot % config_.chipir_deratings.size()];
+            ++slot;
+            const CodeWeights weights = code_model.weights(entry.name);
+            const BeamExperiment he_exp(chipir, device, entry.name, weights);
+            const ExperimentResult he = he_exp.run(he_cfg, rng);
+
+            // ROTAX: one board at a time, on axis.
+            ExperimentConfig th_cfg;
+            th_cfg.beam_time_s = config_.beam_time_per_run_s;
+            th_cfg.derating = 1.0;
+            const BeamExperiment th_exp(rotax, device, entry.name, weights);
+            const ExperimentResult th = th_exp.run(th_cfg, rng);
+
+            result.measurements.push_back(he.sdc);
+            result.measurements.push_back(he.due);
+            result.measurements.push_back(th.sdc);
+            result.measurements.push_back(th.due);
+
+            sdc_row.errors_he += he.sdc.errors;
+            sdc_row.fluence_he += he.sdc.fluence;
+            sdc_row.errors_th += th.sdc.errors;
+            sdc_row.fluence_th += th.sdc.fluence;
+            due_row.errors_he += he.due.errors;
+            due_row.fluence_he += he.due.fluence;
+            due_row.errors_th += th.due.errors;
+            due_row.fluence_th += th.due.fluence;
+        }
+        result.ratio_rows.push_back(sdc_row);
+        result.ratio_rows.push_back(due_row);
+    }
+    return result;
+}
+
+}  // namespace tnr::beam

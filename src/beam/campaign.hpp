@@ -1,0 +1,81 @@
+#pragma once
+// A full ChipIR + ROTAX campaign over the paper's roster: same devices, same
+// codes, same inputs at both facilities (§III.C), then the HE/thermal
+// cross-section ratio analysis of Fig. 5.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "beam/experiment.hpp"
+#include "devices/catalog.hpp"
+#include "faultinject/avf.hpp"
+#include "workloads/suite.hpp"
+
+namespace tnr::beam {
+
+/// The per-device Fig.-5 row: pooled (over workloads) cross sections at each
+/// facility and their ratio.
+struct DeviceRatioRow {
+    std::string device;
+    devices::ErrorType type = devices::ErrorType::kSdc;
+    std::uint64_t errors_he = 0;
+    double fluence_he = 0.0;
+    std::uint64_t errors_th = 0;
+    double fluence_th = 0.0;
+
+    [[nodiscard]] double sigma_he() const {
+        return fluence_he > 0.0 ? static_cast<double>(errors_he) / fluence_he
+                                : 0.0;
+    }
+    [[nodiscard]] double sigma_th() const {
+        return fluence_th > 0.0 ? static_cast<double>(errors_th) / fluence_th
+                                : 0.0;
+    }
+    /// HE / thermal ratio with conservative CI; nullopt when no thermal
+    /// errors were observed (the FPGA DUE case).
+    [[nodiscard]] std::optional<stats::RateRatio> ratio() const;
+};
+
+struct CampaignConfig {
+    double beam_time_per_run_s = 3600.0;
+    std::uint64_t seed = 2020;
+    /// Derating applied to boards 2..N at ChipIR (board 1 on axis). ROTAX
+    /// always tests one board at a time (the DUT blocks the thermal beam).
+    std::vector<double> chipir_deratings = {1.0, 0.82, 0.67};
+    /// AVF trials per workload for the vulnerability table (0 = uniform
+    /// weights, much faster).
+    std::size_t avf_trials = 0;
+};
+
+struct CampaignResult {
+    std::vector<CrossSectionMeasurement> measurements;
+    std::vector<DeviceRatioRow> ratio_rows;
+
+    /// All measurements for one device/beamline/type.
+    [[nodiscard]] std::vector<CrossSectionMeasurement> for_device(
+        const std::string& device, const std::string& beamline,
+        devices::ErrorType type) const;
+
+    /// The Fig.-5 row for a device and error type; throws if absent.
+    [[nodiscard]] const DeviceRatioRow& row(const std::string& device,
+                                            devices::ErrorType type) const;
+};
+
+/// Runs the full campaign: every device of the catalog, on its assigned
+/// workload suite, at ChipIR and ROTAX.
+class Campaign {
+public:
+    explicit Campaign(CampaignConfig config = {});
+
+    [[nodiscard]] CampaignResult run() const;
+
+    /// Campaign over a custom device list (e.g. ablated devices).
+    [[nodiscard]] CampaignResult run(const std::vector<devices::Device>& devices) const;
+
+private:
+    CampaignConfig config_;
+};
+
+}  // namespace tnr::beam

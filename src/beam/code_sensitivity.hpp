@@ -1,0 +1,64 @@
+#pragma once
+// Per-code sensitivity model: how a device's base cross sections modulate
+// with the executed workload, separately for the high-energy and thermal
+// channels. This encodes the companion study's per-code observations:
+//
+//   * HE cross sections vary strongly (>2x) across codes, driven by each
+//     code's architectural vulnerability (SWIFI AVF);
+//   * on the Xeon Phi the *thermal* SDC cross section is nearly flat across
+//     codes (<20% variation) — its 10B is not in the structures causing the
+//     HE spread — modelled by the spec's thermal_sdc_code_damping;
+//   * DUE trends are similar for both channels;
+//   * the FPGA's per-code scaling is *area*-driven, not AVF-driven: the
+//     double-precision MNIST build uses ~2x the resources and showed ~4x
+//     the thermal cross section.
+
+#include <map>
+#include <string>
+
+#include "devices/catalog.hpp"
+#include "faultinject/avf.hpp"
+#include "workloads/suite.hpp"
+
+namespace tnr::beam {
+
+/// Multiplier on the device's base cross section, per channel x error type.
+struct CodeWeights {
+    double he_sdc = 1.0;
+    double he_due = 1.0;
+    double th_sdc = 1.0;
+    double th_due = 1.0;
+};
+
+/// FPGA per-build resource scaling (HE sigma tracks area; thermal sigma was
+/// observed to grow faster on the double build).
+struct FpgaBuildScale {
+    double area = 1.0;      ///< relative resource usage -> HE scale.
+    double thermal = 1.0;   ///< observed thermal scale.
+};
+
+/// Per-device map from workload name to CodeWeights.
+class CodeSensitivityModel {
+public:
+    /// Builds the model for a device from its suite's SWIFI vulnerability
+    /// table. `spec` may be null (unknown device): AVF weights are then
+    /// applied undamped to both channels.
+    static CodeSensitivityModel build(
+        const devices::DeviceSpec* spec,
+        const std::vector<workloads::SuiteEntry>& suite,
+        const faultinject::VulnerabilityTable& vulnerability);
+
+    /// Neutral model (all weights 1).
+    static CodeSensitivityModel uniform(
+        const std::vector<workloads::SuiteEntry>& suite);
+
+    [[nodiscard]] const CodeWeights& weights(const std::string& workload) const;
+
+    /// The FPGA build table (exposed for tests and reports).
+    static const std::map<std::string, FpgaBuildScale>& fpga_builds();
+
+private:
+    std::map<std::string, CodeWeights> weights_;
+};
+
+}  // namespace tnr::beam

@@ -1,0 +1,49 @@
+#include "beam/dut_attenuation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/units.hpp"
+
+namespace tnr::beam {
+
+double dut_transmission_at(const DutStack& stack, double energy_ev) {
+    if (stack.shroud_plastic_cm < 0.0 || stack.heatsink_al_cm < 0.0 ||
+        stack.board_fr4_cm <= 0.0 || stack.silicon_cm <= 0.0) {
+        throw std::invalid_argument("dut_transmission_at: bad stack");
+    }
+    const struct {
+        physics::Material material;
+        double thickness_cm;
+    } layers[] = {
+        {physics::Material::polyethylene(), stack.shroud_plastic_cm},
+        {physics::Material::aluminum(), stack.heatsink_al_cm},
+        {physics::Material::fr4(), stack.board_fr4_cm},
+        {physics::Material::silicon(), stack.silicon_cm},
+    };
+    double optical_depth = 0.0;
+    for (const auto& layer : layers) {
+        optical_depth += layer.material.sigma_total(energy_ev) *
+                         layer.thickness_cm;
+    }
+    return std::exp(-optical_depth);
+}
+
+DutTransmission dut_transmission(const DutStack& stack) {
+    DutTransmission t;
+    t.thermal = dut_transmission_at(stack, physics::kThermalReferenceEv);
+    t.high_energy = dut_transmission_at(stack, 10.0 * physics::kMeV);
+    return t;
+}
+
+double stacked_board_fluence_fraction(std::size_t boards_in_front,
+                                      double per_board_transmission) {
+    if (per_board_transmission < 0.0 || per_board_transmission > 1.0) {
+        throw std::invalid_argument(
+            "stacked_board_fluence_fraction: bad transmission");
+    }
+    return std::pow(per_board_transmission,
+                    static_cast<double>(boards_in_front));
+}
+
+}  // namespace tnr::beam

@@ -1,0 +1,41 @@
+#pragma once
+// Device-under-test beam attenuation. The paper (§III.C): "In ROTAX, as the
+// irradiated device blocks most of the incoming neutrons, we must test one
+// device at a time" — whereas at ChipIR several boards share the beam with
+// a distance derating. This model quantifies that with narrow-beam
+// (good-geometry) transmission through a full accelerator-card assembly:
+// plastic shroud/fan, aluminum heatsink, FR4 board, silicon die. Any
+// interaction removes a neutron from the pencil beam that the *next* board
+// would see, so the relevant quantity is exp(-sum_i Sigma_i t_i).
+
+#include <cstddef>
+
+#include "physics/materials.hpp"
+
+namespace tnr::beam {
+
+/// A full accelerator-card assembly in the beam path.
+struct DutStack {
+    double shroud_plastic_cm = 1.0;  ///< fan + shroud plastics (CH-rich).
+    double heatsink_al_cm = 3.0;     ///< aluminum fin stack along the beam.
+    double board_fr4_cm = 0.16;      ///< standard 1.6 mm PCB.
+    double silicon_cm = 0.08;        ///< die + package silicon budget.
+};
+
+struct DutTransmission {
+    double thermal = 1.0;       ///< narrow-beam fraction at 25.3 meV.
+    double high_energy = 1.0;   ///< narrow-beam fraction at 10 MeV.
+};
+
+/// Narrow-beam transmission of the stack at the two reference energies.
+DutTransmission dut_transmission(const DutStack& stack);
+
+/// Narrow-beam transmission of the stack at an arbitrary energy.
+double dut_transmission_at(const DutStack& stack, double energy_ev);
+
+/// The fluence fraction a board stacked behind `boards_in_front` identical
+/// DUTs receives (per-board transmission to the power of the count).
+double stacked_board_fluence_fraction(std::size_t boards_in_front,
+                                      double per_board_transmission);
+
+}  // namespace tnr::beam

@@ -1,0 +1,83 @@
+#include "beam/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tnr::beam {
+
+BeamExperiment::BeamExperiment(Beamline beamline, devices::Device device,
+                               std::string workload_name, CodeWeights weights)
+    : beamline_(std::move(beamline)),
+      device_(std::move(device)),
+      workload_(std::move(workload_name)),
+      weights_(weights) {}
+
+BeamExperiment::BeamExperiment(
+    Beamline beamline, devices::Device device, std::string workload_name,
+    const faultinject::VulnerabilityTable& vulnerability)
+    : beamline_(std::move(beamline)),
+      device_(std::move(device)),
+      workload_(std::move(workload_name)) {
+    const double sdc = vulnerability.sdc_weight(workload_);
+    const double due = vulnerability.due_weight(workload_);
+    weights_ = CodeWeights{sdc, due, sdc, due};
+}
+
+double BeamExperiment::true_error_rate(devices::ErrorType type) const {
+    const double he_weight =
+        (type == devices::ErrorType::kSdc) ? weights_.he_sdc : weights_.he_due;
+    const double th_weight =
+        (type == devices::ErrorType::kSdc) ? weights_.th_sdc : weights_.th_due;
+    const double he_rate =
+        device_.high_energy_response(type).event_rate(beamline_.spectrum());
+    const double th_rate =
+        device_.thermal_response(type).event_rate(beamline_.spectrum());
+    return he_rate * he_weight + th_rate * th_weight;
+}
+
+ExperimentResult BeamExperiment::run(const ExperimentConfig& config,
+                                     stats::Rng& rng) const {
+    if (config.beam_time_s <= 0.0 || config.derating <= 0.0 ||
+        config.derating > 1.0) {
+        throw std::invalid_argument("BeamExperiment: bad config");
+    }
+    ExperimentResult result;
+    const double fluence =
+        beamline_.reference_flux() * config.derating * config.beam_time_s;
+
+    const auto measure = [&](devices::ErrorType type) {
+        CrossSectionMeasurement m;
+        m.device = device_.name();
+        m.workload = workload_;
+        m.beamline = beamline_.name();
+        m.type = type;
+        m.fluence = fluence;
+        const double mean =
+            true_error_rate(type) * config.derating * config.beam_time_s;
+        m.errors = rng.poisson(mean);
+        return m;
+    };
+
+    result.sdc = measure(devices::ErrorType::kSdc);
+    result.due = measure(devices::ErrorType::kDue);
+    return result;
+}
+
+BeamExperiment::LoggedResult BeamExperiment::run_logged(
+    const ExperimentConfig& config, stats::Rng& rng) const {
+    LoggedResult logged;
+    logged.summary = run(config, rng);
+    // Conditioned on the count, homogeneous-Poisson event times are i.i.d.
+    // uniform over the run; sorting gives the order statistics.
+    const auto stamp = [&](std::uint64_t count) {
+        std::vector<double> times(count);
+        for (auto& t : times) t = rng.uniform(0.0, config.beam_time_s);
+        std::sort(times.begin(), times.end());
+        return times;
+    };
+    logged.sdc_times_s = stamp(logged.summary.sdc.errors);
+    logged.due_times_s = stamp(logged.summary.due.errors);
+    return logged;
+}
+
+}  // namespace tnr::beam

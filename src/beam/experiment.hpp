@@ -1,0 +1,92 @@
+#pragma once
+// One irradiation run: a device aligned with a beam while executing a
+// workload, errors counted, cross section = errors / fluence with exact
+// Poisson confidence intervals (the paper's methodology, §III.C).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "beam/beamline.hpp"
+#include "beam/code_sensitivity.hpp"
+#include "devices/device.hpp"
+#include "faultinject/avf.hpp"
+#include "stats/poisson.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::beam {
+
+/// A measured cross section with its counting statistics.
+struct CrossSectionMeasurement {
+    std::string device;
+    std::string workload;
+    std::string beamline;
+    devices::ErrorType type = devices::ErrorType::kSdc;
+    std::uint64_t errors = 0;
+    double fluence = 0.0;  ///< in the beamline's reference convention [n/cm^2].
+
+    [[nodiscard]] double cross_section() const {
+        return fluence > 0.0 ? static_cast<double>(errors) / fluence : 0.0;
+    }
+    [[nodiscard]] stats::Interval confidence_interval(
+        double confidence = 0.95) const {
+        return stats::poisson_rate_interval(errors, fluence, confidence);
+    }
+};
+
+/// Result of one beam run (both error types).
+struct ExperimentResult {
+    CrossSectionMeasurement sdc;
+    CrossSectionMeasurement due;
+};
+
+/// Configuration of a single run.
+struct ExperimentConfig {
+    double beam_time_s = 3600.0;
+    /// Off-axis derating: boards behind/beside the first see a reduced flux
+    /// (ChipIR multi-board setups, Fig. 3). 1.0 = on axis.
+    double derating = 1.0;
+};
+
+/// Simulates the irradiation of a device running a workload.
+class BeamExperiment {
+public:
+    /// weights modulate the device's base sensitivity per channel (see
+    /// CodeSensitivityModel).
+    BeamExperiment(Beamline beamline, devices::Device device,
+                   std::string workload_name, CodeWeights weights);
+
+    /// Convenience: equal HE/thermal weights taken from a SWIFI
+    /// vulnerability table.
+    BeamExperiment(Beamline beamline, devices::Device device,
+                   std::string workload_name,
+                   const faultinject::VulnerabilityTable& vulnerability);
+
+    /// Runs for config.beam_time_s of beam, sampling Poisson error counts.
+    [[nodiscard]] ExperimentResult run(const ExperimentConfig& config,
+                                       stats::Rng& rng) const;
+
+    /// Like run(), but also produces the error timestamps (sorted, in
+    /// seconds of beam time) — what the real test logger writes. Times are
+    /// the order statistics of a homogeneous Poisson process.
+    struct LoggedResult {
+        ExperimentResult summary;
+        std::vector<double> sdc_times_s;
+        std::vector<double> due_times_s;
+    };
+    [[nodiscard]] LoggedResult run_logged(const ExperimentConfig& config,
+                                          stats::Rng& rng) const;
+
+    /// True error rate per second of the modelled device+workload (both
+    /// channels folded over the beam spectrum) — the quantity the Poisson
+    /// sampler draws from; exposed for statistical validation.
+    [[nodiscard]] double true_error_rate(devices::ErrorType type) const;
+
+private:
+    Beamline beamline_;
+    devices::Device device_;
+    std::string workload_;
+    CodeWeights weights_;
+};
+
+}  // namespace tnr::beam

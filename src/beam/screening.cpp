@@ -1,0 +1,48 @@
+#include "beam/screening.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tnr::beam {
+
+const char* to_string(ScreeningVerdict v) {
+    switch (v) {
+        case ScreeningVerdict::kAccept:
+            return "ACCEPT";
+        case ScreeningVerdict::kReject:
+            return "REJECT";
+        case ScreeningVerdict::kInconclusive:
+            return "INCONCLUSIVE";
+    }
+    return "unknown";
+}
+
+double zero_failure_test_time_s(double sigma_max_cm2, double flux_n_cm2_s,
+                                double confidence) {
+    if (sigma_max_cm2 <= 0.0 || flux_n_cm2_s <= 0.0 || confidence <= 0.0 ||
+        confidence >= 1.0) {
+        throw std::invalid_argument("zero_failure_test_time_s: bad arguments");
+    }
+    return -std::log(1.0 - confidence) / (sigma_max_cm2 * flux_n_cm2_s);
+}
+
+ScreeningResult screen_part(std::uint64_t errors, double fluence_n_cm2,
+                            double sigma_max_cm2, double confidence) {
+    if (fluence_n_cm2 <= 0.0 || sigma_max_cm2 <= 0.0) {
+        throw std::invalid_argument("screen_part: bad arguments");
+    }
+    ScreeningResult out;
+    out.sigma_estimate = static_cast<double>(errors) / fluence_n_cm2;
+    out.sigma_ci = stats::poisson_rate_interval(errors, fluence_n_cm2,
+                                                confidence);
+    if (out.sigma_ci.upper < sigma_max_cm2) {
+        out.verdict = ScreeningVerdict::kAccept;
+    } else if (out.sigma_ci.lower > sigma_max_cm2) {
+        out.verdict = ScreeningVerdict::kReject;
+    } else {
+        out.verdict = ScreeningVerdict::kInconclusive;
+    }
+    return out;
+}
+
+}  // namespace tnr::beam

@@ -1,0 +1,36 @@
+#pragma once
+// Acceptance screening: the practical question a COTS integrator faces
+// after reading the paper — "is this part boron-heavy?" — answered with
+// minimal beam time. Classic zero-failure / few-failure test planning
+// (JESD89-style): the beam time needed to demonstrate sigma below a limit
+// at a given confidence, and the accept/reject decision on an observed run.
+
+#include <cstdint>
+
+#include "stats/poisson.hpp"
+
+namespace tnr::beam {
+
+/// Beam time [s] needed so that observing ZERO errors demonstrates
+/// sigma < sigma_max at the given confidence:
+///   T = -ln(1 - confidence) / (sigma_max * flux).
+double zero_failure_test_time_s(double sigma_max_cm2, double flux_n_cm2_s,
+                                double confidence = 0.95);
+
+/// Accept/reject on an observed run: the part is ACCEPTED when the upper
+/// end of the exact Poisson CI on sigma lies below sigma_max, REJECTED when
+/// the lower end lies above it, INCONCLUSIVE otherwise (needs more fluence).
+enum class ScreeningVerdict { kAccept, kReject, kInconclusive };
+
+const char* to_string(ScreeningVerdict v);
+
+struct ScreeningResult {
+    ScreeningVerdict verdict = ScreeningVerdict::kInconclusive;
+    double sigma_estimate = 0.0;
+    stats::Interval sigma_ci;
+};
+
+ScreeningResult screen_part(std::uint64_t errors, double fluence_n_cm2,
+                            double sigma_max_cm2, double confidence = 0.95);
+
+}  // namespace tnr::beam

@@ -1,0 +1,261 @@
+#include "cli/cli.hpp"
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "beam/campaign.hpp"
+#include "core/checkpoint.hpp"
+#include "core/fit.hpp"
+#include "core/report.hpp"
+#include "core/markdown_report.hpp"
+#include "core/study.hpp"
+#include "detector/analysis.hpp"
+#include "detector/tin2.hpp"
+#include "devices/catalog.hpp"
+#include "environment/site.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::cli {
+
+namespace {
+
+/// Parsed flag set: --key value and boolean --key.
+class Flags {
+public:
+    Flags(const std::vector<std::string>& args, std::size_t first) {
+        for (std::size_t i = first; i < args.size(); ++i) {
+            const std::string& a = args[i];
+            if (a.rfind("--", 0) != 0) {
+                throw std::invalid_argument("unexpected argument: " + a);
+            }
+            const std::string key = a.substr(2);
+            if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+                values_[key] = args[++i];
+            } else {
+                values_[key] = "";
+            }
+        }
+    }
+
+    [[nodiscard]] bool has(const std::string& key) const {
+        return values_.contains(key);
+    }
+    [[nodiscard]] std::string get(const std::string& key,
+                                  const std::string& fallback) const {
+        const auto it = values_.find(key);
+        return it != values_.end() ? it->second : fallback;
+    }
+    [[nodiscard]] double get_double(const std::string& key,
+                                    double fallback) const {
+        const auto it = values_.find(key);
+        if (it == values_.end()) return fallback;
+        return std::stod(it->second);
+    }
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+environment::Site site_by_name(const std::string& name, bool rainy) {
+    environment::Site site = [&] {
+        if (name == "nyc") return environment::nyc_datacenter();
+        if (name == "leadville") return environment::leadville_datacenter();
+        throw std::invalid_argument("unknown site: " + name +
+                                    " (use nyc|leadville)");
+    }();
+    if (rainy) site.environment.weather = environment::Weather::kRainy;
+    return site;
+}
+
+void print_table(const core::TablePrinter& table, bool csv, std::ostream& out) {
+    if (csv) {
+        table.print_csv(out);
+    } else {
+        table.print(out);
+    }
+}
+
+int cmd_list_devices(std::ostream& out) {
+    core::TablePrinter table({"device", "node", "transistor", "foundry",
+                              "SDC ratio", "DUE ratio"});
+    for (const auto& spec : devices::standard_specs()) {
+        table.add_row({spec.name, spec.tech.node,
+                       devices::to_string(spec.tech.transistor),
+                       spec.tech.foundry,
+                       spec.ratio_sdc ? core::format_fixed(*spec.ratio_sdc, 2)
+                                      : "-",
+                       spec.ratio_due ? core::format_fixed(*spec.ratio_due, 2)
+                                      : "-"});
+    }
+    table.print(out);
+    return 0;
+}
+
+int cmd_fit(const Flags& flags, std::ostream& out) {
+    const std::string device_name = flags.get("device", "NVIDIA K20");
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name(device_name));
+    const auto site =
+        site_by_name(flags.get("site", "nyc"), flags.has("rainy"));
+
+    core::TablePrinter table({"device", "site", "type", "FIT HE",
+                              "FIT thermal", "total", "thermal share"});
+    for (const auto type :
+         {devices::ErrorType::kSdc, devices::ErrorType::kDue}) {
+        const auto fit = core::device_fit(device, type, site);
+        table.add_row({device.name(), site.system_name,
+                       devices::to_string(type),
+                       core::format_fixed(fit.high_energy, 2),
+                       core::format_fixed(fit.thermal, 2),
+                       core::format_fixed(fit.total(), 2),
+                       core::format_percent(fit.thermal_share())});
+    }
+    print_table(table, flags.has("csv"), out);
+    return 0;
+}
+
+int cmd_campaign(const Flags& flags, std::ostream& out) {
+    beam::CampaignConfig cfg;
+    cfg.beam_time_per_run_s = flags.get_double("hours", 24.0) * 3600.0;
+    cfg.seed = static_cast<std::uint64_t>(flags.get_double("seed", 2020.0));
+    const auto result = beam::Campaign(cfg).run();
+
+    core::TablePrinter table({"device", "type", "sigma_HE", "sigma_thermal",
+                              "ratio"});
+    for (const auto& row : result.ratio_rows) {
+        const auto ratio = row.ratio();
+        table.add_row({row.device, devices::to_string(row.type),
+                       core::format_scientific(row.sigma_he()),
+                       core::format_scientific(row.sigma_th()),
+                       ratio ? core::format_fixed(ratio->ratio, 2)
+                             : "no thermal errors"});
+    }
+    print_table(table, flags.has("csv"), out);
+    return 0;
+}
+
+int cmd_detector(const Flags& flags, std::ostream& out) {
+    const double baseline_days = flags.get_double("days", 4.0);
+    const double water_days = flags.get_double("water-days", 3.0);
+    const auto seed = static_cast<std::uint64_t>(flags.get_double("seed", 420.0));
+
+    const detector::Tin2Detector tin2;
+    stats::Rng rng(seed);
+    const auto rec =
+        tin2.record(detector::fig6_schedule(baseline_days, water_days), rng);
+    const auto analysis = detector::analyze_step(rec);
+
+    core::TablePrinter table({"quantity", "value"});
+    table.add_row({"bins", std::to_string(rec.bare.size())});
+    if (analysis) {
+        table.add_row({"change bin", std::to_string(analysis->change_bin)});
+        table.add_row({"relative step",
+                       core::format_percent(analysis->relative_step)});
+        table.add_row(
+            {"step 95% CI",
+             "[" + core::format_percent(analysis->step_ci.lower) + ", " +
+                 core::format_percent(analysis->step_ci.upper) + "]"});
+    } else {
+        table.add_row({"step", "none detected"});
+    }
+    print_table(table, flags.has("csv"), out);
+    return 0;
+}
+
+int cmd_checkpoint(const Flags& flags, std::ostream& out) {
+    const auto nodes =
+        static_cast<std::size_t>(flags.get_double("nodes", 4608.0));
+    const std::string device_name = flags.get("device", "NVIDIA K20");
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name(device_name));
+    const auto site =
+        site_by_name(flags.get("site", "leadville"), flags.has("rainy"));
+    const auto fit = core::device_fit(device, devices::ErrorType::kDue, site);
+    const auto plan = core::plan_for_fit(fit, nodes);
+
+    core::TablePrinter table({"quantity", "value"});
+    table.add_row({"node DUE FIT", core::format_fixed(fit.total(), 1)});
+    table.add_row({"system MTBF [h]",
+                   core::format_fixed(plan.mtbf_s / 3600.0, 2)});
+    table.add_row({"optimal interval [min]",
+                   core::format_fixed(plan.optimal_interval_s / 60.0, 1)});
+    table.add_row({"waste", core::format_percent(plan.waste_fraction)});
+    print_table(table, flags.has("csv"), out);
+    return 0;
+}
+
+int cmd_report(const Flags& flags, std::ostream& out) {
+    beam::CampaignConfig cfg;
+    cfg.beam_time_per_run_s = flags.get_double("hours", 24.0) * 3600.0;
+    cfg.seed = static_cast<std::uint64_t>(flags.get_double("seed", 2020.0));
+    core::ReliabilityStudy study(cfg);
+    core::ReportOptions options;
+    options.include_per_code = flags.has("per-code");
+    core::write_markdown_report(study, options, out);
+    return 0;
+}
+
+int cmd_top10(const Flags& flags, std::ostream& out) {
+    core::TablePrinter table(
+        {"system", "DRAM [Gbit]", "Phi_th [n/cm^2/h]", "thermal FIT"});
+    for (const auto& row :
+         core::fleet_dram_fit(environment::top10_supercomputers())) {
+        table.add_row({row.system, core::format_scientific(row.capacity_gbit, 1),
+                       core::format_fixed(row.thermal_flux, 1),
+                       core::format_fixed(row.fit, 0)});
+    }
+    print_table(table, flags.has("csv"), out);
+    return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+    std::ostringstream oss;
+    oss << "tnr — thermal neutron reliability toolkit\n"
+           "\n"
+           "usage: tnr <command> [flags]\n"
+           "\n"
+           "commands:\n"
+           "  list-devices                         the calibrated roster\n"
+           "  fit --device NAME --site nyc|leadville [--rainy] [--csv]\n"
+           "  campaign [--hours H] [--seed S] [--csv]\n"
+           "  detector [--days D] [--water-days D] [--seed S] [--csv]\n"
+           "  checkpoint [--nodes N] [--device NAME] [--site S] [--rainy]\n"
+           "  top10 [--csv]                        supercomputer DDR FIT\n"
+           "  report [--hours H] [--seed S] [--per-code]   markdown study report\n";
+    return oss.str();
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+    if (args.empty() || args[0] == "-h" || args[0] == "--help" ||
+        args[0] == "help") {
+        out << usage();
+        return args.empty() ? 1 : 0;
+    }
+    try {
+        const Flags flags(args, 1);
+        const std::string& cmd = args[0];
+        if (cmd == "list-devices") return cmd_list_devices(out);
+        if (cmd == "fit") return cmd_fit(flags, out);
+        if (cmd == "campaign") return cmd_campaign(flags, out);
+        if (cmd == "detector") return cmd_detector(flags, out);
+        if (cmd == "checkpoint") return cmd_checkpoint(flags, out);
+        if (cmd == "report") return cmd_report(flags, out);
+        if (cmd == "top10") return cmd_top10(flags, out);
+        err << "unknown command: " << cmd << "\n\n" << usage();
+        return 1;
+    } catch (const std::invalid_argument& e) {
+        err << "error: " << e.what() << "\n\n" << usage();
+        return 1;
+    } catch (const std::exception& e) {
+        err << "error: " << e.what() << '\n';
+        return 2;
+    }
+}
+
+}  // namespace tnr::cli

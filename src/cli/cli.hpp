@@ -1,0 +1,28 @@
+#pragma once
+// The `tnr` command-line tool, as a testable library: each subcommand is a
+// pure function of its arguments writing to a stream.
+//
+//   tnr list-devices
+//   tnr fit --device "NVIDIA K20" --site leadville [--rainy] [--csv]
+//   tnr campaign [--hours H] [--seed S] [--csv]
+//   tnr detector [--days D] [--water-days D] [--seed S]
+//   tnr checkpoint --nodes N --device NAME [--rainy]
+//   tnr top10
+//
+// Exit codes: 0 success, 1 usage error, 2 execution error.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tnr::cli {
+
+/// Runs the CLI on pre-split arguments (excluding argv[0]).
+/// Output goes to `out`, diagnostics to `err`.
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+/// The usage text (shown for -h/--help and usage errors).
+std::string usage();
+
+}  // namespace tnr::cli

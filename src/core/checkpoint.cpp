@@ -1,0 +1,46 @@
+#include "core/checkpoint.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tnr::core {
+
+double daly_optimal_interval(double mtbf_s, double checkpoint_cost_s) {
+    if (mtbf_s <= 0.0 || checkpoint_cost_s <= 0.0) {
+        throw std::invalid_argument("daly_optimal_interval: bad arguments");
+    }
+    return std::sqrt(2.0 * checkpoint_cost_s * mtbf_s);
+}
+
+double waste_fraction(double interval_s, double mtbf_s,
+                      const CheckpointParameters& params) {
+    if (interval_s <= 0.0 || mtbf_s <= 0.0) {
+        throw std::invalid_argument("waste_fraction: bad arguments");
+    }
+    return params.checkpoint_cost_s / interval_s +
+           interval_s / (2.0 * mtbf_s) + params.restart_cost_s / mtbf_s;
+}
+
+CheckpointPlan plan_for_fit(double node_due_fit, std::size_t nodes,
+                            const CheckpointParameters& params) {
+    if (node_due_fit <= 0.0 || nodes == 0) {
+        throw std::invalid_argument("plan_for_fit: bad arguments");
+    }
+    CheckpointPlan plan;
+    // FIT = failures per 1e9 device-hours; the machine fails when any node
+    // does (failures combine linearly for the rare-event regime).
+    const double system_fit = node_due_fit * static_cast<double>(nodes);
+    plan.mtbf_s = 1.0e9 / system_fit * 3600.0;
+    plan.optimal_interval_s =
+        daly_optimal_interval(plan.mtbf_s, params.checkpoint_cost_s);
+    plan.waste_fraction =
+        waste_fraction(plan.optimal_interval_s, plan.mtbf_s, params);
+    return plan;
+}
+
+CheckpointPlan plan_for_fit(const FitRate& node_due_fit, std::size_t nodes,
+                            const CheckpointParameters& params) {
+    return plan_for_fit(node_due_fit.total(), nodes, params);
+}
+
+}  // namespace tnr::core

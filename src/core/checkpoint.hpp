@@ -1,0 +1,52 @@
+#pragma once
+// Checkpoint/restart economics: turn a system's DUE rate into an optimal
+// checkpoint interval and a lost-time fraction. This closes the loop the
+// paper's introduction opens — "when supercomputer time is allocated, the
+// checkpoint frequency may need to consider weather conditions": a rainy
+// day doubles the thermal flux, raises the DUE rate, shortens the optimal
+// interval and grows the waste.
+//
+// Uses the first-order Young/Daly model:
+//   tau_opt  = sqrt(2 * C * MTBF)                 (C = checkpoint cost)
+//   waste(t) = C/t + t/(2*MTBF) + R/MTBF          (R = restart cost)
+// valid for C << MTBF, which holds for every scenario here.
+
+#include <cstddef>
+
+#include "core/fit.hpp"
+
+namespace tnr::core {
+
+/// System-level interruption model.
+struct CheckpointParameters {
+    double checkpoint_cost_s = 300.0;  ///< time to write one checkpoint.
+    double restart_cost_s = 600.0;     ///< reload + recompute-to-restore.
+};
+
+struct CheckpointPlan {
+    double mtbf_s = 0.0;            ///< system mean time between DUEs.
+    double optimal_interval_s = 0.0;
+    double waste_fraction = 0.0;    ///< lost fraction of machine time at tau_opt.
+
+    [[nodiscard]] double efficiency() const noexcept {
+        return 1.0 - waste_fraction;
+    }
+};
+
+/// Young/Daly optimal checkpoint interval [s].
+double daly_optimal_interval(double mtbf_s, double checkpoint_cost_s);
+
+/// First-order waste fraction for a given interval.
+double waste_fraction(double interval_s, double mtbf_s,
+                      const CheckpointParameters& params);
+
+/// Plan for a whole machine: `node_due_fit` failures per 1e9 node-hours,
+/// `nodes` nodes, failures combine linearly.
+CheckpointPlan plan_for_fit(double node_due_fit, std::size_t nodes,
+                            const CheckpointParameters& params = {});
+
+/// Convenience: plan from a device FIT decomposition (uses fit.total()).
+CheckpointPlan plan_for_fit(const FitRate& node_due_fit, std::size_t nodes,
+                            const CheckpointParameters& params = {});
+
+}  // namespace tnr::core

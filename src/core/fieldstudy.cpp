@@ -1,0 +1,126 @@
+#include "core/fieldstudy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tnr::core {
+
+namespace {
+constexpr double kDaySeconds = 86400.0;
+}
+
+std::size_t FleetLog::count(devices::ErrorType type) const {
+    return static_cast<std::size_t>(
+        std::count_if(events.begin(), events.end(),
+                      [type](const LogEvent& e) { return e.type == type; }));
+}
+
+FleetLog simulate_fleet_log(const devices::Device& device,
+                            const environment::Site& site,
+                            const FleetLogConfig& config, std::uint64_t seed) {
+    if (config.nodes == 0 || config.days <= 0.0 ||
+        config.rain_probability < 0.0 || config.rain_probability > 1.0) {
+        throw std::invalid_argument("simulate_fleet_log: bad config");
+    }
+    stats::Rng rng(seed);
+
+    // Per-node daily event rates in each weather state.
+    environment::Site sunny = site;
+    sunny.environment.weather = environment::Weather::kSunny;
+    environment::Site rainy = site;
+    rainy.environment.weather = environment::Weather::kRainy;
+
+    const auto daily_mean = [&](const environment::Site& s,
+                                devices::ErrorType type) {
+        const FitRate fit = device_fit(device, type, s);
+        // FIT = events / 1e9 device-hours -> events/device/day.
+        return fit.total() / 1.0e9 * 24.0;
+    };
+    const double sdc_sunny = daily_mean(sunny, devices::ErrorType::kSdc);
+    const double sdc_rainy = daily_mean(rainy, devices::ErrorType::kSdc);
+    const double due_sunny = daily_mean(sunny, devices::ErrorType::kDue);
+    const double due_rainy = daily_mean(rainy, devices::ErrorType::kDue);
+
+    FleetLog log;
+    log.nodes = config.nodes;
+    log.days = config.days;
+    const auto whole_days = static_cast<std::size_t>(config.days);
+    log.rainy_day.reserve(whole_days);
+
+    for (std::size_t day = 0; day < whole_days; ++day) {
+        const bool rainy_today = rng.bernoulli(config.rain_probability);
+        log.rainy_day.push_back(rainy_today);
+        const double sdc_mean =
+            (rainy_today ? sdc_rainy : sdc_sunny) * static_cast<double>(config.nodes);
+        const double due_mean =
+            (rainy_today ? due_rainy : due_sunny) * static_cast<double>(config.nodes);
+
+        const auto emit = [&](devices::ErrorType type, double mean) {
+            const std::uint64_t n = rng.poisson(mean);
+            for (std::uint64_t k = 0; k < n; ++k) {
+                LogEvent e;
+                e.time_s = (static_cast<double>(day) + rng.uniform()) * kDaySeconds;
+                e.node = static_cast<std::uint32_t>(
+                    rng.uniform_index(config.nodes));
+                e.type = type;
+                log.events.push_back(e);
+            }
+        };
+        emit(devices::ErrorType::kSdc, sdc_mean);
+        emit(devices::ErrorType::kDue, due_mean);
+    }
+    std::sort(log.events.begin(), log.events.end(),
+              [](const LogEvent& a, const LogEvent& b) {
+                  return a.time_s < b.time_s;
+              });
+    return log;
+}
+
+FieldAnalysis analyze_fleet_log(const FleetLog& log) {
+    if (log.nodes == 0 || log.rainy_day.empty()) {
+        throw std::invalid_argument("analyze_fleet_log: empty log");
+    }
+    FieldAnalysis out;
+    out.rainy_days = static_cast<std::size_t>(
+        std::count(log.rainy_day.begin(), log.rainy_day.end(), true));
+    out.sunny_days = log.rainy_day.size() - out.rainy_days;
+
+    std::uint64_t rainy_events = 0;
+    std::uint64_t sunny_events = 0;
+    for (const auto& e : log.events) {
+        const auto day = static_cast<std::size_t>(e.time_s / kDaySeconds);
+        if (day < log.rainy_day.size() && log.rainy_day[day]) {
+            ++rainy_events;
+        } else {
+            ++sunny_events;
+        }
+    }
+
+    const double node_days =
+        static_cast<double>(log.nodes) * static_cast<double>(log.rainy_day.size());
+    const double node_hours = node_days * 24.0;
+    out.node_fit_sdc = static_cast<double>(log.count(devices::ErrorType::kSdc)) /
+                       node_hours * 1.0e9;
+    out.node_fit_due = static_cast<double>(log.count(devices::ErrorType::kDue)) /
+                       node_hours * 1.0e9;
+
+    const double sunny_exposure =
+        static_cast<double>(out.sunny_days) * static_cast<double>(log.nodes);
+    const double rainy_exposure =
+        static_cast<double>(out.rainy_days) * static_cast<double>(log.nodes);
+    if (sunny_exposure > 0.0) {
+        out.sunny_events_per_node_day =
+            static_cast<double>(sunny_events) / sunny_exposure;
+    }
+    if (rainy_exposure > 0.0) {
+        out.rainy_events_per_node_day =
+            static_cast<double>(rainy_events) / rainy_exposure;
+    }
+    if (sunny_events > 0 && rainy_exposure > 0.0) {
+        out.rain_ratio = stats::poisson_rate_ratio(rainy_events, rainy_exposure,
+                                                   sunny_events, sunny_exposure);
+    }
+    return out;
+}
+
+}  // namespace tnr::core

@@ -1,0 +1,68 @@
+#pragma once
+// Field-data study: the complement to beam testing the related work
+// (Sridharan et al.) practises — mine months of machine error logs instead
+// of hours of beam. This module simulates a fleet's error log (per-node
+// Poisson arrivals whose rate follows the site's fluxes and a daily weather
+// series) and provides the analysis that recovers, from the log alone:
+//
+//   * the per-node FIT rate (validating against the beam-derived value);
+//   * the rainy/sunny rate ratio (the thermal weather signature);
+//   * cross-site rate ratios (the altitude signature).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fit.hpp"
+#include "devices/device.hpp"
+#include "environment/site.hpp"
+#include "stats/poisson.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::core {
+
+/// One logged error event.
+struct LogEvent {
+    double time_s = 0.0;
+    std::uint32_t node = 0;
+    devices::ErrorType type = devices::ErrorType::kSdc;
+};
+
+struct FleetLogConfig {
+    std::size_t nodes = 1000;
+    double days = 180.0;
+    /// Probability a given day is rainy (doubling the thermal flux).
+    double rain_probability = 0.25;
+};
+
+/// A simulated machine log.
+struct FleetLog {
+    std::vector<LogEvent> events;
+    std::vector<bool> rainy_day;   ///< per-day weather series.
+    std::size_t nodes = 0;
+    double days = 0.0;
+
+    [[nodiscard]] std::size_t count(devices::ErrorType type) const;
+};
+
+/// Simulates the log of `config.nodes` devices at `site` over the period,
+/// with daily weather toggling the thermal flux.
+FleetLog simulate_fleet_log(const devices::Device& device,
+                            const environment::Site& site,
+                            const FleetLogConfig& config, std::uint64_t seed);
+
+/// What the log-mining recovers.
+struct FieldAnalysis {
+    double node_fit_sdc = 0.0;  ///< failures / 1e9 node-hours, overall.
+    double node_fit_due = 0.0;
+    double sunny_events_per_node_day = 0.0;
+    double rainy_events_per_node_day = 0.0;
+    /// rainy/sunny daily-rate ratio with a conservative 95% CI.
+    stats::RateRatio rain_ratio;
+    std::size_t rainy_days = 0;
+    std::size_t sunny_days = 0;
+};
+
+/// Mines a log: daily rates split by the weather series, FIT estimates.
+FieldAnalysis analyze_fleet_log(const FleetLog& log);
+
+}  // namespace tnr::core

@@ -1,0 +1,86 @@
+#include "core/fit.hpp"
+
+#include <memory>
+
+#include "memory/dram_config.hpp"
+#include "physics/beamline_spectra.hpp"
+#include "physics/spectrum.hpp"
+#include "physics/units.hpp"
+
+namespace tnr::core {
+
+namespace {
+
+/// Reference spectra used to express field sensitivities. They are cached:
+/// the atmospheric shape for the HE channel (unit scale; we normalize by its
+/// >10 MeV flux) and a room-temperature Maxwellian for the thermal channel.
+const physics::Spectrum& atmospheric_reference() {
+    static const physics::AtmosphericSpectrum spectrum(1.0);
+    return spectrum;
+}
+
+const physics::Spectrum& thermal_reference() {
+    static const physics::MaxwellianSpectrum spectrum(
+        1.0, physics::kThermalReferenceEv);
+    return spectrum;
+}
+
+}  // namespace
+
+FitRate device_fit(const devices::Device& device, devices::ErrorType type,
+                   const environment::Site& site) {
+    FitRate fit;
+
+    // HE channel: sensitivity quoted per >10 MeV fluence (JESD89A), so the
+    // field rate is sigma_he x Phi_he(site).
+    const auto& he = device.high_energy_response(type);
+    const double sigma_he =
+        he.event_rate(atmospheric_reference()) /
+        atmospheric_reference().high_energy_flux();
+    fit.high_energy =
+        sigma_he * site.high_energy_flux() * physics::kHoursPerBillion;
+
+    // Thermal channel: folded over the ambient Maxwellian, times the
+    // environment-adjusted thermal flux.
+    const auto& th = device.thermal_response(type);
+    const double sigma_th = th.folded(thermal_reference());
+    fit.thermal = sigma_th * site.thermal_flux() * physics::kHoursPerBillion;
+
+    return fit;
+}
+
+double dram_thermal_fit(const memory::DramConfig& config,
+                        const environment::Site& site) {
+    // Per-Gbit cross sections in the config are quoted against the ROTAX
+    // thermal beam, which shares the field Maxwellian's shape, so they apply
+    // directly to the ambient thermal flux.
+    double sigma_module = 0.0;
+    for (std::size_t c = 0; c < memory::kFaultCategoryCount; ++c) {
+        sigma_module +=
+            config.sigma_module(static_cast<memory::FaultCategory>(c));
+    }
+    return sigma_module * site.thermal_flux() * physics::kHoursPerBillion;
+}
+
+std::vector<FleetFitRow> fleet_dram_fit(
+    const std::vector<environment::Site>& sites) {
+    std::vector<FleetFitRow> rows;
+    rows.reserve(sites.size());
+    for (const auto& site : sites) {
+        const memory::DramConfig module =
+            site.dram_generation == environment::DramGeneration::kDdr3
+                ? memory::ddr3_module()
+                : memory::ddr4_module();
+        FleetFitRow row;
+        row.system = site.system_name;
+        row.capacity_gbit = site.dram_capacity_gbit;
+        row.thermal_flux = site.thermal_flux();
+        // Per-Gbit sigma x fleet capacity x flux.
+        row.fit = module.sigma_total_per_gbit() * site.dram_capacity_gbit *
+                  site.thermal_flux() * physics::kHoursPerBillion;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+}  // namespace tnr::core

@@ -1,0 +1,55 @@
+#pragma once
+// FIT-rate estimation: fold beam-calibrated sensitivities with the natural
+// fluxes of a deployment site. FIT = failures per 1e9 device-hours; the
+// paper's §V/§VI analysis decomposes each device's FIT into its high-energy
+// and thermal components to show how much the error rate is underestimated
+// when thermals are ignored.
+
+#include <string>
+#include <vector>
+
+#include "devices/device.hpp"
+#include "environment/site.hpp"
+#include "memory/dram_config.hpp"
+
+namespace tnr::core {
+
+/// A FIT rate decomposed by neutron population.
+struct FitRate {
+    double high_energy = 0.0;  ///< FIT from E > 10 MeV neutrons.
+    double thermal = 0.0;      ///< FIT from E < 0.5 eV neutrons.
+
+    [[nodiscard]] double total() const noexcept { return high_energy + thermal; }
+    /// Fraction of the total caused by thermals (the Txt-2 percentages).
+    [[nodiscard]] double thermal_share() const noexcept {
+        const double t = total();
+        return t > 0.0 ? thermal / t : 0.0;
+    }
+    /// Underestimation factor when thermals are ignored.
+    [[nodiscard]] double underestimation() const noexcept {
+        return high_energy > 0.0 ? total() / high_energy : 1.0;
+    }
+};
+
+/// FIT rate of a device at a site, per error type.
+FitRate device_fit(const devices::Device& device, devices::ErrorType type,
+                   const environment::Site& site);
+
+/// Thermal-only FIT of a DRAM module (per module) at a site, summed over all
+/// fault categories. The paper could not measure DDR high-energy rates (the
+/// parts died of permanent faults at ChipIR), so this is thermal-only by
+/// construction.
+double dram_thermal_fit(const memory::DramConfig& config,
+                        const environment::Site& site);
+
+/// Fleet projection: thermal DDR FIT of a whole system (site capacity x
+/// per-Gbit sensitivity) — the Top-10 supercomputer figure (Txt-3).
+struct FleetFitRow {
+    std::string system;
+    double capacity_gbit = 0.0;
+    double thermal_flux = 0.0;  ///< [n/cm^2/h].
+    double fit = 0.0;           ///< thermal FIT of the whole DRAM fleet.
+};
+std::vector<FleetFitRow> fleet_dram_fit(const std::vector<environment::Site>& sites);
+
+}  // namespace tnr::core

@@ -1,0 +1,28 @@
+#pragma once
+// One-call study report: runs (or reuses) a ReliabilityStudy and renders a
+// self-contained markdown document — the artifact a reliability engineer
+// hands to management after beam time: measured cross sections, HE/thermal
+// ratios vs the published values, FIT decomposition per site, and the
+// fleet DDR projection.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "environment/site.hpp"
+
+namespace tnr::core {
+
+struct ReportOptions {
+    std::string title = "Thermal Neutron Reliability Study";
+    std::vector<environment::Site> sites;  ///< empty = NYC + Leadville.
+    bool include_top10 = true;
+    bool include_per_code = false;  ///< per-workload measurement appendix.
+};
+
+/// Renders the full report to `os`. The study's campaign is run on demand.
+void write_markdown_report(ReliabilityStudy& study, const ReportOptions& options,
+                           std::ostream& os);
+
+}  // namespace tnr::core

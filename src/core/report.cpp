@@ -1,0 +1,98 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tnr::core {
+
+std::string format_scientific(double x, int digits) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*e", digits, x);
+    return buffer;
+}
+
+std::string format_percent(double fraction, int digits) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f%%", digits, fraction * 100.0);
+    return buffer;
+}
+
+std::string format_fixed(double x, int digits) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", digits, x);
+    return buffer;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    if (headers_.empty()) {
+        throw std::invalid_argument("TablePrinter: no headers");
+    }
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("TablePrinter: row arity mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+        for (const auto& row : rows_) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    const auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size()) {
+                os << std::string(widths[c] - cells[c].size() + 2, ' ');
+            }
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (const auto w : widths) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::to_string() const {
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string csv_escape(const std::string& field) {
+    const bool needs_quoting =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting) return field;
+    std::string out = "\"";
+    for (const char c : field) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+    const auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << csv_escape(cells[c]);
+            if (c + 1 < cells.size()) os << ',';
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace tnr::core

@@ -1,0 +1,43 @@
+#pragma once
+// Plain-text table rendering for benches and examples: fixed-width columns,
+// scientific notation for cross sections, percentages for FIT shares.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tnr::core {
+
+/// Formats x as "1.23e-08".
+std::string format_scientific(double x, int digits = 3);
+
+/// Formats a fraction as "12.3%".
+std::string format_percent(double fraction, int digits = 1);
+
+/// Formats with fixed decimals.
+std::string format_fixed(double x, int digits = 2);
+
+/// Simple left-aligned column table.
+class TablePrinter {
+public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders to the stream with column widths fit to content.
+    void print(std::ostream& os) const;
+
+    [[nodiscard]] std::string to_string() const;
+
+    /// Renders the same table as RFC-4180 CSV (quoted where needed).
+    void print_csv(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes one CSV field (quotes when it contains comma/quote/newline).
+std::string csv_escape(const std::string& field);
+
+}  // namespace tnr::core

@@ -1,0 +1,51 @@
+#include "core/study.hpp"
+
+#include "physics/units.hpp"
+
+namespace tnr::core {
+
+ReliabilityStudy::ReliabilityStudy(beam::CampaignConfig config)
+    : campaign_runner_(std::move(config)) {}
+
+const beam::CampaignResult& ReliabilityStudy::campaign() {
+    if (!ran_) {
+        result_ = campaign_runner_.run();
+        ran_ = true;
+    }
+    return result_;
+}
+
+FitRate ReliabilityStudy::measured_fit(const std::string& device_name,
+                                       devices::ErrorType type,
+                                       const environment::Site& site) {
+    const auto& rows = campaign().ratio_rows;
+    for (const auto& row : rows) {
+        if (row.device != device_name || row.type != type) continue;
+        FitRate fit;
+        fit.high_energy = row.sigma_he() * site.high_energy_flux() *
+                          physics::kHoursPerBillion;
+        fit.thermal =
+            row.sigma_th() * site.thermal_flux() * physics::kHoursPerBillion;
+        return fit;
+    }
+    throw std::out_of_range("ReliabilityStudy: no campaign row for " +
+                            device_name);
+}
+
+std::vector<FitShareRow> ReliabilityStudy::fit_share_table(
+    const std::vector<environment::Site>& sites) {
+    std::vector<FitShareRow> table;
+    for (const auto& row : campaign().ratio_rows) {
+        for (const auto& site : sites) {
+            FitShareRow out;
+            out.device = row.device;
+            out.type = row.type;
+            out.site = site.system_name;
+            out.fit = measured_fit(row.device, row.type, site);
+            table.push_back(out);
+        }
+    }
+    return table;
+}
+
+}  // namespace tnr::core

@@ -1,0 +1,53 @@
+#pragma once
+// ReliabilityStudy: the end-to-end pipeline of the paper in one object.
+//
+//   1. run the ChipIR + ROTAX campaign (beam::Campaign) over the device
+//      roster — this produces *measured* cross sections with counting noise,
+//      exactly like beam time does;
+//   2. fold the measured sensitivities with the fluxes of deployment sites
+//      (environment::Site) to get FIT rates decomposed into high-energy and
+//      thermal components.
+//
+// Everything downstream (Fig. 5 ratios, Txt-2 FIT shares) reads from here.
+
+#include <string>
+#include <vector>
+
+#include "beam/campaign.hpp"
+#include "core/fit.hpp"
+#include "environment/site.hpp"
+
+namespace tnr::core {
+
+/// One row of the FIT decomposition table ([jsc2020] FIT figure / Txt-2).
+struct FitShareRow {
+    std::string device;
+    devices::ErrorType type = devices::ErrorType::kSdc;
+    std::string site;
+    FitRate fit;
+};
+
+class ReliabilityStudy {
+public:
+    explicit ReliabilityStudy(beam::CampaignConfig config = {});
+
+    /// Runs (or returns the cached) campaign.
+    const beam::CampaignResult& campaign();
+
+    /// FIT at a site from the campaign's *measured* cross sections:
+    /// sigma_HE(ChipIR) x Phi_HE(site) + sigma_th(ROTAX) x Phi_th(site).
+    [[nodiscard]] FitRate measured_fit(const std::string& device_name,
+                                       devices::ErrorType type,
+                                       const environment::Site& site);
+
+    /// The full decomposition table over devices x sites x error types.
+    [[nodiscard]] std::vector<FitShareRow> fit_share_table(
+        const std::vector<environment::Site>& sites);
+
+private:
+    beam::Campaign campaign_runner_;
+    beam::CampaignResult result_;
+    bool ran_ = false;
+};
+
+}  // namespace tnr::core

@@ -1,0 +1,59 @@
+#include "detector/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tnr::detector {
+
+double thermal_rate(const Tin2Recording& recording, std::size_t lo,
+                    std::size_t hi) {
+    if (lo >= hi || hi > recording.bare.size()) {
+        throw std::out_of_range("thermal_rate: bad range");
+    }
+    const auto bare = recording.bare.total(lo, hi);
+    const auto shielded = recording.shielded.total(lo, hi);
+    const double net = static_cast<double>(bare) - static_cast<double>(shielded);
+    const double seconds =
+        recording.bare.bin_width_s() * static_cast<double>(hi - lo);
+    return std::max(0.0, net) / seconds;
+}
+
+std::optional<StepAnalysis> analyze_step(const Tin2Recording& recording,
+                                         std::size_t min_segment_bins) {
+    if (recording.bare.size() != recording.shielded.size() ||
+        recording.bare.empty()) {
+        throw std::invalid_argument("analyze_step: malformed recording");
+    }
+    // Difference series, clamped at zero (counts cannot go negative).
+    std::vector<std::uint64_t> diff(recording.bare.size());
+    for (std::size_t i = 0; i < diff.size(); ++i) {
+        const auto b = static_cast<std::int64_t>(recording.bare.count(i));
+        const auto s = static_cast<std::int64_t>(recording.shielded.count(i));
+        diff[i] = static_cast<std::uint64_t>(std::max<std::int64_t>(0, b - s));
+    }
+
+    const auto cp = stats::detect_single_changepoint(diff, min_segment_bins);
+    if (!cp.has_value()) return std::nullopt;
+
+    StepAnalysis out;
+    out.change_bin = cp->index;
+    const double bin_s = recording.bare.bin_width_s();
+    out.thermal_rate_before = cp->rate_before / bin_s;
+    out.thermal_rate_after = cp->rate_after / bin_s;
+    out.relative_step = cp->relative_step();
+
+    // CI on the ratio of the two segment rates, propagated to the step.
+    const std::size_t n = diff.size();
+    std::uint64_t before = 0;
+    std::uint64_t after = 0;
+    for (std::size_t i = 0; i < cp->index; ++i) before += diff[i];
+    for (std::size_t i = cp->index; i < n; ++i) after += diff[i];
+    const auto ratio = stats::poisson_rate_ratio(
+        after, static_cast<double>(n - cp->index), before,
+        static_cast<double>(cp->index));
+    out.step_ci = {ratio.ci.lower - 1.0, ratio.ci.upper - 1.0};
+    return out;
+}
+
+}  // namespace tnr::detector

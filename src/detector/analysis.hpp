@@ -1,0 +1,39 @@
+#pragma once
+// Analysis pipeline for Tin-II recordings: difference the bare and shielded
+// tubes to isolate the thermal signal, locate the step (water placement),
+// and quantify the flux change — recovering the paper's "+24% when water is
+// placed over the detector" (Fig. 6).
+
+#include <optional>
+
+#include "detector/tin2.hpp"
+#include "stats/changepoint.hpp"
+#include "stats/poisson.hpp"
+
+namespace tnr::detector {
+
+/// Result of the step analysis on a recording.
+struct StepAnalysis {
+    /// Index of the first bin of the "after" regime.
+    std::size_t change_bin = 0;
+    /// Thermal count rate before/after [counts/s], from the differenced
+    /// (bare - shielded) series.
+    double thermal_rate_before = 0.0;
+    double thermal_rate_after = 0.0;
+    /// Fractional step (+0.24 for a 24% increase).
+    double relative_step = 0.0;
+    /// Approximate 95% CI on the relative step (propagated Poisson).
+    stats::Interval step_ci;
+};
+
+/// Runs changepoint detection on the thermal difference series. Returns
+/// nullopt when no significant step exists.
+std::optional<StepAnalysis> analyze_step(const Tin2Recording& recording,
+                                         std::size_t min_segment_bins = 6);
+
+/// Mean thermal count rate [counts/s] of a recording over bins [lo, hi),
+/// from the bare-minus-shielded difference.
+double thermal_rate(const Tin2Recording& recording, std::size_t lo,
+                    std::size_t hi);
+
+}  // namespace tnr::detector

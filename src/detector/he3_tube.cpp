@@ -1,0 +1,76 @@
+#include "detector/he3_tube.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/cross_sections.hpp"
+#include "physics/units.hpp"
+
+namespace tnr::detector {
+
+namespace {
+/// Loschmidt-like number density of an ideal gas at 1 atm, 273 K [1/cm^3].
+constexpr double kIdealGasDensity0 = 2.6868e19;
+}
+
+He3Tube::He3Tube(He3TubeConfig config) : config_(config) {
+    if (config.length_cm <= 0.0 || config.diameter_cm <= 0.0 ||
+        config.pressure_atm <= 0.0 || config.temperature_k <= 0.0) {
+        throw std::invalid_argument("He3Tube: bad geometry");
+    }
+}
+
+double He3Tube::helium_density() const {
+    return kIdealGasDensity0 * config_.pressure_atm *
+           (273.15 / config_.temperature_k);
+}
+
+double He3Tube::intrinsic_efficiency(double energy_ev) const {
+    const double sigma =
+        physics::he3_capture_barns(energy_ev) * physics::kBarnToCm2;
+    return 1.0 - std::exp(-helium_density() * sigma * config_.diameter_cm);
+}
+
+double He3Tube::folded_efficiency(const physics::Spectrum& spectrum) const {
+    // Flux-weighted efficiency on a log grid over the spectrum support.
+    constexpr std::size_t kPanels = 800;
+    const double lo = spectrum.min_energy_ev();
+    const double hi = spectrum.max_energy_ev();
+    const double log_lo = std::log(lo);
+    const double step = (std::log(hi) - log_lo) / static_cast<double>(kPanels);
+    double num = 0.0;
+    double den = 0.0;
+    double e_prev = lo;
+    double fe_prev = spectrum.flux_density(lo);
+    double ne_prev = fe_prev * intrinsic_efficiency(lo);
+    for (std::size_t i = 1; i <= kPanels; ++i) {
+        const double e = std::exp(log_lo + step * static_cast<double>(i));
+        const double fe = spectrum.flux_density(e);
+        const double ne = fe * intrinsic_efficiency(e);
+        den += 0.5 * (fe_prev + fe) * (e - e_prev);
+        num += 0.5 * (ne_prev + ne) * (e - e_prev);
+        e_prev = e;
+        fe_prev = fe;
+        ne_prev = ne;
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+double He3Tube::sensitive_area() const {
+    return config_.length_cm * config_.diameter_cm;
+}
+
+double He3Tube::count_rate(double thermal_flux, double background_flux) const {
+    if (thermal_flux < 0.0 || background_flux < 0.0) {
+        throw std::invalid_argument("He3Tube: negative flux");
+    }
+    // Thermal channel at the Maxwellian-average efficiency; background at
+    // the flat plateau efficiency.
+    const double thermal_rate = thermal_flux * sensitive_area() *
+                                intrinsic_efficiency(physics::kThermalReferenceEv);
+    const double background_rate =
+        background_flux * sensitive_area() * config_.background_efficiency;
+    return thermal_rate + background_rate;
+}
+
+}  // namespace tnr::detector

@@ -1,0 +1,50 @@
+#pragma once
+// A 3He proportional counter tube — the sensing element of Tin-II (§III.D).
+// Thermal neutrons convert via 3He(n,p)3H (5330 b at 25.3 meV, 1/v); the
+// charged products are counted. Gammas/betas/fast neutrons produce a small
+// flat background identical for a bare and a shielded tube, which is why
+// the bare-minus-shielded difference isolates the thermal component.
+
+#include "physics/spectrum.hpp"
+
+namespace tnr::detector {
+
+struct He3TubeConfig {
+    double length_cm = 30.0;
+    double diameter_cm = 2.54;
+    double pressure_atm = 4.0;
+    double temperature_k = 293.0;
+    /// Counting efficiency for non-thermal radiation (gammas, fast n) per
+    /// unit ambient rate — a small, energy-independent plateau.
+    double background_efficiency = 0.01;
+};
+
+class He3Tube {
+public:
+    explicit He3Tube(He3TubeConfig config = {});
+
+    /// 3He number density [atoms/cm^3].
+    [[nodiscard]] double helium_density() const;
+
+    /// Intrinsic detection efficiency for a neutron of energy E crossing the
+    /// tube diameter: 1 - exp(-N * sigma(E) * d).
+    [[nodiscard]] double intrinsic_efficiency(double energy_ev) const;
+
+    /// Efficiency folded over a spectrum (flux-weighted).
+    [[nodiscard]] double folded_efficiency(const physics::Spectrum& spectrum) const;
+
+    /// Projected sensitive area [cm^2] (length x diameter).
+    [[nodiscard]] double sensitive_area() const;
+
+    /// Count rate [counts/s] for a thermal flux [n/cm^2/s] through the tube
+    /// plus an ambient non-thermal rate [events/cm^2/s].
+    [[nodiscard]] double count_rate(double thermal_flux,
+                                    double background_flux) const;
+
+    [[nodiscard]] const He3TubeConfig& config() const noexcept { return config_; }
+
+private:
+    He3TubeConfig config_;
+};
+
+}  // namespace tnr::detector

@@ -1,0 +1,81 @@
+#include "detector/pressure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tnr::detector {
+
+std::vector<double> random_walk_pressure(std::size_t bins, double base_hpa,
+                                         double step_sigma_hpa,
+                                         stats::Rng& rng) {
+    if (bins == 0 || base_hpa <= 0.0 || step_sigma_hpa < 0.0) {
+        throw std::invalid_argument("random_walk_pressure: bad arguments");
+    }
+    std::vector<double> out(bins);
+    double p = base_hpa;
+    for (std::size_t i = 0; i < bins; ++i) {
+        p += rng.normal(0.0, step_sigma_hpa);
+        // Weak mean reversion keeps the walk within meteorological bounds.
+        p += 0.02 * (base_hpa - p);
+        out[i] = p;
+    }
+    return out;
+}
+
+std::vector<double> pressure_front(std::size_t bins, double base_hpa,
+                                   double delta_hpa, std::size_t front_bin,
+                                   stats::Rng& rng) {
+    if (bins == 0 || front_bin > bins) {
+        throw std::invalid_argument("pressure_front: bad arguments");
+    }
+    std::vector<double> out(bins);
+    for (std::size_t i = 0; i < bins; ++i) {
+        out[i] = base_hpa + (i >= front_bin ? delta_hpa : 0.0) +
+                 rng.normal(0.0, 0.3);
+    }
+    return out;
+}
+
+Tin2Recording apply_pressure_modulation(const Tin2Recording& recording,
+                                        std::span<const double> pressure_hpa,
+                                        double beta, stats::Rng& rng) {
+    if (pressure_hpa.size() != recording.bare.size()) {
+        throw std::invalid_argument(
+            "apply_pressure_modulation: series length mismatch");
+    }
+    Tin2Recording out{
+        stats::CountTimeSeries(recording.bare.t0_s(),
+                               recording.bare.bin_width_s()),
+        stats::CountTimeSeries(recording.shielded.t0_s(),
+                               recording.shielded.bin_width_s()),
+        recording.phase_start_bins};
+    for (std::size_t i = 0; i < recording.bare.size(); ++i) {
+        const double factor =
+            std::exp(-beta * (pressure_hpa[i] - kReferencePressure));
+        out.bare.append(rng.poisson(
+            static_cast<double>(recording.bare.count(i)) * factor));
+        out.shielded.append(rng.poisson(
+            static_cast<double>(recording.shielded.count(i)) * factor));
+    }
+    return out;
+}
+
+std::vector<std::uint64_t> pressure_corrected_counts(
+    const stats::CountTimeSeries& series, std::span<const double> pressure_hpa,
+    double beta) {
+    if (pressure_hpa.size() != series.size()) {
+        throw std::invalid_argument(
+            "pressure_corrected_counts: series length mismatch");
+    }
+    std::vector<std::uint64_t> out(series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const double factor =
+            std::exp(beta * (pressure_hpa[i] - kReferencePressure));
+        out[i] = static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(series.count(i)) * factor));
+    }
+    return out;
+}
+
+}  // namespace tnr::detector

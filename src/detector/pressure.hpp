@@ -1,0 +1,50 @@
+#pragma once
+// Barometric-pressure correction for neutron counters. Ground-level neutron
+// count rates anti-correlate with atmospheric pressure (more air overhead =
+// more absorption; the standard correction is exp(beta * (P - P0)) with
+// beta ~ 0.7%/hPa). A weather front passing during a deployment produces a
+// sustained rate shift that looks exactly like a materials step — the
+// false-positive the Tin-II analysis must rule out before attributing a
+// step to the water box.
+
+#include <span>
+#include <vector>
+
+#include "detector/tin2.hpp"
+#include "stats/rng.hpp"
+#include "stats/timeseries.hpp"
+
+namespace tnr::detector {
+
+/// Standard barometric coefficient for thermal-neutron counters [1/hPa].
+inline constexpr double kPressureBeta = 0.007;
+
+/// Reference (station) pressure [hPa].
+inline constexpr double kReferencePressure = 1013.25;
+
+/// A bounded random-walk pressure series [hPa], one value per bin.
+std::vector<double> random_walk_pressure(std::size_t bins, double base_hpa,
+                                         double step_sigma_hpa,
+                                         stats::Rng& rng);
+
+/// A pressure series with a sustained front: `base` before `front_bin`,
+/// `base + delta` from there on (plus small jitter).
+std::vector<double> pressure_front(std::size_t bins, double base_hpa,
+                                   double delta_hpa, std::size_t front_bin,
+                                   stats::Rng& rng);
+
+/// Applies barometric modulation to a recording: each bin's counts are
+/// re-sampled as Poisson(counts * exp(-beta * (P - P0))) for both tubes.
+/// (The compounding of two Poisson stages slightly overdisperses — fine for
+/// methodology work, and conservative for the changepoint test.)
+Tin2Recording apply_pressure_modulation(const Tin2Recording& recording,
+                                        std::span<const double> pressure_hpa,
+                                        double beta, stats::Rng& rng);
+
+/// The correction the analyst applies: counts scaled by
+/// exp(+beta * (P - P0)) and rounded, ready for changepoint detection.
+std::vector<std::uint64_t> pressure_corrected_counts(
+    const stats::CountTimeSeries& series, std::span<const double> pressure_hpa,
+    double beta);
+
+}  // namespace tnr::detector

@@ -1,0 +1,73 @@
+#include "devices/device.hpp"
+
+#include <stdexcept>
+
+namespace tnr::devices {
+
+const char* to_string(ErrorType t) {
+    switch (t) {
+        case ErrorType::kSdc:
+            return "SDC";
+        case ErrorType::kDue:
+            return "DUE";
+    }
+    return "unknown";
+}
+
+const char* to_string(TransistorType t) {
+    switch (t) {
+        case TransistorType::kPlanarCmos:
+            return "planar CMOS";
+        case TransistorType::kFinFet:
+            return "FinFET";
+        case TransistorType::kTriGate:
+            return "Tri-Gate";
+    }
+    return "unknown";
+}
+
+Device::Device(std::string name, Technology tech, WeibullResponse he_sdc,
+               WeibullResponse he_due, B10Response th_sdc, B10Response th_due)
+    : name_(std::move(name)),
+      tech_(std::move(tech)),
+      he_sdc_(he_sdc),
+      he_due_(he_due),
+      th_sdc_(th_sdc),
+      th_due_(th_due) {
+    if (name_.empty()) throw std::invalid_argument("Device: empty name");
+}
+
+double Device::cross_section(ErrorType type, double energy_ev) const {
+    const auto& he = (type == ErrorType::kSdc) ? he_sdc_ : he_due_;
+    const auto& th = (type == ErrorType::kSdc) ? th_sdc_ : th_due_;
+    return he.cross_section(energy_ev) + th.cross_section(energy_ev);
+}
+
+double Device::folded_cross_section(ErrorType type,
+                                    const physics::Spectrum& spectrum) const {
+    const double total = spectrum.total_flux();
+    if (total <= 0.0) return 0.0;
+    return error_rate(type, spectrum) / total;
+}
+
+double Device::error_rate(ErrorType type,
+                          const physics::Spectrum& spectrum) const {
+    const auto& he = (type == ErrorType::kSdc) ? he_sdc_ : he_due_;
+    const auto& th = (type == ErrorType::kSdc) ? th_sdc_ : th_due_;
+    return he.event_rate(spectrum) + th.event_rate(spectrum);
+}
+
+const WeibullResponse& Device::high_energy_response(ErrorType t) const {
+    return (t == ErrorType::kSdc) ? he_sdc_ : he_due_;
+}
+
+const B10Response& Device::thermal_response(ErrorType t) const {
+    return (t == ErrorType::kSdc) ? th_sdc_ : th_due_;
+}
+
+Device Device::with_thermal_scale(double factor) const {
+    return Device(name_, tech_, he_sdc_, he_due_, th_sdc_.scaled(factor),
+                  th_due_.scaled(factor));
+}
+
+}  // namespace tnr::devices

@@ -1,0 +1,67 @@
+#pragma once
+// The device under test: identity, process technology, and the two-channel
+// neutron sensitivity model for SDC and DUE outcomes.
+
+#include <string>
+
+#include "devices/sensitivity.hpp"
+#include "physics/spectrum.hpp"
+
+namespace tnr::devices {
+
+/// Observable error classes (paper §II): Silent Data Corruption and
+/// Detected Unrecoverable Error.
+enum class ErrorType { kSdc, kDue };
+
+const char* to_string(ErrorType t);
+
+enum class TransistorType { kPlanarCmos, kFinFet, kTriGate };
+
+const char* to_string(TransistorType t);
+
+/// Process information as published for each part (paper §III.A).
+struct Technology {
+    std::string node;        ///< e.g. "28nm".
+    TransistorType transistor = TransistorType::kPlanarCmos;
+    std::string foundry;     ///< e.g. "TSMC".
+};
+
+/// A computing device with calibrated neutron sensitivity.
+class Device {
+public:
+    Device(std::string name, Technology tech, WeibullResponse he_sdc,
+           WeibullResponse he_due, B10Response th_sdc, B10Response th_due);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const Technology& technology() const noexcept { return tech_; }
+
+    /// Differential cross section [cm^2] at a single energy, summing both
+    /// channels (a high-energy beam with a thermal tail triggers both).
+    [[nodiscard]] double cross_section(ErrorType type, double energy_ev) const;
+
+    /// Flux-weighted cross section over a spectrum [cm^2].
+    [[nodiscard]] double folded_cross_section(
+        ErrorType type, const physics::Spectrum& spectrum) const;
+
+    /// Error rate per second under a spectrum [errors/s].
+    [[nodiscard]] double error_rate(ErrorType type,
+                                    const physics::Spectrum& spectrum) const;
+
+    /// Channel accessors (for reports and ablations).
+    [[nodiscard]] const WeibullResponse& high_energy_response(ErrorType t) const;
+    [[nodiscard]] const B10Response& thermal_response(ErrorType t) const;
+
+    /// A copy with the thermal channels scaled (boron-depletion ablation:
+    /// factor 0 models purified-11B manufacturing).
+    [[nodiscard]] Device with_thermal_scale(double factor) const;
+
+private:
+    std::string name_;
+    Technology tech_;
+    WeibullResponse he_sdc_;
+    WeibullResponse he_due_;
+    B10Response th_sdc_;
+    B10Response th_due_;
+};
+
+}  // namespace tnr::devices

@@ -1,0 +1,55 @@
+#include "devices/ecc_policy.hpp"
+
+#include <stdexcept>
+
+namespace tnr::devices {
+
+namespace {
+
+/// Combines base + transfer * fraction for Weibull channels that share the
+/// catalog's shape parameters (sigma_sat is the only degree of freedom).
+WeibullResponse combine(const WeibullResponse& base,
+                        const WeibullResponse& transfer, double fraction) {
+    if (transfer.sigma_sat() == 0.0 || fraction == 0.0) return base;
+    if (base.sigma_sat() == 0.0) return transfer.scaled(fraction);
+    const double factor =
+        1.0 + fraction * transfer.sigma_sat() / base.sigma_sat();
+    return base.scaled(factor);
+}
+
+B10Response combine(const B10Response& base, const B10Response& transfer,
+                    double fraction) {
+    if (transfer.areal_density() == 0.0 || fraction == 0.0) return base;
+    if (base.areal_density() == 0.0) return transfer.scaled(fraction);
+    // Shared upset probability (catalog convention): densities add.
+    const double factor =
+        1.0 + fraction * transfer.areal_density() / base.areal_density();
+    return base.scaled(factor);
+}
+
+}  // namespace
+
+Device with_ecc(const Device& device, const EccProtection& protection) {
+    const auto& p = protection;
+    if (p.memory_fraction_sdc < 0.0 || p.memory_fraction_sdc > 1.0 ||
+        p.memory_fraction_due < 0.0 || p.memory_fraction_due > 1.0 ||
+        p.correctable_fraction < 0.0 || p.correctable_fraction > 1.0) {
+        throw std::invalid_argument("with_ecc: fractions must be in [0,1]");
+    }
+
+    // Uncorrectable memory-SDC share migrates to the DUE channel.
+    const double sdc_to_due = p.memory_fraction_sdc * (1.0 - p.correctable_fraction);
+
+    const auto& he_sdc = device.high_energy_response(ErrorType::kSdc);
+    const auto& he_due = device.high_energy_response(ErrorType::kDue);
+    const auto& th_sdc = device.thermal_response(ErrorType::kSdc);
+    const auto& th_due = device.thermal_response(ErrorType::kDue);
+
+    return Device(device.name() + " (ECC)", device.technology(),
+                  he_sdc.scaled(1.0 - p.memory_fraction_sdc),
+                  combine(he_due, he_sdc, sdc_to_due),
+                  th_sdc.scaled(1.0 - p.memory_fraction_sdc),
+                  combine(th_due, th_sdc, sdc_to_due));
+}
+
+}  // namespace tnr::devices

@@ -1,0 +1,39 @@
+#pragma once
+// Memory-protection (ECC) configurations for HPC devices. The paper tested
+// devices "under operative configurations (i.e., protection mechanisms
+// enabled)"; this model makes the mechanism explicit so it can be ablated:
+//
+//   * a fraction of a device's raw faults originates in ECC-protectable
+//     memory structures (register files, caches, DRAM);
+//   * with ECC enabled, the correctable share of those faults (single-bit)
+//     is masked, and the uncorrectable share is *detected* — it stops being
+//     an SDC and becomes a DUE (machine-check / retired kernel).
+//
+// Net effect: ECC trades silent corruption for detected errors — SDC sigma
+// drops, DUE sigma rises — which is exactly what HPC operators configure
+// for.
+
+#include "devices/device.hpp"
+
+namespace tnr::devices {
+
+struct EccProtection {
+    /// Fraction of the raw SDC channel that originates in protectable
+    /// memory (typical GPU/accelerator estimates: 50-70%).
+    double memory_fraction_sdc = 0.6;
+    /// Same for the raw DUE channel (faults already detected by other
+    /// means; ECC neither helps nor hurts them much).
+    double memory_fraction_due = 0.0;
+    /// Of memory faults, the share ECC corrects outright (single-bit).
+    double correctable_fraction = 0.95;
+};
+
+/// Returns a device with the protection applied:
+///   sigma_SDC' = sigma_SDC * (1 - mf_sdc)
+///   sigma_DUE' = sigma_DUE + sigma_SDC * mf_sdc * (1 - correctable)
+/// applied channel-by-channel (high-energy and thermal alike). Assumes the
+/// catalog's shared Weibull shape / upset-probability conventions (true for
+/// all calibrated devices).
+Device with_ecc(const Device& device, const EccProtection& protection);
+
+}  // namespace tnr::devices

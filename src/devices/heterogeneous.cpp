@@ -1,0 +1,78 @@
+#include "devices/heterogeneous.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "devices/catalog.hpp"
+
+namespace tnr::devices {
+
+Device compose_heterogeneous(const Device& cpu, const Device& gpu,
+                             double gpu_fraction, const SyncChannel& sync) {
+    if (gpu_fraction < 0.0 || gpu_fraction > 1.0) {
+        throw std::invalid_argument(
+            "compose_heterogeneous: gpu_fraction in [0,1]");
+    }
+    if (sync.sigma_he_due_cm2 < 0.0 || sync.ratio_due <= 0.0) {
+        throw std::invalid_argument("compose_heterogeneous: bad sync channel");
+    }
+    const double f = gpu_fraction;
+    const double cpu_w = 1.0 - f;
+
+    // Work-weighted blends of the two parts.
+    WeibullResponse he_sdc = blend(cpu.high_energy_response(ErrorType::kSdc),
+                                   gpu.high_energy_response(ErrorType::kSdc),
+                                   cpu_w, f);
+    B10Response th_sdc = blend(cpu.thermal_response(ErrorType::kSdc),
+                               gpu.thermal_response(ErrorType::kSdc), cpu_w, f);
+    WeibullResponse he_due = blend(cpu.high_energy_response(ErrorType::kDue),
+                                   gpu.high_energy_response(ErrorType::kDue),
+                                   cpu_w, f);
+    B10Response th_due = blend(cpu.thermal_response(ErrorType::kDue),
+                               gpu.thermal_response(ErrorType::kDue), cpu_w, f);
+
+    // Synchronization machinery: active only when both sides compute.
+    const double activity = 4.0 * f * (1.0 - f);
+    if (activity > 0.0 && sync.sigma_he_due_cm2 > 0.0) {
+        const WeibullResponse sync_he =
+            standard_he_channel(sync.sigma_he_due_cm2);
+        const B10Response sync_th = standard_thermal_channel(
+            sync.sigma_he_due_cm2 / sync.ratio_due);
+        he_due = blend(he_due, sync_he, 1.0, activity);
+        th_due = blend(th_due, sync_th, 1.0, activity);
+    }
+
+    char label[64];
+    std::snprintf(label, sizeof(label), " (composed, %.0f%% GPU)", 100.0 * f);
+    return Device(cpu.name() + label, cpu.technology(), he_sdc, he_due, th_sdc,
+                  th_due);
+}
+
+SyncChannel calibrated_apu_sync_channel() {
+    const auto& cpu = spec_by_name("AMD APU (CPU)");
+    const auto& gpu = spec_by_name("AMD APU (GPU)");
+    const auto& both = spec_by_name("AMD APU (CPU+GPU)");
+
+    SyncChannel sync;
+    // At f = 0.5 the blend contributes A (HE) and B (thermal); the sync
+    // channel contributes s and s/r; solving (A + s)/(B + s/r) = R for s:
+    //   s = (R*B - A) / (1 - R/r).
+    const double a =
+        0.5 * (cpu.sigma_he_due_cm2 + gpu.sigma_he_due_cm2);
+    const double b = 0.5 * (cpu.sigma_he_due_cm2 / *cpu.ratio_due +
+                            gpu.sigma_he_due_cm2 / *gpu.ratio_due);
+    const double target = *both.ratio_due;
+    const double denom = 1.0 - target / sync.ratio_due;
+    if (std::abs(denom) < 1e-9) {
+        throw std::logic_error(
+            "calibrated_apu_sync_channel: degenerate sync ratio");
+    }
+    sync.sigma_he_due_cm2 = (target * b - a) / denom;
+    if (sync.sigma_he_due_cm2 <= 0.0) {
+        throw std::logic_error(
+            "calibrated_apu_sync_channel: calibration infeasible");
+    }
+    return sync;
+}
+
+}  // namespace tnr::devices

@@ -1,0 +1,42 @@
+#pragma once
+// Heterogeneous (CPU+GPU) composition — the paper's APU observation made
+// predictive. The APU was tested in three configurations: CPU-only,
+// GPU-only, and CPU+GPU with the work split 50/50. The striking result is
+// the CPU+GPU *DUE* ratio of 1.18 — worse (closer to 1) than either part
+// alone — which the paper attributes to "the mechanism responsible for
+// communication and synchronism between CPU and GPU" being particularly
+// thermal-sensitive.
+//
+// Model: a composed device is the work-weighted blend of the two parts plus
+// a synchronization channel that only exists when both sides are active —
+// its strength scales as 4 f (1-f) (zero at either pure configuration,
+// maximal at the 50/50 split), and its thermal ratio is near 1 (sync logic
+// is the boron-heavy structure).
+
+#include "devices/device.hpp"
+
+namespace tnr::devices {
+
+/// The synchronization channel's parameters.
+struct SyncChannel {
+    /// DUE cross section of the fully-active (f=0.5) sync machinery at
+    /// ChipIR [cm^2].
+    double sigma_he_due_cm2 = 1.0e-8;
+    /// HE/thermal ratio of the sync logic — near 1 per the paper.
+    double ratio_due = 1.05;
+};
+
+/// Composes CPU-only and GPU-only calibrated devices into the predicted
+/// device for a workload placing `gpu_fraction` of the work on the GPU.
+/// gpu_fraction = 0 reproduces `cpu`; 1 reproduces `gpu`; in between the
+/// blend plus the 4f(1-f)-scaled sync channel.
+Device compose_heterogeneous(const Device& cpu, const Device& gpu,
+                             double gpu_fraction,
+                             const SyncChannel& sync = {});
+
+/// The sync channel calibrated so that compose_heterogeneous(cpu, gpu, 0.5)
+/// reproduces the catalog's "AMD APU (CPU+GPU)" DUE ratio (1.18): solves
+/// for sigma and uses the spec's published ratios.
+SyncChannel calibrated_apu_sync_channel();
+
+}  // namespace tnr::devices

@@ -1,0 +1,126 @@
+#include "devices/sensitivity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/cross_sections.hpp"
+#include "physics/units.hpp"
+
+namespace tnr::devices {
+
+namespace {
+
+/// Log-grid trapezoid of sigma(E)*phi(E) over the spectrum's support.
+template <typename SigmaFn>
+double fold_rate(const physics::Spectrum& spectrum, SigmaFn&& sigma) {
+    constexpr std::size_t kPanels = 3000;
+    const double lo = spectrum.min_energy_ev();
+    const double hi = spectrum.max_energy_ev();
+    const double log_lo = std::log(lo);
+    const double step = (std::log(hi) - log_lo) / static_cast<double>(kPanels);
+    double sum = 0.0;
+    double e_prev = lo;
+    double f_prev = sigma(lo) * spectrum.flux_density(lo);
+    for (std::size_t i = 1; i <= kPanels; ++i) {
+        const double e = std::exp(log_lo + step * static_cast<double>(i));
+        const double fe = sigma(e) * spectrum.flux_density(e);
+        sum += 0.5 * (f_prev + fe) * (e - e_prev);
+        e_prev = e;
+        f_prev = fe;
+    }
+    return sum;
+}
+
+}  // namespace
+
+// --- WeibullResponse ---------------------------------------------------------
+
+WeibullResponse::WeibullResponse(double sigma_sat_cm2, double threshold_ev,
+                                 double width_ev, double shape)
+    : sigma_sat_(sigma_sat_cm2),
+      threshold_(threshold_ev),
+      width_(width_ev),
+      shape_(shape) {
+    if (sigma_sat_cm2 < 0.0 || width_ev <= 0.0 || shape <= 0.0) {
+        throw std::invalid_argument("WeibullResponse: bad parameters");
+    }
+}
+
+double WeibullResponse::cross_section(double energy_ev) const {
+    if (sigma_sat_ == 0.0 || energy_ev <= threshold_) return 0.0;
+    const double x = (energy_ev - threshold_) / width_;
+    return sigma_sat_ * (1.0 - std::exp(-std::pow(x, shape_)));
+}
+
+double WeibullResponse::folded(const physics::Spectrum& spectrum) const {
+    const double total = spectrum.total_flux();
+    if (total <= 0.0) return 0.0;
+    return event_rate(spectrum) / total;
+}
+
+double WeibullResponse::event_rate(const physics::Spectrum& spectrum) const {
+    if (sigma_sat_ == 0.0) return 0.0;
+    return fold_rate(spectrum, [this](double e) { return cross_section(e); });
+}
+
+WeibullResponse WeibullResponse::scaled(double factor) const {
+    if (factor < 0.0) throw std::invalid_argument("WeibullResponse::scaled");
+    return WeibullResponse(sigma_sat_ * factor, threshold_, width_, shape_);
+}
+
+// --- B10Response -------------------------------------------------------------
+
+B10Response::B10Response(double areal_density_cm2, double upset_probability)
+    : areal_density_(areal_density_cm2), upset_probability_(upset_probability) {
+    if (areal_density_cm2 < 0.0 || upset_probability < 0.0 ||
+        upset_probability > 1.0) {
+        throw std::invalid_argument("B10Response: bad parameters");
+    }
+}
+
+double B10Response::cross_section(double energy_ev) const {
+    if (areal_density_ == 0.0 || upset_probability_ == 0.0) return 0.0;
+    return areal_density_ * physics::b10_capture_barns(energy_ev) *
+           physics::kBarnToCm2 * upset_probability_;
+}
+
+double B10Response::folded(const physics::Spectrum& spectrum) const {
+    const double total = spectrum.total_flux();
+    if (total <= 0.0) return 0.0;
+    return event_rate(spectrum) / total;
+}
+
+double B10Response::event_rate(const physics::Spectrum& spectrum) const {
+    if (areal_density_ == 0.0 || upset_probability_ == 0.0) return 0.0;
+    return fold_rate(spectrum, [this](double e) { return cross_section(e); });
+}
+
+B10Response B10Response::scaled(double factor) const {
+    if (factor < 0.0) throw std::invalid_argument("B10Response::scaled");
+    return B10Response(areal_density_ * factor, upset_probability_);
+}
+
+WeibullResponse blend(const WeibullResponse& a, const WeibullResponse& b,
+                      double wa, double wb) {
+    if (wa < 0.0 || wb < 0.0) {
+        throw std::invalid_argument("blend: negative weights");
+    }
+    if (a.sigma_sat() == 0.0) return b.scaled(wb);
+    if (b.sigma_sat() == 0.0) return a.scaled(wa);
+    // Shared shape: fold b's plateau into a's and scale.
+    const double combined = wa * a.sigma_sat() + wb * b.sigma_sat();
+    return a.scaled(combined / a.sigma_sat());
+}
+
+B10Response blend(const B10Response& a, const B10Response& b, double wa,
+                  double wb) {
+    if (wa < 0.0 || wb < 0.0) {
+        throw std::invalid_argument("blend: negative weights");
+    }
+    if (a.areal_density() == 0.0) return b.scaled(wb);
+    if (b.areal_density() == 0.0) return a.scaled(wa);
+    const double combined = wa * a.areal_density() + wb * b.areal_density();
+    return a.scaled(combined / a.areal_density());
+}
+
+}  // namespace tnr::devices

@@ -1,0 +1,91 @@
+#pragma once
+// Per-mechanism neutron sensitivity models.
+//
+// A device's observable cross section is the sum of two physical channels:
+//
+//   * High-energy channel — (n,Si) spallation/recoil. Modelled with the
+//     standard Weibull response used throughout the SER literature
+//     (JESD89A): zero below a threshold, rising to a saturation plateau.
+//
+//   * Thermal channel — 10B(n,alpha)7Li capture. The cross section is the
+//     10B areal density over the sensitive layers times the 1/v capture
+//     cross section times the probability that a given capture's alpha/7Li
+//     pair upsets a latch AND that the upset manifests as the observed
+//     error type. The 10B content is exactly the quantity the paper says is
+//     proprietary and only measurable by irradiation — here it is the model
+//     parameter the calibration recovers.
+
+#include "physics/spectrum.hpp"
+
+namespace tnr::devices {
+
+/// Cumulative-Weibull high-energy response.
+class WeibullResponse {
+public:
+    /// sigma_sat: plateau cross section [cm^2]; threshold/width in eV;
+    /// shape dimensionless. A sigma_sat of 0 makes the channel inert.
+    WeibullResponse(double sigma_sat_cm2, double threshold_ev, double width_ev,
+                    double shape);
+
+    /// Default: inert channel.
+    WeibullResponse() : WeibullResponse(0.0, 1.0e6, 25.0e6, 1.5) {}
+
+    [[nodiscard]] double cross_section(double energy_ev) const;
+
+    /// Flux-weighted average cross section over a spectrum:
+    /// integral(sigma(E) phi(E) dE) / integral(phi(E) dE), both over the
+    /// full support of the spectrum.
+    [[nodiscard]] double folded(const physics::Spectrum& spectrum) const;
+
+    /// Event rate per unit time under a spectrum: integral(sigma phi dE)
+    /// [events/s when phi is n/cm^2/s/eV].
+    [[nodiscard]] double event_rate(const physics::Spectrum& spectrum) const;
+
+    [[nodiscard]] double sigma_sat() const noexcept { return sigma_sat_; }
+    /// Returns a copy scaled by `factor` (used by calibration).
+    [[nodiscard]] WeibullResponse scaled(double factor) const;
+
+private:
+    double sigma_sat_;
+    double threshold_;
+    double width_;
+    double shape_;
+};
+
+/// 10B(n,alpha) thermal response.
+class B10Response {
+public:
+    /// areal_density: 10B atoms per cm^2 integrated over sensitive layers;
+    /// upset_probability: P(observable error of this type | capture).
+    B10Response(double areal_density_cm2, double upset_probability);
+
+    /// Default: boron-free device (immune to thermals).
+    B10Response() : B10Response(0.0, 0.0) {}
+
+    [[nodiscard]] double cross_section(double energy_ev) const;
+    [[nodiscard]] double folded(const physics::Spectrum& spectrum) const;
+    [[nodiscard]] double event_rate(const physics::Spectrum& spectrum) const;
+
+    [[nodiscard]] double areal_density() const noexcept { return areal_density_; }
+    [[nodiscard]] double upset_probability() const noexcept {
+        return upset_probability_;
+    }
+    [[nodiscard]] B10Response scaled(double factor) const;
+
+private:
+    double areal_density_;
+    double upset_probability_;
+};
+
+/// Weighted sum of two Weibull channels that share the catalog's shape
+/// parameters (sigma_sat is the only degree of freedom): the result has
+/// sigma_sat = wa * a.sigma_sat + wb * b.sigma_sat.
+WeibullResponse blend(const WeibullResponse& a, const WeibullResponse& b,
+                      double wa, double wb);
+
+/// Weighted sum of two 10B channels sharing the catalog's upset-probability
+/// convention: areal densities add.
+B10Response blend(const B10Response& a, const B10Response& b, double wa,
+                  double wb);
+
+}  // namespace tnr::devices

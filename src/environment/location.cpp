@@ -1,0 +1,84 @@
+#include "environment/location.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tnr::environment {
+
+Location::Location(std::string name, double latitude_deg, double longitude_deg,
+                   double altitude_m)
+    : name_(std::move(name)),
+      latitude_(latitude_deg),
+      longitude_(longitude_deg),
+      altitude_(altitude_m) {
+    if (latitude_deg < -90.0 || latitude_deg > 90.0) {
+        throw std::invalid_argument("Location: latitude out of range");
+    }
+    if (longitude_deg < -180.0 || longitude_deg > 180.0) {
+        throw std::invalid_argument("Location: longitude out of range");
+    }
+    if (altitude_m < -500.0 || altitude_m > 20000.0) {
+        throw std::invalid_argument("Location: altitude out of range");
+    }
+}
+
+double Location::atmospheric_depth() const {
+    // US Standard Atmosphere troposphere pressure profile:
+    // d(h) = d0 * (1 - 2.2558e-5 * h)^5.2559, h in metres.
+    const double base = 1.0 - 2.2558e-5 * altitude_;
+    if (base <= 0.0) return 0.0;
+    return kSeaLevelDepth * std::pow(base, 5.2559);
+}
+
+double Location::altitude_factor() const {
+    return std::exp((kSeaLevelDepth - atmospheric_depth()) /
+                    kNeutronAttenuationLength);
+}
+
+double Location::thermal_altitude_factor() const {
+    return std::exp((kSeaLevelDepth - atmospheric_depth()) /
+                    kThermalAttenuationLength);
+}
+
+double Location::rigidity_factor() const {
+    // Normalized so NYC (40.7 N) has factor 1. Flux is lowest at the
+    // geomagnetic equator (high cutoff rigidity) and ~20-30% higher at the
+    // poles; a gentle cos^2 model captures the trend.
+    const double lat_rad = latitude_ * M_PI / 180.0;
+    const double raw = 1.1 - 0.3 * std::cos(lat_rad) * std::cos(lat_rad);
+    const double nyc_rad = 40.7 * M_PI / 180.0;
+    const double nyc_raw = 1.1 - 0.3 * std::cos(nyc_rad) * std::cos(nyc_rad);
+    return raw / nyc_raw;
+}
+
+double Location::high_energy_flux() const {
+    return kNycHighEnergyFlux * altitude_factor() * rigidity_factor();
+}
+
+double Location::thermal_flux_baseline() const {
+    return kSeaLevelThermalFlux * thermal_altitude_factor() * rigidity_factor();
+}
+
+Location Location::new_york_city() {
+    return Location("New York City", 40.7, -74.0, 0.0);
+}
+
+Location Location::leadville_co() {
+    // 10,151 ft = 3094 m.
+    return Location("Leadville, CO", 39.25, -106.3, 3094.0);
+}
+
+Location Location::los_alamos_nm() {
+    return Location("Los Alamos, NM", 35.9, -106.3, 2231.0);
+}
+
+double solar_modulation_factor(double cycle_phase) {
+    if (cycle_phase < 0.0 || cycle_phase >= 1.0) {
+        throw std::invalid_argument(
+            "solar_modulation_factor: phase must be in [0,1)");
+    }
+    // +-15% sinusoid: 1.15 at solar minimum (phase 0), 0.85 at maximum.
+    return 1.0 + 0.15 * std::cos(2.0 * M_PI * cycle_phase);
+}
+
+}  // namespace tnr::environment

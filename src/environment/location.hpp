@@ -1,0 +1,88 @@
+#pragma once
+// Geographic flux model. The high-energy (>10 MeV) atmospheric neutron flux
+// is well characterized (JEDEC JESD89A): ~13 n/cm^2/h at New York City sea
+// level, scaling exponentially with atmospheric depth (altitude). The
+// ambient *thermal* flux is far less predictable — the whole point of the
+// paper — so here we model only its open-field baseline; the material- and
+// weather-dependent modifiers live in modifiers.hpp.
+
+#include <string>
+
+namespace tnr::environment {
+
+/// Reference fluxes (n/cm^2/h) at New York City sea level.
+inline constexpr double kNycHighEnergyFlux = 13.0;  ///< E > 10 MeV, JESD89A.
+/// Open-field ambient thermal flux (E < 0.5 eV) at sea level, before any
+/// environment modifiers.
+inline constexpr double kSeaLevelThermalFlux = 4.0;
+
+/// Atmospheric depth at sea level [g/cm^2].
+inline constexpr double kSeaLevelDepth = 1033.7;
+
+/// Effective attenuation length for the high-energy neutron cascade
+/// [g/cm^2]; 128 g/cm^2 reproduces the canonical Leadville/NYC ratio (~13x).
+inline constexpr double kNeutronAttenuationLength = 128.0;
+
+/// Attenuation length for the ambient *thermal* population [g/cm^2]. It is
+/// shorter than the fast one — thermals are locally moderated fast neutrons
+/// plus evaporation products, so their density grows faster with altitude —
+/// which is why the thermal share of the FIT rate rises at Leadville
+/// (the paper's Txt-2 numbers pin it near 105 g/cm^2).
+inline constexpr double kThermalAttenuationLength = 105.0;
+
+/// A place on Earth where computing devices live.
+class Location {
+public:
+    Location(std::string name, double latitude_deg, double longitude_deg,
+             double altitude_m);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] double latitude_deg() const noexcept { return latitude_; }
+    [[nodiscard]] double longitude_deg() const noexcept { return longitude_; }
+    [[nodiscard]] double altitude_m() const noexcept { return altitude_; }
+
+    /// Atmospheric depth [g/cm^2] at this altitude (US Standard Atmosphere
+    /// barometric relation).
+    [[nodiscard]] double atmospheric_depth() const;
+
+    /// Multiplier on the NYC sea-level high-energy flux due to altitude:
+    /// exp((d_sea - d_here) / L).
+    [[nodiscard]] double altitude_factor() const;
+
+    /// Altitude multiplier for the ambient thermal flux (shorter
+    /// attenuation length; see kThermalAttenuationLength).
+    [[nodiscard]] double thermal_altitude_factor() const;
+
+    /// Geomagnetic-rigidity multiplier; a mild cosine-latitude model
+    /// (equator ~0.8, poles ~1.1, NYC-normalized). The altitude effect
+    /// dominates by far.
+    [[nodiscard]] double rigidity_factor() const;
+
+    /// High-energy (>10 MeV) flux at this location [n/cm^2/h].
+    [[nodiscard]] double high_energy_flux() const;
+
+    /// Baseline open-field thermal flux at this location [n/cm^2/h]
+    /// (scales with the same altitude factor: ambient thermals are locally
+    /// moderated fast neutrons).
+    [[nodiscard]] double thermal_flux_baseline() const;
+
+    // Canonical locations used by the paper's FIT discussion.
+    static Location new_york_city();   ///< sea level reference.
+    static Location leadville_co();    ///< 10,151 ft — the classic high-altitude test point.
+    static Location los_alamos_nm();   ///< Trinity's home, 2231 m.
+
+private:
+    std::string name_;
+    double latitude_;
+    double longitude_;
+    double altitude_;
+};
+
+/// Solar-cycle modulation of the cosmic-ray-driven neutron flux. The paper
+/// notes fluxes are quoted "under normal solar conditions"; over the ~11 y
+/// cycle the ground-level neutron flux swings roughly +-15% around its
+/// mean, *lowest at solar maximum* (the heliosphere shields hardest then).
+/// cycle_phase in [0,1): 0 = solar minimum. Multiply any flux by this.
+double solar_modulation_factor(double cycle_phase);
+
+}  // namespace tnr::environment

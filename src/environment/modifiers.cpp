@@ -1,0 +1,18 @@
+#include "environment/modifiers.hpp"
+
+namespace tnr::environment {
+
+// ThermalEnvironment is header-only; this translation unit anchors the
+// library and hosts the enum name helper.
+
+const char* to_string(Weather w) {
+    switch (w) {
+        case Weather::kSunny:
+            return "sunny";
+        case Weather::kRainy:
+            return "rainy";
+    }
+    return "unknown";
+}
+
+}  // namespace tnr::environment

@@ -1,0 +1,57 @@
+#pragma once
+// Thermal-flux environment modifiers — the variables §III.C ("Motivation")
+// and §V of the paper call out: weather, concrete structures, and cooling
+// water all moderate fast neutrons into thermals near the device.
+//
+// The paper's measured/adopted values:
+//   * rain/thunderstorm: thermal flux up to 2x a sunny day [ziegler2003];
+//   * large concrete slab (machine-room floor): +20%;
+//   * 2 inches of cooling water (Tin-II measurement, Fig. 6): +24%;
+//   * combined slab + water-cooling adjustment used for the FIT figures: +44%.
+// Contributions combine additively (each material adds its own back-scattered
+// thermal population to the ambient field), matching the paper's 20+24=44.
+
+namespace tnr::environment {
+
+enum class Weather {
+    kSunny,
+    kRainy,  ///< thunderstorm/rain: thermal flux doubled.
+};
+
+/// Human-readable weather name.
+const char* to_string(Weather w);
+
+/// Additive fractional increases measured for data-center materials.
+inline constexpr double kConcreteSlabBoost = 0.20;
+inline constexpr double kWaterCoolingBoost = 0.24;
+inline constexpr double kRainMultiplier = 2.0;
+
+/// The surroundings of a device; produces a multiplier on the baseline
+/// open-field thermal flux.
+struct ThermalEnvironment {
+    Weather weather = Weather::kSunny;
+    bool concrete_slab = false;    ///< machine-room floor / parking lot.
+    bool water_cooling = false;    ///< liquid cooling loop adjacent to device.
+    /// Extra additive boost for anything else nearby (fuel tank, passengers —
+    /// humans are mostly water and excellent moderators).
+    double extra_material_boost = 0.0;
+
+    /// Multiplier on the open-field thermal flux.
+    [[nodiscard]] double thermal_multiplier() const {
+        double boost = 1.0;
+        if (concrete_slab) boost += kConcreteSlabBoost;
+        if (water_cooling) boost += kWaterCoolingBoost;
+        boost += extra_material_boost;
+        if (weather == Weather::kRainy) boost *= kRainMultiplier;
+        return boost;
+    }
+
+    /// The paper's data-center configuration (slab + cooling): 1.44.
+    static ThermalEnvironment datacenter() {
+        return {Weather::kSunny, true, true, 0.0};
+    }
+    /// Open field on a sunny day: 1.0.
+    static ThermalEnvironment open_field() { return {}; }
+};
+
+}  // namespace tnr::environment

@@ -1,0 +1,44 @@
+#include "environment/site.hpp"
+
+namespace tnr::environment {
+
+std::vector<Site> top10_supercomputers() {
+    const ThermalEnvironment dc = ThermalEnvironment::datacenter();
+    // Capacities are aggregate node DRAM, rounded; altitudes from site
+    // geography. DDR4 everywhere except the two older Chinese systems.
+    return {
+        {"Summit (ORNL)", Location("Oak Ridge, TN", 36.0, -84.3, 260.0), dc,
+         2.4e7, DramGeneration::kDdr4},
+        {"Sierra (LLNL)", Location("Livermore, CA", 37.7, -121.8, 170.0), dc,
+         1.1e7, DramGeneration::kDdr4},
+        {"Sunway TaihuLight (NSCC-Wuxi)", Location("Wuxi, CN", 31.5, 120.3, 5.0),
+         dc, 1.0e7, DramGeneration::kDdr3},
+        {"Tianhe-2A (NSCC-Guangzhou)",
+         Location("Guangzhou, CN", 23.1, 113.3, 10.0), dc, 1.1e7,
+         DramGeneration::kDdr3},
+        {"Frontera (TACC)", Location("Austin, TX", 30.3, -97.7, 150.0), dc,
+         1.2e7, DramGeneration::kDdr4},
+        {"Piz Daint (CSCS)", Location("Lugano, CH", 46.0, 8.95, 273.0), dc,
+         2.7e6, DramGeneration::kDdr4},
+        {"Trinity (LANL)", Location("Los Alamos, NM", 35.9, -106.3, 2231.0), dc,
+         1.7e7, DramGeneration::kDdr4},
+        {"ABCI (AIST)", Location("Tokyo, JP", 35.7, 139.8, 10.0), dc, 3.8e6,
+         DramGeneration::kDdr4},
+        {"SuperMUC-NG (LRZ)", Location("Garching, DE", 48.25, 11.65, 480.0), dc,
+         5.8e6, DramGeneration::kDdr4},
+        {"Lassen (LLNL)", Location("Livermore, CA", 37.7, -121.8, 170.0), dc,
+         2.0e6, DramGeneration::kDdr4},
+    };
+}
+
+Site nyc_datacenter() {
+    return {"NYC reference data center", Location::new_york_city(),
+            ThermalEnvironment::datacenter(), 0.0, DramGeneration::kDdr4};
+}
+
+Site leadville_datacenter() {
+    return {"Leadville reference data center", Location::leadville_co(),
+            ThermalEnvironment::datacenter(), 0.0, DramGeneration::kDdr4};
+}
+
+}  // namespace tnr::environment

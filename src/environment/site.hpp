@@ -1,0 +1,52 @@
+#pragma once
+// A Site binds a Location to a ThermalEnvironment and (optionally) to a
+// deployed system's DRAM inventory — everything needed to turn beam-measured
+// cross sections into in-the-field error rates. The Top-10 catalog backs the
+// supercomputer DDR FIT projection ([jsc2020] HPC_FIT figure, Txt-3).
+
+#include <string>
+#include <vector>
+
+#include "environment/location.hpp"
+#include "environment/modifiers.hpp"
+
+namespace tnr::environment {
+
+/// Memory technology deployed at a site (for the DDR FIT projection).
+enum class DramGeneration { kDdr3, kDdr4 };
+
+/// A computing installation.
+struct Site {
+    std::string system_name;
+    Location location;
+    ThermalEnvironment environment;
+    /// Total system DRAM [Gbit] (0 when not modelling a fleet).
+    double dram_capacity_gbit = 0.0;
+    DramGeneration dram_generation = DramGeneration::kDdr4;
+
+    /// High-energy flux at the device [n/cm^2/h].
+    [[nodiscard]] double high_energy_flux() const {
+        return location.high_energy_flux();
+    }
+
+    /// Thermal flux at the device including environment modifiers
+    /// [n/cm^2/h].
+    [[nodiscard]] double thermal_flux() const {
+        return location.thermal_flux_baseline() *
+               environment.thermal_multiplier();
+    }
+};
+
+/// The ten fastest systems of the November 2019 Top500 list (the list
+/// contemporary with the paper), with site altitude and approximate
+/// aggregate DRAM capacity. All are modelled as liquid-cooled machine rooms
+/// on concrete slabs (the paper's +44% thermal adjustment).
+std::vector<Site> top10_supercomputers();
+
+/// The two reference sites used for the FIT decomposition (Txt-2):
+/// sea-level NYC and high-altitude Leadville, both with the data-center
+/// thermal adjustment.
+Site nyc_datacenter();
+Site leadville_datacenter();
+
+}  // namespace tnr::environment

@@ -1,0 +1,96 @@
+#include "faultinject/avf.hpp"
+
+#include <stdexcept>
+
+namespace tnr::faultinject {
+
+AvfResult measure_avf(const workloads::SuiteEntry& entry, std::size_t trials,
+                      std::uint64_t seed) {
+    if (trials == 0) throw std::invalid_argument("measure_avf: zero trials");
+    auto workload = entry.make();
+    FaultInjector injector(seed);
+    AvfResult result;
+    result.workload = entry.name;
+    result.trials = trials;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const InjectionRecord rec = injector.inject_once(*workload);
+        switch (rec.outcome) {
+            case Outcome::kMasked:
+                ++result.masked;
+                break;
+            case Outcome::kSdc:
+                ++result.sdc;
+                ++result.sdc_by_segment[rec.segment];
+                if (rec.severity == workloads::SdcSeverity::kCritical) {
+                    ++result.sdc_critical;
+                }
+                break;
+            case Outcome::kDueCrash:
+                ++result.due_crash;
+                break;
+            case Outcome::kDueHang:
+                ++result.due_hang;
+                break;
+        }
+    }
+    return result;
+}
+
+VulnerabilityTable VulnerabilityTable::measure(
+    const std::vector<workloads::SuiteEntry>& suite,
+    std::size_t trials_per_workload, std::uint64_t seed) {
+    if (suite.empty()) {
+        throw std::invalid_argument("VulnerabilityTable: empty suite");
+    }
+    VulnerabilityTable table;
+    double sdc_sum = 0.0;
+    double due_sum = 0.0;
+    std::uint64_t stream = seed;
+    for (const auto& entry : suite) {
+        table.results_.push_back(measure_avf(entry, trials_per_workload, ++stream));
+        sdc_sum += table.results_.back().avf_sdc();
+        due_sum += table.results_.back().avf_due();
+    }
+    const auto n = static_cast<double>(suite.size());
+    const double sdc_mean = sdc_sum / n;
+    const double due_mean = due_sum / n;
+    for (const auto& r : table.results_) {
+        // Degenerate suites (a workload that never SDCs/DUEs) fall back to
+        // weight 1 rather than dividing by zero.
+        table.sdc_weights_[r.workload] =
+            (sdc_mean > 0.0) ? r.avf_sdc() / sdc_mean : 1.0;
+        table.due_weights_[r.workload] =
+            (due_mean > 0.0) ? r.avf_due() / due_mean : 1.0;
+    }
+    return table;
+}
+
+VulnerabilityTable VulnerabilityTable::uniform(
+    const std::vector<workloads::SuiteEntry>& suite) {
+    VulnerabilityTable table;
+    for (const auto& entry : suite) {
+        table.sdc_weights_[entry.name] = 1.0;
+        table.due_weights_[entry.name] = 1.0;
+    }
+    return table;
+}
+
+double VulnerabilityTable::sdc_weight(const std::string& workload) const {
+    const auto it = sdc_weights_.find(workload);
+    if (it == sdc_weights_.end()) {
+        throw std::out_of_range("VulnerabilityTable: unknown workload " +
+                                workload);
+    }
+    return it->second;
+}
+
+double VulnerabilityTable::due_weight(const std::string& workload) const {
+    const auto it = due_weights_.find(workload);
+    if (it == due_weights_.end()) {
+        throw std::out_of_range("VulnerabilityTable: unknown workload " +
+                                workload);
+    }
+    return it->second;
+}
+
+}  // namespace tnr::faultinject

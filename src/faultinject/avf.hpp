@@ -1,0 +1,83 @@
+#pragma once
+// Architectural Vulnerability Factor measurement: the fraction of injected
+// faults that become SDCs / DUEs for each workload. These per-code factors
+// are what make beam cross sections code-dependent (the paper: "different
+// codes executed on the same device can have very different ... error
+// rates"); the beam campaign scales each device's base sensitivity by the
+// workload's relative vulnerability.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "faultinject/injector.hpp"
+#include "stats/poisson.hpp"
+#include "workloads/suite.hpp"
+
+namespace tnr::faultinject {
+
+/// Outcome tallies for one workload.
+struct AvfResult {
+    std::string workload;
+    std::size_t trials = 0;
+    std::size_t masked = 0;
+    std::size_t sdc = 0;
+    std::size_t sdc_critical = 0;  ///< subset of sdc with critical severity.
+    std::size_t due_crash = 0;
+    std::size_t due_hang = 0;
+    /// Per-segment SDC counts (where do dangerous faults live?).
+    std::map<std::string, std::size_t> sdc_by_segment;
+
+    [[nodiscard]] double avf_sdc() const noexcept {
+        return trials ? static_cast<double>(sdc) / static_cast<double>(trials)
+                      : 0.0;
+    }
+    [[nodiscard]] double avf_due() const noexcept {
+        return trials ? static_cast<double>(due_crash + due_hang) /
+                            static_cast<double>(trials)
+                      : 0.0;
+    }
+    [[nodiscard]] double masked_fraction() const noexcept {
+        return trials ? static_cast<double>(masked) / static_cast<double>(trials)
+                      : 0.0;
+    }
+    [[nodiscard]] double critical_fraction() const noexcept {
+        return sdc ? static_cast<double>(sdc_critical) / static_cast<double>(sdc)
+                   : 0.0;
+    }
+};
+
+/// Runs `trials` single-bit injections on a fresh instance of the workload.
+AvfResult measure_avf(const workloads::SuiteEntry& entry, std::size_t trials,
+                      std::uint64_t seed);
+
+/// Vulnerability weights for a whole suite, normalized so the mean SDC (and
+/// mean DUE) weight over the suite is 1 — beam campaigns multiply a device's
+/// suite-average cross section by these to get per-code cross sections while
+/// preserving the device-average ratios.
+class VulnerabilityTable {
+public:
+    /// Measures every workload in the suite.
+    static VulnerabilityTable measure(const std::vector<workloads::SuiteEntry>& suite,
+                                      std::size_t trials_per_workload,
+                                      std::uint64_t seed);
+
+    /// A neutral table (all weights 1) for quick campaigns.
+    static VulnerabilityTable uniform(
+        const std::vector<workloads::SuiteEntry>& suite);
+
+    [[nodiscard]] double sdc_weight(const std::string& workload) const;
+    [[nodiscard]] double due_weight(const std::string& workload) const;
+    [[nodiscard]] const std::vector<AvfResult>& results() const noexcept {
+        return results_;
+    }
+
+private:
+    VulnerabilityTable() = default;
+
+    std::map<std::string, double> sdc_weights_;
+    std::map<std::string, double> due_weights_;
+    std::vector<AvfResult> results_;
+};
+
+}  // namespace tnr::faultinject

@@ -1,0 +1,90 @@
+#include "faultinject/injector.hpp"
+
+#include <stdexcept>
+
+namespace tnr::faultinject {
+
+const char* to_string(Outcome o) {
+    switch (o) {
+        case Outcome::kMasked:
+            return "masked";
+        case Outcome::kSdc:
+            return "SDC";
+        case Outcome::kDueCrash:
+            return "DUE(crash)";
+        case Outcome::kDueHang:
+            return "DUE(hang)";
+    }
+    return "unknown";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+InjectionRecord FaultInjector::inject_once(workloads::Workload& w) {
+    w.reset();
+    auto segments = w.segments();
+    if (segments.empty()) {
+        throw std::logic_error("FaultInjector: workload exposes no state");
+    }
+    std::size_t total = 0;
+    for (const auto& s : segments) total += s.bytes.size();
+    if (total == 0) {
+        throw std::logic_error("FaultInjector: workload state is empty");
+    }
+
+    // Uniform byte across all segments, then a uniform bit.
+    std::size_t target = rng_.uniform_index(total);
+    InjectionRecord record;
+    for (const auto& s : segments) {
+        if (target < s.bytes.size()) {
+            record.segment = std::string(s.name);
+            record.byte_offset = target;
+            record.bit = static_cast<std::uint8_t>(rng_.uniform_index(8));
+            s.bytes[target] ^= static_cast<std::byte>(1u << record.bit);
+            break;
+        }
+        target -= s.bytes.size();
+    }
+    return execute_and_classify(w, std::move(record));
+}
+
+InjectionRecord FaultInjector::inject_at(workloads::Workload& w,
+                                         std::size_t segment_index,
+                                         std::size_t byte_offset,
+                                         std::uint8_t bit) {
+    w.reset();
+    auto segments = w.segments();
+    if (segment_index >= segments.size()) {
+        throw std::out_of_range("FaultInjector::inject_at: bad segment");
+    }
+    auto& seg = segments[segment_index];
+    if (byte_offset >= seg.bytes.size() || bit >= 8) {
+        throw std::out_of_range("FaultInjector::inject_at: bad byte/bit");
+    }
+    InjectionRecord record;
+    record.segment = std::string(seg.name);
+    record.byte_offset = byte_offset;
+    record.bit = bit;
+    seg.bytes[byte_offset] ^= static_cast<std::byte>(1u << bit);
+    return execute_and_classify(w, std::move(record));
+}
+
+InjectionRecord FaultInjector::execute_and_classify(workloads::Workload& w,
+                                                    InjectionRecord record) {
+    try {
+        w.run();
+    } catch (const workloads::WorkloadFailure& failure) {
+        record.outcome = failure.kind() == workloads::WorkloadFailure::Kind::kHang
+                             ? Outcome::kDueHang
+                             : Outcome::kDueCrash;
+        record.severity = workloads::SdcSeverity::kNone;
+        return record;
+    }
+    record.severity = w.severity();
+    record.outcome = (record.severity == workloads::SdcSeverity::kNone)
+                         ? Outcome::kMasked
+                         : Outcome::kSdc;
+    return record;
+}
+
+}  // namespace tnr::faultinject

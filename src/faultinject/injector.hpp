@@ -1,0 +1,65 @@
+#pragma once
+// Software fault injection (SWIFI) over the workload kernels. One injection
+// = one transient bit flip in live kernel state, then a full execution and
+// outcome classification:
+//
+//   Masked — output bit-identical to golden (the fault was overwritten or
+//            logically masked);
+//   SDC    — output differs silently (further split critical/tolerable for
+//            the CNNs);
+//   DUE    — the kernel detected the fault (bounds check, watchdog,
+//            singularity, NaN guard) — the analogue of a crash/hang.
+//
+// This is the standard methodology the paper cites ([Wilkening2014, GPUQin,
+// Cher2014]) for explaining *why* beam cross sections differ across codes.
+
+#include <cstdint>
+#include <string>
+
+#include "stats/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace tnr::faultinject {
+
+enum class Outcome : std::uint8_t {
+    kMasked,
+    kSdc,
+    kDueCrash,
+    kDueHang,
+};
+
+const char* to_string(Outcome o);
+
+/// Everything about a single injection, for logs and segment breakdowns.
+struct InjectionRecord {
+    std::string segment;        ///< which state region was hit.
+    std::size_t byte_offset = 0;
+    std::uint8_t bit = 0;
+    Outcome outcome = Outcome::kMasked;
+    workloads::SdcSeverity severity = workloads::SdcSeverity::kNone;
+};
+
+/// Injects single bit flips into a workload and classifies outcomes.
+class FaultInjector {
+public:
+    explicit FaultInjector(std::uint64_t seed = 0xFA017ULL);
+
+    /// Runs one injection trial: reset -> flip one random bit (uniform over
+    /// all injectable bytes) -> run -> classify. Leaves the workload dirty;
+    /// callers run reset() or just call inject_once again.
+    InjectionRecord inject_once(workloads::Workload& w);
+
+    /// Flip a specific bit (for directed tests): segment index, byte, bit.
+    InjectionRecord inject_at(workloads::Workload& w, std::size_t segment_index,
+                              std::size_t byte_offset, std::uint8_t bit);
+
+    [[nodiscard]] stats::Rng& rng() noexcept { return rng_; }
+
+private:
+    InjectionRecord execute_and_classify(workloads::Workload& w,
+                                         InjectionRecord record);
+
+    stats::Rng rng_;
+};
+
+}  // namespace tnr::faultinject

@@ -1,0 +1,150 @@
+#include "fpga/beam_run.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace tnr::fpga {
+
+const char* to_string(ScrubPolicy p) {
+    switch (p) {
+        case ScrubPolicy::kNone:
+            return "none";
+        case ScrubPolicy::kReprogramOnError:
+            return "reprogram-on-error";
+        case ScrubPolicy::kPeriodicScrub:
+            return "periodic-scrub";
+    }
+    return "unknown";
+}
+
+FpgaBeamRun::FpgaBeamRun(FpgaBeamConfig config,
+                         std::unique_ptr<workloads::Workload> design,
+                         std::uint64_t seed)
+    : config_(config),
+      design_(std::move(design)),
+      memory_(config.layout),
+      rng_(seed) {
+    if (!design_) throw std::invalid_argument("FpgaBeamRun: null design");
+    if (config.sigma_bit_cm2 <= 0.0 || config.flux_n_cm2_s <= 0.0 ||
+        config.seconds_per_run <= 0.0) {
+        throw std::invalid_argument("FpgaBeamRun: bad beam parameters");
+    }
+}
+
+void FpgaBeamRun::apply_circuit_corruption() {
+    design_->reset();
+    const auto segments = design_->segments();
+    std::size_t total_bytes = 0;
+    for (const auto& s : segments) total_bytes += s.bytes.size();
+    if (total_bytes == 0) return;
+
+    // Effective corruption keys. Without TMR every essential upset corrupts
+    // its own key. With TMR, bit b belongs to replica (b % 3) of logic
+    // position (b / 3): the voted output corrupts a position exactly once
+    // when >=2 of its replicas are upset.
+    std::vector<std::uint64_t> corrupted_keys;
+    const auto upsets = memory_.essential_upset_bits();
+    if (config_.tmr) {
+        std::unordered_map<std::uint64_t, std::uint32_t> replica_hits;
+        for (const std::uint64_t bit : upsets) ++replica_hits[bit / 3];
+        for (const auto& [position, hits] : replica_hits) {
+            if (hits >= 2) corrupted_keys.push_back(position);
+        }
+    } else {
+        corrupted_keys.assign(upsets.begin(), upsets.end());
+    }
+
+    for (const std::uint64_t key : corrupted_keys) {
+        // Deterministic mapping config-bit -> design-state bit: the same
+        // upset corrupts the same logic every run (persistence).
+        stats::SplitMix64 hash(key ^ 0x0F0F0F0F0F0F0F0FULL);
+        std::size_t target =
+            static_cast<std::size_t>(hash.next() % total_bytes);
+        const auto target_bit = static_cast<std::uint8_t>(hash.next() % 8);
+        for (const auto& s : segments) {
+            if (target < s.bytes.size()) {
+                s.bytes[target] ^= static_cast<std::byte>(1u << target_bit);
+                break;
+            }
+            target -= s.bytes.size();
+        }
+    }
+}
+
+FpgaBeamReport FpgaBeamRun::run(std::uint64_t runs) {
+    FpgaBeamReport report;
+    const double area_factor = config_.tmr ? 3.0 : 1.0;
+    const double upset_rate = area_factor * config_.sigma_bit_cm2 *
+                              static_cast<double>(config_.layout.total_bits) *
+                              config_.flux_n_cm2_s;
+    bool error_is_repeat = false;
+
+    for (std::uint64_t r = 0; r < runs; ++r) {
+        ++report.runs;
+        report.fluence += config_.flux_n_cm2_s * config_.seconds_per_run;
+
+        // Beam deposits configuration upsets during this run. Only a change
+        // to the *essential* set alters the implemented circuit.
+        const std::uint64_t new_upsets =
+            rng_.poisson(upset_rate * config_.seconds_per_run);
+        if (new_upsets > 0) {
+            const std::size_t essential_before = memory_.essential_upsets();
+            memory_.irradiate(new_upsets, rng_);
+            if (memory_.essential_upsets() != essential_before) {
+                error_is_repeat = false;
+            }
+        }
+
+        // Periodic scrubbing runs regardless of output observations.
+        if (config_.policy == ScrubPolicy::kPeriodicScrub &&
+            config_.scrub_period_runs > 0 &&
+            (r + 1) % config_.scrub_period_runs == 0) {
+            memory_.scrub(1.0);
+            ++report.scrubs;
+            error_is_repeat = false;
+        }
+
+        // Functional collapse: enough of the design's logic corrupted that
+        // nothing sensible comes out (the rare FPGA DUE).
+        if (memory_.essential_upsets() >= config_.functional_collapse_upsets) {
+            ++report.dues;
+            memory_.reprogram();
+            ++report.reprograms;
+            error_is_repeat = false;
+            continue;
+        }
+
+        // Execute the (possibly corrupted) design and compare outputs.
+        apply_circuit_corruption();
+        bool output_error;
+        try {
+            design_->run();
+            output_error = !design_->verify();
+        } catch (const workloads::WorkloadFailure&) {
+            // A corrupted circuit producing garbage control flow: counted
+            // as an output error on FPGAs (no OS to crash).
+            output_error = true;
+        }
+
+        if (output_error) {
+            ++report.output_errors;
+            if (error_is_repeat) {
+                ++report.repeated_error_runs;
+            } else {
+                ++report.distinct_error_events;
+                error_is_repeat = true;
+            }
+            if (config_.policy == ScrubPolicy::kReprogramOnError) {
+                memory_.reprogram();
+                ++report.reprograms;
+                error_is_repeat = false;
+            }
+        }
+    }
+    return report;
+}
+
+}  // namespace tnr::fpga

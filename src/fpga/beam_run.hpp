@@ -1,0 +1,97 @@
+#pragma once
+// An FPGA under beam: configuration upsets arrive as a Poisson process;
+// essential upsets persistently corrupt the implemented circuit (modelled
+// by deterministically mapping each essential upset onto a bit of the
+// loaded workload's weight/state segments); the tester observes the design
+// output after every inference and applies a mitigation policy.
+//
+// Reproduces §IV's FPGA observations: persistence (the same wrong output
+// repeats until reprogramming), the reprogram-on-error test protocol, and
+// the rarity of DUEs (functionality only collapses after heavy
+// accumulation).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fpga/config_memory.hpp"
+#include "stats/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace tnr::fpga {
+
+/// Mitigation policy applied by the test harness / deployed system.
+enum class ScrubPolicy {
+    kNone,               ///< let upsets accumulate (error streams).
+    kReprogramOnError,   ///< the paper's beam protocol.
+    kPeriodicScrub,      ///< background readback scrubbing every k runs.
+};
+
+const char* to_string(ScrubPolicy p);
+
+struct FpgaBeamConfig {
+    ConfigMemoryLayout layout{};
+    /// Per-bit upset cross section [cm^2/bit] for the beam in use.
+    double sigma_bit_cm2 = 1.0e-15;
+    double flux_n_cm2_s = 2.72e6;
+    /// Wall time per inference run [s].
+    double seconds_per_run = 1.0;
+    ScrubPolicy policy = ScrubPolicy::kReprogramOnError;
+    /// For kPeriodicScrub: scrub every N runs.
+    std::uint64_t scrub_period_runs = 16;
+    /// Essential upsets beyond which the circuit stops functioning (DUE):
+    /// clock/reset networks eventually break. Large, per the paper.
+    std::size_t functional_collapse_upsets = 64;
+    /// Triple modular redundancy: the design is triplicated and voted. An
+    /// essential upset only corrupts the output once two of the three
+    /// replicas of the same logic are hit. Costs ~3x the area (and hence
+    /// ~3x the upset arrival rate), which is why TMR without scrubbing
+    /// eventually loses to accumulation.
+    bool tmr = false;
+};
+
+struct FpgaBeamReport {
+    std::uint64_t runs = 0;
+    std::uint64_t output_errors = 0;       ///< runs with corrupted output.
+    std::uint64_t distinct_error_events = 0;  ///< new corruptions (not repeats).
+    std::uint64_t repeated_error_runs = 0; ///< stream-of-corrupted-data runs.
+    std::uint64_t dues = 0;                ///< functional collapses.
+    std::uint64_t reprograms = 0;
+    std::uint64_t scrubs = 0;
+    double fluence = 0.0;
+
+    /// Observed SDC cross section: distinct error events per fluence.
+    [[nodiscard]] double sigma_sdc() const {
+        return fluence > 0.0
+                   ? static_cast<double>(distinct_error_events) / fluence
+                   : 0.0;
+    }
+};
+
+/// Drives a workload-on-FPGA through a beam exposure.
+class FpgaBeamRun {
+public:
+    FpgaBeamRun(FpgaBeamConfig config, std::unique_ptr<workloads::Workload> design,
+                std::uint64_t seed);
+
+    /// Runs `runs` inference iterations under beam and reports.
+    FpgaBeamReport run(std::uint64_t runs);
+
+    [[nodiscard]] const ConfigMemory& config_memory() const noexcept {
+        return memory_;
+    }
+
+private:
+    /// Applies the current essential upsets to a freshly reset design:
+    /// essential config bit b maps deterministically onto one bit of the
+    /// design's injectable state.
+    void apply_circuit_corruption();
+
+    FpgaBeamConfig config_;
+    std::unique_ptr<workloads::Workload> design_;
+    ConfigMemory memory_;
+    stats::Rng rng_;
+};
+
+}  // namespace tnr::fpga

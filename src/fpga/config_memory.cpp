@@ -1,0 +1,76 @@
+#include "fpga/config_memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tnr::fpga {
+
+ConfigMemory::ConfigMemory(ConfigMemoryLayout layout) : layout_(layout) {
+    if (layout.total_bits == 0 || layout.essential_fraction < 0.0 ||
+        layout.essential_fraction > 1.0) {
+        throw std::invalid_argument("ConfigMemory: bad layout");
+    }
+}
+
+std::uint64_t ConfigMemory::essential_bits() const {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(layout_.total_bits) * layout_.essential_fraction);
+}
+
+void ConfigMemory::flip(std::uint64_t bit) {
+    if (bit >= layout_.total_bits) {
+        throw std::out_of_range("ConfigMemory::flip: bit out of range");
+    }
+    const auto it = upsets_.find(bit);
+    if (it != upsets_.end()) {
+        upsets_.erase(it);  // second strike restores the bit.
+    } else {
+        upsets_.insert(bit);
+    }
+}
+
+void ConfigMemory::irradiate(std::uint64_t count, stats::Rng& rng) {
+    for (std::uint64_t k = 0; k < count; ++k) {
+        flip(rng.uniform_index(layout_.total_bits));
+    }
+}
+
+std::size_t ConfigMemory::essential_upsets() const {
+    const std::uint64_t boundary = essential_bits();
+    return static_cast<std::size_t>(
+        std::count_if(upsets_.begin(), upsets_.end(),
+                      [boundary](std::uint64_t b) { return b < boundary; }));
+}
+
+std::vector<std::uint64_t> ConfigMemory::essential_upset_bits() const {
+    const std::uint64_t boundary = essential_bits();
+    std::vector<std::uint64_t> bits;
+    for (const auto b : upsets_) {
+        if (b < boundary) bits.push_back(b);
+    }
+    std::sort(bits.begin(), bits.end());
+    return bits;
+}
+
+bool ConfigMemory::is_upset(std::uint64_t bit) const {
+    return upsets_.contains(bit);
+}
+
+void ConfigMemory::reprogram() { upsets_.clear(); }
+
+void ConfigMemory::scrub(double fraction_of_frames) {
+    if (fraction_of_frames < 0.0 || fraction_of_frames > 1.0) {
+        throw std::invalid_argument("ConfigMemory::scrub: bad fraction");
+    }
+    const auto boundary = static_cast<std::uint64_t>(
+        static_cast<double>(layout_.total_bits) * fraction_of_frames);
+    for (auto it = upsets_.begin(); it != upsets_.end();) {
+        if (*it < boundary) {
+            it = upsets_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+}  // namespace tnr::fpga

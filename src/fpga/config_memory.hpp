@@ -1,0 +1,82 @@
+#pragma once
+// SRAM-FPGA configuration memory. The paper (§IV): "neutron-induced errors
+// in the configuration memory of SRAM FPGAs have a persistent effect, in
+// the sense that a corruption changes the implemented circuit until a new
+// bitstream is loaded"; the experimenters "reprogram the FPGA at each
+// observed output error to avoid the collection of a stream of corrupted
+// data", and DUEs are very rare because "a considerable amount of errors
+// would need to accumulate ... to have the circuit functionality
+// compromised".
+//
+// Model: a bitstream of N configuration bits, of which a design-dependent
+// fraction is *essential* (flipping it alters the implemented circuit —
+// Xilinx's "essential bits" report). Upsets accumulate until a scrub or a
+// full reprogram clears them.
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace tnr::fpga {
+
+struct ConfigMemoryLayout {
+    /// Total configuration bits (a Zynq-7020 bitstream is ~ 32 Mbit).
+    std::uint64_t total_bits = 32'000'000;
+    /// Fraction of bits essential to the loaded design (typical reports:
+    /// 5-20% for a well-filled device).
+    double essential_fraction = 0.10;
+};
+
+/// The configuration memory of one programmed device.
+class ConfigMemory {
+public:
+    explicit ConfigMemory(ConfigMemoryLayout layout = {});
+
+    [[nodiscard]] const ConfigMemoryLayout& layout() const noexcept {
+        return layout_;
+    }
+
+    /// Number of essential bits in the loaded design.
+    [[nodiscard]] std::uint64_t essential_bits() const;
+
+    /// Flips one configuration bit (idempotent per bit: a second hit
+    /// restores it, as a real SEU would).
+    void flip(std::uint64_t bit);
+
+    /// Deposits `count` upsets at uniformly random bits.
+    void irradiate(std::uint64_t count, stats::Rng& rng);
+
+    /// All currently-flipped bits.
+    [[nodiscard]] std::size_t upset_count() const noexcept {
+        return upsets_.size();
+    }
+
+    /// Currently-flipped *essential* bits — the ones that corrupt the
+    /// circuit. Bits below essential_bits() are the essential region
+    /// (placement is irrelevant to the statistics; a fixed region keeps the
+    /// mapping deterministic).
+    [[nodiscard]] std::size_t essential_upsets() const;
+
+    /// The essential upset bit indices (stable order), for mapping onto a
+    /// workload's state.
+    [[nodiscard]] std::vector<std::uint64_t> essential_upset_bits() const;
+
+    /// True if the bit is currently flipped.
+    [[nodiscard]] bool is_upset(std::uint64_t bit) const;
+
+    /// Reload the full bitstream: all upsets cleared (reprogramming).
+    void reprogram();
+
+    /// Partial scrub: repairs upsets in the given fraction of frames
+    /// (deterministic prefix), modelling one round of SEM-style readback
+    /// scrubbing.
+    void scrub(double fraction_of_frames);
+
+private:
+    ConfigMemoryLayout layout_;
+    std::unordered_set<std::uint64_t> upsets_;
+};
+
+}  // namespace tnr::fpga

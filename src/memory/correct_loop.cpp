@@ -1,0 +1,133 @@
+#include "memory/correct_loop.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace tnr::memory {
+
+std::uint64_t CorrectLoopReport::total_errors() const {
+    return std::accumulate(count_by_category.begin(), count_by_category.end(),
+                           std::uint64_t{0});
+}
+
+double CorrectLoopReport::sigma_per_gbit(FaultCategory c) const {
+    if (fluence <= 0.0 || tested_gbit <= 0.0) return 0.0;
+    return static_cast<double>(count_by_category[static_cast<std::size_t>(c)]) /
+           fluence / tested_gbit;
+}
+
+stats::Interval CorrectLoopReport::sigma_ci(FaultCategory c) const {
+    return stats::poisson_rate_interval(
+        count_by_category[static_cast<std::size_t>(c)], fluence * tested_gbit);
+}
+
+double CorrectLoopReport::dominant_direction_fraction() const {
+    const std::uint64_t total = flips_one_to_zero + flips_zero_to_one;
+    if (total == 0) return 0.0;
+    return static_cast<double>(std::max(flips_one_to_zero, flips_zero_to_one)) /
+           static_cast<double>(total);
+}
+
+double CorrectLoopReport::permanent_fraction() const {
+    const std::uint64_t total = total_errors();
+    if (total == 0) return 0.0;
+    return static_cast<double>(
+               count_by_category[static_cast<std::size_t>(
+                   FaultCategory::kPermanent)]) /
+           static_cast<double>(total);
+}
+
+CorrectLoopTester::CorrectLoopTester(DramConfig config, CorrectLoopConfig loop,
+                                     double flux_n_cm2_s, std::uint64_t seed)
+    : config_(std::move(config)),
+      loop_(loop),
+      array_(loop.array_cells, loop.pattern_ones),
+      process_(config_, flux_n_cm2_s, seed),
+      rng_(seed ^ 0x5eedULL) {
+    if (loop.array_cells == 0 || loop.confirmation_reads == 0 ||
+        loop.sefi_threshold == 0 || loop.pass_interval_s <= 0.0) {
+        throw std::invalid_argument("CorrectLoopTester: bad loop config");
+    }
+}
+
+FaultCategory CorrectLoopTester::classify_cell(std::size_t cell) {
+    // The paper's protocol: rewrite the location, then confirm with repeated
+    // reads. Always-wrong => permanent (stuck-at); sometimes-wrong =>
+    // intermittent; never-wrong => the original event was transient.
+    array_.rewrite(cell);
+    std::size_t wrong = 0;
+    for (std::size_t r = 0; r < loop_.confirmation_reads; ++r) {
+        if (array_.read(cell, rng_) != array_.expected()) ++wrong;
+    }
+    if (wrong == loop_.confirmation_reads) return FaultCategory::kPermanent;
+    if (wrong > 0) return FaultCategory::kIntermittent;
+    return FaultCategory::kTransient;
+}
+
+CorrectLoopReport CorrectLoopTester::run(double duration_s) {
+    if (duration_s <= 0.0) {
+        throw std::invalid_argument("CorrectLoopTester: bad duration");
+    }
+    CorrectLoopReport report;
+    report.tested_gbit = config_.capacity_gbit;  // window aliases the module.
+
+    const std::size_t passes =
+        static_cast<std::size_t>(duration_s / loop_.pass_interval_s);
+    for (std::size_t pass = 0; pass < passes; ++pass) {
+        process_.advance(array_, loop_.pass_interval_s);
+        now_s_ += loop_.pass_interval_s;
+
+        // Scan: collect every cell reading wrong this pass.
+        std::vector<std::size_t> wrong_cells;
+        for (const std::size_t cell : array_.scan_errors(rng_)) {
+            if (!known_bad_.contains(cell)) wrong_cells.push_back(cell);
+        }
+        if (wrong_cells.empty()) continue;
+
+        if (wrong_cells.size() >= loop_.sefi_threshold) {
+            // A large portion of the array wrong at once: SEFI. Rewrite
+            // everything; subsequent reads recover (per the paper).
+            ObservedError err;
+            err.time_s = now_s_;
+            err.cell = wrong_cells.front();
+            err.corrupted_cells = wrong_cells.size();
+            err.classified = FaultCategory::kSefi;
+            // Direction of the burst: cells read the complement of the
+            // background.
+            err.direction = array_.expected() ? FlipDirection::kOneToZero
+                                              : FlipDirection::kZeroToOne;
+            report.errors.push_back(err);
+            ++report.count_by_category[static_cast<std::size_t>(
+                FaultCategory::kSefi)];
+            report.multi_bit_events += 1;
+            array_.rewrite_all();
+            continue;
+        }
+
+        for (const std::size_t cell : wrong_cells) {
+            ObservedError err;
+            err.time_s = now_s_;
+            err.cell = cell;
+            err.corrupted_cells = 1;
+            err.direction = array_.expected() ? FlipDirection::kOneToZero
+                                              : FlipDirection::kZeroToOne;
+            err.classified = classify_cell(cell);
+            if (err.classified == FaultCategory::kIntermittent ||
+                err.classified == FaultCategory::kPermanent) {
+                known_bad_.insert(cell);
+            }
+            report.errors.push_back(err);
+            ++report.count_by_category[static_cast<std::size_t>(err.classified)];
+            ++report.single_bit_events;
+            if (err.direction == FlipDirection::kOneToZero) {
+                ++report.flips_one_to_zero;
+            } else {
+                ++report.flips_zero_to_one;
+            }
+        }
+    }
+    report.fluence = process_.fluence();
+    return report;
+}
+
+}  // namespace tnr::memory

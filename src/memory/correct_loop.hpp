@@ -1,0 +1,88 @@
+#pragma once
+// The paper's DRAM test harness (§IV): banks are set to 0xFF (or 0x00) and
+// continually read under beam; when an unexpected value appears the error is
+// counted, the corrupted data downloaded, and the bank rewritten. The
+// re-read protocol after rewrite distinguishes the four categories:
+//
+//   transient    — never wrong again after rewrite;
+//   intermittent — wrong in some but not all confirmation reads;
+//   permanent    — wrong in every confirmation read (stuck-at);
+//   SEFI         — a large burst of cells wrong in one pass (control logic).
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "memory/dram_array.hpp"
+#include "memory/dram_config.hpp"
+#include "memory/fault_process.hpp"
+#include "stats/poisson.hpp"
+
+namespace tnr::memory {
+
+/// One error event as seen (and classified) by the tester.
+struct ObservedError {
+    double time_s = 0.0;
+    std::size_t cell = 0;           ///< first wrong cell of the event.
+    std::size_t corrupted_cells = 1;///< cells wrong in the same pass/event.
+    FlipDirection direction = FlipDirection::kOneToZero;
+    FaultCategory classified = FaultCategory::kTransient;
+};
+
+/// Aggregated campaign result.
+struct CorrectLoopReport {
+    double fluence = 0.0;           ///< delivered fluence [n/cm^2].
+    double tested_gbit = 0.0;       ///< simulated capacity [Gbit].
+    std::array<std::uint64_t, kFaultCategoryCount> count_by_category{};
+    std::uint64_t flips_one_to_zero = 0;
+    std::uint64_t flips_zero_to_one = 0;
+    std::uint64_t single_bit_events = 0;
+    std::uint64_t multi_bit_events = 0;
+    std::vector<ObservedError> errors;
+
+    [[nodiscard]] std::uint64_t total_errors() const;
+    /// Cross section per Gbit for one category [cm^2/Gbit].
+    [[nodiscard]] double sigma_per_gbit(FaultCategory c) const;
+    /// Exact 95% Poisson CI on that cross section.
+    [[nodiscard]] stats::Interval sigma_ci(FaultCategory c) const;
+    /// Fraction of all bit flips in the dominant direction.
+    [[nodiscard]] double dominant_direction_fraction() const;
+    /// Fraction of errors classified permanent.
+    [[nodiscard]] double permanent_fraction() const;
+};
+
+/// Tester configuration.
+struct CorrectLoopConfig {
+    std::size_t array_cells = 1u << 22;  ///< simulated window (aliases module).
+    bool pattern_ones = true;            ///< 0xFF background (vs 0x00).
+    double pass_interval_s = 10.0;       ///< time per full scan pass.
+    std::size_t confirmation_reads = 8;  ///< re-reads after rewrite.
+    std::size_t sefi_threshold = 64;     ///< wrong cells in one pass => SEFI.
+};
+
+/// Runs the correct loop against a simulated module under beam.
+class CorrectLoopTester {
+public:
+    CorrectLoopTester(DramConfig config, CorrectLoopConfig loop,
+                      double flux_n_cm2_s, std::uint64_t seed);
+
+    /// Runs for `duration_s` of beam time and returns the report.
+    CorrectLoopReport run(double duration_s);
+
+private:
+    FaultCategory classify_cell(std::size_t cell);
+
+    DramConfig config_;
+    CorrectLoopConfig loop_;
+    DramArray array_;
+    FaultProcess process_;
+    stats::Rng rng_;
+    double now_s_ = 0.0;
+    /// Locations already classified intermittent/permanent: the tester
+    /// excludes them from further scans (as the real harness masks known-bad
+    /// addresses) so one physical fault is counted once.
+    std::unordered_set<std::size_t> known_bad_;
+};
+
+}  // namespace tnr::memory

@@ -1,0 +1,119 @@
+#include "memory/dram_array.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tnr::memory {
+
+DramArray::DramArray(std::size_t cells, bool pattern_ones)
+    : cells_(cells), pattern_ones_(pattern_ones) {
+    if (cells == 0) throw std::invalid_argument("DramArray: zero cells");
+    words_.resize((cells + 63) / 64);
+    rewrite_all();
+}
+
+void DramArray::rewrite_all() {
+    const std::uint64_t fill = pattern_ones_ ? ~0ULL : 0ULL;
+    for (auto& w : words_) w = fill;
+}
+
+void DramArray::rewrite(std::size_t cell) { store(cell, pattern_ones_); }
+
+bool DramArray::stored(std::size_t cell) const {
+    if (cell >= cells_) throw std::out_of_range("DramArray: cell out of range");
+    return (words_[cell / 64] >> (cell % 64)) & 1ULL;
+}
+
+void DramArray::store(std::size_t cell, bool value) {
+    if (cell >= cells_) throw std::out_of_range("DramArray: cell out of range");
+    const std::uint64_t mask = 1ULL << (cell % 64);
+    if (value) {
+        words_[cell / 64] |= mask;
+    } else {
+        words_[cell / 64] &= ~mask;
+    }
+}
+
+bool DramArray::read(std::size_t cell, stats::Rng& rng) const {
+    // Stuck cells dominate everything.
+    if (const auto it = stuck_.find(cell); it != stuck_.end()) {
+        return it->second;
+    }
+    const bool value = stored(cell);
+    if (const auto it = intermittent_.find(cell); it != intermittent_.end()) {
+        if (value != it->second.faulty_value &&
+            rng.bernoulli(it->second.probability)) {
+            return it->second.faulty_value;
+        }
+    }
+    return value;
+}
+
+bool DramArray::apply_transient(std::size_t cell, FlipDirection direction) {
+    const bool from = direction == FlipDirection::kOneToZero;
+    if (stored(cell) != from) return false;  // nothing to flip.
+    store(cell, !from);
+    return true;
+}
+
+void DramArray::apply_intermittent(std::size_t cell, double error_probability,
+                                   FlipDirection direction) {
+    if (error_probability <= 0.0 || error_probability > 1.0) {
+        throw std::invalid_argument("DramArray: bad intermittent probability");
+    }
+    if (cell >= cells_) throw std::out_of_range("DramArray: cell out of range");
+    intermittent_[cell] = {error_probability,
+                           direction == FlipDirection::kZeroToOne};
+    special_words_.insert(cell / 64);
+}
+
+void DramArray::apply_permanent(std::size_t cell, FlipDirection direction) {
+    if (cell >= cells_) throw std::out_of_range("DramArray: cell out of range");
+    stuck_[cell] = direction == FlipDirection::kZeroToOne;
+    special_words_.insert(cell / 64);
+}
+
+void DramArray::apply_sefi(std::size_t start_cell, std::size_t burst) {
+    if (cells_ == 0) return;
+    for (std::size_t k = 0; k < burst; ++k) {
+        const std::size_t cell = (start_cell + k) % cells_;
+        store(cell, !pattern_ones_);
+    }
+}
+
+bool DramArray::is_stuck(std::size_t cell) const {
+    return stuck_.contains(cell);
+}
+
+bool DramArray::is_intermittent(std::size_t cell) const {
+    return intermittent_.contains(cell);
+}
+
+void DramArray::anneal() {
+    stuck_.clear();
+    // Rebuild the special-word index from the remaining intermittents.
+    special_words_.clear();
+    for (const auto& [cell, fault] : intermittent_) {
+        (void)fault;
+        special_words_.insert(cell / 64);
+    }
+}
+
+std::vector<std::size_t> DramArray::scan_errors(stats::Rng& rng) const {
+    std::vector<std::size_t> wrong;
+    const std::uint64_t fill = pattern_ones_ ? ~0ULL : 0ULL;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        const bool clean_word =
+            words_[w] == fill && !special_words_.contains(w);
+        if (clean_word) continue;
+        const std::size_t base = w * 64;
+        const std::size_t limit = std::min<std::size_t>(64, cells_ - base);
+        for (std::size_t b = 0; b < limit; ++b) {
+            const std::size_t cell = base + b;
+            if (read(cell, rng) != pattern_ones_) wrong.push_back(cell);
+        }
+    }
+    return wrong;
+}
+
+}  // namespace tnr::memory

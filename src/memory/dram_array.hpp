@@ -1,0 +1,92 @@
+#pragma once
+// A simulated DRAM cell array with radiation fault state. The array models a
+// test window of the module (the correct-loop tester walks it bank by bank);
+// faults land as transient flips, intermittent cells, stuck-at cells, or
+// SEFI bursts, and reads reflect the composed state — which is exactly what
+// the classifier has to untangle.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "memory/dram_config.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::memory {
+
+/// One simulated DRAM array (a window of `cells` bits).
+class DramArray {
+public:
+    /// cells: number of simulated bits; pattern_ones: true writes 0xFF
+    /// background (all ones), false writes 0x00.
+    DramArray(std::size_t cells, bool pattern_ones);
+
+    [[nodiscard]] std::size_t cells() const noexcept { return cells_; }
+    [[nodiscard]] bool pattern_ones() const noexcept { return pattern_ones_; }
+
+    /// Writes the background pattern to every cell (clears stored values,
+    /// not fault state — permanents stay stuck).
+    void rewrite_all();
+
+    /// Rewrites one cell with its background value.
+    void rewrite(std::size_t cell);
+
+    /// Reads a cell through its fault state.
+    [[nodiscard]] bool read(std::size_t cell, stats::Rng& rng) const;
+
+    /// Fast full scan: returns all cells whose read deviates from the
+    /// background this pass. Words holding neither stored deviations nor
+    /// stuck/intermittent cells are skipped with one 64-bit compare, making
+    /// a pass O(cells/64) in the common case.
+    [[nodiscard]] std::vector<std::size_t> scan_errors(stats::Rng& rng) const;
+
+    /// Expected (background) value of every cell.
+    [[nodiscard]] bool expected() const noexcept { return pattern_ones_; }
+
+    // --- Fault application (called by the fault process) ---------------------
+    /// Transient: flip the stored value once. Honors direction: a 1->0 flip
+    /// on a cell already at 0 has no effect (returns false).
+    bool apply_transient(std::size_t cell, FlipDirection direction);
+
+    /// Intermittent: the cell flips toward the fault's direction with
+    /// probability `error_probability` on each read, from now on. Like
+    /// transients, the fault has a direction: a 1->0 intermittent cell reads
+    /// correctly while it stores 0.
+    void apply_intermittent(std::size_t cell, double error_probability,
+                            FlipDirection direction);
+
+    /// Permanent: stuck at the faulty value dictated by direction.
+    void apply_permanent(std::size_t cell, FlipDirection direction);
+
+    /// SEFI: corrupt `burst` consecutive stored values starting at cell
+    /// (wrapping); subsequent rewrites fully recover.
+    void apply_sefi(std::size_t start_cell, std::size_t burst);
+
+    /// Ground truth accessors, for classifier validation in tests.
+    [[nodiscard]] bool is_stuck(std::size_t cell) const;
+    [[nodiscard]] bool is_intermittent(std::size_t cell) const;
+
+    /// Anneal: clear all permanent faults (heating the device, §IV).
+    void anneal();
+
+private:
+    [[nodiscard]] bool stored(std::size_t cell) const;
+    void store(std::size_t cell, bool value);
+
+    std::size_t cells_;
+    bool pattern_ones_;
+    std::vector<std::uint64_t> words_;
+    /// cell -> stuck value.
+    std::unordered_map<std::size_t, bool> stuck_;
+    struct IntermittentFault {
+        double probability;
+        bool faulty_value;  ///< value the cell flips toward.
+    };
+    /// cell -> intermittent fault state.
+    std::unordered_map<std::size_t, IntermittentFault> intermittent_;
+    /// word indices containing stuck/intermittent cells (scan fast path).
+    std::unordered_set<std::size_t> special_words_;
+};
+
+}  // namespace tnr::memory

@@ -1,0 +1,94 @@
+#include "memory/dram_config.hpp"
+
+#include <numeric>
+
+namespace tnr::memory {
+
+const char* to_string(FlipDirection d) {
+    return d == FlipDirection::kOneToZero ? "1->0" : "0->1";
+}
+
+const char* to_string(FaultCategory c) {
+    switch (c) {
+        case FaultCategory::kTransient:
+            return "transient";
+        case FaultCategory::kIntermittent:
+            return "intermittent";
+        case FaultCategory::kPermanent:
+            return "permanent";
+        case FaultCategory::kSefi:
+            return "SEFI";
+    }
+    return "unknown";
+}
+
+double DramConfig::sigma_total_per_gbit() const {
+    return std::accumulate(sigma_per_gbit.begin(), sigma_per_gbit.end(), 0.0);
+}
+
+double DramConfig::sigma_module(FaultCategory c) const {
+    return sigma_per_gbit[static_cast<std::size_t>(c)] * capacity_gbit;
+}
+
+DramConfig ddr3_module() {
+    DramConfig cfg;
+    cfg.name = "DDR3-1866 4GB x8";
+    cfg.capacity_gbit = 32.0;  // 4 GB.
+    cfg.voltage = 1.5;
+    cfg.frequency_mhz = 1866.0;
+    cfg.timings = "10-11-10";
+    // Nominal per-Gbit thermal cross sections [cm^2/Gbit]; split keeps
+    // permanents below 30% of all DDR3 errors.
+    cfg.sigma_per_gbit = {
+        4.5e-10,  // transient  (45%)
+        2.0e-10,  // intermittent (20%)
+        2.8e-10,  // permanent (28%)
+        0.7e-10,  // SEFI (7%)
+    };
+    cfg.dominant_direction = FlipDirection::kOneToZero;
+    cfg.dominant_fraction = 0.96;
+    cfg.sefi_burst_cells = 512;
+    return cfg;
+}
+
+DramConfig ddr4_module() {
+    DramConfig cfg;
+    cfg.name = "DDR4-2133 8GB x8";
+    cfg.capacity_gbit = 64.0;  // 8 GB.
+    cfg.voltage = 1.2;
+    cfg.frequency_mhz = 2133.0;
+    cfg.timings = "13-15-15-28";
+    // One order of magnitude below DDR3 per Gbit; permanents above 50%.
+    cfg.sigma_per_gbit = {
+        2.5e-11,  // transient (25%)
+        1.2e-11,  // intermittent (12%)
+        5.5e-11,  // permanent (55%)
+        0.8e-11,  // SEFI (8%)
+    };
+    cfg.dominant_direction = FlipDirection::kZeroToOne;
+    cfg.dominant_fraction = 0.97;
+    cfg.sefi_burst_cells = 512;
+    return cfg;
+}
+
+DramConfig sram_module() {
+    DramConfig cfg;
+    cfg.name = "SRAM 64Mbit async";
+    cfg.capacity_gbit = 0.064;
+    cfg.voltage = 3.3;
+    cfg.frequency_mhz = 100.0;
+    cfg.timings = "10ns";
+    cfg.sigma_per_gbit = {
+        2.0e-8,   // transient: SRAM is the classic SEU-sensitive array.
+        1.0e-9,   // intermittent.
+        2.0e-10,  // permanent: rare (no storage-capacitor damage channel).
+        5.0e-10,  // SEFI.
+    };
+    // The symmetric cell has no preferred direction.
+    cfg.dominant_direction = FlipDirection::kOneToZero;
+    cfg.dominant_fraction = 0.5;
+    cfg.sefi_burst_cells = 256;
+    return cfg;
+}
+
+}  // namespace tnr::memory

@@ -1,0 +1,67 @@
+#pragma once
+// The two DIMMs of the paper's memory study (§IV): a DDR3-1866 4 GB module
+// and a DDR4-2133 8 GB module, both single-rank x8 without ECC, with their
+// thermal-neutron sensitivities per fault category.
+//
+// Published findings encoded here as nominal per-Gbit cross sections:
+//   * DDR4 total sensitivity ~= one order of magnitude below DDR3;
+//   * >95% of flips are 1->0 on DDR3 but 0->1 on DDR4 (complementary cell
+//     logic);
+//   * permanent errors are <30% of DDR3 errors but >50% on DDR4;
+//   * both parts show SEFIs; all transient/intermittent errors single-bit.
+
+#include <array>
+#include <string>
+
+namespace tnr::memory {
+
+/// Direction of a DRAM bit flip.
+enum class FlipDirection { kOneToZero, kZeroToOne };
+
+const char* to_string(FlipDirection d);
+
+/// The paper's four observed error categories (§IV).
+enum class FaultCategory : std::size_t {
+    kTransient = 0,
+    kIntermittent = 1,
+    kPermanent = 2,
+    kSefi = 3,
+};
+
+inline constexpr std::size_t kFaultCategoryCount = 4;
+
+const char* to_string(FaultCategory c);
+
+struct DramConfig {
+    std::string name;
+    double capacity_gbit = 0.0;
+    double voltage = 0.0;
+    double frequency_mhz = 0.0;
+    std::string timings;
+    /// Thermal cross section per Gbit for each category [cm^2/Gbit],
+    /// indexed by FaultCategory.
+    std::array<double, kFaultCategoryCount> sigma_per_gbit{};
+    /// Dominant flip direction and its share of all bit flips.
+    FlipDirection dominant_direction = FlipDirection::kOneToZero;
+    double dominant_fraction = 0.95;
+    /// Cells corrupted by one SEFI (control-logic event touching a region).
+    std::size_t sefi_burst_cells = 512;
+
+    [[nodiscard]] double sigma_total_per_gbit() const;
+    /// Full-module cross section for one category [cm^2].
+    [[nodiscard]] double sigma_module(FaultCategory c) const;
+};
+
+/// DDR3-1866, 4 GB, 1.5 V, 10-11-10.
+DramConfig ddr3_module();
+
+/// DDR4-2133, 8 GB, 1.2 V, 13-15-15-28.
+DramConfig ddr4_module();
+
+/// A 64 Mbit asynchronous SRAM (the Weulersse-style comparison part). SRAM
+/// cells are symmetric cross-coupled inverters: no flip-direction
+/// asymmetry, almost no radiation-induced permanent faults, and a far
+/// higher per-Gbit transient sensitivity than DRAM.
+DramConfig sram_module();
+
+}  // namespace tnr::memory

@@ -1,0 +1,138 @@
+#include "memory/ecc.hpp"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+namespace tnr::memory {
+
+namespace {
+
+/// Positions 1..71 of the extended Hamming code; powers of two are check
+/// bits, the remaining 64 positions carry data bits in ascending order.
+constexpr bool is_power_of_two(unsigned p) { return (p & (p - 1)) == 0; }
+
+/// data bit k -> code position.
+constexpr std::array<std::uint8_t, 64> build_data_positions() {
+    std::array<std::uint8_t, 64> table{};
+    std::size_t k = 0;
+    for (unsigned p = 1; p <= 71 && k < 64; ++p) {
+        if (!is_power_of_two(p)) table[k++] = static_cast<std::uint8_t>(p);
+    }
+    return table;
+}
+
+/// code position -> data bit k (0xFF for check positions).
+constexpr std::array<std::uint8_t, 72> build_position_to_data() {
+    std::array<std::uint8_t, 72> table{};
+    for (auto& t : table) t = 0xFF;
+    std::size_t k = 0;
+    for (unsigned p = 1; p <= 71 && k < 64; ++p) {
+        if (!is_power_of_two(p)) table[p] = static_cast<std::uint8_t>(k++);
+    }
+    return table;
+}
+
+constexpr auto kDataPosition = build_data_positions();
+constexpr auto kPositionToData = build_position_to_data();
+
+/// Check bit index (0..6) for a power-of-two position.
+constexpr std::uint8_t check_index(unsigned p) {
+    return static_cast<std::uint8_t>(std::countr_zero(p));
+}
+
+}  // namespace
+
+const char* to_string(EccOutcome o) {
+    switch (o) {
+        case EccOutcome::kClean:
+            return "clean";
+        case EccOutcome::kCorrectedSingle:
+            return "corrected-single";
+        case EccOutcome::kDetectedDouble:
+            return "detected-double";
+        case EccOutcome::kUndetected:
+            return "undetected";
+    }
+    return "unknown";
+}
+
+void Codeword::flip(std::uint8_t index) {
+    if (index < 64) {
+        data ^= (1ULL << index);
+    } else if (index < 72) {
+        check ^= static_cast<std::uint8_t>(1u << (index - 64));
+    } else {
+        throw std::out_of_range("Codeword::flip: bad bit index");
+    }
+}
+
+Codeword Secded::encode(std::uint64_t data) {
+    // Syndrome accumulator: XOR of the positions of all set data bits. Each
+    // check bit c_i is then bit i of the accumulator, making every parity
+    // group even.
+    unsigned acc = 0;
+    for (unsigned k = 0; k < 64; ++k) {
+        if ((data >> k) & 1ULL) acc ^= kDataPosition[k];
+    }
+    Codeword word;
+    word.data = data;
+    std::uint8_t check = 0;
+    for (unsigned i = 0; i < 7; ++i) {
+        if ((acc >> i) & 1u) check |= static_cast<std::uint8_t>(1u << i);
+    }
+    // Overall parity (bit 7 of `check`) covers all 71 code bits.
+    const bool parity =
+        (std::popcount(data) + std::popcount(static_cast<unsigned>(check))) % 2;
+    if (parity) check |= 0x80;
+    word.check = check;
+    return word;
+}
+
+std::uint8_t Secded::syndrome(const Codeword& word) {
+    unsigned acc = 0;
+    for (unsigned k = 0; k < 64; ++k) {
+        if ((word.data >> k) & 1ULL) acc ^= kDataPosition[k];
+    }
+    for (unsigned i = 0; i < 7; ++i) {
+        if ((word.check >> i) & 1u) acc ^= (1u << i);
+    }
+    return static_cast<std::uint8_t>(acc);
+}
+
+bool Secded::overall_parity(const Codeword& word) {
+    return ((std::popcount(word.data) +
+             std::popcount(static_cast<unsigned>(word.check))) %
+            2) != 0;
+}
+
+EccOutcome Secded::decode(Codeword& word) {
+    const std::uint8_t s = syndrome(word);
+    const bool parity_odd = overall_parity(word);
+
+    if (s == 0 && !parity_odd) return EccOutcome::kClean;
+
+    if (parity_odd) {
+        // Odd weight error: assume single (SECDED guarantee for <=2 flips).
+        if (s == 0) {
+            // The overall parity bit itself flipped.
+            word.check ^= 0x80;
+            return EccOutcome::kCorrectedSingle;
+        }
+        if (s > 71) {
+            // Syndrome points outside the code: >=3 flips; flag it.
+            return EccOutcome::kDetectedDouble;
+        }
+        if (is_power_of_two(s)) {
+            word.check ^= static_cast<std::uint8_t>(1u << check_index(s));
+        } else {
+            word.data ^= (1ULL << kPositionToData[s]);
+        }
+        return EccOutcome::kCorrectedSingle;
+    }
+
+    // Even weight, nonzero syndrome: uncorrectable double error.
+    return EccOutcome::kDetectedDouble;
+}
+
+}  // namespace tnr::memory

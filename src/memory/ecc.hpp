@@ -1,0 +1,46 @@
+#pragma once
+// SECDED Hamming(72,64): the ECC HPC systems deploy on DRAM. The paper's
+// §IV conclusion — "SECDED ECC is shown to be sufficient to correct most
+// thermal neutron induced errors" because all transient/intermittent events
+// were single-bit, while SEFI bursts escape — is checked against this
+// implementation by the ECC ablation bench.
+
+#include <cstdint>
+
+namespace tnr::memory {
+
+/// Result of decoding a 72-bit codeword.
+enum class EccOutcome : std::uint8_t {
+    kClean,           ///< no error detected.
+    kCorrectedSingle, ///< single-bit error corrected.
+    kDetectedDouble,  ///< double-bit error detected, not correctable (DUE).
+    kUndetected,      ///< (only reachable with >=3 flips) silently wrong.
+};
+
+const char* to_string(EccOutcome o);
+
+/// A 72-bit SECDED codeword: 64 data bits + 8 check bits.
+struct Codeword {
+    std::uint64_t data = 0;
+    std::uint8_t check = 0;
+
+    /// Flips bit `index` (0-63 data, 64-71 check).
+    void flip(std::uint8_t index);
+};
+
+/// Hamming(72,64) with an overall parity bit (Hsiao-style SECDED).
+class Secded {
+public:
+    /// Encodes 64 data bits into a codeword.
+    [[nodiscard]] static Codeword encode(std::uint64_t data);
+
+    /// Decodes in place: corrects single-bit errors, flags double-bit
+    /// errors. Returns the outcome; `word.data` holds the best-effort data.
+    static EccOutcome decode(Codeword& word);
+
+private:
+    [[nodiscard]] static std::uint8_t syndrome(const Codeword& word);
+    [[nodiscard]] static bool overall_parity(const Codeword& word);
+};
+
+}  // namespace tnr::memory

@@ -1,0 +1,79 @@
+#include "memory/fault_process.hpp"
+
+#include <stdexcept>
+
+namespace tnr::memory {
+
+namespace {
+/// Per-read error probability given to intermittent cells: wrong often
+/// enough to be caught by a handful of confirmation reads, rarely enough to
+/// not look stuck.
+constexpr double kIntermittentReadErrorProbability = 0.35;
+}  // namespace
+
+FaultProcess::FaultProcess(const DramConfig& config, double flux_n_cm2_s,
+                           std::uint64_t seed, bool model_full_module)
+    : config_(config),
+      flux_(flux_n_cm2_s),
+      model_full_module_(model_full_module),
+      rng_(seed) {
+    if (flux_n_cm2_s <= 0.0) {
+        throw std::invalid_argument("FaultProcess: flux must be > 0");
+    }
+}
+
+double FaultProcess::category_rate(FaultCategory c,
+                                   const DramArray& array) const {
+    if (model_full_module_) return config_.sigma_module(c) * flux_;
+    const double bits_total = config_.capacity_gbit * 1.0e9;
+    const double coverage = static_cast<double>(array.cells()) / bits_total;
+    return config_.sigma_module(c) * flux_ * coverage;
+}
+
+FlipDirection FaultProcess::sample_direction(stats::Rng& rng) const {
+    const bool dominant = rng.bernoulli(config_.dominant_fraction);
+    if (dominant) return config_.dominant_direction;
+    return config_.dominant_direction == FlipDirection::kOneToZero
+               ? FlipDirection::kZeroToOne
+               : FlipDirection::kOneToZero;
+}
+
+std::vector<InjectedFault> FaultProcess::advance(DramArray& array,
+                                                 double dt_s) {
+    if (dt_s < 0.0) throw std::invalid_argument("FaultProcess: negative dt");
+    std::vector<InjectedFault> injected;
+    for (std::size_t ci = 0; ci < kFaultCategoryCount; ++ci) {
+        const auto category = static_cast<FaultCategory>(ci);
+        const double mean = category_rate(category, array) * dt_s;
+        const std::uint64_t n = rng_.poisson(mean);
+        for (std::uint64_t k = 0; k < n; ++k) {
+            InjectedFault f;
+            f.time_s = now_s_ + rng_.uniform() * dt_s;
+            f.category = category;
+            f.direction = sample_direction(rng_);
+            f.cell = rng_.uniform_index(array.cells());
+            switch (category) {
+                case FaultCategory::kTransient:
+                    f.effective = array.apply_transient(f.cell, f.direction);
+                    break;
+                case FaultCategory::kIntermittent:
+                    array.apply_intermittent(
+                        f.cell, kIntermittentReadErrorProbability, f.direction);
+                    break;
+                case FaultCategory::kPermanent:
+                    array.apply_permanent(f.cell, f.direction);
+                    break;
+                case FaultCategory::kSefi:
+                    array.apply_sefi(f.cell, config_.sefi_burst_cells);
+                    break;
+            }
+            injected.push_back(f);
+            history_.push_back(f);
+        }
+    }
+    now_s_ += dt_s;
+    fluence_ += flux_ * dt_s;
+    return injected;
+}
+
+}  // namespace tnr::memory

@@ -1,0 +1,62 @@
+#pragma once
+// Radiation fault process for DRAM under a neutron beam: events arrive as a
+// Poisson process with per-category rates sigma_category * Phi, land on
+// uniformly random cells, and honor each module's flip-direction asymmetry.
+
+#include <cstdint>
+#include <vector>
+
+#include "memory/dram_array.hpp"
+#include "memory/dram_config.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::memory {
+
+/// Ground-truth log entry of an injected fault (for classifier validation).
+struct InjectedFault {
+    double time_s = 0.0;
+    FaultCategory category = FaultCategory::kTransient;
+    FlipDirection direction = FlipDirection::kOneToZero;
+    std::size_t cell = 0;
+    bool effective = true;  ///< transient flip on an opposite-state cell is not.
+};
+
+/// Drives faults into a DramArray while "beam is on".
+class FaultProcess {
+public:
+    /// flux: beam flux [n/cm^2/s]. When model_full_module is true (default)
+    /// the array *aliases* the whole module: fault rates are computed for
+    /// the full capacity and landed into the simulated window, which is how
+    /// the real tester sees them (it scans the whole DIMM). When false,
+    /// rates are scaled down to the window's share of the capacity.
+    FaultProcess(const DramConfig& config, double flux_n_cm2_s,
+                 std::uint64_t seed, bool model_full_module = true);
+
+    /// Advances the beam clock by dt seconds, injecting faults into `array`.
+    /// Returns the faults injected during this step.
+    std::vector<InjectedFault> advance(DramArray& array, double dt_s);
+
+    /// Total fluence delivered so far [n/cm^2].
+    [[nodiscard]] double fluence() const noexcept { return fluence_; }
+
+    /// Event rate for one category over the simulated window [faults/s].
+    [[nodiscard]] double category_rate(FaultCategory c,
+                                       const DramArray& array) const;
+
+    [[nodiscard]] const std::vector<InjectedFault>& history() const noexcept {
+        return history_;
+    }
+
+private:
+    FlipDirection sample_direction(stats::Rng& rng) const;
+
+    DramConfig config_;
+    double flux_;
+    bool model_full_module_;
+    double fluence_ = 0.0;
+    double now_s_ = 0.0;
+    stats::Rng rng_;
+    std::vector<InjectedFault> history_;
+};
+
+}  // namespace tnr::memory

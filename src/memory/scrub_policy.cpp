@@ -1,0 +1,77 @@
+#include "memory/scrub_policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace tnr::memory {
+
+namespace {
+
+constexpr double kBitsPerEccWord = 64.0;
+constexpr double kSecondsPerYear = 365.25 * 86400.0;
+
+/// Single-bit fault rate of the whole module [faults/s] at the given
+/// thermal flux. Uses the transient + intermittent + permanent categories
+/// (all single-bit per the paper); SEFIs are control-logic events handled
+/// separately.
+double module_fault_rate(const DramConfig& config, double thermal_flux_per_h) {
+    const double sigma =
+        config.sigma_module(FaultCategory::kTransient) +
+        config.sigma_module(FaultCategory::kIntermittent) +
+        config.sigma_module(FaultCategory::kPermanent);
+    return sigma * thermal_flux_per_h / 3600.0;
+}
+
+}  // namespace
+
+ScrubAnalysis analyze_scrub_interval(const DramConfig& config,
+                                     double thermal_flux_per_h,
+                                     double scrub_interval_s) {
+    if (thermal_flux_per_h <= 0.0 || scrub_interval_s <= 0.0) {
+        throw std::invalid_argument("analyze_scrub_interval: bad arguments");
+    }
+    ScrubAnalysis out;
+    out.fault_rate_per_s = module_fault_rate(config, thermal_flux_per_h);
+    out.faults_per_interval = out.fault_rate_per_s * scrub_interval_s;
+
+    const double words = config.capacity_gbit * 1.0e9 / kBitsPerEccWord;
+    // Birthday approximation conditioned on the Poisson fault count:
+    // P(collision) = 1 - E[exp(-K(K-1)/(2W))]; for K Poisson(k) with
+    // k << W the mean-value approximation with k^2 (E[K(K-1)] = k^2) holds.
+    const double k = out.faults_per_interval;
+    out.collision_probability = -std::expm1(-k * k / (2.0 * words));
+
+    const double intervals_per_year = kSecondsPerYear / scrub_interval_s;
+    out.uncorrectable_per_year =
+        out.collision_probability * intervals_per_year;
+    return out;
+}
+
+double simulate_collision_probability(const DramConfig& config,
+                                      double thermal_flux_per_h,
+                                      double scrub_interval_s,
+                                      std::uint64_t trials, stats::Rng& rng) {
+    if (trials == 0) {
+        throw std::invalid_argument("simulate_collision_probability: trials");
+    }
+    const double k =
+        module_fault_rate(config, thermal_flux_per_h) * scrub_interval_s;
+    const auto words = static_cast<std::uint64_t>(config.capacity_gbit * 1.0e9 /
+                                                  kBitsPerEccWord);
+    std::uint64_t collisions = 0;
+    std::unordered_set<std::uint64_t> hit;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+        hit.clear();
+        const std::uint64_t faults = rng.poisson(k);
+        for (std::uint64_t f = 0; f < faults; ++f) {
+            if (!hit.insert(rng.uniform_index(words)).second) {
+                ++collisions;
+                break;
+            }
+        }
+    }
+    return static_cast<double>(collisions) / static_cast<double>(trials);
+}
+
+}  // namespace tnr::memory

@@ -1,0 +1,44 @@
+#pragma once
+// DRAM patrol scrubbing economics. SECDED corrects any single bit per
+// 64-bit word — but field faults *accumulate*: once two independent faults
+// land in the same ECC word before a scrub rewrites it, the word is
+// uncorrectable (a DUE at best). The scrub interval therefore trades memory
+// bandwidth against the probability of double-fault alignment — the
+// operational consequence of the paper's thermal DRAM rates.
+//
+// Both an analytic birthday-collision model and a Monte Carlo validator are
+// provided.
+
+#include <cstdint>
+
+#include "memory/dram_config.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::memory {
+
+struct ScrubAnalysis {
+    double fault_rate_per_s = 0.0;       ///< whole-module single-bit faults.
+    double faults_per_interval = 0.0;
+    /// P(at least one ECC word holds >=2 faults at the end of an interval).
+    double collision_probability = 0.0;
+    /// Expected uncorrectable events per year of operation.
+    double uncorrectable_per_year = 0.0;
+};
+
+/// Analytic model: faults arrive Poisson at `fit`-equivalent rate over the
+/// module; k faults among W = capacity/64 words collide with probability
+/// ~ 1 - exp(-k(k-1)/(2W)) (birthday approximation); collisions across
+/// intervals are cleared by the scrub.
+ScrubAnalysis analyze_scrub_interval(const DramConfig& config,
+                                     double thermal_flux_per_h,
+                                     double scrub_interval_s);
+
+/// Monte Carlo cross-check of the per-interval collision probability:
+/// simulates `trials` scrub intervals, placing Poisson(k) faults uniformly
+/// over the module's ECC words.
+double simulate_collision_probability(const DramConfig& config,
+                                      double thermal_flux_per_h,
+                                      double scrub_interval_s,
+                                      std::uint64_t trials, stats::Rng& rng);
+
+}  // namespace tnr::memory

@@ -1,0 +1,53 @@
+#pragma once
+// The two ISIS beamlines used by the paper (§III.C, Fig. 2), as spectra:
+//
+//   * ChipIR — atmospheric-like fast spectrum for accelerated testing.
+//     Phi(>10 MeV) = 5.4e6 n/cm^2/s, plus a thermal tail of 4e5 n/cm^2/s
+//     and a 1/E epithermal bridge (every spallation beamline has one).
+//   * ROTAX — fully moderated thermal beam (liquid-methane moderator),
+//     Phi = 2.72e6 n/cm^2/s, Maxwellian.
+//
+// Both factories normalize numerically so the published integral fluxes are
+// met exactly.
+
+#include <memory>
+
+#include "physics/spectrum.hpp"
+
+namespace tnr::physics {
+
+/// Published ChipIR integral fluxes [n/cm^2/s].
+inline constexpr double kChipIrHighEnergyFlux = 5.4e6;   ///< E > 10 MeV.
+inline constexpr double kChipIrThermalFlux = 4.0e5;      ///< E < 0.5 eV.
+/// Epithermal bridge flux between 0.5 eV and 1 MeV (typical for ChipIR's
+/// spectrum shape; affects only the 1/E plateau in Fig. 2).
+inline constexpr double kChipIrEpithermalFlux = 8.0e5;
+
+/// Published ROTAX total flux [n/cm^2/s].
+inline constexpr double kRotaxTotalFlux = 2.72e6;
+/// Effective Maxwellian temperature of the ROTAX beam [eV].
+inline constexpr double kRotaxKt = 0.0253;
+
+/// ChipIR: composite of a Gordon-shaped fast component scaled to the
+/// published >10 MeV flux, a 1/E epithermal bridge, and a thermal Maxwellian.
+std::shared_ptr<const Spectrum> chipir_spectrum();
+
+/// ROTAX: thermal Maxwellian at kRotaxKt scaled to the published total flux.
+std::shared_ptr<const Spectrum> rotax_spectrum();
+
+/// The natural ground-level spectrum shape for a given >10 MeV flux
+/// [n/cm^2/s] and thermal flux [n/cm^2/s] — used to express field
+/// environments in the same form as beamlines.
+std::shared_ptr<const Spectrum> terrestrial_spectrum(double high_energy_flux,
+                                                     double thermal_flux);
+
+/// Published D-T generator flux used for the 14 MeV comparison runs
+/// [n/cm^2/s] (Weulersse et al. methodology, discussed in the paper's
+/// related work).
+inline constexpr double kDt14Flux = 1.0e5;
+
+/// A D-T fusion neutron generator: narrow ~14.1 MeV line (modelled as a
+/// tight tabulated peak), `flux` n/cm^2/s total.
+std::shared_ptr<const Spectrum> dt14_spectrum(double flux = kDt14Flux);
+
+}  // namespace tnr::physics

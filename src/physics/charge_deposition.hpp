@@ -1,0 +1,76 @@
+#pragma once
+// Charge deposition by the 10B(n,alpha)7Li reaction products in silicon —
+// the microscopic step between "a thermal neutron was captured" and "a bit
+// flipped". The catalog's upset probability (P(observable error | capture))
+// is an effective constant; this model derives it from geometry:
+//
+//   * the capture emits a 1.47 MeV alpha and a 0.84 MeV 7Li ion
+//     back-to-back in a random direction (plus a gamma in 94% of decays);
+//   * each ion deposits ~E/range along a straight track (mean-LET
+//     approximation of the Bragg curve);
+//   * a bit flips when the charge collected inside the cell's sensitive
+//     depth window exceeds the node's critical charge.
+//
+// Ranges in silicon: alpha(1.47 MeV) ~ 5.0 um, 7Li(0.84 MeV) ~ 2.6 um;
+// 3.6 eV per electron-hole pair => 1 fC per ~22.5 keV deposited.
+
+#include <cstdint>
+
+#include "stats/rng.hpp"
+
+namespace tnr::physics {
+
+/// Electron-hole pair creation energy in silicon [eV].
+inline constexpr double kPairEnergyEv = 3.6;
+
+/// keV of deposited energy per fC of collected charge.
+inline constexpr double kKevPerFc = 22.5;
+
+/// A reaction product ion.
+struct Ion {
+    double energy_kev = 0.0;
+    double range_um = 0.0;
+
+    /// Mean linear energy transfer [keV/um] (flat-track approximation).
+    [[nodiscard]] double mean_let() const noexcept {
+        return range_um > 0.0 ? energy_kev / range_um : 0.0;
+    }
+};
+
+/// The 10B(n,alpha)7Li products (ground-state branch energies; the 94%
+/// excited branch is ~6% lower — within this model's accuracy).
+Ion b10_alpha();
+Ion b10_lithium();
+
+/// Charge [fC] from an energy deposit [keV].
+double charge_fc(double deposited_kev);
+
+/// The collection geometry of one memory cell / latch.
+struct SensitiveVolume {
+    /// Depth window that collects charge [um] (drift + funneling depth).
+    double depth_um = 1.0;
+    /// Distance from the 10B-bearing layer to the top of the window [um]
+    /// (boron sits in contacts/liners above the junction).
+    double standoff_um = 0.5;
+    /// Critical charge of the node [fC].
+    double qcrit_fc = 2.0;
+    /// Fraction of the 10B layer's area underlain by sensitive nodes: a
+    /// capture elsewhere cannot upset anything (the 1-D depth model has no
+    /// lateral miss of its own). Planar SRAM ~5-15%; FinFET fins a few %.
+    double area_coverage = 0.08;
+};
+
+/// Monte Carlo estimate of P(upset | capture in the 10B layer): reactions
+/// occur uniformly in a layer of the given thickness above the volume; the
+/// two ions fly back-to-back with an isotropic direction; an upset needs
+/// either ion to deposit more than qcrit inside the depth window.
+double upset_probability(double b10_layer_um, const SensitiveVolume& volume,
+                         std::uint64_t samples, stats::Rng& rng);
+
+/// Technology presets for the paper's device generations (critical charge
+/// shrinks with the node; collection depth shrinks too).
+SensitiveVolume volume_28nm_planar();
+SensitiveVolume volume_16nm_finfet();
+SensitiveVolume volume_90nm_legacy();
+
+}  // namespace tnr::physics

@@ -1,0 +1,70 @@
+#include "physics/cross_sections.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/units.hpp"
+
+namespace tnr::physics {
+
+double one_over_v(double sigma_thermal_barns, double energy_ev) {
+    if (energy_ev <= 0.0) {
+        throw std::domain_error("one_over_v: energy must be > 0");
+    }
+    return sigma_thermal_barns * std::sqrt(kThermalReferenceEv / energy_ev);
+}
+
+double b10_capture_barns(double energy_ev) {
+    // 1/v holds for 10B(n,a) to within a few percent up to ~10 keV; above
+    // that the cross section keeps falling — 1/v remains a serviceable and
+    // slightly conservative approximation for this study.
+    return one_over_v(kB10CaptureBarns, energy_ev);
+}
+
+double he3_capture_barns(double energy_ev) {
+    return one_over_v(kHe3CaptureBarns, energy_ev);
+}
+
+double cd_absorption_barns(double energy_ev) {
+    // Model: 1/v body multiplied by a smooth roll-off above the 0.5 eV
+    // cadmium cutoff (the downslope of the 0.178 eV 113Cd resonance).
+    const double body = one_over_v(kCdCaptureBarns, energy_ev);
+    if (energy_ev <= kThermalCutoffEv) return body;
+    // Beyond the cutoff the absorption falls roughly as E^-3 (resonance tail)
+    // until the ~7 b epithermal floor.
+    const double ratio = energy_ev / kThermalCutoffEv;
+    const double tail = body / (ratio * ratio * ratio);
+    const double floor_barns = 7.0;
+    return std::max(tail, floor_barns * std::sqrt(kThermalCutoffEv / energy_ev));
+}
+
+double h1_capture_barns(double energy_ev) {
+    return one_over_v(kH1CaptureBarns, energy_ev);
+}
+
+double elastic_mean_energy_fraction(double mass_number) {
+    if (mass_number < 1.0) {
+        throw std::domain_error("elastic_mean_energy_fraction: A >= 1");
+    }
+    const double a1 = mass_number + 1.0;
+    return 1.0 - 2.0 * mass_number / (a1 * a1);
+}
+
+double mean_log_energy_decrement(double mass_number) {
+    if (mass_number < 1.0) {
+        throw std::domain_error("mean_log_energy_decrement: A >= 1");
+    }
+    if (mass_number == 1.0) return 1.0;
+    const double a = mass_number;
+    const double alpha = ((a - 1.0) * (a - 1.0)) / ((a + 1.0) * (a + 1.0));
+    return 1.0 + alpha * std::log(alpha) / (1.0 - alpha);
+}
+
+double scatters_to_thermalize(double e_from_ev, double e_to_ev, double xi) {
+    if (!(e_from_ev > e_to_ev) || !(e_to_ev > 0.0) || !(xi > 0.0)) {
+        throw std::domain_error("scatters_to_thermalize: bad arguments");
+    }
+    return std::log(e_from_ev / e_to_ev) / xi;
+}
+
+}  // namespace tnr::physics

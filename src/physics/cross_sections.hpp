@@ -1,0 +1,39 @@
+#pragma once
+// Microscopic neutron cross sections for the handful of nuclides that matter
+// to this study. Capture reactions in this energy range follow the 1/v law
+// (sigma ∝ 1/speed ∝ 1/sqrt(E)); cadmium adds a sharp absorption edge at
+// ~0.5 eV which is why a Cd sheet passes fast neutrons but blocks thermals
+// (the Tin-II shielded tube).
+
+namespace tnr::physics {
+
+/// 1/v extrapolation of a thermal-point cross section:
+/// sigma(E) = sigma_thermal * sqrt(0.0253 eV / E).
+double one_over_v(double sigma_thermal_barns, double energy_ev);
+
+/// 10B(n,alpha)7Li capture cross section [barns].
+double b10_capture_barns(double energy_ev);
+
+/// 3He(n,p)3H capture cross section [barns].
+double he3_capture_barns(double energy_ev);
+
+/// Natural-cadmium absorption cross section [barns]: 1/v below the cutoff,
+/// suppressed smoothly above it (giant 113Cd resonance edge at ~0.5 eV).
+double cd_absorption_barns(double energy_ev);
+
+/// 1H radiative capture cross section [barns].
+double h1_capture_barns(double energy_ev);
+
+/// Average fraction of energy retained per elastic scatter off mass-A:
+/// <E'/E> = (A^2 + 1) / (A + 1)^2 + ... for isotropic CM scattering the mean
+/// is 1 - 2A/(A+1)^2.
+double elastic_mean_energy_fraction(double mass_number);
+
+/// Mean logarithmic energy decrement xi for mass-A (xi=1 for hydrogen).
+double mean_log_energy_decrement(double mass_number);
+
+/// Number of elastic scatters needed on average to moderate from e_from to
+/// e_to on a nuclide with decrement xi: n = ln(e_from/e_to)/xi.
+double scatters_to_thermalize(double e_from_ev, double e_to_ev, double xi);
+
+}  // namespace tnr::physics

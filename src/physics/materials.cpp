@@ -1,0 +1,172 @@
+#include "physics/materials.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/cross_sections.hpp"
+#include "physics/units.hpp"
+
+namespace tnr::physics {
+
+namespace {
+
+/// Number density [atoms/cm^3] from density [g/cm^3], mass fraction, and
+/// atomic weight [g/mol].
+double number_density(double density_g_cm3, double mass_fraction,
+                      double atomic_weight) {
+    return density_g_cm3 * mass_fraction / atomic_weight * kAvogadro;
+}
+
+}  // namespace
+
+Material::Material(std::string name, std::vector<NuclideComponent> components)
+    : name_(std::move(name)), components_(std::move(components)) {
+    if (components_.empty()) {
+        throw std::invalid_argument("Material: needs at least one component");
+    }
+    for (const auto& c : components_) {
+        if (c.number_density < 0.0 || c.mass_number < 1.0) {
+            throw std::invalid_argument("Material: bad component " + c.symbol);
+        }
+    }
+}
+
+double Material::sigma_scatter(double energy_ev) const {
+    double sigma = 0.0;
+    for (const auto& c : components_) {
+        const double micro = c.sigma_elastic_barns /
+                             (1.0 + energy_ev / c.elastic_half_energy_ev);
+        sigma += c.number_density * micro * kBarnToCm2;
+    }
+    return sigma;
+}
+
+double Material::sigma_absorb(double energy_ev) const {
+    double sigma = 0.0;
+    for (const auto& c : components_) {
+        const double micro =
+            c.cadmium_like
+                ? cd_absorption_barns(energy_ev) *
+                      (c.sigma_absorb_thermal_barns / kCdCaptureBarns)
+                : one_over_v(c.sigma_absorb_thermal_barns, energy_ev);
+        sigma += c.number_density * micro * kBarnToCm2;
+    }
+    return sigma;
+}
+
+double Material::mean_free_path(double energy_ev) const {
+    const double sigma = sigma_total(energy_ev);
+    if (sigma <= 0.0) {
+        throw std::runtime_error("Material::mean_free_path: vacuum material");
+    }
+    return 1.0 / sigma;
+}
+
+double Material::average_xi() const {
+    // Weight xi by the (flat) macroscopic scattering cross section.
+    double num = 0.0;
+    double den = 0.0;
+    for (const auto& c : components_) {
+        const double sig = c.number_density * c.sigma_elastic_barns;
+        num += sig * mean_log_energy_decrement(c.mass_number);
+        den += sig;
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+Material Material::water() {
+    constexpr double rho = 1.0;
+    const double n_h = number_density(rho, 2.016 / 18.015, 1.008);
+    const double n_o = number_density(rho, 15.999 / 18.015, 15.999);
+    return Material(
+        "water",
+        {{"H", 1.0, n_h, 20.4, kH1CaptureBarns, false, 2.6e5},
+         {"O", 16.0, n_o, 3.8, 0.00019, false}});
+}
+
+Material Material::concrete() {
+    // Ordinary Portland concrete, 2.3 g/cm^3 (NIST composition, simplified
+    // to the six species that dominate scattering/absorption).
+    constexpr double rho = 2.3;
+    return Material(
+        "concrete",
+        {{"H", 1.0, number_density(rho, 0.010, 1.008), 20.4, kH1CaptureBarns, false, 2.6e5},
+         {"O", 16.0, number_density(rho, 0.532, 15.999), 3.8, 0.00019, false},
+         {"Si", 28.0, number_density(rho, 0.337, 28.086), 2.0, 0.171, false},
+         {"Ca", 40.0, number_density(rho, 0.044, 40.078), 2.8, 0.43, false},
+         {"Al", 27.0, number_density(rho, 0.034, 26.982), 1.4, 0.231, false},
+         {"Fe", 56.0, number_density(rho, 0.014, 55.845), 11.4, 2.56, false}});
+}
+
+Material Material::polyethylene() {
+    constexpr double rho = 0.94;
+    const double n_c = number_density(rho, 12.011 / 14.027, 12.011);
+    const double n_h = number_density(rho, 2.016 / 14.027, 1.008);
+    return Material(
+        "polyethylene",
+        {{"H", 1.0, n_h, 20.4, kH1CaptureBarns, false, 2.6e5},
+         {"C", 12.0, n_c, 4.7, 0.0035, false}});
+}
+
+Material Material::cadmium() {
+    constexpr double rho = 8.65;
+    const double n_cd = number_density(rho, 1.0, 112.41);
+    return Material("cadmium",
+                    {{"Cd", 112.0, n_cd, 6.0, kCdCaptureBarns, true}});
+}
+
+Material Material::borated_poly() {
+    // 5 wt-% natural boron loaded polyethylene (a standard shielding stock).
+    constexpr double rho = 0.95;
+    constexpr double boron_fraction = 0.05;
+    const double n_b = number_density(rho, boron_fraction, 10.81);
+    const double n_c =
+        number_density(rho, (1.0 - boron_fraction) * 12.011 / 14.027, 12.011);
+    const double n_h =
+        number_density(rho, (1.0 - boron_fraction) * 2.016 / 14.027, 1.008);
+    // Natural boron: 19.9% 10B carries essentially all of the absorption.
+    const double sigma_b_natural = kB10CaptureBarns * kNaturalB10Fraction;
+    return Material(
+        "borated polyethylene (5 wt-% B)",
+        {{"H", 1.0, n_h, 20.4, kH1CaptureBarns, false, 2.6e5},
+         {"C", 12.0, n_c, 4.7, 0.0035, false},
+         {"B", 10.8, n_b, 4.3, sigma_b_natural, false}});
+}
+
+Material Material::air() {
+    constexpr double rho = 1.205e-3;
+    return Material(
+        "air",
+        {{"N", 14.0, number_density(rho, 0.755, 14.007), 10.0, 1.90, false},
+         {"O", 16.0, number_density(rho, 0.232, 15.999), 3.8, 0.00019, false},
+         {"Ar", 40.0, number_density(rho, 0.013, 39.948), 0.65, 0.66, false}});
+}
+
+Material Material::silicon() {
+    constexpr double rho = 2.33;
+    const double n_si = number_density(rho, 1.0, 28.086);
+    return Material("silicon", {{"Si", 28.0, n_si, 2.0, 0.171, false}});
+}
+
+Material Material::aluminum() {
+    constexpr double rho = 2.70;
+    const double n_al = number_density(rho, 1.0, 26.982);
+    return Material("aluminum", {{"Al", 27.0, n_al, 1.4, 0.231, false}});
+}
+
+Material Material::fr4() {
+    // Glass-reinforced epoxy laminate (PCB): hydrogenous enough to scatter
+    // thermals strongly — the reason a DUT board stack blocks most of an
+    // incident thermal beam (ROTAX tests one board at a time).
+    constexpr double rho = 1.85;
+    return Material(
+        "FR4 laminate",
+        {{"H", 1.0, number_density(rho, 0.040, 1.008), 20.4, kH1CaptureBarns, false, 2.6e5},
+         {"C", 12.0, number_density(rho, 0.340, 12.011), 4.7, 0.0035, false},
+         {"O", 16.0, number_density(rho, 0.370, 15.999), 3.8, 0.00019, false},
+         {"Si", 28.0, number_density(rho, 0.180, 28.086), 2.0, 0.171, false},
+         {"Al", 27.0, number_density(rho, 0.030, 26.982), 1.4, 0.231, false},
+         {"Ca", 40.0, number_density(rho, 0.040, 40.078), 2.8, 0.43, false}});
+}
+
+}  // namespace tnr::physics

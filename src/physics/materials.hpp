@@ -1,0 +1,72 @@
+#pragma once
+// Material compositions for the moderation / shielding studies: water and
+// concrete (the data-center materials the paper's detector campaign targets),
+// cadmium and borated plastic (the shields §V discusses), polyethylene, air
+// and silicon.
+
+#include <string>
+#include <vector>
+
+namespace tnr::physics {
+
+/// A nuclide species inside a material, with the constants the 1-D transport
+/// model needs. Cross sections here are energy-independent elastic values
+/// plus a thermal-point absorption extrapolated by 1/v (or the Cd special
+/// case) at transport time.
+struct NuclideComponent {
+    std::string symbol;            ///< e.g. "H", "O", "Si".
+    double mass_number = 1.0;      ///< A, for scattering kinematics.
+    double number_density = 0.0;   ///< atoms / cm^3.
+    double sigma_elastic_barns = 0.0;   ///< thermal/epithermal elastic sigma.
+    double sigma_absorb_thermal_barns = 0.0;  ///< capture at 25.3 meV.
+    bool cadmium_like = false;     ///< use the Cd resonance-edge model.
+    /// Elastic cross sections fall off toward MeV energies; modelled as
+    /// sigma_el(E) = sigma_el / (1 + E / half_energy). Hydrogen's drops the
+    /// earliest (2.6e5 eV); heavier nuclides hold on to ~2e6 eV.
+    double elastic_half_energy_ev = 2.0e6;
+};
+
+/// A homogeneous material slab composition.
+class Material {
+public:
+    Material(std::string name, std::vector<NuclideComponent> components);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::vector<NuclideComponent>& components() const noexcept {
+        return components_;
+    }
+
+    /// Macroscopic elastic-scattering cross section [1/cm] at energy E.
+    [[nodiscard]] double sigma_scatter(double energy_ev) const;
+
+    /// Macroscopic absorption cross section [1/cm] at energy E.
+    [[nodiscard]] double sigma_absorb(double energy_ev) const;
+
+    /// Total macroscopic cross section [1/cm].
+    [[nodiscard]] double sigma_total(double energy_ev) const {
+        return sigma_scatter(energy_ev) + sigma_absorb(energy_ev);
+    }
+
+    /// Mean free path [cm] at energy E.
+    [[nodiscard]] double mean_free_path(double energy_ev) const;
+
+    /// Flux-averaged log-energy decrement (moderating power proxy).
+    [[nodiscard]] double average_xi() const;
+
+    // --- Library --------------------------------------------------------------
+    static Material water();           ///< H2O, 1.0 g/cm^3.
+    static Material concrete();        ///< ordinary Portland concrete, 2.3 g/cm^3.
+    static Material polyethylene();    ///< CH2, 0.94 g/cm^3.
+    static Material cadmium();         ///< Cd metal, 8.65 g/cm^3.
+    static Material borated_poly();    ///< 5 wt-% natural boron in polyethylene.
+    static Material air();             ///< sea-level air.
+    static Material silicon();         ///< crystalline Si, 2.33 g/cm^3.
+    static Material fr4();             ///< PCB laminate (glass epoxy), 1.85 g/cm^3.
+    static Material aluminum();        ///< heatsink stock, 2.70 g/cm^3.
+
+private:
+    std::string name_;
+    std::vector<NuclideComponent> components_;
+};
+
+}  // namespace tnr::physics

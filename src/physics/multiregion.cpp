@@ -1,0 +1,161 @@
+#include "physics/multiregion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/cross_sections.hpp"
+#include "physics/units.hpp"
+
+namespace tnr::physics {
+
+Layer Layer::gap(double thickness_cm) {
+    Layer layer{Material::air(), thickness_cm, true};
+    return layer;
+}
+
+Layer Layer::slab(Material material, double thickness_cm) {
+    return Layer{std::move(material), thickness_cm, false};
+}
+
+LayeredTransport::LayeredTransport(std::vector<Layer> layers,
+                                   TransportConfig config)
+    : layers_(std::move(layers)), config_(config) {
+    if (layers_.empty()) {
+        throw std::invalid_argument("LayeredTransport: no layers");
+    }
+    boundaries_.reserve(layers_.size());
+    for (const auto& layer : layers_) {
+        if (!(layer.thickness_cm > 0.0)) {
+            throw std::invalid_argument("LayeredTransport: bad thickness");
+        }
+        total_ += layer.thickness_cm;
+        boundaries_.push_back(total_);
+    }
+}
+
+std::size_t LayeredTransport::layer_at(double x) const {
+    const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), x);
+    return std::min<std::size_t>(
+        static_cast<std::size_t>(std::distance(boundaries_.begin(), it)),
+        layers_.size() - 1);
+}
+
+LayeredFate LayeredTransport::transport_one(double energy_ev,
+                                            stats::Rng& rng) const {
+    double e = energy_ev;
+    double x = 0.0;
+    double mu = 1.0;
+
+    for (std::uint32_t step = 0; step < config_.max_scatters; ++step) {
+        const std::size_t li = layer_at(x);
+        const Layer& layer = layers_[li];
+        const double layer_lo = (li == 0) ? 0.0 : boundaries_[li - 1];
+        const double layer_hi = boundaries_[li];
+
+        if (layer.vacuum) {
+            // Free streaming to the next boundary (or out).
+            x = (mu > 0.0) ? layer_hi + 1e-12 : layer_lo - 1e-12;
+        } else {
+            const double sigma_s = layer.material.sigma_scatter(e);
+            const double sigma_a = layer.material.sigma_absorb(e);
+            const double sigma_t = sigma_s + sigma_a;
+            if (sigma_t <= 0.0) {
+                x = (mu > 0.0) ? layer_hi + 1e-12 : layer_lo - 1e-12;
+            } else {
+                const double path = rng.exponential(sigma_t);
+                const double x_new = x + mu * path;
+                if (x_new > layer_hi || x_new < layer_lo) {
+                    // Crossed into the neighbouring layer (or out): move to
+                    // the boundary and continue there.
+                    x = (mu > 0.0) ? layer_hi + 1e-12 : layer_lo - 1e-12;
+                } else {
+                    x = x_new;
+                    // Interaction.
+                    if (rng.uniform() * sigma_t < sigma_a) {
+                        return {Fate::kAbsorbed, e, li};
+                    }
+                    // Elastic scatter off a nuclide sampled at energy e.
+                    double pick = rng.uniform() * sigma_s;
+                    double a = layer.material.components().front().mass_number;
+                    for (const auto& c : layer.material.components()) {
+                        const double micro =
+                            c.sigma_elastic_barns /
+                            (1.0 + e / c.elastic_half_energy_ev);
+                        const double contrib =
+                            c.number_density * micro * kBarnToCm2;
+                        if (pick < contrib) {
+                            a = c.mass_number;
+                            break;
+                        }
+                        pick -= contrib;
+                    }
+                    if (e > config_.thermal_floor_ev) {
+                        const double mu_cm = rng.uniform(-1.0, 1.0);
+                        const double a1 = a + 1.0;
+                        e *= (a * a + 1.0 + 2.0 * a * mu_cm) / (a1 * a1);
+                    }
+                    if (e <= config_.thermal_floor_ev) {
+                        e = config_.maxwellian_kt_ev *
+                            (rng.exponential(1.0) + rng.exponential(1.0));
+                    }
+                    mu = rng.uniform(-1.0, 1.0);
+                    if (mu == 0.0) mu = 1e-12;
+                }
+            }
+        }
+
+        if (x >= total_) return {Fate::kTransmitted, e, 0};
+        if (x <= 0.0) return {Fate::kReflected, e, 0};
+    }
+    return {Fate::kLost, e, 0};
+}
+
+namespace {
+
+void record(LayeredResult& r, const LayeredFate& f) {
+    ++r.total;
+    switch (f.fate) {
+        case Fate::kTransmitted:
+            ++r.transmitted;
+            if (f.exit_energy_ev < kThermalCutoffEv) ++r.transmitted_thermal;
+            break;
+        case Fate::kReflected:
+            ++r.reflected;
+            if (f.exit_energy_ev < kThermalCutoffEv) ++r.reflected_thermal;
+            break;
+        case Fate::kAbsorbed:
+            ++r.absorbed;
+            ++r.absorbed_by_layer[f.absorbed_layer];
+            break;
+        case Fate::kLost:
+            ++r.lost;
+            break;
+    }
+}
+
+}  // namespace
+
+LayeredResult LayeredTransport::run_monoenergetic(double energy_ev,
+                                                  std::uint64_t n,
+                                                  stats::Rng& rng) const {
+    LayeredResult result;
+    result.absorbed_by_layer.assign(layers_.size(), 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        record(result, transport_one(energy_ev, rng));
+    }
+    return result;
+}
+
+LayeredResult LayeredTransport::run_spectrum(const Spectrum& spectrum,
+                                             std::uint64_t n,
+                                             stats::Rng& rng) const {
+    LayeredResult result;
+    result.absorbed_by_layer.assign(layers_.size(), 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        record(result, transport_one(spectrum.sample_energy(rng), rng));
+    }
+    return result;
+}
+
+}  // namespace tnr::physics

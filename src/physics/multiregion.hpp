@@ -1,0 +1,103 @@
+#pragma once
+// Multi-region 1-D Monte Carlo transport: a stack of material layers along
+// x, with free streaming through vacuum gaps and full back-scattering
+// between regions. This is the engine for geometry questions a single slab
+// cannot answer:
+//
+//   * the Tin-II water experiment *derived*: fast neutrons crossing a water
+//     layer above the detector emerge partly thermalized — the thermal
+//     field below the box grows by a mechanistic, not assumed, factor;
+//   * layered shields (Cd sheet on borated poly) and their ordering;
+//   * the DUT stack with scattering between board and heatsink.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "physics/materials.hpp"
+#include "physics/spectrum.hpp"
+#include "physics/transport.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::physics {
+
+/// One layer of the stack. A layer with `vacuum == true` is a gap: free
+/// streaming, no interactions (material is ignored).
+struct Layer {
+    Material material;
+    double thickness_cm = 0.0;
+    bool vacuum = false;
+
+    static Layer gap(double thickness_cm);
+    static Layer slab(Material material, double thickness_cm);
+};
+
+/// Where and how a transported neutron ended.
+struct LayeredFate {
+    Fate fate = Fate::kAbsorbed;
+    double exit_energy_ev = 0.0;
+    /// Layer index where the neutron was absorbed (valid for kAbsorbed).
+    std::size_t absorbed_layer = 0;
+};
+
+/// Counts for a layered-transport run.
+struct LayeredResult {
+    std::uint64_t total = 0;
+    std::uint64_t transmitted = 0;
+    std::uint64_t transmitted_thermal = 0;
+    std::uint64_t reflected = 0;
+    std::uint64_t reflected_thermal = 0;
+    std::uint64_t absorbed = 0;
+    std::uint64_t lost = 0;
+    std::vector<std::uint64_t> absorbed_by_layer;
+
+    [[nodiscard]] double transmission() const noexcept {
+        return total ? static_cast<double>(transmitted) / static_cast<double>(total)
+                     : 0.0;
+    }
+    [[nodiscard]] double thermal_transmission() const noexcept {
+        return total ? static_cast<double>(transmitted_thermal) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+    [[nodiscard]] double thermal_albedo() const noexcept {
+        return total ? static_cast<double>(reflected_thermal) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/// Transport through an ordered stack of layers (front face of layer 0 at
+/// x=0; neutrons enter travelling +x).
+class LayeredTransport {
+public:
+    explicit LayeredTransport(std::vector<Layer> layers,
+                              TransportConfig config = {});
+
+    [[nodiscard]] const std::vector<Layer>& layers() const noexcept {
+        return layers_;
+    }
+    [[nodiscard]] double total_thickness() const noexcept { return total_; }
+
+    /// Transports one neutron of the given energy.
+    [[nodiscard]] LayeredFate transport_one(double energy_ev,
+                                            stats::Rng& rng) const;
+
+    [[nodiscard]] LayeredResult run_monoenergetic(double energy_ev,
+                                                  std::uint64_t n,
+                                                  stats::Rng& rng) const;
+
+    [[nodiscard]] LayeredResult run_spectrum(const Spectrum& spectrum,
+                                             std::uint64_t n,
+                                             stats::Rng& rng) const;
+
+private:
+    [[nodiscard]] std::size_t layer_at(double x) const;
+
+    std::vector<Layer> layers_;
+    std::vector<double> boundaries_;  ///< layer upper x, size = layers.
+    double total_ = 0.0;
+    TransportConfig config_;
+};
+
+}  // namespace tnr::physics

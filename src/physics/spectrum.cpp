@@ -1,0 +1,273 @@
+#include "physics/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/units.hpp"
+
+namespace tnr::physics {
+
+namespace {
+
+/// Log-grid trapezoid integration of f over [lo, hi] with n panels.
+double integrate_log_grid(const std::function<double(double)>& f, double lo,
+                          double hi, std::size_t n) {
+    if (!(lo > 0.0) || !(hi > lo)) return 0.0;
+    const double log_lo = std::log(lo);
+    const double step = (std::log(hi) - log_lo) / static_cast<double>(n);
+    double sum = 0.0;
+    double e_prev = lo;
+    double f_prev = f(lo);
+    for (std::size_t i = 1; i <= n; ++i) {
+        const double e = std::exp(log_lo + step * static_cast<double>(i));
+        const double fe = f(e);
+        sum += 0.5 * (f_prev + fe) * (e - e_prev);
+        e_prev = e;
+        f_prev = fe;
+    }
+    return sum;
+}
+
+constexpr std::size_t kIntegrationPanels = 4000;
+constexpr std::size_t kSamplingTablePoints = 2048;
+
+}  // namespace
+
+// --- Spectrum base -----------------------------------------------------------
+
+double Spectrum::integral_flux(double lo_ev, double hi_ev) const {
+    lo_ev = std::max(lo_ev, min_energy_ev());
+    hi_ev = std::min(hi_ev, max_energy_ev());
+    if (!(hi_ev > lo_ev)) return 0.0;
+    return integrate_log_grid([this](double e) { return flux_density(e); },
+                              lo_ev, hi_ev, kIntegrationPanels);
+}
+
+double Spectrum::thermal_flux() const {
+    return integral_flux(min_energy_ev(), kThermalCutoffEv);
+}
+
+double Spectrum::high_energy_flux() const {
+    return integral_flux(kHighEnergyThresholdEv, max_energy_ev());
+}
+
+void Spectrum::ensure_sampling_table() const {
+    if (!cdf_energies_.empty()) return;
+    const double lo = min_energy_ev();
+    const double hi = max_energy_ev();
+    cdf_energies_.resize(kSamplingTablePoints);
+    cdf_values_.resize(kSamplingTablePoints);
+    const double log_lo = std::log(lo);
+    const double step =
+        (std::log(hi) - log_lo) / static_cast<double>(kSamplingTablePoints - 1);
+    double cumulative = 0.0;
+    double e_prev = lo;
+    double f_prev = flux_density(lo);
+    cdf_energies_[0] = lo;
+    cdf_values_[0] = 0.0;
+    for (std::size_t i = 1; i < kSamplingTablePoints; ++i) {
+        const double e = std::exp(log_lo + step * static_cast<double>(i));
+        const double fe = flux_density(e);
+        cumulative += 0.5 * (f_prev + fe) * (e - e_prev);
+        cdf_energies_[i] = e;
+        cdf_values_[i] = cumulative;
+        e_prev = e;
+        f_prev = fe;
+    }
+    if (cumulative <= 0.0) {
+        throw std::runtime_error("Spectrum: zero integral, cannot sample");
+    }
+    for (auto& v : cdf_values_) v /= cumulative;
+}
+
+double Spectrum::sample_energy(stats::Rng& rng) const {
+    ensure_sampling_table();
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_values_.begin(), cdf_values_.end(), u);
+    if (it == cdf_values_.begin()) return cdf_energies_.front();
+    if (it == cdf_values_.end()) return cdf_energies_.back();
+    const auto i = static_cast<std::size_t>(std::distance(cdf_values_.begin(), it));
+    const double c0 = cdf_values_[i - 1];
+    const double c1 = cdf_values_[i];
+    const double frac = (c1 > c0) ? (u - c0) / (c1 - c0) : 0.5;
+    // Interpolate in log energy: appropriate for log-spaced tables.
+    return std::exp(std::log(cdf_energies_[i - 1]) * (1.0 - frac) +
+                    std::log(cdf_energies_[i]) * frac);
+}
+
+std::vector<std::pair<double, double>> Spectrum::lethargy_table(
+    std::size_t points) const {
+    std::vector<std::pair<double, double>> out;
+    out.reserve(points);
+    const double log_lo = std::log(min_energy_ev());
+    const double step =
+        (std::log(max_energy_ev()) - log_lo) / static_cast<double>(points - 1);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double e = std::exp(log_lo + step * static_cast<double>(i));
+        out.emplace_back(e, e * flux_density(e));
+    }
+    return out;
+}
+
+// --- MaxwellianSpectrum ------------------------------------------------------
+
+MaxwellianSpectrum::MaxwellianSpectrum(double total_flux, double kt_ev)
+    : kt_(kt_ev) {
+    if (!(total_flux > 0.0) || !(kt_ev > 0.0)) {
+        throw std::invalid_argument("MaxwellianSpectrum: flux and kT must be > 0");
+    }
+    // Integral of E/kT^2 * exp(-E/kT) over [0, inf) is 1, so the normalized
+    // PDF is p(E) = E/kT^2 exp(-E/kT); flux density = total * p(E).
+    scale_ = total_flux / (kt_ * kt_);
+}
+
+double MaxwellianSpectrum::flux_density(double energy_ev) const {
+    if (energy_ev <= 0.0) return 0.0;
+    return scale_ * energy_ev * std::exp(-energy_ev / kt_);
+}
+
+std::string MaxwellianSpectrum::name() const {
+    return "Maxwellian kT=" + std::to_string(kt_) + " eV";
+}
+
+double MaxwellianSpectrum::sample_energy(stats::Rng& rng) const {
+    // E/kT^2 exp(-E/kT) is Gamma(shape=2, scale=kT): sum of two exponentials.
+    return kt_ * (rng.exponential(1.0) + rng.exponential(1.0));
+}
+
+// --- EpithermalSpectrum ------------------------------------------------------
+
+EpithermalSpectrum::EpithermalSpectrum(double total_flux, double lo_ev,
+                                       double hi_ev)
+    : lo_(lo_ev), hi_(hi_ev) {
+    if (!(lo_ev > 0.0) || !(hi_ev > lo_ev) || !(total_flux > 0.0)) {
+        throw std::invalid_argument("EpithermalSpectrum: bad parameters");
+    }
+    scale_ = total_flux / std::log(hi_ / lo_);
+}
+
+double EpithermalSpectrum::flux_density(double energy_ev) const {
+    if (energy_ev < lo_ || energy_ev > hi_) return 0.0;
+    return scale_ / energy_ev;
+}
+
+double EpithermalSpectrum::sample_energy(stats::Rng& rng) const {
+    // Inverse CDF of 1/E on [lo, hi]: E = lo * (hi/lo)^u.
+    return lo_ * std::pow(hi_ / lo_, rng.uniform());
+}
+
+// --- AtmosphericSpectrum -----------------------------------------------------
+
+AtmosphericSpectrum::AtmosphericSpectrum(double scale) : scale_(scale) {
+    if (!(scale > 0.0)) {
+        throw std::invalid_argument("AtmosphericSpectrum: scale must be > 0");
+    }
+}
+
+double AtmosphericSpectrum::flux_density(double energy_ev) const {
+    if (energy_ev < min_energy_ev() || energy_ev > max_energy_ev()) return 0.0;
+    // Gordon et al. 2004 ground-level fit (JESD89A Annex A): E in MeV,
+    // density in n/cm^2/s/MeV. Sum of two log-normal-like lobes (the ~2 MeV
+    // evaporation peak and the ~100 MeV cascade shoulder).
+    const double e_mev = energy_ev / kMeV;
+    const double ln_e = std::log(e_mev);
+    const double density_per_mev =
+        1.006e-6 * std::exp(-0.35 * ln_e * ln_e + 2.1451 * ln_e) +
+        1.011e-3 * std::exp(-0.4106 * ln_e * ln_e - 0.667 * ln_e);
+    return scale_ * density_per_mev / kMeV;  // convert to per-eV
+}
+
+// --- TabulatedSpectrum -------------------------------------------------------
+
+TabulatedSpectrum::TabulatedSpectrum(
+    std::string name, std::vector<std::pair<double, double>> points)
+    : name_(std::move(name)) {
+    if (points.size() < 2) {
+        throw std::invalid_argument("TabulatedSpectrum: need >= 2 points");
+    }
+    log_e_.reserve(points.size());
+    log_f_.reserve(points.size());
+    for (const auto& [e, f] : points) {
+        if (!(e > 0.0) || !(f > 0.0)) {
+            throw std::invalid_argument(
+                "TabulatedSpectrum: energies and densities must be > 0");
+        }
+        if (!log_e_.empty() && std::log(e) <= log_e_.back()) {
+            throw std::invalid_argument(
+                "TabulatedSpectrum: energies must be strictly increasing");
+        }
+        log_e_.push_back(std::log(e));
+        log_f_.push_back(std::log(f));
+    }
+}
+
+double TabulatedSpectrum::flux_density(double energy_ev) const {
+    if (energy_ev <= 0.0) return 0.0;
+    const double le = std::log(energy_ev);
+    if (le < log_e_.front() || le > log_e_.back()) return 0.0;
+    const auto it = std::upper_bound(log_e_.begin(), log_e_.end(), le);
+    if (it == log_e_.begin()) return std::exp(log_f_.front());
+    if (it == log_e_.end()) return std::exp(log_f_.back());
+    const auto i = static_cast<std::size_t>(std::distance(log_e_.begin(), it));
+    const double frac = (le - log_e_[i - 1]) / (log_e_[i] - log_e_[i - 1]);
+    return std::exp(log_f_[i - 1] * (1.0 - frac) + log_f_[i] * frac);
+}
+
+double TabulatedSpectrum::min_energy_ev() const { return std::exp(log_e_.front()); }
+double TabulatedSpectrum::max_energy_ev() const { return std::exp(log_e_.back()); }
+
+// --- CompositeSpectrum -------------------------------------------------------
+
+CompositeSpectrum::CompositeSpectrum(
+    std::string name, std::vector<std::shared_ptr<const Spectrum>> parts)
+    : name_(std::move(name)), parts_(std::move(parts)) {
+    if (parts_.empty()) {
+        throw std::invalid_argument("CompositeSpectrum: no parts");
+    }
+    part_flux_.reserve(parts_.size());
+    for (const auto& p : parts_) {
+        if (!p) throw std::invalid_argument("CompositeSpectrum: null part");
+        part_flux_.push_back(p->total_flux());
+        total_ += part_flux_.back();
+    }
+}
+
+double CompositeSpectrum::flux_density(double energy_ev) const {
+    double sum = 0.0;
+    for (const auto& p : parts_) sum += p->flux_density(energy_ev);
+    return sum;
+}
+
+double CompositeSpectrum::min_energy_ev() const {
+    double lo = parts_.front()->min_energy_ev();
+    for (const auto& p : parts_) lo = std::min(lo, p->min_energy_ev());
+    return lo;
+}
+
+double CompositeSpectrum::max_energy_ev() const {
+    double hi = parts_.front()->max_energy_ev();
+    for (const auto& p : parts_) hi = std::max(hi, p->max_energy_ev());
+    return hi;
+}
+
+double CompositeSpectrum::integral_flux(double lo_ev, double hi_ev) const {
+    // Integrate each part over its own support: more accurate than one global
+    // log grid when parts live at wildly different energies.
+    double sum = 0.0;
+    for (const auto& p : parts_) sum += p->integral_flux(lo_ev, hi_ev);
+    return sum;
+}
+
+double CompositeSpectrum::sample_energy(stats::Rng& rng) const {
+    double u = rng.uniform() * total_;
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+        if (u < part_flux_[i] || i + 1 == parts_.size()) {
+            return parts_[i]->sample_energy(rng);
+        }
+        u -= part_flux_[i];
+    }
+    return parts_.back()->sample_energy(rng);
+}
+
+}  // namespace tnr::physics

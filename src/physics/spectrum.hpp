@@ -1,0 +1,169 @@
+#pragma once
+// Neutron energy spectra. A Spectrum is a differential flux density
+// dPhi/dE [n/cm^2/s/eV] over an energy range; it can be integrated over
+// energy windows, rendered per unit lethargy (the presentation of paper
+// Fig. 2), and sampled to drive Monte Carlo transport and beam experiments.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::physics {
+
+/// Abstract neutron energy spectrum.
+class Spectrum {
+public:
+    virtual ~Spectrum() = default;
+
+    /// Differential flux density dPhi/dE at energy E [n/cm^2/s/eV].
+    [[nodiscard]] virtual double flux_density(double energy_ev) const = 0;
+
+    /// Lowest / highest energy with support.
+    [[nodiscard]] virtual double min_energy_ev() const = 0;
+    [[nodiscard]] virtual double max_energy_ev() const = 0;
+
+    /// Human-readable name for reports.
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Integral flux over [lo, hi] [n/cm^2/s]. Default: adaptive log-grid
+    /// trapezoid integration of flux_density.
+    [[nodiscard]] virtual double integral_flux(double lo_ev, double hi_ev) const;
+
+    /// Total flux over the full support.
+    [[nodiscard]] double total_flux() const {
+        return integral_flux(min_energy_ev(), max_energy_ev());
+    }
+
+    /// Flux below the thermal cutoff (0.5 eV).
+    [[nodiscard]] double thermal_flux() const;
+
+    /// Flux above 10 MeV (the atmospheric-like "high energy" quote).
+    [[nodiscard]] double high_energy_flux() const;
+
+    /// Samples an energy from the spectrum (treated as a PDF). Default uses
+    /// a cached tabulated inverse CDF on a log grid.
+    [[nodiscard]] virtual double sample_energy(stats::Rng& rng) const;
+
+    /// Renders E * dPhi/dE (flux per unit lethargy) on a log-spaced grid.
+    /// Returns pairs (E_center, lethargy_flux).
+    [[nodiscard]] std::vector<std::pair<double, double>> lethargy_table(
+        std::size_t points) const;
+
+protected:
+    /// Builds the inverse-CDF sampling table lazily; thread-compatible (not
+    /// thread-safe: build before sharing across threads).
+    void ensure_sampling_table() const;
+
+    mutable std::vector<double> cdf_energies_;
+    mutable std::vector<double> cdf_values_;
+};
+
+/// Maxwell-Boltzmann thermal spectrum with characteristic temperature kT:
+/// dPhi/dE ∝ E * exp(-E/kT). Describes a fully moderated (thermal) beam such
+/// as ROTAX.
+class MaxwellianSpectrum final : public Spectrum {
+public:
+    /// total_flux: integral over all energies [n/cm^2/s]; kt_ev: temperature.
+    MaxwellianSpectrum(double total_flux, double kt_ev);
+
+    [[nodiscard]] double flux_density(double energy_ev) const override;
+    [[nodiscard]] double min_energy_ev() const override { return 1.0e-5; }
+    [[nodiscard]] double max_energy_ev() const override { return 100.0 * kt_; }
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] double sample_energy(stats::Rng& rng) const override;
+
+    [[nodiscard]] double kt_ev() const noexcept { return kt_; }
+
+private:
+    double scale_;
+    double kt_;
+};
+
+/// 1/E "epithermal" slowing-down spectrum between two energies.
+class EpithermalSpectrum final : public Spectrum {
+public:
+    /// total_flux over [lo, hi]; dPhi/dE ∝ 1/E in that window.
+    EpithermalSpectrum(double total_flux, double lo_ev, double hi_ev);
+
+    [[nodiscard]] double flux_density(double energy_ev) const override;
+    [[nodiscard]] double min_energy_ev() const override { return lo_; }
+    [[nodiscard]] double max_energy_ev() const override { return hi_; }
+    [[nodiscard]] std::string name() const override { return "1/E epithermal"; }
+    [[nodiscard]] double sample_energy(stats::Rng& rng) const override;
+
+private:
+    double scale_;
+    double lo_;
+    double hi_;
+};
+
+/// Ground-level atmospheric high-energy spectrum: the JEDEC JESD89A /
+/// Gordon et al. (2004) analytic fit, valid above ~1 MeV. The reference
+/// normalization gives ~13 n/cm^2/h above 10 MeV (New York City sea level);
+/// `scale` multiplies the whole spectrum (altitude/latitude scaling).
+class AtmosphericSpectrum final : public Spectrum {
+public:
+    explicit AtmosphericSpectrum(double scale = 1.0);
+
+    [[nodiscard]] double flux_density(double energy_ev) const override;
+    [[nodiscard]] double min_energy_ev() const override { return 1.0e6; }
+    [[nodiscard]] double max_energy_ev() const override { return 1.0e9; }
+    [[nodiscard]] std::string name() const override { return "atmospheric (Gordon fit)"; }
+
+    [[nodiscard]] double scale() const noexcept { return scale_; }
+
+private:
+    double scale_;
+};
+
+/// Log-log interpolated tabulated spectrum (e.g. a published beamline
+/// spectrum digitized at a handful of points).
+class TabulatedSpectrum final : public Spectrum {
+public:
+    /// points: (energy_ev, dPhi/dE) pairs, strictly increasing in energy,
+    /// densities > 0.
+    TabulatedSpectrum(std::string name,
+                      std::vector<std::pair<double, double>> points);
+
+    [[nodiscard]] double flux_density(double energy_ev) const override;
+    [[nodiscard]] double min_energy_ev() const override;
+    [[nodiscard]] double max_energy_ev() const override;
+    [[nodiscard]] std::string name() const override { return name_; }
+
+private:
+    std::string name_;
+    std::vector<double> log_e_;
+    std::vector<double> log_f_;
+};
+
+/// Weighted sum of component spectra (e.g. ChipIR = atmospheric-shaped fast
+/// component + 1/E epithermal + thermal Maxwellian tail).
+class CompositeSpectrum final : public Spectrum {
+public:
+    CompositeSpectrum(std::string name,
+                      std::vector<std::shared_ptr<const Spectrum>> parts);
+
+    [[nodiscard]] double flux_density(double energy_ev) const override;
+    [[nodiscard]] double min_energy_ev() const override;
+    [[nodiscard]] double max_energy_ev() const override;
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] double integral_flux(double lo_ev, double hi_ev) const override;
+    [[nodiscard]] double sample_energy(stats::Rng& rng) const override;
+
+    [[nodiscard]] const std::vector<std::shared_ptr<const Spectrum>>& parts()
+        const noexcept {
+        return parts_;
+    }
+
+private:
+    std::string name_;
+    std::vector<std::shared_ptr<const Spectrum>> parts_;
+    std::vector<double> part_flux_;  ///< total flux per part, for sampling.
+    double total_ = 0.0;
+};
+
+}  // namespace tnr::physics

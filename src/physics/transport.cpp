@@ -1,0 +1,183 @@
+#include "physics/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+#include <stdexcept>
+
+#include "physics/cross_sections.hpp"
+#include "physics/units.hpp"
+
+namespace tnr::physics {
+
+SlabTransport::SlabTransport(Material material, double thickness_cm,
+                             TransportConfig config)
+    : material_(std::move(material)), thickness_(thickness_cm), config_(config) {
+    if (!(thickness_cm > 0.0)) {
+        throw std::invalid_argument("SlabTransport: thickness must be > 0");
+    }
+}
+
+Fate SlabTransport::transport_one(double energy_ev, stats::Rng& rng,
+                                  double* exit_energy_ev) const {
+    double e = energy_ev;
+    double x = 0.0;
+    double mu = 1.0;  // entering along +x.
+    const auto& comps = material_.components();
+
+    for (std::uint32_t scatter = 0; scatter < config_.max_scatters; ++scatter) {
+        const double sigma_s = material_.sigma_scatter(e);
+        const double sigma_a = material_.sigma_absorb(e);
+        const double sigma_t = sigma_s + sigma_a;
+        if (sigma_t <= 0.0) {
+            // Transparent medium: fly straight out.
+            if (exit_energy_ev) *exit_energy_ev = e;
+            return mu > 0.0 ? Fate::kTransmitted : Fate::kReflected;
+        }
+
+        const double path = rng.exponential(sigma_t);
+        x += mu * path;
+        if (x >= thickness_) {
+            if (exit_energy_ev) *exit_energy_ev = e;
+            return Fate::kTransmitted;
+        }
+        if (x <= 0.0) {
+            if (exit_energy_ev) *exit_energy_ev = e;
+            return Fate::kReflected;
+        }
+
+        // Interaction: absorption vs scattering.
+        if (rng.uniform() * sigma_t < sigma_a) return Fate::kAbsorbed;
+
+        // Choose the scattering nuclide proportional to its macroscopic
+        // elastic cross section at the current energy.
+        double pick = rng.uniform() * sigma_s;
+        double a = comps.front().mass_number;
+        for (const auto& c : comps) {
+            const double micro = c.sigma_elastic_barns /
+                                 (1.0 + e / c.elastic_half_energy_ev);
+            const double contrib = c.number_density * micro * kBarnToCm2;
+            if (pick < contrib) {
+                a = c.mass_number;
+                break;
+            }
+            pick -= contrib;
+        }
+
+        if (e > config_.thermal_floor_ev) {
+            // Isotropic CM elastic scatter: E'/E = (A^2 + 1 + 2A*mu_cm)/(A+1)^2.
+            const double mu_cm = rng.uniform(-1.0, 1.0);
+            const double a1 = a + 1.0;
+            e *= (a * a + 1.0 + 2.0 * a * mu_cm) / (a1 * a1);
+        }
+        if (e <= config_.thermal_floor_ev) {
+            // In equilibrium with the medium: Maxwellian energy (Gamma(2,kT)).
+            e = config_.maxwellian_kt_ev *
+                (rng.exponential(1.0) + rng.exponential(1.0));
+        }
+
+        // Isotropic lab re-direction after scattering (1-D projection).
+        mu = rng.uniform(-1.0, 1.0);
+        if (mu == 0.0) mu = 1e-12;
+    }
+    return Fate::kLost;
+}
+
+namespace {
+
+void record(TransportResult& r, Fate fate, double exit_e) {
+    ++r.total;
+    switch (fate) {
+        case Fate::kTransmitted:
+            ++r.transmitted;
+            if (exit_e < kThermalCutoffEv) ++r.transmitted_thermal;
+            break;
+        case Fate::kReflected:
+            ++r.reflected;
+            if (exit_e < kThermalCutoffEv) ++r.reflected_thermal;
+            break;
+        case Fate::kAbsorbed:
+            ++r.absorbed;
+            break;
+        case Fate::kLost:
+            ++r.lost;
+            break;
+    }
+}
+
+}  // namespace
+
+TransportResult SlabTransport::run_monoenergetic(double energy_ev,
+                                                 std::uint64_t n,
+                                                 stats::Rng& rng) const {
+    TransportResult result;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        double exit_e = 0.0;
+        const Fate fate = transport_one(energy_ev, rng, &exit_e);
+        record(result, fate, exit_e);
+    }
+    return result;
+}
+
+TransportResult SlabTransport::run_spectrum(const Spectrum& spectrum,
+                                            std::uint64_t n,
+                                            stats::Rng& rng) const {
+    TransportResult result;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        double exit_e = 0.0;
+        const double e = spectrum.sample_energy(rng);
+        const Fate fate = transport_one(e, rng, &exit_e);
+        record(result, fate, exit_e);
+    }
+    return result;
+}
+
+double SlabTransport::analytic_transmission(double energy_ev) const {
+    return std::exp(-material_.sigma_total(energy_ev) * thickness_);
+}
+
+void TransportResult::merge(const TransportResult& other) noexcept {
+    transmitted += other.transmitted;
+    reflected += other.reflected;
+    absorbed += other.absorbed;
+    lost += other.lost;
+    transmitted_thermal += other.transmitted_thermal;
+    reflected_thermal += other.reflected_thermal;
+    total += other.total;
+}
+
+TransportResult SlabTransport::run_monoenergetic_parallel(
+    double energy_ev, std::uint64_t n, stats::Rng& rng,
+    unsigned threads) const {
+    if (threads == 0) {
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    threads = static_cast<unsigned>(
+        std::min<std::uint64_t>(threads, std::max<std::uint64_t>(1, n)));
+
+    // Derive one decorrelated stream per worker up front (split() mutates
+    // the parent, so do it serially).
+    std::vector<stats::Rng> streams;
+    streams.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) streams.push_back(rng.split());
+
+    std::vector<TransportResult> partials(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const std::uint64_t chunk = n / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+        const std::uint64_t count =
+            (t + 1 == threads) ? n - chunk * (threads - 1) : chunk;
+        workers.emplace_back([this, energy_ev, count, &streams, &partials, t] {
+            partials[t] = run_monoenergetic(energy_ev, count, streams[t]);
+        });
+    }
+    for (auto& w : workers) w.join();
+
+    TransportResult merged;
+    for (const auto& p : partials) merged.merge(p);
+    return merged;
+}
+
+}  // namespace tnr::physics

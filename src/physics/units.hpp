@@ -1,0 +1,59 @@
+#pragma once
+// Units and physical constants. Internal conventions:
+//   energy      : eV
+//   microscopic cross section : barn (1 b = 1e-24 cm^2)
+//   macroscopic cross section : 1/cm
+//   flux        : n / cm^2 / s   (differential: n / cm^2 / s / eV)
+//   fluence     : n / cm^2
+//   device cross section : cm^2
+//   FIT         : failures per 1e9 device-hours
+
+namespace tnr::physics {
+
+// --- Energy scale -----------------------------------------------------------
+inline constexpr double kEv = 1.0;
+inline constexpr double kKeV = 1.0e3;
+inline constexpr double kMeV = 1.0e6;
+inline constexpr double kGeV = 1.0e9;
+
+/// Thermal reference energy: kT at 293.6 K (2200 m/s neutrons). Microscopic
+/// thermal cross sections are quoted at this energy.
+inline constexpr double kThermalReferenceEv = 0.0253;
+
+/// The paper's boundary between "thermal" and everything faster (E < 0.5 eV),
+/// which is also the cadmium cutoff energy.
+inline constexpr double kThermalCutoffEv = 0.5;
+
+/// High-energy threshold used for atmospheric-like flux quotes (>10 MeV).
+inline constexpr double kHighEnergyThresholdEv = 10.0 * kMeV;
+
+// --- Cross sections ---------------------------------------------------------
+inline constexpr double kBarnToCm2 = 1.0e-24;
+
+// --- Reference microscopic thermal cross sections (at 25.3 meV) -------------
+/// 10B(n,alpha)7Li capture. Products: alpha 1.47 MeV + 7Li 0.84 MeV.
+inline constexpr double kB10CaptureBarns = 3837.0;
+/// 3He(n,p)3H — the detection reaction in He-3 proportional tubes.
+inline constexpr double kHe3CaptureBarns = 5330.0;
+/// Natural cadmium absorption (dominated by 113Cd).
+inline constexpr double kCdCaptureBarns = 2450.0;
+/// Hydrogen (n,gamma) absorption.
+inline constexpr double kH1CaptureBarns = 0.332;
+
+/// Fraction of natural boron that is 10B (19.9 at-%).
+inline constexpr double kNaturalB10Fraction = 0.199;
+
+// --- 10B(n,alpha) reaction products -----------------------------------------
+inline constexpr double kAlphaEnergyEv = 1.47 * kMeV;
+inline constexpr double kLi7EnergyEv = 0.84 * kMeV;
+/// Branch with the 478 keV gamma (ground-state branch carries full energy).
+inline constexpr double kB10ExcitedBranch = 0.94;
+
+// --- Time -------------------------------------------------------------------
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kHoursPerBillion = 1.0e9;  ///< FIT normalization.
+
+// --- Avogadro ---------------------------------------------------------------
+inline constexpr double kAvogadro = 6.02214076e23;  ///< 1/mol
+
+}  // namespace tnr::physics

@@ -1,0 +1,87 @@
+#include "stats/changepoint.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tnr::stats {
+
+namespace {
+
+/// Poisson segment log likelihood up to terms independent of the rate:
+/// sum(x) * log(mean) - n * mean, with mean the MLE sum(x)/n.
+double segment_loglik(double sum, double n) {
+    if (n <= 0.0) return 0.0;
+    const double mean = sum / n;
+    if (mean <= 0.0) return 0.0;
+    return sum * std::log(mean) - n * mean;
+}
+
+}  // namespace
+
+std::optional<Changepoint> detect_single_changepoint(
+    const std::vector<std::uint64_t>& counts, std::size_t min_segment,
+    double min_gain) {
+    if (min_segment == 0) min_segment = 1;
+    const std::size_t n = counts.size();
+    if (n < 2 * min_segment) return std::nullopt;
+
+    // Prefix sums for O(1) segment sums.
+    std::vector<double> prefix(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        prefix[i + 1] = prefix[i] + static_cast<double>(counts[i]);
+    }
+    const double total = prefix[n];
+    const double null_loglik = segment_loglik(total, static_cast<double>(n));
+
+    double best_gain = -1.0;
+    std::size_t best_split = 0;
+    for (std::size_t split = min_segment; split + min_segment <= n; ++split) {
+        const double left = segment_loglik(prefix[split], static_cast<double>(split));
+        const double right = segment_loglik(total - prefix[split],
+                                            static_cast<double>(n - split));
+        const double gain = left + right - null_loglik;
+        if (gain > best_gain) {
+            best_gain = gain;
+            best_split = split;
+        }
+    }
+    if (best_gain < min_gain) return std::nullopt;
+
+    Changepoint cp;
+    cp.index = best_split;
+    cp.rate_before = prefix[best_split] / static_cast<double>(best_split);
+    cp.rate_after =
+        (total - prefix[best_split]) / static_cast<double>(n - best_split);
+    cp.log_likelihood_gain = best_gain;
+    return cp;
+}
+
+CusumDetector::CusumDetector(double reference, double allowance,
+                             double threshold)
+    : reference_(reference), allowance_(allowance), threshold_(threshold) {
+    if (reference < 0.0 || threshold <= 0.0) {
+        throw std::invalid_argument("CusumDetector: bad parameters");
+    }
+}
+
+bool CusumDetector::update(std::uint64_t count) noexcept {
+    ++n_;
+    if (alarmed_) return true;
+    const double x = static_cast<double>(count);
+    s_ = std::max(0.0, s_ + (x - reference_ - allowance_));
+    if (s_ > threshold_) {
+        alarmed_ = true;
+        alarm_index_ = n_ - 1;
+    }
+    return alarmed_;
+}
+
+void CusumDetector::reset() noexcept {
+    s_ = 0.0;
+    alarmed_ = false;
+    n_ = 0;
+    alarm_index_ = 0;
+}
+
+}  // namespace tnr::stats

@@ -1,0 +1,62 @@
+#pragma once
+// Changepoint detection on Poisson count series. The detector analysis
+// (paper Fig. 6) must recover the moment the water box was placed over
+// Tin-II and quantify the resulting step in the thermal count rate (~+24%).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace tnr::stats {
+
+/// Result of a single-changepoint scan.
+struct Changepoint {
+    std::size_t index = 0;      ///< First bin of the "after" regime.
+    double rate_before = 0.0;   ///< Mean counts/bin before the change.
+    double rate_after = 0.0;    ///< Mean counts/bin from `index` on.
+    double log_likelihood_gain = 0.0;  ///< LRT gain vs. no-change model.
+
+    /// Fractional step, e.g. +0.24 for a 24% increase.
+    [[nodiscard]] double relative_step() const noexcept {
+        return rate_before > 0.0 ? rate_after / rate_before - 1.0 : 0.0;
+    }
+};
+
+/// Exhaustive maximum-likelihood single changepoint for Poisson counts:
+/// maximizes the two-segment Poisson log likelihood over all split points.
+/// Returns nullopt if the series is too short (< 2*min_segment) or if the
+/// likelihood-ratio gain does not clear `min_gain` (chi2_1/2 units; 5.0
+/// corresponds to ~p < 0.002).
+std::optional<Changepoint> detect_single_changepoint(
+    const std::vector<std::uint64_t>& counts, std::size_t min_segment = 3,
+    double min_gain = 5.0);
+
+/// One-sided CUSUM for online step detection on Poisson counts.
+/// Accumulates S = max(0, S + (x - k)) and alarms when S > h.
+class CusumDetector {
+public:
+    /// reference: in-control mean rate (counts/bin); k: allowance (drift),
+    /// typically reference + 0.5*expected_shift; h: alarm threshold.
+    CusumDetector(double reference, double allowance, double threshold);
+
+    /// Feed one bin; returns true when the alarm fires (and latches).
+    bool update(std::uint64_t count) noexcept;
+
+    [[nodiscard]] bool alarmed() const noexcept { return alarmed_; }
+    [[nodiscard]] double statistic() const noexcept { return s_; }
+    /// Bin index at which the alarm fired (valid only if alarmed()).
+    [[nodiscard]] std::size_t alarm_index() const noexcept { return alarm_index_; }
+
+    void reset() noexcept;
+
+private:
+    double reference_;
+    double allowance_;
+    double threshold_;
+    double s_ = 0.0;
+    bool alarmed_ = false;
+    std::size_t n_ = 0;
+    std::size_t alarm_index_ = 0;
+};
+
+}  // namespace tnr::stats

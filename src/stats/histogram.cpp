@@ -1,0 +1,115 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tnr::stats {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+    if (edges_.size() < 2) {
+        throw std::invalid_argument("Histogram: need at least 2 edges");
+    }
+    if (!std::is_sorted(edges_.begin(), edges_.end()) ||
+        std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end()) {
+        throw std::invalid_argument("Histogram: edges must be strictly increasing");
+    }
+    counts_.assign(edges_.size() - 1, 0.0);
+}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t bins) {
+    if (!(lo < hi) || bins == 0) {
+        throw std::invalid_argument("Histogram::linear: bad range or bins");
+    }
+    std::vector<double> edges(bins + 1);
+    const double step = (hi - lo) / static_cast<double>(bins);
+    for (std::size_t i = 0; i <= bins; ++i) {
+        edges[i] = lo + step * static_cast<double>(i);
+    }
+    edges.back() = hi;
+    Histogram h(std::move(edges));
+    h.lin_uniform_ = true;
+    return h;
+}
+
+Histogram Histogram::logarithmic(double lo, double hi, std::size_t bins) {
+    if (!(lo > 0.0) || !(lo < hi) || bins == 0) {
+        throw std::invalid_argument("Histogram::logarithmic: bad range or bins");
+    }
+    std::vector<double> edges(bins + 1);
+    const double log_lo = std::log(lo);
+    const double step = (std::log(hi) - log_lo) / static_cast<double>(bins);
+    for (std::size_t i = 0; i <= bins; ++i) {
+        edges[i] = std::exp(log_lo + step * static_cast<double>(i));
+    }
+    edges.front() = lo;
+    edges.back() = hi;
+    Histogram h(std::move(edges));
+    h.log_uniform_ = true;
+    return h;
+}
+
+void Histogram::add(double x, double weight) {
+    const std::size_t i = find_bin(x);
+    if (i == npos) {
+        (x < edges_.front() ? underflow_ : overflow_) += weight;
+        return;
+    }
+    counts_[i] += weight;
+}
+
+std::size_t Histogram::find_bin(double x) const {
+    if (x < edges_.front() || x >= edges_.back()) return npos;
+    if (lin_uniform_) {
+        const double step = (edges_.back() - edges_.front()) /
+                            static_cast<double>(counts_.size());
+        auto i = static_cast<std::size_t>((x - edges_.front()) / step);
+        return std::min(i, counts_.size() - 1);
+    }
+    if (log_uniform_) {
+        const double step = (std::log(edges_.back()) - std::log(edges_.front())) /
+                            static_cast<double>(counts_.size());
+        auto i = static_cast<std::size_t>(
+            (std::log(x) - std::log(edges_.front())) / step);
+        return std::min(i, counts_.size() - 1);
+    }
+    const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+    return static_cast<std::size_t>(std::distance(edges_.begin(), it)) - 1;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+    return 0.5 * (bin_lo(i) + bin_hi(i));
+}
+
+double Histogram::bin_center_geometric(std::size_t i) const {
+    return std::sqrt(bin_lo(i) * bin_hi(i));
+}
+
+double Histogram::total() const noexcept {
+    return std::accumulate(counts_.begin(), counts_.end(), 0.0) + underflow_ +
+           overflow_;
+}
+
+std::vector<double> Histogram::density() const {
+    std::vector<double> d(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        d[i] = counts_[i] / (bin_hi(i) - bin_lo(i));
+    }
+    return d;
+}
+
+std::vector<double> Histogram::lethargy_density() const {
+    std::vector<double> d(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        d[i] = counts_[i] / std::log(bin_hi(i) / bin_lo(i));
+    }
+    return d;
+}
+
+void Histogram::reset() {
+    std::fill(counts_.begin(), counts_.end(), 0.0);
+    underflow_ = overflow_ = 0.0;
+}
+
+}  // namespace tnr::stats

@@ -1,0 +1,65 @@
+#pragma once
+// Histograms over linear or logarithmic grids. The log-grid variant is the
+// backbone of neutron spectra work: beamline spectra are reported per unit
+// lethargy (paper Fig. 2), i.e. on log-spaced energy bins.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tnr::stats {
+
+/// Fixed-grid 1-D histogram. Bin edges are strictly increasing; samples
+/// outside [front, back) land in underflow/overflow counters.
+class Histogram {
+public:
+    /// Construct from explicit, strictly increasing edges (>= 2 edges).
+    explicit Histogram(std::vector<double> edges);
+
+    /// Uniform grid over [lo, hi) with `bins` bins.
+    static Histogram linear(double lo, double hi, std::size_t bins);
+
+    /// Log-uniform grid over [lo, hi) with `bins` bins; lo, hi > 0.
+    static Histogram logarithmic(double lo, double hi, std::size_t bins);
+
+    void add(double x, double weight = 1.0);
+
+    [[nodiscard]] std::size_t bin_count() const noexcept {
+        return counts_.size();
+    }
+    [[nodiscard]] double bin_lo(std::size_t i) const { return edges_.at(i); }
+    [[nodiscard]] double bin_hi(std::size_t i) const { return edges_.at(i + 1); }
+    [[nodiscard]] double bin_center(std::size_t i) const;
+    /// Geometric bin center, appropriate for log grids.
+    [[nodiscard]] double bin_center_geometric(std::size_t i) const;
+    [[nodiscard]] double count(std::size_t i) const { return counts_.at(i); }
+    [[nodiscard]] double underflow() const noexcept { return underflow_; }
+    [[nodiscard]] double overflow() const noexcept { return overflow_; }
+    [[nodiscard]] double total() const noexcept;
+    [[nodiscard]] const std::vector<double>& edges() const noexcept {
+        return edges_;
+    }
+
+    /// Density view: count / bin width.
+    [[nodiscard]] std::vector<double> density() const;
+
+    /// Lethargy density view: count / ln(hi/lo) per bin — the standard
+    /// E·dΦ/dE presentation for neutron spectra.
+    [[nodiscard]] std::vector<double> lethargy_density() const;
+
+    /// Index of the bin containing x, or npos if out of range.
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    [[nodiscard]] std::size_t find_bin(double x) const;
+
+    void reset();
+
+private:
+    std::vector<double> edges_;
+    std::vector<double> counts_;
+    double underflow_ = 0.0;
+    double overflow_ = 0.0;
+    bool log_uniform_ = false;
+    bool lin_uniform_ = false;
+};
+
+}  // namespace tnr::stats

@@ -1,0 +1,51 @@
+#pragma once
+// Counting statistics used throughout beam experiments and detector analysis:
+// exact (Garwood) Poisson confidence intervals on counts and rates, the
+// standard presentation of radiation test results (JEDEC JESD89A §5.6 reports
+// cross sections with 95% Poisson confidence bounds).
+
+#include <cstdint>
+
+namespace tnr::stats {
+
+/// A two-sided confidence interval.
+struct Interval {
+    double lower = 0.0;
+    double upper = 0.0;
+
+    [[nodiscard]] double width() const noexcept { return upper - lower; }
+    [[nodiscard]] bool contains(double x) const noexcept {
+        return x >= lower && x <= upper;
+    }
+};
+
+/// Exact two-sided CI for the mean of a Poisson distribution given an
+/// observed count, via the chi-squared (Garwood 1936) construction:
+///   lower = chi2(alpha/2, 2k) / 2,  upper = chi2(1-alpha/2, 2k+2) / 2.
+/// For k == 0 the lower bound is exactly 0.
+Interval poisson_mean_interval(std::uint64_t count, double confidence = 0.95);
+
+/// CI for a Poisson *rate* = count / exposure (exposure in whatever unit the
+/// caller uses: seconds of counting, n/cm^2 of fluence, ...).
+Interval poisson_rate_interval(std::uint64_t count, double exposure,
+                               double confidence = 0.95);
+
+/// Ratio of two independent Poisson rates with (conservative) CI obtained by
+/// propagating the exact intervals of numerator and denominator. Used for
+/// the high-energy / thermal cross-section ratio plots (paper Fig. 5).
+struct RateRatio {
+    double ratio = 0.0;
+    Interval ci;
+};
+RateRatio poisson_rate_ratio(std::uint64_t count_num, double exposure_num,
+                             std::uint64_t count_den, double exposure_den,
+                             double confidence = 0.95);
+
+/// Probability that a Poisson(mean) variate equals k (for tests/diagnostics).
+double poisson_pmf(std::uint64_t k, double mean);
+
+/// Two-sided p-value for observing `count` under Poisson(mean): the
+/// probability of a result at least as extreme (by tail mass).
+double poisson_two_sided_p_value(std::uint64_t count, double mean);
+
+}  // namespace tnr::stats

@@ -1,0 +1,134 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+
+namespace tnr::stats {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+    // A state of all zeros is the one forbidden fixed point; SplitMix64
+    // cannot produce four consecutive zeros, but guard anyway.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+        state_[0] = 0x9e3779b97f4a7c15ULL;
+    }
+}
+
+Rng::result_type Rng::next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    // Lemire's method: multiply-shift with rejection of the biased region.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+        const std::uint64_t threshold = -n % n;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * n;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool Rng::bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+}
+
+double Rng::exponential(double rate) noexcept {
+    // -log(1-u) with u in [0,1) avoids log(0).
+    return -std::log1p(-uniform()) / rate;
+}
+
+double Rng::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+    if (mean <= 0.0) return 0;
+    if (mean < 30.0) {
+        // Knuth inversion: multiply uniforms until below exp(-mean).
+        const double limit = std::exp(-mean);
+        std::uint64_t k = 0;
+        double p = uniform();
+        while (p > limit) {
+            ++k;
+            p *= uniform();
+        }
+        return k;
+    }
+    // PTRS: transformed rejection with squeeze (Hörmann 1993). Exact for all
+    // means >= 10; we use it above 30 where inversion gets slow.
+    const double b = 0.931 + 2.53 * std::sqrt(mean);
+    const double a = -0.059 + 0.02483 * b;
+    const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+    const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+    for (;;) {
+        double u = uniform() - 0.5;
+        const double v = uniform();
+        const double us = 0.5 - std::abs(u);
+        const double kf = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+        if (kf < 0.0) continue;
+        if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(kf);
+        if (us < 0.013 && v > us) continue;
+        const double log_mean = std::log(mean);
+        if (std::log(v * inv_alpha / (a / (us * us) + b)) <=
+            kf * log_mean - mean - std::lgamma(kf + 1.0)) {
+            return static_cast<std::uint64_t>(kf);
+        }
+    }
+}
+
+Rng Rng::split() noexcept {
+    // Derive an independent stream by hashing two outputs through SplitMix64.
+    SplitMix64 sm(next() ^ 0x6a09e667f3bcc909ULL);
+    const std::uint64_t child_seed = sm.next() ^ next();
+    return Rng(child_seed);
+}
+
+}  // namespace tnr::stats

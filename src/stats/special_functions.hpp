@@ -1,0 +1,35 @@
+#pragma once
+// Special functions needed for exact counting statistics: regularized
+// incomplete gamma functions and chi-squared quantiles. These back the exact
+// (Garwood) Poisson confidence intervals used for beam cross sections.
+
+namespace tnr::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x) / Γ(a).
+/// Series expansion for x < a+1, continued fraction otherwise.
+/// Domain: a > 0, x >= 0. Accuracy ~1e-12.
+double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// Inverse of gamma_p in x: returns x such that P(a, x) = p.
+/// Uses the Wilson-Hilferty initial guess refined by Halley iterations.
+/// Domain: a > 0, p in [0, 1).
+double gamma_p_inv(double a, double p);
+
+/// Quantile of the chi-squared distribution with k degrees of freedom:
+/// returns x such that CDF_chi2(x; k) = p.
+double chi_squared_quantile(double p, double k);
+
+/// CDF of the standard normal distribution.
+double normal_cdf(double x);
+
+/// Quantile (inverse CDF) of the standard normal distribution,
+/// Acklam's rational approximation refined with one Halley step (~1e-15).
+double normal_quantile(double p);
+
+/// log of the binomial coefficient C(n, k), valid for large n.
+double log_binomial(double n, double k);
+
+}  // namespace tnr::stats

@@ -1,0 +1,114 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tnr::stats {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+    return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double nt = na + nb;
+    mean_ += delta * nb / nt;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+double quantile(std::span<const double> values, double p) {
+    if (values.empty()) throw std::invalid_argument("quantile: empty data");
+    if (p < 0.0 || p > 1.0) throw std::domain_error("quantile: p in [0,1]");
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+KsResult ks_test(std::span<const double> samples,
+                 const std::function<double(double)>& cdf) {
+    if (samples.empty()) throw std::invalid_argument("ks_test: empty data");
+    std::vector<double> sorted(samples.begin(), samples.end());
+    std::sort(sorted.begin(), sorted.end());
+    const auto n = static_cast<double>(sorted.size());
+    double d = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const double f = cdf(sorted[i]);
+        const double lo = static_cast<double>(i) / n;
+        const double hi = static_cast<double>(i + 1) / n;
+        d = std::max({d, std::abs(f - lo), std::abs(f - hi)});
+    }
+    // Asymptotic Kolmogorov tail: P(sqrt(n) D > x) = 2 sum (-1)^{k-1} e^{-2k^2x^2}.
+    const double x = std::sqrt(n) * d;
+    double p = 0.0;
+    for (int k = 1; k <= 100; ++k) {
+        const double term =
+            2.0 * std::pow(-1.0, k - 1) * std::exp(-2.0 * k * k * x * x);
+        p += term;
+        if (std::abs(term) < 1e-12) break;
+    }
+    return {d, std::clamp(p, 0.0, 1.0)};
+}
+
+KsResult ks_test_exponential(std::span<const double> samples, double rate) {
+    if (rate <= 0.0) throw std::domain_error("ks_test_exponential: rate > 0");
+    return ks_test(samples, [rate](double t) {
+        return t <= 0.0 ? 0.0 : 1.0 - std::exp(-rate * t);
+    });
+}
+
+KsResult ks_test_uniform(std::span<const double> samples, double lo, double hi) {
+    if (!(hi > lo)) throw std::domain_error("ks_test_uniform: hi > lo");
+    return ks_test(samples, [lo, hi](double t) {
+        if (t <= lo) return 0.0;
+        if (t >= hi) return 1.0;
+        return (t - lo) / (hi - lo);
+    });
+}
+
+double geometric_mean(std::span<const double> values) {
+    if (values.empty()) throw std::invalid_argument("geometric_mean: empty data");
+    double log_sum = 0.0;
+    for (const double v : values) {
+        if (v <= 0.0) throw std::domain_error("geometric_mean: values must be > 0");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace tnr::stats

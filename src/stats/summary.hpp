@@ -1,0 +1,64 @@
+#pragma once
+// Streaming summary statistics (Welford) and simple descriptive helpers.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace tnr::stats {
+
+/// Numerically stable streaming mean/variance accumulator (Welford 1962).
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    /// Standard error of the mean.
+    [[nodiscard]] double sem() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+
+    /// Merge another accumulator (parallel reduction, Chan et al.).
+    void merge(const RunningStats& other) noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Median of a copy of the data (values need not be sorted).
+double median(std::span<const double> values);
+
+/// p-th quantile (0 <= p <= 1) with linear interpolation.
+double quantile(std::span<const double> values, double p);
+
+/// Geometric mean; all values must be > 0.
+double geometric_mean(std::span<const double> values);
+
+/// One-sample Kolmogorov-Smirnov statistic D_n against a caller-supplied
+/// CDF, plus the asymptotic p-value (Kolmogorov distribution). Used to
+/// check that simulated event streams are genuinely Poisson: their
+/// inter-arrival times must pass an exponential K-S test.
+struct KsResult {
+    double statistic = 0.0;  ///< sup |F_empirical - F_model|.
+    double p_value = 1.0;    ///< asymptotic, valid for n >= ~35.
+};
+
+KsResult ks_test(std::span<const double> samples,
+                 const std::function<double(double)>& cdf);
+
+/// Convenience: K-S against Exponential(rate).
+KsResult ks_test_exponential(std::span<const double> samples, double rate);
+
+/// Convenience: K-S against Uniform[lo, hi].
+KsResult ks_test_uniform(std::span<const double> samples, double lo, double hi);
+
+}  // namespace tnr::stats

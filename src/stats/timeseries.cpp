@@ -1,0 +1,58 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tnr::stats {
+
+double CountTimeSeries::mean_rate(std::size_t lo, std::size_t hi) const {
+    if (lo >= hi || hi > counts_.size()) {
+        throw std::out_of_range("CountTimeSeries::mean_rate: bad range");
+    }
+    const double total_counts = static_cast<double>(total(lo, hi));
+    return total_counts / (bin_width_ * static_cast<double>(hi - lo));
+}
+
+std::uint64_t CountTimeSeries::total(std::size_t lo, std::size_t hi) const {
+    if (lo > hi || hi > counts_.size()) {
+        throw std::out_of_range("CountTimeSeries::total: bad range");
+    }
+    return std::accumulate(counts_.begin() + static_cast<std::ptrdiff_t>(lo),
+                           counts_.begin() + static_cast<std::ptrdiff_t>(hi),
+                           std::uint64_t{0});
+}
+
+CountTimeSeries CountTimeSeries::rebinned(std::size_t k) const {
+    if (k == 0) throw std::invalid_argument("rebinned: k must be >= 1");
+    CountTimeSeries out(t0_, bin_width_ * static_cast<double>(k));
+    for (std::size_t i = 0; i + k <= counts_.size(); i += k) {
+        out.append(total(i, i + k));
+    }
+    return out;
+}
+
+std::vector<double> CountTimeSeries::smoothed_rate(std::size_t half_window) const {
+    std::vector<double> out(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::size_t lo = (i >= half_window) ? i - half_window : 0;
+        const std::size_t hi = std::min(counts_.size(), i + half_window + 1);
+        out[i] = mean_rate(lo, hi);
+    }
+    return out;
+}
+
+std::vector<std::int64_t> CountTimeSeries::difference(
+    const CountTimeSeries& other) const {
+    if (other.size() != size() || other.bin_width_s() != bin_width_) {
+        throw std::invalid_argument(
+            "CountTimeSeries::difference: binning mismatch");
+    }
+    std::vector<std::int64_t> out(size());
+    for (std::size_t i = 0; i < size(); ++i) {
+        out[i] = static_cast<std::int64_t>(counts_[i]) -
+                 static_cast<std::int64_t>(other.counts_[i]);
+    }
+    return out;
+}
+
+}  // namespace tnr::stats

@@ -1,0 +1,67 @@
+#pragma once
+// Regularly-binned count time series, as produced by the Tin-II thermal
+// neutron detector (paper Fig. 6: counts per hour over several days).
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace tnr::stats {
+
+/// A time series of counts in uniform bins starting at t0 (seconds).
+class CountTimeSeries {
+public:
+    CountTimeSeries(double t0_s, double bin_width_s)
+        : t0_(t0_s), bin_width_(bin_width_s) {
+        if (bin_width_s <= 0.0) {
+            throw std::invalid_argument("CountTimeSeries: bin width must be > 0");
+        }
+    }
+
+    void append(std::uint64_t count) { counts_.push_back(count); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return counts_.empty(); }
+    [[nodiscard]] std::uint64_t count(std::size_t i) const {
+        return counts_.at(i);
+    }
+    [[nodiscard]] double bin_start_s(std::size_t i) const {
+        return t0_ + bin_width_ * static_cast<double>(i);
+    }
+    [[nodiscard]] double bin_width_s() const noexcept { return bin_width_; }
+    [[nodiscard]] double t0_s() const noexcept { return t0_; }
+    [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+        return counts_;
+    }
+
+    /// Rate (counts/s) in bin i.
+    [[nodiscard]] double rate(std::size_t i) const {
+        return static_cast<double>(counts_.at(i)) / bin_width_;
+    }
+
+    /// Mean rate over bins [lo, hi).
+    [[nodiscard]] double mean_rate(std::size_t lo, std::size_t hi) const;
+
+    /// Total counts over bins [lo, hi).
+    [[nodiscard]] std::uint64_t total(std::size_t lo, std::size_t hi) const;
+
+    /// Merge k adjacent bins into one (e.g. 1-min bins -> 1-h bins).
+    [[nodiscard]] CountTimeSeries rebinned(std::size_t k) const;
+
+    /// Centered moving average of the per-bin rates (window = 2*half+1 bins),
+    /// shrunk at the edges.
+    [[nodiscard]] std::vector<double> smoothed_rate(std::size_t half_window) const;
+
+    /// Element-wise difference of counts (this - other), clamped at zero.
+    /// Used for bare-minus-shielded detector differencing; series must have
+    /// identical binning and length.
+    [[nodiscard]] std::vector<std::int64_t> difference(
+        const CountTimeSeries& other) const;
+
+private:
+    double t0_;
+    double bin_width_;
+    std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace tnr::stats

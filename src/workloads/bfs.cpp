@@ -1,0 +1,128 @@
+#include "workloads/bfs.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace tnr::workloads {
+
+Bfs::Bfs(std::size_t nodes, std::size_t avg_degree)
+    : nodes_(nodes), degree_(avg_degree) {
+    if (nodes < 2 || nodes > (1u << 22) || avg_degree == 0 || avg_degree > 64) {
+        throw std::invalid_argument("Bfs: bad configuration");
+    }
+    build_graph();
+    distance_.resize(nodes_);
+    frontier_.resize(nodes_);
+    reset();
+    run();
+    golden_ = distance_;
+    reset();
+}
+
+void Bfs::build_graph() {
+    // Grid backbone (road network) + a few long-range shortcuts (highways).
+    const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(nodes_)));
+    std::vector<std::vector<std::uint32_t>> adj(nodes_);
+    const auto add_edge = [&](std::size_t u, std::size_t v) {
+        if (u == v || u >= nodes_ || v >= nodes_) return;
+        adj[u].push_back(static_cast<std::uint32_t>(v));
+        adj[v].push_back(static_cast<std::uint32_t>(u));
+    };
+    for (std::size_t i = 0; i < nodes_; ++i) {
+        if ((i + 1) % side != 0 && i + 1 < nodes_) add_edge(i, i + 1);
+        if (i + side < nodes_) add_edge(i, i + side);
+    }
+    const std::size_t shortcuts = nodes_ * (degree_ > 2 ? degree_ - 2 : 0) / 2;
+    for (std::size_t s = 0; s < shortcuts; ++s) {
+        const auto u = static_cast<std::size_t>(
+            detail::hashed_uniform(10, 2 * s, 0.0F, static_cast<float>(nodes_)));
+        const auto v = static_cast<std::size_t>(detail::hashed_uniform(
+            10, 2 * s + 1, 0.0F, static_cast<float>(nodes_)));
+        add_edge(std::min(u, nodes_ - 1), std::min(v, nodes_ - 1));
+    }
+
+    row_offsets_.assign(nodes_ + 1, 0);
+    for (std::size_t i = 0; i < nodes_; ++i) {
+        row_offsets_[i + 1] =
+            row_offsets_[i] + static_cast<std::uint32_t>(adj[i].size());
+    }
+    columns_.clear();
+    columns_.reserve(row_offsets_.back());
+    for (const auto& list : adj) {
+        columns_.insert(columns_.end(), list.begin(), list.end());
+    }
+}
+
+void Bfs::reset() {
+    control_.nodes = static_cast<std::uint32_t>(nodes_);
+    control_.source = 0;
+    build_graph();  // the CSR arrays are injectable; restore them.
+    std::fill(distance_.begin(), distance_.end(), -1);
+    std::fill(frontier_.begin(), frontier_.end(), 0u);
+}
+
+void Bfs::run() {
+    detail::check_control(control_.nodes, nodes_, "BFS");
+    detail::check_bounds(control_.source, nodes_, "BFS source");
+    std::fill(distance_.begin(), distance_.end(), -1);
+
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    frontier_[tail++] = control_.source;
+    distance_[control_.source] = 0;
+
+    // Watchdog: a sane BFS pushes each node at most once; corrupted
+    // distances can re-enqueue nodes, which a real system shows as a hang.
+    const std::size_t watchdog = 4 * nodes_;
+    std::size_t processed = 0;
+
+    while (head < tail) {
+        if (++processed > watchdog) {
+            throw WorkloadFailure(WorkloadFailure::Kind::kHang,
+                                  "BFS: watchdog expired");
+        }
+        const std::uint32_t u = frontier_[head++];
+        detail::check_bounds(u, nodes_, "BFS frontier node");
+        const std::uint32_t begin = row_offsets_[u];
+        const std::uint32_t end = row_offsets_[u + 1];
+        if (begin > end || end > columns_.size()) {
+            throw WorkloadFailure(WorkloadFailure::Kind::kCrash,
+                                  "BFS: corrupted CSR row offsets");
+        }
+        for (std::uint32_t e = begin; e < end; ++e) {
+            const std::uint32_t v = columns_[e];
+            detail::check_bounds(v, nodes_, "BFS adjacency");
+            if (distance_[v] < 0) {
+                distance_[v] = distance_[u] + 1;
+                if (tail >= frontier_.size()) {
+                    throw WorkloadFailure(WorkloadFailure::Kind::kCrash,
+                                          "BFS: frontier overflow");
+                }
+                frontier_[tail++] = v;
+            }
+        }
+    }
+}
+
+bool Bfs::verify() const {
+    return std::memcmp(distance_.data(), golden_.data(),
+                       distance_.size() * sizeof(std::int32_t)) == 0;
+}
+
+std::vector<StateSegment> Bfs::segments() {
+    return {
+        {"row_offsets", detail::as_bytes_span(row_offsets_)},
+        {"columns", detail::as_bytes_span(columns_)},
+        {"distance", detail::as_bytes_span(distance_)},
+        {"frontier", detail::as_bytes_span(frontier_)},
+        {"control",
+         std::span<std::byte>(reinterpret_cast<std::byte*>(&control_),
+                              sizeof(control_))},
+    };
+}
+
+std::unique_ptr<Workload> make_bfs(std::size_t nodes, std::size_t avg_degree) {
+    return std::make_unique<Bfs>(nodes, avg_degree);
+}
+
+}  // namespace tnr::workloads

@@ -1,0 +1,49 @@
+#pragma once
+// BFS: breadth-first search over a CSR road-network-like graph — the paper's
+// non-uniform-memory-access code (GPS navigation). Corrupted adjacency
+// indices naturally produce detectable faults (out-of-bounds) or hangs,
+// which is why graph codes show high DUE rates at beam.
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace tnr::workloads {
+
+class Bfs final : public Workload {
+public:
+    /// nodes: graph size; avg_degree: edges per node (grid-like with
+    /// shortcuts, mimicking a highway network).
+    explicit Bfs(std::size_t nodes = 1024, std::size_t avg_degree = 4);
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "BFS";
+    }
+    void reset() override;
+    void run() override;
+    [[nodiscard]] bool verify() const override;
+    [[nodiscard]] std::vector<StateSegment> segments() override;
+
+private:
+    struct Control {
+        std::uint32_t nodes;
+        std::uint32_t source;
+    };
+
+    void build_graph();
+
+    std::size_t nodes_;
+    std::size_t degree_;
+    Control control_{};
+    std::vector<std::uint32_t> row_offsets_;  ///< CSR, nodes+1 entries.
+    std::vector<std::uint32_t> columns_;      ///< CSR adjacency.
+    std::vector<std::int32_t> distance_;      ///< output: hops from source.
+    std::vector<std::uint32_t> frontier_;     ///< scratch queue.
+    std::vector<std::int32_t> golden_;
+};
+
+std::unique_ptr<Workload> make_bfs(std::size_t nodes = 1024,
+                                   std::size_t avg_degree = 4);
+
+}  // namespace tnr::workloads

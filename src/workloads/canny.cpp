@@ -1,0 +1,173 @@
+#include "workloads/canny.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace tnr::workloads {
+
+namespace {
+constexpr float kLowThreshold = 0.10F;
+constexpr float kHighThreshold = 0.25F;
+}
+
+CannyEdge::CannyEdge(std::size_t side) : side_(side) {
+    if (side < 8 || side > 2048) throw std::invalid_argument("CED: bad size");
+    const std::size_t n = side_ * side_;
+    image_.resize(n);
+    blurred_.resize(n);
+    gradient_mag_.resize(n);
+    direction_.resize(n);
+    edges_.resize(n);
+    reset();
+    run();
+    golden_ = edges_;
+    reset();
+}
+
+void CannyEdge::reset() {
+    control_.side = static_cast<std::uint32_t>(side_);
+    // Synthetic urban-like frame: smooth gradient sky + blocky structures.
+    for (std::size_t i = 0; i < side_; ++i) {
+        for (std::size_t j = 0; j < side_; ++j) {
+            const std::size_t idx = i * side_ + j;
+            float v = 0.3F + 0.4F * static_cast<float>(i) /
+                                 static_cast<float>(side_);
+            // Rectangular "buildings".
+            const std::size_t bi = i / 12;
+            const std::size_t bj = j / 12;
+            v += 0.3F * detail::hashed_uniform(8, bi * 1000 + bj, 0.0F, 1.0F);
+            v += detail::hashed_uniform(9, idx, -0.02F, 0.02F);  // sensor noise
+            image_[idx] = std::min(1.0F, std::max(0.0F, v));
+        }
+    }
+    std::fill(blurred_.begin(), blurred_.end(), 0.0F);
+    std::fill(gradient_mag_.begin(), gradient_mag_.end(), 0.0F);
+    std::fill(direction_.begin(), direction_.end(), std::uint8_t{0});
+    std::fill(edges_.begin(), edges_.end(), std::uint8_t{0});
+}
+
+void CannyEdge::run() {
+    detail::check_control(control_.side, side_, "CED");
+    const std::size_t n = side_;
+    const auto at = [n](std::size_t i, std::size_t j) { return i * n + j; };
+
+    // 1. 3x3 Gaussian blur (1-2-1 kernel), clamped borders.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            float acc = 0.0F;
+            float wsum = 0.0F;
+            for (int di = -1; di <= 1; ++di) {
+                for (int dj = -1; dj <= 1; ++dj) {
+                    const auto ii = static_cast<std::ptrdiff_t>(i) + di;
+                    const auto jj = static_cast<std::ptrdiff_t>(j) + dj;
+                    if (ii < 0 || jj < 0 ||
+                        ii >= static_cast<std::ptrdiff_t>(n) ||
+                        jj >= static_cast<std::ptrdiff_t>(n)) {
+                        continue;
+                    }
+                    const float w = (di == 0 ? 2.0F : 1.0F) *
+                                    (dj == 0 ? 2.0F : 1.0F);
+                    acc += w * image_[at(static_cast<std::size_t>(ii),
+                                         static_cast<std::size_t>(jj))];
+                    wsum += w;
+                }
+            }
+            blurred_[at(i, j)] = acc / wsum;
+        }
+    }
+
+    // 2. Sobel gradients -> magnitude + quantized direction (4 sectors).
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        for (std::size_t j = 1; j + 1 < n; ++j) {
+            const float gx = blurred_[at(i - 1, j + 1)] +
+                             2.0F * blurred_[at(i, j + 1)] +
+                             blurred_[at(i + 1, j + 1)] -
+                             blurred_[at(i - 1, j - 1)] -
+                             2.0F * blurred_[at(i, j - 1)] -
+                             blurred_[at(i + 1, j - 1)];
+            const float gy = blurred_[at(i + 1, j - 1)] +
+                             2.0F * blurred_[at(i + 1, j)] +
+                             blurred_[at(i + 1, j + 1)] -
+                             blurred_[at(i - 1, j - 1)] -
+                             2.0F * blurred_[at(i - 1, j)] -
+                             blurred_[at(i - 1, j + 1)];
+            gradient_mag_[at(i, j)] = std::sqrt(gx * gx + gy * gy);
+            const float angle = std::atan2(gy, gx);
+            // Quantize to {0:E-W, 1:NE-SW, 2:N-S, 3:NW-SE}.
+            const float deg = angle * 180.0F / static_cast<float>(M_PI);
+            const float norm = (deg < 0.0F) ? deg + 180.0F : deg;
+            std::uint8_t sector = 0;
+            if (norm >= 22.5F && norm < 67.5F) sector = 1;
+            else if (norm >= 67.5F && norm < 112.5F) sector = 2;
+            else if (norm >= 112.5F && norm < 157.5F) sector = 3;
+            direction_[at(i, j)] = sector;
+        }
+    }
+
+    // 3. Non-maximum suppression + double threshold.
+    static constexpr int kOff[4][2] = {{0, 1}, {-1, 1}, {-1, 0}, {-1, -1}};
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        for (std::size_t j = 1; j + 1 < n; ++j) {
+            const std::size_t idx = at(i, j);
+            const std::uint8_t sector = direction_[idx];
+            if (sector > 3) {
+                throw WorkloadFailure(WorkloadFailure::Kind::kCrash,
+                                      "CED: corrupted direction sector");
+            }
+            const int di = kOff[sector][0];
+            const int dj = kOff[sector][1];
+            const float m = gradient_mag_[idx];
+            const float fwd =
+                gradient_mag_[at(i + static_cast<std::size_t>(di + 1) - 1,
+                                 j + static_cast<std::size_t>(dj + 1) - 1)];
+            const float bwd =
+                gradient_mag_[at(i - static_cast<std::size_t>(di + 1) + 1,
+                                 j - static_cast<std::size_t>(dj + 1) + 1)];
+            if (m >= fwd && m >= bwd && m > kLowThreshold) {
+                edges_[idx] = (m > kHighThreshold) ? 2 : 1;  // strong / weak.
+            } else {
+                edges_[idx] = 0;
+            }
+        }
+    }
+
+    // 4. Hysteresis: weak edges survive only next to a strong edge.
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        for (std::size_t j = 1; j + 1 < n; ++j) {
+            const std::size_t idx = at(i, j);
+            if (edges_[idx] != 1) continue;
+            bool keep = false;
+            for (int di = -1; di <= 1 && !keep; ++di) {
+                for (int dj = -1; dj <= 1 && !keep; ++dj) {
+                    keep = edges_[at(i + static_cast<std::size_t>(di + 1) - 1,
+                                     j + static_cast<std::size_t>(dj + 1) - 1)] ==
+                           2;
+                }
+            }
+            edges_[idx] = keep ? 2 : 0;
+        }
+    }
+}
+
+bool CannyEdge::verify() const {
+    return std::memcmp(edges_.data(), golden_.data(), edges_.size()) == 0;
+}
+
+std::vector<StateSegment> CannyEdge::segments() {
+    return {
+        {"image", detail::as_bytes_span(image_)},
+        {"blurred", detail::as_bytes_span(blurred_)},
+        {"gradient", detail::as_bytes_span(gradient_mag_)},
+        {"direction", detail::as_bytes_span(direction_)},
+        {"edges", detail::as_bytes_span(edges_)},
+        {"control",
+         std::span<std::byte>(reinterpret_cast<std::byte*>(&control_),
+                              sizeof(control_))},
+    };
+}
+
+std::unique_ptr<Workload> make_canny(std::size_t side) {
+    return std::make_unique<CannyEdge>(side);
+}
+
+}  // namespace tnr::workloads

@@ -1,0 +1,42 @@
+#pragma once
+// CED: Canny edge detection — the paper's heterogeneous image-processing
+// code (CPU and GPU pipelining frames). Gaussian blur, Sobel gradients,
+// non-maximum suppression, double-threshold hysteresis.
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace tnr::workloads {
+
+class CannyEdge final : public Workload {
+public:
+    explicit CannyEdge(std::size_t side = 48);
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "CED";
+    }
+    void reset() override;
+    void run() override;
+    [[nodiscard]] bool verify() const override;
+    [[nodiscard]] std::vector<StateSegment> segments() override;
+
+private:
+    struct Control {
+        std::uint32_t side;
+    };
+
+    std::size_t side_;
+    Control control_{};
+    std::vector<float> image_;
+    std::vector<float> blurred_;
+    std::vector<float> gradient_mag_;
+    std::vector<std::uint8_t> direction_;
+    std::vector<std::uint8_t> edges_;
+    std::vector<std::uint8_t> golden_;
+};
+
+std::unique_ptr<Workload> make_canny(std::size_t side = 48);
+
+}  // namespace tnr::workloads

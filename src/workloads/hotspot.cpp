@@ -1,0 +1,93 @@
+#include "workloads/hotspot.hpp"
+
+#include <cstring>
+
+namespace tnr::workloads {
+
+namespace {
+constexpr float kAmbient = 80.0F;     ///< ambient temperature (C).
+constexpr float kDiffusion = 0.20F;   ///< neighbour coupling per step.
+constexpr float kPowerScale = 0.5F;   ///< heating per unit dissipated power.
+}  // namespace
+
+HotSpot::HotSpot(std::size_t grid, std::size_t iterations)
+    : grid_(grid), iterations_(iterations) {
+    if (grid < 3 || grid > 1024 || iterations == 0 || iterations > 100000) {
+        throw std::invalid_argument("HotSpot: bad configuration");
+    }
+    temperature_.resize(grid_ * grid_);
+    power_.resize(grid_ * grid_);
+    scratch_.resize(grid_ * grid_);
+    reset();
+    run();
+    golden_ = temperature_;
+    reset();
+}
+
+void HotSpot::reset() {
+    control_.grid = static_cast<std::uint32_t>(grid_);
+    control_.iterations = static_cast<std::uint32_t>(iterations_);
+    for (std::size_t i = 0; i < grid_ * grid_; ++i) {
+        temperature_[i] = kAmbient;
+        // Synthetic floorplan: a few hot functional units over a cool base.
+        const float unit = detail::hashed_uniform(5, i, 0.0F, 1.0F);
+        power_[i] = (unit > 0.85F) ? detail::hashed_uniform(6, i, 5.0F, 10.0F)
+                                   : detail::hashed_uniform(6, i, 0.0F, 0.5F);
+    }
+    std::fill(scratch_.begin(), scratch_.end(), 0.0F);
+}
+
+void HotSpot::run() {
+    detail::check_control(control_.grid, grid_, "HotSpot");
+    detail::check_control(control_.iterations, iterations_, "HotSpot");
+    const std::size_t n = grid_;
+    for (std::size_t step = 0; step < iterations_; ++step) {
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                const std::size_t idx = i * n + j;
+                const float center = temperature_[idx];
+                const float north = (i > 0) ? temperature_[idx - n] : kAmbient;
+                const float south =
+                    (i + 1 < n) ? temperature_[idx + n] : kAmbient;
+                const float west = (j > 0) ? temperature_[idx - 1] : kAmbient;
+                const float east =
+                    (j + 1 < n) ? temperature_[idx + 1] : kAmbient;
+                scratch_[idx] =
+                    center +
+                    kDiffusion * (north + south + east + west - 4.0F * center) +
+                    kPowerScale * power_[idx] * 0.05F;
+            }
+        }
+        temperature_.swap(scratch_);
+    }
+    // Restore the invariant that `temperature_` holds the result regardless
+    // of iteration parity (swap-based double buffering).
+    if (iterations_ % 2 == 1) {
+        // After an odd number of swaps the roles are already correct; the
+        // loop above always writes into scratch_ then swaps, so
+        // temperature_ holds the latest field. Nothing to do.
+    }
+}
+
+bool HotSpot::verify() const {
+    return std::memcmp(temperature_.data(), golden_.data(),
+                       temperature_.size() * sizeof(float)) == 0;
+}
+
+std::vector<StateSegment> HotSpot::segments() {
+    return {
+        {"temperature", detail::as_bytes_span(temperature_)},
+        {"power", detail::as_bytes_span(power_)},
+        {"scratch", detail::as_bytes_span(scratch_)},
+        {"control",
+         std::span<std::byte>(reinterpret_cast<std::byte*>(&control_),
+                              sizeof(control_))},
+    };
+}
+
+std::unique_ptr<Workload> make_hotspot(std::size_t grid,
+                                       std::size_t iterations) {
+    return std::make_unique<HotSpot>(grid, iterations);
+}
+
+}  // namespace tnr::workloads

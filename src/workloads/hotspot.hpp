@@ -1,0 +1,42 @@
+#pragma once
+// HotSpot: iterative thermal stencil over a chip floorplan (Rodinia's
+// hotspot) — the paper's stencil-solver representative.
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace tnr::workloads {
+
+class HotSpot final : public Workload {
+public:
+    explicit HotSpot(std::size_t grid = 32, std::size_t iterations = 64);
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "HotSpot";
+    }
+    void reset() override;
+    void run() override;
+    [[nodiscard]] bool verify() const override;
+    [[nodiscard]] std::vector<StateSegment> segments() override;
+
+private:
+    struct Control {
+        std::uint32_t grid;
+        std::uint32_t iterations;
+    };
+
+    std::size_t grid_;
+    std::size_t iterations_;
+    Control control_{};
+    std::vector<float> temperature_;
+    std::vector<float> power_;
+    std::vector<float> scratch_;
+    std::vector<float> golden_;
+};
+
+std::unique_ptr<Workload> make_hotspot(std::size_t grid = 32,
+                                       std::size_t iterations = 64);
+
+}  // namespace tnr::workloads

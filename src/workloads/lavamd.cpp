@@ -1,0 +1,119 @@
+#include "workloads/lavamd.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace tnr::workloads {
+
+namespace {
+constexpr float kAlpha = 0.5F;  ///< interaction decay constant (lavaMD's a2).
+}
+
+LavaMd::LavaMd(std::size_t boxes_per_side, std::size_t particles_per_box)
+    : boxes_(boxes_per_side), per_box_(particles_per_box) {
+    if (boxes_per_side == 0 || boxes_per_side > 8 || particles_per_box == 0 ||
+        particles_per_box > 256) {
+        throw std::invalid_argument("LavaMd: bad configuration");
+    }
+    positions_.resize(total_particles() * 4);
+    forces_.resize(total_particles() * 4);
+    reset();
+    run();
+    golden_ = forces_;
+    reset();
+}
+
+void LavaMd::reset() {
+    control_.boxes_per_side = static_cast<std::uint32_t>(boxes_);
+    control_.particles_per_box = static_cast<std::uint32_t>(per_box_);
+    for (std::size_t p = 0; p < total_particles(); ++p) {
+        positions_[p * 4 + 0] = detail::hashed_uniform(4, p * 4 + 0, 0.0F, 1.0F);
+        positions_[p * 4 + 1] = detail::hashed_uniform(4, p * 4 + 1, 0.0F, 1.0F);
+        positions_[p * 4 + 2] = detail::hashed_uniform(4, p * 4 + 2, 0.0F, 1.0F);
+        positions_[p * 4 + 3] = detail::hashed_uniform(4, p * 4 + 3, 0.1F, 1.0F);
+    }
+    std::fill(forces_.begin(), forces_.end(), 0.0F);
+}
+
+void LavaMd::run() {
+    detail::check_control(control_.boxes_per_side, boxes_, "LavaMD");
+    detail::check_control(control_.particles_per_box, per_box_, "LavaMD");
+    const std::size_t nb = boxes_;
+    const std::size_t np = per_box_;
+    const auto box_base = [&](std::size_t bx, std::size_t by, std::size_t bz) {
+        return ((bx * nb + by) * nb + bz) * np;
+    };
+
+    std::fill(forces_.begin(), forces_.end(), 0.0F);
+    // For every box, interact its particles with all particles in the 3^3
+    // neighbourhood (clamped at the grid edge), as lavaMD does.
+    for (std::size_t bx = 0; bx < nb; ++bx) {
+        for (std::size_t by = 0; by < nb; ++by) {
+            for (std::size_t bz = 0; bz < nb; ++bz) {
+                const std::size_t home = box_base(bx, by, bz);
+                for (std::size_t nx = (bx ? bx - 1 : 0);
+                     nx < std::min(nb, bx + 2); ++nx) {
+                    for (std::size_t ny = (by ? by - 1 : 0);
+                         ny < std::min(nb, by + 2); ++ny) {
+                        for (std::size_t nz = (bz ? bz - 1 : 0);
+                             nz < std::min(nb, bz + 2); ++nz) {
+                            const std::size_t other = box_base(nx, ny, nz);
+                            for (std::size_t i = 0; i < np; ++i) {
+                                const std::size_t pi = home + i;
+                                detail::check_bounds(pi * 4 + 3,
+                                                     positions_.size(),
+                                                     "LavaMD");
+                                const float xi = positions_[pi * 4 + 0];
+                                const float yi = positions_[pi * 4 + 1];
+                                const float zi = positions_[pi * 4 + 2];
+                                float fx = 0.0F, fy = 0.0F, fz = 0.0F,
+                                      pot = 0.0F;
+                                for (std::size_t j = 0; j < np; ++j) {
+                                    const std::size_t pj = other + j;
+                                    const float dx = xi - positions_[pj * 4 + 0];
+                                    const float dy = yi - positions_[pj * 4 + 1];
+                                    const float dz = zi - positions_[pj * 4 + 2];
+                                    const float qj = positions_[pj * 4 + 3];
+                                    const float r2 = dx * dx + dy * dy + dz * dz;
+                                    const float u2 = kAlpha * r2;
+                                    const float vij = std::exp(-u2);
+                                    const float fs = 2.0F * kAlpha * vij * qj;
+                                    fx += fs * dx;
+                                    fy += fs * dy;
+                                    fz += fs * dz;
+                                    pot += vij * qj;
+                                }
+                                forces_[pi * 4 + 0] += fx;
+                                forces_[pi * 4 + 1] += fy;
+                                forces_[pi * 4 + 2] += fz;
+                                forces_[pi * 4 + 3] += pot;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+bool LavaMd::verify() const {
+    return std::memcmp(forces_.data(), golden_.data(),
+                       forces_.size() * sizeof(float)) == 0;
+}
+
+std::vector<StateSegment> LavaMd::segments() {
+    return {
+        {"positions", detail::as_bytes_span(positions_)},
+        {"forces", detail::as_bytes_span(forces_)},
+        {"control",
+         std::span<std::byte>(reinterpret_cast<std::byte*>(&control_),
+                              sizeof(control_))},
+    };
+}
+
+std::unique_ptr<Workload> make_lavamd(std::size_t boxes_per_side,
+                                      std::size_t particles_per_box) {
+    return std::make_unique<LavaMd>(boxes_per_side, particles_per_box);
+}
+
+}  // namespace tnr::workloads

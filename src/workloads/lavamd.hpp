@@ -1,0 +1,48 @@
+#pragma once
+// LavaMD: N-body particle interactions within a 3-D grid of boxes
+// (Rodinia's lavaMD) — compute-bound, dominated by dot products.
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace tnr::workloads {
+
+class LavaMd final : public Workload {
+public:
+    /// boxes_per_side: grid is boxes^3 boxes; particles_per_box particles in
+    /// each. Defaults give 2^3 * 16 = 128 particles.
+    explicit LavaMd(std::size_t boxes_per_side = 2,
+                    std::size_t particles_per_box = 16);
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "LavaMD";
+    }
+    void reset() override;
+    void run() override;
+    [[nodiscard]] bool verify() const override;
+    [[nodiscard]] std::vector<StateSegment> segments() override;
+
+private:
+    struct Control {
+        std::uint32_t boxes_per_side;
+        std::uint32_t particles_per_box;
+    };
+
+    [[nodiscard]] std::size_t total_particles() const noexcept {
+        return boxes_ * boxes_ * boxes_ * per_box_;
+    }
+
+    std::size_t boxes_;
+    std::size_t per_box_;
+    Control control_{};
+    std::vector<float> positions_;  ///< xyz + charge per particle.
+    std::vector<float> forces_;     ///< xyz + potential per particle.
+    std::vector<float> golden_;
+};
+
+std::unique_ptr<Workload> make_lavamd(std::size_t boxes_per_side = 2,
+                                      std::size_t particles_per_box = 16);
+
+}  // namespace tnr::workloads

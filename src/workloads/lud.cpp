@@ -1,0 +1,71 @@
+#include "workloads/lud.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace tnr::workloads {
+
+Lud::Lud(std::size_t n) : n_(n) {
+    if (n < 2 || n > 2048) throw std::invalid_argument("Lud: bad dimension");
+    matrix_.resize(n_ * n_);
+    reset();
+    run();
+    golden_ = matrix_;
+    reset();
+}
+
+void Lud::reset() {
+    control_.n = static_cast<std::uint32_t>(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+        float row_sum = 0.0F;
+        for (std::size_t j = 0; j < n_; ++j) {
+            if (i == j) continue;
+            const float v = detail::hashed_uniform(3, i * n_ + j, -0.5F, 0.5F);
+            matrix_[i * n_ + j] = v;
+            row_sum += std::abs(v);
+        }
+        // Diagonal dominance keeps the factorization stable without pivoting.
+        matrix_[i * n_ + i] = row_sum + 1.0F;
+    }
+}
+
+void Lud::run() {
+    detail::check_control(control_.n, n_, "LUD");
+    const std::size_t n = control_.n;
+    for (std::size_t k = 0; k < n; ++k) {
+        const float pivot = matrix_[k * n + k];
+        // A fault that zeroes the pivot would divide by ~0; real solvers
+        // detect the singularity and abort (DUE).
+        if (!(std::abs(pivot) > 1e-20F) || !std::isfinite(pivot)) {
+            throw WorkloadFailure(WorkloadFailure::Kind::kCrash,
+                                  "LUD: singular pivot");
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            matrix_[i * n + k] /= pivot;
+            const float lik = matrix_[i * n + k];
+            for (std::size_t j = k + 1; j < n; ++j) {
+                matrix_[i * n + j] -= lik * matrix_[k * n + j];
+            }
+        }
+    }
+}
+
+bool Lud::verify() const {
+    return std::memcmp(matrix_.data(), golden_.data(),
+                       matrix_.size() * sizeof(float)) == 0;
+}
+
+std::vector<StateSegment> Lud::segments() {
+    return {
+        {"matrix", detail::as_bytes_span(matrix_)},
+        {"control",
+         std::span<std::byte>(reinterpret_cast<std::byte*>(&control_),
+                              sizeof(control_))},
+    };
+}
+
+std::unique_ptr<Workload> make_lud(std::size_t n) {
+    return std::make_unique<Lud>(n);
+}
+
+}  // namespace tnr::workloads

@@ -1,0 +1,37 @@
+#pragma once
+// LUD: in-place LU decomposition (Doolittle, no pivoting) of a diagonally
+// dominant matrix — the paper's linear-algebra solver representative.
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace tnr::workloads {
+
+class Lud final : public Workload {
+public:
+    explicit Lud(std::size_t n = 40);
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "LUD";
+    }
+    void reset() override;
+    void run() override;
+    [[nodiscard]] bool verify() const override;
+    [[nodiscard]] std::vector<StateSegment> segments() override;
+
+private:
+    struct Control {
+        std::uint32_t n;
+    };
+
+    std::size_t n_;
+    Control control_{};
+    std::vector<float> matrix_;  ///< in-place LU workspace (input then output).
+    std::vector<float> golden_;
+};
+
+std::unique_ptr<Workload> make_lud(std::size_t n = 40);
+
+}  // namespace tnr::workloads

@@ -1,0 +1,175 @@
+#include "workloads/mnist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace tnr::workloads {
+
+namespace {
+
+constexpr std::size_t kInput = Mnist::kSide * Mnist::kSide;
+constexpr std::size_t kHidden = Mnist::kHidden;
+constexpr std::size_t kClasses = Mnist::kClasses;
+
+/// Renders a crude 16x16 glyph for a digit: segments of a seven-segment
+/// display, deterministic and distinct per digit.
+template <typename T>
+void render_digit(std::size_t digit, std::vector<T>& out) {
+    std::fill(out.begin(), out.end(), T{0});
+    const auto set_row = [&](std::size_t row, std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c <= c1; ++c) out[row * Mnist::kSide + c] = T{1};
+    };
+    const auto set_col = [&](std::size_t col, std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r <= r1; ++r) out[r * Mnist::kSide + col] = T{1};
+    };
+    // Seven-segment layout on the 16x16 canvas.
+    const bool seg[10][7] = {
+        // a     b      c      d      e      f      g
+        {true, true, true, true, true, true, false},    // 0
+        {false, true, true, false, false, false, false},// 1
+        {true, true, false, true, true, false, true},   // 2
+        {true, true, true, true, false, false, true},   // 3
+        {false, true, true, false, false, true, true},  // 4
+        {true, false, true, true, false, true, true},   // 5
+        {true, false, true, true, true, true, true},    // 6
+        {true, true, true, false, false, false, false}, // 7
+        {true, true, true, true, true, true, true},     // 8
+        {true, true, true, true, false, true, true},    // 9
+    };
+    const auto& s = seg[digit % 10];
+    if (s[0]) set_row(2, 4, 11);    // a: top
+    if (s[1]) set_col(11, 2, 7);    // b: top-right
+    if (s[2]) set_col(11, 8, 13);   // c: bottom-right
+    if (s[3]) set_row(13, 4, 11);   // d: bottom
+    if (s[4]) set_col(4, 8, 13);    // e: bottom-left
+    if (s[5]) set_col(4, 2, 7);     // f: top-left
+    if (s[6]) set_row(8, 4, 11);    // g: middle
+}
+
+}  // namespace
+
+template <typename T>
+BasicMnist<T>::BasicMnist(std::size_t digit) : digit_(digit % 10) {
+    input_.resize(kInput);
+    w1_.resize(kInput * kHidden);
+    hidden_.resize(kHidden);
+    w2_.resize(kHidden * kClasses);
+    scores_.resize(kClasses);
+    reset();
+    run();
+    golden_ = scores_;
+    reset();
+}
+
+template <typename T>
+void BasicMnist<T>::reset() {
+    control_.input_size = kInput;
+    render_digit(digit_, input_);
+    // The top-left pixel is a constant bias input: no glyph uses it, and it
+    // lets each template unit subtract half its own pixel count, so a digit
+    // whose glyph is a *subset* of another's (3 inside 8) still scores
+    // higher on its own template.
+    input_[0] = T{1};
+
+    // Small pseudo-random base weights plus a template-matching component:
+    // hidden unit h attends to glyph (h mod 10).
+    for (std::size_t i = 0; i < w1_.size(); ++i) {
+        w1_[i] = static_cast<T>(detail::hashed_uniform(15, i, -0.005F, 0.005F));
+    }
+    std::vector<T> glyph(kInput);
+    for (std::size_t d = 0; d < kClasses; ++d) {
+        render_digit(d, glyph);
+        T pixels{0};
+        for (const T g : glyph) pixels += g;
+        for (std::size_t h = 0; h < kHidden; ++h) {
+            if (h % kClasses != d) continue;
+            for (std::size_t p = 0; p < kInput; ++p) {
+                w1_[p * kHidden + h] += static_cast<T>(0.05) * glyph[p];
+            }
+            // Bias: penalize template size (see input_[0] above).
+            w1_[0 * kHidden + h] -= static_cast<T>(0.025) * pixels;
+        }
+        for (std::size_t h = 0; h < kHidden; ++h) {
+            w2_[h * kClasses + d] =
+                static_cast<T>(
+                    detail::hashed_uniform(16, h * kClasses + d, -0.01F, 0.01F)) +
+                ((h % kClasses == d) ? T{1} : T{0});
+        }
+    }
+    std::fill(hidden_.begin(), hidden_.end(), T{0});
+    std::fill(scores_.begin(), scores_.end(), T{0});
+}
+
+template <typename T>
+void BasicMnist<T>::run() {
+    detail::check_control(control_.input_size, kInput, "MNIST");
+    for (std::size_t h = 0; h < kHidden; ++h) {
+        T acc{0};
+        for (std::size_t p = 0; p < kInput; ++p) {
+            acc += input_[p] * w1_[p * kHidden + h];
+        }
+        hidden_[h] = std::max(T{0}, acc);  // ReLU
+    }
+    for (std::size_t c = 0; c < kClasses; ++c) {
+        T acc{0};
+        for (std::size_t h = 0; h < kHidden; ++h) {
+            acc += hidden_[h] * w2_[h * kClasses + c];
+        }
+        if (!std::isfinite(acc)) {
+            throw WorkloadFailure(WorkloadFailure::Kind::kCrash,
+                                  "MNIST: non-finite activation");
+        }
+        scores_[c] = acc;
+    }
+}
+
+template <typename T>
+bool BasicMnist<T>::verify() const {
+    return std::memcmp(scores_.data(), golden_.data(),
+                       scores_.size() * sizeof(T)) == 0;
+}
+
+template <typename T>
+SdcSeverity BasicMnist<T>::severity() const {
+    if (verify()) return SdcSeverity::kNone;
+    const auto arg = [](const std::vector<T>& v) {
+        return static_cast<std::size_t>(
+            std::distance(v.begin(), std::max_element(v.begin(), v.end())));
+    };
+    return (arg(scores_) == arg(golden_)) ? SdcSeverity::kTolerable
+                                          : SdcSeverity::kCritical;
+}
+
+template <typename T>
+std::size_t BasicMnist<T>::predicted_digit() const {
+    return static_cast<std::size_t>(std::distance(
+        scores_.begin(), std::max_element(scores_.begin(), scores_.end())));
+}
+
+template <typename T>
+std::vector<StateSegment> BasicMnist<T>::segments() {
+    return {
+        {"input", detail::as_bytes_span(input_)},
+        {"w1", detail::as_bytes_span(w1_)},
+        {"hidden", detail::as_bytes_span(hidden_)},
+        {"w2", detail::as_bytes_span(w2_)},
+        {"scores", detail::as_bytes_span(scores_)},
+        {"control",
+         std::span<std::byte>(reinterpret_cast<std::byte*>(&control_),
+                              sizeof(control_))},
+    };
+}
+
+template class BasicMnist<float>;
+template class BasicMnist<double>;
+
+std::unique_ptr<Workload> make_mnist(std::size_t digit) {
+    return std::make_unique<Mnist>(digit);
+}
+
+std::unique_ptr<Workload> make_mnist_double(std::size_t digit) {
+    return std::make_unique<MnistDouble>(digit);
+}
+
+}  // namespace tnr::workloads

@@ -1,0 +1,66 @@
+#pragma once
+// MNIST: a small fully-connected digit classifier — the paper's FPGA CNN
+// (chosen there because MNIST is small enough to fit an FPGA). Input is a
+// synthetic rendered digit; the network is a fixed-weight 256-30-10 MLP.
+//
+// The paper's companion study tested two FPGA builds of this network, one
+// in single and one in double precision (the double build uses ~2x the
+// FPGA resources and showed ~4x the thermal cross section). Both precisions
+// are provided here via BasicMnist<T>.
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "workloads/workload.hpp"
+
+namespace tnr::workloads {
+
+/// Digit classifier over scalar type T (float or double).
+template <typename T>
+class BasicMnist final : public Workload {
+    static_assert(std::is_floating_point_v<T>);
+
+public:
+    /// digit: which synthetic glyph (0-9) to classify.
+    explicit BasicMnist(std::size_t digit = 3);
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return std::is_same_v<T, double> ? "MNIST-dp" : "MNIST";
+    }
+    void reset() override;
+    void run() override;
+    [[nodiscard]] bool verify() const override;
+    [[nodiscard]] SdcSeverity severity() const override;
+    [[nodiscard]] std::vector<StateSegment> segments() override;
+
+    [[nodiscard]] std::size_t predicted_digit() const;
+
+    static constexpr std::size_t kSide = 16;
+    static constexpr std::size_t kHidden = 30;
+    static constexpr std::size_t kClasses = 10;
+
+private:
+    struct Control {
+        std::uint32_t input_size;
+    };
+
+    std::size_t digit_;
+    Control control_{};
+    std::vector<T> input_;     ///< 16x16 rendered glyph.
+    std::vector<T> w1_;        ///< 256 x 30.
+    std::vector<T> hidden_;    ///< 30.
+    std::vector<T> w2_;        ///< 30 x 10.
+    std::vector<T> scores_;    ///< 10.
+    std::vector<T> golden_;
+};
+
+using Mnist = BasicMnist<float>;
+using MnistDouble = BasicMnist<double>;
+
+std::unique_ptr<Workload> make_mnist(std::size_t digit = 3);
+
+/// The double-precision FPGA build (~2x resources).
+std::unique_ptr<Workload> make_mnist_double(std::size_t digit = 3);
+
+}  // namespace tnr::workloads

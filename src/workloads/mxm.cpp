@@ -1,0 +1,72 @@
+#include "workloads/mxm.hpp"
+
+#include <cstring>
+
+namespace tnr::workloads {
+
+MxM::MxM(std::size_t n) : n_(n) {
+    if (n == 0 || n > 4096) {
+        throw std::invalid_argument("MxM: dimension out of range");
+    }
+    a_.resize(n_ * n_);
+    b_.resize(n_ * n_);
+    c_.resize(n_ * n_);
+    reset();
+    run();
+    golden_ = c_;
+    reset();
+}
+
+void MxM::fill_inputs() {
+    for (std::size_t i = 0; i < n_ * n_; ++i) {
+        a_[i] = detail::hashed_uniform(1, i, -1.0F, 1.0F);
+        b_[i] = detail::hashed_uniform(2, i, -1.0F, 1.0F);
+    }
+}
+
+void MxM::reset() {
+    control_.n = static_cast<std::uint32_t>(n_);
+    fill_inputs();
+    std::fill(c_.begin(), c_.end(), 0.0F);
+}
+
+void MxM::run() {
+    // The dimension lives in the (injectable) control block, as it would in
+    // a kernel launch descriptor; a corrupted value is caught here — the
+    // analogue of a GPU launch failure (DUE).
+    detail::check_control(control_.n, n_, "MxM");
+    const std::size_t n = control_.n;
+    // i-k-j loop order for stride-1 inner access.
+    for (std::size_t i = 0; i < n; ++i) {
+        float* ci = &c_[i * n];
+        std::fill(ci, ci + n, 0.0F);
+        for (std::size_t k = 0; k < n; ++k) {
+            const float aik = a_[i * n + k];
+            const float* bk = &b_[k * n];
+            for (std::size_t j = 0; j < n; ++j) {
+                ci[j] += aik * bk[j];
+            }
+        }
+    }
+}
+
+bool MxM::verify() const {
+    return std::memcmp(c_.data(), golden_.data(), c_.size() * sizeof(float)) == 0;
+}
+
+std::vector<StateSegment> MxM::segments() {
+    return {
+        {"A", detail::as_bytes_span(a_)},
+        {"B", detail::as_bytes_span(b_)},
+        {"C", detail::as_bytes_span(c_)},
+        {"control",
+         std::span<std::byte>(reinterpret_cast<std::byte*>(&control_),
+                              sizeof(control_))},
+    };
+}
+
+std::unique_ptr<Workload> make_mxm(std::size_t n) {
+    return std::make_unique<MxM>(n);
+}
+
+}  // namespace tnr::workloads

@@ -1,0 +1,45 @@
+#pragma once
+// Matrix multiplication (MxM): the paper's representative of highly
+// arithmetic compute-bound HPC codes and of CNN feature-extraction layers.
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace tnr::workloads {
+
+/// Dense single-precision C = A * B with blocked inner loops.
+class MxM final : public Workload {
+public:
+    /// n: matrix dimension (default matches a small HPC tile).
+    explicit MxM(std::size_t n = 48);
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "MxM";
+    }
+    void reset() override;
+    void run() override;
+    [[nodiscard]] bool verify() const override;
+    [[nodiscard]] std::vector<StateSegment> segments() override;
+
+    [[nodiscard]] std::size_t dimension() const noexcept { return n_; }
+
+private:
+    struct Control {
+        std::uint32_t n;
+    };
+
+    void fill_inputs();
+
+    std::size_t n_;
+    Control control_{};
+    std::vector<float> a_;
+    std::vector<float> b_;
+    std::vector<float> c_;
+    std::vector<float> golden_;
+};
+
+std::unique_ptr<Workload> make_mxm(std::size_t n = 48);
+
+}  // namespace tnr::workloads

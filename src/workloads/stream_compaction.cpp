@@ -1,0 +1,94 @@
+#include "workloads/stream_compaction.hpp"
+
+#include <cstring>
+
+namespace tnr::workloads {
+
+namespace {
+constexpr std::int32_t kThreshold = 0;  ///< keep strictly positive values.
+}
+
+StreamCompaction::StreamCompaction(std::size_t n) : n_(n) {
+    if (n == 0 || n > (1u << 22)) {
+        throw std::invalid_argument("StreamCompaction: bad size");
+    }
+    input_.resize(n_);
+    flags_.resize(n_);
+    offsets_.resize(n_);
+    output_.resize(n_);
+    reset();
+    run();
+    golden_ = output_;
+    golden_count_ = output_count_;
+    reset();
+}
+
+void StreamCompaction::reset() {
+    control_.n = static_cast<std::uint32_t>(n_);
+    control_.threshold = kThreshold;
+    for (std::size_t i = 0; i < n_; ++i) {
+        input_[i] = static_cast<std::int32_t>(
+            detail::hashed_uniform(7, i, -1000.0F, 1000.0F));
+    }
+    std::fill(flags_.begin(), flags_.end(), 0u);
+    std::fill(offsets_.begin(), offsets_.end(), 0u);
+    std::fill(output_.begin(), output_.end(), 0);
+    output_count_ = 0;
+}
+
+void StreamCompaction::run() {
+    detail::check_control(control_.n, n_, "SC");
+    const std::size_t n = control_.n;
+
+    // Phase 1: predicate map. A corrupted threshold silently changes which
+    // elements survive (SDC), as on real hardware.
+    for (std::size_t i = 0; i < n; ++i) {
+        flags_[i] = (input_[i] > control_.threshold) ? 1u : 0u;
+    }
+
+    // Phase 2: exclusive prefix sum of the flags (the scatter offsets). A
+    // flipped bit in a flag makes offsets inconsistent downstream.
+    std::uint32_t running = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        offsets_[i] = running;
+        running += flags_[i];
+    }
+
+    // Phase 3: scatter. Offsets come from injectable memory; a corrupted
+    // offset is an out-of-bounds scatter, which real devices surface as a
+    // memory fault (DUE).
+    for (std::size_t i = 0; i < n; ++i) {
+        if (flags_[i] == 0u) continue;
+        if (flags_[i] != 1u) {
+            throw WorkloadFailure(WorkloadFailure::Kind::kCrash,
+                                  "SC: corrupted predicate flag");
+        }
+        detail::check_bounds(offsets_[i], output_.size(), "SC scatter");
+        output_[offsets_[i]] = input_[i];
+    }
+    output_count_ = running;
+}
+
+bool StreamCompaction::verify() const {
+    if (output_count_ != golden_count_) return false;
+    return std::memcmp(output_.data(), golden_.data(),
+                       output_.size() * sizeof(std::int32_t)) == 0;
+}
+
+std::vector<StateSegment> StreamCompaction::segments() {
+    return {
+        {"input", detail::as_bytes_span(input_)},
+        {"flags", detail::as_bytes_span(flags_)},
+        {"offsets", detail::as_bytes_span(offsets_)},
+        {"output", detail::as_bytes_span(output_)},
+        {"control",
+         std::span<std::byte>(reinterpret_cast<std::byte*>(&control_),
+                              sizeof(control_))},
+    };
+}
+
+std::unique_ptr<Workload> make_stream_compaction(std::size_t n) {
+    return std::make_unique<StreamCompaction>(n);
+}
+
+}  // namespace tnr::workloads

@@ -1,0 +1,44 @@
+#pragma once
+// Stream Compaction (SC): memory-bound data-manipulation primitive that
+// removes elements from an array (databases / image processing) — one of the
+// paper's heterogeneous APU codes.
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace tnr::workloads {
+
+class StreamCompaction final : public Workload {
+public:
+    explicit StreamCompaction(std::size_t n = 4096);
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "SC";
+    }
+    void reset() override;
+    void run() override;
+    [[nodiscard]] bool verify() const override;
+    [[nodiscard]] std::vector<StateSegment> segments() override;
+
+private:
+    struct Control {
+        std::uint32_t n;
+        std::int32_t threshold;
+    };
+
+    std::size_t n_;
+    Control control_{};
+    std::vector<std::int32_t> input_;
+    std::vector<std::uint32_t> flags_;    ///< predicate per element.
+    std::vector<std::uint32_t> offsets_;  ///< exclusive prefix sum.
+    std::vector<std::int32_t> output_;
+    std::uint32_t output_count_ = 0;
+    std::vector<std::int32_t> golden_;
+    std::uint32_t golden_count_ = 0;
+};
+
+std::unique_ptr<Workload> make_stream_compaction(std::size_t n = 4096);
+
+}  // namespace tnr::workloads

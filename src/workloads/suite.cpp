@@ -1,0 +1,78 @@
+#include "workloads/suite.hpp"
+
+#include <stdexcept>
+
+#include "workloads/bfs.hpp"
+#include "workloads/canny.hpp"
+#include "workloads/hotspot.hpp"
+#include "workloads/lavamd.hpp"
+#include "workloads/lud.hpp"
+#include "workloads/mnist.hpp"
+#include "workloads/mxm.hpp"
+#include "workloads/stream_compaction.hpp"
+#include "workloads/yolo_lite.hpp"
+
+namespace tnr::workloads {
+
+std::vector<SuiteEntry> hpc_suite() {
+    return {
+        {"MxM", [] { return make_mxm(); }},
+        {"LUD", [] { return make_lud(); }},
+        {"LavaMD", [] { return make_lavamd(); }},
+        {"HotSpot", [] { return make_hotspot(); }},
+    };
+}
+
+std::vector<SuiteEntry> heterogeneous_suite() {
+    return {
+        {"SC", [] { return make_stream_compaction(); }},
+        {"CED", [] { return make_canny(); }},
+        {"BFS", [] { return make_bfs(); }},
+    };
+}
+
+std::vector<SuiteEntry> cnn_suite() {
+    return {
+        {"YOLO", [] { return make_yolo_lite(); }},
+        {"MNIST", [] { return make_mnist(); }},
+        {"MNIST-dp", [] { return make_mnist_double(); }},
+    };
+}
+
+std::vector<SuiteEntry> full_suite() {
+    std::vector<SuiteEntry> all = hpc_suite();
+    for (auto& e : heterogeneous_suite()) all.push_back(std::move(e));
+    for (auto& e : cnn_suite()) all.push_back(std::move(e));
+    return all;
+}
+
+const SuiteEntry& entry_by_name(const std::string& name) {
+    static const std::vector<SuiteEntry> all = full_suite();
+    for (const auto& e : all) {
+        if (e.name == name) return e;
+    }
+    throw std::out_of_range("entry_by_name: unknown workload " + name);
+}
+
+std::vector<SuiteEntry> suite_for_device(const std::string& device_name) {
+    // FPGA runs MNIST only (the paper: MNIST is too small for GPUs/Phi),
+    // in both the single- and double-precision builds.
+    if (device_name.find("FPGA") != std::string::npos) {
+        return {{"MNIST", [] { return make_mnist(); }},
+                {"MNIST-dp", [] { return make_mnist_double(); }}};
+    }
+    // APU configurations run the heterogeneous codes.
+    if (device_name.find("APU") != std::string::npos) {
+        return heterogeneous_suite();
+    }
+    // Xeon Phi runs the HPC set.
+    if (device_name.find("Xeon Phi") != std::string::npos) {
+        return hpc_suite();
+    }
+    // NVIDIA GPUs run HPC + YOLO.
+    std::vector<SuiteEntry> gpu = hpc_suite();
+    gpu.push_back({"YOLO", [] { return make_yolo_lite(); }});
+    return gpu;
+}
+
+}  // namespace tnr::workloads

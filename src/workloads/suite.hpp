@@ -1,0 +1,44 @@
+#pragma once
+// Workload groupings matching the paper's device/code assignment (§III.B):
+//   * Xeon Phi & GPUs run the HPC set (MxM, LUD, LavaMD, HotSpot) + YOLO;
+//   * the AMD APU runs the heterogeneous set (SC, CED, BFS);
+//   * the FPGA runs MNIST.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace tnr::workloads {
+
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/// A named factory so campaigns can create fresh instances per experiment.
+struct SuiteEntry {
+    std::string name;
+    WorkloadFactory make;
+};
+
+/// MxM, LUD, LavaMD, HotSpot.
+std::vector<SuiteEntry> hpc_suite();
+
+/// SC, CED, BFS.
+std::vector<SuiteEntry> heterogeneous_suite();
+
+/// YOLO, MNIST.
+std::vector<SuiteEntry> cnn_suite();
+
+/// All nine codes.
+std::vector<SuiteEntry> full_suite();
+
+/// Look up a factory by workload name across the full suite; throws if
+/// unknown.
+const SuiteEntry& entry_by_name(const std::string& name);
+
+/// The paper's device/suite assignment: returns the workloads run on a
+/// device of the given name (matching the catalog names).
+std::vector<SuiteEntry> suite_for_device(const std::string& device_name);
+
+}  // namespace tnr::workloads

@@ -1,0 +1,42 @@
+#include "workloads/workload.hpp"
+
+#include <cstdint>
+
+#include "stats/rng.hpp"
+
+namespace tnr::workloads {
+
+std::size_t Workload::state_bytes() {
+    std::size_t total = 0;
+    for (const auto& seg : segments()) total += seg.bytes.size();
+    return total;
+}
+
+namespace detail {
+
+float hashed_uniform(std::uint64_t stream, std::uint64_t index, float lo,
+                     float hi) {
+    stats::SplitMix64 sm(stream * 0x9e3779b97f4a7c15ULL + index);
+    const std::uint64_t bits = sm.next() >> 11;
+    const auto u = static_cast<float>(static_cast<double>(bits) * 0x1.0p-53);
+    return lo + (hi - lo) * u;
+}
+
+void check_bounds(std::size_t index, std::size_t bound, const char* what) {
+    if (index >= bound) {
+        throw WorkloadFailure(WorkloadFailure::Kind::kCrash,
+                              std::string("out-of-bounds access in ") + what);
+    }
+}
+
+void check_control(std::size_t value, std::size_t expected, const char* what) {
+    if (value != expected) {
+        throw WorkloadFailure(
+            WorkloadFailure::Kind::kCrash,
+            std::string("corrupted control block detected in ") + what);
+    }
+}
+
+}  // namespace detail
+
+}  // namespace tnr::workloads

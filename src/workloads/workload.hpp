@@ -1,0 +1,115 @@
+#pragma once
+// The benchmark kernels of the paper (§III.B), reimplemented as deterministic
+// C++ kernels that can run under software fault injection.
+//
+// Contract:
+//   * reset() restores pristine inputs and scratch state;
+//   * run() recomputes outputs from the current state — it throws
+//     WorkloadFailure when it detects a fault the way real systems do
+//     (bounds violation => crash, iteration-cap overrun => hang watchdog);
+//   * verify() compares outputs against a golden copy captured from a clean
+//     run at construction; a mismatch after injection is an SDC.
+//
+// All mutable kernel state (inputs, intermediates, outputs and a small
+// control block of dimensions/counters) is exposed through segments() so the
+// injector can flip any live bit, mirroring a particle strike in device
+// memory during execution.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tnr::workloads {
+
+/// Detected failure during run() — the software analogue of a DUE.
+class WorkloadFailure : public std::runtime_error {
+public:
+    enum class Kind {
+        kCrash,  ///< invalid access / corrupted control detected.
+        kHang,   ///< exceeded the iteration watchdog.
+    };
+
+    WorkloadFailure(Kind kind, const std::string& what)
+        : std::runtime_error(what), kind_(kind) {}
+
+    [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+private:
+    Kind kind_;
+};
+
+/// One injectable region of live kernel state.
+struct StateSegment {
+    std::string_view name;        ///< e.g. "input", "output", "control".
+    std::span<std::byte> bytes;
+};
+
+/// Severity of a silent corruption, for workloads with a notion of
+/// "critical" output (CNN classification flips vs. score jitter).
+enum class SdcSeverity {
+    kNone,       ///< output matches golden.
+    kTolerable,  ///< numerically wrong but decision unchanged.
+    kCritical,   ///< the decision/classification itself changed.
+};
+
+/// Base class for all kernels.
+class Workload {
+public:
+    virtual ~Workload() = default;
+
+    Workload(const Workload&) = delete;
+    Workload& operator=(const Workload&) = delete;
+
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+    /// Restores pristine inputs, scratch and control state.
+    virtual void reset() = 0;
+
+    /// Executes the kernel; throws WorkloadFailure on detected faults.
+    virtual void run() = 0;
+
+    /// True when outputs are bit-identical to the golden copy.
+    [[nodiscard]] virtual bool verify() const = 0;
+
+    /// Finer-grained verdict; default derives from verify() only.
+    [[nodiscard]] virtual SdcSeverity severity() const {
+        return verify() ? SdcSeverity::kNone : SdcSeverity::kCritical;
+    }
+
+    /// Live injectable state. Valid until the next reset().
+    [[nodiscard]] virtual std::vector<StateSegment> segments() = 0;
+
+    /// Total injectable bytes (sum over segments).
+    [[nodiscard]] std::size_t state_bytes();
+
+protected:
+    Workload() = default;
+};
+
+/// Helpers shared by the kernels.
+namespace detail {
+
+/// Deterministic float in [lo, hi) from an index hash (SplitMix64-based);
+/// used to build reproducible inputs and weights without storing seeds.
+float hashed_uniform(std::uint64_t stream, std::uint64_t index, float lo,
+                     float hi);
+
+/// Throws kCrash if `index >= bound`.
+void check_bounds(std::size_t index, std::size_t bound, const char* what);
+
+/// Throws kCrash unless value == expected (control-block validation).
+void check_control(std::size_t value, std::size_t expected, const char* what);
+
+/// View a vector's contents as writable bytes.
+template <typename T>
+std::span<std::byte> as_bytes_span(std::vector<T>& v) {
+    return std::as_writable_bytes(std::span<T>(v.data(), v.size()));
+}
+
+}  // namespace detail
+
+}  // namespace tnr::workloads

@@ -1,0 +1,261 @@
+#include "workloads/yolo_lite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace tnr::workloads {
+
+namespace {
+
+constexpr std::size_t kSide = YoloLite::kInputSide;
+constexpr std::size_t kC1 = YoloLite::kConv1Channels;
+constexpr std::size_t kC2 = YoloLite::kConv2Channels;
+constexpr std::size_t kPooledSide = kSide / 2;
+constexpr std::size_t kOutputs = YoloLite::kClasses + 4;
+
+/// argmax over the class portion of an output vector.
+std::size_t argmax_class(const std::vector<float>& out) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < YoloLite::kClasses; ++c) {
+        if (out[c] > out[best]) best = c;
+    }
+    return best;
+}
+
+}  // namespace
+
+YoloLite::YoloLite() {
+    input_.resize(kSide * kSide);
+    conv1_w_.resize(kC1 * 9);
+    conv1_out_.resize(kC1 * kSide * kSide);
+    pooled_.resize(kC1 * kPooledSide * kPooledSide);
+    conv2_w_.resize(kC2 * kC1 * 9);
+    conv2_out_.resize(kC2 * kPooledSide * kPooledSide);
+    features_.resize(kC2);
+    head_w_.resize(kOutputs * kC2);
+    output_.resize(kOutputs);
+    reset();
+    run();
+    golden_ = output_;
+    reset();
+}
+
+void YoloLite::validate_descriptor(std::size_t layer,
+                                   const LayerDescriptor& expected) const {
+    const LayerDescriptor& d = descriptors_[layer];
+    if (d.in_side != expected.in_side || d.out_side != expected.out_side ||
+        d.in_channels != expected.in_channels ||
+        d.out_channels != expected.out_channels || d.kernel != expected.kernel ||
+        d.stride != expected.stride || d.weight_offset != expected.weight_offset ||
+        d.output_offset != expected.output_offset ||
+        d.runtime_metadata != expected.runtime_metadata) {
+        throw WorkloadFailure(WorkloadFailure::Kind::kCrash,
+                              "YOLO: corrupted layer descriptor");
+    }
+}
+
+YoloLite::LayerDescriptor YoloLite::expected_descriptor(std::size_t layer) {
+    switch (layer) {
+        case 0:  // conv1: 16x16x1 -> 16x16x4, 3x3 stride 1.
+            return {kSide, kSide, 1, kC1, 3, 1, 0, 0, {}};
+        case 1:  // maxpool: 16x16x4 -> 8x8x4, 2x2 stride 2.
+            return {kSide, kPooledSide, kC1, kC1, 2, 2, 0, 0, {}};
+        case 2:  // conv2: 8x8x4 -> 8x8x8, 3x3 stride 1.
+            return {kPooledSide, kPooledSide, kC1, kC2, 3, 1, 0, 0, {}};
+        default:  // head: global pool + dense to classes + box.
+            return {kPooledSide, 1, kC2, kClasses + 4, 1, 1, 0, 0, {}};
+    }
+}
+
+void YoloLite::reset() {
+    control_.input_side = kSide;
+    for (std::size_t l = 0; l < kLayers; ++l) {
+        descriptors_[l] = expected_descriptor(l);
+    }
+    // Synthetic road scene: bright blob ("vehicle") on a darker background.
+    for (std::size_t i = 0; i < kSide; ++i) {
+        for (std::size_t j = 0; j < kSide; ++j) {
+            const float di = static_cast<float>(i) - 10.0F;
+            const float dj = static_cast<float>(j) - 6.0F;
+            const float blob = std::exp(-(di * di + dj * dj) / 8.0F);
+            input_[i * kSide + j] =
+                0.2F + 0.8F * blob +
+                detail::hashed_uniform(11, i * kSide + j, -0.03F, 0.03F);
+        }
+    }
+    // Deterministic pseudo-random pretrained weights.
+    for (std::size_t i = 0; i < conv1_w_.size(); ++i) {
+        conv1_w_[i] = detail::hashed_uniform(12, i, -0.5F, 0.5F);
+    }
+    for (std::size_t i = 0; i < conv2_w_.size(); ++i) {
+        conv2_w_[i] = detail::hashed_uniform(13, i, -0.3F, 0.3F);
+    }
+    for (std::size_t i = 0; i < head_w_.size(); ++i) {
+        head_w_[i] = detail::hashed_uniform(14, i, -0.8F, 0.8F);
+    }
+    std::fill(conv1_out_.begin(), conv1_out_.end(), 0.0F);
+    std::fill(pooled_.begin(), pooled_.end(), 0.0F);
+    std::fill(conv2_out_.begin(), conv2_out_.end(), 0.0F);
+    std::fill(features_.begin(), features_.end(), 0.0F);
+    std::fill(output_.begin(), output_.end(), 0.0F);
+}
+
+void YoloLite::run() {
+    detail::check_control(control_.input_side, kSide, "YOLO");
+
+    // Stage 1: 3x3 conv (same padding) + ReLU over the input frame.
+    validate_descriptor(0, expected_descriptor(0));
+    for (std::size_t c = 0; c < kC1; ++c) {
+        const float* w = &conv1_w_[c * 9];
+        for (std::size_t i = 0; i < kSide; ++i) {
+            for (std::size_t j = 0; j < kSide; ++j) {
+                float acc = 0.0F;
+                for (int di = -1; di <= 1; ++di) {
+                    for (int dj = -1; dj <= 1; ++dj) {
+                        const auto ii = static_cast<std::ptrdiff_t>(i) + di;
+                        const auto jj = static_cast<std::ptrdiff_t>(j) + dj;
+                        if (ii < 0 || jj < 0 ||
+                            ii >= static_cast<std::ptrdiff_t>(kSide) ||
+                            jj >= static_cast<std::ptrdiff_t>(kSide)) {
+                            continue;
+                        }
+                        acc += w[(di + 1) * 3 + (dj + 1)] *
+                               input_[static_cast<std::size_t>(ii) * kSide +
+                                      static_cast<std::size_t>(jj)];
+                    }
+                }
+                // Inference runtimes validate tensors between layers; a
+                // non-finite activation aborts the launch (DUE) rather than
+                // silently flowing on (ReLU would otherwise squash NaN to 0).
+                if (!std::isfinite(acc)) {
+                    throw WorkloadFailure(WorkloadFailure::Kind::kCrash,
+                                          "YOLO: non-finite conv1 activation");
+                }
+                conv1_out_[(c * kSide + i) * kSide + j] = std::max(0.0F, acc);
+            }
+        }
+    }
+
+    // Stage 2: 2x2 max pooling.
+    validate_descriptor(1, expected_descriptor(1));
+    for (std::size_t c = 0; c < kC1; ++c) {
+        for (std::size_t i = 0; i < kPooledSide; ++i) {
+            for (std::size_t j = 0; j < kPooledSide; ++j) {
+                const std::size_t base = (c * kSide + 2 * i) * kSide + 2 * j;
+                const float m =
+                    std::max(std::max(conv1_out_[base], conv1_out_[base + 1]),
+                             std::max(conv1_out_[base + kSide],
+                                      conv1_out_[base + kSide + 1]));
+                pooled_[(c * kPooledSide + i) * kPooledSide + j] = m;
+            }
+        }
+    }
+
+    // Stage 3: 3x3 conv over pooled maps (all input channels) + ReLU.
+    validate_descriptor(2, expected_descriptor(2));
+    for (std::size_t c = 0; c < kC2; ++c) {
+        for (std::size_t i = 0; i < kPooledSide; ++i) {
+            for (std::size_t j = 0; j < kPooledSide; ++j) {
+                float acc = 0.0F;
+                for (std::size_t ci = 0; ci < kC1; ++ci) {
+                    const float* w = &conv2_w_[(c * kC1 + ci) * 9];
+                    for (int di = -1; di <= 1; ++di) {
+                        for (int dj = -1; dj <= 1; ++dj) {
+                            const auto ii = static_cast<std::ptrdiff_t>(i) + di;
+                            const auto jj = static_cast<std::ptrdiff_t>(j) + dj;
+                            if (ii < 0 || jj < 0 ||
+                                ii >= static_cast<std::ptrdiff_t>(kPooledSide) ||
+                                jj >= static_cast<std::ptrdiff_t>(kPooledSide)) {
+                                continue;
+                            }
+                            acc += w[(di + 1) * 3 + (dj + 1)] *
+                                   pooled_[(ci * kPooledSide +
+                                            static_cast<std::size_t>(ii)) *
+                                               kPooledSide +
+                                           static_cast<std::size_t>(jj)];
+                        }
+                    }
+                }
+                if (!std::isfinite(acc)) {
+                    throw WorkloadFailure(WorkloadFailure::Kind::kCrash,
+                                          "YOLO: non-finite conv2 activation");
+                }
+                conv2_out_[(c * kPooledSide + i) * kPooledSide + j] =
+                    std::max(0.0F, acc);
+            }
+        }
+    }
+
+    // Stage 4: global average pooling + detection head.
+    validate_descriptor(3, expected_descriptor(3));
+    for (std::size_t c = 0; c < kC2; ++c) {
+        float acc = 0.0F;
+        for (std::size_t k = 0; k < kPooledSide * kPooledSide; ++k) {
+            acc += conv2_out_[c * kPooledSide * kPooledSide + k];
+        }
+        features_[c] = acc / static_cast<float>(kPooledSide * kPooledSide);
+    }
+
+    // Stage 5: dense detection head (class scores + box).
+    for (std::size_t o = 0; o < kOutputs; ++o) {
+        float acc = 0.0F;
+        for (std::size_t c = 0; c < kC2; ++c) {
+            acc += head_w_[o * kC2 + c] * features_[c];
+        }
+        output_[o] = acc;
+        if (!std::isfinite(acc)) {
+            // Real inference frameworks surface NaN tensors as errors.
+            throw WorkloadFailure(WorkloadFailure::Kind::kCrash,
+                                  "YOLO: non-finite activation");
+        }
+    }
+}
+
+bool YoloLite::verify() const {
+    return std::memcmp(output_.data(), golden_.data(),
+                       output_.size() * sizeof(float)) == 0;
+}
+
+SdcSeverity YoloLite::severity() const {
+    if (verify()) return SdcSeverity::kNone;
+    // Tolerable when the detected class and the box (to 5%) are unchanged.
+    if (argmax_class(output_) != argmax_class(golden_)) {
+        return SdcSeverity::kCritical;
+    }
+    for (std::size_t b = kClasses; b < output_.size(); ++b) {
+        const float ref = std::abs(golden_[b]) + 1e-3F;
+        if (std::abs(output_[b] - golden_[b]) > 0.05F * ref) {
+            return SdcSeverity::kCritical;
+        }
+    }
+    return SdcSeverity::kTolerable;
+}
+
+std::size_t YoloLite::detected_class() const { return argmax_class(output_); }
+
+std::vector<StateSegment> YoloLite::segments() {
+    return {
+        {"input", detail::as_bytes_span(input_)},
+        {"conv1_w", detail::as_bytes_span(conv1_w_)},
+        {"conv1_out", detail::as_bytes_span(conv1_out_)},
+        {"pooled", detail::as_bytes_span(pooled_)},
+        {"conv2_w", detail::as_bytes_span(conv2_w_)},
+        {"conv2_out", detail::as_bytes_span(conv2_out_)},
+        {"features", detail::as_bytes_span(features_)},
+        {"head_w", detail::as_bytes_span(head_w_)},
+        {"output", detail::as_bytes_span(output_)},
+        {"descriptors",
+         std::span<std::byte>(reinterpret_cast<std::byte*>(descriptors_.data()),
+                              descriptors_.size() * sizeof(LayerDescriptor))},
+        {"control",
+         std::span<std::byte>(reinterpret_cast<std::byte*>(&control_),
+                              sizeof(control_))},
+    };
+}
+
+std::unique_ptr<Workload> make_yolo_lite() {
+    return std::make_unique<YoloLite>();
+}
+
+}  // namespace tnr::workloads

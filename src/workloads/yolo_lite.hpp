@@ -1,0 +1,83 @@
+#pragma once
+// YOLO-lite: a miniature convolutional object-detection network standing in
+// for YOLO (the paper's self-driving representative). Two conv+ReLU stages,
+// max-pooling, and a detection head producing class scores plus a bounding
+// box. Supports the "critical vs tolerable SDC" distinction used in the CNN
+// reliability literature: a corrupted score that does not change the
+// detected class is tolerable; a changed class/box is critical.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace tnr::workloads {
+
+class YoloLite final : public Workload {
+public:
+    YoloLite();
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "YOLO";
+    }
+    void reset() override;
+    void run() override;
+    [[nodiscard]] bool verify() const override;
+    [[nodiscard]] SdcSeverity severity() const override;
+    [[nodiscard]] std::vector<StateSegment> segments() override;
+
+    /// Detected class of the last run.
+    [[nodiscard]] std::size_t detected_class() const;
+
+    static constexpr std::size_t kInputSide = 16;
+    static constexpr std::size_t kConv1Channels = 4;
+    static constexpr std::size_t kConv2Channels = 8;
+    static constexpr std::size_t kClasses = 5;
+
+private:
+    struct Control {
+        std::uint32_t input_side;
+    };
+
+    /// Per-layer launch descriptor, as an inference runtime would keep in
+    /// device memory (dims, strides, buffer offsets). Validated before each
+    /// stage: corrupted descriptors abort the launch — the dominant DUE
+    /// mechanism for CNN inference at beam.
+    struct LayerDescriptor {
+        std::uint32_t in_side;
+        std::uint32_t out_side;
+        std::uint32_t in_channels;
+        std::uint32_t out_channels;
+        std::uint32_t kernel;
+        std::uint32_t stride;
+        std::uint32_t weight_offset;
+        std::uint32_t output_offset;
+        /// Runtime metadata the framework keeps per layer (tensor strides,
+        /// workspace pointers, algorithm selections — cuDNN descriptors are
+        /// hundreds of bytes). Zero here; any corruption is detected.
+        std::array<std::uint32_t, 56> runtime_metadata;
+    };
+    static constexpr std::size_t kLayers = 4;  ///< conv1, pool, conv2, head.
+
+    void validate_descriptor(std::size_t layer,
+                             const LayerDescriptor& expected) const;
+    static LayerDescriptor expected_descriptor(std::size_t layer);
+
+    Control control_{};
+    std::array<LayerDescriptor, kLayers> descriptors_{};
+    std::vector<float> input_;        ///< 16x16 grayscale frame.
+    std::vector<float> conv1_w_;      ///< 4 x (3x3) kernels.
+    std::vector<float> conv1_out_;    ///< 4 x 16 x 16.
+    std::vector<float> pooled_;       ///< 4 x 8 x 8.
+    std::vector<float> conv2_w_;      ///< 8 x 4 x (3x3) kernels.
+    std::vector<float> conv2_out_;    ///< 8 x 8 x 8.
+    std::vector<float> features_;     ///< 8 (global average pool).
+    std::vector<float> head_w_;       ///< (classes + 4 box) x 8 dense weights.
+    std::vector<float> output_;       ///< classes + box (x, y, w, h).
+    std::vector<float> golden_;
+};
+
+std::unique_ptr<Workload> make_yolo_lite();
+
+}  // namespace tnr::workloads

@@ -1,0 +1,267 @@
+// Beam module tests: beamline conventions, single-experiment statistics,
+// multi-board derating, and campaign aggregation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "beam/beamline.hpp"
+#include "beam/campaign.hpp"
+#include "beam/experiment.hpp"
+#include "beam/screening.hpp"
+#include "devices/catalog.hpp"
+#include "faultinject/avf.hpp"
+#include "physics/units.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+#include "workloads/suite.hpp"
+
+namespace tnr::beam {
+namespace {
+
+TEST(Beamline, ChipIrUsesAbove10MeVConvention) {
+    const Beamline b = Beamline::chipir();
+    EXPECT_EQ(b.convention(), Beamline::FluenceConvention::kAbove10MeV);
+    EXPECT_NEAR(b.reference_flux(), 5.4e6, 0.02 * 5.4e6);
+}
+
+TEST(Beamline, RotaxUsesTotalConvention) {
+    const Beamline b = Beamline::rotax();
+    EXPECT_EQ(b.convention(), Beamline::FluenceConvention::kTotal);
+    EXPECT_NEAR(b.reference_flux(), 2.72e6, 0.01 * 2.72e6);
+}
+
+TEST(Experiment, FluenceAccounting) {
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const auto vulnerability = faultinject::VulnerabilityTable::uniform(
+        workloads::suite_for_device("NVIDIA K20"));
+    const BeamExperiment exp(Beamline::rotax(), device, "MxM", vulnerability);
+    stats::Rng rng(110);
+    ExperimentConfig cfg;
+    cfg.beam_time_s = 100.0;
+    const ExperimentResult r = exp.run(cfg, rng);
+    EXPECT_NEAR(r.sdc.fluence, 2.72e6 * 100.0, 0.01 * 2.72e8);
+    EXPECT_EQ(r.sdc.beamline, "ROTAX");
+    EXPECT_EQ(r.sdc.workload, "MxM");
+}
+
+TEST(Experiment, MeasuredCrossSectionConvergesToTruth) {
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const auto vulnerability = faultinject::VulnerabilityTable::uniform(
+        workloads::suite_for_device("NVIDIA K20"));
+    const BeamExperiment exp(Beamline::rotax(), device, "MxM", vulnerability);
+    stats::Rng rng(111);
+    ExperimentConfig cfg;
+    cfg.beam_time_s = 3600.0 * 20.0;  // long run: tight statistics.
+    const ExperimentResult r = exp.run(cfg, rng);
+    const double truth = exp.true_error_rate(devices::ErrorType::kSdc) /
+                         Beamline::rotax().reference_flux();
+    EXPECT_GT(r.sdc.errors, 100u);
+    EXPECT_NEAR(r.sdc.cross_section(), truth, 0.2 * truth);
+    EXPECT_TRUE(r.sdc.confidence_interval().contains(truth));
+}
+
+TEST(Experiment, PoissonCountsHavePoissonSpread) {
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const auto vulnerability = faultinject::VulnerabilityTable::uniform(
+        workloads::suite_for_device("NVIDIA K20"));
+    const BeamExperiment exp(Beamline::rotax(), device, "LUD", vulnerability);
+    stats::Rng rng(112);
+    ExperimentConfig cfg;
+    cfg.beam_time_s = 3600.0;
+    stats::RunningStats counts;
+    for (int i = 0; i < 300; ++i) {
+        counts.add(static_cast<double>(exp.run(cfg, rng).sdc.errors));
+    }
+    // Poisson: variance ~ mean.
+    ASSERT_GT(counts.mean(), 5.0);
+    EXPECT_NEAR(counts.variance() / counts.mean(), 1.0, 0.35);
+}
+
+TEST(Experiment, DeratingScalesEventsAndFluenceTogether) {
+    // Derated boards see fewer errors AND less fluence: the estimated cross
+    // section stays unbiased (the whole point of the derating factor).
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA TitanX"));
+    const auto vulnerability = faultinject::VulnerabilityTable::uniform(
+        workloads::suite_for_device("NVIDIA TitanX"));
+    const BeamExperiment exp(Beamline::chipir(), device, "MxM", vulnerability);
+    stats::Rng rng(113);
+    ExperimentConfig on_axis;
+    on_axis.beam_time_s = 3600.0 * 30.0;
+    ExperimentConfig derated = on_axis;
+    derated.derating = 0.6;
+    const auto r1 = exp.run(on_axis, rng);
+    const auto r2 = exp.run(derated, rng);
+    EXPECT_NEAR(r2.sdc.fluence / r1.sdc.fluence, 0.6, 1e-9);
+    ASSERT_GT(r2.sdc.errors, 50u);
+    EXPECT_NEAR(r2.sdc.cross_section(), r1.sdc.cross_section(),
+                0.25 * r1.sdc.cross_section());
+}
+
+TEST(Experiment, ChipIrSdcRateIncludesThermalContamination) {
+    // ChipIR has a real thermal tail (4e5 n/cm^2/s): a boron-heavy device's
+    // ChipIR error rate must exceed its pure-HE channel rate.
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const auto vulnerability = faultinject::VulnerabilityTable::uniform(
+        workloads::suite_for_device("NVIDIA K20"));
+    const BeamExperiment exp(Beamline::chipir(), device, "MxM", vulnerability);
+    const double total_rate = exp.true_error_rate(devices::ErrorType::kSdc);
+    const double he_only =
+        device.high_energy_response(devices::ErrorType::kSdc)
+            .event_rate(Beamline::chipir().spectrum());
+    EXPECT_GT(total_rate, he_only);
+    // But the contamination is a small correction (<10% for K20).
+    EXPECT_LT((total_rate - he_only) / he_only, 0.10);
+}
+
+TEST(Experiment, ConfigValidation) {
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const auto vulnerability = faultinject::VulnerabilityTable::uniform(
+        workloads::suite_for_device("NVIDIA K20"));
+    const BeamExperiment exp(Beamline::rotax(), device, "MxM", vulnerability);
+    stats::Rng rng(114);
+    ExperimentConfig bad;
+    bad.beam_time_s = -1.0;
+    EXPECT_THROW((void)exp.run(bad, rng), std::invalid_argument);
+    bad.beam_time_s = 1.0;
+    bad.derating = 1.5;
+    EXPECT_THROW((void)exp.run(bad, rng), std::invalid_argument);
+}
+
+TEST(Experiment, LoggedRunTimestampsAreUniform) {
+    // A homogeneous Poisson process conditioned on its count has i.i.d.
+    // uniform event times: the logged timestamps must pass a K-S test.
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const auto vulnerability = faultinject::VulnerabilityTable::uniform(
+        workloads::suite_for_device("NVIDIA K20"));
+    const BeamExperiment exp(Beamline::rotax(), device, "MxM", vulnerability);
+    stats::Rng rng(115);
+    ExperimentConfig cfg;
+    cfg.beam_time_s = 3600.0 * 40.0;
+    const auto logged = exp.run_logged(cfg, rng);
+    ASSERT_GT(logged.sdc_times_s.size(), 200u);
+    EXPECT_EQ(logged.sdc_times_s.size(), logged.summary.sdc.errors);
+    EXPECT_TRUE(std::is_sorted(logged.sdc_times_s.begin(),
+                               logged.sdc_times_s.end()));
+    const auto ks =
+        stats::ks_test_uniform(logged.sdc_times_s, 0.0, cfg.beam_time_s);
+    EXPECT_GT(ks.p_value, 0.001);
+}
+
+// --- Screening ---------------------------------------------------------------------
+
+TEST(Screening, ZeroFailureTimeFormula) {
+    // -ln(0.05) = 3.0 at 95%: T = 3.0 / (sigma * flux).
+    const double t = zero_failure_test_time_s(1.0e-8, 1.0e6, 0.95);
+    EXPECT_NEAR(t, 299.57, 0.1);
+    EXPECT_THROW(zero_failure_test_time_s(0.0, 1.0, 0.95),
+                 std::invalid_argument);
+}
+
+TEST(Screening, VerdictsPartitionCorrectly) {
+    // Clearly clean: 0 errors over a large fluence.
+    const auto accept = screen_part(0, 1.0e10, 1.0e-8);
+    EXPECT_EQ(accept.verdict, ScreeningVerdict::kAccept);
+    // Clearly dirty: many errors.
+    const auto reject = screen_part(1000, 1.0e10, 1.0e-8);
+    EXPECT_EQ(reject.verdict, ScreeningVerdict::kReject);
+    // Borderline: tiny fluence, one error.
+    const auto open = screen_part(1, 1.0e8, 1.0e-8);
+    EXPECT_EQ(open.verdict, ScreeningVerdict::kInconclusive);
+}
+
+TEST(Screening, CatalogPartsClassifyAsExpected) {
+    // Budget between the Xeon Phi's thermal sigma (~2e-9) and the K20's
+    // (~4e-8): a 2 h ROTAX run must accept the former and reject the latter.
+    const double sigma_max = 1.0e-8;
+    stats::Rng rng(116);
+    const Beamline rotax = Beamline::rotax();
+    const auto screen_device = [&](const char* name) {
+        const auto device = devices::build_calibrated(devices::spec_by_name(name));
+        const auto suite = workloads::suite_for_device(name);
+        const BeamExperiment exp(
+            rotax, device, suite.front().name,
+            faultinject::VulnerabilityTable::uniform(suite));
+        ExperimentConfig cfg;
+        cfg.beam_time_s = 2.0 * 3600.0;
+        const auto r = exp.run(cfg, rng);
+        return screen_part(r.sdc.errors, r.sdc.fluence, sigma_max).verdict;
+    };
+    EXPECT_EQ(screen_device("Intel Xeon Phi"), ScreeningVerdict::kAccept);
+    EXPECT_EQ(screen_device("NVIDIA K20"), ScreeningVerdict::kReject);
+}
+
+TEST(Screening, VerdictNames) {
+    EXPECT_STREQ(to_string(ScreeningVerdict::kAccept), "ACCEPT");
+    EXPECT_STREQ(to_string(ScreeningVerdict::kReject), "REJECT");
+    EXPECT_STREQ(to_string(ScreeningVerdict::kInconclusive), "INCONCLUSIVE");
+}
+
+TEST(Campaign, ProducesAllRows) {
+    CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 600.0;
+    Campaign campaign(cfg);
+    const CampaignResult result = campaign.run();
+    // 8 devices x 2 error types.
+    EXPECT_EQ(result.ratio_rows.size(), 16u);
+    // Measurements: per device, 4 per workload (2 facilities x 2 types).
+    std::size_t expected = 0;
+    for (const auto& device : devices::standard_catalog()) {
+        expected += 4 * workloads::suite_for_device(device.name()).size();
+    }
+    EXPECT_EQ(result.measurements.size(), expected);
+}
+
+TEST(Campaign, RowLookup) {
+    CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 600.0;
+    const CampaignResult result = Campaign(cfg).run();
+    EXPECT_NO_THROW(result.row("NVIDIA K20", devices::ErrorType::kSdc));
+    EXPECT_THROW(result.row("TPU", devices::ErrorType::kSdc),
+                 std::out_of_range);
+    const auto k20_chipir = result.for_device("NVIDIA K20", "ChipIR",
+                                              devices::ErrorType::kSdc);
+    EXPECT_EQ(k20_chipir.size(), 5u);  // HPC suite + YOLO.
+}
+
+TEST(Campaign, DeterministicForSeed) {
+    CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 300.0;
+    cfg.seed = 77;
+    const CampaignResult a = Campaign(cfg).run();
+    const CampaignResult b = Campaign(cfg).run();
+    ASSERT_EQ(a.measurements.size(), b.measurements.size());
+    for (std::size_t i = 0; i < a.measurements.size(); ++i) {
+        EXPECT_EQ(a.measurements[i].errors, b.measurements[i].errors);
+    }
+}
+
+TEST(Campaign, FpgaHasNoThermalDues) {
+    CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 3600.0;
+    const CampaignResult result = Campaign(cfg).run();
+    const auto& row =
+        result.row("Xilinx Zynq-7000 FPGA", devices::ErrorType::kDue);
+    EXPECT_EQ(row.errors_th, 0u);
+    EXPECT_FALSE(row.ratio().has_value());
+}
+
+TEST(Campaign, ValidatesConfig) {
+    CampaignConfig bad;
+    bad.beam_time_per_run_s = 0.0;
+    EXPECT_THROW(Campaign{bad}, std::invalid_argument);
+    CampaignConfig no_slots;
+    no_slots.chipir_deratings.clear();
+    EXPECT_THROW(Campaign{no_slots}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tnr::beam

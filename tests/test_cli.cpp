@@ -1,0 +1,156 @@
+// CLI tests: every subcommand runs, produces the expected rows, honors
+// flags, and fails cleanly on bad input.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/cli.hpp"
+
+namespace tnr::cli {
+namespace {
+
+struct CliResult {
+    int code;
+    std::string out;
+    std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> args) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = run(args, out, err);
+    return {code, out.str(), err.str()};
+}
+
+TEST(Cli, NoArgsShowsUsageAndFails) {
+    const auto r = run_cli({});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+    const auto r = run_cli({"--help"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("commands:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+    const auto r = run_cli({"frobnicate"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, ListDevices) {
+    const auto r = run_cli({"list-devices"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("Intel Xeon Phi"), std::string::npos);
+    EXPECT_NE(r.out.find("10.14"), std::string::npos);
+    EXPECT_NE(r.out.find("Xilinx Zynq-7000 FPGA"), std::string::npos);
+}
+
+TEST(Cli, FitDefaultDevice) {
+    const auto r = run_cli({"fit", "--site", "leadville"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("NVIDIA K20"), std::string::npos);
+    EXPECT_NE(r.out.find("SDC"), std::string::npos);
+    EXPECT_NE(r.out.find("DUE"), std::string::npos);
+}
+
+TEST(Cli, FitRainyDiffersFromSunny) {
+    const auto sunny = run_cli({"fit", "--site", "nyc"});
+    const auto rainy = run_cli({"fit", "--site", "nyc", "--rainy"});
+    EXPECT_EQ(sunny.code, 0);
+    EXPECT_EQ(rainy.code, 0);
+    EXPECT_NE(sunny.out, rainy.out);
+}
+
+TEST(Cli, FitUnknownDeviceFailsCleanly) {
+    const auto r = run_cli({"fit", "--device", "TPU"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("TPU"), std::string::npos);
+}
+
+TEST(Cli, FitUnknownSiteIsUsageError) {
+    const auto r = run_cli({"fit", "--site", "atlantis"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("unknown site"), std::string::npos);
+}
+
+TEST(Cli, CsvFlagSwitchesFormat) {
+    const auto table = run_cli({"fit", "--site", "nyc"});
+    const auto csv = run_cli({"fit", "--site", "nyc", "--csv"});
+    EXPECT_EQ(csv.code, 0);
+    EXPECT_NE(csv.out.find("device,site,type"), std::string::npos);
+    EXPECT_EQ(table.out.find("device,site,type"), std::string::npos);
+}
+
+TEST(Cli, CampaignShortRun) {
+    const auto r = run_cli({"campaign", "--hours", "0.2", "--seed", "7"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("NVIDIA TitanX"), std::string::npos);
+    EXPECT_NE(r.out.find("ratio"), std::string::npos);
+}
+
+TEST(Cli, CampaignDeterministicForSeed) {
+    const auto a = run_cli({"campaign", "--hours", "0.2", "--seed", "7"});
+    const auto b = run_cli({"campaign", "--hours", "0.2", "--seed", "7"});
+    EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Cli, DetectorFindsStep) {
+    const auto r = run_cli({"detector", "--days", "4", "--water-days", "3"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("relative step"), std::string::npos);
+}
+
+TEST(Cli, CheckpointPlan) {
+    const auto r = run_cli({"checkpoint", "--nodes", "1000"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("optimal interval"), std::string::npos);
+    EXPECT_NE(r.out.find("MTBF"), std::string::npos);
+}
+
+TEST(Cli, Top10Table) {
+    const auto r = run_cli({"top10"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("Summit"), std::string::npos);
+    EXPECT_NE(r.out.find("Trinity"), std::string::npos);
+}
+
+TEST(Cli, ReportIsMarkdown) {
+    const auto r = run_cli({"report", "--hours", "0.5", "--seed", "3"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("# Thermal Neutron Reliability Study"),
+              std::string::npos);
+    EXPECT_NE(r.out.find("## Measured cross sections"), std::string::npos);
+    EXPECT_NE(r.out.find("## FIT decomposition by site"), std::string::npos);
+    EXPECT_NE(r.out.find("Top-10 supercomputer"), std::string::npos);
+    // Markdown table delimiters present.
+    EXPECT_NE(r.out.find("|---|"), std::string::npos);
+    // No per-code appendix unless asked.
+    EXPECT_EQ(r.out.find("Appendix"), std::string::npos);
+}
+
+TEST(Cli, ReportPerCodeAppendix) {
+    const auto r =
+        run_cli({"report", "--hours", "0.2", "--seed", "3", "--per-code"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("Appendix: per-code measurements"),
+              std::string::npos);
+    EXPECT_NE(r.out.find("MNIST-dp"), std::string::npos);
+}
+
+TEST(Cli, BadFlagValueFails) {
+    const auto r = run_cli({"campaign", "--hours", "not-a-number"});
+    EXPECT_NE(r.code, 0);
+}
+
+TEST(Cli, StrayPositionalArgumentRejected) {
+    const auto r = run_cli({"fit", "leadville"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("unexpected argument"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tnr::cli

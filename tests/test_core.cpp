@@ -1,0 +1,167 @@
+// Core module tests: FIT arithmetic, the fleet projection, report
+// formatting, and the ReliabilityStudy facade.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/fit.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "devices/catalog.hpp"
+#include "environment/site.hpp"
+#include "memory/dram_config.hpp"
+
+namespace tnr::core {
+namespace {
+
+TEST(FitRate, Arithmetic) {
+    FitRate fit;
+    fit.high_energy = 80.0;
+    fit.thermal = 20.0;
+    EXPECT_DOUBLE_EQ(fit.total(), 100.0);
+    EXPECT_DOUBLE_EQ(fit.thermal_share(), 0.2);
+    EXPECT_DOUBLE_EQ(fit.underestimation(), 1.25);
+}
+
+TEST(FitRate, EmptyIsSafe) {
+    const FitRate fit;
+    EXPECT_DOUBLE_EQ(fit.thermal_share(), 0.0);
+    EXPECT_DOUBLE_EQ(fit.underestimation(), 1.0);
+}
+
+TEST(DeviceFit, BothComponentsPositive) {
+    const auto k20 = devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const FitRate fit =
+        device_fit(k20, devices::ErrorType::kSdc, environment::nyc_datacenter());
+    EXPECT_GT(fit.high_energy, 0.0);
+    EXPECT_GT(fit.thermal, 0.0);
+}
+
+TEST(DeviceFit, ThermalShareGrowsAtAltitude) {
+    const auto k20 = devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const FitRate nyc =
+        device_fit(k20, devices::ErrorType::kSdc, environment::nyc_datacenter());
+    const FitRate lead = device_fit(k20, devices::ErrorType::kSdc,
+                                    environment::leadville_datacenter());
+    EXPECT_GT(lead.total(), 5.0 * nyc.total());
+    EXPECT_GT(lead.thermal_share(), nyc.thermal_share());
+}
+
+TEST(DeviceFit, BoronDepletionRemovesThermalFit) {
+    const auto k20 = devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const auto depleted = k20.with_thermal_scale(0.0);
+    const FitRate fit = device_fit(depleted, devices::ErrorType::kSdc,
+                                   environment::nyc_datacenter());
+    EXPECT_DOUBLE_EQ(fit.thermal, 0.0);
+    EXPECT_GT(fit.high_energy, 0.0);
+}
+
+TEST(DramFit, Ddr3ExceedsDdr4PerModule) {
+    const auto site = environment::nyc_datacenter();
+    // Per Gbit DDR3 is 10x DDR4; per module (32 vs 64 Gbit) still ~5x.
+    EXPECT_GT(dram_thermal_fit(memory::ddr3_module(), site),
+              3.0 * dram_thermal_fit(memory::ddr4_module(), site));
+}
+
+TEST(FleetFit, AllTenSystems) {
+    const auto rows = fleet_dram_fit(environment::top10_supercomputers());
+    ASSERT_EQ(rows.size(), 10u);
+    for (const auto& row : rows) {
+        EXPECT_GT(row.fit, 0.0) << row.system;
+        EXPECT_GT(row.capacity_gbit, 0.0);
+    }
+}
+
+TEST(FleetFit, TrinityDominatesDespiteModerateCapacity) {
+    // Trinity's 2231 m altitude multiplies its thermal flux: its fleet FIT
+    // should beat same-capacity sea-level systems by a wide margin.
+    const auto rows = fleet_dram_fit(environment::top10_supercomputers());
+    double trinity_fit_per_gbit = 0.0;
+    double summit_fit_per_gbit = 0.0;
+    for (const auto& row : rows) {
+        if (row.system.find("Trinity") != std::string::npos) {
+            trinity_fit_per_gbit = row.fit / row.capacity_gbit;
+        }
+        if (row.system.find("Summit") != std::string::npos) {
+            summit_fit_per_gbit = row.fit / row.capacity_gbit;
+        }
+    }
+    EXPECT_GT(trinity_fit_per_gbit, 3.0 * summit_fit_per_gbit);
+}
+
+// --- Report formatting ------------------------------------------------------------
+
+TEST(Report, ScientificFormat) {
+    EXPECT_EQ(format_scientific(1.234e-8, 2), "1.23e-08");
+    EXPECT_EQ(format_scientific(0.0, 1), "0.0e+00");
+}
+
+TEST(Report, PercentFormat) {
+    EXPECT_EQ(format_percent(0.042, 1), "4.2%");
+    EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(Report, FixedFormat) {
+    EXPECT_EQ(format_fixed(10.136, 2), "10.14");
+}
+
+TEST(Report, TableRendersAllCells) {
+    TablePrinter table({"device", "ratio"});
+    table.add_row({"K20", "2.0"});
+    table.add_row({"Xeon Phi", "10.14"});
+    const std::string out = table.to_string();
+    EXPECT_NE(out.find("device"), std::string::npos);
+    EXPECT_NE(out.find("Xeon Phi"), std::string::npos);
+    EXPECT_NE(out.find("10.14"), std::string::npos);
+}
+
+TEST(Report, TableValidatesArity) {
+    TablePrinter table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+    EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+// --- ReliabilityStudy -------------------------------------------------------------
+
+TEST(Study, CampaignIsCached) {
+    beam::CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 300.0;
+    ReliabilityStudy study(cfg);
+    const auto* first = &study.campaign();
+    const auto* second = &study.campaign();
+    EXPECT_EQ(first, second);
+}
+
+TEST(Study, MeasuredFitPositive) {
+    beam::CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 3600.0;
+    ReliabilityStudy study(cfg);
+    const FitRate fit =
+        study.measured_fit("NVIDIA K20", devices::ErrorType::kSdc,
+                           environment::nyc_datacenter());
+    EXPECT_GT(fit.total(), 0.0);
+}
+
+TEST(Study, UnknownDeviceThrows) {
+    beam::CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 300.0;
+    ReliabilityStudy study(cfg);
+    EXPECT_THROW((void)study.measured_fit("TPU", devices::ErrorType::kSdc,
+                                          environment::nyc_datacenter()),
+                 std::out_of_range);
+}
+
+TEST(Study, FitShareTableCoversDevicesAndSites) {
+    beam::CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 600.0;
+    ReliabilityStudy study(cfg);
+    const std::vector<environment::Site> sites = {
+        environment::nyc_datacenter(), environment::leadville_datacenter()};
+    const auto table = study.fit_share_table(sites);
+    // 8 devices x 2 types x 2 sites.
+    EXPECT_EQ(table.size(), 32u);
+}
+
+}  // namespace
+}  // namespace tnr::core

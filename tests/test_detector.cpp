@@ -1,0 +1,245 @@
+// Tin-II detector tests: He-3 tube physics, cadmium discrimination, and the
+// end-to-end Fig.-6 pipeline (simulate a deployment, difference the tubes,
+// find the water step, recover +24%).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detector/analysis.hpp"
+#include "detector/he3_tube.hpp"
+#include "detector/pressure.hpp"
+#include "detector/tin2.hpp"
+#include "physics/spectrum.hpp"
+#include "physics/units.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::detector {
+namespace {
+
+TEST(He3Tube, GasDensityMatchesIdealGas) {
+    He3Tube tube;
+    // 4 atm at 293 K: ~1.0e20 atoms/cm^3.
+    EXPECT_NEAR(tube.helium_density(), 1.0e20, 0.05e20);
+}
+
+TEST(He3Tube, ThermalEfficiencyHigh) {
+    He3Tube tube;
+    const double eff = tube.intrinsic_efficiency(physics::kThermalReferenceEv);
+    EXPECT_GT(eff, 0.5);
+    EXPECT_LT(eff, 1.0);
+}
+
+TEST(He3Tube, FastNeutronsNearlyInvisible) {
+    He3Tube tube;
+    EXPECT_LT(tube.intrinsic_efficiency(1.0e6), 1e-3);
+}
+
+TEST(He3Tube, EfficiencyDecreasesWithEnergy) {
+    He3Tube tube;
+    double last = 1.0;
+    for (const double e : {0.001, 0.01, 0.1, 1.0, 10.0}) {
+        const double eff = tube.intrinsic_efficiency(e);
+        EXPECT_LT(eff, last);
+        last = eff;
+    }
+}
+
+TEST(He3Tube, FoldedEfficiencyNearPointValue) {
+    He3Tube tube;
+    const physics::MaxwellianSpectrum maxwellian(1.0, 0.0253);
+    const double folded = tube.folded_efficiency(maxwellian);
+    const double point = tube.intrinsic_efficiency(0.0253);
+    EXPECT_NEAR(folded, point, 0.15 * point);
+}
+
+TEST(He3Tube, CountRateLinearInFlux) {
+    He3Tube tube;
+    const double r1 = tube.count_rate(1.0, 0.0);
+    const double r2 = tube.count_rate(2.0, 0.0);
+    EXPECT_NEAR(r2, 2.0 * r1, 1e-9);
+}
+
+TEST(He3Tube, Validation) {
+    He3TubeConfig bad;
+    bad.pressure_atm = 0.0;
+    EXPECT_THROW(He3Tube{bad}, std::invalid_argument);
+    He3Tube tube;
+    EXPECT_THROW((void)tube.count_rate(-1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Tin2, CadmiumShieldKillsThermals) {
+    Tin2Detector tin2;
+    EXPECT_LT(tin2.cadmium_thermal_transmission(), 0.05);
+}
+
+TEST(Tin2, BareRateExceedsShieldedRate) {
+    Tin2Detector tin2;
+    SchedulePhase phase{"test", 3600.0, 4.0 / 3600.0, 50.0 * 4.0 / 3600.0};
+    EXPECT_GT(tin2.expected_bare_rate(phase),
+              1.5 * tin2.expected_shielded_rate(phase));
+}
+
+TEST(Tin2, RecordingHasExpectedBins) {
+    Tin2Detector tin2;
+    stats::Rng rng(120);
+    const auto schedule = fig6_schedule(2.0, 1.0);
+    const Tin2Recording rec = tin2.record(schedule, rng);
+    EXPECT_EQ(rec.bare.size(), 72u);  // 3 days of hourly bins.
+    EXPECT_EQ(rec.shielded.size(), 72u);
+    ASSERT_EQ(rec.phase_start_bins.size(), 2u);
+    EXPECT_EQ(rec.phase_start_bins[0], 0u);
+    EXPECT_EQ(rec.phase_start_bins[1], 48u);
+}
+
+TEST(Tin2, CountsScaleWithThermalFlux) {
+    Tin2Detector tin2;
+    stats::Rng rng(121);
+    std::vector<SchedulePhase> schedule = {
+        {"low", 86400.0, 1.0 / 3600.0, 0.0},
+        {"high", 86400.0, 3.0 / 3600.0, 0.0},
+    };
+    const Tin2Recording rec = tin2.record(schedule, rng);
+    const double low = static_cast<double>(rec.bare.total(0, 24));
+    const double high = static_cast<double>(rec.bare.total(24, 48));
+    EXPECT_NEAR(high / low, 3.0, 0.4);
+}
+
+TEST(Tin2, Validation) {
+    Tin2Detector tin2;
+    stats::Rng rng(122);
+    EXPECT_THROW((void)tin2.record({}, rng), std::invalid_argument);
+    Tin2Config bad;
+    bad.cd_thickness_cm = 0.0;
+    EXPECT_THROW(Tin2Detector{bad}, std::invalid_argument);
+}
+
+// --- Fig. 6 end-to-end -----------------------------------------------------------
+
+TEST(Fig6, StepRecoveredAtWaterPlacement) {
+    Tin2Detector tin2;
+    stats::Rng rng(123);
+    const auto schedule = fig6_schedule(4.0, 3.0);
+    const Tin2Recording rec = tin2.record(schedule, rng);
+    const auto analysis = analyze_step(rec);
+    ASSERT_TRUE(analysis.has_value());
+    // The detected changepoint should sit at the water-placement bin.
+    EXPECT_NEAR(static_cast<double>(analysis->change_bin),
+                static_cast<double>(rec.phase_start_bins[1]), 6.0);
+}
+
+TEST(Fig6, StepMagnitudeNearTwentyFourPercent) {
+    Tin2Detector tin2;
+    stats::Rng rng(124);
+    const auto schedule = fig6_schedule(4.0, 3.0);
+    const Tin2Recording rec = tin2.record(schedule, rng);
+    const auto analysis = analyze_step(rec);
+    ASSERT_TRUE(analysis.has_value());
+    EXPECT_NEAR(analysis->relative_step, 0.24, 0.06);
+    EXPECT_TRUE(analysis->step_ci.contains(0.24));
+}
+
+TEST(Fig6, NoStepWithoutWater) {
+    Tin2Detector tin2;
+    stats::Rng rng(125);
+    const std::vector<SchedulePhase> flat = {
+        {"baseline only", 7.0 * 86400.0, 4.0 / 3600.0, 50.0 * 4.0 / 3600.0},
+    };
+    const Tin2Recording rec = tin2.record(flat, rng);
+    const auto analysis = analyze_step(rec);
+    EXPECT_FALSE(analysis.has_value());
+}
+
+TEST(Fig6, ShieldedTubeSeesNoStep) {
+    // The water step lives in the *thermal* channel: the Cd-shielded tube's
+    // own counts stay flat, which is what pins the effect on thermals.
+    Tin2Detector tin2;
+    stats::Rng rng(126);
+    const auto schedule = fig6_schedule(4.0, 3.0);
+    const Tin2Recording rec = tin2.record(schedule, rng);
+    const auto cp = stats::detect_single_changepoint(rec.shielded.counts(), 6);
+    EXPECT_FALSE(cp.has_value());
+}
+
+// --- Pressure correction ----------------------------------------------------------
+
+TEST(Pressure, FrontCreatesFalseStepCorrectionRemovesIt) {
+    // A flat deployment (no water). A -16 hPa weather front mid-deployment
+    // raises counts ~12% — a convincing fake step — which the barometric
+    // correction must remove.
+    Tin2Detector tin2;
+    stats::Rng rng(128);
+    const std::vector<SchedulePhase> flat = {
+        {"baseline", 8.0 * 86400.0, 4.0 / 3600.0, 50.0 * 4.0 / 3600.0},
+    };
+    const auto rec = tin2.record(flat, rng);
+    const auto pressure = pressure_front(rec.bare.size(), kReferencePressure,
+                                         -16.0, rec.bare.size() / 2, rng);
+    const auto modulated =
+        apply_pressure_modulation(rec, pressure, kPressureBeta, rng);
+
+    // Uncorrected: the analyst would see a step.
+    const auto naive = analyze_step(modulated);
+    ASSERT_TRUE(naive.has_value());
+    EXPECT_NEAR(static_cast<double>(naive->change_bin),
+                static_cast<double>(rec.bare.size() / 2), 8.0);
+
+    // Corrected: the step disappears.
+    const auto corrected = pressure_corrected_counts(modulated.bare, pressure,
+                                                     kPressureBeta);
+    const auto cp = stats::detect_single_changepoint(corrected, 6);
+    if (cp.has_value()) {
+        // Any residual structure must be far weaker than the fake step.
+        EXPECT_LT(std::abs(cp->relative_step()),
+                  0.4 * std::abs(naive->relative_step));
+    }
+}
+
+TEST(Pressure, RealStepSurvivesCorrection) {
+    // The genuine water step must NOT be corrected away under a quiet
+    // random-walk pressure history.
+    Tin2Detector tin2;
+    stats::Rng rng(129);
+    const auto rec = tin2.record(fig6_schedule(4.0, 3.0), rng);
+    const auto pressure =
+        random_walk_pressure(rec.bare.size(), kReferencePressure, 0.4, rng);
+    const auto modulated =
+        apply_pressure_modulation(rec, pressure, kPressureBeta, rng);
+    const auto corrected_bare =
+        pressure_corrected_counts(modulated.bare, pressure, kPressureBeta);
+    const auto cp = stats::detect_single_changepoint(corrected_bare, 6);
+    ASSERT_TRUE(cp.has_value());
+    EXPECT_NEAR(static_cast<double>(cp->index),
+                static_cast<double>(rec.phase_start_bins[1]), 8.0);
+}
+
+TEST(Pressure, Validation) {
+    stats::Rng rng(130);
+    EXPECT_THROW(random_walk_pressure(0, 1013.0, 1.0, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(pressure_front(10, 1013.0, 5.0, 20, rng),
+                 std::invalid_argument);
+    Tin2Detector tin2;
+    const auto rec = tin2.record(fig6_schedule(1.0, 1.0), rng);
+    const std::vector<double> wrong_length(3, 1013.0);
+    EXPECT_THROW(
+        apply_pressure_modulation(rec, wrong_length, kPressureBeta, rng),
+        std::invalid_argument);
+    EXPECT_THROW(
+        pressure_corrected_counts(rec.bare, wrong_length, kPressureBeta),
+        std::invalid_argument);
+}
+
+TEST(Fig6, ThermalRateHelper) {
+    Tin2Detector tin2;
+    stats::Rng rng(127);
+    const auto schedule = fig6_schedule(2.0, 2.0);
+    const Tin2Recording rec = tin2.record(schedule, rng);
+    const double before = thermal_rate(rec, 0, 48);
+    const double after = thermal_rate(rec, 48, 96);
+    EXPECT_NEAR(after / before, 1.24, 0.08);
+    EXPECT_THROW((void)thermal_rate(rec, 0, 1000), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tnr::detector

@@ -1,0 +1,243 @@
+// Tests for the device sensitivity models and the calibrated catalog.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/catalog.hpp"
+#include "devices/device.hpp"
+#include "devices/sensitivity.hpp"
+#include "physics/beamline_spectra.hpp"
+#include "physics/units.hpp"
+
+namespace tnr::devices {
+namespace {
+
+TEST(Weibull, ZeroBelowThreshold) {
+    const WeibullResponse w(1.0e-7, 1.0e6, 4.0e7, 1.5);
+    EXPECT_DOUBLE_EQ(w.cross_section(0.5e6), 0.0);
+    EXPECT_DOUBLE_EQ(w.cross_section(0.0253), 0.0);
+}
+
+TEST(Weibull, ApproachesSaturation) {
+    const WeibullResponse w(1.0e-7, 1.0e6, 4.0e7, 1.5);
+    EXPECT_NEAR(w.cross_section(1.0e9), 1.0e-7, 1e-10);
+}
+
+TEST(Weibull, MonotonicallyIncreasing) {
+    const WeibullResponse w(1.0e-7, 1.0e6, 4.0e7, 1.5);
+    double last = 0.0;
+    for (double e = 2.0e6; e < 1.0e9; e *= 2.0) {
+        const double s = w.cross_section(e);
+        EXPECT_GE(s, last);
+        last = s;
+    }
+}
+
+TEST(Weibull, InertDefault) {
+    const WeibullResponse w;
+    EXPECT_DOUBLE_EQ(w.cross_section(1.0e8), 0.0);
+    EXPECT_DOUBLE_EQ(w.event_rate(*physics::chipir_spectrum()), 0.0);
+}
+
+TEST(Weibull, ScaledIsLinear) {
+    const WeibullResponse w(1.0e-7, 1.0e6, 4.0e7, 1.5);
+    const WeibullResponse w2 = w.scaled(2.0);
+    EXPECT_NEAR(w2.cross_section(5.0e7), 2.0 * w.cross_section(5.0e7), 1e-18);
+}
+
+TEST(Weibull, NoRotaxResponse) {
+    // A pure HE channel must see nothing on a thermal beam.
+    const WeibullResponse w(1.0e-7, 1.0e6, 4.0e7, 1.5);
+    EXPECT_DOUBLE_EQ(w.event_rate(*physics::rotax_spectrum()), 0.0);
+}
+
+TEST(Weibull, RejectsBadParameters) {
+    EXPECT_THROW(WeibullResponse(-1.0, 1e6, 1e7, 1.0), std::invalid_argument);
+    EXPECT_THROW(WeibullResponse(1e-7, 1e6, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(WeibullResponse(1e-7, 1e6, 1e7, 0.0), std::invalid_argument);
+}
+
+TEST(B10, OneOverVShape) {
+    const B10Response b(1.0e14, 0.05);
+    EXPECT_NEAR(b.cross_section(4.0 * physics::kThermalReferenceEv),
+                0.5 * b.cross_section(physics::kThermalReferenceEv), 1e-15);
+}
+
+TEST(B10, ReferenceMagnitude) {
+    // N=1e14, sigma=3837 b, P=0.05 -> 1e14 * 3.837e-21 * 0.05 = 1.92e-8 cm^2.
+    const B10Response b(1.0e14, 0.05);
+    EXPECT_NEAR(b.cross_section(physics::kThermalReferenceEv), 1.92e-8,
+                0.02e-8);
+}
+
+TEST(B10, BoronFreeDeviceImmune) {
+    const B10Response b;
+    EXPECT_DOUBLE_EQ(b.cross_section(0.0253), 0.0);
+    EXPECT_DOUBLE_EQ(b.event_rate(*physics::rotax_spectrum()), 0.0);
+}
+
+TEST(B10, FoldedRotaxNearPointValue) {
+    // Folding 1/v over the ROTAX Maxwellian gives Gamma(1.5)/Gamma(2) =
+    // 0.886 of the 25.3 meV point value (for kT = 25.3 meV).
+    const B10Response b(1.0e14, 0.05);
+    const double folded = b.folded(*physics::rotax_spectrum());
+    const double point = b.cross_section(physics::kThermalReferenceEv);
+    EXPECT_NEAR(folded / point, 0.886, 0.02);
+}
+
+TEST(B10, RejectsBadParameters) {
+    EXPECT_THROW(B10Response(-1.0, 0.5), std::invalid_argument);
+    EXPECT_THROW(B10Response(1e14, 1.5), std::invalid_argument);
+}
+
+TEST(Device, CrossSectionSumsChannels) {
+    const Device d("test", {"28nm", TransistorType::kPlanarCmos, "X"},
+                   WeibullResponse(1.0e-7, 1.0e6, 4.0e7, 1.5),
+                   WeibullResponse(), B10Response(1.0e14, 0.05),
+                   B10Response());
+    // Thermal energy: only the B10 channel.
+    EXPECT_GT(d.cross_section(ErrorType::kSdc, 0.0253), 0.0);
+    // Fast energy: only the Weibull channel (B10 1/v is negligible there
+    // but nonzero; check dominance instead of equality).
+    const double fast = d.cross_section(ErrorType::kSdc, 1.0e8);
+    EXPECT_GT(fast, 0.9e-7);
+}
+
+TEST(Device, WithThermalScaleZeroMakesImmune) {
+    const Device d("test", {"28nm", TransistorType::kPlanarCmos, "X"},
+                   WeibullResponse(1.0e-7, 1.0e6, 4.0e7, 1.5),
+                   WeibullResponse(1.0e-8, 1.0e6, 4.0e7, 1.5),
+                   B10Response(1.0e14, 0.05), B10Response(1.0e13, 0.05));
+    const Device depleted = d.with_thermal_scale(0.0);
+    EXPECT_DOUBLE_EQ(
+        depleted.error_rate(ErrorType::kSdc, *physics::rotax_spectrum()), 0.0);
+    // HE channel untouched.
+    EXPECT_NEAR(
+        depleted.error_rate(ErrorType::kSdc, *physics::chipir_spectrum()),
+        d.high_energy_response(ErrorType::kSdc)
+            .event_rate(*physics::chipir_spectrum()),
+        1e-12);
+}
+
+TEST(Device, EnumNames) {
+    EXPECT_STREQ(to_string(ErrorType::kSdc), "SDC");
+    EXPECT_STREQ(to_string(ErrorType::kDue), "DUE");
+    EXPECT_STREQ(to_string(TransistorType::kFinFet), "FinFET");
+}
+
+// --- Catalog calibration ---------------------------------------------------------
+
+TEST(Catalog, HasAllPaperDevices) {
+    const auto& specs = standard_specs();
+    ASSERT_EQ(specs.size(), 8u);
+    EXPECT_NO_THROW(spec_by_name("Intel Xeon Phi"));
+    EXPECT_NO_THROW(spec_by_name("NVIDIA K20"));
+    EXPECT_NO_THROW(spec_by_name("NVIDIA TitanX"));
+    EXPECT_NO_THROW(spec_by_name("NVIDIA TitanV"));
+    EXPECT_NO_THROW(spec_by_name("AMD APU (CPU)"));
+    EXPECT_NO_THROW(spec_by_name("AMD APU (GPU)"));
+    EXPECT_NO_THROW(spec_by_name("AMD APU (CPU+GPU)"));
+    EXPECT_NO_THROW(spec_by_name("Xilinx Zynq-7000 FPGA"));
+    EXPECT_THROW(spec_by_name("TPU"), std::out_of_range);
+}
+
+/// The calibration contract: for each device, the analytic (noise-free)
+/// ratio of ChipIR-reported HE sigma to ROTAX-reported thermal sigma must
+/// equal the Fig.-5 target.
+class CatalogCalibrationTest : public ::testing::TestWithParam<DeviceSpec> {};
+
+TEST_P(CatalogCalibrationTest, SdcRatioMatchesTarget) {
+    const DeviceSpec& spec = GetParam();
+    if (!spec.ratio_sdc.has_value()) GTEST_SKIP();
+    const Device d = build_calibrated(spec);
+    const auto chipir = physics::chipir_spectrum();
+    const auto rotax = physics::rotax_spectrum();
+    const double sigma_he =
+        d.high_energy_response(ErrorType::kSdc).event_rate(*chipir) /
+        physics::kChipIrHighEnergyFlux;
+    const double sigma_th = d.error_rate(ErrorType::kSdc, *rotax) /
+                            physics::kRotaxTotalFlux;
+    EXPECT_NEAR(sigma_he / sigma_th, *spec.ratio_sdc, 0.01 * *spec.ratio_sdc)
+        << spec.name;
+}
+
+TEST_P(CatalogCalibrationTest, DueRatioMatchesTarget) {
+    const DeviceSpec& spec = GetParam();
+    if (!spec.ratio_due.has_value()) GTEST_SKIP();
+    const Device d = build_calibrated(spec);
+    const auto chipir = physics::chipir_spectrum();
+    const auto rotax = physics::rotax_spectrum();
+    const double sigma_he =
+        d.high_energy_response(ErrorType::kDue).event_rate(*chipir) /
+        physics::kChipIrHighEnergyFlux;
+    const double sigma_th = d.error_rate(ErrorType::kDue, *rotax) /
+                            physics::kRotaxTotalFlux;
+    EXPECT_NEAR(sigma_he / sigma_th, *spec.ratio_due, 0.01 * *spec.ratio_due)
+        << spec.name;
+}
+
+TEST_P(CatalogCalibrationTest, HeSigmaMatchesTarget) {
+    const DeviceSpec& spec = GetParam();
+    const Device d = build_calibrated(spec);
+    const double sigma_he =
+        d.high_energy_response(ErrorType::kSdc)
+            .event_rate(*physics::chipir_spectrum()) /
+        physics::kChipIrHighEnergyFlux;
+    EXPECT_NEAR(sigma_he, spec.sigma_he_sdc_cm2, 0.01 * spec.sigma_he_sdc_cm2)
+        << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDevices, CatalogCalibrationTest,
+    ::testing::ValuesIn(standard_specs()),
+    [](const ::testing::TestParamInfo<DeviceSpec>& info) {
+        std::string name = info.param.name;
+        for (char& c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+        }
+        return name;
+    });
+
+TEST(Catalog, FpgaHasNoThermalDueChannel) {
+    const Device fpga = build_calibrated(spec_by_name("Xilinx Zynq-7000 FPGA"));
+    EXPECT_DOUBLE_EQ(
+        fpga.thermal_response(ErrorType::kDue).areal_density(), 0.0);
+}
+
+TEST(Catalog, XeonPhiLeastThermalSensitive) {
+    // The Xeon Phi's SDC ratio (10.14) is the largest of the roster: the
+    // "little or depleted boron" conclusion.
+    double max_other = 0.0;
+    for (const auto& spec : standard_specs()) {
+        if (!spec.ratio_sdc.has_value()) continue;
+        if (spec.name == "Intel Xeon Phi") continue;
+        max_other = std::max(max_other, *spec.ratio_sdc);
+    }
+    EXPECT_GT(*spec_by_name("Intel Xeon Phi").ratio_sdc, max_other);
+}
+
+TEST(Catalog, ApuCpuGpuWorstDueRatio) {
+    // The heterogeneous CPU+GPU configuration has the DUE ratio closest to 1
+    // (thermal DUEs almost as likely as HE DUEs).
+    const auto& apu = spec_by_name("AMD APU (CPU+GPU)");
+    for (const auto& spec : standard_specs()) {
+        if (!spec.ratio_due.has_value()) continue;
+        EXPECT_GE(*spec.ratio_due, *apu.ratio_due);
+    }
+}
+
+TEST(Catalog, B10DensityPhysicallyPlausible) {
+    // Calibrated areal densities should land in the 1e12-1e16 atoms/cm^2
+    // range — consistent with ppm-level boron in contact/doping layers.
+    for (const auto& spec : standard_specs()) {
+        const Device d = build_calibrated(spec);
+        const double n = d.thermal_response(ErrorType::kSdc).areal_density();
+        if (n == 0.0) continue;
+        EXPECT_GT(n, 1.0e12) << spec.name;
+        EXPECT_LT(n, 1.0e16) << spec.name;
+    }
+}
+
+}  // namespace
+}  // namespace tnr::devices

@@ -1,0 +1,166 @@
+// Tests for the environment model: altitude scaling of fluxes, the thermal
+// environment modifiers of §V (rain x2, concrete +20%, water +24%, combined
+// +44%), and the site catalog.
+
+#include <gtest/gtest.h>
+
+#include "environment/location.hpp"
+#include "environment/modifiers.hpp"
+#include "environment/site.hpp"
+
+namespace tnr::environment {
+namespace {
+
+TEST(Location, SeaLevelDepth) {
+    const Location nyc = Location::new_york_city();
+    EXPECT_NEAR(nyc.atmospheric_depth(), kSeaLevelDepth, 0.5);
+    EXPECT_NEAR(nyc.altitude_factor(), 1.0, 1e-6);
+}
+
+TEST(Location, NycReferenceFlux) {
+    const Location nyc = Location::new_york_city();
+    EXPECT_NEAR(nyc.high_energy_flux(), kNycHighEnergyFlux, 0.05);
+    EXPECT_NEAR(nyc.thermal_flux_baseline(), kSeaLevelThermalFlux, 0.05);
+}
+
+TEST(Location, LeadvilleCanonicalAcceleration) {
+    // Leadville's HE flux is the classic ~13x NYC.
+    const Location lead = Location::leadville_co();
+    const double factor = lead.altitude_factor();
+    EXPECT_GT(factor, 10.0);
+    EXPECT_LT(factor, 16.0);
+}
+
+TEST(Location, ThermalGrowsFasterWithAltitude) {
+    const Location lead = Location::leadville_co();
+    EXPECT_GT(lead.thermal_altitude_factor(), lead.altitude_factor());
+}
+
+TEST(Location, FluxIncreasesMonotonicallyWithAltitude) {
+    double last = 0.0;
+    for (const double alt : {0.0, 500.0, 1500.0, 3000.0, 5000.0}) {
+        const Location loc("test", 40.0, -100.0, alt);
+        EXPECT_GT(loc.high_energy_flux(), last);
+        last = loc.high_energy_flux();
+    }
+}
+
+TEST(Location, RigidityFactorGentle) {
+    const Location equator("eq", 0.0, 0.0, 0.0);
+    const Location pole("pole", 89.0, 0.0, 0.0);
+    EXPECT_LT(equator.rigidity_factor(), 1.0);
+    EXPECT_GT(pole.rigidity_factor(), 1.0);
+    EXPECT_GT(equator.rigidity_factor(), 0.7);
+    EXPECT_LT(pole.rigidity_factor(), 1.3);
+}
+
+TEST(Location, Validation) {
+    EXPECT_THROW(Location("bad", 91.0, 0.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(Location("bad", 0.0, 200.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(Location("bad", 0.0, 0.0, 30000.0), std::invalid_argument);
+}
+
+TEST(Modifiers, OpenFieldIsUnity) {
+    EXPECT_DOUBLE_EQ(ThermalEnvironment::open_field().thermal_multiplier(), 1.0);
+}
+
+TEST(Modifiers, ConcreteAddsTwentyPercent) {
+    ThermalEnvironment env;
+    env.concrete_slab = true;
+    EXPECT_DOUBLE_EQ(env.thermal_multiplier(), 1.20);
+}
+
+TEST(Modifiers, WaterAddsTwentyFourPercent) {
+    ThermalEnvironment env;
+    env.water_cooling = true;
+    EXPECT_DOUBLE_EQ(env.thermal_multiplier(), 1.24);
+}
+
+TEST(Modifiers, DatacenterCombinedFortyFour) {
+    // The paper's FIT adjustment: slab + cooling = +44%.
+    EXPECT_DOUBLE_EQ(ThermalEnvironment::datacenter().thermal_multiplier(),
+                     1.44);
+}
+
+TEST(Modifiers, RainDoubles) {
+    ThermalEnvironment env;
+    env.weather = Weather::kRainy;
+    EXPECT_DOUBLE_EQ(env.thermal_multiplier(), 2.0);
+}
+
+TEST(Modifiers, RainMultipliesMaterials) {
+    ThermalEnvironment env = ThermalEnvironment::datacenter();
+    env.weather = Weather::kRainy;
+    EXPECT_DOUBLE_EQ(env.thermal_multiplier(), 2.88);
+}
+
+TEST(Modifiers, ExtraMaterialBoost) {
+    ThermalEnvironment env;
+    env.extra_material_boost = 0.1;  // e.g. passengers in a car.
+    EXPECT_DOUBLE_EQ(env.thermal_multiplier(), 1.1);
+}
+
+TEST(Modifiers, WeatherNames) {
+    EXPECT_STREQ(to_string(Weather::kSunny), "sunny");
+    EXPECT_STREQ(to_string(Weather::kRainy), "rainy");
+}
+
+TEST(Site, ThermalFluxIncludesEnvironment) {
+    const Site site = nyc_datacenter();
+    EXPECT_NEAR(site.thermal_flux(),
+                kSeaLevelThermalFlux * 1.44, 0.05);
+}
+
+TEST(Site, LeadvilleDatacenterHotterThanNyc) {
+    EXPECT_GT(leadville_datacenter().thermal_flux(),
+              5.0 * nyc_datacenter().thermal_flux());
+    EXPECT_GT(leadville_datacenter().high_energy_flux(),
+              5.0 * nyc_datacenter().high_energy_flux());
+}
+
+TEST(SolarModulation, ExtremesAndMean) {
+    EXPECT_NEAR(solar_modulation_factor(0.0), 1.15, 1e-12);   // solar min.
+    EXPECT_NEAR(solar_modulation_factor(0.5), 0.85, 1e-12);   // solar max.
+    EXPECT_NEAR(solar_modulation_factor(0.25), 1.0, 1e-12);
+    EXPECT_THROW(solar_modulation_factor(1.0), std::invalid_argument);
+    EXPECT_THROW(solar_modulation_factor(-0.1), std::invalid_argument);
+}
+
+TEST(SolarModulation, CycleAverageIsUnity) {
+    double sum = 0.0;
+    constexpr int n = 1000;
+    for (int i = 0; i < n; ++i) {
+        sum += solar_modulation_factor(static_cast<double>(i) / n);
+    }
+    EXPECT_NEAR(sum / n, 1.0, 1e-6);
+}
+
+TEST(Site, Top10CatalogShape) {
+    const auto sites = top10_supercomputers();
+    ASSERT_EQ(sites.size(), 10u);
+    for (const auto& s : sites) {
+        EXPECT_FALSE(s.system_name.empty());
+        EXPECT_GT(s.dram_capacity_gbit, 0.0);
+        // All modelled as liquid-cooled data centers (+44%).
+        EXPECT_DOUBLE_EQ(s.environment.thermal_multiplier(), 1.44);
+    }
+}
+
+TEST(Site, TrinityHighestThermalFlux) {
+    // Trinity (Los Alamos, 2231 m) should have the highest thermal flux of
+    // the Top-10 (all others are near sea level).
+    const auto sites = top10_supercomputers();
+    double trinity = 0.0;
+    double best_other = 0.0;
+    for (const auto& s : sites) {
+        if (s.system_name.find("Trinity") != std::string::npos) {
+            trinity = s.thermal_flux();
+        } else {
+            best_other = std::max(best_other, s.thermal_flux());
+        }
+    }
+    EXPECT_GT(trinity, best_other);
+}
+
+}  // namespace
+}  // namespace tnr::environment

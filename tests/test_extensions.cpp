@@ -1,0 +1,263 @@
+// Tests for the extension features: ECC device configurations, the
+// checkpoint/restart (Young/Daly) model, DUT beam attenuation (why ROTAX
+// tests one board at a time), FR4, and CSV export.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "beam/dut_attenuation.hpp"
+#include "core/checkpoint.hpp"
+#include "core/fit.hpp"
+#include "core/report.hpp"
+#include "devices/catalog.hpp"
+#include "devices/ecc_policy.hpp"
+#include "environment/site.hpp"
+#include "physics/beamline_spectra.hpp"
+#include "physics/materials.hpp"
+#include "physics/units.hpp"
+
+namespace tnr {
+namespace {
+
+// --- ECC policy --------------------------------------------------------------------
+
+devices::Device k20() {
+    return devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+}
+
+TEST(EccPolicy, ReducesSdcIncreasesDue) {
+    const auto raw = k20();
+    const auto protection = devices::EccProtection{};
+    const auto protected_device = devices::with_ecc(raw, protection);
+    const auto chipir = physics::chipir_spectrum();
+
+    const double sdc_raw =
+        raw.error_rate(devices::ErrorType::kSdc, *chipir);
+    const double sdc_ecc =
+        protected_device.error_rate(devices::ErrorType::kSdc, *chipir);
+    const double due_raw =
+        raw.error_rate(devices::ErrorType::kDue, *chipir);
+    const double due_ecc =
+        protected_device.error_rate(devices::ErrorType::kDue, *chipir);
+
+    EXPECT_NEAR(sdc_ecc / sdc_raw, 1.0 - protection.memory_fraction_sdc, 0.01);
+    EXPECT_GT(due_ecc, due_raw);
+}
+
+TEST(EccPolicy, DueGrowthMatchesUncorrectableShare) {
+    const auto raw = k20();
+    devices::EccProtection protection;
+    protection.memory_fraction_sdc = 0.6;
+    protection.correctable_fraction = 0.95;
+    const auto protected_device = devices::with_ecc(raw, protection);
+    const auto rotax = physics::rotax_spectrum();
+
+    const double transferred =
+        raw.error_rate(devices::ErrorType::kSdc, *rotax) * 0.6 * 0.05;
+    const double due_growth =
+        protected_device.error_rate(devices::ErrorType::kDue, *rotax) -
+        raw.error_rate(devices::ErrorType::kDue, *rotax);
+    EXPECT_NEAR(due_growth, transferred, 0.02 * transferred);
+}
+
+TEST(EccPolicy, PerfectEccRemovesMemorySdcEntirely) {
+    devices::EccProtection protection;
+    protection.memory_fraction_sdc = 1.0;
+    protection.correctable_fraction = 1.0;
+    const auto protected_device = devices::with_ecc(k20(), protection);
+    const auto rotax = physics::rotax_spectrum();
+    EXPECT_DOUBLE_EQ(
+        protected_device.error_rate(devices::ErrorType::kSdc, *rotax), 0.0);
+    // DUE unchanged (nothing uncorrectable).
+    EXPECT_NEAR(protected_device.error_rate(devices::ErrorType::kDue, *rotax),
+                k20().error_rate(devices::ErrorType::kDue, *rotax), 1e-12);
+}
+
+TEST(EccPolicy, BothChannelsProtected) {
+    // ECC masks memory faults regardless of the neutron that caused them:
+    // thermal and HE SDC rates shrink by the same factor.
+    const auto raw = k20();
+    const auto prot = devices::with_ecc(raw, devices::EccProtection{});
+    const auto chipir = physics::chipir_spectrum();
+    const auto rotax = physics::rotax_spectrum();
+    const double he_factor =
+        prot.error_rate(devices::ErrorType::kSdc, *chipir) /
+        raw.error_rate(devices::ErrorType::kSdc, *chipir);
+    const double th_factor =
+        prot.error_rate(devices::ErrorType::kSdc, *rotax) /
+        raw.error_rate(devices::ErrorType::kSdc, *rotax);
+    EXPECT_NEAR(he_factor, th_factor, 0.01);
+}
+
+TEST(EccPolicy, NameTagged) {
+    EXPECT_EQ(devices::with_ecc(k20(), {}).name(), "NVIDIA K20 (ECC)");
+}
+
+TEST(EccPolicy, Validation) {
+    devices::EccProtection bad;
+    bad.memory_fraction_sdc = 1.5;
+    EXPECT_THROW(devices::with_ecc(k20(), bad), std::invalid_argument);
+}
+
+// --- Checkpoint model ----------------------------------------------------------------
+
+TEST(Checkpoint, DalyFormula) {
+    // tau = sqrt(2 * C * M): C=300 s, M=6 h => sqrt(2*300*21600) = 3600 s.
+    EXPECT_NEAR(core::daly_optimal_interval(21600.0, 300.0), 3600.0, 1e-9);
+}
+
+TEST(Checkpoint, WasteMinimizedAtOptimum) {
+    const double mtbf = 100000.0;
+    core::CheckpointParameters params;
+    const double tau = core::daly_optimal_interval(mtbf, params.checkpoint_cost_s);
+    const double at_opt = core::waste_fraction(tau, mtbf, params);
+    // Property: scanning a grid of intervals never beats the optimum.
+    for (double t = 0.2 * tau; t <= 5.0 * tau; t *= 1.3) {
+        EXPECT_GE(core::waste_fraction(t, mtbf, params), at_opt - 1e-12);
+    }
+}
+
+TEST(Checkpoint, PlanScalesWithNodes) {
+    const auto small = core::plan_for_fit(1000.0, 100);
+    const auto large = core::plan_for_fit(1000.0, 10000);
+    EXPECT_GT(small.mtbf_s, large.mtbf_s);
+    EXPECT_GT(small.optimal_interval_s, large.optimal_interval_s);
+    EXPECT_LT(small.waste_fraction, large.waste_fraction);
+}
+
+TEST(Checkpoint, RainyDayShortensInterval) {
+    // The paper's checkpoint-vs-weather point, end to end.
+    const auto device = k20();
+    environment::Site sunny = environment::leadville_datacenter();
+    environment::Site rainy = sunny;
+    rainy.environment.weather = environment::Weather::kRainy;
+    const auto fit_sunny =
+        core::device_fit(device, devices::ErrorType::kDue, sunny);
+    const auto fit_rainy =
+        core::device_fit(device, devices::ErrorType::kDue, rainy);
+    const auto plan_sunny = core::plan_for_fit(fit_sunny, 4000);
+    const auto plan_rainy = core::plan_for_fit(fit_rainy, 4000);
+    EXPECT_LT(plan_rainy.optimal_interval_s, plan_sunny.optimal_interval_s);
+    EXPECT_GT(plan_rainy.waste_fraction, plan_sunny.waste_fraction);
+}
+
+TEST(Checkpoint, Validation) {
+    EXPECT_THROW(core::daly_optimal_interval(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(core::plan_for_fit(0.0, 10), std::invalid_argument);
+    EXPECT_THROW(core::plan_for_fit(10.0, 0), std::invalid_argument);
+}
+
+// --- DUT attenuation -----------------------------------------------------------------
+
+TEST(DutAttenuation, ThermalBlockedFastPasses) {
+    const beam::DutStack stack;
+    const auto t = beam::dut_transmission(stack);
+    // The paper: the DUT "blocks most of the incoming [thermal] neutrons";
+    // fast neutrons barely notice it.
+    EXPECT_LT(t.thermal, 0.25);
+    EXPECT_GT(t.high_energy, 0.75);
+    EXPECT_GT(t.high_energy, 3.0 * t.thermal);
+}
+
+TEST(DutAttenuation, StackedBoardsBiasThermalFluence) {
+    const auto t = beam::dut_transmission(beam::DutStack{});
+    // Board 3 in a thermal stack sees a tiny fraction of nominal fluence:
+    // cross sections measured there would be wildly overestimated.
+    const double f2 = beam::stacked_board_fluence_fraction(2, t.thermal);
+    EXPECT_LT(f2, 0.1);
+    // At ChipIR the same stack barely attenuates: derating works.
+    const double f2_fast =
+        beam::stacked_board_fluence_fraction(2, t.high_energy);
+    EXPECT_GT(f2_fast, 0.5);
+}
+
+TEST(DutAttenuation, TransmissionMonotonicInEnergyBands) {
+    const beam::DutStack stack;
+    // Epithermal neutrons already pass better than thermals.
+    EXPECT_GT(beam::dut_transmission_at(stack, 1.0),
+              beam::dut_transmission_at(stack, physics::kThermalReferenceEv));
+}
+
+TEST(DutAttenuation, Validation) {
+    beam::DutStack bad;
+    bad.board_fr4_cm = 0.0;
+    EXPECT_THROW(beam::dut_transmission(bad), std::invalid_argument);
+    EXPECT_THROW(beam::stacked_board_fluence_fraction(1, 1.5),
+                 std::invalid_argument);
+}
+
+TEST(Fr4, IsHydrogenousModerator) {
+    const auto fr4 = physics::Material::fr4();
+    EXPECT_GT(fr4.average_xi(), physics::Material::silicon().average_xi());
+    EXPECT_LT(fr4.mean_free_path(physics::kThermalReferenceEv), 3.0);
+}
+
+// --- 14 MeV comparison (related work) --------------------------------------------------
+
+TEST(Dt14, SpectrumIsNarrow14MeVLine) {
+    const auto s = physics::dt14_spectrum();
+    EXPECT_NEAR(s->total_flux(), physics::kDt14Flux, 0.02 * physics::kDt14Flux);
+    // All flux within the 13.8-14.4 MeV window; none thermal.
+    EXPECT_NEAR(s->integral_flux(13.8e6, 14.4e6), s->total_flux(),
+                0.02 * s->total_flux());
+    EXPECT_DOUBLE_EQ(s->thermal_flux(), 0.0);
+}
+
+TEST(Weulersse, PartsSpanPublishedRange) {
+    const auto& parts = devices::weulersse_parts();
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_DOUBLE_EQ(parts.front().thermal_to_14mev_ratio, 1.4);
+    EXPECT_DOUBLE_EQ(parts.back().thermal_to_14mev_ratio, 0.03);
+}
+
+TEST(Weulersse, CalibrationHitsRatios) {
+    const auto dt14 = physics::dt14_spectrum();
+    const auto rotax = physics::rotax_spectrum();
+    for (const auto& spec : devices::weulersse_parts()) {
+        const auto part = devices::build_memory_part(spec);
+        const double sigma_14 =
+            part.error_rate(devices::ErrorType::kSdc, *dt14) /
+            dt14->total_flux();
+        const double sigma_th =
+            part.error_rate(devices::ErrorType::kSdc, *rotax) /
+            physics::kRotaxTotalFlux;
+        EXPECT_NEAR(sigma_14, spec.sigma_14mev_cm2, 0.02 * spec.sigma_14mev_cm2)
+            << spec.name;
+        EXPECT_NEAR(sigma_th / sigma_14, spec.thermal_to_14mev_ratio,
+                    0.05 * spec.thermal_to_14mev_ratio)
+            << spec.name;
+    }
+}
+
+TEST(Weulersse, MemoryPartsHaveNoDueChannel) {
+    const auto part =
+        devices::build_memory_part(devices::weulersse_parts().front());
+    const auto rotax = physics::rotax_spectrum();
+    EXPECT_DOUBLE_EQ(part.error_rate(devices::ErrorType::kDue, *rotax), 0.0);
+}
+
+TEST(Weulersse, Validation) {
+    devices::MemoryPartSpec bad;
+    EXPECT_THROW(devices::build_memory_part(bad), std::invalid_argument);
+}
+
+// --- CSV export ------------------------------------------------------------------------
+
+TEST(Csv, EscapesSpecials) {
+    EXPECT_EQ(core::csv_escape("plain"), "plain");
+    EXPECT_EQ(core::csv_escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(core::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, TableRoundTrip) {
+    core::TablePrinter table({"device", "sigma"});
+    table.add_row({"K20, rev A", "1.0e-8"});
+    std::ostringstream oss;
+    table.print_csv(oss);
+    EXPECT_EQ(oss.str(), "device,sigma\n\"K20, rev A\",1.0e-8\n");
+}
+
+}  // namespace
+}  // namespace tnr

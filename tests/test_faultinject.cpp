@@ -1,0 +1,147 @@
+// Tests for the SWIFI engine: classification correctness, directed
+// injection, and the vulnerability table used by beam campaigns.
+
+#include <gtest/gtest.h>
+
+#include "faultinject/avf.hpp"
+#include "faultinject/injector.hpp"
+#include "workloads/mxm.hpp"
+#include "workloads/suite.hpp"
+
+namespace tnr::faultinject {
+namespace {
+
+TEST(Injector, OutcomeNames) {
+    EXPECT_STREQ(to_string(Outcome::kMasked), "masked");
+    EXPECT_STREQ(to_string(Outcome::kSdc), "SDC");
+    EXPECT_STREQ(to_string(Outcome::kDueCrash), "DUE(crash)");
+    EXPECT_STREQ(to_string(Outcome::kDueHang), "DUE(hang)");
+}
+
+TEST(Injector, ProducesValidRecords) {
+    auto w = workloads::make_mxm(16);
+    FaultInjector injector(100);
+    for (int i = 0; i < 50; ++i) {
+        const InjectionRecord rec = injector.inject_once(*w);
+        EXPECT_FALSE(rec.segment.empty());
+        EXPECT_LT(rec.bit, 8);
+    }
+}
+
+TEST(Injector, ControlSegmentInjectionIsDue) {
+    auto w = workloads::make_mxm(16);
+    FaultInjector injector(101);
+    // Directed injection into the control block (segment 3 for MxM).
+    const auto segments_count = [&] {
+        w->reset();
+        return w->segments().size();
+    }();
+    ASSERT_EQ(segments_count, 4u);
+    const InjectionRecord rec = injector.inject_at(*w, 3, 0, 0);
+    EXPECT_EQ(rec.segment, "control");
+    EXPECT_EQ(rec.outcome, Outcome::kDueCrash);
+}
+
+TEST(Injector, OutputInjectionIsSdc) {
+    auto w = workloads::make_mxm(16);
+    FaultInjector injector(102);
+    // Injecting into C (segment 2) before the run gets overwritten -> the
+    // run recomputes C, so this is masked. That is the correct semantics.
+    const InjectionRecord rec = injector.inject_at(*w, 2, 10, 3);
+    EXPECT_EQ(rec.outcome, Outcome::kMasked);
+}
+
+TEST(Injector, InputInjectionHighBitIsSdc) {
+    auto w = workloads::make_mxm(16);
+    FaultInjector injector(103);
+    // Byte 3 bit 6: high exponent bit of A[0] -> large corruption -> SDC.
+    const InjectionRecord rec = injector.inject_at(*w, 0, 3, 6);
+    EXPECT_EQ(rec.outcome, Outcome::kSdc);
+}
+
+TEST(Injector, InjectAtValidation) {
+    auto w = workloads::make_mxm(16);
+    FaultInjector injector(104);
+    EXPECT_THROW(injector.inject_at(*w, 99, 0, 0), std::out_of_range);
+    EXPECT_THROW(injector.inject_at(*w, 0, 1u << 30, 0), std::out_of_range);
+    EXPECT_THROW(injector.inject_at(*w, 0, 0, 8), std::out_of_range);
+}
+
+TEST(Injector, DeterministicForSeed) {
+    auto w1 = workloads::make_mxm(16);
+    auto w2 = workloads::make_mxm(16);
+    FaultInjector a(7);
+    FaultInjector b(7);
+    for (int i = 0; i < 20; ++i) {
+        const auto ra = a.inject_once(*w1);
+        const auto rb = b.inject_once(*w2);
+        EXPECT_EQ(ra.segment, rb.segment);
+        EXPECT_EQ(ra.byte_offset, rb.byte_offset);
+        EXPECT_EQ(ra.bit, rb.bit);
+        EXPECT_EQ(ra.outcome, rb.outcome);
+    }
+}
+
+TEST(Avf, TalliesAddUp) {
+    const auto result = measure_avf(workloads::entry_by_name("MxM"), 200, 1);
+    EXPECT_EQ(result.trials, 200u);
+    EXPECT_EQ(result.masked + result.sdc + result.due_crash + result.due_hang,
+              200u);
+}
+
+TEST(Avf, MxmHasSubstantialSdcRate) {
+    // Almost all of MxM's state is live input/output data: faults in A/B
+    // propagate, faults in C get overwritten. Expect a meaningful SDC rate.
+    const auto result = measure_avf(workloads::entry_by_name("MxM"), 300, 2);
+    EXPECT_GT(result.avf_sdc(), 0.2);
+}
+
+TEST(Avf, BfsHasDetectedFaults) {
+    // Graph codes crash on corrupted indices: BFS must show DUEs.
+    const auto result = measure_avf(workloads::entry_by_name("BFS"), 400, 3);
+    EXPECT_GT(result.avf_due(), 0.01);
+}
+
+TEST(Avf, SegmentBreakdownPresent) {
+    const auto result = measure_avf(workloads::entry_by_name("MxM"), 300, 4);
+    if (result.sdc > 0) {
+        EXPECT_FALSE(result.sdc_by_segment.empty());
+    }
+}
+
+TEST(Avf, ZeroTrialsRejected) {
+    EXPECT_THROW(measure_avf(workloads::entry_by_name("MxM"), 0, 1),
+                 std::invalid_argument);
+}
+
+TEST(VulnerabilityTable, UniformIsAllOnes) {
+    const auto table =
+        VulnerabilityTable::uniform(workloads::heterogeneous_suite());
+    EXPECT_DOUBLE_EQ(table.sdc_weight("SC"), 1.0);
+    EXPECT_DOUBLE_EQ(table.due_weight("BFS"), 1.0);
+}
+
+TEST(VulnerabilityTable, MeasuredWeightsAverageToOne) {
+    const auto suite = workloads::heterogeneous_suite();
+    const auto table = VulnerabilityTable::measure(suite, 150, 5);
+    double sdc_sum = 0.0;
+    double due_sum = 0.0;
+    for (const auto& entry : suite) {
+        sdc_sum += table.sdc_weight(entry.name);
+        due_sum += table.due_weight(entry.name);
+    }
+    EXPECT_NEAR(sdc_sum / 3.0, 1.0, 1e-9);
+    EXPECT_NEAR(due_sum / 3.0, 1.0, 1e-9);
+}
+
+TEST(VulnerabilityTable, UnknownWorkloadThrows) {
+    const auto table = VulnerabilityTable::uniform(workloads::hpc_suite());
+    EXPECT_THROW((void)table.sdc_weight("nonexistent"), std::out_of_range);
+}
+
+TEST(VulnerabilityTable, EmptySuiteRejected) {
+    EXPECT_THROW(VulnerabilityTable::measure({}, 10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tnr::faultinject

@@ -1,0 +1,116 @@
+// Heterogeneous (CPU+GPU) composition tests: endpoint consistency, the
+// 50/50 DUE-ratio dip (the paper's 1.18 observation), and the sweep shape.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "devices/catalog.hpp"
+#include "devices/heterogeneous.hpp"
+#include "physics/beamline_spectra.hpp"
+#include "physics/units.hpp"
+
+namespace tnr::devices {
+namespace {
+
+Device cpu_part() {
+    return build_calibrated(spec_by_name("AMD APU (CPU)"));
+}
+Device gpu_part() {
+    return build_calibrated(spec_by_name("AMD APU (GPU)"));
+}
+
+/// Reported HE/thermal DUE ratio of a device (analytic, noise-free).
+double due_ratio(const Device& d) {
+    const auto chipir = physics::chipir_spectrum();
+    const auto rotax = physics::rotax_spectrum();
+    const double sigma_he = d.high_energy_response(ErrorType::kDue)
+                                .event_rate(*chipir) /
+                            physics::kChipIrHighEnergyFlux;
+    const double sigma_th =
+        d.error_rate(ErrorType::kDue, *rotax) / physics::kRotaxTotalFlux;
+    return sigma_he / sigma_th;
+}
+
+TEST(Heterogeneous, EndpointsReproduceParts) {
+    const auto cpu = cpu_part();
+    const auto gpu = gpu_part();
+    const auto as_cpu = compose_heterogeneous(cpu, gpu, 0.0);
+    const auto as_gpu = compose_heterogeneous(cpu, gpu, 1.0);
+    const auto rotax = physics::rotax_spectrum();
+    EXPECT_NEAR(as_cpu.error_rate(ErrorType::kSdc, *rotax),
+                cpu.error_rate(ErrorType::kSdc, *rotax), 1e-9);
+    EXPECT_NEAR(as_gpu.error_rate(ErrorType::kSdc, *rotax),
+                gpu.error_rate(ErrorType::kSdc, *rotax), 1e-9);
+    // No sync channel at the endpoints: DUE ratios match the parts.
+    EXPECT_NEAR(due_ratio(as_cpu), due_ratio(cpu), 0.01);
+    EXPECT_NEAR(due_ratio(as_gpu), due_ratio(gpu), 0.01);
+}
+
+TEST(Heterogeneous, CalibratedSyncReproducesPaperRatio) {
+    const auto sync = calibrated_apu_sync_channel();
+    const auto composed =
+        compose_heterogeneous(cpu_part(), gpu_part(), 0.5, sync);
+    // The catalog's measured CPU+GPU DUE ratio is 1.18; the composed model
+    // must land there (small drift from beam contamination allowed).
+    EXPECT_NEAR(due_ratio(composed), 1.18, 0.08);
+}
+
+TEST(Heterogeneous, SyncChannelIsSubstantial) {
+    // "The mechanism responsible for communication and synchronism ... is
+    // particularly sensitive": the calibrated sync sigma is comparable to
+    // the parts' own DUE sigma.
+    const auto sync = calibrated_apu_sync_channel();
+    EXPECT_GT(sync.sigma_he_due_cm2, 5.0e-9);
+    EXPECT_LT(sync.sigma_he_due_cm2, 1.0e-7);
+}
+
+TEST(Heterogeneous, DueRatioDipsAtEvenSplit) {
+    const auto cpu = cpu_part();
+    const auto gpu = gpu_part();
+    const auto sync = calibrated_apu_sync_channel();
+    const double at_half = due_ratio(compose_heterogeneous(cpu, gpu, 0.5, sync));
+    for (const double f : {0.0, 0.1, 0.9, 1.0}) {
+        EXPECT_GT(due_ratio(compose_heterogeneous(cpu, gpu, f, sync)),
+                  at_half)
+            << "f=" << f;
+    }
+}
+
+TEST(Heterogeneous, SdcChannelUnaffectedBySync) {
+    // The sync channel is DUE-only: composed SDC rates are the pure blend.
+    const auto cpu = cpu_part();
+    const auto gpu = gpu_part();
+    const auto rotax = physics::rotax_spectrum();
+    const auto with_sync =
+        compose_heterogeneous(cpu, gpu, 0.5, calibrated_apu_sync_channel());
+    const auto without = compose_heterogeneous(cpu, gpu, 0.5, {0.0, 1.0});
+    EXPECT_NEAR(with_sync.error_rate(ErrorType::kSdc, *rotax),
+                without.error_rate(ErrorType::kSdc, *rotax), 1e-12);
+}
+
+TEST(Heterogeneous, Validation) {
+    const auto cpu = cpu_part();
+    const auto gpu = gpu_part();
+    EXPECT_THROW(compose_heterogeneous(cpu, gpu, -0.1), std::invalid_argument);
+    EXPECT_THROW(compose_heterogeneous(cpu, gpu, 1.1), std::invalid_argument);
+    SyncChannel bad;
+    bad.ratio_due = 0.0;
+    EXPECT_THROW(compose_heterogeneous(cpu, gpu, 0.5, bad),
+                 std::invalid_argument);
+}
+
+TEST(Blend, WeightedSumsAndZeroHandling) {
+    const auto a = standard_he_channel(1.0e-8);
+    const auto b = standard_he_channel(3.0e-8);
+    const auto c = blend(a, b, 0.5, 0.5);
+    EXPECT_NEAR(c.sigma_sat(), 0.5 * a.sigma_sat() + 0.5 * b.sigma_sat(),
+                1e-12 * c.sigma_sat());
+    const auto from_zero = blend(WeibullResponse(), b, 0.7, 0.5);
+    EXPECT_NEAR(from_zero.sigma_sat(), 0.5 * b.sigma_sat(),
+                1e-12 * b.sigma_sat());
+    EXPECT_THROW(blend(a, b, -1.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tnr::devices

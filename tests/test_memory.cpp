@@ -1,0 +1,355 @@
+// Tests for the DRAM substrate: array fault mechanics, the Poisson fault
+// process, and the correct-loop tester's classification fidelity against
+// ground truth.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "memory/correct_loop.hpp"
+#include "memory/dram_array.hpp"
+#include "memory/dram_config.hpp"
+#include "memory/fault_process.hpp"
+#include "physics/beamline_spectra.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace tnr::memory {
+namespace {
+
+TEST(DramConfig, PaperModuleParameters) {
+    const DramConfig d3 = ddr3_module();
+    const DramConfig d4 = ddr4_module();
+    EXPECT_DOUBLE_EQ(d3.capacity_gbit, 32.0);
+    EXPECT_DOUBLE_EQ(d4.capacity_gbit, 64.0);
+    EXPECT_DOUBLE_EQ(d3.voltage, 1.5);
+    EXPECT_DOUBLE_EQ(d4.voltage, 1.2);
+    EXPECT_EQ(d3.dominant_direction, FlipDirection::kOneToZero);
+    EXPECT_EQ(d4.dominant_direction, FlipDirection::kZeroToOne);
+}
+
+TEST(DramConfig, Ddr4OrderOfMagnitudeLessSensitive) {
+    const double ratio = ddr3_module().sigma_total_per_gbit() /
+                         ddr4_module().sigma_total_per_gbit();
+    EXPECT_GT(ratio, 7.0);
+    EXPECT_LT(ratio, 13.0);
+}
+
+TEST(DramConfig, PermanentFractions) {
+    // DDR3: <30% permanent; DDR4: >50% permanent (of per-Gbit sigma).
+    const DramConfig d3 = ddr3_module();
+    const DramConfig d4 = ddr4_module();
+    const auto frac = [](const DramConfig& c) {
+        return c.sigma_per_gbit[static_cast<std::size_t>(
+                   FaultCategory::kPermanent)] /
+               c.sigma_total_per_gbit();
+    };
+    EXPECT_LT(frac(d3), 0.30);
+    EXPECT_GT(frac(d4), 0.50);
+}
+
+TEST(DramConfig, CategoryNames) {
+    EXPECT_STREQ(to_string(FaultCategory::kTransient), "transient");
+    EXPECT_STREQ(to_string(FaultCategory::kSefi), "SEFI");
+    EXPECT_STREQ(to_string(FlipDirection::kOneToZero), "1->0");
+}
+
+TEST(DramConfig, SramIsSymmetricAndTransientDominated) {
+    const DramConfig sram = sram_module();
+    EXPECT_DOUBLE_EQ(sram.dominant_fraction, 0.5);
+    const double transient_share =
+        sram.sigma_per_gbit[static_cast<std::size_t>(FaultCategory::kTransient)] /
+        sram.sigma_total_per_gbit();
+    EXPECT_GT(transient_share, 0.9);
+    // SRAM per-Gbit sensitivity far above DRAM (the reason caches need ECC).
+    EXPECT_GT(sram.sigma_total_per_gbit(),
+              10.0 * ddr3_module().sigma_total_per_gbit());
+}
+
+TEST(CorrectLoopSram, SymmetricFlipsObserved) {
+    // Both patterns merged: SRAM shows ~50/50 flip directions (vs >95%
+    // asymmetry on DDR) — the signature the paper uses to infer
+    // complementary cell logic on DDR parts.
+    CorrectLoopConfig ones;
+    ones.array_cells = 1u << 18;
+    ones.pass_interval_s = 5.0;
+    CorrectLoopConfig zeros = ones;
+    zeros.pattern_ones = false;
+    // SRAM module sigma is large; a gentle beam keeps events per pass low.
+    CorrectLoopTester t1(sram_module(), ones, 5.0e7, 170);
+    CorrectLoopTester t0(sram_module(), zeros, 5.0e7, 171);
+    const auto r1 = t1.run(4800.0);
+    const auto r0 = t0.run(4800.0);
+    const double oz = static_cast<double>(r1.flips_one_to_zero +
+                                          r0.flips_one_to_zero);
+    const double zo = static_cast<double>(r1.flips_zero_to_one +
+                                          r0.flips_zero_to_one);
+    ASSERT_GT(oz + zo, 100.0);
+    EXPECT_NEAR(oz / (oz + zo), 0.5, 0.09);
+}
+
+// --- DramArray --------------------------------------------------------------------
+
+TEST(DramArray, BackgroundPattern) {
+    stats::Rng rng(60);
+    DramArray ones(1000, true);
+    DramArray zeros(1000, false);
+    for (std::size_t c = 0; c < 1000; c += 97) {
+        EXPECT_TRUE(ones.read(c, rng));
+        EXPECT_FALSE(zeros.read(c, rng));
+    }
+}
+
+TEST(DramArray, TransientRespectsDirection) {
+    stats::Rng rng(61);
+    DramArray array(100, true);  // all ones.
+    // 0->1 flip on an all-ones background is a no-op.
+    EXPECT_FALSE(array.apply_transient(5, FlipDirection::kZeroToOne));
+    EXPECT_TRUE(array.read(5, rng));
+    // 1->0 flips the bit.
+    EXPECT_TRUE(array.apply_transient(5, FlipDirection::kOneToZero));
+    EXPECT_FALSE(array.read(5, rng));
+}
+
+TEST(DramArray, RewriteClearsTransient) {
+    stats::Rng rng(62);
+    DramArray array(100, true);
+    array.apply_transient(7, FlipDirection::kOneToZero);
+    array.rewrite(7);
+    EXPECT_TRUE(array.read(7, rng));
+}
+
+TEST(DramArray, PermanentSurvivesRewrite) {
+    stats::Rng rng(63);
+    DramArray array(100, true);
+    array.apply_permanent(3, FlipDirection::kOneToZero);  // stuck at 0.
+    array.rewrite(3);
+    EXPECT_FALSE(array.read(3, rng));
+    array.rewrite_all();
+    EXPECT_FALSE(array.read(3, rng));
+    EXPECT_TRUE(array.is_stuck(3));
+}
+
+TEST(DramArray, AnnealClearsPermanent) {
+    stats::Rng rng(64);
+    DramArray array(100, true);
+    array.apply_permanent(3, FlipDirection::kOneToZero);
+    array.anneal();
+    array.rewrite(3);
+    EXPECT_TRUE(array.read(3, rng));
+    EXPECT_FALSE(array.is_stuck(3));
+}
+
+TEST(DramArray, IntermittentIsFlaky) {
+    stats::Rng rng(65);
+    DramArray array(100, true);
+    array.apply_intermittent(9, 0.5, FlipDirection::kOneToZero);
+    int wrong = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (!array.read(9, rng)) ++wrong;
+    }
+    EXPECT_GT(wrong, 350);
+    EXPECT_LT(wrong, 650);
+    EXPECT_TRUE(array.is_intermittent(9));
+}
+
+TEST(DramArray, SefiCorruptsBurst) {
+    stats::Rng rng(66);
+    DramArray array(4096, true);
+    array.apply_sefi(100, 512);
+    const auto wrong = array.scan_errors(rng);
+    EXPECT_EQ(wrong.size(), 512u);
+    // Rewrite recovers everything.
+    array.rewrite_all();
+    EXPECT_TRUE(array.scan_errors(rng).empty());
+}
+
+TEST(DramArray, ScanMatchesPointReads) {
+    stats::Rng rng(67);
+    DramArray array(2048, false);
+    array.apply_transient(17, FlipDirection::kZeroToOne);
+    array.apply_permanent(900, FlipDirection::kZeroToOne);
+    const auto wrong = array.scan_errors(rng);
+    ASSERT_EQ(wrong.size(), 2u);
+    EXPECT_EQ(wrong[0], 17u);
+    EXPECT_EQ(wrong[1], 900u);
+}
+
+TEST(DramArray, Validation) {
+    EXPECT_THROW(DramArray(0, true), std::invalid_argument);
+    DramArray array(10, true);
+    stats::Rng rng(68);
+    EXPECT_THROW((void)array.read(10, rng), std::out_of_range);
+    EXPECT_THROW(array.apply_intermittent(5, 0.0, FlipDirection::kOneToZero), std::invalid_argument);
+    EXPECT_THROW(array.apply_permanent(10, FlipDirection::kOneToZero),
+                 std::out_of_range);
+}
+
+// --- FaultProcess -----------------------------------------------------------------
+
+TEST(FaultProcess, RatesMatchConfiguration) {
+    const DramConfig cfg = ddr3_module();
+    const double flux = physics::kRotaxTotalFlux;
+    DramArray array(1u << 20, true);
+    FaultProcess process(cfg, flux, 70);
+    const double expected_rate =
+        cfg.sigma_module(FaultCategory::kTransient) * flux;
+    EXPECT_NEAR(process.category_rate(FaultCategory::kTransient, array),
+                expected_rate, 1e-12);
+}
+
+TEST(FaultProcess, FluenceAccumulates) {
+    DramArray array(1000, true);
+    FaultProcess process(ddr3_module(), 1.0e6, 71);
+    process.advance(array, 10.0);
+    EXPECT_NEAR(process.fluence(), 1.0e7, 1.0);
+}
+
+TEST(FaultProcess, EventCountIsPoissonLike) {
+    const DramConfig cfg = ddr3_module();
+    DramArray array(1u << 20, true);
+    FaultProcess process(cfg, physics::kRotaxTotalFlux, 72);
+    // Long exposure: total faults ~ rate * t.
+    const double t = 3000.0;
+    const auto faults = process.advance(array, t);
+    double expected = 0.0;
+    for (std::size_t c = 0; c < kFaultCategoryCount; ++c) {
+        expected +=
+            process.category_rate(static_cast<FaultCategory>(c), array) * t;
+    }
+    EXPECT_NEAR(static_cast<double>(faults.size()), expected,
+                5.0 * std::sqrt(expected) + 1.0);
+}
+
+TEST(FaultProcess, DirectionAsymmetryRespected) {
+    const DramConfig cfg = ddr3_module();  // 96% 1->0.
+    DramArray array(1u << 20, true);
+    FaultProcess process(cfg, 1.0e9, 73);  // hot beam for statistics.
+    process.advance(array, 10.0);
+    std::size_t one_to_zero = 0;
+    std::size_t total = 0;
+    for (const auto& f : process.history()) {
+        ++total;
+        if (f.direction == FlipDirection::kOneToZero) ++one_to_zero;
+    }
+    ASSERT_GT(total, 100u);
+    EXPECT_NEAR(static_cast<double>(one_to_zero) / static_cast<double>(total),
+                0.96, 0.03);
+}
+
+TEST(FaultProcess, InterArrivalsAreExponential) {
+    // The fault stream must be a genuine Poisson process: inter-arrival
+    // times pass a K-S test against Exponential(total rate).
+    const DramConfig cfg = ddr3_module();
+    DramArray array(1u << 20, true);
+    FaultProcess process(cfg, 2.0e8, 74);
+    process.advance(array, 600.0);
+    const auto& history = process.history();
+    ASSERT_GT(history.size(), 500u);
+    std::vector<double> gaps;
+    std::vector<double> times;
+    for (const auto& f : history) times.push_back(f.time_s);
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        gaps.push_back(times[i] - times[i - 1]);
+    }
+    double rate = 0.0;
+    for (std::size_t c = 0; c < kFaultCategoryCount; ++c) {
+        rate += process.category_rate(static_cast<FaultCategory>(c), array);
+    }
+    const auto ks = stats::ks_test_exponential(gaps, rate);
+    EXPECT_GT(ks.p_value, 0.001);
+}
+
+TEST(FaultProcess, Validation) {
+    EXPECT_THROW(FaultProcess(ddr3_module(), 0.0, 1), std::invalid_argument);
+    DramArray array(10, true);
+    FaultProcess process(ddr3_module(), 1.0, 1);
+    EXPECT_THROW(process.advance(array, -1.0), std::invalid_argument);
+}
+
+// --- CorrectLoopTester ------------------------------------------------------------
+
+TEST(CorrectLoop, ClassifiesGroundTruth) {
+    // A hot beam, short run: the tester's classifications should track the
+    // injected ground truth closely.
+    CorrectLoopConfig loop;
+    loop.array_cells = 1u << 18;
+    loop.pass_interval_s = 5.0;
+    CorrectLoopTester tester(ddr3_module(), loop, 2.0e7, 80);
+    const CorrectLoopReport report = tester.run(600.0);
+
+    ASSERT_GT(report.total_errors(), 50u);
+    // All four categories observed.
+    for (std::size_t c = 0; c < kFaultCategoryCount; ++c) {
+        EXPECT_GT(report.count_by_category[c], 0u)
+            << to_string(static_cast<FaultCategory>(c));
+    }
+}
+
+TEST(CorrectLoop, Ddr3PermanentsUnderThirtyPercent) {
+    CorrectLoopConfig loop;
+    loop.array_cells = 1u << 18;
+    loop.pass_interval_s = 5.0;
+    CorrectLoopTester tester(ddr3_module(), loop, 2.0e7, 81);
+    const CorrectLoopReport report = tester.run(900.0);
+    ASSERT_GT(report.total_errors(), 100u);
+    EXPECT_LT(report.permanent_fraction(), 0.40);
+}
+
+TEST(CorrectLoop, Ddr3DominantDirectionOneToZero) {
+    CorrectLoopConfig loop;
+    loop.array_cells = 1u << 18;
+    loop.pattern_ones = true;  // all-ones background sees 1->0 flips.
+    CorrectLoopTester tester(ddr3_module(), loop, 2.0e7, 82);
+    const CorrectLoopReport report = tester.run(600.0);
+    ASSERT_GT(report.flips_one_to_zero + report.flips_zero_to_one, 20u);
+    EXPECT_GT(report.dominant_direction_fraction(), 0.9);
+}
+
+TEST(CorrectLoop, SefiEventsAreMultiBit) {
+    CorrectLoopConfig loop;
+    loop.array_cells = 1u << 18;
+    CorrectLoopTester tester(ddr3_module(), loop, 4.0e7, 83);
+    const CorrectLoopReport report = tester.run(600.0);
+    for (const auto& err : report.errors) {
+        if (err.classified == FaultCategory::kSefi) {
+            EXPECT_GE(err.corrupted_cells, loop.sefi_threshold);
+        } else {
+            EXPECT_EQ(err.corrupted_cells, 1u);
+        }
+    }
+}
+
+TEST(CorrectLoop, CrossSectionRecoversConfiguredSigma) {
+    // The estimator sigma = count / (fluence * Gbit) must recover the
+    // configured per-Gbit transient cross section within Poisson noise.
+    CorrectLoopConfig loop;
+    loop.array_cells = 1u << 18;
+    loop.pass_interval_s = 5.0;
+    const DramConfig cfg = ddr3_module();
+    CorrectLoopTester tester(cfg, loop, 2.0e7, 84);
+    const CorrectLoopReport report = tester.run(1200.0);
+    const double sigma_meas = report.sigma_per_gbit(FaultCategory::kTransient);
+    const double sigma_true = cfg.sigma_per_gbit[static_cast<std::size_t>(
+        FaultCategory::kTransient)];
+    // The all-ones pattern only sees the dominant (96%) direction.
+    const auto ci = report.sigma_ci(FaultCategory::kTransient);
+    EXPECT_LT(ci.lower, sigma_true);
+    EXPECT_GT(ci.upper, 0.5 * sigma_true);
+    EXPECT_NEAR(sigma_meas, sigma_true * 0.96, 0.35 * sigma_true);
+}
+
+TEST(CorrectLoop, Validation) {
+    CorrectLoopConfig loop;
+    loop.array_cells = 0;
+    EXPECT_THROW(CorrectLoopTester(ddr3_module(), loop, 1.0, 1),
+                 std::invalid_argument);
+    CorrectLoopConfig ok;
+    CorrectLoopTester tester(ddr3_module(), ok, 1.0, 1);
+    EXPECT_THROW((void)tester.run(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tnr::memory

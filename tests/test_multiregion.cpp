@@ -1,0 +1,155 @@
+// Multi-region transport tests: consistency with the single-slab engine,
+// vacuum gaps, layered shields (ordering matters), absorption tallies, and
+// the mechanistic Tin-II geometry (water box raises the thermal absorption
+// in a detector layer).
+
+#include <gtest/gtest.h>
+
+#include "physics/beamline_spectra.hpp"
+#include "physics/multiregion.hpp"
+#include "physics/units.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::physics {
+namespace {
+
+constexpr std::uint64_t kNeutrons = 20000;
+
+TEST(Layered, SingleLayerMatchesSlabTransport) {
+    const double e = 2.0e6;
+    stats::Rng rng1(500);
+    stats::Rng rng2(500);
+    const SlabTransport slab(Material::water(), 10.0);
+    const LayeredTransport layered({Layer::slab(Material::water(), 10.0)});
+    const auto rs = slab.run_monoenergetic(e, kNeutrons, rng1);
+    const auto rl = layered.run_monoenergetic(e, kNeutrons, rng2);
+    EXPECT_NEAR(rl.transmission(), rs.transmission(), 0.02);
+    EXPECT_NEAR(rl.thermal_albedo(), rs.thermal_albedo(), 0.02);
+}
+
+TEST(Layered, VacuumGapIsTransparent) {
+    const LayeredTransport layered({Layer::gap(100.0)});
+    stats::Rng rng(501);
+    const auto r = layered.run_monoenergetic(0.0253, kNeutrons, rng);
+    EXPECT_EQ(r.transmitted, kNeutrons);
+}
+
+TEST(Layered, GapBetweenSlabsPreservesPhysics) {
+    // [water 5 | gap 50 | water 5] transmits like... less than a single
+    // 5 cm slab, more than a 10 cm slab is NOT guaranteed in 1-D with
+    // backscatter; assert conservation + monotonicity vs the thicker slab.
+    stats::Rng rng(502);
+    const LayeredTransport gap_stack({Layer::slab(Material::water(), 5.0),
+                                      Layer::gap(50.0),
+                                      Layer::slab(Material::water(), 5.0)});
+    const auto r = gap_stack.run_monoenergetic(2.0e6, kNeutrons, rng);
+    EXPECT_EQ(r.transmitted + r.reflected + r.absorbed + r.lost, r.total);
+    const LayeredTransport thin({Layer::slab(Material::water(), 5.0)});
+    const auto r_thin = thin.run_monoenergetic(2.0e6, kNeutrons, rng);
+    EXPECT_LT(r.transmission(), r_thin.transmission());
+}
+
+TEST(Layered, AbsorptionTalliesPerLayer) {
+    // Thermal beam onto [poly 2 | cadmium 0.05]: the poly scatters, the Cd
+    // eats — absorption should concentrate in the Cd layer relative to its
+    // thickness.
+    stats::Rng rng(503);
+    const LayeredTransport stack({Layer::slab(Material::polyethylene(), 2.0),
+                                  Layer::slab(Material::cadmium(), 0.05)});
+    const auto r = stack.run_monoenergetic(kThermalReferenceEv, kNeutrons, rng);
+    ASSERT_EQ(r.absorbed_by_layer.size(), 2u);
+    EXPECT_GT(r.absorbed_by_layer[1], r.absorbed_by_layer[0]);
+}
+
+TEST(Layered, ShieldOrderingMatters) {
+    // Fast beam. [poly 5 | Cd 0.05] moderates then absorbs the thermals in
+    // the Cd; [Cd 0.05 | poly 5] passes fast neutrons through the Cd first,
+    // then moderates — thermals leak out of the back. Thermal transmission
+    // must be lower for the moderate-then-absorb ordering.
+    stats::Rng rng(504);
+    const LayeredTransport poly_then_cd(
+        {Layer::slab(Material::polyethylene(), 5.0),
+         Layer::slab(Material::cadmium(), 0.05)});
+    const LayeredTransport cd_then_poly(
+        {Layer::slab(Material::cadmium(), 0.05),
+         Layer::slab(Material::polyethylene(), 5.0)});
+    const auto r1 = poly_then_cd.run_monoenergetic(2.0e6, kNeutrons, rng);
+    const auto r2 = cd_then_poly.run_monoenergetic(2.0e6, kNeutrons, rng);
+    EXPECT_LT(r1.thermal_transmission(), 0.5 * r2.thermal_transmission());
+}
+
+TEST(Layered, SpectrumRunConserves) {
+    stats::Rng rng(505);
+    const auto spectrum = chipir_spectrum();
+    const LayeredTransport stack({Layer::slab(Material::concrete(), 10.0),
+                                  Layer::gap(5.0),
+                                  Layer::slab(Material::water(), 5.0)});
+    const auto r = stack.run_spectrum(*spectrum, 5000, rng);
+    EXPECT_EQ(r.total, 5000u);
+    EXPECT_EQ(r.transmitted + r.reflected + r.absorbed + r.lost, r.total);
+}
+
+TEST(Layered, Validation) {
+    EXPECT_THROW(LayeredTransport({}), std::invalid_argument);
+    EXPECT_THROW(LayeredTransport({Layer::slab(Material::water(), 0.0)}),
+                 std::invalid_argument);
+}
+
+// --- Mechanistic Tin-II geometry ---------------------------------------------------
+
+/// Absorptions in a thin borated "detector" layer standing over a concrete
+/// floor, with and without a water box above — the Fig. 6 experiment as a
+/// transport problem rather than an assumed modifier. The sky delivers fast
+/// + epithermal neutrons only: the ground-level *thermal* field is locally
+/// produced, here by the concrete floor's albedo (and, with the box in
+/// place, by moderation in the water and reflection of the floor's upward
+/// thermal leakage).
+double detector_absorptions(bool with_water, std::uint64_t seed) {
+    std::vector<Layer> layers;
+    if (with_water) layers.push_back(Layer::slab(Material::water(), 5.08));
+    layers.push_back(Layer::gap(30.0));
+    layers.push_back(Layer::slab(Material::borated_poly(), 0.3));  // detector.
+    layers.push_back(Layer::gap(10.0));
+    layers.push_back(Layer::slab(Material::concrete(), 40.0));  // floor.
+    const std::size_t detector_layer = with_water ? 2 : 1;
+
+    const LayeredTransport stack(std::move(layers));
+    stats::Rng rng(seed);
+    std::vector<std::shared_ptr<const Spectrum>> parts;
+    const AtmosphericSpectrum reference(1.0);
+    parts.push_back(std::make_shared<AtmosphericSpectrum>(
+        (13.0 / 3600.0) / reference.high_energy_flux()));
+    parts.push_back(std::make_shared<EpithermalSpectrum>(4.0 / 3600.0,
+                                                         kThermalCutoffEv,
+                                                         1.0e6));
+    const CompositeSpectrum sky("ground-level sky", std::move(parts));
+    const auto r = stack.run_spectrum(sky, 60000, rng);
+    return static_cast<double>(r.absorbed_by_layer[detector_layer]);
+}
+
+TEST(Layered, WaterBoxRaisesDetectorThermalCount) {
+    const double without = detector_absorptions(false, 600);
+    const double with = detector_absorptions(true, 600);
+    ASSERT_GT(without, 500.0);
+    const double boost = with / without;
+    // Full 1-D coverage over-weights the box's solid angle; the raw boost
+    // lands in the tens of percent (paper's measured value: +24% with a
+    // box covering part of the detector's acceptance).
+    EXPECT_GT(boost, 1.2);
+    EXPECT_LT(boost, 2.0);
+}
+
+TEST(Layered, SolidAngleCorrectedBoostNearPaperValue) {
+    const double without = detector_absorptions(false, 601);
+    const double with = detector_absorptions(true, 601);
+    const double raw_boost = with / without - 1.0;
+    // A box over the detector intercepts roughly the upper hemisphere's
+    // core; with fractional coverage f the observed step is f * raw.
+    const double coverage = 0.45;
+    const double corrected = coverage * raw_boost;
+    EXPECT_GT(corrected, 0.10);
+    EXPECT_LT(corrected, 0.45);
+}
+
+}  // namespace
+}  // namespace tnr::physics

@@ -1,0 +1,318 @@
+// Tests for tnr::physics: spectra (shapes, integrals, sampling), microscopic
+// cross sections (1/v law, Cd edge), materials, and the beamline factories.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "physics/beamline_spectra.hpp"
+#include "physics/cross_sections.hpp"
+#include "physics/materials.hpp"
+#include "physics/spectrum.hpp"
+#include "physics/units.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace tnr::physics {
+namespace {
+
+// --- Cross sections -----------------------------------------------------------
+
+TEST(CrossSections, OneOverVAtReference) {
+    EXPECT_DOUBLE_EQ(one_over_v(1000.0, kThermalReferenceEv), 1000.0);
+}
+
+TEST(CrossSections, OneOverVScaling) {
+    // 4x the energy -> half the cross section.
+    EXPECT_NEAR(one_over_v(1000.0, 4.0 * kThermalReferenceEv), 500.0, 1e-9);
+}
+
+TEST(CrossSections, B10ReferenceValue) {
+    EXPECT_NEAR(b10_capture_barns(kThermalReferenceEv), 3837.0, 1e-6);
+}
+
+TEST(CrossSections, He3ReferenceValue) {
+    EXPECT_NEAR(he3_capture_barns(kThermalReferenceEv), 5330.0, 1e-6);
+}
+
+TEST(CrossSections, CadmiumFollowsOneOverVBelowCutoff) {
+    EXPECT_NEAR(cd_absorption_barns(kThermalReferenceEv), 2450.0, 1e-6);
+    EXPECT_NEAR(cd_absorption_barns(0.1),
+                one_over_v(2450.0, 0.1), 1e-9);
+}
+
+TEST(CrossSections, CadmiumEdgeSuppressesEpithermal) {
+    // Above the 0.5 eV cutoff the absorption must fall off much faster than
+    // 1/v: at 5 eV the ratio to 1/v should be tiny.
+    const double at_5ev = cd_absorption_barns(5.0);
+    const double one_over_v_5ev = one_over_v(2450.0, 5.0);
+    EXPECT_LT(at_5ev, 0.02 * one_over_v_5ev);
+}
+
+TEST(CrossSections, CadmiumTransparentToFast) {
+    // At 1 MeV cadmium absorption is essentially gone (< 1 barn).
+    EXPECT_LT(cd_absorption_barns(1.0e6), 1.0);
+}
+
+TEST(CrossSections, ElasticEnergyFractionHydrogen) {
+    // On hydrogen a neutron loses half its energy on average.
+    EXPECT_NEAR(elastic_mean_energy_fraction(1.0), 0.5, 1e-12);
+}
+
+TEST(CrossSections, ElasticEnergyFractionHeavy) {
+    // Heavy nuclei barely moderate.
+    EXPECT_GT(elastic_mean_energy_fraction(112.0), 0.98);
+}
+
+TEST(CrossSections, XiHydrogenIsOne) {
+    EXPECT_DOUBLE_EQ(mean_log_energy_decrement(1.0), 1.0);
+}
+
+TEST(CrossSections, XiKnownValues) {
+    // Classic values: carbon 0.158, oxygen 0.120.
+    EXPECT_NEAR(mean_log_energy_decrement(12.0), 0.158, 0.002);
+    EXPECT_NEAR(mean_log_energy_decrement(16.0), 0.120, 0.002);
+}
+
+TEST(CrossSections, ScattersToThermalize) {
+    // 2 MeV -> 0.025 eV on hydrogen: ~18 collisions (textbook number).
+    const double n = scatters_to_thermalize(2.0e6, 0.025, 1.0);
+    EXPECT_NEAR(n, 18.2, 0.3);
+}
+
+TEST(CrossSections, DomainErrors) {
+    EXPECT_THROW(one_over_v(10.0, 0.0), std::domain_error);
+    EXPECT_THROW(elastic_mean_energy_fraction(0.5), std::domain_error);
+    EXPECT_THROW(scatters_to_thermalize(1.0, 2.0, 1.0), std::domain_error);
+}
+
+// --- Maxwellian spectrum --------------------------------------------------------
+
+TEST(Maxwellian, TotalFluxMatches) {
+    const MaxwellianSpectrum s(1000.0, 0.0253);
+    EXPECT_NEAR(s.total_flux(), 1000.0, 1.0);
+}
+
+TEST(Maxwellian, PeaksAtKt) {
+    const MaxwellianSpectrum s(1.0, 0.0253);
+    // dPhi/dE ∝ E exp(-E/kT) peaks exactly at kT.
+    const double at_kt = s.flux_density(0.0253);
+    EXPECT_GT(at_kt, s.flux_density(0.01));
+    EXPECT_GT(at_kt, s.flux_density(0.06));
+}
+
+TEST(Maxwellian, AllFluxIsThermal) {
+    const MaxwellianSpectrum s(500.0, 0.0253);
+    EXPECT_NEAR(s.thermal_flux(), 500.0, 1.0);
+    EXPECT_NEAR(s.high_energy_flux(), 0.0, 1e-9);
+}
+
+TEST(Maxwellian, SamplingMeanIsTwoKt) {
+    const MaxwellianSpectrum s(1.0, 0.0253);
+    stats::Rng rng(30);
+    stats::RunningStats st;
+    for (int i = 0; i < 100000; ++i) st.add(s.sample_energy(rng));
+    // Gamma(2, kT) has mean 2 kT.
+    EXPECT_NEAR(st.mean(), 2.0 * 0.0253, 0.001);
+}
+
+TEST(Maxwellian, RejectsBadParameters) {
+    EXPECT_THROW(MaxwellianSpectrum(0.0, 0.0253), std::invalid_argument);
+    EXPECT_THROW(MaxwellianSpectrum(1.0, -1.0), std::invalid_argument);
+}
+
+// --- Epithermal spectrum --------------------------------------------------------
+
+TEST(Epithermal, TotalFluxMatches) {
+    const EpithermalSpectrum s(100.0, 1.0, 1.0e6);
+    EXPECT_NEAR(s.integral_flux(1.0, 1.0e6), 100.0, 0.5);
+}
+
+TEST(Epithermal, FlatPerLethargy) {
+    const EpithermalSpectrum s(100.0, 1.0, 1.0e6);
+    // E * dPhi/dE constant for a 1/E spectrum.
+    EXPECT_NEAR(10.0 * s.flux_density(10.0), 1.0e4 * s.flux_density(1.0e4),
+                1e-9);
+}
+
+TEST(Epithermal, SampleWithinSupport) {
+    const EpithermalSpectrum s(1.0, 2.0, 2000.0);
+    stats::Rng rng(31);
+    for (int i = 0; i < 10000; ++i) {
+        const double e = s.sample_energy(rng);
+        EXPECT_GE(e, 2.0);
+        EXPECT_LE(e, 2000.0);
+    }
+}
+
+TEST(Epithermal, LogUniformSampling) {
+    const EpithermalSpectrum s(1.0, 1.0, 1.0e4);
+    stats::Rng rng(32);
+    int below_100 = 0;
+    constexpr int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        if (s.sample_energy(rng) < 100.0) ++below_100;
+    }
+    // Half the lethargy range lies below 100 eV.
+    EXPECT_NEAR(static_cast<double>(below_100) / n, 0.5, 0.01);
+}
+
+// --- Atmospheric spectrum -------------------------------------------------------
+
+TEST(Atmospheric, GroundLevelReferenceFlux) {
+    const AtmosphericSpectrum s(1.0);
+    // Gordon fit integral above 10 MeV ~ 3.6e-3 n/cm^2/s (~13/h at NYC).
+    const double per_hour = s.high_energy_flux() * 3600.0;
+    EXPECT_GT(per_hour, 8.0);
+    EXPECT_LT(per_hour, 25.0);
+}
+
+TEST(Atmospheric, ScaleIsLinear) {
+    const AtmosphericSpectrum s1(1.0);
+    const AtmosphericSpectrum s2(5.0);
+    EXPECT_NEAR(s2.high_energy_flux(), 5.0 * s1.high_energy_flux(), 1e-9);
+}
+
+TEST(Atmospheric, EvaporationPeakPresent) {
+    const AtmosphericSpectrum s(1.0);
+    // Lethargy flux around 1-2 MeV should exceed that at 30 MeV valley.
+    const double at_peak = 1.5e6 * s.flux_density(1.5e6);
+    const double at_valley = 3.0e7 * s.flux_density(3.0e7);
+    EXPECT_GT(at_peak, at_valley);
+}
+
+// --- Tabulated spectrum ---------------------------------------------------------
+
+TEST(Tabulated, InterpolatesLogLog) {
+    const TabulatedSpectrum s("test", {{1.0, 100.0}, {100.0, 1.0}});
+    // Log-log straight line through (1,100),(100,1): at E=10, value=10.
+    EXPECT_NEAR(s.flux_density(10.0), 10.0, 1e-9);
+}
+
+TEST(Tabulated, ZeroOutsideSupport) {
+    const TabulatedSpectrum s("test", {{1.0, 1.0}, {10.0, 1.0}});
+    EXPECT_DOUBLE_EQ(s.flux_density(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.flux_density(20.0), 0.0);
+}
+
+TEST(Tabulated, RejectsBadInput) {
+    EXPECT_THROW(TabulatedSpectrum("t", {{1.0, 1.0}}), std::invalid_argument);
+    EXPECT_THROW(TabulatedSpectrum("t", {{1.0, 1.0}, {1.0, 2.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(TabulatedSpectrum("t", {{1.0, 0.0}, {2.0, 1.0}}),
+                 std::invalid_argument);
+}
+
+// --- Composite / beamline spectra -----------------------------------------------
+
+TEST(ChipIr, PublishedFluxes) {
+    const auto s = chipir_spectrum();
+    // Phi(>10 MeV) = 5.4e6 within integration tolerance.
+    EXPECT_NEAR(s->high_energy_flux(), 5.4e6, 0.02 * 5.4e6);
+    // Thermal tail = 4e5.
+    EXPECT_NEAR(s->thermal_flux(), 4.0e5, 0.02 * 4.0e5);
+}
+
+TEST(Rotax, PublishedFlux) {
+    const auto s = rotax_spectrum();
+    EXPECT_NEAR(s->total_flux(), 2.72e6, 0.01 * 2.72e6);
+    // ROTAX is almost entirely thermal.
+    EXPECT_GT(s->thermal_flux() / s->total_flux(), 0.97);
+}
+
+TEST(ChipIr, MostlyFastRotaxMostlyThermal) {
+    // The Fig.-2 statement: "most neutrons in ROTAX are thermal and most
+    // neutrons in ChipIR are high energy" (by lethargy-weighted flux, the
+    // fast component dominates ChipIR's spectrum shape).
+    const auto chipir = chipir_spectrum();
+    const auto rotax = rotax_spectrum();
+    EXPECT_GT(chipir->high_energy_flux(), chipir->thermal_flux());
+    EXPECT_GT(rotax->thermal_flux(), 0.97 * rotax->total_flux());
+}
+
+TEST(Composite, SamplingRespectsComponentWeights) {
+    const auto s = chipir_spectrum();
+    stats::Rng rng(33);
+    int thermal = 0;
+    constexpr int n = 60000;
+    for (int i = 0; i < n; ++i) {
+        if (s->sample_energy(rng) < kThermalCutoffEv) ++thermal;
+    }
+    const double expected = s->thermal_flux() / s->total_flux();
+    EXPECT_NEAR(static_cast<double>(thermal) / n, expected, 0.01);
+}
+
+TEST(Composite, LethargyTableCoversSupport) {
+    const auto s = chipir_spectrum();
+    const auto table = s->lethargy_table(200);
+    ASSERT_EQ(table.size(), 200u);
+    EXPECT_NEAR(table.front().first, s->min_energy_ev(), 1e-9);
+    EXPECT_NEAR(table.back().first, s->max_energy_ev(),
+                1e-6 * s->max_energy_ev());
+}
+
+TEST(Terrestrial, MatchesRequestedFluxes) {
+    const auto s = terrestrial_spectrum(13.0 / 3600.0, 4.0 / 3600.0);
+    EXPECT_NEAR(s->high_energy_flux(), 13.0 / 3600.0, 0.03 * 13.0 / 3600.0);
+    EXPECT_NEAR(s->thermal_flux(), 4.0 / 3600.0, 0.03 * 4.0 / 3600.0);
+}
+
+// --- Materials -----------------------------------------------------------------
+
+TEST(Materials, WaterHydrogenDensity) {
+    const Material w = Material::water();
+    // N_H in water = 6.69e22 /cm^3.
+    double n_h = 0.0;
+    for (const auto& c : w.components()) {
+        if (c.symbol == "H") n_h = c.number_density;
+    }
+    EXPECT_NEAR(n_h, 6.69e22, 0.05e22);
+}
+
+TEST(Materials, WaterMeanFreePathThermal) {
+    const Material w = Material::water();
+    // Thermal neutron mfp in water ~ 0.6-0.8 cm (scattering dominated).
+    const double mfp = w.mean_free_path(kThermalReferenceEv);
+    EXPECT_GT(mfp, 0.3);
+    EXPECT_LT(mfp, 1.2);
+}
+
+TEST(Materials, CadmiumThermalAbsorptionDominates) {
+    const Material cd = Material::cadmium();
+    EXPECT_GT(cd.sigma_absorb(kThermalReferenceEv),
+              10.0 * cd.sigma_scatter(kThermalReferenceEv));
+}
+
+TEST(Materials, CadmiumEpithermalWindowOpen) {
+    const Material cd = Material::cadmium();
+    // At 10 eV absorption has collapsed relative to thermal.
+    EXPECT_LT(cd.sigma_absorb(10.0), 0.01 * cd.sigma_absorb(0.0253));
+}
+
+TEST(Materials, BoratedPolyAbsorbsMoreThanPlainPoly) {
+    const Material bp = Material::borated_poly();
+    const Material pe = Material::polyethylene();
+    EXPECT_GT(bp.sigma_absorb(kThermalReferenceEv),
+              50.0 * pe.sigma_absorb(kThermalReferenceEv));
+}
+
+TEST(Materials, WaterIsBestModerator) {
+    // Average xi: water (H-rich) >> concrete >> cadmium.
+    EXPECT_GT(Material::water().average_xi(),
+              Material::concrete().average_xi());
+    EXPECT_GT(Material::concrete().average_xi(),
+              Material::cadmium().average_xi());
+}
+
+TEST(Materials, AirIsNearlyTransparent) {
+    const Material air = Material::air();
+    // Macroscopic cross section of air is ~1e-4 /cm: km-scale mfp.
+    EXPECT_GT(air.mean_free_path(kThermalReferenceEv), 1.0e3);
+}
+
+TEST(Materials, SiliconModeratesWeakly) {
+    EXPECT_LT(Material::silicon().average_xi(), 0.1);
+}
+
+}  // namespace
+}  // namespace tnr::physics

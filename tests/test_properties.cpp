@@ -1,0 +1,303 @@
+// Cross-cutting property tests: invariants that must hold over whole
+// families of inputs (parameterized sweeps rather than single examples).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "devices/catalog.hpp"
+#include "memory/ecc.hpp"
+#include "physics/beamline_spectra.hpp"
+#include "physics/materials.hpp"
+#include "physics/units.hpp"
+#include "stats/poisson.hpp"
+#include "stats/rng.hpp"
+#include "stats/special_functions.hpp"
+
+namespace tnr {
+namespace {
+
+// --- Material properties over the whole library -----------------------------------
+
+struct MaterialCase {
+    const char* name;
+    std::function<physics::Material()> make;
+};
+
+class AllMaterialsTest : public ::testing::TestWithParam<MaterialCase> {};
+
+TEST_P(AllMaterialsTest, ScatteringNonIncreasingWithEnergy) {
+    const auto material = GetParam().make();
+    double last = material.sigma_scatter(1.0e-3);
+    for (double e = 1.0e-2; e < 1.0e8; e *= 10.0) {
+        const double s = material.sigma_scatter(e);
+        EXPECT_LE(s, last * 1.0001) << GetParam().name << " at " << e;
+        last = s;
+    }
+}
+
+TEST_P(AllMaterialsTest, AbsorptionNonNegativeEverywhere) {
+    const auto material = GetParam().make();
+    for (double e = 1.0e-3; e < 1.0e9; e *= 7.0) {
+        EXPECT_GE(material.sigma_absorb(e), 0.0) << GetParam().name;
+        EXPECT_GE(material.sigma_total(e), material.sigma_absorb(e));
+    }
+}
+
+TEST_P(AllMaterialsTest, MeanFreePathPositiveAndFinite) {
+    const auto material = GetParam().make();
+    for (double e : {0.0253, 1.0, 1.0e3, 1.0e6}) {
+        const double mfp = material.mean_free_path(e);
+        EXPECT_GT(mfp, 0.0) << GetParam().name;
+        EXPECT_TRUE(std::isfinite(mfp)) << GetParam().name;
+    }
+}
+
+TEST_P(AllMaterialsTest, XiWithinPhysicalBounds) {
+    const auto material = GetParam().make();
+    const double xi = material.average_xi();
+    EXPECT_GE(xi, 0.0);
+    EXPECT_LE(xi, 1.0);  // hydrogen's xi=1 is the maximum.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Library, AllMaterialsTest,
+    ::testing::Values(
+        MaterialCase{"water", physics::Material::water},
+        MaterialCase{"concrete", physics::Material::concrete},
+        MaterialCase{"polyethylene", physics::Material::polyethylene},
+        MaterialCase{"cadmium", physics::Material::cadmium},
+        MaterialCase{"borated_poly", physics::Material::borated_poly},
+        MaterialCase{"air", physics::Material::air},
+        MaterialCase{"silicon", physics::Material::silicon},
+        MaterialCase{"fr4", physics::Material::fr4},
+        MaterialCase{"aluminum", physics::Material::aluminum}),
+    [](const ::testing::TestParamInfo<MaterialCase>& info) {
+        return info.param.name;
+    });
+
+// --- Spectrum properties ------------------------------------------------------------
+
+struct SpectrumCase {
+    const char* name;
+    std::function<std::shared_ptr<const physics::Spectrum>()> make;
+};
+
+class AllSpectraTest : public ::testing::TestWithParam<SpectrumCase> {};
+
+TEST_P(AllSpectraTest, DensityNonNegativeOverSupport) {
+    const auto s = GetParam().make();
+    const double lo = s->min_energy_ev();
+    const double hi = s->max_energy_ev();
+    for (double e = lo; e <= hi; e *= 1.9) {
+        EXPECT_GE(s->flux_density(e), 0.0) << GetParam().name;
+    }
+}
+
+TEST_P(AllSpectraTest, SamplesStayWithinSupport) {
+    const auto s = GetParam().make();
+    stats::Rng rng(900);
+    for (int i = 0; i < 5000; ++i) {
+        const double e = s->sample_energy(rng);
+        EXPECT_GE(e, s->min_energy_ev() * 0.999) << GetParam().name;
+        EXPECT_LE(e, s->max_energy_ev() * 1.001) << GetParam().name;
+    }
+}
+
+TEST_P(AllSpectraTest, PartialIntegralsAddUp) {
+    const auto s = GetParam().make();
+    const double lo = s->min_energy_ev();
+    const double hi = s->max_energy_ev();
+    const double mid = std::sqrt(lo * hi);
+    const double whole = s->integral_flux(lo, hi);
+    const double parts = s->integral_flux(lo, mid) + s->integral_flux(mid, hi);
+    EXPECT_NEAR(parts, whole, 0.02 * whole) << GetParam().name;
+}
+
+TEST_P(AllSpectraTest, SampledThermalFractionMatchesIntegral) {
+    const auto s = GetParam().make();
+    stats::Rng rng(901);
+    int thermal = 0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (s->sample_energy(rng) < physics::kThermalCutoffEv) ++thermal;
+    }
+    const double expected = s->thermal_flux() / s->total_flux();
+    EXPECT_NEAR(static_cast<double>(thermal) / n, expected,
+                0.02 + 3.0 * std::sqrt(expected / n))
+        << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Library, AllSpectraTest,
+    ::testing::Values(
+        SpectrumCase{"chipir", [] { return physics::chipir_spectrum(); }},
+        SpectrumCase{"rotax", [] { return physics::rotax_spectrum(); }},
+        SpectrumCase{"dt14", [] { return physics::dt14_spectrum(); }},
+        SpectrumCase{"terrestrial",
+                     [] {
+                         return physics::terrestrial_spectrum(13.0 / 3600.0,
+                                                              4.0 / 3600.0);
+                     }},
+        SpectrumCase{"maxwellian",
+                     [] {
+                         return std::make_shared<physics::MaxwellianSpectrum>(
+                             100.0, 0.0253);
+                     }},
+        SpectrumCase{"epithermal",
+                     [] {
+                         return std::make_shared<physics::EpithermalSpectrum>(
+                             10.0, 0.5, 1.0e6);
+                     }}),
+    [](const ::testing::TestParamInfo<SpectrumCase>& info) {
+        return info.param.name;
+    });
+
+// --- Poisson interval properties ------------------------------------------------------
+
+TEST(PoissonProperties, IntervalMonotoneInCount) {
+    stats::Interval last = stats::poisson_mean_interval(0);
+    for (std::uint64_t k = 1; k < 2000; k = k * 3 / 2 + 1) {
+        const auto ci = stats::poisson_mean_interval(k);
+        EXPECT_GT(ci.lower, last.lower) << k;
+        EXPECT_GT(ci.upper, last.upper) << k;
+        last = ci;
+    }
+}
+
+TEST(PoissonProperties, RelativeWidthShrinksAsSqrtN) {
+    // Width/k ~ 4/sqrt(k) for large k: check the scaling over two decades.
+    const auto w = [](std::uint64_t k) {
+        const auto ci = stats::poisson_mean_interval(k);
+        return ci.width() / static_cast<double>(k);
+    };
+    EXPECT_NEAR(w(100) / w(10000), 10.0, 1.0);
+}
+
+TEST(PoissonProperties, GammaInverseIsMonotone) {
+    for (const double a : {0.5, 2.0, 20.0}) {
+        double last = 0.0;
+        for (double p = 0.05; p < 1.0; p += 0.1) {
+            const double x = stats::gamma_p_inv(a, p);
+            EXPECT_GT(x, last);
+            last = x;
+        }
+    }
+}
+
+// --- SECDED algebraic properties -------------------------------------------------------
+
+TEST(EccProperties, SyndromeIsLinear) {
+    // The code is linear: encode(a) XOR encode(b) is a codeword of a XOR b.
+    stats::Rng rng(902);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t a = rng.next();
+        const std::uint64_t b = rng.next();
+        const auto ca = memory::Secded::encode(a);
+        const auto cb = memory::Secded::encode(b);
+        const auto cab = memory::Secded::encode(a ^ b);
+        EXPECT_EQ(ca.data ^ cb.data, cab.data);
+        EXPECT_EQ(ca.check ^ cb.check, cab.check);
+    }
+}
+
+TEST(EccProperties, DoubleFlipSameBitIsIdentity) {
+    stats::Rng rng(903);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t data = rng.next();
+        auto word = memory::Secded::encode(data);
+        const auto bit = static_cast<std::uint8_t>(rng.uniform_index(72));
+        word.flip(bit);
+        word.flip(bit);
+        EXPECT_EQ(memory::Secded::decode(word), memory::EccOutcome::kClean);
+        EXPECT_EQ(word.data, data);
+    }
+}
+
+// --- Device model properties ------------------------------------------------------------
+
+class AllCatalogDevicesTest
+    : public ::testing::TestWithParam<devices::DeviceSpec> {};
+
+TEST_P(AllCatalogDevicesTest, ThermalScaleIsLinearInRotaxRate) {
+    const auto device = devices::build_calibrated(GetParam());
+    const auto rotax = physics::rotax_spectrum();
+    const double base = device.error_rate(devices::ErrorType::kSdc, *rotax);
+    for (const double f : {0.0, 0.5, 2.0, 8.0}) {
+        const auto scaled = device.with_thermal_scale(f);
+        EXPECT_NEAR(scaled.error_rate(devices::ErrorType::kSdc, *rotax),
+                    f * base, 1e-9 * (1.0 + f * base))
+            << GetParam().name;
+    }
+}
+
+TEST_P(AllCatalogDevicesTest, CrossSectionNonNegativeAcrossEnergies) {
+    const auto device = devices::build_calibrated(GetParam());
+    for (double e = 1.0e-3; e < 1.0e9; e *= 13.0) {
+        EXPECT_GE(device.cross_section(devices::ErrorType::kSdc, e), 0.0);
+        EXPECT_GE(device.cross_section(devices::ErrorType::kDue, e), 0.0);
+    }
+}
+
+TEST_P(AllCatalogDevicesTest, ChipIrRateExceedsPureHeChannel) {
+    // The thermal tail of ChipIR can only add events, never remove them.
+    const auto device = devices::build_calibrated(GetParam());
+    const auto chipir = physics::chipir_spectrum();
+    const double total = device.error_rate(devices::ErrorType::kSdc, *chipir);
+    const double he_only =
+        device.high_energy_response(devices::ErrorType::kSdc)
+            .event_rate(*chipir);
+    EXPECT_GE(total, he_only) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, AllCatalogDevicesTest,
+    ::testing::ValuesIn(devices::standard_specs()),
+    [](const ::testing::TestParamInfo<devices::DeviceSpec>& info) {
+        std::string name = info.param.name;
+        for (char& c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+        }
+        return name;
+    });
+
+// --- RNG statistical quality --------------------------------------------------------------
+
+TEST(RngProperties, ChiSquareUniformityOfBytes) {
+    stats::Rng rng(904);
+    std::array<std::uint64_t, 256> counts{};
+    constexpr std::uint64_t n = 1u << 20;
+    for (std::uint64_t i = 0; i < n / 8; ++i) {
+        std::uint64_t x = rng.next();
+        for (int b = 0; b < 8; ++b) {
+            ++counts[x & 0xFF];
+            x >>= 8;
+        }
+    }
+    const double expected = static_cast<double>(n) / 256.0;
+    double chi2 = 0.0;
+    for (const auto c : counts) {
+        const double d = static_cast<double>(c) - expected;
+        chi2 += d * d / expected;
+    }
+    // 255 dof: 99.9% quantile ~ 330.5.
+    EXPECT_LT(chi2, 330.5);
+    EXPECT_GT(chi2, 180.0);  // suspiciously uniform is also a failure.
+}
+
+TEST(RngProperties, NoObviousSerialCorrelation) {
+    stats::Rng rng(905);
+    double prev = rng.uniform();
+    double corr = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.uniform();
+        corr += (prev - 0.5) * (x - 0.5);
+        prev = x;
+    }
+    EXPECT_NEAR(corr / n / (1.0 / 12.0), 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace tnr

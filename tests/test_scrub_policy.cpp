@@ -1,0 +1,134 @@
+// DRAM patrol-scrub policy tests: analytic birthday model vs Monte Carlo,
+// monotonicity in the scrub interval, and parallel-transport equivalence
+// (grouped here with the other operational-model tests).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "memory/scrub_policy.hpp"
+#include "physics/materials.hpp"
+#include "physics/transport.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::memory {
+namespace {
+
+constexpr double kLeadvilleDcFlux = 4.0 * 22.5 * 1.44;  // ~130 n/cm^2/h.
+
+TEST(ScrubPolicy, FaultsScaleWithInterval) {
+    const auto day = analyze_scrub_interval(ddr3_module(), kLeadvilleDcFlux,
+                                            86400.0);
+    const auto week = analyze_scrub_interval(ddr3_module(), kLeadvilleDcFlux,
+                                             7.0 * 86400.0);
+    EXPECT_NEAR(week.faults_per_interval / day.faults_per_interval, 7.0, 1e-9);
+}
+
+TEST(ScrubPolicy, CollisionProbabilityGrowsWithInterval) {
+    double last = 0.0;
+    for (const double interval : {3600.0, 86400.0, 7.0 * 86400.0,
+                                  30.0 * 86400.0, 365.0 * 86400.0}) {
+        const auto a =
+            analyze_scrub_interval(ddr3_module(), kLeadvilleDcFlux, interval);
+        EXPECT_GT(a.collision_probability, last);
+        last = a.collision_probability;
+    }
+}
+
+TEST(ScrubPolicy, FrequentScrubbingSuppressesUncorrectables) {
+    // Uncorrectable events per year fall as the interval shrinks: the whole
+    // point of patrol scrubbing.
+    const auto hourly =
+        analyze_scrub_interval(ddr3_module(), kLeadvilleDcFlux, 3600.0);
+    const auto yearly = analyze_scrub_interval(ddr3_module(), kLeadvilleDcFlux,
+                                               365.0 * 86400.0);
+    EXPECT_LT(hourly.uncorrectable_per_year,
+              0.01 * yearly.uncorrectable_per_year);
+}
+
+TEST(ScrubPolicy, AnalyticMatchesMonteCarlo) {
+    stats::Rng rng(1000);
+    // A synthetic small module on a hot beam so collisions are frequent
+    // enough to measure with modest trials.
+    DramConfig tiny = ddr3_module();
+    tiny.capacity_gbit = 0.01;  // 156k ECC words.
+    const double flux = 3.3e13;
+    const double interval = 3600.0;
+    const auto analytic = analyze_scrub_interval(tiny, flux, interval);
+    const double mc =
+        simulate_collision_probability(tiny, flux, interval, 3000, rng);
+    ASSERT_GT(analytic.collision_probability, 0.05);
+    ASSERT_LT(analytic.collision_probability, 0.95);
+    EXPECT_NEAR(mc, analytic.collision_probability,
+                0.15 * analytic.collision_probability + 0.01);
+}
+
+TEST(ScrubPolicy, RealisticFluxesMakeAlignmentNegligible) {
+    // The operational headline, quantified: at data-center thermal fluxes
+    // even a *yearly* scrub leaves the double-fault alignment probability
+    // astronomically small — SECDED handles the paper's all-single-bit
+    // thermal faults; the residual DUE threat is SEFI/control events, not
+    // word collisions.
+    const auto yearly = analyze_scrub_interval(ddr3_module(), kLeadvilleDcFlux,
+                                               365.0 * 86400.0);
+    EXPECT_LT(yearly.uncorrectable_per_year, 1e-6);
+    EXPECT_GT(yearly.uncorrectable_per_year, 0.0);
+}
+
+TEST(ScrubPolicy, Ddr4SaferThanDdr3) {
+    const auto d3 = analyze_scrub_interval(ddr3_module(), kLeadvilleDcFlux,
+                                           7.0 * 86400.0);
+    const auto d4 = analyze_scrub_interval(ddr4_module(), kLeadvilleDcFlux,
+                                           7.0 * 86400.0);
+    EXPECT_LT(d4.uncorrectable_per_year, d3.uncorrectable_per_year);
+}
+
+TEST(ScrubPolicy, Validation) {
+    EXPECT_THROW(analyze_scrub_interval(ddr3_module(), 0.0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(analyze_scrub_interval(ddr3_module(), 1.0, 0.0),
+                 std::invalid_argument);
+    stats::Rng rng(1);
+    EXPECT_THROW(
+        simulate_collision_probability(ddr3_module(), 1.0, 1.0, 0, rng),
+        std::invalid_argument);
+}
+
+// --- Parallel transport equivalence ------------------------------------------------
+
+TEST(ParallelTransport, MatchesSerialStatistics) {
+    const physics::SlabTransport slab(physics::Material::water(), 10.0);
+    stats::Rng serial_rng(2000);
+    stats::Rng parallel_rng(2000);
+    const auto serial = slab.run_monoenergetic(2.0e6, 40000, serial_rng);
+    const auto parallel =
+        slab.run_monoenergetic_parallel(2.0e6, 40000, parallel_rng, 4);
+    EXPECT_EQ(parallel.total, 40000u);
+    EXPECT_NEAR(parallel.transmission(), serial.transmission(), 0.02);
+    EXPECT_NEAR(parallel.absorption(), serial.absorption(), 0.02);
+    EXPECT_NEAR(parallel.thermal_albedo(), serial.thermal_albedo(), 0.02);
+}
+
+TEST(ParallelTransport, HandlesFewNeutrons) {
+    const physics::SlabTransport slab(physics::Material::water(), 5.0);
+    stats::Rng rng(2001);
+    const auto r = slab.run_monoenergetic_parallel(1.0e6, 3, rng, 8);
+    EXPECT_EQ(r.total, 3u);
+}
+
+TEST(ParallelTransport, MergeIsAdditive) {
+    physics::TransportResult a;
+    a.total = 10;
+    a.transmitted = 4;
+    physics::TransportResult b;
+    b.total = 5;
+    b.transmitted = 1;
+    b.absorbed = 4;
+    a.merge(b);
+    EXPECT_EQ(a.total, 15u);
+    EXPECT_EQ(a.transmitted, 5u);
+    EXPECT_EQ(a.absorbed, 4u);
+}
+
+}  // namespace
+}  // namespace tnr::memory

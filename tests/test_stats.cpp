@@ -1,0 +1,621 @@
+// Unit and property tests for tnr::stats: RNG, special functions, Poisson
+// confidence intervals, histograms, time series, changepoint detection,
+// summary statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "stats/changepoint.hpp"
+#include "stats/histogram.hpp"
+#include "stats/poisson.hpp"
+#include "stats/rng.hpp"
+#include "stats/special_functions.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+
+namespace tnr::stats {
+namespace {
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+    Rng rng(9);
+    double sum = 0.0;
+    constexpr int n = 200000;
+    for (int i = 0; i < n; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformIndexStaysBelowBound) {
+    Rng rng(10);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.uniform_index(17), 17u);
+    }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+    Rng rng(11);
+    std::array<int, 8> hits{};
+    for (int i = 0; i < 8000; ++i) {
+        ++hits[rng.uniform_index(8)];
+    }
+    for (const int h : hits) EXPECT_GT(h, 800);
+}
+
+TEST(Rng, UniformIndexZeroReturnsZero) {
+    Rng rng(12);
+    EXPECT_EQ(rng.uniform_index(0), 0u);
+    EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng rng(14);
+    int hits = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+    Rng rng(15);
+    double sum = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(16);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i) stats.add(rng.normal());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+    EXPECT_NEAR(stats.variance(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+    Rng rng(17);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i) stats.add(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+// Poisson sampling across both algorithm regimes (inversion & PTRS).
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MeanAndVarianceMatch) {
+    const double mean = GetParam();
+    Rng rng(18);
+    RunningStats stats;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        stats.add(static_cast<double>(rng.poisson(mean)));
+    }
+    EXPECT_NEAR(stats.mean(), mean, 5.0 * std::sqrt(mean / n) + 0.01);
+    EXPECT_NEAR(stats.variance(), mean, 0.1 * mean + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoissonTest,
+                         ::testing::Values(0.1, 1.0, 5.0, 29.9, 30.1, 100.0,
+                                           1000.0, 25000.0));
+
+TEST(Rng, PoissonZeroMean) {
+    Rng rng(19);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+    EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream) {
+    Rng parent(20);
+    Rng child = parent.split();
+    RunningStats corr;
+    double last_parent = parent.uniform();
+    double last_child = child.uniform();
+    double cov = 0.0;
+    constexpr int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const double p = parent.uniform();
+        const double c = child.uniform();
+        cov += (p - 0.5) * (c - 0.5);
+        last_parent = p;
+        last_child = c;
+    }
+    (void)last_parent;
+    (void)last_child;
+    EXPECT_NEAR(cov / n, 0.0, 0.005);
+}
+
+// --- Special functions ---------------------------------------------------------
+
+TEST(SpecialFunctions, GammaPKnownValues) {
+    // P(1, x) = 1 - exp(-x).
+    EXPECT_NEAR(gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+    EXPECT_NEAR(gamma_p(1.0, 2.5), 1.0 - std::exp(-2.5), 1e-10);
+    // P(0.5, x) = erf(sqrt(x)).
+    EXPECT_NEAR(gamma_p(0.5, 1.0), std::erf(1.0), 1e-10);
+    EXPECT_NEAR(gamma_p(0.5, 4.0), std::erf(2.0), 1e-10);
+}
+
+TEST(SpecialFunctions, GammaPqComplementary) {
+    for (const double a : {0.3, 1.0, 2.5, 10.0, 50.0}) {
+        for (const double x : {0.01, 0.5, 1.0, 5.0, 30.0, 100.0}) {
+            EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-10)
+                << "a=" << a << " x=" << x;
+        }
+    }
+}
+
+TEST(SpecialFunctions, GammaPBoundaries) {
+    EXPECT_DOUBLE_EQ(gamma_p(2.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(gamma_q(2.0, 0.0), 1.0);
+    EXPECT_THROW(gamma_p(0.0, 1.0), std::domain_error);
+    EXPECT_THROW(gamma_p(1.0, -1.0), std::domain_error);
+}
+
+TEST(SpecialFunctions, GammaPInvRoundTrip) {
+    for (const double a : {0.5, 1.0, 3.0, 12.0, 100.0}) {
+        for (const double p : {0.001, 0.025, 0.5, 0.975, 0.999}) {
+            const double x = gamma_p_inv(a, p);
+            EXPECT_NEAR(gamma_p(a, x), p, 1e-8) << "a=" << a << " p=" << p;
+        }
+    }
+}
+
+TEST(SpecialFunctions, ChiSquaredQuantileKnown) {
+    // chi2 with 2 dof is exponential(1/2): quantile(p) = -2 ln(1-p).
+    EXPECT_NEAR(chi_squared_quantile(0.95, 2.0), -2.0 * std::log(0.05), 1e-8);
+    // Classic table value: chi2_{0.95, 1} = 3.841.
+    EXPECT_NEAR(chi_squared_quantile(0.95, 1.0), 3.8415, 1e-3);
+    EXPECT_NEAR(chi_squared_quantile(0.975, 10.0), 20.483, 1e-2);
+}
+
+TEST(SpecialFunctions, NormalQuantileKnown) {
+    EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+    EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+    EXPECT_NEAR(normal_quantile(0.999), 3.090232, 1e-5);
+}
+
+TEST(SpecialFunctions, NormalCdfQuantileRoundTrip) {
+    for (const double p : {0.001, 0.1, 0.3, 0.5, 0.7, 0.9, 0.999}) {
+        EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12);
+    }
+}
+
+TEST(SpecialFunctions, LogBinomial) {
+    EXPECT_NEAR(log_binomial(5, 2), std::log(10.0), 1e-12);
+    EXPECT_NEAR(log_binomial(10, 0), 0.0, 1e-12);
+    EXPECT_EQ(log_binomial(3, 5), -std::numeric_limits<double>::infinity());
+}
+
+// --- Poisson intervals --------------------------------------------------------
+
+TEST(PoissonInterval, ZeroCountLowerIsZero) {
+    const Interval ci = poisson_mean_interval(0);
+    EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+    // Garwood upper bound for 0 counts at 95%: 3.689.
+    EXPECT_NEAR(ci.upper, 3.689, 1e-2);
+}
+
+TEST(PoissonInterval, KnownGarwoodValues) {
+    // Standard exact 95% CI for k=10: [4.795, 18.39].
+    const Interval ci = poisson_mean_interval(10);
+    EXPECT_NEAR(ci.lower, 4.795, 1e-2);
+    EXPECT_NEAR(ci.upper, 18.39, 1e-1);
+}
+
+TEST(PoissonInterval, IntervalContainsCount) {
+    for (const std::uint64_t k : {1ull, 5ull, 50ull, 1000ull}) {
+        const Interval ci = poisson_mean_interval(k);
+        EXPECT_TRUE(ci.contains(static_cast<double>(k)));
+    }
+}
+
+TEST(PoissonInterval, WidthShrinksWithConfidence) {
+    const Interval wide = poisson_mean_interval(20, 0.99);
+    const Interval narrow = poisson_mean_interval(20, 0.68);
+    EXPECT_LT(narrow.width(), wide.width());
+}
+
+TEST(PoissonInterval, RateScalesWithExposure) {
+    const Interval ci1 = poisson_rate_interval(100, 1.0);
+    const Interval ci2 = poisson_rate_interval(100, 10.0);
+    EXPECT_NEAR(ci1.lower / 10.0, ci2.lower, 1e-9);
+    EXPECT_NEAR(ci1.upper / 10.0, ci2.upper, 1e-9);
+}
+
+TEST(PoissonInterval, CoverageProperty) {
+    // Simulated coverage of the exact 95% CI should be >= 95% (conservative).
+    Rng rng(21);
+    const double true_mean = 7.3;
+    int covered = 0;
+    constexpr int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        const std::uint64_t k = rng.poisson(true_mean);
+        if (poisson_mean_interval(k).contains(true_mean)) ++covered;
+    }
+    EXPECT_GE(static_cast<double>(covered) / trials, 0.945);
+}
+
+TEST(PoissonRatio, PointEstimate) {
+    const RateRatio r = poisson_rate_ratio(100, 10.0, 50, 10.0);
+    EXPECT_NEAR(r.ratio, 2.0, 1e-12);
+    EXPECT_LT(r.ci.lower, 2.0);
+    EXPECT_GT(r.ci.upper, 2.0);
+}
+
+TEST(PoissonRatio, ThrowsOnZeroDenominator) {
+    EXPECT_THROW(poisson_rate_ratio(10, 1.0, 0, 1.0), std::domain_error);
+}
+
+TEST(PoissonPmf, SumsToOne) {
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k < 60; ++k) sum += poisson_pmf(k, 10.0);
+    EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(PoissonPmf, KnownValue) {
+    EXPECT_NEAR(poisson_pmf(0, 2.0), std::exp(-2.0), 1e-12);
+    EXPECT_NEAR(poisson_pmf(2, 2.0), 2.0 * std::exp(-2.0), 1e-12);
+}
+
+TEST(PoissonPValue, CentralValueIsLarge) {
+    EXPECT_GT(poisson_two_sided_p_value(10, 10.0), 0.5);
+}
+
+TEST(PoissonPValue, ExtremeValueIsSmall) {
+    EXPECT_LT(poisson_two_sided_p_value(50, 10.0), 1e-6);
+    EXPECT_LT(poisson_two_sided_p_value(0, 20.0), 1e-6);
+}
+
+// --- Histogram ----------------------------------------------------------------
+
+TEST(Histogram, LinearBinning) {
+    auto h = Histogram::linear(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.99);
+    h.add(5.0);
+    EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(5), 1.0);
+    EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, UnderOverflow) {
+    auto h = Histogram::linear(0.0, 1.0, 4);
+    h.add(-0.1);
+    h.add(1.0);  // hi edge is exclusive.
+    h.add(2.0);
+    EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+    EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+}
+
+TEST(Histogram, LogBinning) {
+    auto h = Histogram::logarithmic(1.0, 1e6, 6);
+    h.add(3.0);      // decade 0.
+    h.add(3000.0);   // decade 3.
+    EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+}
+
+TEST(Histogram, FindBinConsistentWithEdges) {
+    auto h = Histogram::logarithmic(0.001, 1000.0, 24);
+    for (double x : {0.0011, 0.5, 1.0, 10.0, 999.0}) {
+        const std::size_t i = h.find_bin(x);
+        ASSERT_NE(i, Histogram::npos);
+        EXPECT_GE(x, h.bin_lo(i));
+        EXPECT_LT(x, h.bin_hi(i));
+    }
+}
+
+TEST(Histogram, WeightedFill) {
+    auto h = Histogram::linear(0.0, 1.0, 2);
+    h.add(0.25, 2.5);
+    EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+}
+
+TEST(Histogram, DensityDividesWidth) {
+    auto h = Histogram::linear(0.0, 10.0, 5);
+    h.add(1.0, 4.0);
+    EXPECT_DOUBLE_EQ(h.density()[0], 2.0);  // 4 / width 2.
+}
+
+TEST(Histogram, LethargyDensity) {
+    auto h = Histogram::logarithmic(1.0, std::exp(2.0), 2);
+    h.add(1.5, 3.0);
+    // Each bin spans 1 unit of lethargy.
+    EXPECT_NEAR(h.lethargy_density()[0], 3.0, 1e-9);
+}
+
+TEST(Histogram, RejectsBadEdges) {
+    EXPECT_THROW(Histogram({1.0}), std::invalid_argument);
+    EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(Histogram::logarithmic(0.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, ResetClears) {
+    auto h = Histogram::linear(0.0, 1.0, 2);
+    h.add(0.5);
+    h.add(-1.0);
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.total(), 0.0);
+}
+
+// --- CountTimeSeries ------------------------------------------------------------
+
+TEST(TimeSeries, BasicAccessors) {
+    CountTimeSeries ts(100.0, 60.0);
+    ts.append(5);
+    ts.append(7);
+    EXPECT_EQ(ts.size(), 2u);
+    EXPECT_DOUBLE_EQ(ts.bin_start_s(1), 160.0);
+    EXPECT_DOUBLE_EQ(ts.rate(0), 5.0 / 60.0);
+}
+
+TEST(TimeSeries, TotalsAndMeanRate) {
+    CountTimeSeries ts(0.0, 10.0);
+    for (std::uint64_t c : {1ull, 2ull, 3ull, 4ull}) ts.append(c);
+    EXPECT_EQ(ts.total(0, 4), 10u);
+    EXPECT_EQ(ts.total(1, 3), 5u);
+    EXPECT_DOUBLE_EQ(ts.mean_rate(0, 4), 10.0 / 40.0);
+}
+
+TEST(TimeSeries, Rebinning) {
+    CountTimeSeries ts(0.0, 1.0);
+    for (int i = 0; i < 10; ++i) ts.append(2);
+    const auto rebinned = ts.rebinned(5);
+    EXPECT_EQ(rebinned.size(), 2u);
+    EXPECT_EQ(rebinned.count(0), 10u);
+    EXPECT_DOUBLE_EQ(rebinned.bin_width_s(), 5.0);
+}
+
+TEST(TimeSeries, SmoothedRateFlatSeries) {
+    CountTimeSeries ts(0.0, 1.0);
+    for (int i = 0; i < 20; ++i) ts.append(3);
+    for (const double r : ts.smoothed_rate(2)) EXPECT_DOUBLE_EQ(r, 3.0);
+}
+
+TEST(TimeSeries, DifferenceRequiresSameBinning) {
+    CountTimeSeries a(0.0, 1.0);
+    CountTimeSeries b(0.0, 2.0);
+    a.append(1);
+    b.append(1);
+    EXPECT_THROW((void)a.difference(b), std::invalid_argument);
+}
+
+TEST(TimeSeries, DifferenceValues) {
+    CountTimeSeries a(0.0, 1.0);
+    CountTimeSeries b(0.0, 1.0);
+    a.append(10);
+    b.append(3);
+    a.append(2);
+    b.append(5);
+    const auto d = a.difference(b);
+    EXPECT_EQ(d[0], 7);
+    EXPECT_EQ(d[1], -3);
+}
+
+TEST(TimeSeries, RangeValidation) {
+    CountTimeSeries ts(0.0, 1.0);
+    ts.append(1);
+    EXPECT_THROW((void)ts.mean_rate(0, 5), std::out_of_range);
+    EXPECT_THROW((void)ts.total(2, 1), std::out_of_range);
+}
+
+// --- Changepoint -----------------------------------------------------------------
+
+TEST(Changepoint, DetectsObviousStep) {
+    std::vector<std::uint64_t> counts;
+    for (int i = 0; i < 50; ++i) counts.push_back(100);
+    for (int i = 0; i < 50; ++i) counts.push_back(150);
+    const auto cp = detect_single_changepoint(counts);
+    ASSERT_TRUE(cp.has_value());
+    EXPECT_NEAR(static_cast<double>(cp->index), 50.0, 2.0);
+    EXPECT_NEAR(cp->relative_step(), 0.5, 0.05);
+}
+
+TEST(Changepoint, NoStepInFlatSeries) {
+    Rng rng(22);
+    std::vector<std::uint64_t> counts;
+    for (int i = 0; i < 100; ++i) counts.push_back(rng.poisson(100.0));
+    const auto cp = detect_single_changepoint(counts);
+    // A flat Poisson series should not clear the likelihood-gain bar.
+    EXPECT_FALSE(cp.has_value());
+}
+
+TEST(Changepoint, NoisyStepRecovered) {
+    Rng rng(23);
+    std::vector<std::uint64_t> counts;
+    for (int i = 0; i < 96; ++i) counts.push_back(rng.poisson(400.0));
+    for (int i = 0; i < 72; ++i) counts.push_back(rng.poisson(496.0));  // +24%
+    const auto cp = detect_single_changepoint(counts);
+    ASSERT_TRUE(cp.has_value());
+    EXPECT_NEAR(static_cast<double>(cp->index), 96.0, 6.0);
+    EXPECT_NEAR(cp->relative_step(), 0.24, 0.05);
+}
+
+TEST(Changepoint, ShortSeriesReturnsNothing) {
+    const std::vector<std::uint64_t> counts = {1, 2, 3};
+    EXPECT_FALSE(detect_single_changepoint(counts, 3).has_value());
+}
+
+TEST(Cusum, AlarmsOnShift) {
+    CusumDetector detector(100.0, 5.0, 50.0);
+    Rng rng(24);
+    bool alarmed = false;
+    for (int i = 0; i < 200 && !alarmed; ++i) {
+        alarmed = detector.update(rng.poisson(130.0));
+    }
+    EXPECT_TRUE(alarmed);
+}
+
+TEST(Cusum, QuietUnderControl) {
+    CusumDetector detector(100.0, 10.0, 200.0);
+    Rng rng(25);
+    for (int i = 0; i < 500; ++i) detector.update(rng.poisson(100.0));
+    EXPECT_FALSE(detector.alarmed());
+}
+
+TEST(Cusum, ResetClearsState) {
+    CusumDetector detector(10.0, 0.0, 5.0);
+    detector.update(100);
+    EXPECT_TRUE(detector.alarmed());
+    detector.reset();
+    EXPECT_FALSE(detector.alarmed());
+    EXPECT_DOUBLE_EQ(detector.statistic(), 0.0);
+}
+
+// --- RunningStats ---------------------------------------------------------------
+
+TEST(RunningStats, BasicMoments) {
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+    RunningStats a;
+    RunningStats b;
+    RunningStats all;
+    Rng rng(26);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sem(), 0.0);
+}
+
+TEST(Quantiles, MedianAndInterpolation) {
+    const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(median(v), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+}
+
+TEST(Quantiles, Validation) {
+    const std::vector<double> empty;
+    EXPECT_THROW((void)median(empty), std::invalid_argument);
+    const std::vector<double> v = {1.0};
+    EXPECT_THROW((void)quantile(v, 1.5), std::domain_error);
+}
+
+TEST(GeometricMean, KnownValue) {
+    const std::vector<double> v = {1.0, 100.0};
+    EXPECT_NEAR(geometric_mean(v), 10.0, 1e-9);
+}
+
+TEST(GeometricMean, RejectsNonPositive) {
+    const std::vector<double> v = {1.0, -1.0};
+    EXPECT_THROW((void)geometric_mean(v), std::domain_error);
+}
+
+// --- Kolmogorov-Smirnov -----------------------------------------------------------
+
+TEST(KsTest, ExponentialSamplesPass) {
+    Rng rng(27);
+    std::vector<double> samples;
+    for (int i = 0; i < 2000; ++i) samples.push_back(rng.exponential(3.0));
+    const KsResult r = ks_test_exponential(samples, 3.0);
+    EXPECT_GT(r.p_value, 0.01);
+    EXPECT_LT(r.statistic, 0.05);
+}
+
+TEST(KsTest, WrongRateFails) {
+    Rng rng(28);
+    std::vector<double> samples;
+    for (int i = 0; i < 2000; ++i) samples.push_back(rng.exponential(3.0));
+    const KsResult r = ks_test_exponential(samples, 1.0);
+    EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, UniformSamplesPass) {
+    Rng rng(29);
+    std::vector<double> samples;
+    for (int i = 0; i < 2000; ++i) samples.push_back(rng.uniform(2.0, 7.0));
+    const KsResult r = ks_test_uniform(samples, 2.0, 7.0);
+    EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, NonUniformFailsUniformTest) {
+    Rng rng(30);
+    std::vector<double> samples;
+    for (int i = 0; i < 2000; ++i) {
+        const double u = rng.uniform();
+        samples.push_back(u * u);  // squashed toward 0.
+    }
+    const KsResult r = ks_test_uniform(samples, 0.0, 1.0);
+    EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, Validation) {
+    const std::vector<double> empty;
+    EXPECT_THROW((void)ks_test_uniform(empty, 0.0, 1.0), std::invalid_argument);
+    const std::vector<double> one = {0.5};
+    EXPECT_THROW((void)ks_test_exponential(one, 0.0), std::domain_error);
+    EXPECT_THROW((void)ks_test_uniform(one, 1.0, 1.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace tnr::stats

@@ -1,0 +1,142 @@
+// Monte Carlo slab transport tests: analytic cross-checks, moderation
+// physics (water thermalizes fast neutrons), and the shielding claims of the
+// paper's §V (thin Cd kills thermals; borated plastic absorbs; water/concrete
+// slabs return a thermal albedo).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "physics/beamline_spectra.hpp"
+#include "physics/materials.hpp"
+#include "physics/transport.hpp"
+#include "physics/units.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::physics {
+namespace {
+
+constexpr std::uint64_t kNeutrons = 20000;
+
+TEST(Transport, ConservesNeutrons) {
+    const SlabTransport slab(Material::water(), 5.0);
+    stats::Rng rng(40);
+    const TransportResult r = slab.run_monoenergetic(1.0e6, kNeutrons, rng);
+    EXPECT_EQ(r.transmitted + r.reflected + r.absorbed + r.lost, r.total);
+    EXPECT_EQ(r.total, kNeutrons);
+}
+
+TEST(Transport, ThinSlabMatchesAnalyticTransmission) {
+    // A very thin absorber-dominated slab: MC transmission ~ exp(-Sigma t).
+    const SlabTransport slab(Material::cadmium(), 0.002);
+    stats::Rng rng(41);
+    const TransportResult r =
+        slab.run_monoenergetic(kThermalReferenceEv, 100000, rng);
+    const double analytic = slab.analytic_transmission(kThermalReferenceEv);
+    EXPECT_NEAR(r.transmission(), analytic, 0.02);
+}
+
+TEST(Transport, CadmiumBlocksThermals) {
+    // 0.5 mm Cd: thermal transmission essentially zero.
+    const SlabTransport slab(Material::cadmium(), 0.05);
+    stats::Rng rng(42);
+    const TransportResult r =
+        slab.run_monoenergetic(kThermalReferenceEv, kNeutrons, rng);
+    EXPECT_LT(r.transmission(), 0.01);
+    EXPECT_GT(r.absorption(), 0.9);
+}
+
+TEST(Transport, CadmiumPassesFastNeutrons) {
+    // The same sheet barely attenuates 1 MeV neutrons — the Tin-II shielded
+    // tube still sees all the fast/gamma background.
+    const SlabTransport slab(Material::cadmium(), 0.05);
+    stats::Rng rng(43);
+    const TransportResult r = slab.run_monoenergetic(1.0e6, kNeutrons, rng);
+    EXPECT_GT(r.transmission(), 0.95);
+}
+
+TEST(Transport, WaterThermalizesFastNeutrons) {
+    // 10 cm of water: a meaningful share of 2 MeV neutrons leave thermal.
+    const SlabTransport slab(Material::water(), 10.0);
+    stats::Rng rng(44);
+    const TransportResult r = slab.run_monoenergetic(2.0e6, kNeutrons, rng);
+    const double thermal_out =
+        static_cast<double>(r.transmitted_thermal + r.reflected_thermal) /
+        static_cast<double>(r.total);
+    EXPECT_GT(thermal_out, 0.10);
+}
+
+TEST(Transport, WaterThermalAlbedoSignificant) {
+    // Fast neutrons bounced back *as thermals* are what raises the ambient
+    // thermal flux next to a cooling loop: the albedo should be >5% and the
+    // dominant thermal exit channel for a thick slab.
+    const SlabTransport slab(Material::water(), 30.0);
+    stats::Rng rng(45);
+    const TransportResult r = slab.run_monoenergetic(2.0e6, kNeutrons, rng);
+    EXPECT_GT(r.thermal_albedo(), 0.05);
+    EXPECT_GT(r.thermal_albedo(), r.thermal_transmission());
+}
+
+TEST(Transport, ConcreteAlsoModerates) {
+    const SlabTransport slab(Material::concrete(), 20.0);
+    stats::Rng rng(46);
+    const TransportResult r = slab.run_monoenergetic(2.0e6, kNeutrons, rng);
+    EXPECT_GT(r.thermal_albedo(), 0.02);
+}
+
+TEST(Transport, BoratedPolyAbsorbsThermalizedNeutrons) {
+    // Borated poly moderates like poly but eats the thermals it makes:
+    // its thermal albedo is far below plain polyethylene's.
+    const SlabTransport borated(Material::borated_poly(), 10.0);
+    const SlabTransport plain(Material::polyethylene(), 10.0);
+    stats::Rng rng(47);
+    const TransportResult rb = borated.run_monoenergetic(2.0e6, kNeutrons, rng);
+    const TransportResult rp = plain.run_monoenergetic(2.0e6, kNeutrons, rng);
+    EXPECT_LT(rb.thermal_albedo(), 0.3 * rp.thermal_albedo());
+}
+
+TEST(Transport, BoratedPolyShieldsThermalBeam) {
+    // "Some inches of boron plastic" (§V) kill an incident thermal beam.
+    const SlabTransport slab(Material::borated_poly(), 5.0);
+    stats::Rng rng(48);
+    const TransportResult r =
+        slab.run_monoenergetic(kThermalReferenceEv, kNeutrons, rng);
+    EXPECT_LT(r.transmission(), 0.01);
+}
+
+TEST(Transport, ThickerSlabAbsorbsMore) {
+    stats::Rng rng(49);
+    const SlabTransport thin(Material::water(), 2.0);
+    const SlabTransport thick(Material::water(), 20.0);
+    const double t_thin =
+        thin.run_monoenergetic(1.0e6, kNeutrons, rng).transmission();
+    const double t_thick =
+        thick.run_monoenergetic(1.0e6, kNeutrons, rng).transmission();
+    EXPECT_GT(t_thin, t_thick);
+}
+
+TEST(Transport, SpectrumRunUsesAllEnergies) {
+    const SlabTransport slab(Material::water(), 5.0);
+    stats::Rng rng(50);
+    const auto spectrum = chipir_spectrum();
+    const TransportResult r = slab.run_spectrum(*spectrum, 5000, rng);
+    EXPECT_EQ(r.total, 5000u);
+    // With a mixed spectrum there must be some of everything.
+    EXPECT_GT(r.transmitted, 0u);
+    EXPECT_GT(r.absorbed + r.reflected, 0u);
+}
+
+TEST(Transport, InvalidThicknessThrows) {
+    EXPECT_THROW(SlabTransport(Material::water(), 0.0), std::invalid_argument);
+    EXPECT_THROW(SlabTransport(Material::water(), -1.0), std::invalid_argument);
+}
+
+TEST(Transport, AnalyticTransmissionDecreasesWithEnergyForCd) {
+    const SlabTransport slab(Material::cadmium(), 0.05);
+    // Thermal deeply absorbed, epithermal window open.
+    EXPECT_LT(slab.analytic_transmission(0.0253), 1e-2);
+    EXPECT_GT(slab.analytic_transmission(100.0), 0.5);
+}
+
+}  // namespace
+}  // namespace tnr::physics
