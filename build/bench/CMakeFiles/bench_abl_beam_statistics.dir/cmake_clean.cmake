@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_beam_statistics.dir/bench_abl_beam_statistics.cpp.o"
+  "CMakeFiles/bench_abl_beam_statistics.dir/bench_abl_beam_statistics.cpp.o.d"
+  "bench_abl_beam_statistics"
+  "bench_abl_beam_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_beam_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_charge_deposition.dir/bench_abl_charge_deposition.cpp.o"
+  "CMakeFiles/bench_abl_charge_deposition.dir/bench_abl_charge_deposition.cpp.o.d"
+  "bench_abl_charge_deposition"
+  "bench_abl_charge_deposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_charge_deposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dut_stacking.dir/bench_abl_dut_stacking.cpp.o"
+  "CMakeFiles/bench_abl_dut_stacking.dir/bench_abl_dut_stacking.cpp.o.d"
+  "bench_abl_dut_stacking"
+  "bench_abl_dut_stacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dut_stacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

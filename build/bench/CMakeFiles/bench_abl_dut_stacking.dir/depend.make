@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_dut_stacking.
+# This may be replaced when dependencies are built.

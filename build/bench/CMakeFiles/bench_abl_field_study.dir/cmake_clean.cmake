@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_field_study.dir/bench_abl_field_study.cpp.o"
+  "CMakeFiles/bench_abl_field_study.dir/bench_abl_field_study.cpp.o.d"
+  "bench_abl_field_study"
+  "bench_abl_field_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_field_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_fpga_scrubbing.dir/bench_abl_fpga_scrubbing.cpp.o"
+  "CMakeFiles/bench_abl_fpga_scrubbing.dir/bench_abl_fpga_scrubbing.cpp.o.d"
+  "bench_abl_fpga_scrubbing"
+  "bench_abl_fpga_scrubbing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_fpga_scrubbing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

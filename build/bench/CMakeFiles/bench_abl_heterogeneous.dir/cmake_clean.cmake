@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_heterogeneous.dir/bench_abl_heterogeneous.cpp.o"
+  "CMakeFiles/bench_abl_heterogeneous.dir/bench_abl_heterogeneous.cpp.o.d"
+  "bench_abl_heterogeneous"
+  "bench_abl_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_shielding_transport.dir/bench_abl_shielding_transport.cpp.o"
+  "CMakeFiles/bench_abl_shielding_transport.dir/bench_abl_shielding_transport.cpp.o.d"
+  "bench_abl_shielding_transport"
+  "bench_abl_shielding_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_shielding_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_water_boost.dir/bench_abl_water_boost.cpp.o"
+  "CMakeFiles/bench_abl_water_boost.dir/bench_abl_water_boost.cpp.o.d"
+  "bench_abl_water_boost"
+  "bench_abl_water_boost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_water_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

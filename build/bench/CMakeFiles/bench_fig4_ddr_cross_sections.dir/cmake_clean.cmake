@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ddr_cross_sections.dir/bench_fig4_ddr_cross_sections.cpp.o"
+  "CMakeFiles/bench_fig4_ddr_cross_sections.dir/bench_fig4_ddr_cross_sections.cpp.o.d"
+  "bench_fig4_ddr_cross_sections"
+  "bench_fig4_ddr_cross_sections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ddr_cross_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

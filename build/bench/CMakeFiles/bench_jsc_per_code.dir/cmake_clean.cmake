@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jsc_per_code.dir/bench_jsc_per_code.cpp.o"
+  "CMakeFiles/bench_jsc_per_code.dir/bench_jsc_per_code.cpp.o.d"
+  "bench_jsc_per_code"
+  "bench_jsc_per_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jsc_per_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rel_weulersse.dir/bench_rel_weulersse.cpp.o"
+  "CMakeFiles/bench_rel_weulersse.dir/bench_rel_weulersse.cpp.o.d"
+  "bench_rel_weulersse"
+  "bench_rel_weulersse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rel_weulersse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

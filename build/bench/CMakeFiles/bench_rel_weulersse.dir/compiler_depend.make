@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_rel_weulersse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_txt1_flux_modifiers.dir/bench_txt1_flux_modifiers.cpp.o"
+  "CMakeFiles/bench_txt1_flux_modifiers.dir/bench_txt1_flux_modifiers.cpp.o.d"
+  "bench_txt1_flux_modifiers"
+  "bench_txt1_flux_modifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_txt1_flux_modifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_txt1_flux_modifiers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_txt2_fit_decomposition.dir/bench_txt2_fit_decomposition.cpp.o"
+  "CMakeFiles/bench_txt2_fit_decomposition.dir/bench_txt2_fit_decomposition.cpp.o.d"
+  "bench_txt2_fit_decomposition"
+  "bench_txt2_fit_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_txt2_fit_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

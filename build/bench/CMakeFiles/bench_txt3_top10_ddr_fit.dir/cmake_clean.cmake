@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_txt3_top10_ddr_fit.dir/bench_txt3_top10_ddr_fit.cpp.o"
+  "CMakeFiles/bench_txt3_top10_ddr_fit.dir/bench_txt3_top10_ddr_fit.cpp.o.d"
+  "bench_txt3_top10_ddr_fit"
+  "bench_txt3_top10_ddr_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_txt3_top10_ddr_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_txt3_top10_ddr_fit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_txt4_bpsg_ablation.dir/bench_txt4_bpsg_ablation.cpp.o"
+  "CMakeFiles/bench_txt4_bpsg_ablation.dir/bench_txt4_bpsg_ablation.cpp.o.d"
+  "bench_txt4_bpsg_ablation"
+  "bench_txt4_bpsg_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_txt4_bpsg_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

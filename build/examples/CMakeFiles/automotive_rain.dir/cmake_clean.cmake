@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automotive_rain.dir/automotive_rain.cpp.o"
+  "CMakeFiles/automotive_rain.dir/automotive_rain.cpp.o.d"
+  "automotive_rain"
+  "automotive_rain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automotive_rain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_campaign.dir/beam_campaign.cpp.o"
+  "CMakeFiles/beam_campaign.dir/beam_campaign.cpp.o.d"
+  "beam_campaign"
+  "beam_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

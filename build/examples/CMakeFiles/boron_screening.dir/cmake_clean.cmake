@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boron_screening.dir/boron_screening.cpp.o"
+  "CMakeFiles/boron_screening.dir/boron_screening.cpp.o.d"
+  "boron_screening"
+  "boron_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boron_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

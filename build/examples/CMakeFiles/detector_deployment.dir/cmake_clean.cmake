@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_deployment.dir/detector_deployment.cpp.o"
+  "CMakeFiles/detector_deployment.dir/detector_deployment.cpp.o.d"
+  "detector_deployment"
+  "detector_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_checkpointing.dir/hpc_checkpointing.cpp.o"
+  "CMakeFiles/hpc_checkpointing.dir/hpc_checkpointing.cpp.o.d"
+  "hpc_checkpointing"
+  "hpc_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("physics")
+subdirs("environment")
+subdirs("devices")
+subdirs("workloads")
+subdirs("faultinject")
+subdirs("memory")
+subdirs("fpga")
+subdirs("beam")
+subdirs("detector")
+subdirs("core")
+subdirs("cli")

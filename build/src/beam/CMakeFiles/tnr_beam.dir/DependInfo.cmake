@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/beam/beamline.cpp" "src/beam/CMakeFiles/tnr_beam.dir/beamline.cpp.o" "gcc" "src/beam/CMakeFiles/tnr_beam.dir/beamline.cpp.o.d"
+  "/root/repo/src/beam/campaign.cpp" "src/beam/CMakeFiles/tnr_beam.dir/campaign.cpp.o" "gcc" "src/beam/CMakeFiles/tnr_beam.dir/campaign.cpp.o.d"
+  "/root/repo/src/beam/code_sensitivity.cpp" "src/beam/CMakeFiles/tnr_beam.dir/code_sensitivity.cpp.o" "gcc" "src/beam/CMakeFiles/tnr_beam.dir/code_sensitivity.cpp.o.d"
+  "/root/repo/src/beam/dut_attenuation.cpp" "src/beam/CMakeFiles/tnr_beam.dir/dut_attenuation.cpp.o" "gcc" "src/beam/CMakeFiles/tnr_beam.dir/dut_attenuation.cpp.o.d"
+  "/root/repo/src/beam/experiment.cpp" "src/beam/CMakeFiles/tnr_beam.dir/experiment.cpp.o" "gcc" "src/beam/CMakeFiles/tnr_beam.dir/experiment.cpp.o.d"
+  "/root/repo/src/beam/screening.cpp" "src/beam/CMakeFiles/tnr_beam.dir/screening.cpp.o" "gcc" "src/beam/CMakeFiles/tnr_beam.dir/screening.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/tnr_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/tnr_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tnr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultinject/CMakeFiles/tnr_faultinject.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tnr_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr_beam.dir/beamline.cpp.o"
+  "CMakeFiles/tnr_beam.dir/beamline.cpp.o.d"
+  "CMakeFiles/tnr_beam.dir/campaign.cpp.o"
+  "CMakeFiles/tnr_beam.dir/campaign.cpp.o.d"
+  "CMakeFiles/tnr_beam.dir/code_sensitivity.cpp.o"
+  "CMakeFiles/tnr_beam.dir/code_sensitivity.cpp.o.d"
+  "CMakeFiles/tnr_beam.dir/dut_attenuation.cpp.o"
+  "CMakeFiles/tnr_beam.dir/dut_attenuation.cpp.o.d"
+  "CMakeFiles/tnr_beam.dir/experiment.cpp.o"
+  "CMakeFiles/tnr_beam.dir/experiment.cpp.o.d"
+  "CMakeFiles/tnr_beam.dir/screening.cpp.o"
+  "CMakeFiles/tnr_beam.dir/screening.cpp.o.d"
+  "libtnr_beam.a"
+  "libtnr_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr.dir/tnr_main.cpp.o"
+  "CMakeFiles/tnr.dir/tnr_main.cpp.o.d"
+  "tnr"
+  "tnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr_cli.dir/cli.cpp.o"
+  "CMakeFiles/tnr_cli.dir/cli.cpp.o.d"
+  "libtnr_cli.a"
+  "libtnr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/tnr_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/tnr_core.dir/fieldstudy.cpp.o"
+  "CMakeFiles/tnr_core.dir/fieldstudy.cpp.o.d"
+  "CMakeFiles/tnr_core.dir/fit.cpp.o"
+  "CMakeFiles/tnr_core.dir/fit.cpp.o.d"
+  "CMakeFiles/tnr_core.dir/markdown_report.cpp.o"
+  "CMakeFiles/tnr_core.dir/markdown_report.cpp.o.d"
+  "CMakeFiles/tnr_core.dir/report.cpp.o"
+  "CMakeFiles/tnr_core.dir/report.cpp.o.d"
+  "CMakeFiles/tnr_core.dir/study.cpp.o"
+  "CMakeFiles/tnr_core.dir/study.cpp.o.d"
+  "libtnr_core.a"
+  "libtnr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtnr_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detector/analysis.cpp" "src/detector/CMakeFiles/tnr_detector.dir/analysis.cpp.o" "gcc" "src/detector/CMakeFiles/tnr_detector.dir/analysis.cpp.o.d"
+  "/root/repo/src/detector/he3_tube.cpp" "src/detector/CMakeFiles/tnr_detector.dir/he3_tube.cpp.o" "gcc" "src/detector/CMakeFiles/tnr_detector.dir/he3_tube.cpp.o.d"
+  "/root/repo/src/detector/pressure.cpp" "src/detector/CMakeFiles/tnr_detector.dir/pressure.cpp.o" "gcc" "src/detector/CMakeFiles/tnr_detector.dir/pressure.cpp.o.d"
+  "/root/repo/src/detector/tin2.cpp" "src/detector/CMakeFiles/tnr_detector.dir/tin2.cpp.o" "gcc" "src/detector/CMakeFiles/tnr_detector.dir/tin2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physics/CMakeFiles/tnr_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/environment/CMakeFiles/tnr_environment.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tnr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr_detector.dir/analysis.cpp.o"
+  "CMakeFiles/tnr_detector.dir/analysis.cpp.o.d"
+  "CMakeFiles/tnr_detector.dir/he3_tube.cpp.o"
+  "CMakeFiles/tnr_detector.dir/he3_tube.cpp.o.d"
+  "CMakeFiles/tnr_detector.dir/pressure.cpp.o"
+  "CMakeFiles/tnr_detector.dir/pressure.cpp.o.d"
+  "CMakeFiles/tnr_detector.dir/tin2.cpp.o"
+  "CMakeFiles/tnr_detector.dir/tin2.cpp.o.d"
+  "libtnr_detector.a"
+  "libtnr_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/catalog.cpp" "src/devices/CMakeFiles/tnr_devices.dir/catalog.cpp.o" "gcc" "src/devices/CMakeFiles/tnr_devices.dir/catalog.cpp.o.d"
+  "/root/repo/src/devices/device.cpp" "src/devices/CMakeFiles/tnr_devices.dir/device.cpp.o" "gcc" "src/devices/CMakeFiles/tnr_devices.dir/device.cpp.o.d"
+  "/root/repo/src/devices/ecc_policy.cpp" "src/devices/CMakeFiles/tnr_devices.dir/ecc_policy.cpp.o" "gcc" "src/devices/CMakeFiles/tnr_devices.dir/ecc_policy.cpp.o.d"
+  "/root/repo/src/devices/heterogeneous.cpp" "src/devices/CMakeFiles/tnr_devices.dir/heterogeneous.cpp.o" "gcc" "src/devices/CMakeFiles/tnr_devices.dir/heterogeneous.cpp.o.d"
+  "/root/repo/src/devices/sensitivity.cpp" "src/devices/CMakeFiles/tnr_devices.dir/sensitivity.cpp.o" "gcc" "src/devices/CMakeFiles/tnr_devices.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physics/CMakeFiles/tnr_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tnr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

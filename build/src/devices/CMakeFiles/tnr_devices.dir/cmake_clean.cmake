@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr_devices.dir/catalog.cpp.o"
+  "CMakeFiles/tnr_devices.dir/catalog.cpp.o.d"
+  "CMakeFiles/tnr_devices.dir/device.cpp.o"
+  "CMakeFiles/tnr_devices.dir/device.cpp.o.d"
+  "CMakeFiles/tnr_devices.dir/ecc_policy.cpp.o"
+  "CMakeFiles/tnr_devices.dir/ecc_policy.cpp.o.d"
+  "CMakeFiles/tnr_devices.dir/heterogeneous.cpp.o"
+  "CMakeFiles/tnr_devices.dir/heterogeneous.cpp.o.d"
+  "CMakeFiles/tnr_devices.dir/sensitivity.cpp.o"
+  "CMakeFiles/tnr_devices.dir/sensitivity.cpp.o.d"
+  "libtnr_devices.a"
+  "libtnr_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

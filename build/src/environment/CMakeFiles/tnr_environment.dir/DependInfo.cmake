@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/environment/location.cpp" "src/environment/CMakeFiles/tnr_environment.dir/location.cpp.o" "gcc" "src/environment/CMakeFiles/tnr_environment.dir/location.cpp.o.d"
+  "/root/repo/src/environment/modifiers.cpp" "src/environment/CMakeFiles/tnr_environment.dir/modifiers.cpp.o" "gcc" "src/environment/CMakeFiles/tnr_environment.dir/modifiers.cpp.o.d"
+  "/root/repo/src/environment/site.cpp" "src/environment/CMakeFiles/tnr_environment.dir/site.cpp.o" "gcc" "src/environment/CMakeFiles/tnr_environment.dir/site.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physics/CMakeFiles/tnr_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tnr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr_environment.dir/location.cpp.o"
+  "CMakeFiles/tnr_environment.dir/location.cpp.o.d"
+  "CMakeFiles/tnr_environment.dir/modifiers.cpp.o"
+  "CMakeFiles/tnr_environment.dir/modifiers.cpp.o.d"
+  "CMakeFiles/tnr_environment.dir/site.cpp.o"
+  "CMakeFiles/tnr_environment.dir/site.cpp.o.d"
+  "libtnr_environment.a"
+  "libtnr_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/environment/CMakeFiles/tnr_environment.dir/modifiers.cpp.o: \
+ /root/repo/src/environment/modifiers.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/environment/modifiers.hpp

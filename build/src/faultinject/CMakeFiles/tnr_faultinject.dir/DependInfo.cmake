@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultinject/avf.cpp" "src/faultinject/CMakeFiles/tnr_faultinject.dir/avf.cpp.o" "gcc" "src/faultinject/CMakeFiles/tnr_faultinject.dir/avf.cpp.o.d"
+  "/root/repo/src/faultinject/injector.cpp" "src/faultinject/CMakeFiles/tnr_faultinject.dir/injector.cpp.o" "gcc" "src/faultinject/CMakeFiles/tnr_faultinject.dir/injector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tnr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tnr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr_faultinject.dir/avf.cpp.o"
+  "CMakeFiles/tnr_faultinject.dir/avf.cpp.o.d"
+  "CMakeFiles/tnr_faultinject.dir/injector.cpp.o"
+  "CMakeFiles/tnr_faultinject.dir/injector.cpp.o.d"
+  "libtnr_faultinject.a"
+  "libtnr_faultinject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr_faultinject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr_fpga.dir/beam_run.cpp.o"
+  "CMakeFiles/tnr_fpga.dir/beam_run.cpp.o.d"
+  "CMakeFiles/tnr_fpga.dir/config_memory.cpp.o"
+  "CMakeFiles/tnr_fpga.dir/config_memory.cpp.o.d"
+  "libtnr_fpga.a"
+  "libtnr_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/correct_loop.cpp" "src/memory/CMakeFiles/tnr_memory.dir/correct_loop.cpp.o" "gcc" "src/memory/CMakeFiles/tnr_memory.dir/correct_loop.cpp.o.d"
+  "/root/repo/src/memory/dram_array.cpp" "src/memory/CMakeFiles/tnr_memory.dir/dram_array.cpp.o" "gcc" "src/memory/CMakeFiles/tnr_memory.dir/dram_array.cpp.o.d"
+  "/root/repo/src/memory/dram_config.cpp" "src/memory/CMakeFiles/tnr_memory.dir/dram_config.cpp.o" "gcc" "src/memory/CMakeFiles/tnr_memory.dir/dram_config.cpp.o.d"
+  "/root/repo/src/memory/ecc.cpp" "src/memory/CMakeFiles/tnr_memory.dir/ecc.cpp.o" "gcc" "src/memory/CMakeFiles/tnr_memory.dir/ecc.cpp.o.d"
+  "/root/repo/src/memory/fault_process.cpp" "src/memory/CMakeFiles/tnr_memory.dir/fault_process.cpp.o" "gcc" "src/memory/CMakeFiles/tnr_memory.dir/fault_process.cpp.o.d"
+  "/root/repo/src/memory/scrub_policy.cpp" "src/memory/CMakeFiles/tnr_memory.dir/scrub_policy.cpp.o" "gcc" "src/memory/CMakeFiles/tnr_memory.dir/scrub_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/tnr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/tnr_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr_memory.dir/correct_loop.cpp.o"
+  "CMakeFiles/tnr_memory.dir/correct_loop.cpp.o.d"
+  "CMakeFiles/tnr_memory.dir/dram_array.cpp.o"
+  "CMakeFiles/tnr_memory.dir/dram_array.cpp.o.d"
+  "CMakeFiles/tnr_memory.dir/dram_config.cpp.o"
+  "CMakeFiles/tnr_memory.dir/dram_config.cpp.o.d"
+  "CMakeFiles/tnr_memory.dir/ecc.cpp.o"
+  "CMakeFiles/tnr_memory.dir/ecc.cpp.o.d"
+  "CMakeFiles/tnr_memory.dir/fault_process.cpp.o"
+  "CMakeFiles/tnr_memory.dir/fault_process.cpp.o.d"
+  "CMakeFiles/tnr_memory.dir/scrub_policy.cpp.o"
+  "CMakeFiles/tnr_memory.dir/scrub_policy.cpp.o.d"
+  "libtnr_memory.a"
+  "libtnr_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

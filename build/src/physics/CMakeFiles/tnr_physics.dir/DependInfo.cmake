@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physics/beamline_spectra.cpp" "src/physics/CMakeFiles/tnr_physics.dir/beamline_spectra.cpp.o" "gcc" "src/physics/CMakeFiles/tnr_physics.dir/beamline_spectra.cpp.o.d"
+  "/root/repo/src/physics/charge_deposition.cpp" "src/physics/CMakeFiles/tnr_physics.dir/charge_deposition.cpp.o" "gcc" "src/physics/CMakeFiles/tnr_physics.dir/charge_deposition.cpp.o.d"
+  "/root/repo/src/physics/cross_sections.cpp" "src/physics/CMakeFiles/tnr_physics.dir/cross_sections.cpp.o" "gcc" "src/physics/CMakeFiles/tnr_physics.dir/cross_sections.cpp.o.d"
+  "/root/repo/src/physics/materials.cpp" "src/physics/CMakeFiles/tnr_physics.dir/materials.cpp.o" "gcc" "src/physics/CMakeFiles/tnr_physics.dir/materials.cpp.o.d"
+  "/root/repo/src/physics/multiregion.cpp" "src/physics/CMakeFiles/tnr_physics.dir/multiregion.cpp.o" "gcc" "src/physics/CMakeFiles/tnr_physics.dir/multiregion.cpp.o.d"
+  "/root/repo/src/physics/spectrum.cpp" "src/physics/CMakeFiles/tnr_physics.dir/spectrum.cpp.o" "gcc" "src/physics/CMakeFiles/tnr_physics.dir/spectrum.cpp.o.d"
+  "/root/repo/src/physics/transport.cpp" "src/physics/CMakeFiles/tnr_physics.dir/transport.cpp.o" "gcc" "src/physics/CMakeFiles/tnr_physics.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/tnr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

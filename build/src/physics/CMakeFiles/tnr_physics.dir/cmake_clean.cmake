@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr_physics.dir/beamline_spectra.cpp.o"
+  "CMakeFiles/tnr_physics.dir/beamline_spectra.cpp.o.d"
+  "CMakeFiles/tnr_physics.dir/charge_deposition.cpp.o"
+  "CMakeFiles/tnr_physics.dir/charge_deposition.cpp.o.d"
+  "CMakeFiles/tnr_physics.dir/cross_sections.cpp.o"
+  "CMakeFiles/tnr_physics.dir/cross_sections.cpp.o.d"
+  "CMakeFiles/tnr_physics.dir/materials.cpp.o"
+  "CMakeFiles/tnr_physics.dir/materials.cpp.o.d"
+  "CMakeFiles/tnr_physics.dir/multiregion.cpp.o"
+  "CMakeFiles/tnr_physics.dir/multiregion.cpp.o.d"
+  "CMakeFiles/tnr_physics.dir/spectrum.cpp.o"
+  "CMakeFiles/tnr_physics.dir/spectrum.cpp.o.d"
+  "CMakeFiles/tnr_physics.dir/transport.cpp.o"
+  "CMakeFiles/tnr_physics.dir/transport.cpp.o.d"
+  "libtnr_physics.a"
+  "libtnr_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

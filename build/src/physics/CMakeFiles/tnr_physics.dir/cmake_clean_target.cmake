@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtnr_physics.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/changepoint.cpp" "src/stats/CMakeFiles/tnr_stats.dir/changepoint.cpp.o" "gcc" "src/stats/CMakeFiles/tnr_stats.dir/changepoint.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/tnr_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/tnr_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/poisson.cpp" "src/stats/CMakeFiles/tnr_stats.dir/poisson.cpp.o" "gcc" "src/stats/CMakeFiles/tnr_stats.dir/poisson.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/tnr_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/tnr_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/special_functions.cpp" "src/stats/CMakeFiles/tnr_stats.dir/special_functions.cpp.o" "gcc" "src/stats/CMakeFiles/tnr_stats.dir/special_functions.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/tnr_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/tnr_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/stats/CMakeFiles/tnr_stats.dir/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/tnr_stats.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

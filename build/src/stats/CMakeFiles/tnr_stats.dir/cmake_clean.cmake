@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr_stats.dir/changepoint.cpp.o"
+  "CMakeFiles/tnr_stats.dir/changepoint.cpp.o.d"
+  "CMakeFiles/tnr_stats.dir/histogram.cpp.o"
+  "CMakeFiles/tnr_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/tnr_stats.dir/poisson.cpp.o"
+  "CMakeFiles/tnr_stats.dir/poisson.cpp.o.d"
+  "CMakeFiles/tnr_stats.dir/rng.cpp.o"
+  "CMakeFiles/tnr_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/tnr_stats.dir/special_functions.cpp.o"
+  "CMakeFiles/tnr_stats.dir/special_functions.cpp.o.d"
+  "CMakeFiles/tnr_stats.dir/summary.cpp.o"
+  "CMakeFiles/tnr_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/tnr_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/tnr_stats.dir/timeseries.cpp.o.d"
+  "libtnr_stats.a"
+  "libtnr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bfs.cpp" "src/workloads/CMakeFiles/tnr_workloads.dir/bfs.cpp.o" "gcc" "src/workloads/CMakeFiles/tnr_workloads.dir/bfs.cpp.o.d"
+  "/root/repo/src/workloads/canny.cpp" "src/workloads/CMakeFiles/tnr_workloads.dir/canny.cpp.o" "gcc" "src/workloads/CMakeFiles/tnr_workloads.dir/canny.cpp.o.d"
+  "/root/repo/src/workloads/hotspot.cpp" "src/workloads/CMakeFiles/tnr_workloads.dir/hotspot.cpp.o" "gcc" "src/workloads/CMakeFiles/tnr_workloads.dir/hotspot.cpp.o.d"
+  "/root/repo/src/workloads/lavamd.cpp" "src/workloads/CMakeFiles/tnr_workloads.dir/lavamd.cpp.o" "gcc" "src/workloads/CMakeFiles/tnr_workloads.dir/lavamd.cpp.o.d"
+  "/root/repo/src/workloads/lud.cpp" "src/workloads/CMakeFiles/tnr_workloads.dir/lud.cpp.o" "gcc" "src/workloads/CMakeFiles/tnr_workloads.dir/lud.cpp.o.d"
+  "/root/repo/src/workloads/mnist.cpp" "src/workloads/CMakeFiles/tnr_workloads.dir/mnist.cpp.o" "gcc" "src/workloads/CMakeFiles/tnr_workloads.dir/mnist.cpp.o.d"
+  "/root/repo/src/workloads/mxm.cpp" "src/workloads/CMakeFiles/tnr_workloads.dir/mxm.cpp.o" "gcc" "src/workloads/CMakeFiles/tnr_workloads.dir/mxm.cpp.o.d"
+  "/root/repo/src/workloads/stream_compaction.cpp" "src/workloads/CMakeFiles/tnr_workloads.dir/stream_compaction.cpp.o" "gcc" "src/workloads/CMakeFiles/tnr_workloads.dir/stream_compaction.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/tnr_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/tnr_workloads.dir/suite.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/tnr_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/tnr_workloads.dir/workload.cpp.o.d"
+  "/root/repo/src/workloads/yolo_lite.cpp" "src/workloads/CMakeFiles/tnr_workloads.dir/yolo_lite.cpp.o" "gcc" "src/workloads/CMakeFiles/tnr_workloads.dir/yolo_lite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/tnr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr_workloads.dir/bfs.cpp.o"
+  "CMakeFiles/tnr_workloads.dir/bfs.cpp.o.d"
+  "CMakeFiles/tnr_workloads.dir/canny.cpp.o"
+  "CMakeFiles/tnr_workloads.dir/canny.cpp.o.d"
+  "CMakeFiles/tnr_workloads.dir/hotspot.cpp.o"
+  "CMakeFiles/tnr_workloads.dir/hotspot.cpp.o.d"
+  "CMakeFiles/tnr_workloads.dir/lavamd.cpp.o"
+  "CMakeFiles/tnr_workloads.dir/lavamd.cpp.o.d"
+  "CMakeFiles/tnr_workloads.dir/lud.cpp.o"
+  "CMakeFiles/tnr_workloads.dir/lud.cpp.o.d"
+  "CMakeFiles/tnr_workloads.dir/mnist.cpp.o"
+  "CMakeFiles/tnr_workloads.dir/mnist.cpp.o.d"
+  "CMakeFiles/tnr_workloads.dir/mxm.cpp.o"
+  "CMakeFiles/tnr_workloads.dir/mxm.cpp.o.d"
+  "CMakeFiles/tnr_workloads.dir/stream_compaction.cpp.o"
+  "CMakeFiles/tnr_workloads.dir/stream_compaction.cpp.o.d"
+  "CMakeFiles/tnr_workloads.dir/suite.cpp.o"
+  "CMakeFiles/tnr_workloads.dir/suite.cpp.o.d"
+  "CMakeFiles/tnr_workloads.dir/workload.cpp.o"
+  "CMakeFiles/tnr_workloads.dir/workload.cpp.o.d"
+  "CMakeFiles/tnr_workloads.dir/yolo_lite.cpp.o"
+  "CMakeFiles/tnr_workloads.dir/yolo_lite.cpp.o.d"
+  "libtnr_workloads.a"
+  "libtnr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

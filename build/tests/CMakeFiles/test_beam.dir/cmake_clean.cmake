@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beam.dir/test_beam.cpp.o"
+  "CMakeFiles/test_beam.dir/test_beam.cpp.o.d"
+  "test_beam"
+  "test_beam.pdb"
+  "test_beam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charge_deposition.dir/test_charge_deposition.cpp.o"
+  "CMakeFiles/test_charge_deposition.dir/test_charge_deposition.cpp.o.d"
+  "test_charge_deposition"
+  "test_charge_deposition.pdb"
+  "test_charge_deposition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charge_deposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

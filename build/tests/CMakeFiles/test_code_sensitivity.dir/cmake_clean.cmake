@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_code_sensitivity.dir/test_code_sensitivity.cpp.o"
+  "CMakeFiles/test_code_sensitivity.dir/test_code_sensitivity.cpp.o.d"
+  "test_code_sensitivity"
+  "test_code_sensitivity.pdb"
+  "test_code_sensitivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_code_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

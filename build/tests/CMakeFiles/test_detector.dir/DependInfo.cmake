@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_detector.cpp" "tests/CMakeFiles/test_detector.dir/test_detector.cpp.o" "gcc" "tests/CMakeFiles/test_detector.dir/test_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/tnr_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tnr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/beam/CMakeFiles/tnr_beam.dir/DependInfo.cmake"
+  "/root/repo/build/src/detector/CMakeFiles/tnr_detector.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tnr_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/tnr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultinject/CMakeFiles/tnr_faultinject.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tnr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/tnr_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/environment/CMakeFiles/tnr_environment.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/tnr_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tnr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

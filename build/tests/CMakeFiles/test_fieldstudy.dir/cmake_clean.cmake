@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fieldstudy.dir/test_fieldstudy.cpp.o"
+  "CMakeFiles/test_fieldstudy.dir/test_fieldstudy.cpp.o.d"
+  "test_fieldstudy"
+  "test_fieldstudy.pdb"
+  "test_fieldstudy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fieldstudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

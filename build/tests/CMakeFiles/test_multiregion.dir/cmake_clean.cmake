@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiregion.dir/test_multiregion.cpp.o"
+  "CMakeFiles/test_multiregion.dir/test_multiregion.cpp.o.d"
+  "test_multiregion"
+  "test_multiregion.pdb"
+  "test_multiregion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiregion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scrub_policy.dir/test_scrub_policy.cpp.o"
+  "CMakeFiles/test_scrub_policy.dir/test_scrub_policy.cpp.o.d"
+  "test_scrub_policy"
+  "test_scrub_policy.pdb"
+  "test_scrub_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scrub_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

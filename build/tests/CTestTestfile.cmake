@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_physics[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_multiregion[1]_include.cmake")
+include("/root/repo/build/tests/test_charge_deposition[1]_include.cmake")
+include("/root/repo/build/tests/test_environment[1]_include.cmake")
+include("/root/repo/build/tests/test_devices[1]_include.cmake")
+include("/root/repo/build/tests/test_heterogeneous[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_faultinject[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga[1]_include.cmake")
+include("/root/repo/build/tests/test_ecc[1]_include.cmake")
+include("/root/repo/build/tests/test_beam[1]_include.cmake")
+include("/root/repo/build/tests/test_code_sensitivity[1]_include.cmake")
+include("/root/repo/build/tests/test_detector[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_fieldstudy[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_scrub_policy[1]_include.cmake")
