@@ -4,10 +4,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/report.hpp"
+#include "physics/materials.hpp"
+#include "physics/spectrum.hpp"
+#include "physics/transport.hpp"
+#include "physics/xs_table.hpp"
+#include "stats/rng.hpp"
 #include "workloads/suite.hpp"
 
 namespace {
@@ -60,6 +68,88 @@ void BM_ResetCost(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_ResetCost)->Unit(benchmark::kMicrosecond);
+
+// --- Parallel engine: serial loop vs shared pool ----------------------------
+// One spectrum run per iteration; arguments are {workers, use_xs_table}.
+// workers == 1 is the historical serial path, bitwise identical to pre-pool
+// builds; the {1, 0} row is the exact-formula baseline for the table row.
+
+void BM_SpectrumTransport(benchmark::State& state) {
+    physics::TransportConfig cfg;
+    cfg.threads = static_cast<unsigned>(state.range(0));
+    cfg.use_xs_table = state.range(1) != 0;
+    const physics::SlabTransport slab(physics::Material::concrete(), 10.0, cfg);
+    const physics::MaxwellianSpectrum spectrum(1.0, 0.0253);
+    spectrum.prepare_sampling();
+    stats::Rng rng(2020);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(slab.run_spectrum(spectrum, 20'000, rng));
+    }
+    state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_SpectrumTransport)
+    ->Args({1, 0})->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- Cross-section cache: exact formulas vs MaterialXsTable -----------------
+
+// Pre-drawn energies (1 meV .. 10 MeV, log-uniform) so the timed loop holds
+// only the evaluation under test.
+std::vector<double> sigma_bench_energies() {
+    stats::Rng rng(7);
+    std::vector<double> energies(4096);
+    for (auto& e : energies) e = 1.0e-3 * std::pow(1.0e10, rng.uniform());
+    return energies;
+}
+
+void BM_SigmaExact(benchmark::State& state) {
+    const auto material = physics::Material::concrete();
+    const auto energies = sigma_bench_energies();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const double e = energies[i++ & (energies.size() - 1)];
+        benchmark::DoNotOptimize(material.sigma_scatter(e) +
+                                 material.sigma_absorb(e));
+    }
+}
+BENCHMARK(BM_SigmaExact);
+
+void BM_SigmaTable(benchmark::State& state) {
+    const auto material = physics::Material::concrete();
+    const physics::MaterialXsTable table(material);
+    const auto energies = sigma_bench_energies();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const double e = energies[i++ & (energies.size() - 1)];
+        const auto lk = table.lookup(e);
+        benchmark::DoNotOptimize(lk.sigma_scatter + lk.sigma_absorb);
+    }
+}
+BENCHMARK(BM_SigmaTable);
+
+void BM_TransportExactXs(benchmark::State& state) {
+    physics::TransportConfig cfg;
+    cfg.use_xs_table = false;
+    const physics::SlabTransport slab(physics::Material::concrete(), 10.0, cfg);
+    stats::Rng rng(2020);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(slab.run_monoenergetic(1.0e6, 5'000, rng));
+    }
+    state.SetItemsProcessed(state.iterations() * 5'000);
+}
+BENCHMARK(BM_TransportExactXs)->Unit(benchmark::kMillisecond);
+
+void BM_TransportTableXs(benchmark::State& state) {
+    physics::TransportConfig cfg;
+    cfg.use_xs_table = true;
+    const physics::SlabTransport slab(physics::Material::concrete(), 10.0, cfg);
+    stats::Rng rng(2020);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(slab.run_monoenergetic(1.0e6, 5'000, rng));
+    }
+    state.SetItemsProcessed(state.iterations() * 5'000);
+}
+BENCHMARK(BM_TransportTableXs)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/parallel/parallel_for.hpp"
+
 namespace tnr::beam {
 
 std::optional<stats::RateRatio> DeviceRatioRow::ratio() const {
@@ -41,66 +43,110 @@ Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
 
 CampaignResult Campaign::run() const { return run(devices::standard_catalog()); }
 
+namespace {
+
+/// One device's slice of the campaign: its whole workload suite at both
+/// facilities, tallied into the per-device Fig.-5 rows.
+struct DeviceOutcome {
+    std::vector<CrossSectionMeasurement> measurements;
+    DeviceRatioRow sdc_row;
+    DeviceRatioRow due_row;
+};
+
+DeviceOutcome run_device(const CampaignConfig& config, const Beamline& chipir,
+                         const Beamline& rotax, const devices::Device& device,
+                         stats::Rng& rng) {
+    const auto suite = workloads::suite_for_device(device.name());
+    const auto vulnerability =
+        (config.avf_trials > 0)
+            ? faultinject::VulnerabilityTable::measure(suite, config.avf_trials,
+                                                       config.seed)
+            : faultinject::VulnerabilityTable::uniform(suite);
+    const auto code_model = CodeSensitivityModel::build(
+        devices::try_spec_by_name(device.name()), suite, vulnerability);
+
+    DeviceOutcome out;
+    out.sdc_row.device = device.name();
+    out.sdc_row.type = devices::ErrorType::kSdc;
+    out.due_row.device = device.name();
+    out.due_row.type = devices::ErrorType::kDue;
+
+    std::size_t slot = 0;
+    for (const auto& entry : suite) {
+        // ChipIR: boards can share the beam with a distance derating
+        // (Fig. 3); slots rotate through the published positions.
+        ExperimentConfig he_cfg;
+        he_cfg.beam_time_s = config.beam_time_per_run_s;
+        he_cfg.derating =
+            config.chipir_deratings[slot % config.chipir_deratings.size()];
+        ++slot;
+        const CodeWeights weights = code_model.weights(entry.name);
+        const BeamExperiment he_exp(chipir, device, entry.name, weights);
+        const ExperimentResult he = he_exp.run(he_cfg, rng);
+
+        // ROTAX: one board at a time, on axis.
+        ExperimentConfig th_cfg;
+        th_cfg.beam_time_s = config.beam_time_per_run_s;
+        th_cfg.derating = 1.0;
+        const BeamExperiment th_exp(rotax, device, entry.name, weights);
+        const ExperimentResult th = th_exp.run(th_cfg, rng);
+
+        out.measurements.push_back(he.sdc);
+        out.measurements.push_back(he.due);
+        out.measurements.push_back(th.sdc);
+        out.measurements.push_back(th.due);
+
+        out.sdc_row.errors_he += he.sdc.errors;
+        out.sdc_row.fluence_he += he.sdc.fluence;
+        out.sdc_row.errors_th += th.sdc.errors;
+        out.sdc_row.fluence_th += th.sdc.fluence;
+        out.due_row.errors_he += he.due.errors;
+        out.due_row.fluence_he += he.due.fluence;
+        out.due_row.errors_th += th.due.errors;
+        out.due_row.fluence_th += th.due.fluence;
+    }
+    return out;
+}
+
+}  // namespace
+
 CampaignResult Campaign::run(const std::vector<devices::Device>& devices) const {
     const Beamline chipir = Beamline::chipir();
     const Beamline rotax = Beamline::rotax();
     stats::Rng rng(config_.seed);
 
-    CampaignResult result;
-
-    for (const auto& device : devices) {
-        const auto suite = workloads::suite_for_device(device.name());
-        const auto vulnerability =
-            (config_.avf_trials > 0)
-                ? faultinject::VulnerabilityTable::measure(
-                      suite, config_.avf_trials, config_.seed)
-                : faultinject::VulnerabilityTable::uniform(suite);
-        const auto code_model = CodeSensitivityModel::build(
-            devices::try_spec_by_name(device.name()), suite, vulnerability);
-
-        DeviceRatioRow sdc_row;
-        sdc_row.device = device.name();
-        sdc_row.type = devices::ErrorType::kSdc;
-        DeviceRatioRow due_row;
-        due_row.device = device.name();
-        due_row.type = devices::ErrorType::kDue;
-
-        std::size_t slot = 0;
-        for (const auto& entry : suite) {
-            // ChipIR: boards can share the beam with a distance derating
-            // (Fig. 3); slots rotate through the published positions.
-            ExperimentConfig he_cfg;
-            he_cfg.beam_time_s = config_.beam_time_per_run_s;
-            he_cfg.derating =
-                config_.chipir_deratings[slot % config_.chipir_deratings.size()];
-            ++slot;
-            const CodeWeights weights = code_model.weights(entry.name);
-            const BeamExperiment he_exp(chipir, device, entry.name, weights);
-            const ExperimentResult he = he_exp.run(he_cfg, rng);
-
-            // ROTAX: one board at a time, on axis.
-            ExperimentConfig th_cfg;
-            th_cfg.beam_time_s = config_.beam_time_per_run_s;
-            th_cfg.derating = 1.0;
-            const BeamExperiment th_exp(rotax, device, entry.name, weights);
-            const ExperimentResult th = th_exp.run(th_cfg, rng);
-
-            result.measurements.push_back(he.sdc);
-            result.measurements.push_back(he.due);
-            result.measurements.push_back(th.sdc);
-            result.measurements.push_back(th.due);
-
-            sdc_row.errors_he += he.sdc.errors;
-            sdc_row.fluence_he += he.sdc.fluence;
-            sdc_row.errors_th += th.sdc.errors;
-            sdc_row.fluence_th += th.sdc.fluence;
-            due_row.errors_he += he.due.errors;
-            due_row.fluence_he += he.due.fluence;
-            due_row.errors_th += th.due.errors;
-            due_row.fluence_th += th.due.fluence;
+    std::vector<DeviceOutcome> outcomes;
+    if (config_.threads == 1 || devices.size() <= 1) {
+        // Historical serial walk: one RNG threaded through every experiment
+        // in order — bitwise identical to the pre-pool implementation.
+        outcomes.reserve(devices.size());
+        for (const auto& device : devices) {
+            outcomes.push_back(run_device(config_, chipir, rotax, device, rng));
         }
-        result.ratio_rows.push_back(sdc_row);
-        result.ratio_rows.push_back(due_row);
+    } else {
+        // Devices fan out over the shared pool. Streams are split off the
+        // campaign RNG serially by device index, so the result depends only
+        // on the seed — not on the thread count or scheduling.
+        std::vector<stats::Rng> streams;
+        streams.reserve(devices.size());
+        for (std::size_t i = 0; i < devices.size(); ++i) {
+            streams.push_back(rng.split());
+        }
+        outcomes = core::parallel::parallel_map<DeviceOutcome>(
+            devices.size(), config_.threads,
+            [this, &chipir, &rotax, &devices, &streams](std::size_t i) {
+                return run_device(config_, chipir, rotax, devices[i],
+                                  streams[i]);
+            });
+    }
+
+    CampaignResult result;
+    for (auto& out : outcomes) {
+        result.measurements.insert(result.measurements.end(),
+                                   out.measurements.begin(),
+                                   out.measurements.end());
+        result.ratio_rows.push_back(out.sdc_row);
+        result.ratio_rows.push_back(out.due_row);
     }
     return result;
 }

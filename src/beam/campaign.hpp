@@ -47,6 +47,12 @@ struct CampaignConfig {
     /// AVF trials per workload for the vulnerability table (0 = uniform
     /// weights, much faster).
     std::size_t avf_trials = 0;
+    /// Workers for the device×workload experiment grid: 1 = serial (bitwise
+    /// identical to the historical single-RNG walk), 0 = all available
+    /// cores, N = devices fan out over the shared pool with one split() RNG
+    /// stream per device. Any parallel run (threads != 1) is bitwise
+    /// reproducible for a fixed seed, independent of the thread count.
+    unsigned threads = 1;
 };
 
 struct CampaignResult {

@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <ostream>
@@ -121,6 +122,9 @@ int cmd_campaign(const Flags& flags, std::ostream& out) {
     beam::CampaignConfig cfg;
     cfg.beam_time_per_run_s = flags.get_double("hours", 24.0) * 3600.0;
     cfg.seed = static_cast<std::uint64_t>(flags.get_double("seed", 2020.0));
+    // Clamp before the cast: negative double -> unsigned is undefined.
+    cfg.threads =
+        static_cast<unsigned>(std::max(0.0, flags.get_double("threads", 1.0)));
     const auto result = beam::Campaign(cfg).run();
 
     core::TablePrinter table({"device", "type", "sigma_HE", "sigma_thermal",
@@ -191,6 +195,8 @@ int cmd_report(const Flags& flags, std::ostream& out) {
     beam::CampaignConfig cfg;
     cfg.beam_time_per_run_s = flags.get_double("hours", 24.0) * 3600.0;
     cfg.seed = static_cast<std::uint64_t>(flags.get_double("seed", 2020.0));
+    cfg.threads =
+        static_cast<unsigned>(std::max(0.0, flags.get_double("threads", 1.0)));
     core::ReliabilityStudy study(cfg);
     core::ReportOptions options;
     options.include_per_code = flags.has("per-code");
@@ -222,11 +228,14 @@ std::string usage() {
            "commands:\n"
            "  list-devices                         the calibrated roster\n"
            "  fit --device NAME --site nyc|leadville [--rainy] [--csv]\n"
-           "  campaign [--hours H] [--seed S] [--csv]\n"
+           "  campaign [--hours H] [--seed S] [--threads N] [--csv]\n"
            "  detector [--days D] [--water-days D] [--seed S] [--csv]\n"
            "  checkpoint [--nodes N] [--device NAME] [--site S] [--rainy]\n"
            "  top10 [--csv]                        supercomputer DDR FIT\n"
-           "  report [--hours H] [--seed S] [--per-code]   markdown study report\n";
+           "  report [--hours H] [--seed S] [--threads N] [--per-code]   markdown study report\n"
+           "\n"
+           "--threads: 1 = serial (default), 0 = all cores, N = N workers on\n"
+           "the shared pool; parallel results are seed-reproducible.\n";
     return oss.str();
 }
 

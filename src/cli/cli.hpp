@@ -4,7 +4,7 @@
 //
 //   tnr list-devices
 //   tnr fit --device "NVIDIA K20" --site leadville [--rainy] [--csv]
-//   tnr campaign [--hours H] [--seed S] [--csv]
+//   tnr campaign [--hours H] [--seed S] [--threads N] [--csv]
 //   tnr detector [--days D] [--water-days D] [--seed S]
 //   tnr checkpoint --nodes N --device NAME [--rainy]
 //   tnr top10

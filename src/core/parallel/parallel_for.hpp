@@ -1,0 +1,95 @@
+#pragma once
+// Deterministic parallel reductions over Monte Carlo histories/trials.
+//
+// Determinism contract (the one the tests pin down):
+//   * parallel_for_reduce: results are bitwise reproducible for a fixed
+//     (parent RNG state, threads) pair. Worker streams are derived serially
+//     from the parent via Rng::split() and chunk boundaries depend only on
+//     (n, threads), so the result is independent of the pool size and of
+//     scheduling. threads == 1 consumes the parent RNG directly, which makes
+//     it bitwise identical to the historical serial loops.
+//   * parallel_map: results are bitwise reproducible independent of the
+//     thread count — each index computes its own result from its own inputs
+//     (callers derive any randomness from the index, not the worker).
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/parallel/thread_pool.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::core::parallel {
+
+/// Resolves a requested thread count: 0 means default_thread_count(); the
+/// result is clamped to the item count and forced to 1 on pool workers
+/// (nested parallel regions run serially rather than re-entering the queue).
+inline unsigned resolve_threads(unsigned requested, std::uint64_t n) noexcept {
+    if (ThreadPool::on_worker_thread()) return 1;
+    unsigned threads = requested > 0 ? requested : default_thread_count();
+    if (n < threads) threads = n > 0 ? static_cast<unsigned>(n) : 1u;
+    return threads > 0 ? threads : 1u;
+}
+
+/// Splits `n` items into `threads` contiguous chunks, gives each chunk an
+/// independent RNG stream split off `rng`, runs
+/// `body(begin, count, stream) -> Result` per chunk on the shared pool, and
+/// folds the partials in chunk order with `merge(acc, partial)`.
+template <typename Result, typename Body, typename Merge>
+Result parallel_for_reduce(std::uint64_t n, unsigned threads, stats::Rng& rng,
+                           Body&& body, Merge&& merge) {
+    threads = resolve_threads(threads, n);
+    if (threads <= 1) return body(std::uint64_t{0}, n, rng);
+
+    // split() mutates the parent, so derive all streams serially up front.
+    std::vector<stats::Rng> streams;
+    streams.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) streams.push_back(rng.split());
+
+    std::vector<Result> partials(threads);
+    const std::uint64_t chunk = n / threads;
+    {
+        TaskGroup group(ThreadPool::shared());
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::uint64_t begin = chunk * t;
+            const std::uint64_t count = (t + 1 == threads) ? n - begin : chunk;
+            group.run([&partials, &streams, &body, t, begin, count] {
+                partials[t] = body(begin, count, streams[t]);
+            });
+        }
+        group.wait();
+    }
+
+    Result merged = std::move(partials.front());
+    for (unsigned t = 1; t < threads; ++t) merge(merged, partials[t]);
+    return merged;
+}
+
+/// Runs `body(i) -> Result` for i in [0, n) on the shared pool and returns
+/// the results in index order. Work is handed out dynamically (atomic
+/// counter), which is safe because each result depends only on its index.
+template <typename Result, typename Body>
+std::vector<Result> parallel_map(std::size_t n, unsigned threads, Body&& body) {
+    threads = resolve_threads(threads, n);
+    std::vector<Result> out(n);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < n; ++i) out[i] = body(i);
+        return out;
+    }
+
+    std::atomic<std::size_t> next{0};
+    TaskGroup group(ThreadPool::shared());
+    for (unsigned t = 0; t < threads; ++t) {
+        group.run([&out, &next, &body, n] {
+            for (std::size_t i = next.fetch_add(1); i < n;
+                 i = next.fetch_add(1)) {
+                out[i] = body(i);
+            }
+        });
+    }
+    group.wait();
+    return out;
+}
+
+}  // namespace tnr::core::parallel

@@ -1,0 +1,111 @@
+#include "core/parallel/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace tnr::core::parallel {
+
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+unsigned env_thread_override() noexcept {
+    const char* env = std::getenv("TNR_THREADS");
+    if (!env || !*env) return 0;
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || v < 1) return 0;
+    return static_cast<unsigned>(v);
+}
+
+}  // namespace
+
+unsigned default_thread_count() noexcept {
+    if (const unsigned env = env_thread_override(); env > 0) return env;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned threads) : size_(threads > 0 ? threads : 1u) {
+    workers_.reserve(size_);
+    for (unsigned t = 0; t < size_; ++t) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        const std::lock_guard lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+    tls_on_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stop_ and drained.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return tls_on_worker; }
+
+ThreadPool& ThreadPool::shared() {
+    static ThreadPool pool(default_thread_count());
+    return pool;
+}
+
+void TaskGroup::run(std::function<void()> task) {
+    {
+        const std::lock_guard lock(mutex_);
+        ++pending_;
+    }
+    pool_.submit([this, task = std::move(task)] {
+        try {
+            task();
+        } catch (...) {
+            const std::lock_guard lock(mutex_);
+            if (!error_) error_ = std::current_exception();
+        }
+        const std::lock_guard lock(mutex_);
+        --pending_;
+        // Notify while holding the lock: the waiter may destroy this group
+        // the moment it observes pending_ == 0, so the broadcast has to
+        // finish before wait() can return.
+        cv_.notify_all();
+    });
+}
+
+void TaskGroup::wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+    if (error_) {
+        auto error = error_;
+        error_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void TaskGroup::wait_no_throw() noexcept {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace tnr::core::parallel

@@ -1,0 +1,88 @@
+#pragma once
+// Shared parallel execution substrate for the Monte Carlo hot paths.
+//
+// One process-wide ThreadPool (lazily created on first use) feeds a plain
+// work queue; callers never spawn per-call std::threads. Reductions over
+// histories/trials go through parallel_for_reduce (parallel_for.hpp), which
+// owns the determinism contract: a fixed (seed, threads) pair always
+// produces bitwise-identical results, on any machine and any pool size,
+// because worker streams and chunk boundaries depend only on the requested
+// thread count — never on scheduling.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tnr::core::parallel {
+
+/// Worker count used when a caller asks for "all available" (threads == 0):
+/// the TNR_THREADS environment variable if set (>= 1), otherwise the
+/// hardware concurrency. Always >= 1.
+unsigned default_thread_count() noexcept;
+
+/// Fixed-size worker pool over a FIFO task queue.
+class ThreadPool {
+public:
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues a task for execution on some worker.
+    void submit(std::function<void()> task);
+
+    [[nodiscard]] unsigned size() const noexcept { return size_; }
+
+    /// True when the calling thread is a worker of *any* ThreadPool. Used to
+    /// run nested parallel regions serially instead of deadlocking the queue
+    /// (all workers blocked waiting on tasks queued behind them).
+    [[nodiscard]] static bool on_worker_thread() noexcept;
+
+    /// The process-wide pool, created on first use with
+    /// default_thread_count() workers.
+    static ThreadPool& shared();
+
+private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    unsigned size_ = 0;
+    bool stop_ = false;
+};
+
+/// A batch of tasks submitted to a pool; wait() blocks until every task ran
+/// and rethrows the first exception any task threw.
+class TaskGroup {
+public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+    ~TaskGroup() { wait_no_throw(); }
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Submits one task to the pool as part of this group.
+    void run(std::function<void()> task);
+
+    /// Blocks until all submitted tasks finished; rethrows the first task
+    /// exception.
+    void wait();
+
+private:
+    void wait_no_throw() noexcept;
+
+    ThreadPool& pool_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::size_t pending_ = 0;
+    std::exception_ptr error_;
+};
+
+}  // namespace tnr::core::parallel

@@ -2,15 +2,31 @@
 
 #include <stdexcept>
 
+#include "core/parallel/parallel_for.hpp"
+
 namespace tnr::faultinject {
 
-AvfResult measure_avf(const workloads::SuiteEntry& entry, std::size_t trials,
-                      std::uint64_t seed) {
-    if (trials == 0) throw std::invalid_argument("measure_avf: zero trials");
+void AvfResult::merge(const AvfResult& other) {
+    trials += other.trials;
+    masked += other.masked;
+    sdc += other.sdc;
+    sdc_critical += other.sdc_critical;
+    due_crash += other.due_crash;
+    due_hang += other.due_hang;
+    for (const auto& [segment, count] : other.sdc_by_segment) {
+        sdc_by_segment[segment] += count;
+    }
+}
+
+namespace {
+
+/// One worker's share of the trials: fresh workload instance, injector on
+/// the worker's RNG stream.
+AvfResult run_trials(const workloads::SuiteEntry& entry, std::size_t trials,
+                     stats::Rng& rng) {
     auto workload = entry.make();
-    FaultInjector injector(seed);
+    FaultInjector injector(rng);
     AvfResult result;
-    result.workload = entry.name;
     result.trials = trials;
     for (std::size_t t = 0; t < trials; ++t) {
         const InjectionRecord rec = injector.inject_once(*workload);
@@ -36,20 +52,43 @@ AvfResult measure_avf(const workloads::SuiteEntry& entry, std::size_t trials,
     return result;
 }
 
+}  // namespace
+
+AvfResult measure_avf(const workloads::SuiteEntry& entry, std::size_t trials,
+                      std::uint64_t seed, unsigned threads) {
+    if (trials == 0) throw std::invalid_argument("measure_avf: zero trials");
+    stats::Rng rng(seed);
+    AvfResult result = core::parallel::parallel_for_reduce<AvfResult>(
+        trials, threads, rng,
+        [&entry](std::uint64_t, std::uint64_t count, stats::Rng& stream) {
+            return run_trials(entry, count, stream);
+        },
+        [](AvfResult& acc, const AvfResult& p) { acc.merge(p); });
+    result.workload = entry.name;
+    return result;
+}
+
 VulnerabilityTable VulnerabilityTable::measure(
     const std::vector<workloads::SuiteEntry>& suite,
-    std::size_t trials_per_workload, std::uint64_t seed) {
+    std::size_t trials_per_workload, std::uint64_t seed, unsigned threads) {
     if (suite.empty()) {
         throw std::invalid_argument("VulnerabilityTable: empty suite");
     }
     VulnerabilityTable table;
+    // Per-entry seeds match the historical serial walk (seed+1, seed+2, ...)
+    // and each entry's trials run serially, so the table is independent of
+    // the thread count.
+    table.results_ = core::parallel::parallel_map<AvfResult>(
+        suite.size(), threads, [&suite, seed, trials_per_workload](std::size_t i) {
+            return measure_avf(suite[i], trials_per_workload,
+                               seed + 1 + static_cast<std::uint64_t>(i),
+                               /*threads=*/1);
+        });
     double sdc_sum = 0.0;
     double due_sum = 0.0;
-    std::uint64_t stream = seed;
-    for (const auto& entry : suite) {
-        table.results_.push_back(measure_avf(entry, trials_per_workload, ++stream));
-        sdc_sum += table.results_.back().avf_sdc();
-        due_sum += table.results_.back().avf_due();
+    for (const auto& r : table.results_) {
+        sdc_sum += r.avf_sdc();
+        due_sum += r.avf_due();
     }
     const auto n = static_cast<double>(suite.size());
     const double sdc_mean = sdc_sum / n;

@@ -45,11 +45,18 @@ struct AvfResult {
         return sdc ? static_cast<double>(sdc_critical) / static_cast<double>(sdc)
                    : 0.0;
     }
+
+    /// Accumulates another result's tallies (parallel-reduction merge).
+    void merge(const AvfResult& other);
 };
 
 /// Runs `trials` single-bit injections on a fresh instance of the workload.
+/// threads: 1 = serial (bitwise identical to the historical loop), 0 = all
+/// available cores, N = N deterministic RNG streams — each worker gets its
+/// own workload instance and injector. Bitwise reproducible for a fixed
+/// (seed, threads) pair.
 AvfResult measure_avf(const workloads::SuiteEntry& entry, std::size_t trials,
-                      std::uint64_t seed);
+                      std::uint64_t seed, unsigned threads = 1);
 
 /// Vulnerability weights for a whole suite, normalized so the mean SDC (and
 /// mean DUE) weight over the suite is 1 — beam campaigns multiply a device's
@@ -57,10 +64,14 @@ AvfResult measure_avf(const workloads::SuiteEntry& entry, std::size_t trials,
 /// preserving the device-average ratios.
 class VulnerabilityTable {
 public:
-    /// Measures every workload in the suite.
+    /// Measures every workload in the suite. Workloads fan out across
+    /// `threads` pool workers (0 = all cores); each keeps its historical
+    /// per-entry seed and serial trial loop, so the table is bitwise
+    /// identical for every thread count (including the old serial path).
     static VulnerabilityTable measure(const std::vector<workloads::SuiteEntry>& suite,
                                       std::size_t trials_per_workload,
-                                      std::uint64_t seed);
+                                      std::uint64_t seed,
+                                      unsigned threads = 1);
 
     /// A neutral table (all weights 1) for quick campaigns.
     static VulnerabilityTable uniform(

@@ -44,6 +44,10 @@ class FaultInjector {
 public:
     explicit FaultInjector(std::uint64_t seed = 0xFA017ULL);
 
+    /// Injector driven by an existing RNG stream (parallel AVF measurement
+    /// hands each worker a split() stream).
+    explicit FaultInjector(stats::Rng rng) : rng_(rng) {}
+
     /// Runs one injection trial: reset -> flip one random bit (uniform over
     /// all injectable bytes) -> run -> classify. Leaves the workload dirty;
     /// callers run reset() or just call inject_once again.

@@ -5,6 +5,7 @@
 
 #include "physics/cross_sections.hpp"
 #include "physics/units.hpp"
+#include "stats/rng.hpp"
 
 namespace tnr::physics {
 
@@ -34,9 +35,7 @@ Material::Material(std::string name, std::vector<NuclideComponent> components)
 double Material::sigma_scatter(double energy_ev) const {
     double sigma = 0.0;
     for (const auto& c : components_) {
-        const double micro = c.sigma_elastic_barns /
-                             (1.0 + energy_ev / c.elastic_half_energy_ev);
-        sigma += c.number_density * micro * kBarnToCm2;
+        sigma += c.macro_elastic_per_cm(energy_ev);
     }
     return sigma;
 }
@@ -60,6 +59,20 @@ double Material::mean_free_path(double energy_ev) const {
         throw std::runtime_error("Material::mean_free_path: vacuum material");
     }
     return 1.0 / sigma;
+}
+
+double Material::sample_scatter_mass(double energy_ev,
+                                     double sigma_scatter_total,
+                                     stats::Rng& rng) const {
+    double pick = rng.uniform() * sigma_scatter_total;
+    for (const auto& c : components_) {
+        const double contrib = c.macro_elastic_per_cm(energy_ev);
+        if (pick < contrib) return c.mass_number;
+        pick -= contrib;
+    }
+    // Rounding left pick past the last component: historical behaviour is to
+    // fall back to the first one.
+    return components_.front().mass_number;
 }
 
 double Material::average_xi() const {

@@ -7,6 +7,12 @@
 #include <string>
 #include <vector>
 
+#include "physics/units.hpp"
+
+namespace tnr::stats {
+class Rng;
+}
+
 namespace tnr::physics {
 
 /// A nuclide species inside a material, with the constants the 1-D transport
@@ -24,6 +30,18 @@ struct NuclideComponent {
     /// sigma_el(E) = sigma_el / (1 + E / half_energy). Hydrogen's drops the
     /// earliest (2.6e5 eV); heavier nuclides hold on to ~2e6 eV.
     double elastic_half_energy_ev = 2.0e6;
+
+    /// Microscopic elastic cross section [barns] at energy E — the single
+    /// source of the roll-off formula above; Material::sigma_scatter, the
+    /// transport nuclide pick, and MaterialXsTable all go through here.
+    [[nodiscard]] double micro_elastic_barns(double energy_ev) const noexcept {
+        return sigma_elastic_barns / (1.0 + energy_ev / elastic_half_energy_ev);
+    }
+
+    /// This component's macroscopic elastic contribution [1/cm] at energy E.
+    [[nodiscard]] double macro_elastic_per_cm(double energy_ev) const noexcept {
+        return number_density * micro_elastic_barns(energy_ev) * kBarnToCm2;
+    }
 };
 
 /// A homogeneous material slab composition.
@@ -52,6 +70,15 @@ public:
 
     /// Flux-averaged log-energy decrement (moderating power proxy).
     [[nodiscard]] double average_xi() const;
+
+    /// Samples the mass number of the nuclide a neutron elastically scatters
+    /// off at energy E, proportional to each component's macroscopic elastic
+    /// cross section. `sigma_scatter_total` must be sigma_scatter(E) (passed
+    /// in because the transport loop already has it). Draws exactly one
+    /// rng.uniform().
+    [[nodiscard]] double sample_scatter_mass(double energy_ev,
+                                             double sigma_scatter_total,
+                                             stats::Rng& rng) const;
 
     // --- Library --------------------------------------------------------------
     static Material water();           ///< H2O, 1.0 g/cm^3.

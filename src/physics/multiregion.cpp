@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel/parallel_for.hpp"
 #include "physics/cross_sections.hpp"
 #include "physics/units.hpp"
 
@@ -25,12 +26,14 @@ LayeredTransport::LayeredTransport(std::vector<Layer> layers,
         throw std::invalid_argument("LayeredTransport: no layers");
     }
     boundaries_.reserve(layers_.size());
+    xs_.reserve(layers_.size());
     for (const auto& layer : layers_) {
         if (!(layer.thickness_cm > 0.0)) {
             throw std::invalid_argument("LayeredTransport: bad thickness");
         }
         total_ += layer.thickness_cm;
         boundaries_.push_back(total_);
+        xs_.emplace_back(layer.material);
     }
 }
 
@@ -46,6 +49,7 @@ LayeredFate LayeredTransport::transport_one(double energy_ev,
     double e = energy_ev;
     double x = 0.0;
     double mu = 1.0;
+    const bool use_table = config_.use_xs_table;
 
     for (std::uint32_t step = 0; step < config_.max_scatters; ++step) {
         const std::size_t li = layer_at(x);
@@ -57,8 +61,17 @@ LayeredFate LayeredTransport::transport_one(double energy_ev,
             // Free streaming to the next boundary (or out).
             x = (mu > 0.0) ? layer_hi + 1e-12 : layer_lo - 1e-12;
         } else {
-            const double sigma_s = layer.material.sigma_scatter(e);
-            const double sigma_a = layer.material.sigma_absorb(e);
+            MaterialXsTable::Lookup lk;
+            double sigma_s;
+            double sigma_a;
+            if (use_table) {
+                lk = xs_[li].lookup(e);
+                sigma_s = lk.sigma_scatter;
+                sigma_a = lk.sigma_absorb;
+            } else {
+                sigma_s = layer.material.sigma_scatter(e);
+                sigma_a = layer.material.sigma_absorb(e);
+            }
             const double sigma_t = sigma_s + sigma_a;
             if (sigma_t <= 0.0) {
                 x = (mu > 0.0) ? layer_hi + 1e-12 : layer_lo - 1e-12;
@@ -76,20 +89,11 @@ LayeredFate LayeredTransport::transport_one(double energy_ev,
                         return {Fate::kAbsorbed, e, li};
                     }
                     // Elastic scatter off a nuclide sampled at energy e.
-                    double pick = rng.uniform() * sigma_s;
-                    double a = layer.material.components().front().mass_number;
-                    for (const auto& c : layer.material.components()) {
-                        const double micro =
-                            c.sigma_elastic_barns /
-                            (1.0 + e / c.elastic_half_energy_ev);
-                        const double contrib =
-                            c.number_density * micro * kBarnToCm2;
-                        if (pick < contrib) {
-                            a = c.mass_number;
-                            break;
-                        }
-                        pick -= contrib;
-                    }
+                    const double a =
+                        use_table
+                            ? xs_[li].sample_scatter_mass(lk, rng)
+                            : layer.material.sample_scatter_mass(e, sigma_s,
+                                                                 rng);
                     if (e > config_.thermal_floor_ev) {
                         const double mu_cm = rng.uniform(-1.0, 1.0);
                         const double a1 = a + 1.0;
@@ -109,6 +113,27 @@ LayeredFate LayeredTransport::transport_one(double energy_ev,
         if (x <= 0.0) return {Fate::kReflected, e, 0};
     }
     return {Fate::kLost, e, 0};
+}
+
+void LayeredResult::merge(const LayeredResult& other) {
+    total += other.total;
+    transmitted += other.transmitted;
+    transmitted_thermal += other.transmitted_thermal;
+    reflected += other.reflected;
+    reflected_thermal += other.reflected_thermal;
+    absorbed += other.absorbed;
+    lost += other.lost;
+    if (absorbed_by_layer.empty()) {
+        absorbed_by_layer = other.absorbed_by_layer;
+    } else if (!other.absorbed_by_layer.empty()) {
+        if (absorbed_by_layer.size() != other.absorbed_by_layer.size()) {
+            throw std::invalid_argument(
+                "LayeredResult::merge: layer count mismatch");
+        }
+        for (std::size_t i = 0; i < absorbed_by_layer.size(); ++i) {
+            absorbed_by_layer[i] += other.absorbed_by_layer[i];
+        }
+    }
 }
 
 namespace {
@@ -136,26 +161,38 @@ void record(LayeredResult& r, const LayeredFate& f) {
 
 }  // namespace
 
+template <typename SampleEnergy>
+LayeredResult LayeredTransport::run_histories(SampleEnergy&& sample,
+                                              std::uint64_t n,
+                                              stats::Rng& rng) const {
+    return core::parallel::parallel_for_reduce<LayeredResult>(
+        n, config_.threads, rng,
+        [this, &sample](std::uint64_t, std::uint64_t count,
+                        stats::Rng& stream) {
+            LayeredResult result;
+            result.absorbed_by_layer.assign(layers_.size(), 0);
+            for (std::uint64_t i = 0; i < count; ++i) {
+                record(result, transport_one(sample(stream), stream));
+            }
+            return result;
+        },
+        [](LayeredResult& acc, const LayeredResult& p) { acc.merge(p); });
+}
+
 LayeredResult LayeredTransport::run_monoenergetic(double energy_ev,
                                                   std::uint64_t n,
                                                   stats::Rng& rng) const {
-    LayeredResult result;
-    result.absorbed_by_layer.assign(layers_.size(), 0);
-    for (std::uint64_t i = 0; i < n; ++i) {
-        record(result, transport_one(energy_ev, rng));
-    }
-    return result;
+    return run_histories([energy_ev](stats::Rng&) { return energy_ev; }, n,
+                         rng);
 }
 
 LayeredResult LayeredTransport::run_spectrum(const Spectrum& spectrum,
                                              std::uint64_t n,
                                              stats::Rng& rng) const {
-    LayeredResult result;
-    result.absorbed_by_layer.assign(layers_.size(), 0);
-    for (std::uint64_t i = 0; i < n; ++i) {
-        record(result, transport_one(spectrum.sample_energy(rng), rng));
-    }
-    return result;
+    spectrum.prepare_sampling();
+    return run_histories(
+        [&spectrum](stats::Rng& stream) { return spectrum.sample_energy(stream); },
+        n, rng);
 }
 
 }  // namespace tnr::physics

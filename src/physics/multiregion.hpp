@@ -17,6 +17,7 @@
 #include "physics/materials.hpp"
 #include "physics/spectrum.hpp"
 #include "physics/transport.hpp"
+#include "physics/xs_table.hpp"
 #include "stats/rng.hpp"
 
 namespace tnr::physics {
@@ -65,6 +66,10 @@ struct LayeredResult {
                            static_cast<double>(total)
                      : 0.0;
     }
+
+    /// Accumulates another result (parallel-reduction merge). Layer vectors
+    /// must have the same size (or one side empty).
+    void merge(const LayeredResult& other);
 };
 
 /// Transport through an ordered stack of layers (front face of layer 0 at
@@ -83,6 +88,8 @@ public:
     [[nodiscard]] LayeredFate transport_one(double energy_ev,
                                             stats::Rng& rng) const;
 
+    /// Transports `n` histories on config.threads workers of the shared pool
+    /// (1 = serial, bitwise identical to the historical loop).
     [[nodiscard]] LayeredResult run_monoenergetic(double energy_ev,
                                                   std::uint64_t n,
                                                   stats::Rng& rng) const;
@@ -94,8 +101,14 @@ public:
 private:
     [[nodiscard]] std::size_t layer_at(double x) const;
 
+    template <typename SampleEnergy>
+    [[nodiscard]] LayeredResult run_histories(SampleEnergy&& sample,
+                                              std::uint64_t n,
+                                              stats::Rng& rng) const;
+
     std::vector<Layer> layers_;
     std::vector<double> boundaries_;  ///< layer upper x, size = layers.
+    std::vector<MaterialXsTable> xs_;  ///< one per layer (unused for vacuum).
     double total_ = 0.0;
     TransportConfig config_;
 };

@@ -259,6 +259,10 @@ double CompositeSpectrum::integral_flux(double lo_ev, double hi_ev) const {
     return sum;
 }
 
+void CompositeSpectrum::prepare_sampling() const {
+    for (const auto& p : parts_) p->prepare_sampling();
+}
+
 double CompositeSpectrum::sample_energy(stats::Rng& rng) const {
     double u = rng.uniform() * total_;
     for (std::size_t i = 0; i < parts_.size(); ++i) {

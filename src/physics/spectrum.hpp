@@ -48,6 +48,11 @@ public:
     /// a cached tabulated inverse CDF on a log grid.
     [[nodiscard]] virtual double sample_energy(stats::Rng& rng) const;
 
+    /// Builds any lazy sampling state now, so the spectrum can be shared
+    /// read-only across threads afterwards. Call before handing the spectrum
+    /// to concurrent samplers (the parallel transport runs do).
+    virtual void prepare_sampling() const { ensure_sampling_table(); }
+
     /// Renders E * dPhi/dE (flux per unit lethargy) on a log-spaced grid.
     /// Returns pairs (E_center, lethargy_flux).
     [[nodiscard]] std::vector<std::pair<double, double>> lethargy_table(
@@ -75,6 +80,7 @@ public:
     [[nodiscard]] double max_energy_ev() const override { return 100.0 * kt_; }
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] double sample_energy(stats::Rng& rng) const override;
+    void prepare_sampling() const override {}  // analytic sampler, no state.
 
     [[nodiscard]] double kt_ev() const noexcept { return kt_; }
 
@@ -94,6 +100,7 @@ public:
     [[nodiscard]] double max_energy_ev() const override { return hi_; }
     [[nodiscard]] std::string name() const override { return "1/E epithermal"; }
     [[nodiscard]] double sample_energy(stats::Rng& rng) const override;
+    void prepare_sampling() const override {}  // analytic sampler, no state.
 
 private:
     double scale_;
@@ -153,6 +160,7 @@ public:
     [[nodiscard]] std::string name() const override { return name_; }
     [[nodiscard]] double integral_flux(double lo_ev, double hi_ev) const override;
     [[nodiscard]] double sample_energy(stats::Rng& rng) const override;
+    void prepare_sampling() const override;
 
     [[nodiscard]] const std::vector<std::shared_ptr<const Spectrum>>& parts()
         const noexcept {

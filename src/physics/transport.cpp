@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
-#include <vector>
 #include <stdexcept>
+#include <utility>
 
+#include "core/parallel/parallel_for.hpp"
 #include "physics/cross_sections.hpp"
 #include "physics/units.hpp"
 
@@ -13,7 +13,10 @@ namespace tnr::physics {
 
 SlabTransport::SlabTransport(Material material, double thickness_cm,
                              TransportConfig config)
-    : material_(std::move(material)), thickness_(thickness_cm), config_(config) {
+    : material_(std::move(material)),
+      thickness_(thickness_cm),
+      config_(config),
+      xs_(material_) {
     if (!(thickness_cm > 0.0)) {
         throw std::invalid_argument("SlabTransport: thickness must be > 0");
     }
@@ -24,11 +27,20 @@ Fate SlabTransport::transport_one(double energy_ev, stats::Rng& rng,
     double e = energy_ev;
     double x = 0.0;
     double mu = 1.0;  // entering along +x.
-    const auto& comps = material_.components();
+    const bool use_table = config_.use_xs_table;
 
     for (std::uint32_t scatter = 0; scatter < config_.max_scatters; ++scatter) {
-        const double sigma_s = material_.sigma_scatter(e);
-        const double sigma_a = material_.sigma_absorb(e);
+        MaterialXsTable::Lookup lk;
+        double sigma_s;
+        double sigma_a;
+        if (use_table) {
+            lk = xs_.lookup(e);
+            sigma_s = lk.sigma_scatter;
+            sigma_a = lk.sigma_absorb;
+        } else {
+            sigma_s = material_.sigma_scatter(e);
+            sigma_a = material_.sigma_absorb(e);
+        }
         const double sigma_t = sigma_s + sigma_a;
         if (sigma_t <= 0.0) {
             // Transparent medium: fly straight out.
@@ -52,18 +64,9 @@ Fate SlabTransport::transport_one(double energy_ev, stats::Rng& rng,
 
         // Choose the scattering nuclide proportional to its macroscopic
         // elastic cross section at the current energy.
-        double pick = rng.uniform() * sigma_s;
-        double a = comps.front().mass_number;
-        for (const auto& c : comps) {
-            const double micro = c.sigma_elastic_barns /
-                                 (1.0 + e / c.elastic_half_energy_ev);
-            const double contrib = c.number_density * micro * kBarnToCm2;
-            if (pick < contrib) {
-                a = c.mass_number;
-                break;
-            }
-            pick -= contrib;
-        }
+        const double a = use_table
+                             ? xs_.sample_scatter_mass(lk, rng)
+                             : material_.sample_scatter_mass(e, sigma_s, rng);
 
         if (e > config_.thermal_floor_ev) {
             // Isotropic CM elastic scatter: E'/E = (A^2 + 1 + 2A*mu_cm)/(A+1)^2.
@@ -108,29 +111,41 @@ void record(TransportResult& r, Fate fate, double exit_e) {
 
 }  // namespace
 
+template <typename SampleEnergy>
+TransportResult SlabTransport::run_histories(SampleEnergy&& sample,
+                                             std::uint64_t n, stats::Rng& rng,
+                                             unsigned threads) const {
+    return core::parallel::parallel_for_reduce<TransportResult>(
+        n, threads, rng,
+        [this, &sample](std::uint64_t, std::uint64_t count,
+                        stats::Rng& stream) {
+            TransportResult r;
+            for (std::uint64_t i = 0; i < count; ++i) {
+                double exit_e = 0.0;
+                const Fate fate = transport_one(sample(stream), stream, &exit_e);
+                record(r, fate, exit_e);
+            }
+            return r;
+        },
+        [](TransportResult& acc, const TransportResult& p) { acc.merge(p); });
+}
+
 TransportResult SlabTransport::run_monoenergetic(double energy_ev,
                                                  std::uint64_t n,
                                                  stats::Rng& rng) const {
-    TransportResult result;
-    for (std::uint64_t i = 0; i < n; ++i) {
-        double exit_e = 0.0;
-        const Fate fate = transport_one(energy_ev, rng, &exit_e);
-        record(result, fate, exit_e);
-    }
-    return result;
+    return run_histories([energy_ev](stats::Rng&) { return energy_ev; }, n,
+                         rng, config_.threads);
 }
 
 TransportResult SlabTransport::run_spectrum(const Spectrum& spectrum,
                                             std::uint64_t n,
                                             stats::Rng& rng) const {
-    TransportResult result;
-    for (std::uint64_t i = 0; i < n; ++i) {
-        double exit_e = 0.0;
-        const double e = spectrum.sample_energy(rng);
-        const Fate fate = transport_one(e, rng, &exit_e);
-        record(result, fate, exit_e);
-    }
-    return result;
+    // Build any lazy inverse-CDF sampling table before the fan-out: workers
+    // share the spectrum concurrently.
+    spectrum.prepare_sampling();
+    return run_histories(
+        [&spectrum](stats::Rng& stream) { return spectrum.sample_energy(stream); },
+        n, rng, config_.threads);
 }
 
 double SlabTransport::analytic_transmission(double energy_ev) const {
@@ -150,34 +165,10 @@ void TransportResult::merge(const TransportResult& other) noexcept {
 TransportResult SlabTransport::run_monoenergetic_parallel(
     double energy_ev, std::uint64_t n, stats::Rng& rng,
     unsigned threads) const {
-    if (threads == 0) {
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    }
-    threads = static_cast<unsigned>(
-        std::min<std::uint64_t>(threads, std::max<std::uint64_t>(1, n)));
-
-    // Derive one decorrelated stream per worker up front (split() mutates
-    // the parent, so do it serially).
-    std::vector<stats::Rng> streams;
-    streams.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) streams.push_back(rng.split());
-
-    std::vector<TransportResult> partials(threads);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    const std::uint64_t chunk = n / threads;
-    for (unsigned t = 0; t < threads; ++t) {
-        const std::uint64_t count =
-            (t + 1 == threads) ? n - chunk * (threads - 1) : chunk;
-        workers.emplace_back([this, energy_ev, count, &streams, &partials, t] {
-            partials[t] = run_monoenergetic(energy_ev, count, streams[t]);
-        });
-    }
-    for (auto& w : workers) w.join();
-
-    TransportResult merged;
-    for (const auto& p : partials) merged.merge(p);
-    return merged;
+    // Deprecated forwarding wrapper: same (seed, threads) stream-splitting
+    // contract as before, now executed on the shared pool.
+    return run_histories([energy_ev](stats::Rng&) { return energy_ev; }, n,
+                         rng, threads);
 }
 
 }  // namespace tnr::physics

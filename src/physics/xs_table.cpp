@@ -1,0 +1,149 @@
+#include "physics/xs_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "physics/cross_sections.hpp"
+#include "physics/units.hpp"
+
+namespace tnr::physics {
+
+namespace {
+
+// Grid span. The lower end sits below any Maxwellian re-sample the transport
+// can realistically produce; the upper end covers the atmospheric spectrum's
+// 1 GeV tail. At 128 nodes per decade the steepest library branch (cadmium's
+// E^-3 resonance tail) carries a linear-interpolation error of
+// alpha^2 h^2 / 8 ~ 4e-4, inside the 1e-3 contract with margin.
+constexpr double kGridMinEv = 1.0e-7;
+constexpr double kGridMaxEv = 2.0e9;
+constexpr int kNodesPerDecade = 128;
+
+/// The cadmium model (cross_sections.cpp) switches branches at the 0.5 eV
+/// cutoff and again where the E^-3 resonance tail meets the 1/v epithermal
+/// floor; solve tail(E) == floor(E) for the second kink. Both are scale-free:
+/// Material scales the whole curve by sigma_thermal / kCdCaptureBarns.
+double cd_tail_floor_crossover_ev() noexcept {
+    // body/r^3 = 7 sqrt(cutoff/E) with body = sigma0 sqrt(E_th/E):
+    // E^3 = sigma0 sqrt(E_th) cutoff^3 / (7 sqrt(cutoff)).
+    const double lhs = kCdCaptureBarns * std::sqrt(kThermalReferenceEv) *
+                       kThermalCutoffEv * kThermalCutoffEv * kThermalCutoffEv /
+                       (7.0 * std::sqrt(kThermalCutoffEv));
+    return std::cbrt(lhs);
+}
+
+}  // namespace
+
+MaterialXsTable::MaterialXsTable(const Material& material) {
+    const auto& comps = material.components();
+    components_ = comps.size();
+
+    ln_e_min_ = std::log(kGridMinEv);
+    const double ln_e_max = std::log(kGridMaxEv);
+    const double decades = (ln_e_max - ln_e_min_) / std::log(10.0);
+    const auto base_nodes =
+        static_cast<std::size_t>(decades * kNodesPerDecade) + 1;
+    const std::size_t cells = base_nodes - 1;
+    const double cell_width = (ln_e_max - ln_e_min_) / static_cast<double>(cells);
+    inv_cell_width_ = 1.0 / cell_width;
+
+    ln_energy_.reserve(base_nodes + 4);
+    for (std::size_t i = 0; i < base_nodes; ++i) {
+        const double f = static_cast<double>(i) /
+                         static_cast<double>(base_nodes - 1);
+        ln_energy_.push_back(ln_e_min_ + f * (ln_e_max - ln_e_min_));
+    }
+
+    const bool has_cadmium =
+        std::any_of(comps.begin(), comps.end(),
+                    [](const NuclideComponent& c) { return c.cadmium_like; });
+    if (has_cadmium) {
+        ln_energy_.push_back(std::log(kThermalCutoffEv));
+        ln_energy_.push_back(std::log(cd_tail_floor_crossover_ev()));
+        std::sort(ln_energy_.begin(), ln_energy_.end());
+        ln_energy_.erase(std::unique(ln_energy_.begin(), ln_energy_.end()),
+                         ln_energy_.end());
+    }
+
+    const std::size_t nodes = ln_energy_.size();
+    sigma_s_.resize(nodes);
+    sigma_a_.resize(nodes);
+    cum_elastic_.resize(nodes * components_);
+    mass_numbers_.reserve(components_);
+    for (const auto& c : comps) mass_numbers_.push_back(c.mass_number);
+
+    for (std::size_t i = 0; i < nodes; ++i) {
+        const double e = std::exp(ln_energy_[i]);
+        double sigma_s = 0.0;
+        double* cum = &cum_elastic_[i * components_];
+        for (std::size_t c = 0; c < components_; ++c) {
+            sigma_s += comps[c].macro_elastic_per_cm(e);
+            cum[c] = sigma_s;
+        }
+        if (sigma_s > 0.0) {
+            for (std::size_t c = 0; c < components_; ++c) cum[c] /= sigma_s;
+        } else {
+            for (std::size_t c = 0; c < components_; ++c) cum[c] = 1.0;
+        }
+        sigma_s_[i] = sigma_s;
+        sigma_a_[i] = material.sigma_absorb(e);
+    }
+
+    // Per-cell locate table: the last node at or below each uniform cell's
+    // left edge. Without kink nodes this is the identity map; with them the
+    // lookup's forward scan covers the (at most two) extra nodes.
+    accel_.resize(cells);
+    std::size_t node = 0;
+    for (std::size_t j = 0; j < cells; ++j) {
+        const double cell_lo = ln_e_min_ + static_cast<double>(j) * cell_width;
+        while (node + 1 < nodes && ln_energy_[node + 1] <= cell_lo) ++node;
+        accel_[j] = static_cast<std::uint32_t>(node);
+    }
+}
+
+MaterialXsTable::Lookup MaterialXsTable::lookup(
+    double energy_ev) const noexcept {
+    const double ln_e =
+        std::log(std::clamp(energy_ev, kGridMinEv, kGridMaxEv));
+
+    const auto cell = std::min<std::size_t>(
+        accel_.size() - 1,
+        static_cast<std::size_t>(
+            std::max(0.0, (ln_e - ln_e_min_) * inv_cell_width_)));
+    std::size_t lo = accel_[cell];
+    const std::size_t last = ln_energy_.size() - 1;
+    while (lo + 1 < last && ln_energy_[lo + 1] <= ln_e) ++lo;
+    while (lo > 0 && ln_energy_[lo] > ln_e) --lo;  // rounding guard.
+    const std::size_t hi = lo + 1;
+
+    const double span = ln_energy_[hi] - ln_energy_[lo];
+    const double frac =
+        span > 0.0 ? std::clamp((ln_e - ln_energy_[lo]) / span, 0.0, 1.0) : 0.0;
+
+    Lookup lk;
+    lk.node = lo;
+    lk.frac = frac;
+    lk.sigma_scatter = sigma_s_[lo] + frac * (sigma_s_[hi] - sigma_s_[lo]);
+    lk.sigma_absorb = sigma_a_[lo] + frac * (sigma_a_[hi] - sigma_a_[lo]);
+    return lk;
+}
+
+double MaterialXsTable::sample_scatter_mass(const Lookup& lk,
+                                            stats::Rng& rng) const noexcept {
+    const double u = rng.uniform();
+    if (components_ == 1) return mass_numbers_.front();
+    const double* lo = &cum_elastic_[lk.node * components_];
+    const double* hi = lo + components_;
+    for (std::size_t c = 0; c + 1 < components_; ++c) {
+        // Interpolated cumulative fraction: a convex mix of two monotone
+        // vectors ending at 1, so the walk always terminates.
+        const double cum = lo[c] + lk.frac * (hi[c] - lo[c]);
+        if (u < cum) return mass_numbers_[c];
+    }
+    return mass_numbers_.back();
+}
+
+double MaterialXsTable::min_energy_ev() const noexcept { return kGridMinEv; }
+double MaterialXsTable::max_energy_ev() const noexcept { return kGridMaxEv; }
+
+}  // namespace tnr::physics

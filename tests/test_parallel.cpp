@@ -1,0 +1,351 @@
+// The parallel execution engine and the cross-section cache: the pool's
+// plumbing, the determinism contract (same seed + same thread count =>
+// bitwise-identical results), cross-thread-count statistical equivalence,
+// and the MaterialXsTable accuracy bound.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "beam/campaign.hpp"
+#include "core/parallel/parallel_for.hpp"
+#include "core/parallel/thread_pool.hpp"
+#include "faultinject/avf.hpp"
+#include "physics/materials.hpp"
+#include "physics/multiregion.hpp"
+#include "physics/spectrum.hpp"
+#include "physics/transport.hpp"
+#include "physics/xs_table.hpp"
+#include "stats/rng.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace tnr;
+using namespace tnr::physics;
+using core::parallel::parallel_for_reduce;
+using core::parallel::parallel_map;
+using core::parallel::TaskGroup;
+using core::parallel::ThreadPool;
+
+// --- Pool plumbing ----------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+    std::atomic<int> counter{0};
+    {
+        TaskGroup group(ThreadPool::shared());
+        for (int i = 0; i < 64; ++i) {
+            group.run([&counter] { counter.fetch_add(1); });
+        }
+        group.wait();
+    }
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, GroupRethrowsTaskException) {
+    TaskGroup group(ThreadPool::shared());
+    group.run([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, WorkerFlagIsSetOnWorkers) {
+    EXPECT_FALSE(ThreadPool::on_worker_thread());
+    bool on_worker = false;
+    TaskGroup group(ThreadPool::shared());
+    group.run([&on_worker] { on_worker = ThreadPool::on_worker_thread(); });
+    group.wait();
+    EXPECT_TRUE(on_worker);
+}
+
+TEST(ParallelFor, SumsMatchSerialArithmetic) {
+    stats::Rng rng(7);
+    const auto sum = parallel_for_reduce<std::uint64_t>(
+        10'000, 4, rng,
+        [](std::uint64_t begin, std::uint64_t count, stats::Rng&) {
+            std::uint64_t s = 0;
+            for (std::uint64_t i = begin; i < begin + count; ++i) s += i;
+            return s;
+        },
+        [](std::uint64_t& acc, const std::uint64_t& p) { acc += p; });
+    EXPECT_EQ(sum, 10'000ull * 9'999ull / 2);
+}
+
+TEST(ParallelFor, MapPreservesIndexOrder) {
+    const auto out = parallel_map<std::size_t>(
+        257, 4, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+// --- Transport determinism --------------------------------------------------
+
+bool same_result(const TransportResult& a, const TransportResult& b) {
+    return a.transmitted == b.transmitted && a.reflected == b.reflected &&
+           a.absorbed == b.absorbed && a.lost == b.lost &&
+           a.transmitted_thermal == b.transmitted_thermal &&
+           a.reflected_thermal == b.reflected_thermal && a.total == b.total;
+}
+
+TEST(ParallelTransport, SameSeedSameThreadsIsBitwiseReproducible) {
+    TransportConfig cfg;
+    cfg.threads = 4;
+    const SlabTransport slab(Material::water(), 5.0, cfg);
+    const MaxwellianSpectrum spectrum(1.0, 0.0253);
+
+    stats::Rng rng_a(42);
+    stats::Rng rng_b(42);
+    const auto a = slab.run_spectrum(spectrum, 20'000, rng_a);
+    const auto b = slab.run_spectrum(spectrum, 20'000, rng_b);
+    EXPECT_TRUE(same_result(a, b));
+    EXPECT_EQ(a.total, 20'000u);
+}
+
+TEST(ParallelTransport, SerialPathMatchesHandRolledLoop) {
+    // threads == 1 must consume the caller's RNG exactly like the historical
+    // serial loop: transport_one per history, nothing split off.
+    TransportConfig cfg;
+    cfg.threads = 1;
+    const SlabTransport slab(Material::polyethylene(), 2.0, cfg);
+
+    stats::Rng rng_run(11);
+    const auto run = slab.run_monoenergetic(1.0e6, 2'000, rng_run);
+
+    stats::Rng rng_hand(11);
+    std::uint64_t transmitted = 0;
+    for (int i = 0; i < 2'000; ++i) {
+        if (slab.transport_one(1.0e6, rng_hand) == Fate::kTransmitted) {
+            ++transmitted;
+        }
+    }
+    EXPECT_EQ(run.transmitted, transmitted);
+    // Both walks drew the same variates, so the RNGs must agree afterwards.
+    EXPECT_EQ(rng_run.next(), rng_hand.next());
+}
+
+TEST(ParallelTransport, ThreadCountsAreStatisticallyEquivalent) {
+    const MaxwellianSpectrum spectrum(1.0, 0.0253);
+    constexpr std::uint64_t kN = 40'000;
+
+    TransportConfig serial_cfg;
+    serial_cfg.threads = 1;
+    const SlabTransport serial_slab(Material::water(), 3.0, serial_cfg);
+    stats::Rng rng_serial(2020);
+    const auto serial = serial_slab.run_spectrum(spectrum, kN, rng_serial);
+
+    TransportConfig pool_cfg;
+    pool_cfg.threads = 8;
+    const SlabTransport pool_slab(Material::water(), 3.0, pool_cfg);
+    stats::Rng rng_pool(2020);
+    const auto pool = pool_slab.run_spectrum(spectrum, kN, rng_pool);
+
+    // Transmission counts are binomial with a shared p; their difference is
+    // within a few Poisson sigmas (6 sigma => negligible flake rate).
+    const auto diff = [](std::uint64_t x, std::uint64_t y) {
+        return x > y ? x - y : y - x;
+    };
+    const double sigma = std::sqrt(static_cast<double>(
+        serial.transmitted + pool.transmitted + 1));
+    EXPECT_LT(static_cast<double>(diff(serial.transmitted, pool.transmitted)),
+              6.0 * sigma + 1.0);
+    const double sigma_abs = std::sqrt(static_cast<double>(
+        serial.absorbed + pool.absorbed + 1));
+    EXPECT_LT(static_cast<double>(diff(serial.absorbed, pool.absorbed)),
+              6.0 * sigma_abs + 1.0);
+}
+
+TEST(ParallelTransport, DeprecatedParallelWrapperStillWorks) {
+    const SlabTransport slab(Material::water(), 2.0);
+    stats::Rng rng_a(5);
+    stats::Rng rng_b(5);
+    const auto a = slab.run_monoenergetic_parallel(0.0253, 5'000, rng_a, 3);
+    const auto b = slab.run_monoenergetic_parallel(0.0253, 5'000, rng_b, 3);
+    EXPECT_TRUE(same_result(a, b));
+    EXPECT_EQ(a.total, 5'000u);
+}
+
+TEST(ParallelTransport, LayeredRunsAreReproducibleAndMergeLayers) {
+    TransportConfig cfg;
+    cfg.threads = 4;
+    const LayeredTransport stack(
+        {Layer::slab(Material::water(), 2.0), Layer::gap(1.0),
+         Layer::slab(Material::cadmium(), 0.1)},
+        cfg);
+
+    stats::Rng rng_a(99);
+    stats::Rng rng_b(99);
+    const auto a = stack.run_monoenergetic(1.0e6, 10'000, rng_a);
+    const auto b = stack.run_monoenergetic(1.0e6, 10'000, rng_b);
+
+    EXPECT_EQ(a.total, 10'000u);
+    EXPECT_EQ(a.transmitted, b.transmitted);
+    EXPECT_EQ(a.absorbed, b.absorbed);
+    ASSERT_EQ(a.absorbed_by_layer.size(), 3u);
+    EXPECT_EQ(a.absorbed_by_layer, b.absorbed_by_layer);
+    const std::uint64_t by_layer = std::accumulate(
+        a.absorbed_by_layer.begin(), a.absorbed_by_layer.end(),
+        std::uint64_t{0});
+    EXPECT_EQ(by_layer, a.absorbed);
+}
+
+// --- AVF determinism --------------------------------------------------------
+
+bool same_avf(const faultinject::AvfResult& a, const faultinject::AvfResult& b) {
+    return a.trials == b.trials && a.masked == b.masked && a.sdc == b.sdc &&
+           a.sdc_critical == b.sdc_critical && a.due_crash == b.due_crash &&
+           a.due_hang == b.due_hang && a.sdc_by_segment == b.sdc_by_segment;
+}
+
+TEST(ParallelAvf, SameSeedSameThreadsIsBitwiseReproducible) {
+    const auto& entry = workloads::entry_by_name("MxM");
+    const auto a = faultinject::measure_avf(entry, 300, 17, 3);
+    const auto b = faultinject::measure_avf(entry, 300, 17, 3);
+    EXPECT_TRUE(same_avf(a, b));
+    EXPECT_EQ(a.trials, 300u);
+}
+
+TEST(ParallelAvf, SerialPathMatchesHistoricalSeedBehaviour) {
+    // threads == 1 reproduces the pre-pool implementation: injector seeded
+    // directly, trials walked in order.
+    const auto& entry = workloads::entry_by_name("MxM");
+    const auto serial = faultinject::measure_avf(entry, 200, 1, 1);
+    const auto legacy_default = faultinject::measure_avf(entry, 200, 1);
+    EXPECT_TRUE(same_avf(serial, legacy_default));
+}
+
+TEST(ParallelAvf, VulnerabilityTableIsThreadCountInvariant) {
+    const std::vector<workloads::SuiteEntry> suite = {
+        workloads::entry_by_name("MxM"), workloads::entry_by_name("BFS"),
+        workloads::entry_by_name("SC")};
+    const auto serial = faultinject::VulnerabilityTable::measure(suite, 120, 5, 1);
+    const auto pooled = faultinject::VulnerabilityTable::measure(suite, 120, 5, 4);
+    ASSERT_EQ(serial.results().size(), pooled.results().size());
+    for (std::size_t i = 0; i < serial.results().size(); ++i) {
+        EXPECT_TRUE(same_avf(serial.results()[i], pooled.results()[i]))
+            << "entry " << i;
+    }
+    for (const auto& entry : suite) {
+        EXPECT_DOUBLE_EQ(serial.sdc_weight(entry.name),
+                         pooled.sdc_weight(entry.name));
+        EXPECT_DOUBLE_EQ(serial.due_weight(entry.name),
+                         pooled.due_weight(entry.name));
+    }
+}
+
+// --- Campaign determinism ---------------------------------------------------
+
+TEST(ParallelCampaign, ParallelGridIsSeedReproducibleAndThreadInvariant) {
+    beam::CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 120.0;
+    cfg.seed = 77;
+
+    cfg.threads = 2;
+    const auto a = beam::Campaign(cfg).run();
+    const auto b = beam::Campaign(cfg).run();
+    cfg.threads = 3;
+    const auto c = beam::Campaign(cfg).run();
+
+    ASSERT_EQ(a.ratio_rows.size(), b.ratio_rows.size());
+    ASSERT_EQ(a.ratio_rows.size(), c.ratio_rows.size());
+    for (std::size_t i = 0; i < a.ratio_rows.size(); ++i) {
+        EXPECT_EQ(a.ratio_rows[i].device, b.ratio_rows[i].device);
+        EXPECT_EQ(a.ratio_rows[i].errors_he, b.ratio_rows[i].errors_he);
+        EXPECT_EQ(a.ratio_rows[i].errors_th, b.ratio_rows[i].errors_th);
+        // Streams are split per device, so even the thread count drops out.
+        EXPECT_EQ(a.ratio_rows[i].errors_he, c.ratio_rows[i].errors_he);
+        EXPECT_EQ(a.ratio_rows[i].errors_th, c.ratio_rows[i].errors_th);
+    }
+    ASSERT_EQ(a.measurements.size(), b.measurements.size());
+    for (std::size_t i = 0; i < a.measurements.size(); ++i) {
+        EXPECT_EQ(a.measurements[i].device, b.measurements[i].device);
+        EXPECT_EQ(a.measurements[i].workload, b.measurements[i].workload);
+        EXPECT_EQ(a.measurements[i].errors, b.measurements[i].errors);
+    }
+}
+
+// --- Cross-section cache accuracy -------------------------------------------
+
+TEST(XsTable, MatchesExactCrossSectionsToATenthOfAPercent) {
+    const std::vector<Material> materials = {
+        Material::water(),       Material::concrete(),
+        Material::polyethylene(), Material::cadmium(),
+        Material::borated_poly(), Material::air(),
+        Material::silicon(),      Material::fr4(),
+        Material::aluminum()};
+
+    // 1 meV .. 20 MeV, a prime number of points so nothing aligns with the
+    // table's own grid.
+    constexpr double kLo = 1.0e-3;
+    constexpr double kHi = 2.0e7;
+    constexpr int kPoints = 4001;
+    for (const auto& material : materials) {
+        const MaterialXsTable table(material);
+        for (int i = 0; i < kPoints; ++i) {
+            const double f = static_cast<double>(i) / (kPoints - 1);
+            const double e = kLo * std::pow(kHi / kLo, f);
+            const double exact_s = material.sigma_scatter(e);
+            const double exact_a = material.sigma_absorb(e);
+            const auto lk = table.lookup(e);
+            EXPECT_NEAR(lk.sigma_scatter, exact_s, 1.0e-3 * exact_s)
+                << material.name() << " sigma_s at " << e << " eV";
+            EXPECT_NEAR(lk.sigma_absorb, exact_a, 1.0e-3 * exact_a)
+                << material.name() << " sigma_a at " << e << " eV";
+        }
+    }
+}
+
+TEST(XsTable, NuclidePickTracksComponentContributions) {
+    // At thermal energies hydrogen dominates water's elastic scattering;
+    // the table's pick frequencies must track the exact contributions.
+    const Material water = Material::water();
+    const MaterialXsTable table(water);
+    const double e = 0.0253;
+    const auto lk = table.lookup(e);
+
+    double h_contrib = 0.0;
+    double total = 0.0;
+    for (const auto& c : water.components()) {
+        const double contrib = c.macro_elastic_per_cm(e);
+        total += contrib;
+        if (c.symbol == "H") h_contrib = contrib;
+    }
+    const double p_h = h_contrib / total;
+
+    stats::Rng rng(123);
+    int picks_h = 0;
+    constexpr int kDraws = 100'000;
+    for (int i = 0; i < kDraws; ++i) {
+        if (table.sample_scatter_mass(lk, rng) == 1.0) ++picks_h;
+    }
+    const double observed = static_cast<double>(picks_h) / kDraws;
+    EXPECT_NEAR(observed, p_h, 5.0 * std::sqrt(p_h * (1 - p_h) / kDraws));
+}
+
+TEST(XsTable, TableAndExactTransportAgreeStatistically) {
+    const MaxwellianSpectrum spectrum(1.0, 0.0253);
+    constexpr std::uint64_t kN = 30'000;
+
+    TransportConfig table_cfg;
+    table_cfg.use_xs_table = true;
+    const SlabTransport with_table(Material::concrete(), 10.0, table_cfg);
+    stats::Rng rng_a(31);
+    const auto a = with_table.run_spectrum(spectrum, kN, rng_a);
+
+    TransportConfig exact_cfg;
+    exact_cfg.use_xs_table = false;
+    const SlabTransport exact(Material::concrete(), 10.0, exact_cfg);
+    stats::Rng rng_b(31);
+    const auto b = exact.run_spectrum(spectrum, kN, rng_b);
+
+    const auto diff = [](std::uint64_t x, std::uint64_t y) {
+        return static_cast<double>(x > y ? x - y : y - x);
+    };
+    const double sigma = std::sqrt(static_cast<double>(a.absorbed + b.absorbed + 1));
+    EXPECT_LT(diff(a.absorbed, b.absorbed), 6.0 * sigma + 1.0);
+}
+
+}  // namespace
