@@ -1,17 +1,101 @@
 #pragma once
 // Shared helper for the reproduction benches: every bench binary prints its
 // paper-figure table first (the actual reproduction artifact), then runs its
-// google-benchmark timings of the underlying machinery.
+// google-benchmark timings of the underlying machinery. Timings are also
+// written to a machine-readable BENCH_<slug>.json so CI can diff runs.
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/obs/json.hpp"
 
 namespace tnr::bench {
 
+namespace detail {
+
+/// Console output plus a record of every finished run, so the JSON sink
+/// sees exactly what the table showed.
+class RecordingReporter final : public benchmark::ConsoleReporter {
+public:
+    struct Row {
+        std::string name;
+        std::int64_t iterations = 0;
+        double ns_per_op = 0.0;
+        double cpu_ns_per_op = 0.0;
+    };
+
+    void ReportRuns(const std::vector<Run>& reports) override {
+        for (const auto& run : reports) {
+            if (run.error_occurred) continue;
+            Row row;
+            row.name = run.benchmark_name();
+            row.iterations = run.iterations;
+            if (run.iterations > 0) {
+                const auto iters = static_cast<double>(run.iterations);
+                row.ns_per_op = run.real_accumulated_time * 1e9 / iters;
+                row.cpu_ns_per_op = run.cpu_accumulated_time * 1e9 / iters;
+            }
+            rows_.push_back(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+
+    [[nodiscard]] const std::vector<Row>& rows() const noexcept {
+        return rows_;
+    }
+
+private:
+    std::vector<Row> rows_;
+};
+
+/// "Fig. 4 — transport kernels" -> "fig_4_transport_kernels".
+inline std::string slug(const std::string& title) {
+    std::string out;
+    for (const unsigned char c : title) {
+        if (std::isalnum(c)) {
+            out.push_back(static_cast<char>(std::tolower(c)));
+        } else if (!out.empty() && out.back() != '_') {
+            out.push_back('_');
+        }
+    }
+    while (!out.empty() && out.back() == '_') out.pop_back();
+    return out;
+}
+
+inline void write_json(const std::string& path, const char* title,
+                       const std::vector<RecordingReporter::Row>& rows) {
+    std::ofstream file(path);
+    if (!file) {
+        std::cerr << "bench: cannot open " << path << '\n';
+        return;
+    }
+    namespace json = tnr::core::obs::json;
+    file << "{\"title\":\"" << json::escape(title) << "\",\"benchmarks\":[";
+    bool first = true;
+    for (const auto& row : rows) {
+        if (!first) file << ',';
+        first = false;
+        file << "{\"name\":\"" << json::escape(row.name)
+             << "\",\"iterations\":" << row.iterations
+             << ",\"ns_per_op\":" << json::number(row.ns_per_op)
+             << ",\"cpu_ns_per_op\":" << json::number(row.cpu_ns_per_op)
+             << '}';
+    }
+    file << "]}\n";
+    std::cout << "wrote " << path << '\n';
+}
+
+}  // namespace detail
+
 /// Prints a banner, runs the table emitter, then hands off to
-/// google-benchmark. Call from each bench's main().
+/// google-benchmark; timing rows land in BENCH_<slug(title)>.json in the
+/// working directory. Call from each bench's main().
 inline int run_bench_main(int argc, char** argv, const char* title,
                           const std::function<void(std::ostream&)>& emit_table) {
     std::cout << "==== " << title << " ====\n\n";
@@ -19,7 +103,10 @@ inline int run_bench_main(int argc, char** argv, const char* title,
     std::cout << std::endl;
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-    benchmark::RunSpecifiedBenchmarks();
+    detail::RecordingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    detail::write_json("BENCH_" + detail::slug(title) + ".json", title,
+                       reporter.rows());
     benchmark::Shutdown();
     return 0;
 }

@@ -1,7 +1,10 @@
 #include "beam/campaign.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
+#include "core/obs/metrics.hpp"
+#include "core/obs/trace.hpp"
 #include "core/parallel/parallel_for.hpp"
 
 namespace tnr::beam {
@@ -108,9 +111,44 @@ DeviceOutcome run_device(const CampaignConfig& config, const Beamline& chipir,
     return out;
 }
 
+/// run_device plus the telemetry that wraps every device: a trace span, the
+/// per-device wall-time counter, error tallies, and the progress callback.
+/// Purely observational — the simulation path and its RNG draws are
+/// untouched.
+DeviceOutcome run_device_observed(const CampaignConfig& config,
+                                  const Beamline& chipir, const Beamline& rotax,
+                                  const devices::Device& device,
+                                  stats::Rng& rng) {
+    namespace obs = tnr::core::obs;
+    auto& registry = obs::Registry::global();
+    const obs::Span span("device:" + device.name(), "campaign");
+    const auto start = std::chrono::steady_clock::now();
+    DeviceOutcome out = run_device(config, chipir, rotax, device, rng);
+    const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start);
+
+    registry.counter("campaign.device_wall_ns." + device.name())
+        .add(static_cast<std::uint64_t>(wall_ns.count()));
+    registry.latency("campaign.device_wall")
+        .record_ns(static_cast<std::uint64_t>(wall_ns.count()));
+    static auto& devices_done = registry.counter("campaign.devices");
+    static auto& errors_he = registry.counter("campaign.errors_he");
+    static auto& errors_th = registry.counter("campaign.errors_thermal");
+    devices_done.add(1);
+    errors_he.add(out.sdc_row.errors_he + out.due_row.errors_he);
+    errors_th.add(out.sdc_row.errors_th + out.due_row.errors_th);
+    if (config.on_device_done) config.on_device_done();
+    return out;
+}
+
 }  // namespace
 
 CampaignResult Campaign::run(const std::vector<devices::Device>& devices) const {
+    const core::obs::Span span("campaign", "campaign");
+    static auto& runs_counter =
+        core::obs::Registry::global().counter("campaign.runs");
+    runs_counter.add(1);
+
     const Beamline chipir = Beamline::chipir();
     const Beamline rotax = Beamline::rotax();
     stats::Rng rng(config_.seed);
@@ -121,7 +159,8 @@ CampaignResult Campaign::run(const std::vector<devices::Device>& devices) const 
         // in order — bitwise identical to the pre-pool implementation.
         outcomes.reserve(devices.size());
         for (const auto& device : devices) {
-            outcomes.push_back(run_device(config_, chipir, rotax, device, rng));
+            outcomes.push_back(
+                run_device_observed(config_, chipir, rotax, device, rng));
         }
     } else {
         // Devices fan out over the shared pool. Streams are split off the
@@ -135,8 +174,8 @@ CampaignResult Campaign::run(const std::vector<devices::Device>& devices) const 
         outcomes = core::parallel::parallel_map<DeviceOutcome>(
             devices.size(), config_.threads,
             [this, &chipir, &rotax, &devices, &streams](std::size_t i) {
-                return run_device(config_, chipir, rotax, devices[i],
-                                  streams[i]);
+                return run_device_observed(config_, chipir, rotax, devices[i],
+                                           streams[i]);
             });
     }
 

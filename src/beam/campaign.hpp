@@ -3,6 +3,7 @@
 // codes, same inputs at both facilities (§III.C), then the HE/thermal
 // cross-section ratio analysis of Fig. 5.
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -53,6 +54,10 @@ struct CampaignConfig {
     /// stream per device. Any parallel run (threads != 1) is bitwise
     /// reproducible for a fixed seed, independent of the thread count.
     unsigned threads = 1;
+    /// Invoked once per finished device (from the executing thread — the
+    /// callback must be thread-safe when threads != 1). Progress reporting
+    /// only; must not touch campaign state or RNGs.
+    std::function<void()> on_device_done;
 };
 
 struct CampaignResult {

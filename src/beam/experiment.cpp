@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/obs/metrics.hpp"
+
 namespace tnr::beam {
 
 BeamExperiment::BeamExperiment(Beamline beamline, devices::Device device,
@@ -60,6 +62,12 @@ ExperimentResult BeamExperiment::run(const ExperimentConfig& config,
 
     result.sdc = measure(devices::ErrorType::kSdc);
     result.due = measure(devices::ErrorType::kDue);
+
+    static auto& experiments =
+        core::obs::Registry::global().counter("beam.experiments");
+    static auto& errors = core::obs::Registry::global().counter("beam.errors");
+    experiments.add(1);
+    errors.add(result.sdc.errors + result.due.errors);
     return result;
 }
 

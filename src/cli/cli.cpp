@@ -1,17 +1,24 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <streambuf>
 
 #include "beam/campaign.hpp"
 #include "core/checkpoint.hpp"
 #include "core/fit.hpp"
-#include "core/report.hpp"
 #include "core/markdown_report.hpp"
+#include "core/obs/manifest.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/progress.hpp"
+#include "core/obs/trace.hpp"
+#include "core/report.hpp"
 #include "core/study.hpp"
 #include "detector/analysis.hpp"
 #include "detector/tin2.hpp"
@@ -21,22 +28,101 @@
 
 namespace tnr::cli {
 
+namespace obs = core::obs;
+
 namespace {
 
-/// Parsed flag set: --key value and boolean --key.
+/// One accepted flag of a command: `--name value` or boolean `--name`.
+struct FlagSpec {
+    const char* name;
+    bool takes_value;
+};
+
+/// Telemetry and verbosity flags accepted by every command.
+constexpr FlagSpec kGlobalFlags[] = {
+    {"quiet", false},        {"verbose", false},    {"metrics-out", true},
+    {"trace-out", true},     {"manifest-out", true},
+};
+
+struct CommandSpec {
+    std::vector<FlagSpec> flags;
+    /// Default --seed for the run manifest (commands without randomness
+    /// have none).
+    std::optional<std::uint64_t> default_seed;
+};
+
+const std::map<std::string, CommandSpec>& command_specs() {
+    static const std::map<std::string, CommandSpec> specs = {
+        {"list-devices", {{}, std::nullopt}},
+        {"fit",
+         {{{"device", true}, {"site", true}, {"rainy", false}, {"csv", false}},
+          std::nullopt}},
+        {"campaign",
+         {{{"hours", true},
+           {"seed", true},
+           {"threads", true},
+           {"avf-trials", true},
+           {"csv", false}},
+          2020}},
+        {"detector",
+         {{{"days", true}, {"water-days", true}, {"seed", true}, {"csv", false}},
+          420}},
+        {"checkpoint",
+         {{{"nodes", true},
+           {"device", true},
+           {"site", true},
+           {"rainy", false},
+           {"csv", false}},
+          std::nullopt}},
+        {"top10", {{{"csv", false}}, std::nullopt}},
+        {"report",
+         {{{"hours", true},
+           {"seed", true},
+           {"threads", true},
+           {"per-code", false}},
+          2020}},
+    };
+    return specs;
+}
+
+/// Parsed flag set, validated against the command's accepted flags: an
+/// unknown flag, a missing value, or a stray positional argument are all
+/// usage errors. `--key=value` and `--key value` are both accepted.
 class Flags {
 public:
-    Flags(const std::vector<std::string>& args, std::size_t first) {
+    Flags(const std::vector<std::string>& args, std::size_t first,
+          const CommandSpec& spec) {
         for (std::size_t i = first; i < args.size(); ++i) {
             const std::string& a = args[i];
             if (a.rfind("--", 0) != 0) {
                 throw std::invalid_argument("unexpected argument: " + a);
             }
-            const std::string key = a.substr(2);
-            if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+            std::string key = a.substr(2);
+            std::optional<std::string> inline_value;
+            if (const auto eq = key.find('='); eq != std::string::npos) {
+                inline_value = key.substr(eq + 1);
+                key.resize(eq);
+            }
+            const FlagSpec* known = find_spec(spec, key);
+            if (!known) {
+                throw std::invalid_argument("unknown flag: --" + key);
+            }
+            if (!known->takes_value) {
+                if (inline_value) {
+                    throw std::invalid_argument("flag --" + key +
+                                                " takes no value");
+                }
+                values_[key] = "";
+                continue;
+            }
+            if (inline_value) {
+                values_[key] = *inline_value;
+            } else if (i + 1 < args.size() &&
+                       args[i + 1].rfind("--", 0) != 0) {
                 values_[key] = args[++i];
             } else {
-                values_[key] = "";
+                throw std::invalid_argument("flag --" + key +
+                                            " requires a value");
             }
         }
     }
@@ -55,9 +141,45 @@ public:
         if (it == values_.end()) return fallback;
         return std::stod(it->second);
     }
+    [[nodiscard]] const std::map<std::string, std::string>& values()
+        const noexcept {
+        return values_;
+    }
 
 private:
+    static const FlagSpec* find_spec(const CommandSpec& spec,
+                                     const std::string& key) {
+        for (const auto& f : spec.flags) {
+            if (key == f.name) return &f;
+        }
+        for (const auto& f : kGlobalFlags) {
+            if (key == f.name) return &f;
+        }
+        return nullptr;
+    }
+
     std::map<std::string, std::string> values_;
+};
+
+/// Swallows everything (--quiet).
+class NullBuffer final : public std::streambuf {
+protected:
+    int overflow(int c) override { return traits_type::not_eof(c); }
+};
+
+/// Per-invocation I/O routing: results on `out` (stdout — machine
+/// parseable), diagnostics on `diag` (stderr, or a null sink under
+/// --quiet).
+struct Io {
+    std::ostream& out;
+    std::ostream& diag;
+    bool quiet = false;
+    bool verbose = false;
+
+    /// Progress sink: stderr unless --quiet.
+    [[nodiscard]] std::ostream* progress() const {
+        return quiet ? nullptr : &diag;
+    }
 };
 
 environment::Site site_by_name(const std::string& name, bool rainy) {
@@ -118,14 +240,25 @@ int cmd_fit(const Flags& flags, std::ostream& out) {
     return 0;
 }
 
-int cmd_campaign(const Flags& flags, std::ostream& out) {
+beam::CampaignConfig campaign_config(const Flags& flags) {
     beam::CampaignConfig cfg;
     cfg.beam_time_per_run_s = flags.get_double("hours", 24.0) * 3600.0;
     cfg.seed = static_cast<std::uint64_t>(flags.get_double("seed", 2020.0));
     // Clamp before the cast: negative double -> unsigned is undefined.
     cfg.threads =
         static_cast<unsigned>(std::max(0.0, flags.get_double("threads", 1.0)));
+    cfg.avf_trials = static_cast<std::size_t>(
+        std::max(0.0, flags.get_double("avf-trials", 0.0)));
+    return cfg;
+}
+
+int cmd_campaign(const Flags& flags, const Io& io) {
+    beam::CampaignConfig cfg = campaign_config(flags);
+    obs::ProgressMeter progress(io.progress(), "campaign", "devices",
+                                devices::standard_specs().size());
+    cfg.on_device_done = [&progress] { progress.tick(); };
     const auto result = beam::Campaign(cfg).run();
+    progress.finish();
 
     core::TablePrinter table({"device", "type", "sigma_HE", "sigma_thermal",
                               "ratio"});
@@ -137,7 +270,7 @@ int cmd_campaign(const Flags& flags, std::ostream& out) {
                        ratio ? core::format_fixed(ratio->ratio, 2)
                              : "no thermal errors"});
     }
-    print_table(table, flags.has("csv"), out);
+    print_table(table, flags.has("csv"), io.out);
     return 0;
 }
 
@@ -191,16 +324,16 @@ int cmd_checkpoint(const Flags& flags, std::ostream& out) {
     return 0;
 }
 
-int cmd_report(const Flags& flags, std::ostream& out) {
-    beam::CampaignConfig cfg;
-    cfg.beam_time_per_run_s = flags.get_double("hours", 24.0) * 3600.0;
-    cfg.seed = static_cast<std::uint64_t>(flags.get_double("seed", 2020.0));
-    cfg.threads =
-        static_cast<unsigned>(std::max(0.0, flags.get_double("threads", 1.0)));
+int cmd_report(const Flags& flags, const Io& io) {
+    beam::CampaignConfig cfg = campaign_config(flags);
+    obs::ProgressMeter progress(io.progress(), "report", "devices",
+                                devices::standard_specs().size());
+    cfg.on_device_done = [&progress] { progress.tick(); };
     core::ReliabilityStudy study(cfg);
     core::ReportOptions options;
     options.include_per_code = flags.has("per-code");
-    core::write_markdown_report(study, options, out);
+    core::write_markdown_report(study, options, io.out);
+    progress.finish();
     return 0;
 }
 
@@ -217,6 +350,93 @@ int cmd_top10(const Flags& flags, std::ostream& out) {
     return 0;
 }
 
+int dispatch(const std::string& cmd, const Flags& flags, const Io& io) {
+    if (cmd == "list-devices") return cmd_list_devices(io.out);
+    if (cmd == "fit") return cmd_fit(flags, io.out);
+    if (cmd == "campaign") return cmd_campaign(flags, io);
+    if (cmd == "detector") return cmd_detector(flags, io.out);
+    if (cmd == "checkpoint") return cmd_checkpoint(flags, io.out);
+    if (cmd == "report") return cmd_report(flags, io);
+    if (cmd == "top10") return cmd_top10(flags, io.out);
+    throw std::logic_error("dispatch: unreachable command " + cmd);
+}
+
+/// Derived metrics that only make sense at snapshot time.
+void finalize_derived_metrics(double elapsed_s) {
+    auto& reg = obs::Registry::global();
+    reg.gauge("run.elapsed_s").set(elapsed_s);
+
+    const auto busy_ns =
+        static_cast<double>(reg.counter("pool.busy_ns").value());
+    const double workers = reg.gauge("pool.workers").value();
+    reg.gauge("pool.utilization")
+        .set(workers > 0.0 && elapsed_s > 0.0
+                 ? busy_ns / (elapsed_s * 1e9 * workers)
+                 : 0.0);
+
+    const auto table_hits = static_cast<double>(
+        reg.counter("transport.collisions_xs_table").value());
+    const auto exact = static_cast<double>(
+        reg.counter("transport.collisions_xs_exact").value());
+    reg.gauge("transport.xs_table_hit_rate")
+        .set(table_hits + exact > 0.0 ? table_hits / (table_hits + exact)
+                                      : 0.0);
+}
+
+obs::RunManifest build_manifest(const std::vector<std::string>& args,
+                                const Flags& flags, const CommandSpec& spec,
+                                double elapsed_s,
+                                const std::string& started_at) {
+    obs::RunManifest manifest;
+    manifest.command = "tnr";
+    for (const auto& a : args) manifest.command += " " + a;
+    const double default_seed =
+        spec.default_seed ? static_cast<double>(*spec.default_seed) : 0.0;
+    manifest.seed =
+        static_cast<std::uint64_t>(flags.get_double("seed", default_seed));
+    manifest.threads =
+        static_cast<unsigned>(std::max(0.0, flags.get_double("threads", 1.0)));
+    manifest.elapsed_s = elapsed_s;
+    manifest.started_at_utc = started_at;
+    for (const auto& [key, value] : flags.values()) {
+        manifest.flags.emplace_back(key, value);
+    }
+    return manifest;
+}
+
+/// Opens `path` for writing or throws a runtime_error (execution error,
+/// exit code 2).
+std::ofstream open_sink(const std::string& path, const char* what) {
+    std::ofstream file(path);
+    if (!file) {
+        throw std::runtime_error(std::string("cannot open ") + what +
+                                 " file: " + path);
+    }
+    return file;
+}
+
+void write_sinks(const Flags& flags, const obs::RunManifest& manifest,
+                 const Io& io) {
+    if (const std::string path = flags.get("metrics-out", ""); !path.empty()) {
+        auto file = open_sink(path, "metrics");
+        file << "{\"manifest\":" << manifest.to_json() << ",\"metrics\":"
+             << obs::Registry::global().to_json() << "}\n";
+        if (io.verbose) io.diag << "tnr: wrote metrics snapshot to " << path << '\n';
+    }
+    if (const std::string path = flags.get("trace-out", ""); !path.empty()) {
+        auto file = open_sink(path, "trace");
+        obs::Tracer::global().write_json(file);
+        file << '\n';
+        if (io.verbose) io.diag << "tnr: wrote Chrome trace to " << path << '\n';
+    }
+    if (const std::string path = flags.get("manifest-out", ""); !path.empty()) {
+        auto file = open_sink(path, "manifest");
+        manifest.write_json(file);
+        file << '\n';
+        if (io.verbose) io.diag << "tnr: wrote run manifest to " << path << '\n';
+    }
+}
+
 }  // namespace
 
 std::string usage() {
@@ -228,11 +448,24 @@ std::string usage() {
            "commands:\n"
            "  list-devices                         the calibrated roster\n"
            "  fit --device NAME --site nyc|leadville [--rainy] [--csv]\n"
-           "  campaign [--hours H] [--seed S] [--threads N] [--csv]\n"
+           "  campaign [--hours H] [--seed S] [--threads N]\n"
+           "           [--avf-trials T] [--csv]     T>0: SWIFI-weighted codes\n"
            "  detector [--days D] [--water-days D] [--seed S] [--csv]\n"
            "  checkpoint [--nodes N] [--device NAME] [--site S] [--rainy]\n"
            "  top10 [--csv]                        supercomputer DDR FIT\n"
            "  report [--hours H] [--seed S] [--threads N] [--per-code]   markdown study report\n"
+           "\n"
+           "global flags (every command):\n"
+           "  --quiet            suppress diagnostics and progress (stderr)\n"
+           "  --verbose          extra diagnostics on stderr\n"
+           "  --metrics-out F    write a JSON metrics snapshot (with the run\n"
+           "                     manifest embedded) after a successful run\n"
+           "  --trace-out F      write a Chrome trace_event JSON file; open\n"
+           "                     in chrome://tracing or ui.perfetto.dev\n"
+           "  --manifest-out F   write the reproducibility manifest alone\n"
+           "\n"
+           "Results go to stdout; diagnostics and progress go to stderr.\n"
+           "Unknown flags are errors.\n"
            "\n"
            "--threads: 1 = serial (default), 0 = all cores, N = N workers on\n"
            "the shared pool; parallel results are seed-reproducible.\n";
@@ -246,18 +479,44 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         out << usage();
         return args.empty() ? 1 : 0;
     }
-    try {
-        const Flags flags(args, 1);
-        const std::string& cmd = args[0];
-        if (cmd == "list-devices") return cmd_list_devices(out);
-        if (cmd == "fit") return cmd_fit(flags, out);
-        if (cmd == "campaign") return cmd_campaign(flags, out);
-        if (cmd == "detector") return cmd_detector(flags, out);
-        if (cmd == "checkpoint") return cmd_checkpoint(flags, out);
-        if (cmd == "report") return cmd_report(flags, out);
-        if (cmd == "top10") return cmd_top10(flags, out);
+    const std::string& cmd = args[0];
+    const auto& specs = command_specs();
+    const auto spec_it = specs.find(cmd);
+    if (spec_it == specs.end()) {
         err << "unknown command: " << cmd << "\n\n" << usage();
         return 1;
+    }
+    try {
+        const Flags flags(args, 1, spec_it->second);
+        if (flags.has("quiet") && flags.has("verbose")) {
+            throw std::invalid_argument(
+                "--quiet and --verbose are mutually exclusive");
+        }
+        NullBuffer null_buffer;
+        std::ostream null_stream(&null_buffer);
+        Io io{out, flags.has("quiet") ? null_stream : err, flags.has("quiet"),
+              flags.has("verbose")};
+
+        if (flags.has("trace-out")) obs::Tracer::global().enable();
+
+        const std::string started_at = obs::current_utc_timestamp();
+        const auto t0 = std::chrono::steady_clock::now();
+        const int code = dispatch(cmd, flags, io);
+        const double elapsed_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+
+        if (code == 0) {
+            finalize_derived_metrics(elapsed_s);
+            const auto manifest = build_manifest(args, flags, spec_it->second,
+                                                 elapsed_s, started_at);
+            write_sinks(flags, manifest, io);
+            if (io.verbose) {
+                io.diag << "tnr: " << cmd << " finished in "
+                        << core::format_fixed(elapsed_s, 2) << " s\n";
+            }
+        }
+        return code;
     } catch (const std::invalid_argument& e) {
         err << "error: " << e.what() << "\n\n" << usage();
         return 1;

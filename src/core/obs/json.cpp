@@ -1,0 +1,261 @@
+#include "core/obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tnr::core::obs::json {
+
+std::string escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string number(double v) {
+    if (!std::isfinite(v)) return "0";
+    // %.17g round-trips every double; trim to something readable when the
+    // shorter form parses back exactly.
+    char buf[64];
+    for (const int prec : {6, 9, 12, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v) break;
+    }
+    return buf;
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    std::optional<Value> run() {
+        Value v;
+        if (!parse_value(v, 0)) return std::nullopt;
+        skip_ws();
+        if (pos_ != text_.size()) return std::nullopt;  // trailing garbage.
+        return v;
+    }
+
+private:
+    static constexpr int kMaxDepth = 64;
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool eat(char c) {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool parse_string(std::string& out) {
+        if (!eat('"')) return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size()) return false;
+                const char e = text_[pos_++];
+                switch (e) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    case 'n': out += '\n'; break;
+                    case 'r': out += '\r'; break;
+                    case 't': out += '\t'; break;
+                    case 'u': {
+                        if (pos_ + 4 > text_.size()) return false;
+                        unsigned code = 0;
+                        for (int i = 0; i < 4; ++i) {
+                            const char h = text_[pos_++];
+                            code <<= 4;
+                            if (h >= '0' && h <= '9') {
+                                code |= static_cast<unsigned>(h - '0');
+                            } else if (h >= 'a' && h <= 'f') {
+                                code |= static_cast<unsigned>(h - 'a' + 10);
+                            } else if (h >= 'A' && h <= 'F') {
+                                code |= static_cast<unsigned>(h - 'A' + 10);
+                            } else {
+                                return false;
+                            }
+                        }
+                        // Validation-grade handling: escaped BMP code points
+                        // are appended as UTF-8; surrogate pairs are not
+                        // recombined (the writers never emit them).
+                        if (code < 0x80) {
+                            out += static_cast<char>(code);
+                        } else if (code < 0x800) {
+                            out += static_cast<char>(0xC0 | (code >> 6));
+                            out += static_cast<char>(0x80 | (code & 0x3F));
+                        } else {
+                            out += static_cast<char>(0xE0 | (code >> 12));
+                            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                            out += static_cast<char>(0x80 | (code & 0x3F));
+                        }
+                        break;
+                    }
+                    default: return false;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return false;  // raw control character.
+            } else {
+                out += c;
+            }
+        }
+        return false;  // unterminated.
+    }
+
+    bool parse_number(double& out) {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            return false;
+        }
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                return false;
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                return false;
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        out = std::strtod(token.c_str(), nullptr);
+        return true;
+    }
+
+    bool parse_value(Value& out, int depth) {  // NOLINT(misc-no-recursion)
+        if (depth > kMaxDepth) return false;
+        skip_ws();
+        if (pos_ >= text_.size()) return false;
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = Value::Kind::kObject;
+            if (eat('}')) return true;
+            for (;;) {
+                skip_ws();
+                std::string key;
+                if (!parse_string(key)) return false;
+                if (!eat(':')) return false;
+                Value member;
+                if (!parse_value(member, depth + 1)) return false;
+                out.object.emplace_back(std::move(key), std::move(member));
+                if (eat(',')) continue;
+                return eat('}');
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = Value::Kind::kArray;
+            if (eat(']')) return true;
+            for (;;) {
+                Value item;
+                if (!parse_value(item, depth + 1)) return false;
+                out.array.push_back(std::move(item));
+                if (eat(',')) continue;
+                return eat(']');
+            }
+        }
+        if (c == '"') {
+            out.kind = Value::Kind::kString;
+            return parse_string(out.str);
+        }
+        if (c == 't') {
+            out.kind = Value::Kind::kBool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = Value::Kind::kBool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = Value::Kind::kNull;
+            return literal("null");
+        }
+        out.kind = Value::Kind::kNumber;
+        return parse_number(out.num);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) {
+    return Parser(text).run();
+}
+
+}  // namespace tnr::core::obs::json

@@ -1,0 +1,56 @@
+#pragma once
+// Minimal JSON support for the observability sinks: string escaping for the
+// writers (metrics snapshots, Chrome traces, run manifests) and a small
+// recursive-descent parser used to validate those sinks in tests and CI.
+// This is deliberately not a general-purpose JSON library — no comments, no
+// NaN/Inf extensions, UTF-8 passed through untouched.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tnr::core::obs::json {
+
+/// Escapes a string for embedding inside JSON double quotes (no surrounding
+/// quotes added): `"`, `\`, control characters.
+std::string escape(std::string_view s);
+
+/// Formats a double the way the sinks expect: finite values via
+/// std::to_chars-style shortest round-trip; NaN/Inf (not representable in
+/// JSON) become 0.
+std::string number(double v);
+
+/// A parsed JSON value. Objects keep insertion order (the writers emit
+/// sorted keys, so lookups stay deterministic either way).
+class Value {
+public:
+    enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<std::pair<std::string, Value>> object;
+    std::vector<Value> array;
+
+    [[nodiscard]] bool is_object() const noexcept {
+        return kind == Kind::kObject;
+    }
+    [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+    [[nodiscard]] bool is_number() const noexcept {
+        return kind == Kind::kNumber;
+    }
+    [[nodiscard]] bool is_string() const noexcept {
+        return kind == Kind::kString;
+    }
+
+    /// First member with the given key, or nullptr (objects only).
+    [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Returns nullopt on any syntax error.
+std::optional<Value> parse(std::string_view text);
+
+}  // namespace tnr::core::obs::json

@@ -1,0 +1,51 @@
+#include "core/obs/manifest.hpp"
+
+#include <ctime>
+#include <ostream>
+#include <sstream>
+
+#include "core/obs/json.hpp"
+
+namespace tnr::core::obs {
+
+std::string build_version() {
+#ifdef TNR_GIT_DESCRIBE
+    return TNR_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+std::string current_utc_timestamp() {
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+void RunManifest::write_json(std::ostream& out) const {
+    out << "{\"tool\":\"" << json::escape(tool) << "\",\"version\":\""
+        << json::escape(version) << "\",\"command\":\"" << json::escape(command)
+        << "\",\"seed\":" << seed << ",\"threads\":" << threads
+        << ",\"elapsed_s\":" << json::number(elapsed_s)
+        << ",\"started_at\":\"" << json::escape(started_at_utc)
+        << "\",\"flags\":{";
+    bool first = true;
+    for (const auto& [key, value] : flags) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << json::escape(key) << "\":\"" << json::escape(value)
+            << '"';
+    }
+    out << "}}";
+}
+
+std::string RunManifest::to_json() const {
+    std::ostringstream oss;
+    write_json(oss);
+    return oss.str();
+}
+
+}  // namespace tnr::core::obs

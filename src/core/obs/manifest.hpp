@@ -1,0 +1,38 @@
+#pragma once
+// Reproducibility manifest for one run: everything needed to re-run the
+// exact same computation (seed, thread count, flags, build identity) plus
+// what it cost (elapsed wall time). Written as JSON alongside the results,
+// embedded in metrics snapshots, or standalone via --manifest-out.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tnr::core::obs {
+
+/// The build identity: `git describe --always --dirty` captured at
+/// configure time, falling back to the project version when the source tree
+/// is not a git checkout.
+std::string build_version();
+
+struct RunManifest {
+    std::string tool = "tnr";
+    std::string version = build_version();
+    std::string command;  ///< the full command line, argv joined.
+    std::uint64_t seed = 0;
+    unsigned threads = 1;
+    double elapsed_s = 0.0;
+    std::string started_at_utc;  ///< ISO 8601, from current_utc_timestamp().
+    /// Every parsed flag, verbatim (boolean flags carry an empty value).
+    std::vector<std::pair<std::string, std::string>> flags;
+
+    void write_json(std::ostream& out) const;
+    [[nodiscard]] std::string to_json() const;
+};
+
+/// "YYYY-MM-DDTHH:MM:SSZ" for the current wall-clock time.
+std::string current_utc_timestamp();
+
+}  // namespace tnr::core::obs

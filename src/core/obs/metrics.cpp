@@ -1,0 +1,157 @@
+#include "core/obs/metrics.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+#include "core/obs/json.hpp"
+
+namespace tnr::core::obs {
+
+namespace {
+
+std::uint64_t steady_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+// 8 bins/decade keeps quantile estimates within ~15% (half a bin ratio),
+// plenty for "where does the time go" questions.
+stats::Histogram latency_grid() {
+    return stats::Histogram::logarithmic(1e2, 1e12, 80);  // 100 ns .. 1000 s.
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : hist_(latency_grid()) {}
+
+void LatencyHistogram::record_ns(std::uint64_t ns) {
+    const auto v = static_cast<double>(ns);
+    const std::lock_guard lock(mutex_);
+    hist_.add(v);
+    ++count_;
+    total_ns_ += v;
+    if (count_ == 1 || v < min_ns_) min_ns_ = v;
+    if (v > max_ns_) max_ns_ = v;
+}
+
+double LatencyHistogram::quantile_locked(double q) const {
+    const double target = q * static_cast<double>(count_);
+    double cum = hist_.underflow();
+    if (cum >= target) return min_ns_;
+    for (std::size_t i = 0; i < hist_.bin_count(); ++i) {
+        cum += hist_.count(i);
+        if (cum >= target) return hist_.bin_center_geometric(i);
+    }
+    return max_ns_;
+}
+
+LatencyHistogram::Summary LatencyHistogram::summary() const {
+    const std::lock_guard lock(mutex_);
+    Summary s;
+    s.count = count_;
+    if (count_ == 0) return s;
+    s.total_ns = total_ns_;
+    s.mean_ns = total_ns_ / static_cast<double>(count_);
+    s.min_ns = min_ns_;
+    s.max_ns = max_ns_;
+    s.p50_ns = quantile_locked(0.50);
+    s.p90_ns = quantile_locked(0.90);
+    s.p99_ns = quantile_locked(0.99);
+    return s;
+}
+
+void LatencyHistogram::reset() {
+    const std::lock_guard lock(mutex_);
+    hist_.reset();
+    count_ = 0;
+    total_ns_ = 0.0;
+    min_ns_ = 0.0;
+    max_ns_ = 0.0;
+}
+
+Registry& Registry::global() {
+    static Registry registry;
+    return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+    const std::lock_guard lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+    const std::lock_guard lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LatencyHistogram& Registry::latency(const std::string& name) {
+    const std::lock_guard lock(mutex_);
+    auto& slot = latencies_[name];
+    if (!slot) slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+}
+
+void Registry::write_json(std::ostream& out) const {
+    const std::lock_guard lock(mutex_);
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << json::escape(name) << "\":" << c->value();
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << json::escape(name) << "\":" << json::number(g->value());
+    }
+    out << "},\"latencies\":{";
+    first = true;
+    for (const auto& [name, h] : latencies_) {
+        if (!first) out << ',';
+        first = false;
+        const auto s = h->summary();
+        out << '"' << json::escape(name) << "\":{\"count\":" << s.count
+            << ",\"total_ns\":" << json::number(s.total_ns)
+            << ",\"mean_ns\":" << json::number(s.mean_ns)
+            << ",\"min_ns\":" << json::number(s.min_ns)
+            << ",\"max_ns\":" << json::number(s.max_ns)
+            << ",\"p50_ns\":" << json::number(s.p50_ns)
+            << ",\"p90_ns\":" << json::number(s.p90_ns)
+            << ",\"p99_ns\":" << json::number(s.p99_ns) << '}';
+    }
+    out << "}}";
+}
+
+std::string Registry::to_json() const {
+    std::ostringstream oss;
+    write_json(oss);
+    return oss.str();
+}
+
+void Registry::reset() {
+    const std::lock_guard lock(mutex_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : latencies_) h->reset();
+}
+
+ScopedTimer::ScopedTimer(LatencyHistogram& hist, Counter* total_ns) noexcept
+    : hist_(hist), total_ns_(total_ns), start_ns_(steady_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+    const std::uint64_t elapsed = steady_ns() - start_ns_;
+    hist_.record_ns(elapsed);
+    if (total_ns_) total_ns_->add(elapsed);
+}
+
+}  // namespace tnr::core::obs

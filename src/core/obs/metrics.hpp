@@ -1,0 +1,147 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges, and latency
+// histograms behind one thread-safe table.
+//
+// Cost model (the contract the tier-1 timings rely on):
+//   * Counter::add / Gauge::set are single relaxed atomics — safe to leave
+//     in hot paths permanently, sink or no sink;
+//   * LatencyHistogram::record_ns takes a mutex — call it at task/span
+//     granularity (a pool task, a transport run), never per collision;
+//   * Registry::counter(name) takes the registry mutex — call sites cache
+//     the returned reference (e.g. in a function-local static). References
+//     stay valid forever: the registry never erases entries, reset() only
+//     zeroes values.
+//
+// A snapshot serializes every instrument to JSON; nothing is written
+// anywhere unless a caller asks for the snapshot (the CLI's --metrics-out).
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "stats/histogram.hpp"
+
+namespace tnr::core::obs {
+
+/// Monotonic event count.
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) noexcept {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (set) or high-water (update_max) measurement.
+class Gauge {
+public:
+    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    void update_max(double v) noexcept {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (v > cur && !value_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+    [[nodiscard]] double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Latency distribution on a log grid (stats::Histogram, 8 bins/decade over
+/// 100 ns .. 1000 s) plus exact count/total/min/max.
+class LatencyHistogram {
+public:
+    LatencyHistogram();
+
+    void record_ns(std::uint64_t ns);
+
+    struct Summary {
+        std::uint64_t count = 0;
+        double total_ns = 0.0;
+        double mean_ns = 0.0;
+        double min_ns = 0.0;
+        double max_ns = 0.0;
+        double p50_ns = 0.0;  ///< from the log grid: geometric bin centers.
+        double p90_ns = 0.0;
+        double p99_ns = 0.0;
+    };
+    [[nodiscard]] Summary summary() const;
+
+    void reset();
+
+private:
+    [[nodiscard]] double quantile_locked(double q) const;
+
+    mutable std::mutex mutex_;
+    stats::Histogram hist_;
+    std::uint64_t count_ = 0;
+    double total_ns_ = 0.0;
+    double min_ns_ = 0.0;
+    double max_ns_ = 0.0;
+};
+
+/// The process-wide instrument table. Lookup by name creates on first use;
+/// instruments live for the life of the process.
+class Registry {
+public:
+    /// The global registry. Construct-on-first-use; subsystems that record
+    /// from worker threads (the ThreadPool) touch it in their constructors
+    /// so it outlives them at static destruction.
+    static Registry& global();
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    LatencyHistogram& latency(const std::string& name);
+
+    /// One JSON object:
+    ///   {"counters":{...},"gauges":{...},
+    ///    "latencies":{name:{count,mean_ns,p50_ns,...}}}
+    /// Keys are sorted; numbers round-trip.
+    void write_json(std::ostream& out) const;
+    [[nodiscard]] std::string to_json() const;
+
+    /// Zeroes every instrument without invalidating references (tests).
+    void reset();
+
+private:
+    Registry() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
+};
+
+/// RAII wall-clock timer: always measures (two steady_clock reads), records
+/// into a LatencyHistogram and optionally accumulates nanoseconds into a
+/// Counter on destruction. For always-on task-granularity timing.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(LatencyHistogram& hist,
+                         Counter* total_ns = nullptr) noexcept;
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    LatencyHistogram& hist_;
+    Counter* total_ns_;
+    std::uint64_t start_ns_;
+};
+
+}  // namespace tnr::core::obs

@@ -1,0 +1,64 @@
+#include "core/obs/progress.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace tnr::core::obs {
+
+ProgressMeter::ProgressMeter(std::ostream* sink, std::string label,
+                             std::string unit, std::size_t total)
+    : sink_(sink),
+      label_(std::move(label)),
+      unit_(std::move(unit)),
+      total_(total),
+      start_(std::chrono::steady_clock::now()),
+      last_report_(start_) {}
+
+void ProgressMeter::tick(std::size_t delta) {
+    if (!sink_) return;
+    const std::lock_guard lock(mutex_);
+    done_ += delta;
+    const auto now = std::chrono::steady_clock::now();
+    if (now - start_ < kFirstReportAfter) return;
+    if (done_ < total_ && now - last_report_ < kMinInterval) return;
+    last_report_ = now;
+    print_locked(false);
+}
+
+void ProgressMeter::finish() {
+    if (!sink_) return;
+    const std::lock_guard lock(mutex_);
+    if (!printed_any_ || finished_) return;
+    print_locked(true);
+}
+
+void ProgressMeter::print_locked(bool final_line) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    char buf[160];
+    if (final_line || done_ >= total_) {
+        std::snprintf(buf, sizeof(buf), "%s: %zu/%zu %s done in %.1f s",
+                      label_.c_str(), done_, total_, unit_.c_str(), elapsed);
+        finished_ = true;
+    } else {
+        const double eta =
+            done_ > 0 ? elapsed / static_cast<double>(done_) *
+                            static_cast<double>(total_ - done_)
+                      : 0.0;
+        const int pct =
+            total_ > 0 ? static_cast<int>(100.0 * static_cast<double>(done_) /
+                                          static_cast<double>(total_))
+                       : 0;
+        std::snprintf(buf, sizeof(buf),
+                      "%s: %zu/%zu %s (%d%%), elapsed %.1f s, eta %.1f s",
+                      label_.c_str(), done_, total_, unit_.c_str(), pct,
+                      elapsed, eta);
+    }
+    *sink_ << buf << '\n';
+    sink_->flush();
+    printed_any_ = true;
+}
+
+}  // namespace tnr::core::obs

@@ -1,0 +1,51 @@
+#pragma once
+// Throttled stderr progress reporting with an ETA, for long campaigns.
+//
+// Each report is a complete, newline-terminated line ("campaign: 7/12
+// devices (58%), elapsed 12.3 s, eta 8.8 s") so output stays readable when
+// redirected to a log file. Reporting is time-gated: nothing is printed
+// before `kFirstReportAfter` of wall time, so short runs (and unit tests)
+// stay silent; after that at most one line per `kMinInterval`. tick() is
+// thread-safe — parallel campaign workers call it directly.
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace tnr::core::obs {
+
+class ProgressMeter {
+public:
+    /// `sink == nullptr` disables the meter entirely (every call a no-op).
+    /// `unit` names the work items ("devices", "workloads").
+    ProgressMeter(std::ostream* sink, std::string label, std::string unit,
+                  std::size_t total);
+
+    /// Marks `delta` items done; prints a progress line when due.
+    void tick(std::size_t delta = 1);
+
+    /// Prints a final "done" line — only if a progress line was already
+    /// printed (short runs finish silently).
+    void finish();
+
+    static constexpr std::chrono::milliseconds kFirstReportAfter{1000};
+    static constexpr std::chrono::milliseconds kMinInterval{250};
+
+private:
+    void print_locked(bool final_line);
+
+    std::ostream* sink_;
+    std::string label_;
+    std::string unit_;
+    std::size_t total_;
+    std::size_t done_ = 0;
+    bool printed_any_ = false;
+    bool finished_ = false;  ///< the "done" line was printed (print it once).
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point last_report_;
+    std::mutex mutex_;
+};
+
+}  // namespace tnr::core::obs

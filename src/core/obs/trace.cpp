@@ -1,0 +1,77 @@
+#include "core/obs/trace.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+#include "core/obs/json.hpp"
+
+namespace tnr::core::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point tracer_epoch() noexcept {
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+    static Tracer tracer;
+    tracer_epoch();  // pin the epoch no later than first tracer use.
+    return tracer;
+}
+
+double Tracer::now_us() noexcept {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - tracer_epoch())
+        .count();
+}
+
+std::uint32_t Tracer::thread_id() noexcept {
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void Tracer::record_complete(std::string name, const char* cat, double ts_us,
+                             double dur_us) {
+    Event ev{std::move(name), cat, ts_us, dur_us, thread_id()};
+    const std::lock_guard lock(mutex_);
+    events_.push_back(std::move(ev));
+}
+
+std::size_t Tracer::event_count() const {
+    const std::lock_guard lock(mutex_);
+    return events_.size();
+}
+
+void Tracer::clear() {
+    const std::lock_guard lock(mutex_);
+    events_.clear();
+}
+
+void Tracer::write_json(std::ostream& out) const {
+    const std::lock_guard lock(mutex_);
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto& ev : events_) {
+        if (!first) out << ',';
+        first = false;
+        out << "{\"name\":\"" << json::escape(ev.name) << "\",\"cat\":\""
+            << json::escape(ev.cat) << "\",\"ph\":\"X\",\"ts\":"
+            << json::number(ev.ts_us) << ",\"dur\":" << json::number(ev.dur_us)
+            << ",\"pid\":1,\"tid\":" << ev.tid << '}';
+    }
+    out << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+std::string Tracer::to_json() const {
+    std::ostringstream oss;
+    write_json(oss);
+    return oss.str();
+}
+
+}  // namespace tnr::core::obs

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/obs/trace.hpp"
+
 namespace tnr::core::parallel {
 
 namespace {
@@ -26,7 +28,18 @@ unsigned default_thread_count() noexcept {
     return hw > 0 ? hw : 1u;
 }
 
-ThreadPool::ThreadPool(unsigned threads) : size_(threads > 0 ? threads : 1u) {
+ThreadPool::ThreadPool(unsigned threads)
+    : size_(threads > 0 ? threads : 1u),
+      tasks_submitted_(obs::Registry::global().counter("pool.tasks_submitted")),
+      tasks_completed_(obs::Registry::global().counter("pool.tasks_completed")),
+      busy_ns_(obs::Registry::global().counter("pool.busy_ns")),
+      queue_depth_max_(obs::Registry::global().gauge("pool.queue_depth_max")),
+      queue_wait_(obs::Registry::global().latency("pool.queue_wait")),
+      task_run_(obs::Registry::global().latency("pool.task_run")) {
+    // Order the tracer's statics before this pool too: workers may record
+    // spans, so the tracer must be destroyed after them.
+    obs::Tracer::global();
+    obs::Registry::global().gauge("pool.workers").update_max(size_);
     workers_.reserve(size_);
     for (unsigned t = 0; t < size_; ++t) {
         workers_.emplace_back([this] { worker_loop(); });
@@ -43,9 +56,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+    tasks_submitted_.add();
     {
         const std::lock_guard lock(mutex_);
-        queue_.push_back(std::move(task));
+        queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
+        queue_depth_max_.update_max(static_cast<double>(queue_.size()));
     }
     cv_.notify_one();
 }
@@ -53,7 +68,7 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::worker_loop() {
     tls_on_worker = true;
     for (;;) {
-        std::function<void()> task;
+        QueuedTask task;
         {
             std::unique_lock lock(mutex_);
             cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -61,7 +76,20 @@ void ThreadPool::worker_loop() {
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        const auto start = std::chrono::steady_clock::now();
+        queue_wait_.record_ns(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                start - task.enqueued)
+                .count()));
+        {
+            const obs::Span span("pool.task", "pool");
+            task.fn();
+        }
+        const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start);
+        task_run_.record_ns(static_cast<std::uint64_t>(elapsed.count()));
+        busy_ns_.add(static_cast<std::uint64_t>(elapsed.count()));
+        tasks_completed_.add();
     }
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/obs/metrics.hpp"
+#include "core/obs/trace.hpp"
 #include "core/parallel/parallel_for.hpp"
 
 namespace tnr::faultinject {
@@ -57,6 +59,12 @@ AvfResult run_trials(const workloads::SuiteEntry& entry, std::size_t trials,
 AvfResult measure_avf(const workloads::SuiteEntry& entry, std::size_t trials,
                       std::uint64_t seed, unsigned threads) {
     if (trials == 0) throw std::invalid_argument("measure_avf: zero trials");
+    const core::obs::Span span("avf:" + entry.name, "avf");
+    static auto& trials_counter =
+        core::obs::Registry::global().counter("avf.trials");
+    static auto& runs_counter = core::obs::Registry::global().counter("avf.runs");
+    trials_counter.add(trials);
+    runs_counter.add(1);
     stats::Rng rng(seed);
     AvfResult result = core::parallel::parallel_for_reduce<AvfResult>(
         trials, threads, rng,
@@ -74,6 +82,7 @@ VulnerabilityTable VulnerabilityTable::measure(
     if (suite.empty()) {
         throw std::invalid_argument("VulnerabilityTable: empty suite");
     }
+    const core::obs::Span span("avf.vulnerability_table", "avf");
     VulnerabilityTable table;
     // Per-entry seeds match the historical serial walk (seed+1, seed+2, ...)
     // and each entry's trials run serially, so the table is independent of

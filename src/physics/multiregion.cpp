@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/obs/metrics.hpp"
+#include "core/obs/trace.hpp"
 #include "core/parallel/parallel_for.hpp"
 #include "physics/cross_sections.hpp"
 #include "physics/units.hpp"
@@ -49,6 +51,7 @@ LayeredFate LayeredTransport::transport_one(double energy_ev,
     double e = energy_ev;
     double x = 0.0;
     double mu = 1.0;
+    std::uint64_t collisions = 0;
     const bool use_table = config_.use_xs_table;
 
     for (std::uint32_t step = 0; step < config_.max_scatters; ++step) {
@@ -86,8 +89,9 @@ LayeredFate LayeredTransport::transport_one(double energy_ev,
                     x = x_new;
                     // Interaction.
                     if (rng.uniform() * sigma_t < sigma_a) {
-                        return {Fate::kAbsorbed, e, li};
+                        return {Fate::kAbsorbed, e, li, collisions};
                     }
+                    ++collisions;
                     // Elastic scatter off a nuclide sampled at energy e.
                     const double a =
                         use_table
@@ -109,14 +113,15 @@ LayeredFate LayeredTransport::transport_one(double energy_ev,
             }
         }
 
-        if (x >= total_) return {Fate::kTransmitted, e, 0};
-        if (x <= 0.0) return {Fate::kReflected, e, 0};
+        if (x >= total_) return {Fate::kTransmitted, e, 0, collisions};
+        if (x <= 0.0) return {Fate::kReflected, e, 0, collisions};
     }
-    return {Fate::kLost, e, 0};
+    return {Fate::kLost, e, 0, collisions};
 }
 
 void LayeredResult::merge(const LayeredResult& other) {
     total += other.total;
+    collisions += other.collisions;
     transmitted += other.transmitted;
     transmitted_thermal += other.transmitted_thermal;
     reflected += other.reflected;
@@ -140,6 +145,7 @@ namespace {
 
 void record(LayeredResult& r, const LayeredFate& f) {
     ++r.total;
+    r.collisions += f.collisions;
     switch (f.fate) {
         case Fate::kTransmitted:
             ++r.transmitted;
@@ -165,7 +171,8 @@ template <typename SampleEnergy>
 LayeredResult LayeredTransport::run_histories(SampleEnergy&& sample,
                                               std::uint64_t n,
                                               stats::Rng& rng) const {
-    return core::parallel::parallel_for_reduce<LayeredResult>(
+    const core::obs::Span span("transport.layered", "transport");
+    LayeredResult merged = core::parallel::parallel_for_reduce<LayeredResult>(
         n, config_.threads, rng,
         [this, &sample](std::uint64_t, std::uint64_t count,
                         stats::Rng& stream) {
@@ -177,6 +184,22 @@ LayeredResult LayeredTransport::run_histories(SampleEnergy&& sample,
             return result;
         },
         [](LayeredResult& acc, const LayeredResult& p) { acc.merge(p); });
+
+    // Batch-granularity telemetry, shared with the slab engine.
+    namespace obs = core::obs;
+    static auto& histories = obs::Registry::global().counter("transport.histories");
+    static auto& collisions = obs::Registry::global().counter("transport.collisions");
+    static auto& table_collisions =
+        obs::Registry::global().counter("transport.collisions_xs_table");
+    static auto& exact_collisions =
+        obs::Registry::global().counter("transport.collisions_xs_exact");
+    static auto& runs = obs::Registry::global().counter("transport.runs");
+    histories.add(merged.total);
+    collisions.add(merged.collisions);
+    (config_.use_xs_table ? table_collisions : exact_collisions)
+        .add(merged.collisions);
+    runs.add(1);
+    return merged;
 }
 
 LayeredResult LayeredTransport::run_monoenergetic(double energy_ev,

@@ -39,6 +39,8 @@ struct LayeredFate {
     double exit_energy_ev = 0.0;
     /// Layer index where the neutron was absorbed (valid for kAbsorbed).
     std::size_t absorbed_layer = 0;
+    /// Scattering collisions along this history (telemetry).
+    std::uint64_t collisions = 0;
 };
 
 /// Counts for a layered-transport run.
@@ -50,6 +52,8 @@ struct LayeredResult {
     std::uint64_t reflected_thermal = 0;
     std::uint64_t absorbed = 0;
     std::uint64_t lost = 0;
+    /// Scattering collisions summed over all histories (telemetry).
+    std::uint64_t collisions = 0;
     std::vector<std::uint64_t> absorbed_by_layer;
 
     [[nodiscard]] double transmission() const noexcept {

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/obs/metrics.hpp"
+#include "core/obs/trace.hpp"
 #include "core/parallel/parallel_for.hpp"
 #include "physics/cross_sections.hpp"
 #include "physics/units.hpp"
@@ -23,13 +25,15 @@ SlabTransport::SlabTransport(Material material, double thickness_cm,
 }
 
 Fate SlabTransport::transport_one(double energy_ev, stats::Rng& rng,
-                                  double* exit_energy_ev) const {
+                                  double* exit_energy_ev,
+                                  std::uint64_t* collisions) const {
     double e = energy_ev;
     double x = 0.0;
     double mu = 1.0;  // entering along +x.
     const bool use_table = config_.use_xs_table;
 
     for (std::uint32_t scatter = 0; scatter < config_.max_scatters; ++scatter) {
+        if (collisions) *collisions = scatter;
         MaterialXsTable::Lookup lk;
         double sigma_s;
         double sigma_a;
@@ -89,8 +93,10 @@ Fate SlabTransport::transport_one(double energy_ev, stats::Rng& rng,
 
 namespace {
 
-void record(TransportResult& r, Fate fate, double exit_e) {
+void record(TransportResult& r, Fate fate, double exit_e,
+            std::uint64_t collisions) {
     ++r.total;
+    r.collisions += collisions;
     switch (fate) {
         case Fate::kTransmitted:
             ++r.transmitted;
@@ -115,19 +121,39 @@ template <typename SampleEnergy>
 TransportResult SlabTransport::run_histories(SampleEnergy&& sample,
                                              std::uint64_t n, stats::Rng& rng,
                                              unsigned threads) const {
-    return core::parallel::parallel_for_reduce<TransportResult>(
+    const core::obs::Span span("transport.slab", "transport");
+    TransportResult result = core::parallel::parallel_for_reduce<TransportResult>(
         n, threads, rng,
         [this, &sample](std::uint64_t, std::uint64_t count,
                         stats::Rng& stream) {
             TransportResult r;
             for (std::uint64_t i = 0; i < count; ++i) {
                 double exit_e = 0.0;
-                const Fate fate = transport_one(sample(stream), stream, &exit_e);
-                record(r, fate, exit_e);
+                std::uint64_t collisions = 0;
+                const Fate fate =
+                    transport_one(sample(stream), stream, &exit_e, &collisions);
+                record(r, fate, exit_e, collisions);
             }
             return r;
         },
         [](TransportResult& acc, const TransportResult& p) { acc.merge(p); });
+
+    // Batch-granularity telemetry: a handful of relaxed adds per run, never
+    // per history or per collision.
+    namespace obs = core::obs;
+    static auto& histories = obs::Registry::global().counter("transport.histories");
+    static auto& collisions = obs::Registry::global().counter("transport.collisions");
+    static auto& table_collisions =
+        obs::Registry::global().counter("transport.collisions_xs_table");
+    static auto& exact_collisions =
+        obs::Registry::global().counter("transport.collisions_xs_exact");
+    static auto& runs = obs::Registry::global().counter("transport.runs");
+    histories.add(result.total);
+    collisions.add(result.collisions);
+    (config_.use_xs_table ? table_collisions : exact_collisions)
+        .add(result.collisions);
+    runs.add(1);
+    return result;
 }
 
 TransportResult SlabTransport::run_monoenergetic(double energy_ev,
@@ -160,6 +186,7 @@ void TransportResult::merge(const TransportResult& other) noexcept {
     transmitted_thermal += other.transmitted_thermal;
     reflected_thermal += other.reflected_thermal;
     total += other.total;
+    collisions += other.collisions;
 }
 
 TransportResult SlabTransport::run_monoenergetic_parallel(

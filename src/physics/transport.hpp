@@ -61,6 +61,9 @@ struct TransportResult {
     std::uint64_t transmitted_thermal = 0;
     std::uint64_t reflected_thermal = 0;
     std::uint64_t total = 0;
+    /// Scattering collisions summed over all histories (telemetry: where
+    /// the transport time goes).
+    std::uint64_t collisions = 0;
 
     [[nodiscard]] double transmission() const noexcept {
         return total ? static_cast<double>(transmitted) / static_cast<double>(total) : 0.0;
@@ -100,9 +103,11 @@ public:
     [[nodiscard]] double thickness_cm() const noexcept { return thickness_; }
 
     /// Transport one neutron of the given energy; returns its fate and (via
-    /// out-param) its exit energy when it escapes.
+    /// out-params) its exit energy when it escapes and its scattering
+    /// collision count.
     Fate transport_one(double energy_ev, stats::Rng& rng,
-                       double* exit_energy_ev = nullptr) const;
+                       double* exit_energy_ev = nullptr,
+                       std::uint64_t* collisions = nullptr) const;
 
     /// Transport `n` monoenergetic neutrons, on config.threads workers of
     /// the shared pool (1 = serial, bitwise identical to the historical

@@ -224,8 +224,8 @@ TEST(Campaign, RowLookup) {
     CampaignConfig cfg;
     cfg.beam_time_per_run_s = 600.0;
     const CampaignResult result = Campaign(cfg).run();
-    EXPECT_NO_THROW(result.row("NVIDIA K20", devices::ErrorType::kSdc));
-    EXPECT_THROW(result.row("TPU", devices::ErrorType::kSdc),
+    EXPECT_NO_THROW((void)result.row("NVIDIA K20", devices::ErrorType::kSdc));
+    EXPECT_THROW((void)result.row("TPU", devices::ErrorType::kSdc),
                  std::out_of_range);
     const auto k20_chipir = result.for_device("NVIDIA K20", "ChipIR",
                                               devices::ErrorType::kSdc);

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "cli/cli.hpp"
+#include "core/obs/json.hpp"
 
 namespace tnr::cli {
 namespace {
@@ -150,6 +153,123 @@ TEST(Cli, StrayPositionalArgumentRejected) {
     const auto r = run_cli({"fit", "leadville"});
     EXPECT_EQ(r.code, 1);
     EXPECT_NE(r.err.find("unexpected argument"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagRejected) {
+    const auto r = run_cli({"campaign", "--frobnicate"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("unknown flag: --frobnicate"), std::string::npos);
+}
+
+TEST(Cli, FlagFromAnotherCommandRejected) {
+    // --days belongs to detector, not campaign.
+    const auto r = run_cli({"campaign", "--days", "4"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("unknown flag: --days"), std::string::npos);
+}
+
+TEST(Cli, MissingFlagValueRejected) {
+    const auto r = run_cli({"campaign", "--hours"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("requires a value"), std::string::npos);
+}
+
+TEST(Cli, EqualsSyntaxAccepted) {
+    const auto spaced = run_cli({"campaign", "--hours", "0.2", "--seed", "7"});
+    const auto equals = run_cli({"campaign", "--hours=0.2", "--seed=7"});
+    EXPECT_EQ(equals.code, 0);
+    EXPECT_EQ(equals.out, spaced.out);
+}
+
+TEST(Cli, QuietAndVerboseAreMutuallyExclusive) {
+    const auto r = run_cli({"list-devices", "--quiet", "--verbose"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("mutually exclusive"), std::string::npos);
+}
+
+// --- Telemetry sinks -------------------------------------------------------
+
+std::string slurp(const std::filesystem::path& path) {
+    std::ifstream file(path);
+    std::ostringstream ss;
+    ss << file.rdbuf();
+    return ss.str();
+}
+
+TEST(Cli, MetricsOutWritesValidJsonWithoutChangingStdout) {
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto metrics_path = dir / "tnr_test_metrics.json";
+    const auto plain = run_cli({"campaign", "--hours", "0.2", "--seed", "7"});
+    const auto with_sink =
+        run_cli({"campaign", "--hours", "0.2", "--seed", "7", "--metrics-out",
+                 metrics_path.string()});
+    EXPECT_EQ(with_sink.code, 0);
+    // Telemetry must not perturb the results channel.
+    EXPECT_EQ(with_sink.out, plain.out);
+
+    const auto doc = core::obs::json::parse(slurp(metrics_path));
+    ASSERT_TRUE(doc.has_value());
+    const auto* manifest = doc->find("manifest");
+    ASSERT_NE(manifest, nullptr);
+    EXPECT_DOUBLE_EQ(manifest->find("seed")->num, 7.0);
+    const auto* metrics = doc->find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    const auto* counters = metrics->find("counters");
+    ASSERT_NE(counters, nullptr);
+    const auto* devices = counters->find("campaign.devices");
+    ASSERT_NE(devices, nullptr);
+    EXPECT_GE(devices->num, 8.0);
+    const auto* gauges = metrics->find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    ASSERT_NE(gauges->find("transport.xs_table_hit_rate"), nullptr);
+    std::filesystem::remove(metrics_path);
+}
+
+TEST(Cli, TraceOutWritesValidChromeTrace) {
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto trace_path = dir / "tnr_test_trace.json";
+    const auto r = run_cli({"campaign", "--hours", "0.2", "--seed", "7",
+                            "--trace-out", trace_path.string()});
+    EXPECT_EQ(r.code, 0);
+    const auto doc = core::obs::json::parse(slurp(trace_path));
+    ASSERT_TRUE(doc.has_value());
+    const auto* events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->is_array());
+    EXPECT_FALSE(events->array.empty());
+    bool saw_campaign = false;
+    bool saw_device = false;
+    for (const auto& event : events->array) {
+        const auto* name = event.find("name");
+        ASSERT_NE(name, nullptr);
+        if (name->str == "campaign") saw_campaign = true;
+        if (name->str.rfind("device:", 0) == 0) saw_device = true;
+        EXPECT_EQ(event.find("ph")->str, "X");
+    }
+    EXPECT_TRUE(saw_campaign);
+    EXPECT_TRUE(saw_device);
+    std::filesystem::remove(trace_path);
+}
+
+TEST(Cli, ManifestOutWritesStandaloneManifest) {
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto manifest_path = dir / "tnr_test_manifest.json";
+    const auto r = run_cli({"detector", "--days", "2", "--manifest-out",
+                            manifest_path.string()});
+    EXPECT_EQ(r.code, 0);
+    const auto doc = core::obs::json::parse(slurp(manifest_path));
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("tool")->str, "tnr");
+    // detector's default seed is the historical 420.
+    EXPECT_DOUBLE_EQ(doc->find("seed")->num, 420.0);
+    std::filesystem::remove(manifest_path);
+}
+
+TEST(Cli, UnwritableSinkIsExecutionError) {
+    const auto r = run_cli({"list-devices", "--metrics-out",
+                            "/nonexistent-dir/metrics.json"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("cannot open"), std::string::npos);
 }
 
 }  // namespace

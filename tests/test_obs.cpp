@@ -1,0 +1,257 @@
+// The observability layer: metrics registry semantics (including concurrent
+// counting from the shared pool), JSON snapshot round-trips through the
+// bundled parser, trace writer output, manifests, and the progress meter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/obs/json.hpp"
+#include "core/obs/manifest.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/progress.hpp"
+#include "core/obs/trace.hpp"
+#include "core/parallel/thread_pool.hpp"
+
+namespace {
+
+namespace obs = tnr::core::obs;
+using tnr::core::parallel::TaskGroup;
+using tnr::core::parallel::ThreadPool;
+
+// --- JSON ------------------------------------------------------------------
+
+TEST(ObsJson, ParsesScalarsObjectsAndArrays) {
+    const auto doc = obs::json::parse(
+        R"({"a":1.5,"b":"x","c":[1,2,3],"d":{"e":true,"f":null},"g":-2e3})");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->is_object());
+    EXPECT_DOUBLE_EQ(doc->find("a")->num, 1.5);
+    EXPECT_EQ(doc->find("b")->str, "x");
+    ASSERT_TRUE(doc->find("c")->is_array());
+    EXPECT_EQ(doc->find("c")->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(doc->find("c")->array[1].num, 2.0);
+    const auto* d = doc->find("d");
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->find("e")->boolean);
+    EXPECT_EQ(d->find("f")->kind, obs::json::Value::Kind::kNull);
+    EXPECT_DOUBLE_EQ(doc->find("g")->num, -2000.0);
+}
+
+TEST(ObsJson, RejectsMalformedDocuments) {
+    EXPECT_FALSE(obs::json::parse("").has_value());
+    EXPECT_FALSE(obs::json::parse("{").has_value());
+    EXPECT_FALSE(obs::json::parse("{\"a\":1,}").has_value());
+    EXPECT_FALSE(obs::json::parse("[1,2] trailing").has_value());
+    EXPECT_FALSE(obs::json::parse("{'a':1}").has_value());
+    EXPECT_FALSE(obs::json::parse("nul").has_value());
+}
+
+TEST(ObsJson, EscapeProducesParseableStrings) {
+    const std::string nasty = "a\"b\\c\n\t\x01z";
+    const std::string doc = "{\"k\":\"" + obs::json::escape(nasty) + "\"}";
+    const auto parsed = obs::json::parse(doc);
+    ASSERT_TRUE(parsed.has_value());
+    const auto* k = parsed->find("k");
+    ASSERT_NE(k, nullptr);
+    EXPECT_EQ(k->str, nasty);
+}
+
+TEST(ObsJson, NumbersRoundTrip) {
+    for (const double v : {0.0, 1.0, -1.5, 3.141592653589793, 1e-300, 2.5e17}) {
+        const auto parsed = obs::json::parse(obs::json::number(v));
+        ASSERT_TRUE(parsed.has_value()) << v;
+        EXPECT_DOUBLE_EQ(parsed->num, v);
+    }
+    // NaN/Inf are not representable in JSON; the writer maps them to 0.
+    EXPECT_EQ(obs::json::number(std::nan("")), "0");
+}
+
+// --- Metrics ---------------------------------------------------------------
+
+TEST(ObsMetrics, CounterCountsExactlyUnderConcurrency) {
+    auto& counter = obs::Registry::global().counter("test_obs.concurrent");
+    counter.reset();
+    constexpr int kTasks = 64;
+    constexpr int kAddsPerTask = 1000;
+    {
+        TaskGroup group(ThreadPool::shared());
+        for (int t = 0; t < kTasks; ++t) {
+            group.run([&counter] {
+                for (int i = 0; i < kAddsPerTask; ++i) counter.add(1);
+            });
+        }
+        group.wait();
+    }
+    EXPECT_EQ(counter.value(),
+              static_cast<std::uint64_t>(kTasks) * kAddsPerTask);
+}
+
+TEST(ObsMetrics, GaugeTracksMaximumUnderConcurrency) {
+    auto& gauge = obs::Registry::global().gauge("test_obs.max_gauge");
+    gauge.reset();
+    {
+        TaskGroup group(ThreadPool::shared());
+        for (int t = 0; t < 32; ++t) {
+            group.run([&gauge, t] {
+                for (int i = 0; i <= 100; ++i) {
+                    gauge.update_max(static_cast<double>(t * 1000 + i));
+                }
+            });
+        }
+        group.wait();
+    }
+    EXPECT_DOUBLE_EQ(gauge.value(), 31100.0);
+}
+
+TEST(ObsMetrics, RegistryReturnsStableReferences) {
+    auto& a = obs::Registry::global().counter("test_obs.stable");
+    auto& b = obs::Registry::global().counter("test_obs.stable");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(ObsMetrics, LatencyHistogramSummarizes) {
+    obs::LatencyHistogram hist;
+    for (int i = 1; i <= 100; ++i) hist.record_ns(1000 * i);  // 1..100 us
+    const auto s = hist.summary();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.min_ns, 1000.0);
+    EXPECT_DOUBLE_EQ(s.max_ns, 100000.0);
+    EXPECT_NEAR(s.mean_ns, 50500.0, 1e-6);
+    // Quantiles come off the log grid — generous bounds.
+    EXPECT_GT(s.p50_ns, 20000.0);
+    EXPECT_LT(s.p50_ns, 90000.0);
+    EXPECT_GE(s.p90_ns, s.p50_ns);
+    EXPECT_GE(s.p99_ns, s.p90_ns);
+    EXPECT_LE(s.p99_ns, 2.0 * s.max_ns);
+}
+
+TEST(ObsMetrics, SnapshotRoundTripsThroughParser) {
+    auto& reg = obs::Registry::global();
+    reg.counter("test_obs.snapshot_counter").reset();
+    reg.counter("test_obs.snapshot_counter").add(42);
+    reg.gauge("test_obs.snapshot_gauge").set(0.625);
+    auto& lat = reg.latency("test_obs.snapshot_latency");
+    lat.reset();
+    lat.record_ns(5000);
+
+    const auto doc = obs::json::parse(reg.to_json());
+    ASSERT_TRUE(doc.has_value());
+    const auto* counters = doc->find("counters");
+    ASSERT_NE(counters, nullptr);
+    const auto* counter = counters->find("test_obs.snapshot_counter");
+    ASSERT_NE(counter, nullptr);
+    EXPECT_DOUBLE_EQ(counter->num, 42.0);
+
+    const auto* gauges = doc->find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_DOUBLE_EQ(gauges->find("test_obs.snapshot_gauge")->num, 0.625);
+
+    const auto* lats = doc->find("latencies");
+    ASSERT_NE(lats, nullptr);
+    const auto* entry = lats->find("test_obs.snapshot_latency");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_DOUBLE_EQ(entry->find("count")->num, 1.0);
+    EXPECT_DOUBLE_EQ(entry->find("mean_ns")->num, 5000.0);
+    ASSERT_NE(entry->find("p99_ns"), nullptr);
+}
+
+TEST(ObsMetrics, ScopedTimerRecordsAndAccumulates) {
+    obs::LatencyHistogram hist;
+    obs::Counter total_ns;
+    { const obs::ScopedTimer timer(hist, &total_ns); }
+    const auto s = hist.summary();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_EQ(total_ns.value(), static_cast<std::uint64_t>(s.total_ns));
+}
+
+// --- Tracing ---------------------------------------------------------------
+
+TEST(ObsTrace, DisabledSpanRecordsNothing) {
+    auto& tracer = obs::Tracer::global();
+    tracer.disable();
+    tracer.clear();
+    { const obs::Span span("test_obs.disabled", "test"); }
+    EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(ObsTrace, EnabledSpanProducesValidChromeTrace) {
+    auto& tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.enable();
+    {
+        const obs::Span outer("test_obs.outer", "test");
+        const obs::Span inner(std::string("test_obs.inner"), "test");
+    }
+    tracer.disable();
+    ASSERT_EQ(tracer.event_count(), 2u);
+
+    const auto doc = obs::json::parse(tracer.to_json());
+    ASSERT_TRUE(doc.has_value());
+    const auto* events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->is_array());
+    ASSERT_EQ(events->array.size(), 2u);
+    for (const auto& event : events->array) {
+        EXPECT_EQ(event.find("ph")->str, "X");
+        EXPECT_EQ(event.find("cat")->str, "test");
+        EXPECT_GE(event.find("dur")->num, 0.0);
+        ASSERT_NE(event.find("ts"), nullptr);
+        ASSERT_NE(event.find("pid"), nullptr);
+        ASSERT_NE(event.find("tid"), nullptr);
+    }
+    // Complete events are recorded at destruction: inner closes first.
+    EXPECT_EQ(events->array[0].find("name")->str, "test_obs.inner");
+    EXPECT_EQ(events->array[1].find("name")->str, "test_obs.outer");
+    tracer.clear();
+}
+
+// --- Manifest --------------------------------------------------------------
+
+TEST(ObsManifest, SerializesAllFields) {
+    obs::RunManifest manifest;
+    manifest.command = "tnr campaign --seed 7";
+    manifest.seed = 7;
+    manifest.threads = 4;
+    manifest.elapsed_s = 1.25;
+    manifest.started_at_utc = "2026-01-01T00:00:00Z";
+    manifest.flags.emplace_back("seed", "7");
+    manifest.flags.emplace_back("csv", "");
+
+    const auto doc = obs::json::parse(manifest.to_json());
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("tool")->str, "tnr");
+    EXPECT_FALSE(doc->find("version")->str.empty());
+    EXPECT_EQ(doc->find("command")->str, "tnr campaign --seed 7");
+    EXPECT_DOUBLE_EQ(doc->find("seed")->num, 7.0);
+    EXPECT_DOUBLE_EQ(doc->find("threads")->num, 4.0);
+    EXPECT_DOUBLE_EQ(doc->find("elapsed_s")->num, 1.25);
+    const auto* flags = doc->find("flags");
+    ASSERT_NE(flags, nullptr);
+    ASSERT_TRUE(flags->is_object());
+    EXPECT_EQ(flags->find("seed")->str, "7");
+    ASSERT_NE(flags->find("csv"), nullptr);
+}
+
+// --- Progress --------------------------------------------------------------
+
+TEST(ObsProgress, NullSinkIsANoOp) {
+    obs::ProgressMeter meter(nullptr, "test", "items", 10);
+    for (int i = 0; i < 10; ++i) meter.tick();
+    meter.finish();  // must not crash
+}
+
+TEST(ObsProgress, ShortRunsStaySilent) {
+    std::ostringstream sink;
+    obs::ProgressMeter meter(&sink, "test", "items", 4);
+    for (int i = 0; i < 4; ++i) meter.tick();
+    meter.finish();
+    // Reporting is gated on kFirstReportAfter of wall time; an immediate
+    // run prints nothing.
+    EXPECT_TRUE(sink.str().empty()) << sink.str();
+}
+
+}  // namespace
