@@ -1,13 +1,34 @@
 #include "beam/campaign.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "core/error.hpp"
 #include "core/obs/metrics.hpp"
 #include "core/obs/trace.hpp"
 #include "core/parallel/parallel_for.hpp"
 
 namespace tnr::beam {
+
+double DeviceRatioRow::sigma_he() const {
+    if (fluence_he <= 0.0) {
+        throw core::RunError::numeric("DeviceRatioRow::sigma_he: " + device +
+                                      " has zero HE fluence (device never "
+                                      "ran at ChipIR)");
+    }
+    return static_cast<double>(errors_he) / fluence_he;
+}
+
+double DeviceRatioRow::sigma_th() const {
+    if (fluence_th <= 0.0) {
+        throw core::RunError::numeric("DeviceRatioRow::sigma_th: " + device +
+                                      " has zero thermal fluence (device "
+                                      "never ran at ROTAX)");
+    }
+    return static_cast<double>(errors_th) / fluence_th;
+}
 
 std::optional<stats::RateRatio> DeviceRatioRow::ratio() const {
     if (errors_th == 0) return std::nullopt;
@@ -32,29 +53,41 @@ const DeviceRatioRow& CampaignResult::row(const std::string& device,
     for (const auto& r : ratio_rows) {
         if (r.device == device && r.type == type) return r;
     }
-    throw std::out_of_range("CampaignResult::row: no row for " + device);
+    throw std::out_of_range(std::string("CampaignResult::row: no ") +
+                            devices::to_string(type) + " row for " + device);
+}
+
+bool CampaignResult::device_failed(const std::string& device) const {
+    for (const auto& r : ratio_rows) {
+        if (r.device == device) return false;
+    }
+    for (const auto& f : failures) {
+        if (f.name == device) return true;
+    }
+    return false;
 }
 
 Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
     if (config_.beam_time_per_run_s <= 0.0) {
-        throw std::invalid_argument("Campaign: bad beam time");
+        throw core::RunError::config("Campaign: bad beam time");
     }
     if (config_.chipir_deratings.empty()) {
-        throw std::invalid_argument("Campaign: need at least one ChipIR slot");
+        throw core::RunError::config("Campaign: need at least one ChipIR slot");
+    }
+    for (const double d : config_.chipir_deratings) {
+        if (!std::isfinite(d) || d <= 0.0 || d > 1.0) {
+            throw core::RunError::config(
+                "Campaign: ChipIR deratings must be finite and in (0, 1]");
+        }
+    }
+    if (config_.max_attempts == 0) {
+        throw core::RunError::config("Campaign: max_attempts must be >= 1");
     }
 }
 
 CampaignResult Campaign::run() const { return run(devices::standard_catalog()); }
 
 namespace {
-
-/// One device's slice of the campaign: its whole workload suite at both
-/// facilities, tallied into the per-device Fig.-5 rows.
-struct DeviceOutcome {
-    std::vector<CrossSectionMeasurement> measurements;
-    DeviceRatioRow sdc_row;
-    DeviceRatioRow due_row;
-};
 
 DeviceOutcome run_device(const CampaignConfig& config, const Beamline& chipir,
                          const Beamline& rotax, const devices::Device& device,
@@ -141,6 +174,48 @@ DeviceOutcome run_device_observed(const CampaignConfig& config,
     return out;
 }
 
+/// Per-index result of the fault-isolated grid: at most one outcome, plus
+/// the failures of every attempt that threw. A default DeviceRun (neither)
+/// means the device was skipped by cancellation.
+struct DeviceRun {
+    std::optional<DeviceOutcome> outcome;
+    std::vector<DeviceFailure> failures;
+};
+
+/// One device under fault isolation: every exception an attempt throws is
+/// caught and recorded, bounded by max_attempts; each attempt runs on its
+/// own pre-split RNG stream so a retry never sees a half-consumed stream
+/// and other devices are never perturbed.
+DeviceRun run_device_isolated(const CampaignConfig& config,
+                              const Beamline& chipir, const Beamline& rotax,
+                              const devices::Device& device,
+                              const std::vector<stats::Rng>& streams,
+                              std::size_t index) {
+    static auto& failures_counter =
+        core::obs::Registry::global().counter("campaign.device_failures");
+    DeviceRun run;
+    for (unsigned attempt = 0; attempt < config.max_attempts; ++attempt) {
+        if (config.cancel && config.cancel->cancelled()) return run;
+        try {
+            if (config.fault_hook) config.fault_hook(device.name(), attempt);
+            stats::Rng stream = streams[index * config.max_attempts + attempt];
+            DeviceOutcome out =
+                run_device_observed(config, chipir, rotax, device, stream);
+            if (config.on_device_outcome) {
+                config.on_device_outcome(device, attempt, out);
+            }
+            run.outcome = std::move(out);
+            return run;
+        } catch (const std::exception& e) {
+            DeviceFailure failure{device.name(), e.what(), attempt};
+            failures_counter.add(1);
+            if (config.on_device_failure) config.on_device_failure(failure);
+            run.failures.push_back(std::move(failure));
+        }
+    }
+    return run;
+}
+
 }  // namespace
 
 CampaignResult Campaign::run(const std::vector<devices::Device>& devices) const {
@@ -153,33 +228,62 @@ CampaignResult Campaign::run(const std::vector<devices::Device>& devices) const 
     const Beamline rotax = Beamline::rotax();
     stats::Rng rng(config_.seed);
 
+    // The grid runs fault-isolated (one RNG stream per device attempt,
+    // failures recorded instead of rethrown) whenever it is parallel or any
+    // fault-tolerance feature is on. The plain serial configuration keeps
+    // the historical single-RNG walk, bitwise identical to the pre-pool
+    // implementation — there a mid-run failure cannot be isolated anyway,
+    // because later devices read the shared RNG the failed one half-consumed.
+    const bool isolated = (config_.threads != 1 && devices.size() > 1) ||
+                          config_.wants_isolation();
+
+    CampaignResult result;
     std::vector<DeviceOutcome> outcomes;
-    if (config_.threads == 1 || devices.size() <= 1) {
-        // Historical serial walk: one RNG threaded through every experiment
-        // in order — bitwise identical to the pre-pool implementation.
+    if (!isolated) {
         outcomes.reserve(devices.size());
         for (const auto& device : devices) {
+            if (config_.cancel) config_.cancel->throw_if_cancelled();
             outcomes.push_back(
                 run_device_observed(config_, chipir, rotax, device, rng));
         }
     } else {
-        // Devices fan out over the shared pool. Streams are split off the
-        // campaign RNG serially by device index, so the result depends only
-        // on the seed — not on the thread count or scheduling.
+        // Streams are split off the campaign RNG serially, device-major and
+        // attempt-minor, for every roster device — including replayed ones —
+        // so the layout depends only on (seed, roster, max_attempts): never
+        // on the thread count, on scheduling, on which attempt succeeded, or
+        // on which devices a resumed run still has to execute.
         std::vector<stats::Rng> streams;
-        streams.reserve(devices.size());
-        for (std::size_t i = 0; i < devices.size(); ++i) {
+        streams.reserve(devices.size() * config_.max_attempts);
+        for (std::size_t i = 0; i < devices.size() * config_.max_attempts;
+             ++i) {
             streams.push_back(rng.split());
         }
-        outcomes = core::parallel::parallel_map<DeviceOutcome>(
+        auto runs = core::parallel::parallel_map<DeviceRun>(
             devices.size(), config_.threads,
             [this, &chipir, &rotax, &devices, &streams](std::size_t i) {
-                return run_device_observed(config_, chipir, rotax, devices[i],
-                                           streams[i]);
-            });
+                const auto it = config_.completed.find(devices[i].name());
+                if (it != config_.completed.end()) {
+                    if (config_.on_device_done) config_.on_device_done();
+                    return DeviceRun{it->second, {}};
+                }
+                return run_device_isolated(config_, chipir, rotax, devices[i],
+                                           streams, i);
+            },
+            config_.cancel);
+
+        outcomes.reserve(devices.size());
+        for (auto& run : runs) {
+            result.failures.insert(result.failures.end(),
+                                   run.failures.begin(), run.failures.end());
+            if (run.outcome) outcomes.push_back(std::move(*run.outcome));
+        }
     }
 
-    CampaignResult result;
+    if (config_.cancel && config_.cancel->cancelled()) {
+        throw core::RunError::cancelled(
+            "campaign interrupted (completed devices are journaled)");
+    }
+
     for (auto& out : outcomes) {
         result.measurements.insert(result.measurements.end(),
                                    out.measurements.begin(),

@@ -2,7 +2,15 @@
 // A full ChipIR + ROTAX campaign over the paper's roster: same devices, same
 // codes, same inputs at both facilities (§III.C), then the HE/thermal
 // cross-section ratio analysis of Fig. 5.
+//
+// Fault tolerance (docs/robustness.md): the device×workload grid can run in
+// an *isolated* mode where every device draws from its own deterministic
+// RNG stream, a failing device is retried up to `max_attempts` times and
+// then recorded as a DeviceFailure instead of aborting the grid, finished
+// devices are streamed to an append-only journal, and a previously
+// journaled run can be resumed with bitwise-identical output.
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
@@ -10,6 +18,7 @@
 #include <vector>
 
 #include "beam/experiment.hpp"
+#include "core/parallel/cancel.hpp"
 #include "devices/catalog.hpp"
 #include "faultinject/avf.hpp"
 #include "workloads/suite.hpp"
@@ -26,17 +35,32 @@ struct DeviceRatioRow {
     std::uint64_t errors_th = 0;
     double fluence_th = 0.0;
 
-    [[nodiscard]] double sigma_he() const {
-        return fluence_he > 0.0 ? static_cast<double>(errors_he) / fluence_he
-                                : 0.0;
-    }
-    [[nodiscard]] double sigma_th() const {
-        return fluence_th > 0.0 ? static_cast<double>(errors_th) / fluence_th
-                                : 0.0;
-    }
+    /// Pooled cross sections. A zero-fluence row means the device was never
+    /// irradiated at that facility (it failed or never ran) — asking for its
+    /// cross section is a numeric error, not a silent 0.0.
+    [[nodiscard]] double sigma_he() const;
+    [[nodiscard]] double sigma_th() const;
+
     /// HE / thermal ratio with conservative CI; nullopt when no thermal
     /// errors were observed (the FPGA DUE case).
     [[nodiscard]] std::optional<stats::RateRatio> ratio() const;
+};
+
+/// One device's slice of the campaign: its whole workload suite at both
+/// facilities, tallied into the per-device Fig.-5 rows. This is the unit of
+/// journaling and resume.
+struct DeviceOutcome {
+    std::vector<CrossSectionMeasurement> measurements;
+    DeviceRatioRow sdc_row;
+    DeviceRatioRow due_row;
+};
+
+/// One failed attempt at running a device. Devices that eventually succeed
+/// keep the failures of their earlier attempts, so retries stay visible.
+struct DeviceFailure {
+    std::string name;
+    std::string what;
+    unsigned attempt = 0;
 };
 
 struct CampaignConfig {
@@ -44,6 +68,7 @@ struct CampaignConfig {
     std::uint64_t seed = 2020;
     /// Derating applied to boards 2..N at ChipIR (board 1 on axis). ROTAX
     /// always tests one board at a time (the DUT blocks the thermal beam).
+    /// Every entry must be finite and in (0, 1].
     std::vector<double> chipir_deratings = {1.0, 0.82, 0.67};
     /// AVF trials per workload for the vulnerability table (0 = uniform
     /// weights, much faster).
@@ -54,15 +79,54 @@ struct CampaignConfig {
     /// stream per device. Any parallel run (threads != 1) is bitwise
     /// reproducible for a fixed seed, independent of the thread count.
     unsigned threads = 1;
+    /// Attempts per device (>= 1). With > 1 a device whose run throws is
+    /// retried on a fresh deterministic RNG stream (streams are pre-split
+    /// device-major, attempt-minor, so retries never perturb other devices
+    /// and results stay bitwise reproducible for a fixed config).
+    unsigned max_attempts = 1;
+    /// Cooperative cancellation: checked before every device attempt. Once
+    /// set, no new device starts; run() throws core::RunError(kCancelled)
+    /// after in-flight devices drain (their outcomes are still journaled).
+    const core::parallel::CancelToken* cancel = nullptr;
+    /// Devices already completed by a previous run (journal replay, keyed by
+    /// device name): they are not executed, their replayed outcomes slot
+    /// into the result in roster order, and the RNG stream layout stays
+    /// exactly that of an uninterrupted run.
+    std::map<std::string, DeviceOutcome> completed;
     /// Invoked once per finished device (from the executing thread — the
     /// callback must be thread-safe when threads != 1). Progress reporting
     /// only; must not touch campaign state or RNGs.
     std::function<void()> on_device_done;
+    /// Journal sink: invoked with every freshly computed device outcome
+    /// (not for replayed ones), from the executing thread. Must be
+    /// thread-safe when threads != 1.
+    std::function<void(const devices::Device&, unsigned attempt,
+                       const DeviceOutcome&)>
+        on_device_outcome;
+    /// Invoked for every failed attempt, from the executing thread.
+    std::function<void(const DeviceFailure&)> on_device_failure;
+    /// Test hook: called at the start of every device attempt; throwing
+    /// simulates a device fault (the grid must isolate it). Never set in
+    /// production runs.
+    std::function<void(const std::string& device, unsigned attempt)>
+        fault_hook;
+
+    /// True when any fault-tolerance feature forces the per-device-stream
+    /// grid (journal, resume, retry, fault injection) — see Campaign::run.
+    [[nodiscard]] bool wants_isolation() const noexcept {
+        return max_attempts > 1 || !completed.empty() ||
+               static_cast<bool>(on_device_outcome) ||
+               static_cast<bool>(on_device_failure) ||
+               static_cast<bool>(fault_hook);
+    }
 };
 
 struct CampaignResult {
     std::vector<CrossSectionMeasurement> measurements;
     std::vector<DeviceRatioRow> ratio_rows;
+    /// Every failed device attempt, in roster order. A device appears here
+    /// with attempt == max_attempts - 1 iff it produced no measurements.
+    std::vector<DeviceFailure> failures;
 
     /// All measurements for one device/beamline/type.
     [[nodiscard]] std::vector<CrossSectionMeasurement> for_device(
@@ -72,6 +136,10 @@ struct CampaignResult {
     /// The Fig.-5 row for a device and error type; throws if absent.
     [[nodiscard]] const DeviceRatioRow& row(const std::string& device,
                                             devices::ErrorType type) const;
+
+    /// True when the named device exhausted every attempt without an
+    /// outcome.
+    [[nodiscard]] bool device_failed(const std::string& device) const;
 };
 
 /// Runs the full campaign: every device of the catalog, on its assigned

@@ -1,0 +1,250 @@
+#include "beam/journal.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/obs/json.hpp"
+#include "core/obs/manifest.hpp"
+
+namespace tnr::beam {
+
+namespace json = core::obs::json;
+using core::RunError;
+
+namespace {
+
+void write_row(std::ostringstream& oss, const DeviceRatioRow& row) {
+    oss << "{\"errors_he\":" << row.errors_he
+        << ",\"fluence_he\":" << json::number(row.fluence_he)
+        << ",\"errors_th\":" << row.errors_th
+        << ",\"fluence_th\":" << json::number(row.fluence_th) << "}";
+}
+
+void write_measurement(std::ostringstream& oss,
+                       const CrossSectionMeasurement& m) {
+    oss << "{\"workload\":\"" << json::escape(m.workload) << "\",\"beamline\":\""
+        << json::escape(m.beamline) << "\",\"type\":\""
+        << devices::to_string(m.type) << "\",\"errors\":" << m.errors
+        << ",\"fluence\":" << json::number(m.fluence) << "}";
+}
+
+/// Strict field access for replay: a missing or mistyped field is a
+/// malformed journal, reported with the line number.
+const json::Value& require(const json::Value& obj, const char* key,
+                           std::size_t line_no) {
+    const json::Value* v = obj.find(key);
+    if (!v) {
+        throw RunError::io("journal line " + std::to_string(line_no) +
+                           ": missing field \"" + key + "\"");
+    }
+    return *v;
+}
+
+double require_number(const json::Value& obj, const char* key,
+                      std::size_t line_no) {
+    const json::Value& v = require(obj, key, line_no);
+    if (!v.is_number()) {
+        throw RunError::io("journal line " + std::to_string(line_no) +
+                           ": field \"" + key + "\" is not a number");
+    }
+    return v.num;
+}
+
+std::string require_string(const json::Value& obj, const char* key,
+                           std::size_t line_no) {
+    const json::Value& v = require(obj, key, line_no);
+    if (!v.is_string()) {
+        throw RunError::io("journal line " + std::to_string(line_no) +
+                           ": field \"" + key + "\" is not a string");
+    }
+    return v.str;
+}
+
+DeviceRatioRow parse_row(const json::Value& obj, const std::string& device,
+                         devices::ErrorType type, std::size_t line_no) {
+    DeviceRatioRow row;
+    row.device = device;
+    row.type = type;
+    row.errors_he =
+        static_cast<std::uint64_t>(require_number(obj, "errors_he", line_no));
+    row.fluence_he = require_number(obj, "fluence_he", line_no);
+    row.errors_th =
+        static_cast<std::uint64_t>(require_number(obj, "errors_th", line_no));
+    row.fluence_th = require_number(obj, "fluence_th", line_no);
+    return row;
+}
+
+devices::ErrorType parse_type(const std::string& s, std::size_t line_no) {
+    if (s == "SDC") return devices::ErrorType::kSdc;
+    if (s == "DUE") return devices::ErrorType::kDue;
+    throw RunError::io("journal line " + std::to_string(line_no) +
+                       ": unknown error type \"" + s + "\"");
+}
+
+}  // namespace
+
+CampaignJournal::CampaignJournal(const std::string& path, bool truncate)
+    : path_(path) {
+    file_.open(path, truncate ? std::ios::out | std::ios::trunc
+                              : std::ios::out | std::ios::app);
+    if (!file_) {
+        throw RunError::io("cannot open journal file: " + path);
+    }
+}
+
+void CampaignJournal::append_line(const std::string& line) {
+    const std::lock_guard lock(mutex_);
+    file_ << line << '\n';
+    file_.flush();
+    if (!file_) {
+        throw RunError::io("journal write failed: " + path_);
+    }
+}
+
+void CampaignJournal::write_header(const CampaignConfig& config,
+                                   std::size_t device_count) {
+    std::ostringstream oss;
+    oss << "{\"kind\":\"header\",\"tool\":\"tnr\",\"version\":\""
+        << json::escape(core::obs::build_version())
+        << "\",\"seed\":" << config.seed
+        << ",\"beam_time_s\":" << json::number(config.beam_time_per_run_s)
+        << ",\"avf_trials\":" << config.avf_trials
+        << ",\"threads\":" << config.threads
+        << ",\"devices\":" << device_count << "}";
+    append_line(oss.str());
+}
+
+void CampaignJournal::append_device(const std::string& device, unsigned attempt,
+                                    const DeviceOutcome& outcome) {
+    std::ostringstream oss;
+    oss << "{\"kind\":\"device\",\"device\":\"" << json::escape(device)
+        << "\",\"attempt\":" << attempt << ",\"sdc\":";
+    write_row(oss, outcome.sdc_row);
+    oss << ",\"due\":";
+    write_row(oss, outcome.due_row);
+    oss << ",\"measurements\":[";
+    bool first = true;
+    for (const auto& m : outcome.measurements) {
+        if (!first) oss << ',';
+        first = false;
+        write_measurement(oss, m);
+    }
+    oss << "]}";
+    append_line(oss.str());
+}
+
+void CampaignJournal::append_failure(const DeviceFailure& failure) {
+    std::ostringstream oss;
+    oss << "{\"kind\":\"failure\",\"device\":\"" << json::escape(failure.name)
+        << "\",\"attempt\":" << failure.attempt << ",\"what\":\""
+        << json::escape(failure.what) << "\"}";
+    append_line(oss.str());
+}
+
+JournalReplay replay_journal(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) {
+        throw RunError::io("cannot read journal file: " + path);
+    }
+
+    JournalReplay replay;
+    bool saw_header = false;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(file, line)) {
+        ++line_no;
+        const bool torn_tail = file.eof() && !line.empty();
+        if (line.empty()) continue;
+        const auto doc = json::parse(line);
+        if (!doc || !doc->is_object()) {
+            // A final line with no trailing newline is the torn tail of a
+            // crashed append — drop it. Anything else is corruption.
+            if (torn_tail) break;
+            throw RunError::io("journal line " + std::to_string(line_no) +
+                               ": malformed JSON");
+        }
+        const std::string kind = require_string(*doc, "kind", line_no);
+        if (kind == "header") {
+            replay.seed = static_cast<std::uint64_t>(
+                require_number(*doc, "seed", line_no));
+            replay.beam_time_per_run_s =
+                require_number(*doc, "beam_time_s", line_no);
+            replay.avf_trials = static_cast<std::size_t>(
+                require_number(*doc, "avf_trials", line_no));
+            replay.threads = static_cast<unsigned>(
+                require_number(*doc, "threads", line_no));
+            replay.device_count = static_cast<std::size_t>(
+                require_number(*doc, "devices", line_no));
+            saw_header = true;
+        } else if (kind == "device") {
+            const std::string name = require_string(*doc, "device", line_no);
+            DeviceOutcome outcome;
+            const json::Value& sdc = require(*doc, "sdc", line_no);
+            const json::Value& due = require(*doc, "due", line_no);
+            outcome.sdc_row =
+                parse_row(sdc, name, devices::ErrorType::kSdc, line_no);
+            outcome.due_row =
+                parse_row(due, name, devices::ErrorType::kDue, line_no);
+            const json::Value& ms = require(*doc, "measurements", line_no);
+            if (!ms.is_array()) {
+                throw RunError::io("journal line " + std::to_string(line_no) +
+                                   ": \"measurements\" is not an array");
+            }
+            for (const auto& mv : ms.array) {
+                CrossSectionMeasurement m;
+                m.device = name;
+                m.workload = require_string(mv, "workload", line_no);
+                m.beamline = require_string(mv, "beamline", line_no);
+                m.type =
+                    parse_type(require_string(mv, "type", line_no), line_no);
+                m.errors = static_cast<std::uint64_t>(
+                    require_number(mv, "errors", line_no));
+                m.fluence = require_number(mv, "fluence", line_no);
+                outcome.measurements.push_back(std::move(m));
+            }
+            // Duplicate device lines (a journal resumed more than once can
+            // in principle replay one): first completion wins.
+            replay.completed.emplace(name, std::move(outcome));
+        } else if (kind == "failure") {
+            DeviceFailure failure;
+            failure.name = require_string(*doc, "device", line_no);
+            failure.what = require_string(*doc, "what", line_no);
+            failure.attempt = static_cast<unsigned>(
+                require_number(*doc, "attempt", line_no));
+            replay.failures.push_back(std::move(failure));
+        } else {
+            throw RunError::io("journal line " + std::to_string(line_no) +
+                               ": unknown kind \"" + kind + "\"");
+        }
+    }
+    if (!saw_header) {
+        throw RunError::config("journal " + path +
+                               " has no header line — not a campaign journal");
+    }
+    return replay;
+}
+
+void validate_resume(const JournalReplay& replay,
+                     const CampaignConfig& config) {
+    if (replay.seed != config.seed) {
+        throw RunError::config(
+            "cannot resume: journal seed " + std::to_string(replay.seed) +
+            " != configured seed " + std::to_string(config.seed));
+    }
+    if (replay.beam_time_per_run_s != config.beam_time_per_run_s) {
+        throw RunError::config(
+            "cannot resume: journal beam time " +
+            std::to_string(replay.beam_time_per_run_s) +
+            " s != configured " + std::to_string(config.beam_time_per_run_s) +
+            " s");
+    }
+    if (replay.avf_trials != config.avf_trials) {
+        throw RunError::config(
+            "cannot resume: journal avf_trials " +
+            std::to_string(replay.avf_trials) + " != configured " +
+            std::to_string(config.avf_trials));
+    }
+}
+
+}  // namespace tnr::beam

@@ -1,0 +1,75 @@
+#pragma once
+// Append-only campaign journal: one JSON line per event, flushed as soon as
+// it is written, so a crash or SIGINT never loses a finished device. The
+// journal is both the campaign's flight recorder and its resume point:
+// replay_journal() reconstructs every completed DeviceOutcome bit-for-bit
+// (doubles round-trip through obs::json::number), and a resumed run skips
+// those devices while producing stdout identical to an uninterrupted run.
+//
+// Line kinds (docs/robustness.md has the full format):
+//   {"kind":"header", seed, hours, avf_trials, threads, devices, version}
+//   {"kind":"device", device, attempt, sdc:{...}, due:{...},
+//    measurements:[...]}
+//   {"kind":"failure", device, attempt, what}
+//
+// Replay is strict — a malformed line is an error (core::RunError, kIo) —
+// with one deliberate exception: a final line without a trailing newline is
+// the torn tail of a crashed append and is ignored.
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "beam/campaign.hpp"
+
+namespace tnr::beam {
+
+/// Crash-safe JSON-lines writer. Thread-safe: parallel grid workers append
+/// concurrently; every append is one write + flush under a mutex.
+class CampaignJournal {
+public:
+    /// Opens `path` for appending; `truncate` starts a fresh journal (a new
+    /// campaign) instead of continuing an existing one (resume). Throws
+    /// core::RunError (kIo) when the file cannot be opened.
+    CampaignJournal(const std::string& path, bool truncate);
+
+    void write_header(const CampaignConfig& config, std::size_t device_count);
+    void append_device(const std::string& device, unsigned attempt,
+                       const DeviceOutcome& outcome);
+    void append_failure(const DeviceFailure& failure);
+
+private:
+    void append_line(const std::string& line);
+
+    std::mutex mutex_;
+    std::ofstream file_;
+    std::string path_;
+};
+
+/// What replay recovers: the header fields a resume must validate against
+/// its own config, plus every completed device and recorded failure.
+struct JournalReplay {
+    std::uint64_t seed = 0;
+    double beam_time_per_run_s = 0.0;
+    std::size_t avf_trials = 0;
+    unsigned threads = 0;
+    std::size_t device_count = 0;
+    std::map<std::string, DeviceOutcome> completed;
+    std::vector<DeviceFailure> failures;
+};
+
+/// Parses a journal file. Throws core::RunError — kIo for an unreadable
+/// file or a malformed line (journal replay fails loudly, never silently
+/// drops data), kConfig for a journal without a header.
+JournalReplay replay_journal(const std::string& path);
+
+/// Validates a replayed journal against the config of the resuming run;
+/// throws core::RunError (kConfig) on a seed / beam-time / avf mismatch
+/// (the thread count may differ — isolated-grid results are
+/// thread-invariant).
+void validate_resume(const JournalReplay& replay, const CampaignConfig& config);
+
+}  // namespace tnr::beam

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/error.hpp"
+
 namespace tnr::beam {
 
 const char* to_string(ScreeningVerdict v) {
@@ -21,7 +23,8 @@ double zero_failure_test_time_s(double sigma_max_cm2, double flux_n_cm2_s,
                                 double confidence) {
     if (sigma_max_cm2 <= 0.0 || flux_n_cm2_s <= 0.0 || confidence <= 0.0 ||
         confidence >= 1.0) {
-        throw std::invalid_argument("zero_failure_test_time_s: bad arguments");
+        throw core::RunError::config(
+            "zero_failure_test_time_s: bad arguments");
     }
     return -std::log(1.0 - confidence) / (sigma_max_cm2 * flux_n_cm2_s);
 }
@@ -29,7 +32,7 @@ double zero_failure_test_time_s(double sigma_max_cm2, double flux_n_cm2_s,
 ScreeningResult screen_part(std::uint64_t errors, double fluence_n_cm2,
                             double sigma_max_cm2, double confidence) {
     if (fluence_n_cm2 <= 0.0 || sigma_max_cm2 <= 0.0) {
-        throw std::invalid_argument("screen_part: bad arguments");
+        throw core::RunError::config("screen_part: bad arguments");
     }
     ScreeningResult out;
     out.sigma_estimate = static_cast<double>(errors) / fluence_n_cm2;

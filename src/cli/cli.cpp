@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -11,13 +12,16 @@
 #include <streambuf>
 
 #include "beam/campaign.hpp"
+#include "beam/journal.hpp"
 #include "core/checkpoint.hpp"
+#include "core/error.hpp"
 #include "core/fit.hpp"
 #include "core/markdown_report.hpp"
 #include "core/obs/manifest.hpp"
 #include "core/obs/metrics.hpp"
 #include "core/obs/progress.hpp"
 #include "core/obs/trace.hpp"
+#include "core/parallel/cancel.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
 #include "detector/analysis.hpp"
@@ -62,6 +66,9 @@ const std::map<std::string, CommandSpec>& command_specs() {
            {"seed", true},
            {"threads", true},
            {"avf-trials", true},
+           {"max-attempts", true},
+           {"journal", true},
+           {"resume", false},
            {"csv", false}},
           2020}},
         {"detector",
@@ -79,6 +86,7 @@ const std::map<std::string, CommandSpec>& command_specs() {
          {{{"hours", true},
            {"seed", true},
            {"threads", true},
+           {"max-attempts", true},
            {"per-code", false}},
           2020}},
     };
@@ -95,7 +103,7 @@ public:
         for (std::size_t i = first; i < args.size(); ++i) {
             const std::string& a = args[i];
             if (a.rfind("--", 0) != 0) {
-                throw std::invalid_argument("unexpected argument: " + a);
+                throw core::RunError::config("unexpected argument: " + a);
             }
             std::string key = a.substr(2);
             std::optional<std::string> inline_value;
@@ -105,12 +113,12 @@ public:
             }
             const FlagSpec* known = find_spec(spec, key);
             if (!known) {
-                throw std::invalid_argument("unknown flag: --" + key);
+                throw core::RunError::config("unknown flag: --" + key);
             }
             if (!known->takes_value) {
                 if (inline_value) {
-                    throw std::invalid_argument("flag --" + key +
-                                                " takes no value");
+                    throw core::RunError::config("flag --" + key +
+                                                 " takes no value");
                 }
                 values_[key] = "";
                 continue;
@@ -121,8 +129,8 @@ public:
                        args[i + 1].rfind("--", 0) != 0) {
                 values_[key] = args[++i];
             } else {
-                throw std::invalid_argument("flag --" + key +
-                                            " requires a value");
+                throw core::RunError::config("flag --" + key +
+                                             " requires a value");
             }
         }
     }
@@ -139,7 +147,17 @@ public:
                                     double fallback) const {
         const auto it = values_.find(key);
         if (it == values_.end()) return fallback;
-        return std::stod(it->second);
+        try {
+            std::size_t used = 0;
+            const double v = std::stod(it->second, &used);
+            if (used != it->second.size()) {
+                throw std::invalid_argument(it->second);
+            }
+            return v;
+        } catch (const std::exception&) {
+            throw core::RunError::config("flag --" + key +
+                                         ": not a number: " + it->second);
+        }
     }
     [[nodiscard]] const std::map<std::string, std::string>& values()
         const noexcept {
@@ -182,12 +200,20 @@ struct Io {
     }
 };
 
+/// What a command reports back to the run boundary beyond its exit code:
+/// isolated device failures (they go into the run manifest) and whether the
+/// run was cancelled (sinks are still flushed, exit code becomes 130).
+struct RunContext {
+    std::vector<std::string> failures;
+    bool cancelled = false;
+};
+
 environment::Site site_by_name(const std::string& name, bool rainy) {
     environment::Site site = [&] {
         if (name == "nyc") return environment::nyc_datacenter();
         if (name == "leadville") return environment::leadville_datacenter();
-        throw std::invalid_argument("unknown site: " + name +
-                                    " (use nyc|leadville)");
+        throw core::RunError::config("unknown site: " + name +
+                                     " (use nyc|leadville)");
     }();
     if (rainy) site.environment.weather = environment::Weather::kRainy;
     return site;
@@ -249,16 +275,62 @@ beam::CampaignConfig campaign_config(const Flags& flags) {
         static_cast<unsigned>(std::max(0.0, flags.get_double("threads", 1.0)));
     cfg.avf_trials = static_cast<std::size_t>(
         std::max(0.0, flags.get_double("avf-trials", 0.0)));
+    cfg.max_attempts = static_cast<unsigned>(
+        std::max(1.0, flags.get_double("max-attempts", 1.0)));
+    cfg.cancel = &core::parallel::global_cancel_token();
     return cfg;
 }
 
-int cmd_campaign(const Flags& flags, const Io& io) {
+/// Appends a campaign's isolated failures to the run context and reports
+/// them on the diagnostics stream.
+void report_failures(const beam::CampaignResult& result, const Io& io,
+                     RunContext& ctx) {
+    for (const auto& f : result.failures) {
+        const std::string line =
+            f.name + ": " + f.what + " (attempt " + std::to_string(f.attempt) +
+            ")";
+        ctx.failures.push_back(line);
+        io.diag << "tnr: device failure: " << line << '\n';
+    }
+}
+
+int cmd_campaign(const Flags& flags, const Io& io, RunContext& ctx) {
     beam::CampaignConfig cfg = campaign_config(flags);
+
+    const std::string journal_path = flags.get("journal", "");
+    const bool resume = flags.has("resume");
+    if (resume && journal_path.empty()) {
+        throw core::RunError::config("--resume requires --journal");
+    }
+    std::optional<beam::CampaignJournal> journal;
+    if (!journal_path.empty()) {
+        const bool resuming =
+            resume && std::filesystem::exists(journal_path);
+        if (resuming) {
+            auto replay = beam::replay_journal(journal_path);
+            beam::validate_resume(replay, cfg);
+            io.diag << "tnr: resuming from " << journal_path << " ("
+                    << replay.completed.size() << " devices replayed)\n";
+            cfg.completed = std::move(replay.completed);
+        }
+        journal.emplace(journal_path, /*truncate=*/!resuming);
+        if (!resuming) journal->write_header(cfg, devices::standard_specs().size());
+        cfg.on_device_outcome = [&journal](const devices::Device& device,
+                                           unsigned attempt,
+                                           const beam::DeviceOutcome& outcome) {
+            journal->append_device(device.name(), attempt, outcome);
+        };
+        cfg.on_device_failure = [&journal](const beam::DeviceFailure& failure) {
+            journal->append_failure(failure);
+        };
+    }
+
     obs::ProgressMeter progress(io.progress(), "campaign", "devices",
                                 devices::standard_specs().size());
     cfg.on_device_done = [&progress] { progress.tick(); };
     const auto result = beam::Campaign(cfg).run();
     progress.finish();
+    report_failures(result, io, ctx);
 
     core::TablePrinter table({"device", "type", "sigma_HE", "sigma_thermal",
                               "ratio"});
@@ -350,10 +422,11 @@ int cmd_top10(const Flags& flags, std::ostream& out) {
     return 0;
 }
 
-int dispatch(const std::string& cmd, const Flags& flags, const Io& io) {
+int dispatch(const std::string& cmd, const Flags& flags, const Io& io,
+             RunContext& ctx) {
     if (cmd == "list-devices") return cmd_list_devices(io.out);
     if (cmd == "fit") return cmd_fit(flags, io.out);
-    if (cmd == "campaign") return cmd_campaign(flags, io);
+    if (cmd == "campaign") return cmd_campaign(flags, io, ctx);
     if (cmd == "detector") return cmd_detector(flags, io.out);
     if (cmd == "checkpoint") return cmd_checkpoint(flags, io.out);
     if (cmd == "report") return cmd_report(flags, io);
@@ -386,7 +459,8 @@ void finalize_derived_metrics(double elapsed_s) {
 obs::RunManifest build_manifest(const std::vector<std::string>& args,
                                 const Flags& flags, const CommandSpec& spec,
                                 double elapsed_s,
-                                const std::string& started_at) {
+                                const std::string& started_at,
+                                const RunContext& ctx) {
     obs::RunManifest manifest;
     manifest.command = "tnr";
     for (const auto& a : args) manifest.command += " " + a;
@@ -398,18 +472,19 @@ obs::RunManifest build_manifest(const std::vector<std::string>& args,
         static_cast<unsigned>(std::max(0.0, flags.get_double("threads", 1.0)));
     manifest.elapsed_s = elapsed_s;
     manifest.started_at_utc = started_at;
+    manifest.status = ctx.cancelled ? "cancelled" : "ok";
+    manifest.failures = ctx.failures;
     for (const auto& [key, value] : flags.values()) {
         manifest.flags.emplace_back(key, value);
     }
     return manifest;
 }
 
-/// Opens `path` for writing or throws a runtime_error (execution error,
-/// exit code 2).
+/// Opens `path` for writing or throws core::RunError (kIo, exit code 3).
 std::ofstream open_sink(const std::string& path, const char* what) {
     std::ofstream file(path);
     if (!file) {
-        throw std::runtime_error(std::string("cannot open ") + what +
+        throw core::RunError::io(std::string("cannot open ") + what +
                                  " file: " + path);
     }
     return file;
@@ -450,6 +525,9 @@ std::string usage() {
            "  fit --device NAME --site nyc|leadville [--rainy] [--csv]\n"
            "  campaign [--hours H] [--seed S] [--threads N]\n"
            "           [--avf-trials T] [--csv]     T>0: SWIFI-weighted codes\n"
+           "           [--max-attempts K]           retry a failing device K-1 times\n"
+           "           [--journal F] [--resume]     crash-safe device journal;\n"
+           "                                        --resume skips journaled devices\n"
            "  detector [--days D] [--water-days D] [--seed S] [--csv]\n"
            "  checkpoint [--nodes N] [--device NAME] [--site S] [--rainy]\n"
            "  top10 [--csv]                        supercomputer DDR FIT\n"
@@ -468,7 +546,10 @@ std::string usage() {
            "Unknown flags are errors.\n"
            "\n"
            "--threads: 1 = serial (default), 0 = all cores, N = N workers on\n"
-           "the shared pool; parallel results are seed-reproducible.\n";
+           "the shared pool; parallel results are seed-reproducible.\n"
+           "\n"
+           "exit codes: 0 ok, 2 usage error, 3 runtime failure,\n"
+           "130 interrupted (SIGINT; sinks and journal are still flushed).\n";
     return oss.str();
 }
 
@@ -477,19 +558,19 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (args.empty() || args[0] == "-h" || args[0] == "--help" ||
         args[0] == "help") {
         out << usage();
-        return args.empty() ? 1 : 0;
+        return args.empty() ? 2 : 0;
     }
     const std::string& cmd = args[0];
     const auto& specs = command_specs();
     const auto spec_it = specs.find(cmd);
     if (spec_it == specs.end()) {
         err << "unknown command: " << cmd << "\n\n" << usage();
-        return 1;
+        return 2;
     }
     try {
         const Flags flags(args, 1, spec_it->second);
         if (flags.has("quiet") && flags.has("verbose")) {
-            throw std::invalid_argument(
+            throw core::RunError::config(
                 "--quiet and --verbose are mutually exclusive");
         }
         NullBuffer null_buffer;
@@ -501,15 +582,27 @@ int run(const std::vector<std::string>& args, std::ostream& out,
 
         const std::string started_at = obs::current_utc_timestamp();
         const auto t0 = std::chrono::steady_clock::now();
-        const int code = dispatch(cmd, flags, io);
+        RunContext ctx;
+        int code = 0;
+        try {
+            code = dispatch(cmd, flags, io, ctx);
+        } catch (const core::RunError& e) {
+            // Cooperative cancellation is a clean stop, not a crash: the
+            // telemetry sinks and the journal still get flushed below, and
+            // the exit code says "interrupted" (130).
+            if (e.category() != core::ErrorCategory::kCancelled) throw;
+            ctx.cancelled = true;
+            code = e.exit_code();
+            io.diag << "tnr: interrupted — " << e.what() << '\n';
+        }
         const double elapsed_s =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                 .count();
 
-        if (code == 0) {
+        if (code == 0 || ctx.cancelled) {
             finalize_derived_metrics(elapsed_s);
             const auto manifest = build_manifest(args, flags, spec_it->second,
-                                                 elapsed_s, started_at);
+                                                 elapsed_s, started_at, ctx);
             write_sinks(flags, manifest, io);
             if (io.verbose) {
                 io.diag << "tnr: " << cmd << " finished in "
@@ -517,12 +610,19 @@ int run(const std::vector<std::string>& args, std::ostream& out,
             }
         }
         return code;
+    } catch (const core::RunError& e) {
+        if (e.category() == core::ErrorCategory::kConfig) {
+            err << "error: " << e.what() << "\n\n" << usage();
+        } else {
+            err << "error: " << e.what() << '\n';
+        }
+        return e.exit_code();
     } catch (const std::invalid_argument& e) {
         err << "error: " << e.what() << "\n\n" << usage();
-        return 1;
+        return 2;
     } catch (const std::exception& e) {
         err << "error: " << e.what() << '\n';
-        return 2;
+        return 3;
     }
 }
 

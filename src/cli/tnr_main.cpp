@@ -3,8 +3,12 @@
 #include <vector>
 
 #include "cli/cli.hpp"
+#include "core/parallel/cancel.hpp"
 
 int main(int argc, char** argv) {
+    // First Ctrl-C requests a cooperative stop (sinks and journal flush,
+    // exit 130); a second one falls back to the default disposition.
+    tnr::core::parallel::install_sigint_handler();
     std::vector<std::string> args;
     args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
     for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);

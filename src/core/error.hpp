@@ -1,0 +1,72 @@
+#pragma once
+// Structured error model for the run boundary. Every failure that can end a
+// run carries a category, so the layers above (campaign grid, CLI, journal
+// replay) can react by kind instead of string-matching what() — a config
+// error is a usage bug (exit 2), numeric and I/O errors are runtime faults
+// (exit 3), and cancellation is the cooperative SIGINT path (exit 130).
+//
+// Header-only so every layer (stats up to cli) can throw and catch RunError
+// without new link dependencies.
+
+#include <stdexcept>
+#include <string>
+
+namespace tnr::core {
+
+enum class ErrorCategory {
+    kConfig,     ///< invalid configuration or arguments (usage error).
+    kNumeric,    ///< a computation produced or met an invalid value.
+    kIo,         ///< a file could not be read, written, or parsed.
+    kCancelled,  ///< the run was cooperatively cancelled (SIGINT).
+};
+
+constexpr const char* to_string(ErrorCategory c) noexcept {
+    switch (c) {
+        case ErrorCategory::kConfig: return "config";
+        case ErrorCategory::kNumeric: return "numeric";
+        case ErrorCategory::kIo: return "io";
+        case ErrorCategory::kCancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+/// Process exit code convention (see docs/robustness.md): 0 ok, 2 usage,
+/// 3 runtime failure, 130 interrupted (128 + SIGINT).
+constexpr int exit_code(ErrorCategory c) noexcept {
+    switch (c) {
+        case ErrorCategory::kConfig: return 2;
+        case ErrorCategory::kNumeric: return 3;
+        case ErrorCategory::kIo: return 3;
+        case ErrorCategory::kCancelled: return 130;
+    }
+    return 3;
+}
+
+class RunError : public std::runtime_error {
+public:
+    RunError(ErrorCategory category, const std::string& what)
+        : std::runtime_error(what), category_(category) {}
+
+    [[nodiscard]] ErrorCategory category() const noexcept { return category_; }
+    [[nodiscard]] int exit_code() const noexcept {
+        return core::exit_code(category_);
+    }
+
+    static RunError config(const std::string& what) {
+        return {ErrorCategory::kConfig, what};
+    }
+    static RunError numeric(const std::string& what) {
+        return {ErrorCategory::kNumeric, what};
+    }
+    static RunError io(const std::string& what) {
+        return {ErrorCategory::kIo, what};
+    }
+    static RunError cancelled(const std::string& what) {
+        return {ErrorCategory::kCancelled, what};
+    }
+
+private:
+    ErrorCategory category_;
+};
+
+}  // namespace tnr::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/error.hpp"
+
 namespace tnr::core {
 
 namespace {
@@ -20,7 +22,7 @@ FleetLog simulate_fleet_log(const devices::Device& device,
                             const FleetLogConfig& config, std::uint64_t seed) {
     if (config.nodes == 0 || config.days <= 0.0 ||
         config.rain_probability < 0.0 || config.rain_probability > 1.0) {
-        throw std::invalid_argument("simulate_fleet_log: bad config");
+        throw RunError::config("simulate_fleet_log: bad config");
     }
     stats::Rng rng(seed);
 
@@ -78,7 +80,7 @@ FleetLog simulate_fleet_log(const devices::Device& device,
 
 FieldAnalysis analyze_fleet_log(const FleetLog& log) {
     if (log.nodes == 0 || log.rainy_day.empty()) {
-        throw std::invalid_argument("analyze_fleet_log: empty log");
+        throw RunError::config("analyze_fleet_log: empty log");
     }
     FieldAnalysis out;
     out.rainy_days = static_cast<std::size_t>(

@@ -31,7 +31,7 @@ void RunManifest::write_json(std::ostream& out) const {
         << "\",\"seed\":" << seed << ",\"threads\":" << threads
         << ",\"elapsed_s\":" << json::number(elapsed_s)
         << ",\"started_at\":\"" << json::escape(started_at_utc)
-        << "\",\"flags\":{";
+        << "\",\"status\":\"" << json::escape(status) << "\",\"flags\":{";
     bool first = true;
     for (const auto& [key, value] : flags) {
         if (!first) out << ',';
@@ -39,7 +39,14 @@ void RunManifest::write_json(std::ostream& out) const {
         out << '"' << json::escape(key) << "\":\"" << json::escape(value)
             << '"';
     }
-    out << "}}";
+    out << "},\"failures\":[";
+    first = true;
+    for (const auto& f : failures) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << json::escape(f) << '"';
+    }
+    out << "]}";
 }
 
 std::string RunManifest::to_json() const {

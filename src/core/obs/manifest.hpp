@@ -27,6 +27,12 @@ struct RunManifest {
     std::string started_at_utc;  ///< ISO 8601, from current_utc_timestamp().
     /// Every parsed flag, verbatim (boolean flags carry an empty value).
     std::vector<std::pair<std::string, std::string>> flags;
+    /// How the run ended: "ok" or "cancelled" (SIGINT). Failed runs never
+    /// get a manifest written for them beyond the sinks' best effort.
+    std::string status = "ok";
+    /// Isolated device failures ("<device>: <what> (attempt N)") — a run
+    /// that lost devices still reports them in its reproducibility record.
+    std::vector<std::string> failures;
 
     void write_json(std::ostream& out) const;
     [[nodiscard]] std::string to_json() const;

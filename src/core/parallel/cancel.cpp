@@ -1,0 +1,30 @@
+#include "core/parallel/cancel.hpp"
+
+#include <csignal>
+
+namespace tnr::core::parallel {
+
+CancelToken& global_cancel_token() noexcept {
+    static CancelToken token;
+    return token;
+}
+
+namespace {
+
+extern "C" void sigint_handler(int) {
+    // Only async-signal-safe operations here: a lock-free atomic store and
+    // re-arming the default disposition (second Ctrl-C force-kills).
+    global_cancel_token().cancel();
+    std::signal(SIGINT, SIG_DFL);
+}
+
+}  // namespace
+
+void install_sigint_handler() noexcept {
+    // Touch the token before installing: the handler must never be the one
+    // constructing the function-local static.
+    global_cancel_token();
+    std::signal(SIGINT, sigint_handler);
+}
+
+}  // namespace tnr::core::parallel

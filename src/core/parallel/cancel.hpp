@@ -1,0 +1,47 @@
+#pragma once
+// Cooperative cancellation for long-running work. A CancelToken is a
+// lock-free flag that producers (a SIGINT handler, a watchdog, a test) set
+// and workers poll at natural checkpoints — between parallel_for chunks,
+// between campaign devices. Cancellation never interrupts a computation
+// mid-flight: work observed as cancelled simply stops picking up new items,
+// and the orchestrating layer throws RunError(kCancelled) once the grid has
+// drained, so sinks and journals can still be flushed.
+
+#include <atomic>
+
+#include "core/error.hpp"
+
+namespace tnr::core::parallel {
+
+class CancelToken {
+public:
+    void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+
+    [[nodiscard]] bool cancelled() const noexcept {
+        return flag_.load(std::memory_order_relaxed);
+    }
+
+    /// Checkpoint: throws RunError(kCancelled) when the token is set.
+    void throw_if_cancelled() const {
+        if (cancelled()) {
+            throw RunError::cancelled("run cancelled");
+        }
+    }
+
+    /// Re-arms the token (tests reuse the global instance).
+    void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+private:
+    std::atomic<bool> flag_{false};
+};
+
+/// The process-wide token the SIGINT handler sets. Commands that want clean
+/// Ctrl-C handling thread a pointer to it through their configs.
+CancelToken& global_cancel_token() noexcept;
+
+/// Installs a SIGINT handler that sets global_cancel_token() on the first
+/// interrupt and restores the default disposition, so a second Ctrl-C kills
+/// a run that fails to check the token. Call once, from main().
+void install_sigint_handler() noexcept;
+
+}  // namespace tnr::core::parallel

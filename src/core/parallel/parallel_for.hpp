@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/parallel/cancel.hpp"
 #include "core/parallel/thread_pool.hpp"
 #include "stats/rng.hpp"
 
@@ -36,11 +37,20 @@ inline unsigned resolve_threads(unsigned requested, std::uint64_t n) noexcept {
 /// independent RNG stream split off `rng`, runs
 /// `body(begin, count, stream) -> Result` per chunk on the shared pool, and
 /// folds the partials in chunk order with `merge(acc, partial)`.
+///
+/// `cancel` (optional) is checked once before each chunk body runs; a set
+/// token makes the reduction throw RunError(kCancelled) — a reduction with
+/// missing chunks has no usable value, so cancellation here is an abort,
+/// not a truncation.
 template <typename Result, typename Body, typename Merge>
 Result parallel_for_reduce(std::uint64_t n, unsigned threads, stats::Rng& rng,
-                           Body&& body, Merge&& merge) {
+                           Body&& body, Merge&& merge,
+                           const CancelToken* cancel = nullptr) {
     threads = resolve_threads(threads, n);
-    if (threads <= 1) return body(std::uint64_t{0}, n, rng);
+    if (threads <= 1) {
+        if (cancel) cancel->throw_if_cancelled();
+        return body(std::uint64_t{0}, n, rng);
+    }
 
     // split() mutates the parent, so derive all streams serially up front.
     std::vector<stats::Rng> streams;
@@ -54,7 +64,8 @@ Result parallel_for_reduce(std::uint64_t n, unsigned threads, stats::Rng& rng,
         for (unsigned t = 0; t < threads; ++t) {
             const std::uint64_t begin = chunk * t;
             const std::uint64_t count = (t + 1 == threads) ? n - begin : chunk;
-            group.run([&partials, &streams, &body, t, begin, count] {
+            group.run([&partials, &streams, &body, cancel, t, begin, count] {
+                if (cancel) cancel->throw_if_cancelled();
                 partials[t] = body(begin, count, streams[t]);
             });
         }
@@ -69,21 +80,31 @@ Result parallel_for_reduce(std::uint64_t n, unsigned threads, stats::Rng& rng,
 /// Runs `body(i) -> Result` for i in [0, n) on the shared pool and returns
 /// the results in index order. Work is handed out dynamically (atomic
 /// counter), which is safe because each result depends only on its index.
+///
+/// `cancel` (optional) is checked before each item: once the token is set,
+/// workers stop picking up new indices and the call returns with the
+/// not-yet-started slots default-constructed. The caller decides whether a
+/// truncated map is an error (the campaign grid throws after draining).
 template <typename Result, typename Body>
-std::vector<Result> parallel_map(std::size_t n, unsigned threads, Body&& body) {
+std::vector<Result> parallel_map(std::size_t n, unsigned threads, Body&& body,
+                                 const CancelToken* cancel = nullptr) {
     threads = resolve_threads(threads, n);
     std::vector<Result> out(n);
     if (threads <= 1) {
-        for (std::size_t i = 0; i < n; ++i) out[i] = body(i);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (cancel && cancel->cancelled()) break;
+            out[i] = body(i);
+        }
         return out;
     }
 
     std::atomic<std::size_t> next{0};
     TaskGroup group(ThreadPool::shared());
     for (unsigned t = 0; t < threads; ++t) {
-        group.run([&out, &next, &body, n] {
+        group.run([&out, &next, &body, cancel, n] {
             for (std::size_t i = next.fetch_add(1); i < n;
                  i = next.fetch_add(1)) {
+                if (cancel && cancel->cancelled()) return;
                 out[i] = body(i);
             }
         });

@@ -5,11 +5,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "beam/beamline.hpp"
 #include "beam/campaign.hpp"
 #include "beam/experiment.hpp"
 #include "beam/screening.hpp"
+#include "core/error.hpp"
 #include "devices/catalog.hpp"
 #include "faultinject/avf.hpp"
 #include "physics/units.hpp"
@@ -163,7 +165,7 @@ TEST(Screening, ZeroFailureTimeFormula) {
     const double t = zero_failure_test_time_s(1.0e-8, 1.0e6, 0.95);
     EXPECT_NEAR(t, 299.57, 0.1);
     EXPECT_THROW(zero_failure_test_time_s(0.0, 1.0, 0.95),
-                 std::invalid_argument);
+                 core::RunError);
 }
 
 TEST(Screening, VerdictsPartitionCorrectly) {
@@ -257,10 +259,67 @@ TEST(Campaign, FpgaHasNoThermalDues) {
 TEST(Campaign, ValidatesConfig) {
     CampaignConfig bad;
     bad.beam_time_per_run_s = 0.0;
-    EXPECT_THROW(Campaign{bad}, std::invalid_argument);
+    EXPECT_THROW(Campaign{bad}, core::RunError);
     CampaignConfig no_slots;
     no_slots.chipir_deratings.clear();
-    EXPECT_THROW(Campaign{no_slots}, std::invalid_argument);
+    EXPECT_THROW(Campaign{no_slots}, core::RunError);
+    CampaignConfig no_attempts;
+    no_attempts.max_attempts = 0;
+    EXPECT_THROW(Campaign{no_attempts}, core::RunError);
+}
+
+TEST(Campaign, ValidatesDeratingEntries) {
+    // A negative or super-unity derating would silently produce negative or
+    // inflated fluence; every entry must be finite and in (0, 1].
+    for (const double bad_entry :
+         {-0.5, 0.0, 1.5, std::numeric_limits<double>::quiet_NaN(),
+          std::numeric_limits<double>::infinity()}) {
+        CampaignConfig cfg;
+        cfg.chipir_deratings = {1.0, bad_entry};
+        EXPECT_THROW(Campaign{cfg}, core::RunError) << bad_entry;
+    }
+    CampaignConfig ok;
+    ok.chipir_deratings = {1.0, 0.5, 0.01};
+    EXPECT_NO_THROW(Campaign{ok});
+}
+
+TEST(Campaign, ConfigErrorsCarryTheConfigCategory) {
+    CampaignConfig cfg;
+    cfg.chipir_deratings = {-1.0};
+    try {
+        Campaign campaign(cfg);
+        FAIL() << "expected RunError";
+    } catch (const core::RunError& e) {
+        EXPECT_EQ(e.category(), core::ErrorCategory::kConfig);
+        EXPECT_EQ(e.exit_code(), 2);
+    }
+}
+
+TEST(Campaign, RowErrorNamesDeviceAndType) {
+    CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 60.0;
+    const CampaignResult result =
+        Campaign(cfg).run({devices::standard_catalog().front()});
+    try {
+        (void)result.row("No Such Device", devices::ErrorType::kDue);
+        FAIL() << "expected out_of_range";
+    } catch (const std::out_of_range& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("No Such Device"), std::string::npos);
+        EXPECT_NE(what.find("DUE"), std::string::npos);
+    }
+}
+
+TEST(Campaign, ZeroFluenceRowsFlagInsteadOfReturningZero) {
+    DeviceRatioRow row;
+    row.device = "ghost";
+    EXPECT_THROW((void)row.sigma_he(), core::RunError);
+    EXPECT_THROW((void)row.sigma_th(), core::RunError);
+    row.fluence_he = 1.0;
+    row.fluence_th = 2.0;
+    row.errors_he = 3;
+    EXPECT_DOUBLE_EQ(row.sigma_he(), 3.0);
+    EXPECT_DOUBLE_EQ(row.sigma_th(), 0.0);
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ CliResult run_cli(std::vector<std::string> args) {
 
 TEST(Cli, NoArgsShowsUsageAndFails) {
     const auto r = run_cli({});
-    EXPECT_EQ(r.code, 1);
+    EXPECT_EQ(r.code, 2);
     EXPECT_NE(r.out.find("usage:"), std::string::npos);
 }
 
@@ -40,7 +40,7 @@ TEST(Cli, HelpSucceeds) {
 
 TEST(Cli, UnknownCommandFails) {
     const auto r = run_cli({"frobnicate"});
-    EXPECT_EQ(r.code, 1);
+    EXPECT_EQ(r.code, 2);
     EXPECT_NE(r.err.find("unknown command"), std::string::npos);
 }
 
@@ -70,13 +70,13 @@ TEST(Cli, FitRainyDiffersFromSunny) {
 
 TEST(Cli, FitUnknownDeviceFailsCleanly) {
     const auto r = run_cli({"fit", "--device", "TPU"});
-    EXPECT_EQ(r.code, 2);
+    EXPECT_EQ(r.code, 3);
     EXPECT_NE(r.err.find("TPU"), std::string::npos);
 }
 
 TEST(Cli, FitUnknownSiteIsUsageError) {
     const auto r = run_cli({"fit", "--site", "atlantis"});
-    EXPECT_EQ(r.code, 1);
+    EXPECT_EQ(r.code, 2);
     EXPECT_NE(r.err.find("unknown site"), std::string::npos);
 }
 
@@ -151,26 +151,26 @@ TEST(Cli, BadFlagValueFails) {
 
 TEST(Cli, StrayPositionalArgumentRejected) {
     const auto r = run_cli({"fit", "leadville"});
-    EXPECT_EQ(r.code, 1);
+    EXPECT_EQ(r.code, 2);
     EXPECT_NE(r.err.find("unexpected argument"), std::string::npos);
 }
 
 TEST(Cli, UnknownFlagRejected) {
     const auto r = run_cli({"campaign", "--frobnicate"});
-    EXPECT_EQ(r.code, 1);
+    EXPECT_EQ(r.code, 2);
     EXPECT_NE(r.err.find("unknown flag: --frobnicate"), std::string::npos);
 }
 
 TEST(Cli, FlagFromAnotherCommandRejected) {
     // --days belongs to detector, not campaign.
     const auto r = run_cli({"campaign", "--days", "4"});
-    EXPECT_EQ(r.code, 1);
+    EXPECT_EQ(r.code, 2);
     EXPECT_NE(r.err.find("unknown flag: --days"), std::string::npos);
 }
 
 TEST(Cli, MissingFlagValueRejected) {
     const auto r = run_cli({"campaign", "--hours"});
-    EXPECT_EQ(r.code, 1);
+    EXPECT_EQ(r.code, 2);
     EXPECT_NE(r.err.find("requires a value"), std::string::npos);
 }
 
@@ -183,7 +183,7 @@ TEST(Cli, EqualsSyntaxAccepted) {
 
 TEST(Cli, QuietAndVerboseAreMutuallyExclusive) {
     const auto r = run_cli({"list-devices", "--quiet", "--verbose"});
-    EXPECT_EQ(r.code, 1);
+    EXPECT_EQ(r.code, 2);
     EXPECT_NE(r.err.find("mutually exclusive"), std::string::npos);
 }
 
@@ -268,8 +268,97 @@ TEST(Cli, ManifestOutWritesStandaloneManifest) {
 TEST(Cli, UnwritableSinkIsExecutionError) {
     const auto r = run_cli({"list-devices", "--metrics-out",
                             "/nonexistent-dir/metrics.json"});
-    EXPECT_EQ(r.code, 2);
+    EXPECT_EQ(r.code, 3);
     EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+// --- Campaign journal and resume ------------------------------------------
+
+TEST(Cli, JournalWritesJsonLines) {
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto journal_path = dir / "tnr_test_journal.jsonl";
+    std::filesystem::remove(journal_path);
+    const auto r = run_cli({"campaign", "--hours", "0.2", "--seed", "7",
+                            "--journal", journal_path.string()});
+    EXPECT_EQ(r.code, 0);
+    std::ifstream file(journal_path);
+    std::string line;
+    std::size_t headers = 0;
+    std::size_t devices = 0;
+    while (std::getline(file, line)) {
+        const auto doc = core::obs::json::parse(line);
+        ASSERT_TRUE(doc.has_value()) << line;
+        const auto* kind = doc->find("kind");
+        ASSERT_NE(kind, nullptr) << line;
+        if (kind->str == "header") ++headers;
+        if (kind->str == "device") ++devices;
+    }
+    EXPECT_EQ(headers, 1u);
+    EXPECT_GE(devices, 8u);
+    std::filesystem::remove(journal_path);
+}
+
+TEST(Cli, ResumeReproducesUninterruptedRunBitwise) {
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto ref_path = dir / "tnr_test_ref_journal.jsonl";
+    const auto partial_path = dir / "tnr_test_partial_journal.jsonl";
+    std::filesystem::remove(ref_path);
+    std::filesystem::remove(partial_path);
+
+    const auto reference = run_cli({"campaign", "--hours", "0.2", "--seed",
+                                    "11", "--journal", ref_path.string()});
+    ASSERT_EQ(reference.code, 0);
+
+    // Simulate an interrupted run: keep the header plus the first three
+    // completed devices, as if the process died mid-campaign.
+    {
+        std::ifstream in(ref_path);
+        std::ofstream out(partial_path);
+        std::string line;
+        std::size_t kept = 0;
+        while (kept < 4 && std::getline(in, line)) {
+            out << line << '\n';
+            ++kept;
+        }
+    }
+
+    const auto resumed =
+        run_cli({"campaign", "--hours", "0.2", "--seed", "11", "--journal",
+                 partial_path.string(), "--resume"});
+    EXPECT_EQ(resumed.code, 0);
+    EXPECT_EQ(resumed.out, reference.out);
+
+    // After the resumed run the partial journal holds the full roster again.
+    std::size_t ref_lines = 0;
+    std::size_t resumed_lines = 0;
+    std::string line;
+    for (std::ifstream in(ref_path); std::getline(in, line);) ++ref_lines;
+    for (std::ifstream in(partial_path); std::getline(in, line);)
+        ++resumed_lines;
+    EXPECT_EQ(ref_lines, resumed_lines);
+
+    std::filesystem::remove(ref_path);
+    std::filesystem::remove(partial_path);
+}
+
+TEST(Cli, ResumeSeedMismatchIsConfigError) {
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto journal_path = dir / "tnr_test_mismatch_journal.jsonl";
+    std::filesystem::remove(journal_path);
+    const auto first = run_cli({"campaign", "--hours", "0.2", "--seed", "7",
+                                "--journal", journal_path.string()});
+    ASSERT_EQ(first.code, 0);
+    const auto r = run_cli({"campaign", "--hours", "0.2", "--seed", "8",
+                            "--journal", journal_path.string(), "--resume"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("seed"), std::string::npos);
+    std::filesystem::remove(journal_path);
+}
+
+TEST(Cli, ResumeRequiresJournal) {
+    const auto r = run_cli({"campaign", "--resume"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("journal"), std::string::npos);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "core/error.hpp"
 #include "core/fieldstudy.hpp"
 #include "core/fit.hpp"
 #include "devices/catalog.hpp"
@@ -108,9 +109,9 @@ TEST(FieldStudy, Validation) {
     FleetLogConfig bad;
     bad.nodes = 0;
     EXPECT_THROW(simulate_fleet_log(k20(), environment::nyc_datacenter(), bad, 1),
-                 std::invalid_argument);
+                 RunError);
     FleetLog empty;
-    EXPECT_THROW((void)analyze_fleet_log(empty), std::invalid_argument);
+    EXPECT_THROW((void)analyze_fleet_log(empty), RunError);
 }
 
 }  // namespace

@@ -50,6 +50,49 @@ TEST(ObsJson, RejectsMalformedDocuments) {
     EXPECT_FALSE(obs::json::parse("nul").has_value());
 }
 
+TEST(ObsJson, RejectsTruncatedDocuments) {
+    // The journal replayer feeds this parser lines from files that may have
+    // been cut mid-write; every truncation must come back as nullopt, never
+    // a partial value or a crash.
+    for (const char* doc :
+         {"{\"a\":1", "[1,2", "\"abc", "{\"a\":", "{\"a\"", "[1,2,", "tru",
+          "fals", "-", "1e", "{\"a\":1,\"b\"", "[[1,2],[3"}) {
+        EXPECT_FALSE(obs::json::parse(doc).has_value()) << doc;
+    }
+}
+
+TEST(ObsJson, RejectsBadStringEscapes) {
+    EXPECT_FALSE(obs::json::parse(R"("\x41")").has_value());
+    EXPECT_FALSE(obs::json::parse(R"("\u12g4")").has_value());
+    EXPECT_FALSE(obs::json::parse(R"("\u12)").has_value());
+    EXPECT_FALSE(obs::json::parse("\"a\\").has_value());
+    // Raw control characters must be escaped per RFC 8259.
+    EXPECT_FALSE(obs::json::parse("\"a\x01z\"").has_value());
+    EXPECT_FALSE(obs::json::parse("\"a\nz\"").has_value());
+}
+
+TEST(ObsJson, RejectsMalformedNumbers) {
+    for (const char* doc : {"1.", ".5", "+1", "1e+", "--1", "0x10", "1.e5"}) {
+        EXPECT_FALSE(obs::json::parse(doc).has_value()) << doc;
+    }
+}
+
+TEST(ObsJson, DepthBombReturnsNulloptInsteadOfOverflowing) {
+    // 64 levels is the documented limit; a pathological input far past it
+    // must fail cleanly, not exhaust the stack.
+    const std::string deep_arrays =
+        std::string(1000, '[') + std::string(1000, ']');
+    EXPECT_FALSE(obs::json::parse(deep_arrays).has_value());
+    std::string deep_objects;
+    for (int i = 0; i < 1000; ++i) deep_objects += "{\"k\":";
+    deep_objects += "1";
+    for (int i = 0; i < 1000; ++i) deep_objects += "}";
+    EXPECT_FALSE(obs::json::parse(deep_objects).has_value());
+    // At a depth the limit allows, nesting still parses.
+    const std::string shallow = std::string(32, '[') + std::string(32, ']');
+    EXPECT_TRUE(obs::json::parse(shallow).has_value());
+}
+
 TEST(ObsJson, EscapeProducesParseableStrings) {
     const std::string nasty = "a\"b\\c\n\t\x01z";
     const std::string doc = "{\"k\":\"" + obs::json::escape(nasty) + "\"}";

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "beam/campaign.hpp"
+#include "core/error.hpp"
+#include "core/parallel/cancel.hpp"
 #include "core/parallel/parallel_for.hpp"
 #include "core/parallel/thread_pool.hpp"
 #include "faultinject/avf.hpp"
@@ -51,6 +53,101 @@ TEST(ThreadPool, GroupRethrowsTaskException) {
     TaskGroup group(ThreadPool::shared());
     group.run([] { throw std::runtime_error("boom"); });
     EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+// --- TaskGroup failure semantics --------------------------------------------
+
+TEST(ThreadPool, ConcurrentFailuresRethrowExactlyOnce) {
+    // Many tasks die at once; wait() surfaces exactly one exception and a
+    // second wait() is clean — the group does not replay stale errors.
+    TaskGroup group(ThreadPool::shared());
+    std::atomic<int> survivors{0};
+    for (int i = 0; i < 32; ++i) {
+        group.run([i, &survivors] {
+            if (i % 2 == 0) throw std::runtime_error("task died");
+            survivors.fetch_add(1);
+        });
+    }
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    EXPECT_NO_THROW(group.wait());
+    EXPECT_EQ(survivors.load(), 16);
+}
+
+TEST(ThreadPool, DestructorSwallowsUnobservedTaskFailure) {
+    // A group destroyed without wait() must not terminate the process even
+    // when a task threw: the destructor drains via wait_no_throw().
+    {
+        TaskGroup group(ThreadPool::shared());
+        group.run([] { throw std::runtime_error("never observed"); });
+    }
+    SUCCEED();
+}
+
+TEST(ThreadPool, PoolStillDrainsAfterATaskDies) {
+    // A task death must not poison the shared pool: workers survive and keep
+    // executing subsequent batches.
+    {
+        TaskGroup doomed(ThreadPool::shared());
+        doomed.run([] { throw std::runtime_error("boom"); });
+        EXPECT_THROW(doomed.wait(), std::runtime_error);
+    }
+    std::atomic<int> counter{0};
+    TaskGroup group(ThreadPool::shared());
+    for (int i = 0; i < 64; ++i) {
+        group.run([&counter] { counter.fetch_add(1); });
+    }
+    group.wait();
+    EXPECT_EQ(counter.load(), 64);
+}
+
+// --- Cooperative cancellation -----------------------------------------------
+
+TEST(CancelToken, CheckpointThrowsCancelledRunError) {
+    core::parallel::CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_NO_THROW(token.throw_if_cancelled());
+    token.cancel();
+    EXPECT_TRUE(token.cancelled());
+    try {
+        token.throw_if_cancelled();
+        FAIL() << "expected RunError";
+    } catch (const core::RunError& e) {
+        EXPECT_EQ(e.category(), core::ErrorCategory::kCancelled);
+        EXPECT_EQ(e.exit_code(), 130);
+    }
+    token.reset();
+    EXPECT_NO_THROW(token.throw_if_cancelled());
+}
+
+TEST(CancelToken, ParallelMapStopsPickingUpNewItems) {
+    // A pre-cancelled token means no item runs: every slot keeps its
+    // default-constructed value, on the serial and the pooled path alike.
+    core::parallel::CancelToken token;
+    token.cancel();
+    for (const unsigned threads : {1u, 4u}) {
+        const auto out = parallel_map<int>(
+            64, threads, [](std::size_t) { return 7; }, &token);
+        ASSERT_EQ(out.size(), 64u);
+        for (const int v : out) EXPECT_EQ(v, 0) << threads << " threads";
+    }
+}
+
+TEST(CancelToken, ParallelForReduceThrowsAtTheChunkBoundary) {
+    core::parallel::CancelToken token;
+    token.cancel();
+    stats::Rng rng(7);
+    const auto body = [](std::uint64_t, std::uint64_t count, stats::Rng&) {
+        return count;
+    };
+    const auto merge = [](std::uint64_t& acc, const std::uint64_t& p) {
+        acc += p;
+    };
+    EXPECT_THROW(parallel_for_reduce<std::uint64_t>(1'000, 1, rng, body,
+                                                    merge, &token),
+                 core::RunError);
+    EXPECT_THROW(parallel_for_reduce<std::uint64_t>(1'000, 4, rng, body,
+                                                    merge, &token),
+                 core::RunError);
 }
 
 TEST(ThreadPool, WorkerFlagIsSetOnWorkers) {

@@ -1,0 +1,385 @@
+// Fault-tolerant campaign execution: the structured error model, per-device
+// failure isolation and bounded retry, the append-only journal, and the
+// resume path's bitwise-identity guarantee (docs/robustness.md).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "beam/campaign.hpp"
+#include "beam/journal.hpp"
+#include "core/error.hpp"
+#include "devices/catalog.hpp"
+
+namespace tnr::beam {
+namespace {
+
+using core::ErrorCategory;
+using core::RunError;
+
+// --- Error model ------------------------------------------------------------
+
+TEST(RunError, CategoriesMapToDocumentedExitCodes) {
+    EXPECT_EQ(RunError::config("x").exit_code(), 2);
+    EXPECT_EQ(RunError::numeric("x").exit_code(), 3);
+    EXPECT_EQ(RunError::io("x").exit_code(), 3);
+    EXPECT_EQ(RunError::cancelled("x").exit_code(), 130);
+}
+
+TEST(RunError, CarriesCategoryAndMessage) {
+    const RunError e = RunError::io("disk on fire");
+    EXPECT_EQ(e.category(), ErrorCategory::kIo);
+    EXPECT_STREQ(e.what(), "disk on fire");
+    // RunError must flow through generic std::exception handlers.
+    const std::exception& base = e;
+    EXPECT_STREQ(base.what(), "disk on fire");
+}
+
+TEST(RunError, CategoryNamesAreStable) {
+    EXPECT_STREQ(core::to_string(ErrorCategory::kConfig), "config");
+    EXPECT_STREQ(core::to_string(ErrorCategory::kNumeric), "numeric");
+    EXPECT_STREQ(core::to_string(ErrorCategory::kIo), "io");
+    EXPECT_STREQ(core::to_string(ErrorCategory::kCancelled), "cancelled");
+}
+
+// --- Shared fixtures --------------------------------------------------------
+
+CampaignConfig small_config() {
+    CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 30.0;
+    cfg.seed = 99;
+    cfg.threads = 2;
+    return cfg;
+}
+
+std::vector<devices::Device> small_roster() {
+    auto all = devices::standard_catalog();
+    return {all.begin(), all.begin() + 3};
+}
+
+bool same_row(const DeviceRatioRow& a, const DeviceRatioRow& b) {
+    return a.device == b.device && a.type == b.type &&
+           a.errors_he == b.errors_he && a.fluence_he == b.fluence_he &&
+           a.errors_th == b.errors_th && a.fluence_th == b.fluence_th;
+}
+
+bool same_measurements(const std::vector<CrossSectionMeasurement>& a,
+                       const std::vector<CrossSectionMeasurement>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].device != b[i].device || a[i].workload != b[i].workload ||
+            a[i].beamline != b[i].beamline || a[i].type != b[i].type ||
+            a[i].errors != b[i].errors || a[i].fluence != b[i].fluence) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::filesystem::path temp_journal(const char* name) {
+    const auto path = std::filesystem::temp_directory_path() / name;
+    std::filesystem::remove(path);
+    return path;
+}
+
+// --- Failure isolation ------------------------------------------------------
+
+TEST(FaultIsolation, OneFailingDeviceLeavesTheRestIntact) {
+    const auto roster = small_roster();
+    const std::string victim = roster[1].name();
+
+    CampaignConfig clean = small_config();
+    const CampaignResult reference = Campaign(clean).run(roster);
+
+    CampaignConfig faulty = small_config();
+    faulty.fault_hook = [&victim](const std::string& device, unsigned) {
+        if (device == victim) throw std::runtime_error("injected fault");
+    };
+    const CampaignResult result = Campaign(faulty).run(roster);
+
+    ASSERT_EQ(result.failures.size(), 1u);
+    EXPECT_EQ(result.failures[0].name, victim);
+    EXPECT_EQ(result.failures[0].what, "injected fault");
+    EXPECT_EQ(result.failures[0].attempt, 0u);
+    EXPECT_TRUE(result.device_failed(victim));
+
+    // The survivors' rows are bitwise identical to the clean run: the
+    // victim's stream was pre-split, so its death perturbs nobody.
+    for (const auto& device : {roster[0], roster[2]}) {
+        for (const auto type :
+             {devices::ErrorType::kSdc, devices::ErrorType::kDue}) {
+            EXPECT_TRUE(same_row(reference.row(device.name(), type),
+                                 result.row(device.name(), type)))
+                << device.name();
+        }
+    }
+    // The victim has no rows; asking for one names the device and type.
+    EXPECT_THROW((void)result.row(victim, devices::ErrorType::kSdc),
+                 std::out_of_range);
+}
+
+TEST(FaultIsolation, RetrySucceedsOnAFreshAttemptAndKeepsTheFailure) {
+    const auto roster = small_roster();
+    const std::string victim = roster[0].name();
+
+    CampaignConfig cfg = small_config();
+    cfg.max_attempts = 3;
+    cfg.fault_hook = [&victim](const std::string& device, unsigned attempt) {
+        if (device == victim && attempt == 0) {
+            throw std::runtime_error("transient fault");
+        }
+    };
+    const CampaignResult result = Campaign(cfg).run(roster);
+
+    // The retry produced a real outcome...
+    EXPECT_FALSE(result.device_failed(victim));
+    EXPECT_NO_THROW((void)result.row(victim, devices::ErrorType::kSdc));
+    // ...and the first attempt's failure stays on the record.
+    ASSERT_EQ(result.failures.size(), 1u);
+    EXPECT_EQ(result.failures[0].name, victim);
+    EXPECT_EQ(result.failures[0].attempt, 0u);
+}
+
+TEST(FaultIsolation, RetriesAreDeterministic) {
+    const auto roster = small_roster();
+    CampaignConfig cfg = small_config();
+    cfg.max_attempts = 2;
+    cfg.fault_hook = [](const std::string&, unsigned attempt) {
+        if (attempt == 0) throw std::runtime_error("flaky rig");
+    };
+    const CampaignResult a = Campaign(cfg).run(roster);
+    const CampaignResult b = Campaign(cfg).run(roster);
+    ASSERT_EQ(a.ratio_rows.size(), b.ratio_rows.size());
+    for (std::size_t i = 0; i < a.ratio_rows.size(); ++i) {
+        EXPECT_TRUE(same_row(a.ratio_rows[i], b.ratio_rows[i]));
+    }
+    EXPECT_TRUE(same_measurements(a.measurements, b.measurements));
+}
+
+TEST(FaultIsolation, ExhaustedAttemptsRecordEveryFailure) {
+    const auto roster = small_roster();
+    const std::string victim = roster[2].name();
+
+    CampaignConfig cfg = small_config();
+    cfg.max_attempts = 3;
+    cfg.fault_hook = [&victim](const std::string& device, unsigned) {
+        if (device == victim) throw std::runtime_error("hard fault");
+    };
+    const CampaignResult result = Campaign(cfg).run(roster);
+
+    EXPECT_TRUE(result.device_failed(victim));
+    ASSERT_EQ(result.failures.size(), 3u);
+    for (unsigned i = 0; i < 3; ++i) {
+        EXPECT_EQ(result.failures[i].name, victim);
+        EXPECT_EQ(result.failures[i].attempt, i);
+    }
+}
+
+TEST(FaultIsolation, ZeroFluenceRowErrorsNameTheDevice) {
+    DeviceRatioRow row;
+    row.device = "Xilinx Zynq-7000 FPGA";
+    try {
+        (void)row.sigma_th();
+        FAIL() << "expected RunError";
+    } catch (const RunError& e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kNumeric);
+        EXPECT_NE(std::string(e.what()).find("Xilinx Zynq-7000 FPGA"),
+                  std::string::npos);
+    }
+}
+
+// --- Journal round trip -----------------------------------------------------
+
+TEST(Journal, ReplayReconstructsOutcomesBitwise) {
+    const auto path = temp_journal("tnr_robustness_roundtrip.jsonl");
+    const auto roster = small_roster();
+
+    CampaignConfig cfg = small_config();
+    CampaignJournal journal(path.string(), /*truncate=*/true);
+    journal.write_header(cfg, roster.size());
+    cfg.on_device_outcome = [&journal](const devices::Device& device,
+                                       unsigned attempt,
+                                       const DeviceOutcome& outcome) {
+        journal.append_device(device.name(), attempt, outcome);
+    };
+    const CampaignResult result = Campaign(cfg).run(roster);
+
+    const JournalReplay replay = replay_journal(path.string());
+    EXPECT_EQ(replay.seed, cfg.seed);
+    EXPECT_EQ(replay.beam_time_per_run_s, cfg.beam_time_per_run_s);
+    EXPECT_EQ(replay.device_count, roster.size());
+    ASSERT_EQ(replay.completed.size(), roster.size());
+    for (const auto& device : roster) {
+        const auto it = replay.completed.find(device.name());
+        ASSERT_NE(it, replay.completed.end()) << device.name();
+        // Doubles round-trip exactly through obs::json::number, so the
+        // replayed rows are bitwise equal to the computed ones.
+        EXPECT_TRUE(same_row(it->second.sdc_row,
+                             result.row(device.name(),
+                                        devices::ErrorType::kSdc)));
+        EXPECT_TRUE(same_row(it->second.due_row,
+                             result.row(device.name(),
+                                        devices::ErrorType::kDue)));
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(Journal, ResumedRunEqualsUninterruptedRun) {
+    const auto path = temp_journal("tnr_robustness_resume.jsonl");
+    const auto roster = small_roster();
+
+    // Uninterrupted reference, journaled so both runs use the isolated grid.
+    CampaignConfig ref_cfg = small_config();
+    CampaignJournal ref_journal(path.string(), /*truncate=*/true);
+    ref_journal.write_header(ref_cfg, roster.size());
+    ref_cfg.on_device_outcome = [&ref_journal](const devices::Device& device,
+                                               unsigned attempt,
+                                               const DeviceOutcome& outcome) {
+        ref_journal.append_device(device.name(), attempt, outcome);
+    };
+    const CampaignResult reference = Campaign(ref_cfg).run(roster);
+
+    // "Interrupted" run: pretend only the first device completed, resume
+    // with the other two to compute.
+    const JournalReplay full = replay_journal(path.string());
+    CampaignConfig resume_cfg = small_config();
+    const auto it = full.completed.find(roster[0].name());
+    ASSERT_NE(it, full.completed.end());
+    resume_cfg.completed.emplace(it->first, it->second);
+    const CampaignResult resumed = Campaign(resume_cfg).run(roster);
+
+    ASSERT_EQ(reference.ratio_rows.size(), resumed.ratio_rows.size());
+    for (std::size_t i = 0; i < reference.ratio_rows.size(); ++i) {
+        EXPECT_TRUE(same_row(reference.ratio_rows[i], resumed.ratio_rows[i]))
+            << reference.ratio_rows[i].device;
+    }
+    EXPECT_TRUE(same_measurements(reference.measurements,
+                                  resumed.measurements));
+    std::filesystem::remove(path);
+}
+
+TEST(Journal, TornTailIsDroppedOnReplay) {
+    const auto path = temp_journal("tnr_robustness_torn.jsonl");
+    {
+        std::ofstream out(path);
+        out << R"({"kind":"header","tool":"tnr","version":"t","seed":7,)"
+            << R"("beam_time_s":30,"avf_trials":0,"threads":2,"devices":3})"
+            << "\n";
+        // A crash mid-append: the final line has no trailing newline.
+        out << R"({"kind":"device","device":"X","attempt":0,"sdc":{"er)";
+    }
+    const JournalReplay replay = replay_journal(path.string());
+    EXPECT_EQ(replay.seed, 7u);
+    EXPECT_TRUE(replay.completed.empty());
+    std::filesystem::remove(path);
+}
+
+TEST(Journal, MalformedInteriorLineIsAnIoError) {
+    const auto path = temp_journal("tnr_robustness_corrupt.jsonl");
+    {
+        std::ofstream out(path);
+        out << R"({"kind":"header","tool":"tnr","version":"t","seed":7,)"
+            << R"("beam_time_s":30,"avf_trials":0,"threads":2,"devices":3})"
+            << "\n";
+        out << "this is not json\n";  // newline => not a torn tail.
+    }
+    try {
+        replay_journal(path.string());
+        FAIL() << "expected RunError";
+    } catch (const RunError& e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kIo);
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(Journal, MissingHeaderIsAConfigError) {
+    const auto path = temp_journal("tnr_robustness_headless.jsonl");
+    {
+        std::ofstream out(path);
+        out << R"({"kind":"failure","device":"X","attempt":0,"what":"w"})"
+            << "\n";
+    }
+    try {
+        replay_journal(path.string());
+        FAIL() << "expected RunError";
+    } catch (const RunError& e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kConfig);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(Journal, UnreadableFileIsAnIoError) {
+    try {
+        replay_journal("/nonexistent-dir/missing.jsonl");
+        FAIL() << "expected RunError";
+    } catch (const RunError& e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kIo);
+    }
+}
+
+TEST(Journal, ValidateResumeRejectsMismatchedParameters) {
+    JournalReplay replay;
+    replay.seed = 7;
+    replay.beam_time_per_run_s = 30.0;
+    replay.avf_trials = 0;
+
+    CampaignConfig cfg;
+    cfg.seed = 7;
+    cfg.beam_time_per_run_s = 30.0;
+    cfg.avf_trials = 0;
+    EXPECT_NO_THROW(validate_resume(replay, cfg));
+
+    CampaignConfig bad_seed = cfg;
+    bad_seed.seed = 8;
+    EXPECT_THROW(validate_resume(replay, bad_seed), RunError);
+
+    CampaignConfig bad_time = cfg;
+    bad_time.beam_time_per_run_s = 60.0;
+    EXPECT_THROW(validate_resume(replay, bad_time), RunError);
+
+    CampaignConfig bad_avf = cfg;
+    bad_avf.avf_trials = 10;
+    EXPECT_THROW(validate_resume(replay, bad_avf), RunError);
+
+    // The thread count may legitimately differ between the original and the
+    // resuming run: isolated-grid results are thread-invariant.
+    CampaignConfig more_threads = cfg;
+    more_threads.threads = 8;
+    replay.threads = 2;
+    EXPECT_NO_THROW(validate_resume(replay, more_threads));
+}
+
+// --- Cancellation -----------------------------------------------------------
+
+TEST(Cancellation, PreCancelledCampaignThrowsAfterJournalingNothing) {
+    core::parallel::CancelToken token;
+    token.cancel();
+    CampaignConfig cfg = small_config();
+    cfg.cancel = &token;
+    cfg.max_attempts = 2;  // force the isolated grid.
+    try {
+        Campaign(cfg).run(small_roster());
+        FAIL() << "expected RunError";
+    } catch (const RunError& e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kCancelled);
+        EXPECT_EQ(e.exit_code(), 130);
+    }
+}
+
+TEST(Cancellation, SerialWalkChecksTheTokenBetweenDevices) {
+    core::parallel::CancelToken token;
+    token.cancel();
+    CampaignConfig cfg;
+    cfg.beam_time_per_run_s = 30.0;
+    cfg.threads = 1;  // historical serial walk.
+    cfg.cancel = &token;
+    EXPECT_THROW(Campaign(cfg).run(small_roster()), RunError);
+}
+
+}  // namespace
+}  // namespace tnr::beam
