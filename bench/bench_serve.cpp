@@ -1,0 +1,157 @@
+// Serve engine benchmark: throughput and latency of `tnr serve` request
+// handling, cold (computed) versus cache-hit, plus microbenchmarks of the
+// cache and canonicalization layers underneath.
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using tnr::serve::ResponseCache;
+using tnr::serve::Server;
+using tnr::serve::ServeOptions;
+
+std::string fit_request(std::size_t i) {
+    const char* sites[] = {"nyc", "leadville"};
+    return R"({"id":"b)" + std::to_string(i) +
+           R"(","method":"fit","params":{"site":")" + sites[i % 2] +
+           R"(","rainy":)" + (i % 4 < 2 ? "true" : "false") +
+           R"(,"csv":)" + (i % 8 < 4 ? "true" : "false") + "}}";
+}
+
+std::string detector_request(std::size_t seed) {
+    return R"({"id":"d)" + std::to_string(seed) +
+           R"(","method":"detector","params":{"seed":)" +
+           std::to_string(seed) + "}}";
+}
+
+/// Serves one request line and returns its wall-clock latency.
+double serve_one_us(Server& server, const std::string& request) {
+    std::istringstream in(request + "\n");
+    std::ostringstream out;
+    std::ostringstream diag;
+    const auto t0 = std::chrono::steady_clock::now();
+    server.serve(in, out, diag);
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+double percentile(std::vector<double> v, double q) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+    return v[idx];
+}
+
+/// The reproduction table: cold vs cache-hit latency percentiles and the
+/// batched throughput of one serve session.
+void emit_table(std::ostream& os) {
+    constexpr std::size_t kUnique = 48;
+    constexpr std::size_t kHits = 200;
+
+    Server server({});
+    std::vector<double> cold_us;
+    for (std::size_t i = 0; i < kUnique; ++i) {
+        cold_us.push_back(serve_one_us(server, detector_request(i)));
+    }
+    std::vector<double> hit_us;
+    for (std::size_t i = 0; i < kHits; ++i) {
+        hit_us.push_back(serve_one_us(server, detector_request(i % kUnique)));
+    }
+
+    // Batched throughput: every request in one session, served hot.
+    std::string batch;
+    for (std::size_t i = 0; i < kHits; ++i) {
+        batch += detector_request(i % kUnique) + "\n";
+    }
+    std::istringstream in(batch);
+    std::ostringstream out;
+    std::ostringstream diag;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto stats = server.serve(in, out, diag);
+    const double batch_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+
+    os << "detector requests, " << kUnique << " unique / " << kHits
+       << " repeats\n\n";
+    os << "path       p50 [us]  p99 [us]\n";
+    os << "cold       " << percentile(cold_us, 0.5) << "  "
+       << percentile(cold_us, 0.99) << '\n';
+    os << "cache-hit  " << percentile(hit_us, 0.5) << "  "
+       << percentile(hit_us, 0.99) << '\n';
+    os << "\nbatched session: " << stats.requests << " requests in " << batch_s
+       << " s (" << static_cast<double>(stats.requests) / batch_s
+       << " req/s, " << stats.cache_hits << " cache hits)\n";
+}
+
+void BM_ServeColdDetector(benchmark::State& state) {
+    // Cache disabled: every iteration recomputes the detector run.
+    ServeOptions options;
+    options.cache_capacity = 0;
+    Server server(options);
+    const std::string request = detector_request(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(serve_one_us(server, request));
+    }
+}
+BENCHMARK(BM_ServeColdDetector)->Unit(benchmark::kMillisecond);
+
+void BM_ServeCacheHit(benchmark::State& state) {
+    Server server({});
+    const std::string request = detector_request(1);
+    serve_one_us(server, request);  // warm the cache.
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(serve_one_us(server, request));
+    }
+}
+BENCHMARK(BM_ServeCacheHit)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeErrorResponse(benchmark::State& state) {
+    Server server({});
+    const std::string request = R"({"id":"e","method":"frobnicate"})";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(serve_one_us(server, request));
+    }
+}
+BENCHMARK(BM_ServeErrorResponse)->Unit(benchmark::kMicrosecond);
+
+void BM_CanonicalizeRequest(benchmark::State& state) {
+    const auto doc = tnr::core::obs::json::parse(fit_request(3));
+    const auto req = tnr::serve::parse_request(*doc);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tnr::serve::canonical_request(req));
+    }
+}
+BENCHMARK(BM_CanonicalizeRequest);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+    ResponseCache cache(128);
+    for (std::size_t i = 0; i < 128; ++i) {
+        const std::string canonical = "entry-" + std::to_string(i);
+        cache.put(tnr::serve::canonical_hash(canonical), canonical,
+                  "body-" + std::to_string(i));
+    }
+    const std::string canonical = "entry-64";
+    const auto key = tnr::serve::canonical_hash(canonical);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.get(key, canonical));
+    }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(argc, argv, "Serve", emit_table);
+}

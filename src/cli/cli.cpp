@@ -24,11 +24,10 @@
 #include "core/parallel/cancel.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
-#include "detector/analysis.hpp"
-#include "detector/tin2.hpp"
 #include "devices/catalog.hpp"
 #include "environment/site.hpp"
-#include "stats/rng.hpp"
+#include "serve/handlers.hpp"
+#include "serve/server.hpp"
 
 namespace tnr::cli {
 
@@ -89,6 +88,9 @@ const std::map<std::string, CommandSpec>& command_specs() {
            {"max-attempts", true},
            {"per-code", false}},
           2020}},
+        {"serve",
+         {{{"max-inflight", true}, {"cache-capacity", true}, {"socket", true}},
+          std::nullopt}},
     };
     return specs;
 }
@@ -206,18 +208,9 @@ struct Io {
 struct RunContext {
     std::vector<std::string> failures;
     bool cancelled = false;
+    /// Run-mode summary statistics for the manifest (serve fills these).
+    std::vector<std::pair<std::string, double>> stats;
 };
-
-environment::Site site_by_name(const std::string& name, bool rainy) {
-    environment::Site site = [&] {
-        if (name == "nyc") return environment::nyc_datacenter();
-        if (name == "leadville") return environment::leadville_datacenter();
-        throw core::RunError::config("unknown site: " + name +
-                                     " (use nyc|leadville)");
-    }();
-    if (rainy) site.environment.weather = environment::Weather::kRainy;
-    return site;
-}
 
 void print_table(const core::TablePrinter& table, bool csv, std::ostream& out) {
     if (csv) {
@@ -228,55 +221,40 @@ void print_table(const core::TablePrinter& table, bool csv, std::ostream& out) {
 }
 
 int cmd_list_devices(std::ostream& out) {
-    core::TablePrinter table({"device", "node", "transistor", "foundry",
-                              "SDC ratio", "DUE ratio"});
-    for (const auto& spec : devices::standard_specs()) {
-        table.add_row({spec.name, spec.tech.node,
-                       devices::to_string(spec.tech.transistor),
-                       spec.tech.foundry,
-                       spec.ratio_sdc ? core::format_fixed(*spec.ratio_sdc, 2)
-                                      : "-",
-                       spec.ratio_due ? core::format_fixed(*spec.ratio_due, 2)
-                                      : "-"});
-    }
-    table.print(out);
+    out << serve::render_list_devices();
     return 0;
 }
 
 int cmd_fit(const Flags& flags, std::ostream& out) {
-    const std::string device_name = flags.get("device", "NVIDIA K20");
-    const auto device =
-        devices::build_calibrated(devices::spec_by_name(device_name));
-    const auto site =
-        site_by_name(flags.get("site", "nyc"), flags.has("rainy"));
-
-    core::TablePrinter table({"device", "site", "type", "FIT HE",
-                              "FIT thermal", "total", "thermal share"});
-    for (const auto type :
-         {devices::ErrorType::kSdc, devices::ErrorType::kDue}) {
-        const auto fit = core::device_fit(device, type, site);
-        table.add_row({device.name(), site.system_name,
-                       devices::to_string(type),
-                       core::format_fixed(fit.high_energy, 2),
-                       core::format_fixed(fit.thermal, 2),
-                       core::format_fixed(fit.total(), 2),
-                       core::format_percent(fit.thermal_share())});
-    }
-    print_table(table, flags.has("csv"), out);
+    serve::FitParams params;
+    params.device = flags.get("device", params.device);
+    params.site = flags.get("site", params.site);
+    params.rainy = flags.has("rainy");
+    params.csv = flags.has("csv");
+    out << serve::render_fit(params);
     return 0;
 }
 
-beam::CampaignConfig campaign_config(const Flags& flags) {
-    beam::CampaignConfig cfg;
-    cfg.beam_time_per_run_s = flags.get_double("hours", 24.0) * 3600.0;
-    cfg.seed = static_cast<std::uint64_t>(flags.get_double("seed", 2020.0));
+/// The flag set `campaign` and `report` share, mapped onto the parameter
+/// struct the serve handlers use — one source of defaults for both layers.
+serve::CampaignParams campaign_params(const Flags& flags) {
+    serve::CampaignParams params;
+    params.hours = flags.get_double("hours", params.hours);
+    params.seed =
+        static_cast<std::uint64_t>(flags.get_double("seed", 2020.0));
     // Clamp before the cast: negative double -> unsigned is undefined.
-    cfg.threads =
-        static_cast<unsigned>(std::max(0.0, flags.get_double("threads", 1.0)));
-    cfg.avf_trials = static_cast<std::size_t>(
+    params.threads = static_cast<unsigned>(
+        std::max(0.0, flags.get_double("threads", 1.0)));
+    params.avf_trials = static_cast<std::size_t>(
         std::max(0.0, flags.get_double("avf-trials", 0.0)));
-    cfg.max_attempts = static_cast<unsigned>(
+    params.max_attempts = static_cast<unsigned>(
         std::max(1.0, flags.get_double("max-attempts", 1.0)));
+    params.csv = flags.has("csv");
+    return params;
+}
+
+beam::CampaignConfig campaign_config(const Flags& flags) {
+    beam::CampaignConfig cfg = serve::make_campaign_config(campaign_params(flags));
     cfg.cancel = &core::parallel::global_cancel_token();
     return cfg;
 }
@@ -331,46 +309,17 @@ int cmd_campaign(const Flags& flags, const Io& io, RunContext& ctx) {
     const auto result = beam::Campaign(cfg).run();
     progress.finish();
     report_failures(result, io, ctx);
-
-    core::TablePrinter table({"device", "type", "sigma_HE", "sigma_thermal",
-                              "ratio"});
-    for (const auto& row : result.ratio_rows) {
-        const auto ratio = row.ratio();
-        table.add_row({row.device, devices::to_string(row.type),
-                       core::format_scientific(row.sigma_he()),
-                       core::format_scientific(row.sigma_th()),
-                       ratio ? core::format_fixed(ratio->ratio, 2)
-                             : "no thermal errors"});
-    }
-    print_table(table, flags.has("csv"), io.out);
+    io.out << serve::render_ratio_table(result, flags.has("csv"));
     return 0;
 }
 
 int cmd_detector(const Flags& flags, std::ostream& out) {
-    const double baseline_days = flags.get_double("days", 4.0);
-    const double water_days = flags.get_double("water-days", 3.0);
-    const auto seed = static_cast<std::uint64_t>(flags.get_double("seed", 420.0));
-
-    const detector::Tin2Detector tin2;
-    stats::Rng rng(seed);
-    const auto rec =
-        tin2.record(detector::fig6_schedule(baseline_days, water_days), rng);
-    const auto analysis = detector::analyze_step(rec);
-
-    core::TablePrinter table({"quantity", "value"});
-    table.add_row({"bins", std::to_string(rec.bare.size())});
-    if (analysis) {
-        table.add_row({"change bin", std::to_string(analysis->change_bin)});
-        table.add_row({"relative step",
-                       core::format_percent(analysis->relative_step)});
-        table.add_row(
-            {"step 95% CI",
-             "[" + core::format_percent(analysis->step_ci.lower) + ", " +
-                 core::format_percent(analysis->step_ci.upper) + "]"});
-    } else {
-        table.add_row({"step", "none detected"});
-    }
-    print_table(table, flags.has("csv"), out);
+    serve::DetectorParams params;
+    params.days = flags.get_double("days", params.days);
+    params.water_days = flags.get_double("water-days", params.water_days);
+    params.seed = static_cast<std::uint64_t>(flags.get_double("seed", 420.0));
+    params.csv = flags.has("csv");
+    out << serve::render_detector(params);
     return 0;
 }
 
@@ -381,7 +330,7 @@ int cmd_checkpoint(const Flags& flags, std::ostream& out) {
     const auto device =
         devices::build_calibrated(devices::spec_by_name(device_name));
     const auto site =
-        site_by_name(flags.get("site", "leadville"), flags.has("rainy"));
+        serve::site_by_name(flags.get("site", "leadville"), flags.has("rainy"));
     const auto fit = core::device_fit(device, devices::ErrorType::kDue, site);
     const auto plan = core::plan_for_fit(fit, nodes);
 
@@ -422,8 +371,43 @@ int cmd_top10(const Flags& flags, std::ostream& out) {
     return 0;
 }
 
+int cmd_serve(const Flags& flags, const Io& io, RunContext& ctx,
+              std::istream& in) {
+    serve::ServeOptions options;
+    options.max_inflight = static_cast<std::size_t>(
+        std::max(1.0, flags.get_double("max-inflight", 4.0)));
+    options.cache_capacity = static_cast<std::size_t>(
+        std::max(0.0, flags.get_double("cache-capacity", 128.0)));
+    options.verbose = io.verbose;
+    options.stop = &core::parallel::global_cancel_token();
+    serve::Server server(options);
+
+    const std::string socket_path = flags.get("socket", "");
+    const serve::ServeStats stats =
+        socket_path.empty() ? server.serve(in, io.out, io.diag)
+                            : server.serve_unix_socket(socket_path, io.diag);
+
+    ctx.stats = {
+        {"serve.requests", static_cast<double>(stats.requests)},
+        {"serve.ok", static_cast<double>(stats.ok)},
+        {"serve.errors", static_cast<double>(stats.errors)},
+        {"serve.cancelled", static_cast<double>(stats.cancelled)},
+        {"serve.cache_hits", static_cast<double>(stats.cache_hits)},
+        {"serve.coalesced", static_cast<double>(stats.coalesced)},
+    };
+    io.diag << "tnr: serve: " << stats.requests << " requests (" << stats.ok
+            << " ok, " << stats.errors << " error, " << stats.cancelled
+            << " cancelled), " << stats.cache_hits << " cache hits\n";
+    if (stats.stopped) {
+        // The drain already happened inside serve(); this reuses the
+        // cancelled path of the run boundary (sinks flushed, exit 130).
+        throw core::RunError::cancelled("serve stopped");
+    }
+    return 0;
+}
+
 int dispatch(const std::string& cmd, const Flags& flags, const Io& io,
-             RunContext& ctx) {
+             RunContext& ctx, std::istream& in) {
     if (cmd == "list-devices") return cmd_list_devices(io.out);
     if (cmd == "fit") return cmd_fit(flags, io.out);
     if (cmd == "campaign") return cmd_campaign(flags, io, ctx);
@@ -431,6 +415,7 @@ int dispatch(const std::string& cmd, const Flags& flags, const Io& io,
     if (cmd == "checkpoint") return cmd_checkpoint(flags, io.out);
     if (cmd == "report") return cmd_report(flags, io);
     if (cmd == "top10") return cmd_top10(flags, io.out);
+    if (cmd == "serve") return cmd_serve(flags, io, ctx, in);
     throw std::logic_error("dispatch: unreachable command " + cmd);
 }
 
@@ -474,6 +459,7 @@ obs::RunManifest build_manifest(const std::vector<std::string>& args,
     manifest.started_at_utc = started_at;
     manifest.status = ctx.cancelled ? "cancelled" : "ok";
     manifest.failures = ctx.failures;
+    manifest.stats = ctx.stats;
     for (const auto& [key, value] : flags.values()) {
         manifest.flags.emplace_back(key, value);
     }
@@ -532,8 +518,15 @@ std::string usage() {
            "  checkpoint [--nodes N] [--device NAME] [--site S] [--rainy]\n"
            "  top10 [--csv]                        supercomputer DDR FIT\n"
            "  report [--hours H] [--seed S] [--threads N] [--per-code]   markdown study report\n"
+           "  serve [--max-inflight N] [--cache-capacity N] [--socket PATH]\n"
+           "                                       batch query engine: JSON\n"
+           "                                       requests on stdin (or the\n"
+           "                                       unix socket), one JSON\n"
+           "                                       response line each; see\n"
+           "                                       docs/serving.md\n"
            "\n"
            "global flags (every command):\n"
+           "  --version          print the build version and exit\n"
            "  --quiet            suppress diagnostics and progress (stderr)\n"
            "  --verbose          extra diagnostics on stderr\n"
            "  --metrics-out F    write a JSON metrics snapshot (with the run\n"
@@ -553,12 +546,16 @@ std::string usage() {
     return oss.str();
 }
 
-int run(const std::vector<std::string>& args, std::ostream& out,
-        std::ostream& err) {
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err) {
     if (args.empty() || args[0] == "-h" || args[0] == "--help" ||
         args[0] == "help") {
         out << usage();
         return args.empty() ? 2 : 0;
+    }
+    if (args[0] == "--version" || args[0] == "version") {
+        out << "tnr " << obs::build_version() << '\n';
+        return 0;
     }
     const std::string& cmd = args[0];
     const auto& specs = command_specs();
@@ -585,7 +582,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         RunContext ctx;
         int code = 0;
         try {
-            code = dispatch(cmd, flags, io, ctx);
+            code = dispatch(cmd, flags, io, ctx, in);
         } catch (const core::RunError& e) {
             // Cooperative cancellation is a clean stop, not a crash: the
             // telemetry sinks and the journal still get flushed below, and
@@ -624,6 +621,13 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         err << "error: " << e.what() << '\n';
         return 3;
     }
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+    // No request stream wired up: `serve` over it drains instantly at EOF.
+    std::istringstream empty;
+    return run(args, empty, out, err);
 }
 
 }  // namespace tnr::cli

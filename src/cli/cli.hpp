@@ -18,7 +18,13 @@
 namespace tnr::cli {
 
 /// Runs the CLI on pre-split arguments (excluding argv[0]).
-/// Output goes to `out`, diagnostics to `err`.
+/// Output goes to `out`, diagnostics to `err`; `in` is the request stream
+/// consumed by `tnr serve` (main() passes std::cin).
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err);
+
+/// Convenience overload with an empty input stream (tests of the one-shot
+/// commands).
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
 

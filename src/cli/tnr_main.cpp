@@ -12,5 +12,5 @@ int main(int argc, char** argv) {
     std::vector<std::string> args;
     args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
     for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
-    return tnr::cli::run(args, std::cout, std::cerr);
+    return tnr::cli::run(args, std::cin, std::cout, std::cerr);
 }

@@ -13,7 +13,10 @@
 namespace tnr::core::obs::json {
 
 /// Escapes a string for embedding inside JSON double quotes (no surrounding
-/// quotes added): `"`, `\`, control characters.
+/// quotes added): `"`, `\`, and every control character U+0000–U+001F (the
+/// RFC 8259 set — named escapes where they exist, \u00XX otherwise). The
+/// serve layer echoes client-supplied request ids through this, so arbitrary
+/// bytes must round-trip through escape() -> parse().
 std::string escape(std::string_view s);
 
 /// Formats a double the way the sinks expect: finite values via

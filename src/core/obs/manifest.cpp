@@ -46,7 +46,14 @@ void RunManifest::write_json(std::ostream& out) const {
         first = false;
         out << '"' << json::escape(f) << '"';
     }
-    out << "]}";
+    out << "],\"stats\":{";
+    first = true;
+    for (const auto& [key, value] : stats) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << json::escape(key) << "\":" << json::number(value);
+    }
+    out << "}}";
 }
 
 std::string RunManifest::to_json() const {

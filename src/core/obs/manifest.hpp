@@ -33,6 +33,10 @@ struct RunManifest {
     /// Isolated device failures ("<device>: <what> (attempt N)") — a run
     /// that lost devices still reports them in its reproducibility record.
     std::vector<std::string> failures;
+    /// Run-mode summary statistics (the serve engine reports requests,
+    /// cache hits, …); empty for one-shot commands. Written as a "stats"
+    /// object of numbers.
+    std::vector<std::pair<std::string, double>> stats;
 
     void write_json(std::ostream& out) const;
     [[nodiscard]] std::string to_json() const;

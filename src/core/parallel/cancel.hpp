@@ -6,8 +6,16 @@
 // mid-flight: work observed as cancelled simply stops picking up new items,
 // and the orchestrating layer throws RunError(kCancelled) once the grid has
 // drained, so sinks and journals can still be flushed.
+//
+// Beyond the plain flag a token can be *deadline-armed* (it reads as
+// cancelled once a steady-clock deadline passes — the serving layer's
+// per-request deadline_ms) and *linked to a parent* (it reads as cancelled
+// whenever the parent does — per-request tokens observing the process-wide
+// SIGINT token). Both extensions keep cancelled() lock-free and safe to
+// poll from any thread.
 
 #include <atomic>
+#include <chrono>
 
 #include "core/error.hpp"
 
@@ -18,21 +26,59 @@ public:
     void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
 
     [[nodiscard]] bool cancelled() const noexcept {
-        return flag_.load(std::memory_order_relaxed);
+        if (flag_.load(std::memory_order_relaxed)) return true;
+        const CancelToken* parent = parent_.load(std::memory_order_relaxed);
+        if (parent != nullptr && parent->cancelled()) return true;
+        return deadline_elapsed();
     }
 
     /// Checkpoint: throws RunError(kCancelled) when the token is set.
     void throw_if_cancelled() const {
         if (cancelled()) {
-            throw RunError::cancelled("run cancelled");
+            throw RunError::cancelled(deadline_elapsed() ? "deadline_ms exceeded"
+                                                         : "run cancelled");
         }
     }
 
-    /// Re-arms the token (tests reuse the global instance).
-    void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+    /// Arms a wall-clock deadline `budget` from now; once it passes the
+    /// token reads as cancelled at every checkpoint. A zero (or negative)
+    /// budget is an already-elapsed deadline. Re-arming replaces the
+    /// previous deadline.
+    void arm_deadline(std::chrono::nanoseconds budget) noexcept {
+        const auto at = std::chrono::steady_clock::now() + budget;
+        // 0 is the "unarmed" sentinel; a deadline that lands exactly on it
+        // (impossible in practice for a steady clock) would just disarm.
+        deadline_ns_.store(at.time_since_epoch().count(),
+                           std::memory_order_relaxed);
+    }
+
+    /// True when a deadline is armed and has passed.
+    [[nodiscard]] bool deadline_elapsed() const noexcept {
+        const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+        return d != 0 &&
+               std::chrono::steady_clock::now().time_since_epoch().count() >= d;
+    }
+
+    /// Links this token to a parent: cancelled() also reports true whenever
+    /// the parent is cancelled. Set before the token is shared with workers;
+    /// the parent must outlive this token. nullptr unlinks.
+    void link_parent(const CancelToken* parent) noexcept {
+        parent_.store(parent, std::memory_order_relaxed);
+    }
+
+    /// Re-arms the token (tests reuse the global instance): clears the
+    /// flag, the deadline, and the parent link.
+    void reset() noexcept {
+        flag_.store(false, std::memory_order_relaxed);
+        deadline_ns_.store(0, std::memory_order_relaxed);
+        parent_.store(nullptr, std::memory_order_relaxed);
+    }
 
 private:
     std::atomic<bool> flag_{false};
+    /// steady_clock deadline in ns-since-epoch; 0 = no deadline armed.
+    std::atomic<std::int64_t> deadline_ns_{0};
+    std::atomic<const CancelToken*> parent_{nullptr};
 };
 
 /// The process-wide token the SIGINT handler sets. Commands that want clean

@@ -1,0 +1,60 @@
+#include "serve/cache.hpp"
+
+namespace tnr::serve {
+
+std::uint64_t canonical_hash(std::string_view canonical) noexcept {
+    std::uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+    for (const char c : canonical) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;  // FNV prime.
+    }
+    return h;
+}
+
+ResponseCache::ResponseCache(std::size_t capacity)
+    : capacity_(capacity),
+      hits_(core::obs::Registry::global().counter("serve.cache.hits")),
+      misses_(core::obs::Registry::global().counter("serve.cache.misses")),
+      evictions_(
+          core::obs::Registry::global().counter("serve.cache.evictions")) {}
+
+std::optional<std::string> ResponseCache::get(std::uint64_t key,
+                                              std::string_view canonical) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end() || it->second->canonical != canonical) {
+        misses_.add(1);
+        return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency.
+    hits_.add(1);
+    return it->second->body;
+}
+
+void ResponseCache::put(std::uint64_t key, std::string canonical,
+                        std::string body) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Refresh (or replace a hash-colliding entry: last writer wins).
+        it->second->canonical = std::move(canonical);
+        it->second->body = std::move(body);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{key, std::move(canonical), std::move(body)});
+    index_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        evictions_.add(1);
+    }
+}
+
+std::size_t ResponseCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+}  // namespace tnr::serve

@@ -1,0 +1,58 @@
+#pragma once
+// Bounded LRU response cache for the serve engine. Keys are 64-bit FNV-1a
+// hashes of the canonical request text; every entry keeps the canonical
+// text itself so a hash collision degrades to a miss instead of serving the
+// wrong bytes. Hit/miss/eviction counts are reported into the obs Registry
+// (serve.cache.hits / .misses / .evictions) — the admission scheduler and
+// the CI smoke step read them back through --metrics-out.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/obs/metrics.hpp"
+
+namespace tnr::serve {
+
+/// FNV-1a 64-bit over the canonical request text.
+std::uint64_t canonical_hash(std::string_view canonical) noexcept;
+
+/// Thread-safe bounded LRU map: canonical request -> response body.
+/// Capacity 0 disables caching (every lookup is a miss, puts are dropped).
+class ResponseCache {
+public:
+    explicit ResponseCache(std::size_t capacity);
+
+    /// The cached body for this request, refreshing its recency; nullopt on
+    /// miss (also counts the hit or miss).
+    std::optional<std::string> get(std::uint64_t key,
+                                   std::string_view canonical);
+
+    /// Inserts or refreshes an entry, evicting the least recently used
+    /// entries down to capacity.
+    void put(std::uint64_t key, std::string canonical, std::string body);
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+    struct Entry {
+        std::uint64_t key = 0;
+        std::string canonical;
+        std::string body;
+    };
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::list<Entry> lru_;  ///< front = most recently used.
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+    core::obs::Counter& hits_;
+    core::obs::Counter& misses_;
+    core::obs::Counter& evictions_;
+};
+
+}  // namespace tnr::serve

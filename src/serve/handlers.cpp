@@ -1,0 +1,144 @@
+#include "serve/handlers.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/fit.hpp"
+#include "core/report.hpp"
+#include "detector/analysis.hpp"
+#include "detector/tin2.hpp"
+#include "devices/catalog.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::serve {
+
+namespace {
+
+std::string print_table(const core::TablePrinter& table, bool csv) {
+    std::ostringstream oss;
+    if (csv) {
+        table.print_csv(oss);
+    } else {
+        table.print(oss);
+    }
+    return oss.str();
+}
+
+}  // namespace
+
+environment::Site site_by_name(const std::string& name, bool rainy) {
+    environment::Site site = [&] {
+        if (name == "nyc") return environment::nyc_datacenter();
+        if (name == "leadville") return environment::leadville_datacenter();
+        throw core::RunError::config("unknown site: " + name +
+                                     " (use nyc|leadville)");
+    }();
+    if (rainy) site.environment.weather = environment::Weather::kRainy;
+    return site;
+}
+
+std::string render_list_devices() {
+    core::TablePrinter table({"device", "node", "transistor", "foundry",
+                              "SDC ratio", "DUE ratio"});
+    for (const auto& spec : devices::standard_specs()) {
+        table.add_row({spec.name, spec.tech.node,
+                       devices::to_string(spec.tech.transistor),
+                       spec.tech.foundry,
+                       spec.ratio_sdc ? core::format_fixed(*spec.ratio_sdc, 2)
+                                      : "-",
+                       spec.ratio_due ? core::format_fixed(*spec.ratio_due, 2)
+                                      : "-"});
+    }
+    return print_table(table, false);
+}
+
+std::string render_fit(const FitParams& params) {
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name(params.device));
+    const auto site = site_by_name(params.site, params.rainy);
+
+    core::TablePrinter table({"device", "site", "type", "FIT HE",
+                              "FIT thermal", "total", "thermal share"});
+    for (const auto type :
+         {devices::ErrorType::kSdc, devices::ErrorType::kDue}) {
+        const auto fit = core::device_fit(device, type, site);
+        table.add_row({device.name(), site.system_name,
+                       devices::to_string(type),
+                       core::format_fixed(fit.high_energy, 2),
+                       core::format_fixed(fit.thermal, 2),
+                       core::format_fixed(fit.total(), 2),
+                       core::format_percent(fit.thermal_share())});
+    }
+    return print_table(table, params.csv);
+}
+
+std::string render_detector(const DetectorParams& params) {
+    const detector::Tin2Detector tin2;
+    stats::Rng rng(params.seed);
+    const auto rec = tin2.record(
+        detector::fig6_schedule(params.days, params.water_days), rng);
+    const auto analysis = detector::analyze_step(rec);
+
+    core::TablePrinter table({"quantity", "value"});
+    table.add_row({"bins", std::to_string(rec.bare.size())});
+    if (analysis) {
+        table.add_row({"change bin", std::to_string(analysis->change_bin)});
+        table.add_row({"relative step",
+                       core::format_percent(analysis->relative_step)});
+        table.add_row(
+            {"step 95% CI",
+             "[" + core::format_percent(analysis->step_ci.lower) + ", " +
+                 core::format_percent(analysis->step_ci.upper) + "]"});
+    } else {
+        table.add_row({"step", "none detected"});
+    }
+    return print_table(table, params.csv);
+}
+
+beam::CampaignConfig make_campaign_config(const CampaignParams& params) {
+    beam::CampaignConfig cfg;
+    cfg.beam_time_per_run_s = params.hours * 3600.0;
+    cfg.seed = params.seed;
+    cfg.threads = params.threads;
+    cfg.avf_trials = params.avf_trials;
+    cfg.max_attempts = std::max(1u, params.max_attempts);
+    return cfg;
+}
+
+std::string render_ratio_table(const beam::CampaignResult& result, bool csv) {
+    core::TablePrinter table({"device", "type", "sigma_HE", "sigma_thermal",
+                              "ratio"});
+    for (const auto& row : result.ratio_rows) {
+        const auto ratio = row.ratio();
+        table.add_row({row.device, devices::to_string(row.type),
+                       core::format_scientific(row.sigma_he()),
+                       core::format_scientific(row.sigma_th()),
+                       ratio ? core::format_fixed(ratio->ratio, 2)
+                             : "no thermal errors"});
+    }
+    return print_table(table, csv);
+}
+
+std::string render_sigma_ratio(const CampaignParams& params,
+                               const core::parallel::CancelToken* cancel) {
+    beam::CampaignConfig cfg = make_campaign_config(params);
+    cfg.cancel = cancel;
+    const auto result = beam::Campaign(cfg).run();
+    return render_ratio_table(result, params.csv);
+}
+
+std::string render_campaign_slice(const SliceParams& params,
+                                  const core::parallel::CancelToken* cancel) {
+    if (params.device.empty()) {
+        throw core::RunError::config("campaign-slice: device is required");
+    }
+    beam::CampaignConfig cfg = make_campaign_config(params.campaign);
+    cfg.cancel = cancel;
+    const auto device =
+        devices::build_calibrated(devices::spec_by_name(params.device));
+    const auto result = beam::Campaign(cfg).run({device});
+    return render_ratio_table(result, params.campaign.csv);
+}
+
+}  // namespace tnr::serve

@@ -1,0 +1,75 @@
+#pragma once
+// The query handlers behind `tnr serve` — and the single source of truth
+// for what the equivalent one-shot CLI commands print. Each render_*
+// function returns exactly the bytes `tnr <command>` writes to stdout for
+// the same parameters; the CLI commands call the same functions, so a
+// served response is byte-identical to the one-shot output by construction
+// (tests/test_serve.cpp pins this down).
+
+#include <cstdint>
+#include <string>
+
+#include "beam/campaign.hpp"
+#include "core/parallel/cancel.hpp"
+#include "environment/site.hpp"
+
+namespace tnr::serve {
+
+/// Site lookup shared by the fit/checkpoint commands and the fit handler;
+/// throws RunError(kConfig) for an unknown name.
+environment::Site site_by_name(const std::string& name, bool rainy);
+
+/// `tnr list-devices`: the calibrated roster table.
+std::string render_list_devices();
+
+/// `tnr fit`: FIT decomposition of one device at one site.
+struct FitParams {
+    std::string device = "NVIDIA K20";
+    std::string site = "nyc";
+    bool rainy = false;
+    bool csv = false;
+};
+std::string render_fit(const FitParams& params);
+
+/// `tnr detector`: the Tin-II deployment + step analysis.
+struct DetectorParams {
+    double days = 4.0;
+    double water_days = 3.0;
+    std::uint64_t seed = 420;
+    bool csv = false;
+};
+std::string render_detector(const DetectorParams& params);
+
+/// Campaign parameters shared by `tnr campaign` and the sigma-ratio /
+/// campaign-slice handlers (defaults match the CLI flags).
+struct CampaignParams {
+    double hours = 24.0;
+    std::uint64_t seed = 2020;
+    unsigned threads = 1;
+    std::size_t avf_trials = 0;
+    unsigned max_attempts = 1;
+    bool csv = false;
+};
+
+/// The CampaignConfig both layers build from the same parameters (the
+/// caller wires its own cancel token and journal/progress callbacks).
+beam::CampaignConfig make_campaign_config(const CampaignParams& params);
+
+/// The Fig.-5 ratio table `tnr campaign` prints for a finished campaign.
+std::string render_ratio_table(const beam::CampaignResult& result, bool csv);
+
+/// `sigma-ratio`: a full two-facility campaign, rendered like
+/// `tnr campaign` (stdout only — failures/progress are diagnostics).
+std::string render_sigma_ratio(const CampaignParams& params,
+                               const core::parallel::CancelToken* cancel);
+
+/// `campaign-slice`: one device's slice of the campaign (its whole workload
+/// suite at both facilities), rendered as its two ratio rows.
+struct SliceParams {
+    std::string device;  ///< required.
+    CampaignParams campaign;
+};
+std::string render_campaign_slice(const SliceParams& params,
+                                  const core::parallel::CancelToken* cancel);
+
+}  // namespace tnr::serve

@@ -1,0 +1,126 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+namespace tnr::serve {
+
+namespace json = core::obs::json;
+
+std::string ParamValue::canonical() const {
+    switch (kind) {
+        case Kind::kString: return "s:" + str;
+        case Kind::kNumber: return "n:" + json::number(num);
+        case Kind::kBool: return flag ? "b:true" : "b:false";
+    }
+    return "";
+}
+
+std::string extract_id(const json::Value& doc) {
+    const json::Value* id = doc.find("id");
+    return id != nullptr && id->is_string() ? id->str : "";
+}
+
+Request parse_request(const json::Value& doc) {
+    if (!doc.is_object()) {
+        throw core::RunError::config("request must be a JSON object");
+    }
+    Request req;
+    req.id = extract_id(doc);
+    for (const auto& [key, value] : doc.object) {
+        if (key == "id") {
+            if (!value.is_string()) {
+                throw core::RunError::config("request id must be a string");
+            }
+        } else if (key == "method") {
+            if (!value.is_string()) {
+                throw core::RunError::config("request method must be a string");
+            }
+            req.method = value.str;
+        } else if (key == "params") {
+            if (!value.is_object()) {
+                throw core::RunError::config("request params must be an object");
+            }
+            for (const auto& [pkey, pvalue] : value.object) {
+                ParamValue param;
+                switch (pvalue.kind) {
+                    case json::Value::Kind::kString:
+                        param.kind = ParamValue::Kind::kString;
+                        param.str = pvalue.str;
+                        break;
+                    case json::Value::Kind::kNumber:
+                        param.kind = ParamValue::Kind::kNumber;
+                        param.num = pvalue.num;
+                        break;
+                    case json::Value::Kind::kBool:
+                        param.kind = ParamValue::Kind::kBool;
+                        param.flag = pvalue.boolean;
+                        break;
+                    default:
+                        throw core::RunError::config(
+                            "parameter " + pkey +
+                            ": must be a string, number, or boolean");
+                }
+                req.params[pkey] = std::move(param);
+            }
+        } else if (key == "deadline_ms") {
+            if (!value.is_number() || !std::isfinite(value.num) ||
+                value.num < 0.0) {
+                throw core::RunError::config(
+                    "deadline_ms must be a non-negative number");
+            }
+            req.deadline_ms = value.num;
+            req.has_deadline = true;
+        } else {
+            throw core::RunError::config("unknown request field: " + key);
+        }
+    }
+    if (req.method.empty()) {
+        throw core::RunError::config("request is missing a method");
+    }
+    return req;
+}
+
+std::string canonical_request(const Request& req) {
+    std::string out = req.method;
+    for (const auto& [key, value] : req.params) {
+        out += '\n';
+        out += key;
+        out += '=';
+        out += value.canonical();
+    }
+    return out;
+}
+
+std::string ok_body(std::string_view output) {
+    std::string body = "\"status\":\"ok\",\"output\":\"";
+    body += json::escape(output);
+    body += '"';
+    return body;
+}
+
+std::string error_body(core::ErrorCategory category, std::string_view message) {
+    const bool cancelled = category == core::ErrorCategory::kCancelled;
+    std::string body = "\"status\":\"";
+    body += cancelled ? "cancelled" : "error";
+    body += "\",\"error\":{\"category\":\"";
+    body += core::to_string(category);
+    body += "\",\"message\":\"";
+    body += json::escape(message);
+    body += "\"}";
+    return body;
+}
+
+bool body_is_ok(std::string_view body) {
+    return body.rfind("\"status\":\"ok\"", 0) == 0;
+}
+
+std::string assemble_response(std::string_view id, std::string_view body) {
+    std::string line = "{\"id\":\"";
+    line += json::escape(id);
+    line += "\",";
+    line += body;
+    line += '}';
+    return line;
+}
+
+}  // namespace tnr::serve

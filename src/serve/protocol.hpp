@@ -1,0 +1,74 @@
+#pragma once
+// Wire protocol of `tnr serve` (docs/serving.md): newline-delimited JSON.
+//
+// Request line:
+//   {"id":"r1","method":"fit","params":{"site":"nyc"},"deadline_ms":5000}
+// Response line:
+//   {"id":"r1","status":"ok","output":"<the one-shot CLI stdout bytes>"}
+//   {"id":"r1","status":"error","error":{"category":"config","message":..}}
+//   {"id":"r1","status":"cancelled","error":{...,"category":"cancelled"}}
+//
+// Responses are split into an *id* and a *body* (everything after the id):
+// the body is what gets cached and must be byte-identical whether it was
+// computed or served from the cache, while the id is echoed per request, so
+// two clients asking the same question share one cache entry. Timing and
+// cache-hit information deliberately live on the diagnostics channel and in
+// the metrics registry, never in the response body — a timed payload could
+// not be byte-stable.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/error.hpp"
+#include "core/obs/json.hpp"
+
+namespace tnr::serve {
+
+/// One typed request parameter, canonicalized at parse time.
+struct ParamValue {
+    enum class Kind { kString, kNumber, kBool };
+    Kind kind = Kind::kString;
+    std::string str;   ///< kString payload.
+    double num = 0.0;  ///< kNumber payload.
+    bool flag = false; ///< kBool payload.
+
+    /// Kind-tagged canonical text ("s:nyc", "n:0.2", "b:true") — the unit
+    /// of the cache key, so "0.20" and "0.2" hash identically.
+    [[nodiscard]] std::string canonical() const;
+};
+
+/// A parsed request. `params` is sorted by key (std::map), which makes the
+/// canonical form deterministic regardless of client key order.
+struct Request {
+    std::string id;  ///< echoed verbatim in the response ("" if absent).
+    std::string method;
+    std::map<std::string, ParamValue> params;
+    double deadline_ms = 0.0;
+    bool has_deadline = false;
+};
+
+/// Best-effort id extraction from a parsed request document, so even a
+/// request that fails validation gets its error response addressed.
+std::string extract_id(const core::obs::json::Value& doc);
+
+/// Validates and converts a parsed JSON document into a Request. Unknown
+/// top-level keys, a missing/non-string method, a non-object params, or a
+/// negative/non-number deadline_ms throw RunError(kConfig).
+Request parse_request(const core::obs::json::Value& doc);
+
+/// The cache identity of a request: method + sorted canonical params.
+/// Excludes the id and the deadline — neither changes the answer.
+std::string canonical_request(const Request& req);
+
+/// Response bodies (the part after `"id":…,`).
+std::string ok_body(std::string_view output);
+std::string error_body(core::ErrorCategory category, std::string_view message);
+/// True for bodies built by ok_body (the only ones the cache stores).
+bool body_is_ok(std::string_view body);
+
+/// The full response line (no trailing newline): `{"id":"...",<body>}`.
+std::string assemble_response(std::string_view id, std::string_view body);
+
+}  // namespace tnr::serve

@@ -1,0 +1,149 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <initializer_list>
+
+#include "serve/handlers.hpp"
+
+namespace tnr::serve {
+
+namespace {
+
+/// Validated, typed access to a request's params against the allow-list of
+/// one method.
+class Params {
+public:
+    Params(const Request& req, std::initializer_list<const char*> allowed)
+        : req_(req) {
+        for (const auto& [key, value] : req.params) {
+            (void)value;
+            const bool known =
+                std::any_of(allowed.begin(), allowed.end(),
+                            [&key](const char* name) { return key == name; });
+            if (!known) {
+                throw core::RunError::config(req.method +
+                                             ": unknown parameter: " + key);
+            }
+        }
+    }
+
+    [[nodiscard]] std::string get_string(const char* key,
+                                         const std::string& fallback) const {
+        const auto* p = find(key);
+        if (p == nullptr) return fallback;
+        if (p->kind != ParamValue::Kind::kString) {
+            throw bad_kind(key, "a string");
+        }
+        return p->str;
+    }
+
+    [[nodiscard]] double get_number(const char* key, double fallback) const {
+        const auto* p = find(key);
+        if (p == nullptr) return fallback;
+        if (p->kind != ParamValue::Kind::kNumber || !std::isfinite(p->num)) {
+            throw bad_kind(key, "a finite number");
+        }
+        return p->num;
+    }
+
+    [[nodiscard]] bool get_bool(const char* key, bool fallback) const {
+        const auto* p = find(key);
+        if (p == nullptr) return fallback;
+        if (p->kind != ParamValue::Kind::kBool) {
+            throw bad_kind(key, "a boolean");
+        }
+        return p->flag;
+    }
+
+    [[nodiscard]] std::uint64_t get_seed(const char* key,
+                                         std::uint64_t fallback) const {
+        const double v = get_number(key, static_cast<double>(fallback));
+        if (v < 0.0) throw bad_kind(key, "a non-negative number");
+        return static_cast<std::uint64_t>(v);
+    }
+
+private:
+    [[nodiscard]] const ParamValue* find(const char* key) const {
+        const auto it = req_.params.find(key);
+        return it != req_.params.end() ? &it->second : nullptr;
+    }
+
+    [[nodiscard]] core::RunError bad_kind(const char* key,
+                                          const char* expected) const {
+        return core::RunError::config(req_.method + ": parameter " + key +
+                                      " must be " + expected);
+    }
+
+    const Request& req_;
+};
+
+CampaignParams campaign_params(const Params& params) {
+    CampaignParams cfg;
+    cfg.hours = params.get_number("hours", cfg.hours);
+    cfg.seed = params.get_seed("seed", cfg.seed);
+    cfg.threads = static_cast<unsigned>(
+        std::max(0.0, params.get_number("threads", cfg.threads)));
+    cfg.avf_trials = static_cast<std::size_t>(std::max(
+        0.0, params.get_number("avf-trials",
+                               static_cast<double>(cfg.avf_trials))));
+    cfg.csv = params.get_bool("csv", cfg.csv);
+    return cfg;
+}
+
+}  // namespace
+
+const std::vector<std::string>& method_names() {
+    static const std::vector<std::string> names = {
+        "fit", "sigma-ratio", "campaign-slice", "detector", "list-devices"};
+    return names;
+}
+
+bool known_method(const std::string& method) {
+    const auto& names = method_names();
+    return std::find(names.begin(), names.end(), method) != names.end();
+}
+
+std::string dispatch(const Request& req,
+                     const core::parallel::CancelToken* cancel) {
+    if (req.method == "list-devices") {
+        const Params params(req, {});
+        return render_list_devices();
+    }
+    if (req.method == "fit") {
+        const Params params(req, {"device", "site", "rainy", "csv"});
+        FitParams fit;
+        fit.device = params.get_string("device", fit.device);
+        fit.site = params.get_string("site", fit.site);
+        fit.rainy = params.get_bool("rainy", fit.rainy);
+        fit.csv = params.get_bool("csv", fit.csv);
+        return render_fit(fit);
+    }
+    if (req.method == "detector") {
+        const Params params(req, {"days", "water-days", "seed", "csv"});
+        DetectorParams det;
+        det.days = params.get_number("days", det.days);
+        det.water_days = params.get_number("water-days", det.water_days);
+        det.seed = params.get_seed("seed", det.seed);
+        det.csv = params.get_bool("csv", det.csv);
+        return render_detector(det);
+    }
+    if (req.method == "sigma-ratio") {
+        const Params params(req,
+                            {"hours", "seed", "threads", "avf-trials", "csv"});
+        return render_sigma_ratio(campaign_params(params), cancel);
+    }
+    if (req.method == "campaign-slice") {
+        const Params params(
+            req, {"device", "hours", "seed", "threads", "avf-trials", "csv"});
+        SliceParams slice;
+        slice.device = params.get_string("device", "");
+        slice.campaign = campaign_params(params);
+        return render_campaign_slice(slice, cancel);
+    }
+    throw core::RunError::config("unknown method: " + req.method +
+                                 " (use fit|sigma-ratio|campaign-slice|"
+                                 "detector|list-devices)");
+}
+
+}  // namespace tnr::serve

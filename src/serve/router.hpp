@@ -1,0 +1,28 @@
+#pragma once
+// Routes a parsed request to its handler. Owns parameter validation: every
+// method declares the parameter names it accepts, an unknown name or a
+// wrong-kind value throws RunError(kConfig), and the server turns that into
+// an error *response* — a bad request must never take the process down.
+
+#include <string>
+#include <vector>
+
+#include "core/parallel/cancel.hpp"
+#include "serve/protocol.hpp"
+
+namespace tnr::serve {
+
+/// The methods the engine serves, in display order (usage/docs).
+const std::vector<std::string>& method_names();
+
+/// True when `method` names a handler.
+bool known_method(const std::string& method);
+
+/// Runs the request's handler and returns its rendered output (the bytes
+/// the equivalent one-shot CLI command writes to stdout). Throws RunError
+/// for validation failures and cancellation; other exceptions propagate for
+/// the server to map onto error categories.
+std::string dispatch(const Request& req,
+                     const core::parallel::CancelToken* cancel);
+
+}  // namespace tnr::serve

@@ -1,0 +1,395 @@
+#include "serve/server.hpp"
+
+#include <array>
+#include <cctype>
+#include <chrono>
+#include <cstring>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <streambuf>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/parallel/thread_pool.hpp"
+#include "serve/router.hpp"
+
+namespace tnr::serve {
+
+namespace {
+
+namespace obs = core::obs;
+namespace parallel = core::parallel;
+
+bool is_blank(const std::string& line) {
+    for (const char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c)) == 0) return false;
+    }
+    return true;
+}
+
+const char* body_status(std::string_view body) {
+    if (body_is_ok(body)) return "ok";
+    if (body.rfind("\"status\":\"cancelled\"", 0) == 0) return "cancelled";
+    return "error";
+}
+
+}  // namespace
+
+/// A duplicate request waits here until its leader finishes (success or
+/// failure), then re-consults the cache.
+struct Server::Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+};
+
+/// Reorder buffer: responses are pushed in completion order but emitted in
+/// admission (sequence) order, so a transcript is deterministic no matter
+/// how the pool schedules the work. Also the single place response statuses
+/// are tallied.
+class Server::OrderedWriter {
+public:
+    OrderedWriter(std::ostream& out, std::ostream& diag, bool verbose,
+                  ServeStats& stats)
+        : out_(out),
+          diag_(diag),
+          verbose_(verbose),
+          stats_(stats),
+          ok_(obs::Registry::global().counter("serve.responses.ok")),
+          errors_(obs::Registry::global().counter("serve.responses.error")),
+          cancelled_(
+              obs::Registry::global().counter("serve.responses.cancelled")) {}
+
+    void push(std::uint64_t seq, std::string_view id, std::string body) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_.emplace(seq, assemble_response(id, body));
+        tally(body);
+        while (true) {
+            const auto it = pending_.find(next_);
+            if (it == pending_.end()) break;
+            out_ << it->second << '\n';
+            out_.flush();
+            pending_.erase(it);
+            ++next_;
+        }
+    }
+
+private:
+    void tally(std::string_view body) {
+        const std::string_view status = body_status(body);
+        if (status == "ok") {
+            ++stats_.ok;
+            ok_.add(1);
+        } else if (status == "cancelled") {
+            ++stats_.cancelled;
+            cancelled_.add(1);
+        } else {
+            ++stats_.errors;
+            errors_.add(1);
+        }
+        if (verbose_) {
+            diag_ << "# response status=" << status << '\n';
+            diag_.flush();
+        }
+    }
+
+    std::ostream& out_;
+    std::ostream& diag_;
+    bool verbose_;
+    ServeStats& stats_;
+    obs::Counter& ok_;
+    obs::Counter& errors_;
+    obs::Counter& cancelled_;
+    std::mutex mutex_;
+    std::uint64_t next_ = 0;
+    std::map<std::uint64_t, std::string> pending_;
+};
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      requests_(obs::Registry::global().counter("serve.requests")),
+      coalesced_(obs::Registry::global().counter("serve.coalesced")),
+      latency_(obs::Registry::global().latency("serve.request")) {
+    if (options_.max_inflight == 0) options_.max_inflight = 1;
+}
+
+std::string Server::compute(const Request& req) {
+    // Per-request token: observes the server-wide stop token through the
+    // parent link and, when the client set deadline_ms, trips on its own
+    // once the budget elapses — at which point the Monte Carlo checkpoints
+    // bail with RunError(kCancelled) and the request becomes a "cancelled"
+    // response instead of taking the server down.
+    parallel::CancelToken token;
+    token.link_parent(options_.stop);
+    if (req.has_deadline) {
+        token.arm_deadline(std::chrono::nanoseconds(
+            static_cast<std::int64_t>(req.deadline_ms * 1e6)));
+    }
+    obs::ScopedTimer timer(latency_);
+    try {
+        token.throw_if_cancelled();
+        return ok_body(dispatch(req, &token));
+    } catch (const core::RunError& e) {
+        return error_body(e.category(), e.what());
+    } catch (const std::invalid_argument& e) {
+        return error_body(core::ErrorCategory::kConfig, e.what());
+    } catch (const std::exception& e) {
+        return error_body(core::ErrorCategory::kNumeric, e.what());
+    }
+}
+
+void Server::acquire_slot() {
+    std::unique_lock<std::mutex> lock(slots_mutex_);
+    slots_cv_.wait(lock, [this] { return inflight_ < options_.max_inflight; });
+    ++inflight_;
+}
+
+void Server::release_slot() {
+    {
+        std::lock_guard<std::mutex> lock(slots_mutex_);
+        --inflight_;
+    }
+    slots_cv_.notify_one();
+}
+
+void Server::finish_flight(const std::string& canonical) {
+    std::shared_ptr<Flight> flight;
+    {
+        std::lock_guard<std::mutex> lock(flights_mutex_);
+        const auto it = flights_.find(canonical);
+        if (it == flights_.end()) return;
+        flight = it->second;
+        flights_.erase(it);
+    }
+    {
+        std::lock_guard<std::mutex> lock(flight->mutex);
+        flight->done = true;
+    }
+    flight->cv.notify_all();
+}
+
+ServeStats Server::serve(std::istream& in, std::ostream& out,
+                         std::ostream& diag) {
+    ServeStats stats;
+    OrderedWriter writer(out, diag, options_.verbose, stats);
+    parallel::TaskGroup group(parallel::ThreadPool::shared());
+    const parallel::CancelToken* stop = options_.stop;
+
+    std::uint64_t seq = 0;
+    std::string line;
+    while (true) {
+        if (stop != nullptr && stop->cancelled()) {
+            stats.stopped = true;
+            break;
+        }
+        if (!std::getline(in, line)) {
+            // A stop that landed while we were blocked in getline (the
+            // SIGINT test drives this through a streambuf that trips the
+            // token at EOF) still counts as a stop, not a clean EOF.
+            if (stop != nullptr && stop->cancelled()) stats.stopped = true;
+            break;
+        }
+        if (is_blank(line)) continue;
+        ++stats.requests;
+        requests_.add(1);
+
+        const auto doc = core::obs::json::parse(line);
+        if (!doc) {
+            writer.push(seq++, "",
+                        error_body(core::ErrorCategory::kConfig,
+                                   "invalid JSON request line"));
+            continue;
+        }
+        Request req;
+        try {
+            req = parse_request(*doc);
+            if (!known_method(req.method)) {
+                throw core::RunError::config(
+                    "unknown method: " + req.method +
+                    " (use fit|sigma-ratio|campaign-slice|detector|"
+                    "list-devices)");
+            }
+        } catch (const core::RunError& e) {
+            writer.push(seq++, extract_id(*doc),
+                        error_body(e.category(), e.what()));
+            continue;
+        }
+
+        const std::string canonical = canonical_request(req);
+        const std::uint64_t key = canonical_hash(canonical);
+
+        // Cache, then single-flight: a duplicate of an in-flight request
+        // waits for the leader on the admission thread (no slot held), then
+        // re-consults the cache. If the leader failed (errors are never
+        // cached), the loop promotes the duplicate to leader.
+        std::optional<std::string> ready;
+        bool leader = false;
+        while (true) {
+            if (auto hit = cache_.get(key, canonical)) {
+                ready = std::move(*hit);
+                ++stats.cache_hits;
+                break;
+            }
+            std::shared_ptr<Flight> flight;
+            {
+                std::lock_guard<std::mutex> lock(flights_mutex_);
+                const auto it = flights_.find(canonical);
+                if (it == flights_.end()) {
+                    flight = std::make_shared<Flight>();
+                    flights_.emplace(canonical, flight);
+                    leader = true;
+                } else {
+                    flight = it->second;
+                }
+            }
+            if (leader) break;
+            ++stats.coalesced;
+            coalesced_.add(1);
+            std::unique_lock<std::mutex> lock(flight->mutex);
+            flight->cv.wait(lock, [&flight] { return flight->done; });
+        }
+        if (ready) {
+            writer.push(seq++, req.id, std::move(*ready));
+            continue;
+        }
+
+        acquire_slot();
+        const std::uint64_t s = seq++;
+        group.run([this, s, req = std::move(req), canonical, key, &writer] {
+            std::string body = compute(req);
+            if (body_is_ok(body)) cache_.put(key, canonical, body);
+            writer.push(s, req.id, std::move(body));
+            finish_flight(canonical);
+            release_slot();
+        });
+    }
+
+    group.wait();
+    out.flush();
+    return stats;
+}
+
+namespace {
+
+/// Bidirectional streambuf over a connected socket fd (blocking I/O).
+class FdStreamBuf : public std::streambuf {
+public:
+    explicit FdStreamBuf(int fd) : fd_(fd) {
+        setg(in_.data(), in_.data(), in_.data());
+        setp(out_.data(), out_.data() + out_.size());
+    }
+    ~FdStreamBuf() override { sync(); }
+
+protected:
+    int_type underflow() override {
+        if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+        const ssize_t n = ::read(fd_, in_.data(), in_.size());
+        if (n <= 0) return traits_type::eof();
+        setg(in_.data(), in_.data(), in_.data() + n);
+        return traits_type::to_int_type(*gptr());
+    }
+
+    int_type overflow(int_type ch) override {
+        if (sync() != 0) return traits_type::eof();
+        if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+            *pptr() = traits_type::to_char_type(ch);
+            pbump(1);
+        }
+        return traits_type::not_eof(ch);
+    }
+
+    int sync() override {
+        const char* p = pbase();
+        while (p < pptr()) {
+            const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+            if (n <= 0) return -1;
+            p += n;
+        }
+        setp(out_.data(), out_.data() + out_.size());
+        return 0;
+    }
+
+private:
+    int fd_;
+    std::array<char, 4096> in_{};
+    std::array<char, 4096> out_{};
+};
+
+/// Owns the listening socket and its filesystem name.
+struct ListenGuard {
+    int fd = -1;
+    std::string path;
+    ~ListenGuard() {
+        if (fd >= 0) ::close(fd);
+        if (!path.empty()) ::unlink(path.c_str());
+    }
+};
+
+}  // namespace
+
+ServeStats Server::serve_unix_socket(const std::string& path,
+                                     std::ostream& diag) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw core::RunError::config("socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    ListenGuard guard;
+    guard.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (guard.fd < 0) {
+        throw core::RunError::io("socket() failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    ::unlink(path.c_str());  // stale socket from a previous run.
+    if (::bind(guard.fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        throw core::RunError::io("bind(" + path +
+                                 ") failed: " + std::strerror(errno));
+    }
+    guard.path = path;
+    if (::listen(guard.fd, 4) != 0) {
+        throw core::RunError::io("listen(" + path +
+                                 ") failed: " + std::strerror(errno));
+    }
+    diag << "# serving on unix socket " << path << '\n';
+    diag.flush();
+
+    ServeStats total;
+    const parallel::CancelToken* stop = options_.stop;
+    while (stop == nullptr || !stop->cancelled()) {
+        pollfd pfd{guard.fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 200);  // wake to re-check stop.
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            throw core::RunError::io("poll() failed: " +
+                                     std::string(std::strerror(errno)));
+        }
+        if (rc == 0) continue;
+        const int client = ::accept(guard.fd, nullptr, nullptr);
+        if (client < 0) continue;
+        FdStreamBuf buf(client);
+        std::istream in(&buf);
+        std::ostream out(&buf);
+        const ServeStats s = serve(in, out, diag);
+        ::close(client);
+        total.requests += s.requests;
+        total.ok += s.ok;
+        total.errors += s.errors;
+        total.cancelled += s.cancelled;
+        total.cache_hits += s.cache_hits;
+        total.coalesced += s.coalesced;
+        if (s.stopped) break;
+    }
+    if (stop != nullptr && stop->cancelled()) total.stopped = true;
+    return total;
+}
+
+}  // namespace tnr::serve

@@ -1,0 +1,100 @@
+#pragma once
+// The `tnr serve` engine: a long-running request/response loop that reads
+// newline-delimited JSON requests, routes them to handlers, and writes one
+// JSON response line per request — in admission order, whatever order the
+// computations finish in.
+//
+// Scheduling model (one admission thread + the shared ThreadPool):
+//   * the admission thread reads lines, parses, consults the response
+//     cache, and submits cache misses to the pool — at most `max_inflight`
+//     computations run concurrently, the admission thread blocks on a free
+//     slot beyond that;
+//   * identical concurrent requests are single-flighted: a duplicate of an
+//     in-flight request waits for the leader, then takes the answer from
+//     the cache instead of recomputing;
+//   * each computation gets its own CancelToken, linked to the server-wide
+//     stop token and deadline-armed from the request's deadline_ms, so a
+//     late request turns into a "cancelled" response while the server keeps
+//     serving;
+//   * on stop (SIGINT), admission ends, in-flight work drains (observing
+//     the stop token through the parent link), buffered responses flush,
+//     and serve() returns with stopped=true for the CLI's exit-130 path.
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/obs/metrics.hpp"
+#include "core/parallel/cancel.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace tnr::serve {
+
+struct ServeOptions {
+    std::size_t max_inflight = 4;    ///< concurrent computations (>= 1).
+    std::size_t cache_capacity = 128;  ///< LRU entries; 0 disables caching.
+    bool verbose = false;            ///< per-response diagnostics lines.
+    /// Server-wide stop token (the CLI passes the SIGINT token); optional.
+    const core::parallel::CancelToken* stop = nullptr;
+};
+
+/// What one serve session did (also mirrored into the obs Registry under
+/// serve.* for --metrics-out and the run manifest).
+struct ServeStats {
+    std::uint64_t requests = 0;    ///< non-blank lines read.
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t cache_hits = 0;  ///< responses served without computing.
+    std::uint64_t coalesced = 0;   ///< duplicates that waited on a leader.
+    bool stopped = false;          ///< ended by the stop token, not EOF.
+};
+
+class Server {
+public:
+    explicit Server(ServeOptions options);
+
+    /// Serves requests from `in` until EOF or stop. Responses go to `out`
+    /// (one line each, flushed); human diagnostics go to `diag`.
+    ServeStats serve(std::istream& in, std::ostream& out, std::ostream& diag);
+
+    /// Unix-socket front-end: binds `path`, accepts one client at a time,
+    /// and runs serve() over each connection until the stop token fires.
+    /// The response cache persists across connections.
+    ServeStats serve_unix_socket(const std::string& path, std::ostream& diag);
+
+    [[nodiscard]] ResponseCache& cache() noexcept { return cache_; }
+
+private:
+    class OrderedWriter;
+    struct Flight;
+
+    /// Runs one request to a response body on the calling (pool) thread.
+    std::string compute(const Request& req);
+
+    void acquire_slot();
+    void release_slot();
+    void finish_flight(const std::string& canonical);
+
+    ServeOptions options_;
+    ResponseCache cache_;
+
+    std::mutex slots_mutex_;
+    std::condition_variable slots_cv_;
+    std::size_t inflight_ = 0;
+
+    std::mutex flights_mutex_;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+
+    core::obs::Counter& requests_;
+    core::obs::Counter& coalesced_;
+    core::obs::LatencyHistogram& latency_;
+};
+
+}  // namespace tnr::serve

@@ -44,6 +44,38 @@ TEST(Cli, UnknownCommandFails) {
     EXPECT_NE(r.err.find("unknown command"), std::string::npos);
 }
 
+TEST(Cli, VersionPrintsBuildId) {
+    const auto r = run_cli({"--version"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_EQ(r.out.rfind("tnr ", 0), 0u) << r.out;
+    // Something follows the tool name (a git describe or the fallback).
+    EXPECT_GT(r.out.size(), std::string("tnr \n").size());
+    EXPECT_TRUE(r.err.empty());
+    // The word form is an alias.
+    EXPECT_EQ(run_cli({"version"}).out, r.out);
+}
+
+TEST(Cli, UsageListsServeCommand) {
+    const auto r = run_cli({"--help"});
+    EXPECT_NE(r.out.find("serve [--max-inflight N] [--cache-capacity N] "
+                         "[--socket PATH]"),
+              std::string::npos);
+    EXPECT_NE(r.out.find("--version"), std::string::npos);
+}
+
+TEST(Cli, ServeRejectsUnknownFlag) {
+    const auto r = run_cli({"serve", "--frobnicate"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("unknown flag: --frobnicate"), std::string::npos);
+}
+
+TEST(Cli, ServeRejectsFlagFromAnotherCommand) {
+    // --hours belongs to campaign; serve takes its parameters per request.
+    const auto r = run_cli({"serve", "--hours", "4"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("unknown flag: --hours"), std::string::npos);
+}
+
 TEST(Cli, ListDevices) {
     const auto r = run_cli({"list-devices"});
     EXPECT_EQ(r.code, 0);

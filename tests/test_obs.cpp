@@ -103,6 +103,27 @@ TEST(ObsJson, EscapeProducesParseableStrings) {
     EXPECT_EQ(k->str, nasty);
 }
 
+TEST(ObsJson, EscapeUsesNamedEscapesForBackspaceAndFormFeed) {
+    EXPECT_EQ(obs::json::escape("\b\f"), "\\b\\f");
+    EXPECT_EQ(obs::json::escape("\n\r\t"), "\\n\\r\\t");
+}
+
+TEST(ObsJson, EveryControlCharacterRoundTrips) {
+    // The serve layer echoes client-supplied request ids through
+    // escape(), so all of U+0000..U+001F (NUL included) must survive the
+    // writer -> parser round trip embedded in a larger string.
+    for (int c = 0; c < 0x20; ++c) {
+        std::string nasty = "pre";
+        nasty.push_back(static_cast<char>(c));
+        nasty += "post";
+        const std::string doc = "[\"" + obs::json::escape(nasty) + "\"]";
+        const auto parsed = obs::json::parse(doc);
+        ASSERT_TRUE(parsed.has_value()) << "control char " << c;
+        ASSERT_EQ(parsed->array.size(), 1u);
+        EXPECT_EQ(parsed->array[0].str, nasty) << "control char " << c;
+    }
+}
+
 TEST(ObsJson, NumbersRoundTrip) {
     for (const double v : {0.0, 1.0, -1.5, 3.141592653589793, 1e-300, 2.5e17}) {
         const auto parsed = obs::json::parse(obs::json::number(v));

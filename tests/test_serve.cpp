@@ -1,0 +1,464 @@
+// Serve engine tests: the NDJSON protocol, the LRU response cache, the
+// byte-identity contract with the one-shot CLI, deadline enforcement, and
+// the SIGINT drain path.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "cli/cli.hpp"
+#include "core/obs/json.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/parallel/cancel.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
+
+namespace tnr::serve {
+namespace {
+
+namespace json = core::obs::json;
+namespace parallel = core::parallel;
+
+/// Runs one serve session over the given request lines.
+struct Session {
+    ServeStats stats;
+    std::vector<std::string> lines;  ///< response lines, in order.
+};
+
+Session run_serve(const std::vector<std::string>& requests,
+                  ServeOptions options = {}) {
+    std::string input;
+    for (const auto& r : requests) input += r + "\n";
+    std::istringstream in(input);
+    std::ostringstream out;
+    std::ostringstream diag;
+    Server server(options);
+    Session session;
+    session.stats = server.serve(in, out, diag);
+    std::istringstream split(out.str());
+    for (std::string line; std::getline(split, line);) {
+        session.lines.push_back(line);
+    }
+    return session;
+}
+
+/// The "output" payload of one ok response line.
+std::string output_of(const std::string& line) {
+    const auto doc = json::parse(line);
+    EXPECT_TRUE(doc.has_value()) << line;
+    if (!doc) return {};
+    EXPECT_EQ(doc->find("status")->str, "ok") << line;
+    const auto* output = doc->find("output");
+    EXPECT_NE(output, nullptr) << line;
+    return output != nullptr ? output->str : std::string();
+}
+
+std::string status_of(const std::string& line) {
+    const auto doc = json::parse(line);
+    EXPECT_TRUE(doc.has_value()) << line;
+    return doc ? doc->find("status")->str : std::string();
+}
+
+std::string cli_stdout(const std::vector<std::string>& args) {
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(cli::run(args, out, err), 0) << err.str();
+    return out.str();
+}
+
+// --- Protocol --------------------------------------------------------------
+
+TEST(ServeProtocol, CanonicalFormIgnoresKeyOrderIdAndDeadline) {
+    const auto a = json::parse(
+        R"({"id":"a","method":"fit","params":{"site":"nyc","rainy":true}})");
+    const auto b = json::parse(
+        R"({"id":"b","deadline_ms":50,"method":"fit",)"
+        R"("params":{"rainy":true,"site":"nyc"}})");
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(canonical_request(parse_request(*a)),
+              canonical_request(parse_request(*b)));
+}
+
+TEST(ServeProtocol, CanonicalFormIsTypeTagged) {
+    const auto str = json::parse(R"({"method":"m","params":{"x":"1"}})");
+    const auto num = json::parse(R"({"method":"m","params":{"x":1}})");
+    ASSERT_TRUE(str && num);
+    EXPECT_NE(canonical_request(parse_request(*str)),
+              canonical_request(parse_request(*num)));
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+    for (const char* doc :
+         {R"(["not an object"])", R"({"params":{}})", R"({"method":5})",
+          R"({"method":"fit","bogus":1})", R"({"method":"fit","id":7})",
+          R"({"method":"fit","deadline_ms":-1})",
+          R"({"method":"fit","params":{"x":[1]}})"}) {
+        const auto parsed = json::parse(doc);
+        ASSERT_TRUE(parsed.has_value()) << doc;
+        EXPECT_THROW(parse_request(*parsed), core::RunError) << doc;
+    }
+}
+
+// --- Cache -----------------------------------------------------------------
+
+TEST(ServeCache, LruEvictsOldestAndCountsIntoRegistry) {
+    auto& reg = core::obs::Registry::global();
+    reg.counter("serve.cache.hits").reset();
+    reg.counter("serve.cache.misses").reset();
+    reg.counter("serve.cache.evictions").reset();
+
+    ResponseCache cache(2);
+    const auto key = [](const char* s) { return canonical_hash(s); };
+    EXPECT_FALSE(cache.get(key("a"), "a").has_value());
+    cache.put(key("a"), "a", "body-a");
+    cache.put(key("b"), "b", "body-b");
+    EXPECT_EQ(cache.get(key("a"), "a").value(), "body-a");  // refreshes a
+    cache.put(key("c"), "c", "body-c");                     // evicts b
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_FALSE(cache.get(key("b"), "b").has_value());
+    EXPECT_EQ(cache.get(key("a"), "a").value(), "body-a");
+    EXPECT_EQ(cache.get(key("c"), "c").value(), "body-c");
+
+    EXPECT_EQ(reg.counter("serve.cache.hits").value(), 3u);
+    EXPECT_EQ(reg.counter("serve.cache.misses").value(), 2u);
+    EXPECT_EQ(reg.counter("serve.cache.evictions").value(), 1u);
+}
+
+TEST(ServeCache, HashCollisionDegradesToMiss) {
+    ResponseCache cache(4);
+    const std::uint64_t key = 42;  // force both entries onto one key.
+    cache.put(key, "first", "body-1");
+    EXPECT_FALSE(cache.get(key, "second").has_value());
+    EXPECT_EQ(cache.get(key, "first").value(), "body-1");
+}
+
+TEST(ServeCache, ZeroCapacityDisablesCaching) {
+    ResponseCache cache(0);
+    cache.put(canonical_hash("a"), "a", "body");
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.get(canonical_hash("a"), "a").has_value());
+}
+
+// --- Acceptance (a): served output == one-shot CLI output ------------------
+
+TEST(Serve, FitMatchesOneShotCliByteForByte) {
+    const auto session = run_serve(
+        {R"({"id":"q","method":"fit",)"
+         R"("params":{"site":"leadville","rainy":true,"device":"NVIDIA K20"}})"});
+    ASSERT_EQ(session.lines.size(), 1u);
+    EXPECT_EQ(output_of(session.lines[0]),
+              cli_stdout({"fit", "--site", "leadville", "--rainy", "--device",
+                          "NVIDIA K20"}));
+}
+
+TEST(Serve, SigmaRatioMatchesOneShotCampaignByteForByte) {
+    const auto session = run_serve(
+        {R"({"id":"q","method":"sigma-ratio",)"
+         R"("params":{"hours":0.2,"seed":7}})"});
+    ASSERT_EQ(session.lines.size(), 1u);
+    EXPECT_EQ(output_of(session.lines[0]),
+              cli_stdout({"campaign", "--hours", "0.2", "--seed", "7"}));
+}
+
+TEST(Serve, CampaignSliceMatchesSingleDeviceRun) {
+    const auto a = run_serve(
+        {R"({"id":"x","method":"campaign-slice",)"
+         R"("params":{"device":"NVIDIA TitanX","hours":0.1,"seed":3}})"});
+    ASSERT_EQ(a.lines.size(), 1u);
+    const std::string output = output_of(a.lines[0]);
+    EXPECT_NE(output.find("NVIDIA TitanX"), std::string::npos);
+    // Only the requested device's rows.
+    EXPECT_EQ(output.find("NVIDIA K20"), std::string::npos);
+}
+
+// --- Acceptance (b): repeat requests hit the cache, byte-identically -------
+
+TEST(Serve, RepeatedRequestServedFromCacheIsByteIdentical) {
+    auto& hits = core::obs::Registry::global().counter("serve.cache.hits");
+    hits.reset();
+    const auto session = run_serve(
+        {R"({"id":"r1","method":"detector","params":{"seed":9}})",
+         R"({"id":"r2","method":"detector","params":{"seed":9}})"});
+    ASSERT_EQ(session.lines.size(), 2u);
+    EXPECT_EQ(session.stats.cache_hits, 1u);
+    EXPECT_GE(hits.value(), 1u);
+    // Different ids, identical cached body: the lines match after the id.
+    const std::string tail0 = session.lines[0].substr(session.lines[0].find(','));
+    const std::string tail1 = session.lines[1].substr(session.lines[1].find(','));
+    EXPECT_EQ(tail0, tail1);
+    EXPECT_NE(session.lines[0], session.lines[1]);  // ids still differ.
+}
+
+TEST(Serve, ErrorResponsesAreNotCached) {
+    const auto session = run_serve(
+        {R"({"id":"e1","method":"fit","params":{"site":"mars"}})",
+         R"({"id":"e2","method":"fit","params":{"site":"mars"}})"});
+    ASSERT_EQ(session.lines.size(), 2u);
+    EXPECT_EQ(status_of(session.lines[0]), "error");
+    EXPECT_EQ(status_of(session.lines[1]), "error");
+    EXPECT_EQ(session.stats.cache_hits, 0u);
+    EXPECT_EQ(session.stats.errors, 2u);
+}
+
+// --- Error handling: bad requests never kill the server --------------------
+
+TEST(Serve, BadRequestsYieldErrorResponsesAndServingContinues) {
+    const auto session = run_serve(
+        {"this is not json",
+         R"({"id":"u","method":"frobnicate"})",
+         R"({"id":"p","method":"fit","params":{"bogus":1}})",
+         R"({"id":"k","method":"detector","params":{"seed":"nine"}})",
+         R"({"id":"ok","method":"list-devices"})"});
+    ASSERT_EQ(session.lines.size(), 5u);
+    EXPECT_EQ(status_of(session.lines[0]), "error");
+    EXPECT_EQ(status_of(session.lines[1]), "error");
+    EXPECT_EQ(status_of(session.lines[2]), "error");
+    EXPECT_EQ(status_of(session.lines[3]), "error");
+    EXPECT_EQ(status_of(session.lines[4]), "ok");
+    EXPECT_EQ(session.stats.errors, 4u);
+    EXPECT_EQ(session.stats.ok, 1u);
+    EXPECT_FALSE(session.stats.stopped);
+
+    // Error categories are the RunError taxonomy.
+    const auto unknown = json::parse(session.lines[1]);
+    ASSERT_TRUE(unknown.has_value());
+    EXPECT_EQ(unknown->find("error")->find("category")->str, "config");
+}
+
+TEST(Serve, ControlCharactersInIdRoundTrip) {
+    const std::string id = "tab\tand\x01ctl";
+    const std::string line = std::string(R"({"id":")") + json::escape(id) +
+                             R"(","method":"list-devices"})";
+    const auto session = run_serve({line});
+    ASSERT_EQ(session.lines.size(), 1u);
+    const auto parsed = json::parse(session.lines[0]);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->find("id")->str, id);
+}
+
+// --- Acceptance (c): deadline_ms -> cancelled response, server lives on ----
+
+TEST(Serve, ElapsedDeadlineYieldsCancelledResponseAndServerKeepsServing) {
+    const auto session = run_serve(
+        {R"({"id":"late","method":"sigma-ratio",)"
+         R"("params":{"hours":0.2,"seed":7},"deadline_ms":0})",
+         R"({"id":"after","method":"list-devices"})"});
+    ASSERT_EQ(session.lines.size(), 2u);
+    EXPECT_EQ(status_of(session.lines[0]), "cancelled");
+    const auto cancelled = json::parse(session.lines[0]);
+    ASSERT_TRUE(cancelled.has_value());
+    EXPECT_EQ(cancelled->find("error")->find("category")->str, "cancelled");
+    EXPECT_NE(cancelled->find("error")->find("message")->str.find("deadline"),
+              std::string::npos);
+    // The server survived the cancellation and answered the next request.
+    EXPECT_EQ(status_of(session.lines[1]), "ok");
+    EXPECT_EQ(session.stats.cancelled, 1u);
+    EXPECT_FALSE(session.stats.stopped);
+}
+
+TEST(Serve, DeadlineCancelsInFlightMonteCarloWork) {
+    // A deadline far shorter than the campaign (the AVF pre-study dominates
+    // its run time): the per-request token trips at a campaign checkpoint
+    // and the request reports cancelled.
+    const auto session = run_serve(
+        {R"({"id":"mc","method":"sigma-ratio",)"
+         R"("params":{"hours":2,"seed":7,"avf-trials":3000},"deadline_ms":200})"});
+    ASSERT_EQ(session.lines.size(), 1u);
+    EXPECT_EQ(status_of(session.lines[0]), "cancelled");
+}
+
+// --- Acceptance (d): SIGINT drain ------------------------------------------
+
+/// A request stream that trips a cancel token when it runs dry — the
+/// in-process equivalent of SIGINT arriving while serve is blocked reading.
+class TripTokenAtEof : public std::stringbuf {
+public:
+    TripTokenAtEof(const std::string& s, parallel::CancelToken& token)
+        : std::stringbuf(s), token_(token) {}
+
+protected:
+    int_type underflow() override {
+        const int_type c = std::stringbuf::underflow();
+        if (traits_type::eq_int_type(c, traits_type::eof())) token_.cancel();
+        return c;
+    }
+
+private:
+    parallel::CancelToken& token_;
+};
+
+TEST(Serve, StopTokenDrainsInFlightWorkAndReportsStopped) {
+    parallel::CancelToken stop;
+    TripTokenAtEof buf(
+        "{\"id\":\"a\",\"method\":\"list-devices\"}\n"
+        "{\"id\":\"b\",\"method\":\"detector\",\"params\":{\"seed\":5}}\n",
+        stop);
+    std::istream in(&buf);
+    std::ostringstream out;
+    std::ostringstream diag;
+    ServeOptions options;
+    options.stop = &stop;
+    Server server(options);
+    const ServeStats stats = server.serve(in, out, diag);
+    EXPECT_TRUE(stats.stopped);
+    // Every admitted request got a response before serve() returned: either
+    // it finished, or the stop token (seen through the per-request token's
+    // parent link) turned it into a cancelled response. Nothing is dropped.
+    EXPECT_EQ(stats.ok + stats.cancelled, 2u);
+    std::vector<std::string> lines;
+    std::istringstream split(out.str());
+    for (std::string line; std::getline(split, line);) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+    for (const auto& line : lines) {
+        const auto doc = json::parse(line);
+        ASSERT_TRUE(doc.has_value()) << line;
+        const std::string status = doc->find("status")->str;
+        EXPECT_TRUE(status == "ok" || status == "cancelled") << line;
+    }
+}
+
+TEST(Serve, CliExitsWith130AndFlushesSinksOnStop) {
+    auto& stop = parallel::global_cancel_token();
+    stop.reset();
+    const auto metrics_path =
+        std::filesystem::temp_directory_path() / "tnr_test_serve_metrics.json";
+    std::filesystem::remove(metrics_path);
+
+    TripTokenAtEof buf("{\"id\":\"a\",\"method\":\"list-devices\"}\n", stop);
+    std::istream in(&buf);
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = cli::run(
+        {"serve", "--metrics-out", metrics_path.string()}, in, out, err);
+    stop.reset();  // do not poison later tests.
+    EXPECT_EQ(code, 130);
+
+    // The admitted request still got a response line (finished or
+    // cancelled by the drain)...
+    const auto response = json::parse(out.str());
+    ASSERT_TRUE(response.has_value()) << out.str();
+    EXPECT_EQ(response->find("id")->str, "a");
+    // ...and the metrics sink was still flushed, recording the session.
+    std::ifstream file(metrics_path);
+    std::ostringstream content;
+    content << file.rdbuf();
+    const auto doc = json::parse(content.str());
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("manifest")->find("status")->str, "cancelled");
+    const auto* stats = doc->find("manifest")->find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_DOUBLE_EQ(stats->find("serve.requests")->num, 1.0);
+    std::filesystem::remove(metrics_path);
+}
+
+// --- Scheduler -------------------------------------------------------------
+
+TEST(Serve, ManyConcurrentRequestsRespectOrderUnderSmallInflightBound) {
+    std::vector<std::string> requests;
+    std::vector<std::string> expected;
+    for (int seed = 0; seed < 6; ++seed) {
+        requests.push_back(R"({"id":"s)" + std::to_string(seed) +
+                           R"(","method":"detector","params":{"seed":)" +
+                           std::to_string(seed) + "}}");
+        expected.push_back("s" + std::to_string(seed));
+    }
+    ServeOptions options;
+    options.max_inflight = 2;
+    const auto session = run_serve(requests, options);
+    ASSERT_EQ(session.lines.size(), requests.size());
+    for (std::size_t i = 0; i < session.lines.size(); ++i) {
+        const auto doc = json::parse(session.lines[i]);
+        ASSERT_TRUE(doc.has_value());
+        EXPECT_EQ(doc->find("id")->str, expected[i]) << "line " << i;
+        EXPECT_EQ(doc->find("status")->str, "ok") << session.lines[i];
+    }
+}
+
+// --- Unix socket front-end -------------------------------------------------
+
+TEST(Serve, UnixSocketRoundTrip) {
+    const std::string path = "/tmp/tnr_test_serve.sock";
+    std::filesystem::remove(path);
+    parallel::CancelToken stop;
+    ServeOptions options;
+    options.stop = &stop;
+    Server server(options);
+    std::ostringstream diag;
+    std::thread server_thread(
+        [&] { server.serve_unix_socket(path, diag); });
+
+    // Wait for the socket to appear, then connect as a client.
+    int fd = -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    for (int attempt = 0; attempt < 200 && fd < 0; ++attempt) {
+        const int candidate = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(candidate, 0);
+        if (::connect(candidate, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+            fd = candidate;
+        } else {
+            ::close(candidate);
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+    }
+    ASSERT_GE(fd, 0) << "could not connect to " << path;
+
+    const std::string request = "{\"id\":\"s\",\"method\":\"list-devices\"}\n";
+    ASSERT_EQ(::write(fd, request.data(), request.size()),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char c = 0;
+    while (::read(fd, &c, 1) == 1 && c != '\n') response.push_back(c);
+    ::close(fd);
+    stop.cancel();
+    server_thread.join();
+    std::filesystem::remove(path);
+
+    const auto doc = json::parse(response);
+    ASSERT_TRUE(doc.has_value()) << response;
+    EXPECT_EQ(doc->find("id")->str, "s");
+    EXPECT_EQ(doc->find("status")->str, "ok");
+    EXPECT_EQ(doc->find("output")->str, cli_stdout({"list-devices"}));
+}
+
+// --- Golden transcript -----------------------------------------------------
+
+std::string data_file(const char* name) {
+    return std::string(TNR_SOURCE_DIR) + "/tests/data/" + name;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream file(path);
+    EXPECT_TRUE(file.is_open()) << path;
+    std::ostringstream ss;
+    ss << file.rdbuf();
+    return ss.str();
+}
+
+TEST(Serve, GoldenTranscriptIsStable) {
+    std::istringstream in(slurp(data_file("serve_golden_requests.jsonl")));
+    std::ostringstream out;
+    std::ostringstream diag;
+    Server server({});
+    const ServeStats stats = server.serve(in, out, diag);
+    EXPECT_EQ(out.str(), slurp(data_file("serve_golden_responses.jsonl")));
+    EXPECT_GE(stats.cache_hits, 1u) << "golden transcript must exercise the "
+                                       "response cache";
+}
+
+}  // namespace
+}  // namespace tnr::serve
