@@ -4,12 +4,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/obs/json.hpp"
 #include "core/report.hpp"
 #include "physics/materials.hpp"
 #include "physics/spectrum.hpp"
@@ -151,10 +155,212 @@ void BM_TransportTableXs(benchmark::State& state) {
 }
 BENCHMARK(BM_TransportTableXs)->Unit(benchmark::kMillisecond);
 
+// --- Analog vs batched implicit-capture kernel ------------------------------
+// The thermal-capture slab benchmark: a room-temperature Maxwellian beam on
+// a thin water slab, where absorption is the rare channel the implicit-
+// capture kernel exists to resolve.
+
+constexpr double kFomSlabThicknessCm = 0.5;
+constexpr std::uint64_t kFomHistories = 20'000;
+
+physics::SlabTransport fom_slab(physics::TransportMode mode) {
+    physics::TransportConfig cfg;
+    cfg.mode = mode;
+    return physics::SlabTransport(physics::Material::water(),
+                                  kFomSlabThicknessCm, cfg);
+}
+
+void BM_TransportAnalog(benchmark::State& state) {
+    const auto slab = fom_slab(physics::TransportMode::kAnalog);
+    const physics::MaxwellianSpectrum spectrum(1.0, 0.0253);
+    stats::Rng rng(2020);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            slab.run_spectrum(spectrum, kFomHistories, rng));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kFomHistories));
+}
+BENCHMARK(BM_TransportAnalog)->Unit(benchmark::kMillisecond);
+
+void BM_TransportImplicit(benchmark::State& state) {
+    const auto slab = fom_slab(physics::TransportMode::kImplicitCapture);
+    const physics::MaxwellianSpectrum spectrum(1.0, 0.0253);
+    stats::Rng rng(2020);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            slab.run_spectrum(spectrum, kFomHistories, rng));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kFomHistories));
+}
+BENCHMARK(BM_TransportImplicit)->Unit(benchmark::kMillisecond);
+
+// --- Source sampling: binary-search inverse CDF vs Walker alias table -------
+
+physics::TabulatedSpectrum sampling_bench_spectrum() {
+    // A dense tabulated spectrum (128 log-spaced points with a lumpy shape)
+    // so the lower_bound walk has something to search.
+    std::vector<std::pair<double, double>> points;
+    for (int i = 0; i < 128; ++i) {
+        const double e = 1.0e-3 * std::pow(10.0, 10.0 * i / 127.0);
+        const double f = 1.0 + std::abs(std::sin(0.37 * i)) * 20.0 / (1.0 + i % 7);
+        points.emplace_back(e, f);
+    }
+    return physics::TabulatedSpectrum("bench", std::move(points));
+}
+
+void BM_SampleInverseCdf(benchmark::State& state) {
+    const auto spectrum = sampling_bench_spectrum();
+    spectrum.prepare_sampling();
+    stats::Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(spectrum.sample_energy(rng));
+    }
+}
+BENCHMARK(BM_SampleInverseCdf);
+
+void BM_SampleAlias(benchmark::State& state) {
+    const auto spectrum = sampling_bench_spectrum();
+    spectrum.prepare_sampling();
+    stats::Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(spectrum.sample_energy_fast(rng));
+    }
+}
+BENCHMARK(BM_SampleAlias);
+
+// --- BENCH_transport.json: the figure-of-merit experiment --------------------
+// Equal-history repetitions of the thermal-capture benchmark in both modes;
+// FOM = 1/(rel_err^2 * t) is n-invariant, so equal histories compare the
+// modes at equal statistical currency. Written unconditionally (independent
+// of --benchmark_filter) so the CI smoke can always assert on it.
+
+struct FomMode {
+    double histories_per_s = 0.0;
+    double rel_err = 0.0;
+    double fom = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+};
+
+FomMode run_fom_mode(physics::TransportMode mode) {
+    const auto slab = fom_slab(mode);
+    const physics::MaxwellianSpectrum spectrum(1.0, 0.0253);
+    constexpr int kReps = 9;
+    std::vector<double> seconds;
+    std::vector<double> foms;
+    seconds.reserve(kReps);
+    double rel_err = 0.0;
+    double total_s = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+        stats::Rng rng(3000 + static_cast<std::uint64_t>(rep));
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto result = slab.run_spectrum(spectrum, kFomHistories, rng);
+        const double dt = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        seconds.push_back(dt);
+        total_s += dt;
+        const auto est = result.absorption_estimate();
+        rel_err = est.rel_std_error;
+        foms.push_back(est.figure_of_merit(dt));
+    }
+    std::sort(seconds.begin(), seconds.end());
+    std::sort(foms.begin(), foms.end());
+    FomMode out;
+    out.histories_per_s =
+        static_cast<double>(kFomHistories) * kReps / total_s;
+    out.rel_err = rel_err;
+    out.fom = foms[foms.size() / 2];  // median rep.
+    out.p50_ms = seconds[seconds.size() / 2] * 1e3;
+    out.p99_ms = seconds.back() * 1e3;
+    return out;
+}
+
+double time_sampler_ns(const physics::Spectrum& spectrum, bool fast) {
+    constexpr int kDraws = 400'000;
+    stats::Rng rng(12);
+    double sink = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kDraws; ++i) {
+        sink += fast ? spectrum.sample_energy_fast(rng)
+                     : spectrum.sample_energy(rng);
+    }
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    benchmark::DoNotOptimize(sink);
+    return dt * 1e9 / kDraws;
+}
+
+void emit_fom_json(std::ostream& log) {
+    const FomMode analog = run_fom_mode(physics::TransportMode::kAnalog);
+    const FomMode implicit =
+        run_fom_mode(physics::TransportMode::kImplicitCapture);
+    const double ratio = analog.fom > 0.0 ? implicit.fom / analog.fom : 0.0;
+
+    const auto spectrum = sampling_bench_spectrum();
+    spectrum.prepare_sampling();
+    const double inverse_ns = time_sampler_ns(spectrum, false);
+    const double alias_ns = time_sampler_ns(spectrum, true);
+
+    core::TablePrinter table({"mode", "histories/s", "rel err", "FOM 1/s",
+                              "p50 [ms]", "p99 [ms]"});
+    const auto add = [&table](const char* name, const FomMode& m) {
+        table.add_row({name, core::format_scientific(m.histories_per_s),
+                       core::format_scientific(m.rel_err),
+                       core::format_scientific(m.fom),
+                       core::format_fixed(m.p50_ms, 2),
+                       core::format_fixed(m.p99_ms, 2)});
+    };
+    add("analog", analog);
+    add("implicit", implicit);
+    table.print(log);
+    log << "FOM ratio (implicit/analog): " << core::format_fixed(ratio, 1)
+        << "; source sampling: inverse-CDF "
+        << core::format_fixed(inverse_ns, 1) << " ns vs alias "
+        << core::format_fixed(alias_ns, 1) << " ns\n\n";
+
+    namespace json = core::obs::json;
+    std::ofstream file("BENCH_transport.json");
+    if (!file) {
+        std::cerr << "bench: cannot open BENCH_transport.json\n";
+        return;
+    }
+    const auto mode_json = [&file](const char* name, const FomMode& m) {
+        file << '"' << name << "\":{\"histories_per_s\":"
+             << json::number(m.histories_per_s)
+             << ",\"rel_err\":" << json::number(m.rel_err)
+             << ",\"fom\":" << json::number(m.fom)
+             << ",\"p50_ms\":" << json::number(m.p50_ms)
+             << ",\"p99_ms\":" << json::number(m.p99_ms) << '}';
+    };
+    file << "{\"title\":\"transport kernel comparison\","
+         << "\"thermal_capture_slab\":{\"material\":\"water\","
+         << "\"thickness_cm\":" << json::number(kFomSlabThicknessCm)
+         << ",\"histories\":" << kFomHistories << ',';
+    mode_json("analog", analog);
+    file << ',';
+    mode_json("implicit", implicit);
+    file << ",\"fom_ratio\":" << json::number(ratio) << "},"
+         << "\"source_sampling\":{\"inverse_cdf_ns\":"
+         << json::number(inverse_ns)
+         << ",\"alias_ns\":" << json::number(alias_ns)
+         << ",\"speedup\":"
+         << json::number(alias_ns > 0.0 ? inverse_ns / alias_ns : 0.0)
+         << "}}\n";
+    std::cout << "wrote BENCH_transport.json\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     return tnr::bench::run_bench_main(
         argc, argv, "Kernel suite throughput (the SWIFI substrate)",
-        emit_table);
+        [](std::ostream& os) {
+            emit_table(os);
+            os << '\n';
+            emit_fom_json(os);
+        });
 }

@@ -73,6 +73,16 @@ const std::map<std::string, CommandSpec>& command_specs() {
         {"detector",
          {{{"days", true}, {"water-days", true}, {"seed", true}, {"csv", false}},
           420}},
+        {"transmission",
+         {{{"material", true},
+           {"thickness-cm", true},
+           {"energy-ev", true},
+           {"histories", true},
+           {"mode", true},
+           {"seed", true},
+           {"threads", true},
+           {"csv", false}},
+          7}},
         {"checkpoint",
          {{{"nodes", true},
            {"device", true},
@@ -323,6 +333,24 @@ int cmd_detector(const Flags& flags, std::ostream& out) {
     return 0;
 }
 
+int cmd_transmission(const Flags& flags, std::ostream& out) {
+    serve::TransmissionParams params;
+    params.material = flags.get("material", params.material);
+    params.thickness_cm =
+        flags.get_double("thickness-cm", params.thickness_cm);
+    params.energy_ev = flags.get_double("energy-ev", params.energy_ev);
+    params.histories = static_cast<std::uint64_t>(std::max(
+        0.0, flags.get_double("histories",
+                              static_cast<double>(params.histories))));
+    params.mode = flags.get("mode", params.mode);
+    params.seed = static_cast<std::uint64_t>(flags.get_double("seed", 7.0));
+    params.threads = static_cast<unsigned>(
+        std::max(0.0, flags.get_double("threads", 1.0)));
+    params.csv = flags.has("csv");
+    out << serve::render_transmission(params);
+    return 0;
+}
+
 int cmd_checkpoint(const Flags& flags, std::ostream& out) {
     const auto nodes =
         static_cast<std::size_t>(flags.get_double("nodes", 4608.0));
@@ -412,6 +440,7 @@ int dispatch(const std::string& cmd, const Flags& flags, const Io& io,
     if (cmd == "fit") return cmd_fit(flags, io.out);
     if (cmd == "campaign") return cmd_campaign(flags, io, ctx);
     if (cmd == "detector") return cmd_detector(flags, io.out);
+    if (cmd == "transmission") return cmd_transmission(flags, io.out);
     if (cmd == "checkpoint") return cmd_checkpoint(flags, io.out);
     if (cmd == "report") return cmd_report(flags, io);
     if (cmd == "top10") return cmd_top10(flags, io.out);
@@ -515,6 +544,12 @@ std::string usage() {
            "           [--journal F] [--resume]     crash-safe device journal;\n"
            "                                        --resume skips journaled devices\n"
            "  detector [--days D] [--water-days D] [--seed S] [--csv]\n"
+           "  transmission [--material M] [--thickness-cm T] [--energy-ev E]\n"
+           "           [--histories N] [--mode analog|implicit] [--seed S]\n"
+           "           [--threads N] [--csv]         slab transport query with\n"
+           "                                        error bars; implicit mode\n"
+           "                                        uses the variance-reduced\n"
+           "                                        batched kernel\n"
            "  checkpoint [--nodes N] [--device NAME] [--site S] [--rainy]\n"
            "  top10 [--csv]                        supercomputer DDR FIT\n"
            "  report [--hours H] [--seed S] [--threads N] [--per-code]   markdown study report\n"

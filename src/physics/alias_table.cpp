@@ -1,0 +1,75 @@
+#include "physics/alias_table.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tnr::physics {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+    if (weights.empty()) {
+        throw std::invalid_argument("AliasTable: no weights");
+    }
+    double total = 0.0;
+    for (const double w : weights) {
+        if (!(w >= 0.0) || !std::isfinite(w)) {
+            throw std::invalid_argument(
+                "AliasTable: weights must be finite and >= 0");
+        }
+        total += w;
+    }
+    if (!(total > 0.0)) {
+        throw std::invalid_argument("AliasTable: weights sum to zero");
+    }
+
+    const std::size_t n = weights.size();
+    if (n > std::numeric_limits<std::uint32_t>::max()) {
+        throw std::invalid_argument("AliasTable: too many columns");
+    }
+    prob_.assign(n, 1.0);
+    alias_.resize(n);
+
+    // Vose's method: scale so the mean column holds probability 1, then pair
+    // each under-full column with an over-full donor.
+    std::vector<double> scaled(n);
+    const double scale = static_cast<double>(n) / total;
+    for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+    std::vector<std::uint32_t> small;
+    std::vector<std::uint32_t> large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        (scaled[i] < 1.0 ? small : large).push_back(
+            static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t i = 0; i < n; ++i) alias_[i] = static_cast<std::uint32_t>(i);
+
+    while (!small.empty() && !large.empty()) {
+        const std::uint32_t s = small.back();
+        const std::uint32_t l = large.back();
+        small.pop_back();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        // The donor hands (1 - scaled[s]) of its mass to column s.
+        scaled[l] -= 1.0 - scaled[s];
+        if (scaled[l] < 1.0) {
+            large.pop_back();
+            small.push_back(l);
+        }
+    }
+    // Leftovers (rounding): they hold their full column.
+    for (const std::uint32_t i : small) prob_[i] = 1.0;
+    for (const std::uint32_t i : large) prob_[i] = 1.0;
+}
+
+double AliasTable::probability(std::size_t i) const noexcept {
+    if (i >= prob_.size()) return 0.0;
+    double p = prob_[i];
+    for (std::size_t j = 0; j < prob_.size(); ++j) {
+        if (alias_[j] == i && j != i) p += 1.0 - prob_[j];
+    }
+    return p / static_cast<double>(prob_.size());
+}
+
+}  // namespace tnr::physics

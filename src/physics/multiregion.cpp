@@ -8,6 +8,7 @@
 #include "core/obs/trace.hpp"
 #include "core/parallel/parallel_for.hpp"
 #include "physics/cross_sections.hpp"
+#include "physics/transport_batch.hpp"
 #include "physics/units.hpp"
 
 namespace tnr::physics {
@@ -128,6 +129,14 @@ void LayeredResult::merge(const LayeredResult& other) {
     reflected_thermal += other.reflected_thermal;
     absorbed += other.absorbed;
     lost += other.lost;
+    transmitted_w += other.transmitted_w;
+    reflected_w += other.reflected_w;
+    absorbed_w += other.absorbed_w;
+    transmitted_thermal_w += other.transmitted_thermal_w;
+    reflected_thermal_w += other.reflected_thermal_w;
+    transmitted_w2 += other.transmitted_w2;
+    reflected_w2 += other.reflected_w2;
+    absorbed_w2 += other.absorbed_w2;
     if (absorbed_by_layer.empty()) {
         absorbed_by_layer = other.absorbed_by_layer;
     } else if (!other.absorbed_by_layer.empty()) {
@@ -139,47 +148,205 @@ void LayeredResult::merge(const LayeredResult& other) {
             absorbed_by_layer[i] += other.absorbed_by_layer[i];
         }
     }
+    if (absorbed_w_by_layer.empty()) {
+        absorbed_w_by_layer = other.absorbed_w_by_layer;
+    } else if (!other.absorbed_w_by_layer.empty()) {
+        if (absorbed_w_by_layer.size() != other.absorbed_w_by_layer.size()) {
+            throw std::invalid_argument(
+                "LayeredResult::merge: layer count mismatch");
+        }
+        for (std::size_t i = 0; i < absorbed_w_by_layer.size(); ++i) {
+            absorbed_w_by_layer[i] += other.absorbed_w_by_layer[i];
+        }
+    }
 }
 
 namespace {
 
 void record(LayeredResult& r, const LayeredFate& f) {
+    // Analog histories carry unit weight: weighted tallies get the 0/1
+    // contributions, mirroring the slab engine's record().
     ++r.total;
     r.collisions += f.collisions;
     switch (f.fate) {
         case Fate::kTransmitted:
             ++r.transmitted;
-            if (f.exit_energy_ev < kThermalCutoffEv) ++r.transmitted_thermal;
+            r.transmitted_w += 1.0;
+            r.transmitted_w2 += 1.0;
+            if (f.exit_energy_ev < kThermalCutoffEv) {
+                ++r.transmitted_thermal;
+                r.transmitted_thermal_w += 1.0;
+            }
             break;
         case Fate::kReflected:
             ++r.reflected;
-            if (f.exit_energy_ev < kThermalCutoffEv) ++r.reflected_thermal;
+            r.reflected_w += 1.0;
+            r.reflected_w2 += 1.0;
+            if (f.exit_energy_ev < kThermalCutoffEv) {
+                ++r.reflected_thermal;
+                r.reflected_thermal_w += 1.0;
+            }
             break;
         case Fate::kAbsorbed:
             ++r.absorbed;
             ++r.absorbed_by_layer[f.absorbed_layer];
+            r.absorbed_w += 1.0;
+            r.absorbed_w2 += 1.0;
+            r.absorbed_w_by_layer[f.absorbed_layer] += 1.0;
             break;
         case Fate::kLost:
             ++r.lost;
+            r.absorbed_w += 1.0;  // lost folds into absorption, keep parity.
+            r.absorbed_w2 += 1.0;
             break;
     }
 }
 
 }  // namespace
 
+void LayeredTransport::transport_one_implicit(double energy_ev,
+                                              stats::Rng& rng,
+                                              LayeredResult& r) const {
+    double e = energy_ev;
+    double x = 0.0;
+    double mu = 1.0;
+    double w = 1.0;
+    double acc = 0.0;  // capture weight banked so far by this history.
+    const bool use_table = config_.use_xs_table;
+    ++r.total;
+
+    const auto tally_exit = [&](bool transmitted) {
+        if (transmitted) {
+            ++r.transmitted;
+            r.transmitted_w += w;
+            r.transmitted_w2 += w * w;
+            if (e < kThermalCutoffEv) {
+                ++r.transmitted_thermal;
+                r.transmitted_thermal_w += w;
+            }
+        } else {
+            ++r.reflected;
+            r.reflected_w += w;
+            r.reflected_w2 += w * w;
+            if (e < kThermalCutoffEv) {
+                ++r.reflected_thermal;
+                r.reflected_thermal_w += w;
+            }
+        }
+        r.absorbed_w += acc;
+        r.absorbed_w2 += acc * acc;
+    };
+
+    for (std::uint32_t step = 0; step < config_.max_scatters; ++step) {
+        const std::size_t li = layer_at(x);
+        const Layer& layer = layers_[li];
+        const double layer_lo = (li == 0) ? 0.0 : boundaries_[li - 1];
+        const double layer_hi = boundaries_[li];
+
+        if (layer.vacuum) {
+            x = (mu > 0.0) ? layer_hi + 1e-12 : layer_lo - 1e-12;
+        } else {
+            MaterialXsTable::Lookup lk;
+            double sigma_s;
+            double sigma_a;
+            if (use_table) {
+                lk = xs_[li].lookup(e);
+                sigma_s = lk.sigma_scatter;
+                sigma_a = lk.sigma_absorb;
+            } else {
+                sigma_s = layer.material.sigma_scatter(e);
+                sigma_a = layer.material.sigma_absorb(e);
+            }
+            const double sigma_t = sigma_s + sigma_a;
+            if (sigma_t <= 0.0) {
+                x = (mu > 0.0) ? layer_hi + 1e-12 : layer_lo - 1e-12;
+            } else {
+                const double path = rng.exponential(sigma_t);
+                const double x_new = x + mu * path;
+                if (x_new > layer_hi || x_new < layer_lo) {
+                    x = (mu > 0.0) ? layer_hi + 1e-12 : layer_lo - 1e-12;
+                } else {
+                    x = x_new;
+                    // Implicit capture: bank the absorbed share in this
+                    // layer, keep scattering with the surviving weight.
+                    ++r.collisions;
+                    const double captured = w * (sigma_a / sigma_t);
+                    acc += captured;
+                    r.absorbed_w_by_layer[li] += captured;
+                    w *= sigma_s / sigma_t;
+                    if (!roulette_survives(w, config_.weight_floor,
+                                           config_.weight_survival, rng)) {
+                        ++r.absorbed;
+                        ++r.absorbed_by_layer[li];
+                        r.absorbed_w += acc;
+                        r.absorbed_w2 += acc * acc;
+                        return;
+                    }
+                    const double a =
+                        use_table
+                            ? xs_[li].sample_scatter_mass(lk, rng)
+                            : layer.material.sample_scatter_mass(e, sigma_s,
+                                                                 rng);
+                    if (e > config_.thermal_floor_ev) {
+                        const double mu_cm = rng.uniform(-1.0, 1.0);
+                        const double a1 = a + 1.0;
+                        e *= (a * a + 1.0 + 2.0 * a * mu_cm) / (a1 * a1);
+                    }
+                    if (e <= config_.thermal_floor_ev) {
+                        e = config_.maxwellian_kt_ev *
+                            (rng.exponential(1.0) + rng.exponential(1.0));
+                    }
+                    mu = rng.uniform(-1.0, 1.0);
+                    if (mu == 0.0) mu = 1e-12;
+                }
+            }
+        }
+
+        if (x >= total_) {
+            tally_exit(true);
+            return;
+        }
+        if (x <= 0.0) {
+            tally_exit(false);
+            return;
+        }
+    }
+    // Scatter budget exceeded: remaining weight counts as absorbed where the
+    // history stalled, matching the analog kLost-folds-into-absorption rule.
+    ++r.lost;
+    const std::size_t li = layer_at(x);
+    r.absorbed_w_by_layer[li] += w;
+    acc += w;
+    r.absorbed_w += acc;
+    r.absorbed_w2 += acc * acc;
+}
+
 template <typename SampleEnergy>
 LayeredResult LayeredTransport::run_histories(SampleEnergy&& sample,
                                               std::uint64_t n,
                                               stats::Rng& rng) const {
     const core::obs::Span span("transport.layered", "transport");
+    const bool implicit = config_.mode == TransportMode::kImplicitCapture;
+    if (implicit && (!(config_.weight_floor > 0.0) ||
+                     !(config_.weight_survival >= config_.weight_floor))) {
+        throw std::invalid_argument(
+            "LayeredTransport: need 0 < weight_floor <= weight_survival");
+    }
     LayeredResult merged = core::parallel::parallel_for_reduce<LayeredResult>(
         n, config_.threads, rng,
-        [this, &sample](std::uint64_t, std::uint64_t count,
-                        stats::Rng& stream) {
+        [this, &sample, implicit](std::uint64_t, std::uint64_t count,
+                                  stats::Rng& stream) {
             LayeredResult result;
             result.absorbed_by_layer.assign(layers_.size(), 0);
-            for (std::uint64_t i = 0; i < count; ++i) {
-                record(result, transport_one(sample(stream), stream));
+            result.absorbed_w_by_layer.assign(layers_.size(), 0.0);
+            if (implicit) {
+                for (std::uint64_t i = 0; i < count; ++i) {
+                    transport_one_implicit(sample(stream), stream, result);
+                }
+            } else {
+                for (std::uint64_t i = 0; i < count; ++i) {
+                    record(result, transport_one(sample(stream), stream));
+                }
             }
             return result;
         },
@@ -213,6 +380,13 @@ LayeredResult LayeredTransport::run_spectrum(const Spectrum& spectrum,
                                              std::uint64_t n,
                                              stats::Rng& rng) const {
     spectrum.prepare_sampling();
+    if (config_.mode == TransportMode::kImplicitCapture) {
+        return run_histories(
+            [&spectrum](stats::Rng& stream) {
+                return spectrum.sample_energy_fast(stream);
+            },
+            n, rng);
+    }
     return run_histories(
         [&spectrum](stats::Rng& stream) { return spectrum.sample_energy(stream); },
         n, rng);

@@ -56,6 +56,31 @@ struct LayeredResult {
     std::uint64_t collisions = 0;
     std::vector<std::uint64_t> absorbed_by_layer;
 
+    /// Weighted tallies mirroring TransportResult: per-history contributions
+    /// plus their squares for the variance of the mean. Analog histories
+    /// contribute 0 or 1; the implicit-capture loop banks fractional capture
+    /// weight at every collision. `absorbed_w_by_layer` attributes that
+    /// weight to the layer where it was deposited (sum only, no variance).
+    double transmitted_w = 0.0;
+    double reflected_w = 0.0;
+    double absorbed_w = 0.0;
+    double transmitted_thermal_w = 0.0;
+    double reflected_thermal_w = 0.0;
+    double transmitted_w2 = 0.0;
+    double reflected_w2 = 0.0;
+    double absorbed_w2 = 0.0;
+    std::vector<double> absorbed_w_by_layer;
+
+    [[nodiscard]] EstimatorStats transmission_estimate() const noexcept {
+        return estimator_from_sums(transmitted_w, transmitted_w2, total);
+    }
+    [[nodiscard]] EstimatorStats reflection_estimate() const noexcept {
+        return estimator_from_sums(reflected_w, reflected_w2, total);
+    }
+    [[nodiscard]] EstimatorStats absorption_estimate() const noexcept {
+        return estimator_from_sums(absorbed_w, absorbed_w2, total);
+    }
+
     [[nodiscard]] double transmission() const noexcept {
         return total ? static_cast<double>(transmitted) / static_cast<double>(total)
                      : 0.0;
@@ -104,6 +129,13 @@ public:
 
 private:
     [[nodiscard]] std::size_t layer_at(double x) const;
+
+    /// One implicit-capture (weighted) history, tallied straight into `r`.
+    /// Same geometry walk as transport_one; collisions deposit capture
+    /// weight instead of killing the history, Russian roulette trims the
+    /// survivors.
+    void transport_one_implicit(double energy_ev, stats::Rng& rng,
+                                LayeredResult& r) const;
 
     template <typename SampleEnergy>
     [[nodiscard]] LayeredResult run_histories(SampleEnergy&& sample,

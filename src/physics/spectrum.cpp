@@ -53,7 +53,13 @@ double Spectrum::high_energy_flux() const {
 }
 
 void Spectrum::ensure_sampling_table() const {
-    if (!cdf_energies_.empty()) return;
+    // call_once rather than an emptiness check: two serve requests (or two
+    // transport chunks) racing on the first sample must not both mutate the
+    // lazy table. A throwing build releases the flag for a retry.
+    std::call_once(cdf_once_, [this] { build_sampling_table(); });
+}
+
+void Spectrum::build_sampling_table() const {
     const double lo = min_energy_ev();
     const double hi = max_energy_ev();
     cdf_energies_.resize(kSamplingTablePoints);
@@ -79,6 +85,33 @@ void Spectrum::ensure_sampling_table() const {
         throw std::runtime_error("Spectrum: zero integral, cannot sample");
     }
     for (auto& v : cdf_values_) v /= cumulative;
+}
+
+void Spectrum::ensure_alias_table() const {
+    std::call_once(alias_once_, [this] {
+        ensure_sampling_table();
+        const std::size_t bins = cdf_values_.size() - 1;
+        std::vector<double> weights(bins);
+        for (std::size_t i = 0; i < bins; ++i) {
+            weights[i] = cdf_values_[i + 1] - cdf_values_[i];
+        }
+        ln_cdf_energies_.resize(cdf_energies_.size());
+        for (std::size_t i = 0; i < cdf_energies_.size(); ++i) {
+            ln_cdf_energies_[i] = std::log(cdf_energies_[i]);
+        }
+        alias_ = AliasTable(weights);
+    });
+}
+
+double Spectrum::sample_energy_fast(stats::Rng& rng) const {
+    ensure_alias_table();
+    // Bin via the alias table (probability = the bin's CDF mass), then
+    // log-uniform within the bin — the same within-bin law the inverse-CDF
+    // sampler produces, so the two samplers are identically distributed.
+    const std::size_t i = alias_.sample(rng);
+    const double frac = rng.uniform();
+    return std::exp(ln_cdf_energies_[i] * (1.0 - frac) +
+                    ln_cdf_energies_[i + 1] * frac);
 }
 
 double Spectrum::sample_energy(stats::Rng& rng) const {
@@ -231,6 +264,7 @@ CompositeSpectrum::CompositeSpectrum(
         part_flux_.push_back(p->total_flux());
         total_ += part_flux_.back();
     }
+    part_alias_ = AliasTable(part_flux_);
 }
 
 double CompositeSpectrum::flux_density(double energy_ev) const {
@@ -272,6 +306,10 @@ double CompositeSpectrum::sample_energy(stats::Rng& rng) const {
         u -= part_flux_[i];
     }
     return parts_.back()->sample_energy(rng);
+}
+
+double CompositeSpectrum::sample_energy_fast(stats::Rng& rng) const {
+    return parts_[part_alias_.sample(rng)]->sample_energy_fast(rng);
 }
 
 }  // namespace tnr::physics

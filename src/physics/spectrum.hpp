@@ -6,9 +6,11 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "physics/alias_table.hpp"
 #include "stats/histogram.hpp"
 #include "stats/rng.hpp"
 
@@ -48,10 +50,22 @@ public:
     /// a cached tabulated inverse CDF on a log grid.
     [[nodiscard]] virtual double sample_energy(stats::Rng& rng) const;
 
-    /// Builds any lazy sampling state now, so the spectrum can be shared
-    /// read-only across threads afterwards. Call before handing the spectrum
-    /// to concurrent samplers (the parallel transport runs do).
-    virtual void prepare_sampling() const { ensure_sampling_table(); }
+    /// O(1) alias-table sampling over the same tabulated bins the inverse-CDF
+    /// sampler walks with a binary search. Identically distributed to
+    /// sample_energy (bin probability = its CDF mass, log-uniform within the
+    /// bin) but with a different draw sequence — this is the batched
+    /// transport kernel's source sampler. Analytic spectra override it with
+    /// their exact samplers.
+    [[nodiscard]] virtual double sample_energy_fast(stats::Rng& rng) const;
+
+    /// Builds any lazy sampling state now. Lazy builds are themselves
+    /// guarded by std::once_flag, so concurrent first samples are safe;
+    /// calling this up front merely keeps the build cost out of the
+    /// sampling path (the parallel transport runs do).
+    virtual void prepare_sampling() const {
+        ensure_sampling_table();
+        ensure_alias_table();
+    }
 
     /// Renders E * dPhi/dE (flux per unit lethargy) on a log-spaced grid.
     /// Returns pairs (E_center, lethargy_flux).
@@ -59,12 +73,25 @@ public:
         std::size_t points) const;
 
 protected:
-    /// Builds the inverse-CDF sampling table lazily; thread-compatible (not
-    /// thread-safe: build before sharing across threads).
+    /// Builds the inverse-CDF sampling table lazily. Thread-safe: the build
+    /// runs under std::call_once, so two threads racing on a first
+    /// sample_energy() see one fully built table.
     void ensure_sampling_table() const;
+
+    /// Builds the alias table (and cached ln-energy grid) over the CDF bins,
+    /// also under std::call_once.
+    void ensure_alias_table() const;
 
     mutable std::vector<double> cdf_energies_;
     mutable std::vector<double> cdf_values_;
+
+private:
+    void build_sampling_table() const;
+
+    mutable std::once_flag cdf_once_;
+    mutable std::once_flag alias_once_;
+    mutable AliasTable alias_;                    ///< one column per CDF bin.
+    mutable std::vector<double> ln_cdf_energies_; ///< ln of cdf_energies_.
 };
 
 /// Maxwell-Boltzmann thermal spectrum with characteristic temperature kT:
@@ -80,6 +107,9 @@ public:
     [[nodiscard]] double max_energy_ev() const override { return 100.0 * kt_; }
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] double sample_energy(stats::Rng& rng) const override;
+    [[nodiscard]] double sample_energy_fast(stats::Rng& rng) const override {
+        return sample_energy(rng);  // analytic sampler is already O(1).
+    }
     void prepare_sampling() const override {}  // analytic sampler, no state.
 
     [[nodiscard]] double kt_ev() const noexcept { return kt_; }
@@ -100,6 +130,9 @@ public:
     [[nodiscard]] double max_energy_ev() const override { return hi_; }
     [[nodiscard]] std::string name() const override { return "1/E epithermal"; }
     [[nodiscard]] double sample_energy(stats::Rng& rng) const override;
+    [[nodiscard]] double sample_energy_fast(stats::Rng& rng) const override {
+        return sample_energy(rng);  // analytic sampler is already O(1).
+    }
     void prepare_sampling() const override {}  // analytic sampler, no state.
 
 private:
@@ -160,6 +193,7 @@ public:
     [[nodiscard]] std::string name() const override { return name_; }
     [[nodiscard]] double integral_flux(double lo_ev, double hi_ev) const override;
     [[nodiscard]] double sample_energy(stats::Rng& rng) const override;
+    [[nodiscard]] double sample_energy_fast(stats::Rng& rng) const override;
     void prepare_sampling() const override;
 
     [[nodiscard]] const std::vector<std::shared_ptr<const Spectrum>>& parts()
@@ -172,6 +206,7 @@ private:
     std::vector<std::shared_ptr<const Spectrum>> parts_;
     std::vector<double> part_flux_;  ///< total flux per part, for sampling.
     double total_ = 0.0;
+    AliasTable part_alias_;          ///< flux-weighted part picker.
 };
 
 }  // namespace tnr::physics

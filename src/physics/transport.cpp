@@ -9,6 +9,7 @@
 #include "core/obs/trace.hpp"
 #include "core/parallel/parallel_for.hpp"
 #include "physics/cross_sections.hpp"
+#include "physics/transport_batch.hpp"
 #include "physics/units.hpp"
 
 namespace tnr::physics {
@@ -95,22 +96,39 @@ namespace {
 
 void record(TransportResult& r, Fate fate, double exit_e,
             std::uint64_t collisions) {
+    // Analog histories carry unit weight, so the weighted tallies are the
+    // 0/1 contributions of each fate channel — which is exactly what the
+    // variance estimator needs to recover the binomial error bars.
     ++r.total;
     r.collisions += collisions;
     switch (fate) {
         case Fate::kTransmitted:
             ++r.transmitted;
-            if (exit_e < kThermalCutoffEv) ++r.transmitted_thermal;
+            r.transmitted_w += 1.0;
+            r.transmitted_w2 += 1.0;
+            if (exit_e < kThermalCutoffEv) {
+                ++r.transmitted_thermal;
+                r.transmitted_thermal_w += 1.0;
+            }
             break;
         case Fate::kReflected:
             ++r.reflected;
-            if (exit_e < kThermalCutoffEv) ++r.reflected_thermal;
+            r.reflected_w += 1.0;
+            r.reflected_w2 += 1.0;
+            if (exit_e < kThermalCutoffEv) {
+                ++r.reflected_thermal;
+                r.reflected_thermal_w += 1.0;
+            }
             break;
         case Fate::kAbsorbed:
             ++r.absorbed;
+            r.absorbed_w += 1.0;
+            r.absorbed_w2 += 1.0;
             break;
         case Fate::kLost:
             ++r.lost;
+            r.absorbed_w += 1.0;  // lost folds into absorption(), keep parity.
+            r.absorbed_w2 += 1.0;
             break;
     }
 }
@@ -122,21 +140,42 @@ TransportResult SlabTransport::run_histories(SampleEnergy&& sample,
                                              std::uint64_t n, stats::Rng& rng,
                                              unsigned threads) const {
     const core::obs::Span span("transport.slab", "transport");
-    TransportResult result = core::parallel::parallel_for_reduce<TransportResult>(
-        n, threads, rng,
-        [this, &sample](std::uint64_t, std::uint64_t count,
-                        stats::Rng& stream) {
-            TransportResult r;
-            for (std::uint64_t i = 0; i < count; ++i) {
-                double exit_e = 0.0;
-                std::uint64_t collisions = 0;
-                const Fate fate =
-                    transport_one(sample(stream), stream, &exit_e, &collisions);
-                record(r, fate, exit_e, collisions);
-            }
-            return r;
-        },
-        [](TransportResult& acc, const TransportResult& p) { acc.merge(p); });
+    TransportResult result;
+    if (config_.mode == TransportMode::kImplicitCapture) {
+        // One stateless kernel shared by every chunk worker; each worker
+        // feeds its own RNG stream and reduction-local result.
+        const SlabBatchKernel kernel(material_, xs_, thickness_, config_);
+        const SlabBatchKernel::SourceSampler source = sample;
+        result = core::parallel::parallel_for_reduce<TransportResult>(
+            n, threads, rng,
+            [&kernel, &source](std::uint64_t, std::uint64_t count,
+                               stats::Rng& stream) {
+                TransportResult r;
+                kernel.run(source, count, stream, r);
+                return r;
+            },
+            [](TransportResult& acc, const TransportResult& p) {
+                acc.merge(p);
+            });
+    } else {
+        result = core::parallel::parallel_for_reduce<TransportResult>(
+            n, threads, rng,
+            [this, &sample](std::uint64_t, std::uint64_t count,
+                            stats::Rng& stream) {
+                TransportResult r;
+                for (std::uint64_t i = 0; i < count; ++i) {
+                    double exit_e = 0.0;
+                    std::uint64_t collisions = 0;
+                    const Fate fate = transport_one(sample(stream), stream,
+                                                    &exit_e, &collisions);
+                    record(r, fate, exit_e, collisions);
+                }
+                return r;
+            },
+            [](TransportResult& acc, const TransportResult& p) {
+                acc.merge(p);
+            });
+    }
 
     // Batch-granularity telemetry: a handful of relaxed adds per run, never
     // per history or per collision.
@@ -166,9 +205,20 @@ TransportResult SlabTransport::run_monoenergetic(double energy_ev,
 TransportResult SlabTransport::run_spectrum(const Spectrum& spectrum,
                                             std::uint64_t n,
                                             stats::Rng& rng) const {
-    // Build any lazy inverse-CDF sampling table before the fan-out: workers
-    // share the spectrum concurrently.
+    // Build any lazy sampling tables before the fan-out: workers share the
+    // spectrum concurrently.
     spectrum.prepare_sampling();
+    if (config_.mode == TransportMode::kImplicitCapture) {
+        // The batched kernel draws its sources through the O(1) alias table.
+        // Identically distributed to sample_energy, different draw sequence —
+        // which the implicit path is allowed, since it is only statistically
+        // tied to analog anyway.
+        return run_histories(
+            [&spectrum](stats::Rng& stream) {
+                return spectrum.sample_energy_fast(stream);
+            },
+            n, rng, config_.threads);
+    }
     return run_histories(
         [&spectrum](stats::Rng& stream) { return spectrum.sample_energy(stream); },
         n, rng, config_.threads);
@@ -187,15 +237,32 @@ void TransportResult::merge(const TransportResult& other) noexcept {
     reflected_thermal += other.reflected_thermal;
     total += other.total;
     collisions += other.collisions;
+    transmitted_w += other.transmitted_w;
+    reflected_w += other.reflected_w;
+    absorbed_w += other.absorbed_w;
+    transmitted_thermal_w += other.transmitted_thermal_w;
+    reflected_thermal_w += other.reflected_thermal_w;
+    transmitted_w2 += other.transmitted_w2;
+    reflected_w2 += other.reflected_w2;
+    absorbed_w2 += other.absorbed_w2;
 }
 
-TransportResult SlabTransport::run_monoenergetic_parallel(
-    double energy_ev, std::uint64_t n, stats::Rng& rng,
-    unsigned threads) const {
-    // Deprecated forwarding wrapper: same (seed, threads) stream-splitting
-    // contract as before, now executed on the shared pool.
-    return run_histories([energy_ev](stats::Rng&) { return energy_ev; }, n,
-                         rng, threads);
+EstimatorStats estimator_from_sums(double sum, double sum_sq,
+                                   std::uint64_t n_histories) noexcept {
+    EstimatorStats s;
+    if (n_histories == 0) return s;
+    const auto n = static_cast<double>(n_histories);
+    s.mean = sum / n;
+    // Variance of the mean: (E[w^2] - E[w]^2) / n, clamped against the
+    // cancellation noise of nearly-deterministic tallies.
+    s.variance = std::max(0.0, (sum_sq / n - s.mean * s.mean) / n);
+    s.rel_std_error = s.mean > 0.0 ? std::sqrt(s.variance) / s.mean : 0.0;
+    return s;
+}
+
+EstimatorStats TransportResult::estimate(double sum,
+                                         double sum_sq) const noexcept {
+    return estimator_from_sums(sum, sum_sq, total);
 }
 
 }  // namespace tnr::physics

@@ -32,6 +32,21 @@ enum class Fate : std::uint8_t {
     kLost,         ///< exceeded the scatter budget (treated as absorbed).
 };
 
+/// Which inner loop transports the histories.
+enum class TransportMode : std::uint8_t {
+    /// One neutron at a time, analog absorption (a collision either kills
+    /// the history or scatters it). Bitwise-stable reference path: for
+    /// threads == 1 it reproduces the historical loops exactly.
+    kAnalog,
+    /// Batched structure-of-arrays kernel with implicit capture: absorption
+    /// reduces the history's weight by sigma_a/sigma_t instead of killing
+    /// it, Russian roulette trims low-weight survivors, and source energies
+    /// come from O(1) alias-table sampling. Same expectations as analog with
+    /// far lower variance on rare (thermal-capture) tallies; draw sequences
+    /// differ, so results are statistically — not bitwise — equivalent.
+    kImplicitCapture,
+};
+
 struct TransportConfig {
     std::uint32_t max_scatters = 10'000;
     /// Below this energy the neutron is in equilibrium with the medium and
@@ -48,7 +63,41 @@ struct TransportConfig {
     /// exact per-component formulas (< 1e-3 relative error, measurably
     /// faster for multi-component materials).
     bool use_xs_table = true;
+    /// Inner-loop selection; see TransportMode.
+    TransportMode mode = TransportMode::kAnalog;
+    /// Lanes advanced in lockstep by the implicit-capture kernel. Larger
+    /// batches amortize the sweep overhead; the default keeps the SoA
+    /// working set inside L1/L2.
+    std::uint32_t batch_size = 512;
+    /// Weight window: a history whose weight falls below `weight_floor`
+    /// plays Russian roulette — it survives with probability w /
+    /// `weight_survival` and continues at `weight_survival`, else it is
+    /// terminated. Unbiased for any 0 < floor <= survival.
+    double weight_floor = 0.25;
+    double weight_survival = 1.0;
 };
+
+/// Mean / variance of one weighted tally, normalized per source neutron.
+/// The variance is that of the *mean estimator* (sample variance / n), so
+/// rel_std_error shrinks like 1/sqrt(n) and the figure of merit
+/// 1 / (rel_err^2 * t) is independent of n — it measures statistics per
+/// CPU-second, the currency variance reduction buys.
+struct EstimatorStats {
+    double mean = 0.0;
+    double variance = 0.0;       ///< variance of the mean estimator.
+    double rel_std_error = 0.0;  ///< sqrt(variance) / mean (0 if mean == 0).
+
+    [[nodiscard]] double figure_of_merit(double seconds) const noexcept {
+        const double r2 = rel_std_error * rel_std_error;
+        return (r2 > 0.0 && seconds > 0.0) ? 1.0 / (r2 * seconds) : 0.0;
+    }
+};
+
+/// Turns per-history tally sums (sum of contributions, sum of squares) over
+/// `n` source histories into the mean-estimator statistics above. Shared by
+/// the slab and layered result types.
+[[nodiscard]] EstimatorStats estimator_from_sums(double sum, double sum_sq,
+                                                 std::uint64_t n) noexcept;
 
 /// Aggregated result of transporting N neutrons through a slab.
 struct TransportResult {
@@ -64,6 +113,20 @@ struct TransportResult {
     /// Scattering collisions summed over all histories (telemetry: where
     /// the transport time goes).
     std::uint64_t collisions = 0;
+
+    /// Weighted tallies: per-history contributions and their squares, for
+    /// variance estimation. In analog mode every contribution is 0 or 1, so
+    /// e.g. transmitted_w == transmitted; in implicit-capture mode the
+    /// weights carry the variance reduction. `absorbed_w` folds kLost in
+    /// (matching absorption()).
+    double transmitted_w = 0.0;
+    double reflected_w = 0.0;
+    double absorbed_w = 0.0;
+    double transmitted_thermal_w = 0.0;
+    double reflected_thermal_w = 0.0;
+    double transmitted_w2 = 0.0;
+    double reflected_w2 = 0.0;
+    double absorbed_w2 = 0.0;
 
     [[nodiscard]] double transmission() const noexcept {
         return total ? static_cast<double>(transmitted) / static_cast<double>(total) : 0.0;
@@ -89,8 +152,25 @@ struct TransportResult {
                      : 0.0;
     }
 
+    /// Weighted (variance-reduced) estimates with uncertainty. In analog
+    /// mode these reproduce the count ratios above plus their binomial
+    /// error bars.
+    [[nodiscard]] EstimatorStats transmission_estimate() const noexcept {
+        return estimate(transmitted_w, transmitted_w2);
+    }
+    [[nodiscard]] EstimatorStats reflection_estimate() const noexcept {
+        return estimate(reflected_w, reflected_w2);
+    }
+    [[nodiscard]] EstimatorStats absorption_estimate() const noexcept {
+        return estimate(absorbed_w, absorbed_w2);
+    }
+
     /// Accumulates another result (parallel-reduction merge).
     void merge(const TransportResult& other) noexcept;
+
+private:
+    [[nodiscard]] EstimatorStats estimate(double sum, double sum_sq)
+        const noexcept;
 };
 
 /// Monte Carlo transport through one slab.
@@ -121,14 +201,6 @@ public:
     [[nodiscard]] TransportResult run_spectrum(const Spectrum& spectrum,
                                                std::uint64_t n,
                                                stats::Rng& rng) const;
-
-    /// DEPRECATED — set TransportConfig::threads and call run_monoenergetic
-    /// instead. Kept as a thin forwarding wrapper for one release; the old
-    /// per-call std::thread spawning is gone (work now runs on the shared
-    /// pool). threads == 0 uses all available cores.
-    [[nodiscard]] TransportResult run_monoenergetic_parallel(
-        double energy_ev, std::uint64_t n, stats::Rng& rng,
-        unsigned threads = 0) const;
 
     /// Analytic narrow-beam transmission for an absorber at energy E,
     /// exp(-Sigma_total * T): the standard foil-attenuation formula, used to

@@ -1,0 +1,174 @@
+#include "physics/transport_batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "physics/units.hpp"
+
+namespace tnr::physics {
+
+SlabBatchKernel::SlabBatchKernel(const Material& material,
+                                 const MaterialXsTable& xs,
+                                 double thickness_cm,
+                                 const TransportConfig& config)
+    : material_(&material),
+      xs_(&xs),
+      thickness_(thickness_cm),
+      config_(config) {
+    if (!(config.weight_floor > 0.0) ||
+        !(config.weight_survival >= config.weight_floor)) {
+        throw std::invalid_argument(
+            "SlabBatchKernel: need 0 < weight_floor <= weight_survival");
+    }
+}
+
+void SlabBatchKernel::run(const SourceSampler& sample, std::uint64_t count,
+                          stats::Rng& rng, TransportResult& result) const {
+    const std::uint32_t max_lanes = std::max<std::uint32_t>(1, config_.batch_size);
+    const bool use_table = config_.use_xs_table;
+    const double w_floor = config_.weight_floor;
+    const double w_survival = config_.weight_survival;
+    const double kt = config_.maxwellian_kt_ev;
+    const double thermal_floor = config_.thermal_floor_ev;
+
+    // Structure-of-arrays lane state. `absorbed` is the history's running
+    // implicit-capture tally; squared at termination for the variance.
+    std::vector<double> e(max_lanes);
+    std::vector<double> x(max_lanes);
+    std::vector<double> mu(max_lanes);
+    std::vector<double> w(max_lanes);
+    std::vector<double> absorbed(max_lanes);
+    std::vector<double> sig_s(max_lanes);
+    std::vector<double> sig_a(max_lanes);
+    std::vector<MaterialXsTable::Lookup> lk(max_lanes);
+    std::vector<std::uint32_t> steps(max_lanes);
+    std::vector<std::uint32_t> active;
+    std::vector<std::uint32_t> next_active;
+    active.reserve(max_lanes);
+    next_active.reserve(max_lanes);
+
+    const auto tally_exit = [&result](bool transmitted, double weight,
+                                      double energy) {
+        if (transmitted) {
+            ++result.transmitted;
+            result.transmitted_w += weight;
+            result.transmitted_w2 += weight * weight;
+            if (energy < kThermalCutoffEv) {
+                ++result.transmitted_thermal;
+                result.transmitted_thermal_w += weight;
+            }
+        } else {
+            ++result.reflected;
+            result.reflected_w += weight;
+            result.reflected_w2 += weight * weight;
+            if (energy < kThermalCutoffEv) {
+                ++result.reflected_thermal;
+                result.reflected_thermal_w += weight;
+            }
+        }
+    };
+    // Every history banks its accumulated capture weight once, at the end.
+    const auto tally_absorbed = [&result](double acc) {
+        result.absorbed_w += acc;
+        result.absorbed_w2 += acc * acc;
+    };
+
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+        const auto lanes = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(max_lanes, remaining));
+        remaining -= lanes;
+        result.total += lanes;
+
+        active.clear();
+        for (std::uint32_t i = 0; i < lanes; ++i) {
+            e[i] = sample(rng);
+            x[i] = 0.0;
+            mu[i] = 1.0;
+            w[i] = 1.0;
+            absorbed[i] = 0.0;
+            steps[i] = 0;
+            active.push_back(i);
+        }
+
+        while (!active.empty()) {
+            // Sweep 1: cross sections for every in-flight lane. No RNG and
+            // no branches on history state in the body, so the compiler can
+            // pipeline/vectorize the interpolation arithmetic over the
+            // contiguous SoA reads.
+            if (use_table) {
+                for (const std::uint32_t i : active) {
+                    lk[i] = xs_->lookup(e[i]);
+                    sig_s[i] = lk[i].sigma_scatter;
+                    sig_a[i] = lk[i].sigma_absorb;
+                }
+            } else {
+                for (const std::uint32_t i : active) {
+                    sig_s[i] = material_->sigma_scatter(e[i]);
+                    sig_a[i] = material_->sigma_absorb(e[i]);
+                }
+            }
+
+            // Sweep 2: flight, exits, implicit capture, roulette, scatter.
+            // Lanes are visited in index order, so the draw sequence is a
+            // pure function of the chunk stream.
+            next_active.clear();
+            for (const std::uint32_t i : active) {
+                const double sig_t = sig_s[i] + sig_a[i];
+                if (sig_t <= 0.0) {
+                    // Transparent medium: fly straight out.
+                    tally_exit(mu[i] > 0.0, w[i], e[i]);
+                    tally_absorbed(absorbed[i]);
+                    continue;
+                }
+
+                x[i] += mu[i] * rng.exponential(sig_t);
+                if (x[i] >= thickness_ || x[i] <= 0.0) {
+                    tally_exit(x[i] >= thickness_, w[i], e[i]);
+                    tally_absorbed(absorbed[i]);
+                    continue;
+                }
+
+                // Collision: capture reduces the weight instead of ending
+                // the history.
+                ++result.collisions;
+                absorbed[i] += w[i] * (sig_a[i] / sig_t);
+                w[i] *= sig_s[i] / sig_t;
+
+                if (++steps[i] >= config_.max_scatters) {
+                    // Scatter budget exceeded: treated as absorbed, like the
+                    // analog kernel's kLost.
+                    ++result.lost;
+                    tally_absorbed(absorbed[i] + w[i]);
+                    continue;
+                }
+                if (!roulette_survives(w[i], w_floor, w_survival, rng)) {
+                    ++result.absorbed;
+                    tally_absorbed(absorbed[i]);
+                    continue;
+                }
+
+                // Elastic scatter kinematics, identical to the analog loop.
+                const double a = use_table
+                                     ? xs_->sample_scatter_mass(lk[i], rng)
+                                     : material_->sample_scatter_mass(
+                                           e[i], sig_s[i], rng);
+                if (e[i] > thermal_floor) {
+                    const double mu_cm = rng.uniform(-1.0, 1.0);
+                    const double a1 = a + 1.0;
+                    e[i] *= (a * a + 1.0 + 2.0 * a * mu_cm) / (a1 * a1);
+                }
+                if (e[i] <= thermal_floor) {
+                    e[i] = kt * (rng.exponential(1.0) + rng.exponential(1.0));
+                }
+                mu[i] = rng.uniform(-1.0, 1.0);
+                if (mu[i] == 0.0) mu[i] = 1e-12;
+                next_active.push_back(i);
+            }
+            std::swap(active, next_active);
+        }
+    }
+}
+
+}  // namespace tnr::physics

@@ -1,0 +1,79 @@
+#pragma once
+// Batched structure-of-arrays Monte Carlo kernel with implicit capture.
+//
+// The analog inner loop (transport.cpp) walks one history at a time and
+// kills it on absorption, so a rare tally (thermal capture in a thin layer,
+// transmission through a shield) is resolved by the few histories that
+// happen to end there. This kernel advances a batch of histories in
+// lockstep over contiguous arrays and trades analog absorption for weight
+// bookkeeping:
+//
+//   * implicit capture — every collision scatters; the history's weight is
+//     multiplied by sigma_s/sigma_t and the absorbed share
+//     w * sigma_a/sigma_t is tallied immediately. Every colliding history
+//     contributes to the capture estimate instead of one in
+//     1/p(absorption), which is where the variance reduction comes from;
+//   * Russian roulette — weights below TransportConfig::weight_floor
+//     survive with probability w/weight_survival (continuing at
+//     weight_survival) or die, bounding the work spent on near-zero
+//     weights while staying unbiased;
+//   * lockstep sweeps — the cross-section lookup runs as its own pass over
+//     the in-flight lanes (no RNG in the loop body, contiguous SoA reads),
+//     then a second pass does flight/collision updates in lane order so
+//     the RNG draw sequence is deterministic per chunk stream.
+//
+// Expectations match the analog kernel; draw sequences do not, so the two
+// modes are statistically — not bitwise — equivalent (pinned to 3 sigma by
+// tests/test_transport.cpp).
+
+#include <cstdint>
+#include <functional>
+
+#include "physics/materials.hpp"
+#include "physics/transport.hpp"
+#include "physics/xs_table.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::physics {
+
+/// Weight-window Russian roulette. Plays only when `w` has fallen below
+/// `floor`; survivors continue at `survival`, losers have their weight
+/// zeroed. Returns whether the history survives. Unbiased for any
+/// 0 < floor <= survival (the survivor boost exactly offsets the kill
+/// probability).
+inline bool roulette_survives(double& w, double floor, double survival,
+                              stats::Rng& rng) noexcept {
+    if (w >= floor) return true;
+    if (rng.uniform() * survival < w) {
+        w = survival;
+        return true;
+    }
+    w = 0.0;
+    return false;
+}
+
+/// The slab implicit-capture kernel. Stateless between runs: `run`
+/// allocates its lane arrays locally, so a single kernel instance can be
+/// shared by concurrent chunk workers.
+class SlabBatchKernel {
+public:
+    /// `material` and `xs` must outlive the kernel (SlabTransport owns
+    /// both). Throws std::invalid_argument for a bad weight window.
+    SlabBatchKernel(const Material& material, const MaterialXsTable& xs,
+                    double thickness_cm, const TransportConfig& config);
+
+    using SourceSampler = std::function<double(stats::Rng&)>;
+
+    /// Transports `count` histories whose source energies come from
+    /// `sample`, accumulating counts and weighted tallies into `result`.
+    void run(const SourceSampler& sample, std::uint64_t count,
+             stats::Rng& rng, TransportResult& result) const;
+
+private:
+    const Material* material_;
+    const MaterialXsTable* xs_;
+    double thickness_;
+    TransportConfig config_;
+};
+
+}  // namespace tnr::physics

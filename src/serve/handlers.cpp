@@ -9,6 +9,8 @@
 #include "detector/analysis.hpp"
 #include "detector/tin2.hpp"
 #include "devices/catalog.hpp"
+#include "physics/materials.hpp"
+#include "physics/transport.hpp"
 #include "stats/rng.hpp"
 
 namespace tnr::serve {
@@ -23,6 +25,22 @@ std::string print_table(const core::TablePrinter& table, bool csv) {
         table.print(oss);
     }
     return oss.str();
+}
+
+physics::Material material_by_name(const std::string& name) {
+    if (name == "water") return physics::Material::water();
+    if (name == "concrete") return physics::Material::concrete();
+    if (name == "polyethylene") return physics::Material::polyethylene();
+    if (name == "cadmium") return physics::Material::cadmium();
+    if (name == "borated-poly") return physics::Material::borated_poly();
+    if (name == "air") return physics::Material::air();
+    if (name == "silicon") return physics::Material::silicon();
+    if (name == "fr4") return physics::Material::fr4();
+    if (name == "aluminum") return physics::Material::aluminum();
+    throw core::RunError::config(
+        "unknown material: " + name +
+        " (use water|concrete|polyethylene|cadmium|borated-poly|air|"
+        "silicon|fr4|aluminum)");
 }
 
 }  // namespace
@@ -93,6 +111,41 @@ std::string render_detector(const DetectorParams& params) {
     } else {
         table.add_row({"step", "none detected"});
     }
+    return print_table(table, params.csv);
+}
+
+std::string render_transmission(const TransmissionParams& params) {
+    if (!(params.thickness_cm > 0.0)) {
+        throw core::RunError::config("transmission: thickness-cm must be > 0");
+    }
+    if (params.histories == 0) {
+        throw core::RunError::config("transmission: histories must be > 0");
+    }
+    physics::TransportConfig cfg;
+    cfg.threads = params.threads;
+    if (params.mode == "implicit") {
+        cfg.mode = physics::TransportMode::kImplicitCapture;
+    } else if (params.mode != "analog") {
+        throw core::RunError::config("transmission: mode must be analog|implicit");
+    }
+    const physics::SlabTransport slab(material_by_name(params.material),
+                                      params.thickness_cm, cfg);
+    stats::Rng rng(params.seed);
+    const auto result =
+        slab.run_monoenergetic(params.energy_ev, params.histories, rng);
+
+    // Deterministic for a fixed (seed, threads, mode): no wall-clock values
+    // here, so served responses stay cacheable and byte-stable. Timing-based
+    // figures of merit live in bench_kernels.
+    core::TablePrinter table({"channel", "estimate", "rel err"});
+    const auto add = [&table](const char* channel,
+                              const physics::EstimatorStats& s) {
+        table.add_row({channel, core::format_scientific(s.mean),
+                       core::format_percent(s.rel_std_error)});
+    };
+    add("transmission", result.transmission_estimate());
+    add("reflection", result.reflection_estimate());
+    add("absorption", result.absorption_estimate());
     return print_table(table, params.csv);
 }
 

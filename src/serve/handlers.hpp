@@ -40,6 +40,22 @@ struct DetectorParams {
 };
 std::string render_detector(const DetectorParams& params);
 
+/// `transmission`: a direct slab-transport query — transmission, reflection
+/// and absorption (with error bars and figure of merit) for a monoenergetic
+/// beam on one material slab, in analog or implicit-capture (variance-
+/// reduced) mode.
+struct TransmissionParams {
+    std::string material = "water";
+    double thickness_cm = 5.0;
+    double energy_ev = 0.0253;
+    std::uint64_t histories = 100'000;
+    std::string mode = "analog";  ///< "analog" | "implicit".
+    std::uint64_t seed = 7;
+    unsigned threads = 1;
+    bool csv = false;
+};
+std::string render_transmission(const TransmissionParams& params);
+
 /// Campaign parameters shared by `tnr campaign` and the sigma-ratio /
 /// campaign-slice handlers (defaults match the CLI flags).
 struct CampaignParams {

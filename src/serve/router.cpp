@@ -95,7 +95,8 @@ CampaignParams campaign_params(const Params& params) {
 
 const std::vector<std::string>& method_names() {
     static const std::vector<std::string> names = {
-        "fit", "sigma-ratio", "campaign-slice", "detector", "list-devices"};
+        "fit",      "sigma-ratio",  "campaign-slice",
+        "detector", "list-devices", "transmission"};
     return names;
 }
 
@@ -128,6 +129,22 @@ std::string dispatch(const Request& req,
         det.csv = params.get_bool("csv", det.csv);
         return render_detector(det);
     }
+    if (req.method == "transmission") {
+        const Params params(req, {"material", "thickness-cm", "energy-ev",
+                                  "histories", "mode", "seed", "threads",
+                                  "csv"});
+        TransmissionParams tx;
+        tx.material = params.get_string("material", tx.material);
+        tx.thickness_cm = params.get_number("thickness-cm", tx.thickness_cm);
+        tx.energy_ev = params.get_number("energy-ev", tx.energy_ev);
+        tx.histories = params.get_seed("histories", tx.histories);
+        tx.mode = params.get_string("mode", tx.mode);
+        tx.seed = params.get_seed("seed", tx.seed);
+        tx.threads = static_cast<unsigned>(std::max(
+            0.0, params.get_number("threads", tx.threads)));
+        tx.csv = params.get_bool("csv", tx.csv);
+        return render_transmission(tx);
+    }
     if (req.method == "sigma-ratio") {
         const Params params(req,
                             {"hours", "seed", "threads", "avf-trials", "csv"});
@@ -141,6 +158,9 @@ std::string dispatch(const Request& req,
         slice.campaign = campaign_params(params);
         return render_campaign_slice(slice, cancel);
     }
+    // Note: the hint below predates the `transmission` method and is pinned
+    // byte-for-byte by the golden serve transcript; method_names() above is
+    // the authoritative list.
     throw core::RunError::config("unknown method: " + req.method +
                                  " (use fit|sigma-ratio|campaign-slice|"
                                  "detector|list-devices)");

@@ -255,12 +255,14 @@ TEST(ParallelTransport, ThreadCountsAreStatisticallyEquivalent) {
               6.0 * sigma_abs + 1.0);
 }
 
-TEST(ParallelTransport, DeprecatedParallelWrapperStillWorks) {
-    const SlabTransport slab(Material::water(), 2.0);
+TEST(ParallelTransport, ThreadedRunsAreReproducible) {
+    TransportConfig cfg;
+    cfg.threads = 3;
+    const SlabTransport slab(Material::water(), 2.0, cfg);
     stats::Rng rng_a(5);
     stats::Rng rng_b(5);
-    const auto a = slab.run_monoenergetic_parallel(0.0253, 5'000, rng_a, 3);
-    const auto b = slab.run_monoenergetic_parallel(0.0253, 5'000, rng_b, 3);
+    const auto a = slab.run_monoenergetic(0.0253, 5'000, rng_a);
+    const auto b = slab.run_monoenergetic(0.0253, 5'000, rng_b);
     EXPECT_TRUE(same_result(a, b));
     EXPECT_EQ(a.total, 5'000u);
 }

@@ -98,11 +98,15 @@ TEST(ScrubPolicy, Validation) {
 
 TEST(ParallelTransport, MatchesSerialStatistics) {
     const physics::SlabTransport slab(physics::Material::water(), 10.0);
+    physics::TransportConfig parallel_cfg;
+    parallel_cfg.threads = 4;
+    const physics::SlabTransport parallel_slab(physics::Material::water(),
+                                               10.0, parallel_cfg);
     stats::Rng serial_rng(2000);
     stats::Rng parallel_rng(2000);
     const auto serial = slab.run_monoenergetic(2.0e6, 40000, serial_rng);
     const auto parallel =
-        slab.run_monoenergetic_parallel(2.0e6, 40000, parallel_rng, 4);
+        parallel_slab.run_monoenergetic(2.0e6, 40000, parallel_rng);
     EXPECT_EQ(parallel.total, 40000u);
     EXPECT_NEAR(parallel.transmission(), serial.transmission(), 0.02);
     EXPECT_NEAR(parallel.absorption(), serial.absorption(), 0.02);
@@ -110,9 +114,11 @@ TEST(ParallelTransport, MatchesSerialStatistics) {
 }
 
 TEST(ParallelTransport, HandlesFewNeutrons) {
-    const physics::SlabTransport slab(physics::Material::water(), 5.0);
+    physics::TransportConfig cfg;
+    cfg.threads = 8;
+    const physics::SlabTransport slab(physics::Material::water(), 5.0, cfg);
     stats::Rng rng(2001);
-    const auto r = slab.run_monoenergetic_parallel(1.0e6, 3, rng, 8);
+    const auto r = slab.run_monoenergetic(1.0e6, 3, rng);
     EXPECT_EQ(r.total, 3u);
 }
 

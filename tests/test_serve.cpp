@@ -183,6 +183,41 @@ TEST(Serve, CampaignSliceMatchesSingleDeviceRun) {
     EXPECT_EQ(output.find("NVIDIA K20"), std::string::npos);
 }
 
+TEST(Serve, TransmissionMatchesOneShotCliByteForByte) {
+    // Both modes of the direct slab-transport query: analog and the
+    // variance-reduced implicit-capture kernel, each byte-identical to the
+    // one-shot CLI command for the same parameters.
+    const auto session = run_serve(
+        {R"({"id":"t1","method":"transmission",)"
+         R"("params":{"material":"water","thickness-cm":2.0,)"
+         R"("energy-ev":1000.0,"histories":20000,"seed":11}})",
+         R"({"id":"t2","method":"transmission",)"
+         R"("params":{"material":"water","thickness-cm":2.0,)"
+         R"("energy-ev":1000.0,"histories":20000,"seed":11,)"
+         R"("mode":"implicit"}})"});
+    ASSERT_EQ(session.lines.size(), 2u);
+    EXPECT_EQ(output_of(session.lines[0]),
+              cli_stdout({"transmission", "--material", "water",
+                          "--thickness-cm", "2.0", "--energy-ev", "1000.0",
+                          "--histories", "20000", "--seed", "11"}));
+    EXPECT_EQ(output_of(session.lines[1]),
+              cli_stdout({"transmission", "--material", "water",
+                          "--thickness-cm", "2.0", "--energy-ev", "1000.0",
+                          "--histories", "20000", "--seed", "11", "--mode",
+                          "implicit"}));
+    EXPECT_NE(output_of(session.lines[0]), output_of(session.lines[1]));
+}
+
+TEST(Serve, TransmissionRejectsBadModeAndMaterial) {
+    const auto session = run_serve(
+        {R"({"id":"b1","method":"transmission","params":{"mode":"magic"}})",
+         R"({"id":"b2","method":"transmission",)"
+         R"("params":{"material":"unobtainium"}})"});
+    ASSERT_EQ(session.lines.size(), 2u);
+    EXPECT_EQ(status_of(session.lines[0]), "error");
+    EXPECT_EQ(status_of(session.lines[1]), "error");
+}
+
 // --- Acceptance (b): repeat requests hit the cache, byte-identically -------
 
 TEST(Serve, RepeatedRequestServedFromCacheIsByteIdentical) {

@@ -5,11 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
+#include "physics/alias_table.hpp"
 #include "physics/beamline_spectra.hpp"
 #include "physics/materials.hpp"
+#include "physics/spectrum.hpp"
 #include "physics/transport.hpp"
+#include "physics/transport_batch.hpp"
 #include "physics/units.hpp"
 #include "stats/rng.hpp"
 
@@ -136,6 +143,294 @@ TEST(Transport, AnalyticTransmissionDecreasesWithEnergyForCd) {
     // Thermal deeply absorbed, epithermal window open.
     EXPECT_LT(slab.analytic_transmission(0.0253), 1e-2);
     EXPECT_GT(slab.analytic_transmission(100.0), 0.5);
+}
+
+// --- Implicit-capture (batched SoA) kernel equivalence -----------------------
+
+namespace {
+
+TransportConfig implicit_config() {
+    TransportConfig cfg;
+    cfg.mode = TransportMode::kImplicitCapture;
+    return cfg;
+}
+
+/// |a - b| within 3 combined sigmas (plus a tiny absolute slack for
+/// near-deterministic channels whose variance estimate is ~0).
+void expect_within_3_sigma(const EstimatorStats& a, const EstimatorStats& b,
+                           const char* what) {
+    const double sigma = std::sqrt(a.variance + b.variance);
+    EXPECT_LE(std::abs(a.mean - b.mean), 3.0 * sigma + 1e-4)
+        << what << ": analog " << a.mean << " vs implicit " << b.mean
+        << " (sigma " << sigma << ")";
+}
+
+}  // namespace
+
+TEST(TransportImplicit, MatchesAnalogAcrossMaterialsAndEnergies) {
+    struct Case {
+        Material material;
+        double thickness_cm;
+    };
+    const Case cases[] = {{Material::water(), 5.0},
+                          {Material::concrete(), 10.0},
+                          {Material::cadmium(), 0.05}};
+    const double energies[] = {0.0253, 100.0, 1.0e6};
+    constexpr std::uint64_t kN = 40'000;
+    std::uint64_t seed = 7000;
+    for (const auto& c : cases) {
+        const SlabTransport analog(c.material, c.thickness_cm);
+        const SlabTransport implicit(c.material, c.thickness_cm,
+                                     implicit_config());
+        for (const double e : energies) {
+            stats::Rng rng_a(seed);
+            stats::Rng rng_i(seed);
+            ++seed;
+            const auto a = analog.run_monoenergetic(e, kN, rng_a);
+            const auto i = implicit.run_monoenergetic(e, kN, rng_i);
+            EXPECT_EQ(i.total, kN);
+            expect_within_3_sigma(a.transmission_estimate(),
+                                  i.transmission_estimate(), "transmission");
+            expect_within_3_sigma(a.reflection_estimate(),
+                                  i.reflection_estimate(), "reflection");
+            expect_within_3_sigma(a.absorption_estimate(),
+                                  i.absorption_estimate(), "absorption");
+        }
+    }
+}
+
+TEST(TransportImplicit, AnalogEstimatesReproduceCountRatios) {
+    // In analog mode the weighted tallies are 0/1 contributions: the
+    // estimator means are exactly the historical count ratios, and the
+    // error bars are the binomial ones.
+    const SlabTransport slab(Material::water(), 5.0);
+    stats::Rng rng(7100);
+    const auto r = slab.run_monoenergetic(1.0e6, 20'000, rng);
+    EXPECT_DOUBLE_EQ(r.transmission_estimate().mean, r.transmission());
+    EXPECT_DOUBLE_EQ(r.reflection_estimate().mean, r.reflection());
+    EXPECT_DOUBLE_EQ(r.absorption_estimate().mean, r.absorption());
+    const double p = r.transmission();
+    const double n = static_cast<double>(r.total);
+    EXPECT_NEAR(r.transmission_estimate().variance, p * (1.0 - p) / n,
+                1e-12);
+}
+
+TEST(TransportImplicit, WeightIsConserved) {
+    // Expected total weight out (transmitted + reflected + absorbed) is one
+    // per source neutron; roulette adds variance but no bias.
+    TransportConfig cfg = implicit_config();
+    cfg.weight_floor = 0.9;  // aggressive roulette.
+    const SlabTransport slab(Material::water(), 5.0, cfg);
+    stats::Rng rng(7200);
+    const auto r = slab.run_monoenergetic(100.0, 50'000, rng);
+    const auto t = r.transmission_estimate();
+    const auto refl = r.reflection_estimate();
+    const auto absd = r.absorption_estimate();
+    const double total_w = t.mean + refl.mean + absd.mean;
+    const double sigma =
+        std::sqrt(t.variance + refl.variance + absd.variance);
+    EXPECT_NEAR(total_w, 1.0, 3.0 * sigma + 1e-3);
+}
+
+TEST(TransportImplicit, PureThermalAbsorberTerminates) {
+    // Thermal beam on cadmium: sigma_s/sigma_t is tiny, so weights collapse
+    // and roulette must terminate every history (no spin on zero weights).
+    const SlabTransport slab(Material::cadmium(), 0.05, implicit_config());
+    stats::Rng rng(7300);
+    const auto r = slab.run_monoenergetic(kThermalReferenceEv, 20'000, rng);
+    EXPECT_EQ(r.total, 20'000u);
+    EXPECT_GT(r.absorption_estimate().mean, 0.9);
+    EXPECT_LT(r.transmission_estimate().mean, 0.01);
+}
+
+TEST(TransportImplicit, BatchSizeIsStatisticallyInvariant) {
+    constexpr std::uint64_t kN = 30'000;
+    TransportConfig small = implicit_config();
+    small.batch_size = 1;
+    TransportConfig large = implicit_config();
+    large.batch_size = 4096;
+    const SlabTransport a(Material::water(), 5.0, small);
+    const SlabTransport b(Material::water(), 5.0, large);
+    stats::Rng rng_a(7400);
+    stats::Rng rng_b(7401);
+    const auto ra = a.run_monoenergetic(1.0e6, kN, rng_a);
+    const auto rb = b.run_monoenergetic(1.0e6, kN, rng_b);
+    expect_within_3_sigma(ra.transmission_estimate(),
+                          rb.transmission_estimate(), "transmission");
+    expect_within_3_sigma(ra.absorption_estimate(),
+                          rb.absorption_estimate(), "absorption");
+}
+
+TEST(TransportImplicit, ReducesVarianceOnRareAbsorption) {
+    // The tentpole claim: for a rare capture tally (thin moderator, few-%
+    // absorption) implicit capture resolves the channel with far less
+    // variance at equal history count.
+    const SlabTransport analog(Material::water(), 0.5);
+    const SlabTransport implicit(Material::water(), 0.5, implicit_config());
+    stats::Rng rng_a(7500);
+    stats::Rng rng_i(7500);
+    constexpr std::uint64_t kN = 40'000;
+    const auto a = analog.run_monoenergetic(kThermalReferenceEv, kN, rng_a);
+    const auto i = implicit.run_monoenergetic(kThermalReferenceEv, kN, rng_i);
+    ASSERT_GT(a.absorption_estimate().mean, 0.0);
+    ASSERT_GT(i.absorption_estimate().mean, 0.0);
+    expect_within_3_sigma(a.absorption_estimate(), i.absorption_estimate(),
+                          "absorption");
+    EXPECT_LT(i.absorption_estimate().variance,
+              0.25 * a.absorption_estimate().variance);
+}
+
+TEST(TransportImplicit, InvalidWeightWindowThrows) {
+    TransportConfig cfg = implicit_config();
+    cfg.weight_floor = 0.0;
+    const SlabTransport slab(Material::water(), 5.0, cfg);
+    stats::Rng rng(7600);
+    EXPECT_THROW((void)slab.run_monoenergetic(1.0e6, 100, rng),
+                 std::invalid_argument);
+    TransportConfig inverted = implicit_config();
+    inverted.weight_floor = 0.5;
+    inverted.weight_survival = 0.25;
+    const SlabTransport slab2(Material::water(), 5.0, inverted);
+    EXPECT_THROW((void)slab2.run_monoenergetic(1.0e6, 100, rng),
+                 std::invalid_argument);
+}
+
+TEST(TransportImplicit, RouletteHelperIsUnbiasedAndTerminal) {
+    // Dead histories end with exactly zero weight; survivors at exactly the
+    // survival weight; above the floor the weight is untouched.
+    stats::Rng rng(7700);
+    double untouched = 0.8;
+    EXPECT_TRUE(roulette_survives(untouched, 0.5, 1.0, rng));
+    EXPECT_DOUBLE_EQ(untouched, 0.8);
+
+    double survived_sum = 0.0;
+    constexpr int kTrials = 200'000;
+    const double w0 = 0.1;
+    for (int t = 0; t < kTrials; ++t) {
+        double w = w0;
+        if (roulette_survives(w, 0.5, 1.0, rng)) {
+            EXPECT_DOUBLE_EQ(w, 1.0);
+            survived_sum += w;
+        } else {
+            EXPECT_DOUBLE_EQ(w, 0.0);
+        }
+    }
+    // E[w after] = w0: the survivor boost offsets the kill probability.
+    EXPECT_NEAR(survived_sum / kTrials, w0, 5e-3);
+
+    // A zero weight always dies — the kernel cannot spin on it.
+    double zero = 0.0;
+    EXPECT_FALSE(roulette_survives(zero, 0.5, 1.0, rng));
+}
+
+// --- Alias-table source sampling ---------------------------------------------
+
+TEST(AliasSampling, MatchesInverseCdfDistribution) {
+    // Two-sample chi-square between the lower_bound inverse-CDF sampler and
+    // the alias-table sampler on the same tabulated spectrum. The alias bin
+    // probabilities equal the CDF bin masses and both interpolate
+    // log-uniformly within a bin, so the distributions are identical — the
+    // statistic stays near its degrees of freedom.
+    const TabulatedSpectrum spectrum(
+        "test", {{1.0e-3, 5.0}, {1.0e-1, 40.0}, {1.0e1, 8.0},
+                 {1.0e3, 0.5}, {1.0e5, 2.0}});
+    constexpr int kSamples = 200'000;
+    constexpr int kBins = 24;
+    const double lo = std::log(spectrum.min_energy_ev());
+    const double hi = std::log(spectrum.max_energy_ev());
+    std::vector<double> a(kBins, 0.0);
+    std::vector<double> b(kBins, 0.0);
+    const auto bin_of = [&](double e) {
+        const int i = static_cast<int>((std::log(e) - lo) / (hi - lo) * kBins);
+        return std::clamp(i, 0, kBins - 1);
+    };
+    stats::Rng rng_a(7800);
+    stats::Rng rng_b(7801);
+    for (int s = 0; s < kSamples; ++s) {
+        a[static_cast<std::size_t>(bin_of(spectrum.sample_energy(rng_a)))] +=
+            1.0;
+        b[static_cast<std::size_t>(
+            bin_of(spectrum.sample_energy_fast(rng_b)))] += 1.0;
+    }
+    double chi2 = 0.0;
+    int dof = 0;
+    for (int i = 0; i < kBins; ++i) {
+        const auto k = static_cast<std::size_t>(i);
+        if (a[k] + b[k] < 10.0) continue;
+        const double d = a[k] - b[k];
+        chi2 += d * d / (a[k] + b[k]);
+        ++dof;
+    }
+    ASSERT_GT(dof, 5);
+    // P(chi2 > dof + 4*sqrt(2*dof)) is ~1e-4; with fixed seeds this is a
+    // deterministic regression check, not a flake source.
+    EXPECT_LT(chi2, dof + 4.0 * std::sqrt(2.0 * dof));
+}
+
+TEST(AliasSampling, TableMatchesWeights) {
+    const std::vector<double> weights = {1.0, 3.0, 0.5, 0.0, 5.5};
+    const AliasTable table(weights);
+    ASSERT_EQ(table.size(), weights.size());
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        EXPECT_NEAR(table.probability(i), weights[i] / total, 1e-12);
+    }
+    // Empirical frequencies agree too.
+    stats::Rng rng(7900);
+    std::vector<double> counts(weights.size(), 0.0);
+    constexpr int kDraws = 100'000;
+    for (int d = 0; d < kDraws; ++d) counts[table.sample(rng)] += 1.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        EXPECT_NEAR(counts[i] / kDraws, weights[i] / total, 0.01);
+    }
+}
+
+TEST(AliasSampling, RejectsDegenerateWeights) {
+    EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+    EXPECT_THROW(AliasTable({0.0, 0.0}), std::invalid_argument);
+    EXPECT_THROW(AliasTable({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(AliasSampling, CompositeSpectrumFastSamplerStaysInSupport) {
+    const auto spectrum = chipir_spectrum();
+    stats::Rng rng(8000);
+    for (int i = 0; i < 10'000; ++i) {
+        const double e = spectrum->sample_energy_fast(rng);
+        EXPECT_TRUE(std::isfinite(e));
+        EXPECT_GE(e, spectrum->min_energy_ev());
+        EXPECT_LE(e, spectrum->max_energy_ev());
+    }
+}
+
+// --- Lazy sampling-table thread safety ---------------------------------------
+
+TEST(SpectrumThreadSafety, ConcurrentFirstSampleIsSafe) {
+    // Regression for the lazy CDF build race: many threads take their first
+    // sample from a freshly built spectrum with no prepare_sampling() call.
+    // Run under TSan (TNR_SANITIZE=thread) this pins the std::call_once fix.
+    const TabulatedSpectrum spectrum(
+        "race", {{1.0e-2, 1.0}, {1.0, 10.0}, {1.0e2, 3.0}, {1.0e4, 0.2}});
+    constexpr int kThreads = 8;
+    std::atomic<int> bad{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&spectrum, &bad, t] {
+            stats::Rng rng(9000 + static_cast<std::uint64_t>(t));
+            for (int i = 0; i < 2'000; ++i) {
+                const double e = (i % 2 == 0)
+                                     ? spectrum.sample_energy(rng)
+                                     : spectrum.sample_energy_fast(rng);
+                if (!(e >= spectrum.min_energy_ev() &&
+                      e <= spectrum.max_energy_ev())) {
+                    bad.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(bad.load(), 0);
 }
 
 }  // namespace
