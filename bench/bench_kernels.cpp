@@ -163,9 +163,12 @@ BENCHMARK(BM_TransportTableXs)->Unit(benchmark::kMillisecond);
 constexpr double kFomSlabThicknessCm = 0.5;
 constexpr std::uint64_t kFomHistories = 20'000;
 
-physics::SlabTransport fom_slab(physics::TransportMode mode) {
+physics::SlabTransport fom_slab(
+    physics::TransportMode mode,
+    core::simd::Policy simd = core::simd::Policy::kAuto) {
     physics::TransportConfig cfg;
     cfg.mode = mode;
+    cfg.simd = simd;
     return physics::SlabTransport(physics::Material::water(),
                                   kFomSlabThicknessCm, cfg);
 }
@@ -195,6 +198,22 @@ void BM_TransportImplicit(benchmark::State& state) {
                             static_cast<std::int64_t>(kFomHistories));
 }
 BENCHMARK(BM_TransportImplicit)->Unit(benchmark::kMillisecond);
+
+void BM_TransportImplicitScalar(benchmark::State& state) {
+    // The forced-scalar tier of the same kernel: the SIMD speedup is this
+    // row vs BM_TransportImplicit (which runs the auto tier).
+    const auto slab = fom_slab(physics::TransportMode::kImplicitCapture,
+                               core::simd::Policy::kForceScalar);
+    const physics::MaxwellianSpectrum spectrum(1.0, 0.0253);
+    stats::Rng rng(2020);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            slab.run_spectrum(spectrum, kFomHistories, rng));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kFomHistories));
+}
+BENCHMARK(BM_TransportImplicitScalar)->Unit(benchmark::kMillisecond);
 
 // --- Source sampling: binary-search inverse CDF vs Walker alias table -------
 
@@ -244,8 +263,9 @@ struct FomMode {
     double p99_ms = 0.0;
 };
 
-FomMode run_fom_mode(physics::TransportMode mode) {
-    const auto slab = fom_slab(mode);
+FomMode run_fom_mode(physics::TransportMode mode,
+                     core::simd::Policy simd = core::simd::Policy::kAuto) {
+    const auto slab = fom_slab(mode, simd);
     const physics::MaxwellianSpectrum spectrum(1.0, 0.0253);
     constexpr int kReps = 9;
     std::vector<double> seconds;
@@ -296,9 +316,20 @@ double time_sampler_ns(const physics::Spectrum& spectrum, bool fast) {
 
 void emit_fom_json(std::ostream& log) {
     const FomMode analog = run_fom_mode(physics::TransportMode::kAnalog);
+    // "implicit" is the production auto tier; the forced-scalar row isolates
+    // the SIMD speedup from the variance-reduction FOM gain.
+    const FomMode implicit_scalar =
+        run_fom_mode(physics::TransportMode::kImplicitCapture,
+                     core::simd::Policy::kForceScalar);
     const FomMode implicit =
         run_fom_mode(physics::TransportMode::kImplicitCapture);
     const double ratio = analog.fom > 0.0 ? implicit.fom / analog.fom : 0.0;
+    const core::simd::Tier tier =
+        core::simd::resolve(core::simd::Policy::kAuto);
+    const double simd_speedup =
+        implicit_scalar.histories_per_s > 0.0
+            ? implicit.histories_per_s / implicit_scalar.histories_per_s
+            : 0.0;
 
     const auto spectrum = sampling_bench_spectrum();
     spectrum.prepare_sampling();
@@ -315,10 +346,14 @@ void emit_fom_json(std::ostream& log) {
                        core::format_fixed(m.p99_ms, 2)});
     };
     add("analog", analog);
-    add("implicit", implicit);
+    add("implicit/scalar", implicit_scalar);
+    add((std::string("implicit/") + core::simd::to_string(tier)).c_str(),
+        implicit);
     table.print(log);
     log << "FOM ratio (implicit/analog): " << core::format_fixed(ratio, 1)
-        << "; source sampling: inverse-CDF "
+        << "; SIMD tier " << core::simd::to_string(tier) << " "
+        << core::format_fixed(simd_speedup, 2)
+        << "x scalar; source sampling: inverse-CDF "
         << core::format_fixed(inverse_ns, 1) << " ns vs alias "
         << core::format_fixed(alias_ns, 1) << " ns\n\n";
 
@@ -343,7 +378,11 @@ void emit_fom_json(std::ostream& log) {
     mode_json("analog", analog);
     file << ',';
     mode_json("implicit", implicit);
-    file << ",\"fom_ratio\":" << json::number(ratio) << "},"
+    file << ',';
+    mode_json("implicit_scalar", implicit_scalar);
+    file << ",\"fom_ratio\":" << json::number(ratio)
+         << ",\"simd\":{\"tier\":\"" << core::simd::to_string(tier)
+         << "\",\"speedup\":" << json::number(simd_speedup) << "}},"
          << "\"source_sampling\":{\"inverse_cdf_ns\":"
          << json::number(inverse_ns)
          << ",\"alias_ns\":" << json::number(alias_ns)

@@ -21,6 +21,7 @@
 #include "core/parallel/cancel.hpp"
 #include "devices/catalog.hpp"
 #include "faultinject/avf.hpp"
+#include "physics/transport.hpp"
 #include "workloads/suite.hpp"
 
 namespace tnr::beam {
@@ -73,6 +74,12 @@ struct CampaignConfig {
     /// AVF trials per workload for the vulnerability table (0 = uniform
     /// weights, much faster).
     std::size_t avf_trials = 0;
+    /// Transport defaults (mode / batch size / SIMD tier) inherited by any
+    /// MC slab sub-analysis attached to the campaign — the same knob
+    /// vocabulary `tnr transmission` exposes, validated by the same code.
+    /// The shipped ratio pipeline attenuates the DUT stack analytically, so
+    /// these do not perturb the Fig.-5 table itself.
+    physics::TransportConfig transport;
     /// Workers for the device×workload experiment grid: 1 = serial (bitwise
     /// identical to the historical single-RNG walk), 0 = all available
     /// cores, N = devices fan out over the shared pool with one split() RNG

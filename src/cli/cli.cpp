@@ -66,6 +66,9 @@ const std::map<std::string, CommandSpec>& command_specs() {
            {"threads", true},
            {"avf-trials", true},
            {"max-attempts", true},
+           {"mode", true},
+           {"batch-size", true},
+           {"simd", true},
            {"journal", true},
            {"resume", false},
            {"csv", false}},
@@ -79,6 +82,8 @@ const std::map<std::string, CommandSpec>& command_specs() {
            {"energy-ev", true},
            {"histories", true},
            {"mode", true},
+           {"batch-size", true},
+           {"simd", true},
            {"seed", true},
            {"threads", true},
            {"csv", false}},
@@ -259,6 +264,11 @@ serve::CampaignParams campaign_params(const Flags& flags) {
         std::max(0.0, flags.get_double("avf-trials", 0.0)));
     params.max_attempts = static_cast<unsigned>(
         std::max(1.0, flags.get_double("max-attempts", 1.0)));
+    params.mode = flags.get("mode", params.mode);
+    params.batch_size = static_cast<std::uint32_t>(std::max(
+        0.0, flags.get_double("batch-size",
+                              static_cast<double>(params.batch_size))));
+    params.simd = flags.get("simd", params.simd);
     params.csv = flags.has("csv");
     return params;
 }
@@ -343,6 +353,10 @@ int cmd_transmission(const Flags& flags, std::ostream& out) {
         0.0, flags.get_double("histories",
                               static_cast<double>(params.histories))));
     params.mode = flags.get("mode", params.mode);
+    params.batch_size = static_cast<std::uint32_t>(std::max(
+        0.0, flags.get_double("batch-size",
+                              static_cast<double>(params.batch_size))));
+    params.simd = flags.get("simd", params.simd);
     params.seed = static_cast<std::uint64_t>(flags.get_double("seed", 7.0));
     params.threads = static_cast<unsigned>(
         std::max(0.0, flags.get_double("threads", 1.0)));
@@ -543,6 +557,10 @@ std::string usage() {
            "           [--max-attempts K]           retry a failing device K-1 times\n"
            "           [--journal F] [--resume]     crash-safe device journal;\n"
            "                                        --resume skips journaled devices\n"
+           "           [--mode analog|implicit] [--batch-size N]\n"
+           "           [--simd auto|avx2|scalar]    transport defaults for MC\n"
+           "                                        sub-analyses (same knobs\n"
+           "                                        as transmission)\n"
            "  detector [--days D] [--water-days D] [--seed S] [--csv]\n"
            "  transmission [--material M] [--thickness-cm T] [--energy-ev E]\n"
            "           [--histories N] [--mode analog|implicit] [--seed S]\n"
@@ -550,6 +568,10 @@ std::string usage() {
            "                                        error bars; implicit mode\n"
            "                                        uses the variance-reduced\n"
            "                                        batched kernel\n"
+           "           [--batch-size N]             SoA lanes per block\n"
+           "           [--simd auto|avx2|scalar]    kernel tier; avx2 errors\n"
+           "                                        if unavailable, scalar is\n"
+           "                                        bitwise-reproducible\n"
            "  checkpoint [--nodes N] [--device NAME] [--site S] [--rainy]\n"
            "  top10 [--csv]                        supercomputer DDR FIT\n"
            "  report [--hours H] [--seed S] [--threads N] [--per-code]   markdown study report\n"

@@ -1,0 +1,51 @@
+#include "core/simd/dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tnr::core::simd {
+
+bool avx2_compiled() noexcept {
+#if TNR_SIMD_X86_AVX2
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool avx2_usable() noexcept {
+#if TNR_SIMD_X86_AVX2
+    static const bool usable =
+        __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    return usable;
+#else
+    return false;
+#endif
+}
+
+Tier tier_from_env_string(const char* value, Tier hw_tier) noexcept {
+    if (value == nullptr || *value == '\0') return hw_tier;
+    if (std::strcmp(value, "off") == 0 || std::strcmp(value, "scalar") == 0 ||
+        std::strcmp(value, "0") == 0) {
+        return Tier::kScalar;
+    }
+    return hw_tier;
+}
+
+Tier default_tier() noexcept {
+    static const Tier tier = tier_from_env_string(
+        std::getenv("TNR_SIMD"),
+        avx2_usable() ? Tier::kAvx2 : Tier::kScalar);
+    return tier;
+}
+
+Tier resolve(Policy policy) noexcept {
+    if (default_tier() == Tier::kScalar) return Tier::kScalar;
+    return policy == Policy::kForceScalar ? Tier::kScalar : Tier::kAvx2;
+}
+
+const char* to_string(Tier tier) noexcept {
+    return tier == Tier::kAvx2 ? "avx2" : "scalar";
+}
+
+}  // namespace tnr::core::simd

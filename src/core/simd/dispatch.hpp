@@ -1,0 +1,62 @@
+#pragma once
+// Runtime SIMD dispatch for the transport hot paths.
+//
+// The kernels ship two implementations of every vectorizable sweep: a
+// portable scalar one (the bitwise-reproducible reference) and an AVX2 one
+// compiled with per-function target attributes, so the whole tree still
+// builds with the default architecture flags and the binary runs on any
+// x86-64. Which tier executes is decided once, at first use, from three
+// kill switches layered strongest-first:
+//
+//   1. build:   the TNR_SIMD CMake option (OFF compiles the AVX2 units out);
+//   2. env:     TNR_SIMD=off|scalar disables SIMD for one process — the CI
+//      forced-scalar job and the standard debugging lever;
+//   3. config:  a per-run Policy (TransportConfig::simd, the --simd flag)
+//      that can force the scalar tier or request AVX2 explicitly.
+//
+// A stronger switch always wins: a run asking for kForceAvx2 on a host
+// where the env says "off" gets the scalar tier. resolve() never throws —
+// user-facing layers that want to reject an impossible explicit request
+// check avx2_usable() themselves.
+
+namespace tnr::core::simd {
+
+/// Instruction tier a kernel actually executes.
+enum class Tier { kScalar, kAvx2 };
+
+/// Per-run preference carried in config structs (TransportConfig::simd).
+enum class Policy { kAuto, kForceScalar, kForceAvx2 };
+
+/// True when the AVX2 units were compiled in (TNR_SIMD CMake option, x86-64
+/// GCC/Clang build).
+bool avx2_compiled() noexcept;
+
+/// True when the AVX2 units are compiled in and the CPU reports AVX2+FMA.
+bool avx2_usable() noexcept;
+
+/// Pure env-string parse, exposed for tests: maps a TNR_SIMD value to a
+/// tier given the hardware tier. "off"/"scalar"/"0" force kScalar; any
+/// other value (including "auto"/"avx2"/unset) yields `hw_tier`.
+Tier tier_from_env_string(const char* value, Tier hw_tier) noexcept;
+
+/// The process-wide tier: hardware detection filtered through the TNR_SIMD
+/// environment variable. Computed once and cached.
+Tier default_tier() noexcept;
+
+/// Applies a per-run policy on top of default_tier(). kForceScalar always
+/// drops to scalar; kAuto and kForceAvx2 use the default tier (the env /
+/// build / CPU kill switches cannot be overridden upward).
+Tier resolve(Policy policy) noexcept;
+
+const char* to_string(Tier tier) noexcept;
+
+}  // namespace tnr::core::simd
+
+// Convenience feature macro for the AVX2 translation units and the gated
+// method declarations: defined to 1 only when the build can emit them.
+#if defined(TNR_SIMD_AVX2) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define TNR_SIMD_X86_AVX2 1
+#else
+#define TNR_SIMD_X86_AVX2 0
+#endif

@@ -1,0 +1,36 @@
+#pragma once
+// Batched RNG facade: pre-fills blocks of uniform / unit-exponential
+// variates from the deterministic stats::Rng stream so the vectorized
+// transport sweeps consume draws by lane index instead of calling the
+// generator mid-loop.
+//
+// Stream contract: every fill consumes exactly `n` raw rng.next() draws, in
+// order — the facade never buffers across calls, so interleaving fills with
+// direct rng use keeps the stream deterministic for a fixed seed.
+//
+// Value contract by tier:
+//   * fill_uniform is bitwise tier-invariant: the AVX2 conversion of
+//     (next() >> 11) * 2^-53 is exact, so scalar and AVX2 fills produce
+//     identical doubles from identical raw draws (pinned by test_simd).
+//   * fill_unit_exponential is -log(1 - u). The scalar tier computes it as
+//     -log1p(-u), matching Rng::exponential(1.0) bitwise; the AVX2 tier
+//     evaluates the vector log (1-u is exact for every u in [0,1), so the
+//     two tiers differ only by the ~1 ulp log rounding — statistically
+//     indistinguishable, which is all the AVX2 kernels promise).
+
+#include <cstddef>
+
+#include "core/simd/dispatch.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::core::simd {
+
+/// out[i] = rng.uniform(), bitwise, for both tiers.
+void fill_uniform(stats::Rng& rng, double* out, std::size_t n, Tier tier);
+
+/// out[i] ~ Exp(1). Scalar tier matches rng.exponential(1.0) bitwise;
+/// callers scale by 1/rate themselves.
+void fill_unit_exponential(stats::Rng& rng, double* out, std::size_t n,
+                           Tier tier);
+
+}  // namespace tnr::core::simd

@@ -1,0 +1,111 @@
+#pragma once
+// AVX2 vector-math primitives for the transport kernels. Header-only,
+// compiled with per-function target attributes so the including translation
+// unit needs no special -m flags; every function is always_inline so calls
+// from other target("avx2,fma") functions fold into one instruction stream
+// with no ABI crossing.
+//
+// Domain contracts (checked by the callers, not here):
+//   * v_log: finite, normal, strictly positive inputs. The transport paths
+//     feed it clamped grid energies (1e-7 .. 2e9 eV) and 1-u survival
+//     probabilities in [2^-53, 1].
+//   * v_uniform53: any raw 64-bit draw.
+
+#include "core/simd/dispatch.hpp"
+
+#if TNR_SIMD_X86_AVX2
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace tnr::core::simd {
+
+#define TNR_AVX2_INLINE \
+    __attribute__((target("avx2,fma"), always_inline)) static inline
+
+/// Exactly static_cast<double>(raw >> 11) * 0x1.0p-53, lane-wise — the
+/// same arithmetic as stats::Rng::uniform(), so a block of vector-converted
+/// draws is bitwise identical to the scalar stream. AVX2 has no u64->double
+/// conversion; the 53-bit value is split into 32-bit halves, each converted
+/// exactly via the 2^52 magic-number trick, and recombined. Every step is
+/// exact (the fmadd rounds an exactly-representable 53-bit integer), so no
+/// double rounding sneaks in.
+TNR_AVX2_INLINE __m256d v_uniform53(__m256i raw) noexcept {
+    const __m256i mant = _mm256_srli_epi64(raw, 11);  // < 2^53.
+    const __m256i lo32 =
+        _mm256_and_si256(mant, _mm256_set1_epi64x(0xffffffffLL));
+    const __m256i hi32 = _mm256_srli_epi64(mant, 32);  // < 2^21.
+    const __m256d magic = _mm256_set1_pd(0x1.0p52);
+    const __m256i magic_bits = _mm256_castpd_si256(magic);
+    const __m256d d_lo = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(lo32, magic_bits)), magic);
+    const __m256d d_hi = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(hi32, magic_bits)), magic);
+    const __m256d value = _mm256_fmadd_pd(d_hi, _mm256_set1_pd(0x1.0p32), d_lo);
+    return _mm256_mul_pd(value, _mm256_set1_pd(0x1.0p-53));
+}
+
+/// Natural log, fdlibm e_log.c scheme vectorized: reduce x = 2^k * m with
+/// m in [sqrt(2)/2, sqrt(2)) by integer exponent surgery, then evaluate the
+/// minimax rational for log(m) and recombine with a hi/lo split of ln 2.
+/// Accuracy is ~1 ulp over the callers' domains (FMA contraction shifts the
+/// last bit relative to libm occasionally) — plenty for sampling and for
+/// the xs table's 1e-3 interpolation contract.
+TNR_AVX2_INLINE __m256d v_log(__m256d x) noexcept {
+    const __m256i bits = _mm256_castpd_si256(x);
+    // High-word shift by (0x3ff00000 - 0x3fe6a09e) re-centres the mantissa
+    // range; the addend's low 32 bits are zero, so the 64-bit add is the
+    // fdlibm high-word add verbatim.
+    const __m256i adj =
+        _mm256_add_epi64(bits, _mm256_set1_epi64x(0x95F6200000000LL));
+    const __m256i k64 = _mm256_sub_epi64(_mm256_srli_epi64(adj, 52),
+                                         _mm256_set1_epi64x(1023));
+    const __m256i mant_bits = _mm256_add_epi64(
+        _mm256_and_si256(adj, _mm256_set1_epi64x(0x000FFFFFFFFFFFFFLL)),
+        _mm256_set1_epi64x(0x3FE6A09E00000000LL));
+    const __m256d m = _mm256_castsi256_pd(mant_bits);
+
+    // k fits int32 comfortably; narrow the 64-bit lanes and convert.
+    const __m128i k32 = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+        k64, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0)));
+    const __m256d dk = _mm256_cvtepi32_pd(k32);
+
+    const __m256d one = _mm256_set1_pd(1.0);
+    const __m256d f = _mm256_sub_pd(m, one);
+    const __m256d s = _mm256_div_pd(f, _mm256_add_pd(_mm256_set1_pd(2.0), f));
+    const __m256d z = _mm256_mul_pd(s, s);
+    const __m256d w = _mm256_mul_pd(z, z);
+
+    const __m256d lg1 = _mm256_set1_pd(6.666666666666735130e-01);
+    const __m256d lg2 = _mm256_set1_pd(3.999999999940941908e-01);
+    const __m256d lg3 = _mm256_set1_pd(2.857142874366239149e-01);
+    const __m256d lg4 = _mm256_set1_pd(2.222219843214978396e-01);
+    const __m256d lg5 = _mm256_set1_pd(1.818357216161805012e-01);
+    const __m256d lg6 = _mm256_set1_pd(1.531383769920937332e-01);
+    const __m256d lg7 = _mm256_set1_pd(1.479819860511658591e-01);
+
+    __m256d t1 = _mm256_fmadd_pd(w, lg6, lg4);
+    t1 = _mm256_fmadd_pd(w, t1, lg2);
+    t1 = _mm256_mul_pd(w, t1);
+    __m256d t2 = _mm256_fmadd_pd(w, lg7, lg5);
+    t2 = _mm256_fmadd_pd(w, t2, lg3);
+    t2 = _mm256_fmadd_pd(w, t2, lg1);
+    t2 = _mm256_mul_pd(z, t2);
+    const __m256d r = _mm256_add_pd(t1, t2);
+
+    const __m256d hfsq =
+        _mm256_mul_pd(_mm256_set1_pd(0.5), _mm256_mul_pd(f, f));
+    const __m256d ln2_hi = _mm256_set1_pd(6.93147180369123816490e-01);
+    const __m256d ln2_lo = _mm256_set1_pd(1.90821492927058770002e-10);
+    const __m256d s_term = _mm256_fmadd_pd(
+        s, _mm256_add_pd(hfsq, r), _mm256_mul_pd(dk, ln2_lo));
+    const __m256d inner = _mm256_sub_pd(_mm256_sub_pd(hfsq, s_term), f);
+    return _mm256_fmsub_pd(dk, ln2_hi, inner);
+}
+
+#undef TNR_AVX2_INLINE
+
+}  // namespace tnr::core::simd
+
+#endif  // TNR_SIMD_X86_AVX2

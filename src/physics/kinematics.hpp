@@ -1,0 +1,38 @@
+#pragma once
+// Post-collision elastic-scatter kinematics shared by every scalar
+// transport walk (analog slab, analog/implicit layered, and the batched
+// kernel's scalar tier). One history step after the scattering nuclide has
+// been sampled:
+//
+//   * above the thermal floor: isotropic centre-of-mass elastic scatter,
+//     E'/E = (A^2 + 1 + 2 A mu_cm) / (A+1)^2;
+//   * at or below the floor: the neutron re-equilibrates with the medium —
+//     energy resampled from a room-temperature Maxwellian (Gamma(2, kT) as
+//     the sum of two unit exponentials);
+//   * isotropic lab re-direction (1-D projection), with the mu == 0 lane
+//     nudged off the exactly-perpendicular singularity.
+//
+// The draw order (mu_cm, [two Maxwellian exponentials], mu) and the exact
+// arithmetic are part of the bitwise-reproducibility contract of the scalar
+// paths: tests pin fixed-seed tallies, so any change here is a breaking
+// change, not a refactor.
+
+#include "stats/rng.hpp"
+
+namespace tnr::physics {
+
+inline void scatter_elastic(double a, double thermal_floor_ev, double kt_ev,
+                            double& e, double& mu, stats::Rng& rng) noexcept {
+    if (e > thermal_floor_ev) {
+        const double mu_cm = rng.uniform(-1.0, 1.0);
+        const double a1 = a + 1.0;
+        e *= (a * a + 1.0 + 2.0 * a * mu_cm) / (a1 * a1);
+    }
+    if (e <= thermal_floor_ev) {
+        e = kt_ev * (rng.exponential(1.0) + rng.exponential(1.0));
+    }
+    mu = rng.uniform(-1.0, 1.0);
+    if (mu == 0.0) mu = 1e-12;
+}
+
+}  // namespace tnr::physics

@@ -7,7 +7,9 @@
 #include "core/obs/metrics.hpp"
 #include "core/obs/trace.hpp"
 #include "core/parallel/parallel_for.hpp"
+#include "core/simd/rng_block.hpp"
 #include "physics/cross_sections.hpp"
+#include "physics/kinematics.hpp"
 #include "physics/transport_batch.hpp"
 #include "physics/units.hpp"
 
@@ -99,17 +101,8 @@ LayeredFate LayeredTransport::transport_one(double energy_ev,
                             ? xs_[li].sample_scatter_mass(lk, rng)
                             : layer.material.sample_scatter_mass(e, sigma_s,
                                                                  rng);
-                    if (e > config_.thermal_floor_ev) {
-                        const double mu_cm = rng.uniform(-1.0, 1.0);
-                        const double a1 = a + 1.0;
-                        e *= (a * a + 1.0 + 2.0 * a * mu_cm) / (a1 * a1);
-                    }
-                    if (e <= config_.thermal_floor_ev) {
-                        e = config_.maxwellian_kt_ev *
-                            (rng.exponential(1.0) + rng.exponential(1.0));
-                    }
-                    mu = rng.uniform(-1.0, 1.0);
-                    if (mu == 0.0) mu = 1e-12;
+                    scatter_elastic(a, config_.thermal_floor_ev,
+                                    config_.maxwellian_kt_ev, e, mu, rng);
                 }
             }
         }
@@ -287,17 +280,8 @@ void LayeredTransport::transport_one_implicit(double energy_ev,
                             ? xs_[li].sample_scatter_mass(lk, rng)
                             : layer.material.sample_scatter_mass(e, sigma_s,
                                                                  rng);
-                    if (e > config_.thermal_floor_ev) {
-                        const double mu_cm = rng.uniform(-1.0, 1.0);
-                        const double a1 = a + 1.0;
-                        e *= (a * a + 1.0 + 2.0 * a * mu_cm) / (a1 * a1);
-                    }
-                    if (e <= config_.thermal_floor_ev) {
-                        e = config_.maxwellian_kt_ev *
-                            (rng.exponential(1.0) + rng.exponential(1.0));
-                    }
-                    mu = rng.uniform(-1.0, 1.0);
-                    if (mu == 0.0) mu = 1e-12;
+                    scatter_elastic(a, config_.thermal_floor_ev,
+                                    config_.maxwellian_kt_ev, e, mu, rng);
                 }
             }
         }
@@ -321,10 +305,207 @@ void LayeredTransport::transport_one_implicit(double energy_ev,
     r.absorbed_w2 += acc * acc;
 }
 
+void LayeredTransport::run_batch_implicit(
+    const std::function<double(stats::Rng&)>& sample,
+    const std::function<void(stats::Rng&, double*, std::uint32_t)>& block,
+    std::uint64_t count, stats::Rng& rng, core::simd::Tier tier,
+    LayeredResult& r) const {
+    const std::uint32_t max_lanes =
+        std::max<std::uint32_t>(1, config_.batch_size);
+    const double w_floor = config_.weight_floor;
+    const double w_survival = config_.weight_survival;
+    const double kt = config_.maxwellian_kt_ev;
+    const double thermal_floor = config_.thermal_floor_ev;
+
+    // Lane state.
+    std::vector<double> e(max_lanes), x(max_lanes), mu(max_lanes),
+        w(max_lanes), acc(max_lanes);
+    std::vector<std::uint32_t> steps(max_lanes), li(max_lanes);
+    std::vector<std::uint32_t> active, next_active;
+    active.reserve(max_lanes);
+    next_active.reserve(max_lanes);
+    // Per-step scratch, indexed by position in `active` (slot order).
+    std::vector<double> sig_s(max_lanes), sig_a(max_lanes), mass(max_lanes),
+        flight(max_lanes), u_roul(max_lanes), u_mucm(max_lanes),
+        mx1(max_lanes), mx2(max_lanes), u_mu(max_lanes);
+    // Per-layer bucket scratch for the packed lookup sweeps.
+    std::vector<std::vector<std::uint32_t>> buckets(layers_.size());
+    std::vector<double> be(max_lanes), bs(max_lanes), ba(max_lanes),
+        bu(max_lanes), bm(max_lanes), bfrac(max_lanes);
+    std::vector<std::uint32_t> bnode(max_lanes);
+
+    const auto tally_exit = [&](std::uint32_t i, bool transmitted) {
+        if (transmitted) {
+            ++r.transmitted;
+            r.transmitted_w += w[i];
+            r.transmitted_w2 += w[i] * w[i];
+            if (e[i] < kThermalCutoffEv) {
+                ++r.transmitted_thermal;
+                r.transmitted_thermal_w += w[i];
+            }
+        } else {
+            ++r.reflected;
+            r.reflected_w += w[i];
+            r.reflected_w2 += w[i] * w[i];
+            if (e[i] < kThermalCutoffEv) {
+                ++r.reflected_thermal;
+                r.reflected_thermal_w += w[i];
+            }
+        }
+        r.absorbed_w += acc[i];
+        r.absorbed_w2 += acc[i] * acc[i];
+    };
+
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+        const auto lanes = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(max_lanes, remaining));
+        remaining -= lanes;
+        r.total += lanes;
+
+        if (block) {
+            block(rng, e.data(), lanes);
+        } else {
+            for (std::uint32_t i = 0; i < lanes; ++i) e[i] = sample(rng);
+        }
+        active.clear();
+        for (std::uint32_t i = 0; i < lanes; ++i) {
+            x[i] = 0.0;
+            mu[i] = 1.0;
+            w[i] = 1.0;
+            acc[i] = 0.0;
+            steps[i] = 0;
+            active.push_back(i);
+        }
+
+        while (!active.empty()) {
+            const auto n_act = static_cast<std::uint32_t>(active.size());
+
+            // Bucket the in-flight lanes by (material) layer and run each
+            // layer's packed cross-section + scatter-mass sweep.
+            for (auto& b : buckets) b.clear();
+            for (std::uint32_t s = 0; s < n_act; ++s) {
+                const std::uint32_t i = active[s];
+                li[i] = static_cast<std::uint32_t>(layer_at(x[i]));
+                if (!layers_[li[i]].vacuum) buckets[li[i]].push_back(s);
+            }
+            for (std::size_t layer = 0; layer < buckets.size(); ++layer) {
+                const auto& b = buckets[layer];
+                if (b.empty()) continue;
+                const auto m = static_cast<std::uint32_t>(b.size());
+                for (std::uint32_t k = 0; k < m; ++k) {
+                    be[k] = e[active[b[k]]];
+                }
+                xs_[layer].lookup_batch(be.data(), m, bs.data(), ba.data(),
+                                        bnode.data(), bfrac.data(), tier);
+                core::simd::fill_uniform(rng, bu.data(), m, tier);
+                xs_[layer].sample_scatter_mass_batch(
+                    bnode.data(), bfrac.data(), bu.data(), m, bm.data(), tier);
+                for (std::uint32_t k = 0; k < m; ++k) {
+                    sig_s[b[k]] = bs[k];
+                    sig_a[b[k]] = ba[k];
+                    mass[b[k]] = bm[k];
+                }
+            }
+
+            // Block draws for every active slot (a lane consumes its slots
+            // whether or not the step branch needs them — the draws are
+            // independent of the state that skips them, so expectations are
+            // unchanged).
+            core::simd::fill_unit_exponential(rng, flight.data(), n_act, tier);
+            core::simd::fill_uniform(rng, u_roul.data(), n_act, tier);
+            core::simd::fill_uniform(rng, u_mucm.data(), n_act, tier);
+            core::simd::fill_unit_exponential(rng, mx1.data(), n_act, tier);
+            core::simd::fill_unit_exponential(rng, mx2.data(), n_act, tier);
+            core::simd::fill_uniform(rng, u_mu.data(), n_act, tier);
+
+            // One transport step per lane, same semantics as
+            // transport_one_implicit's loop body.
+            next_active.clear();
+            for (std::uint32_t s = 0; s < n_act; ++s) {
+                const std::uint32_t i = active[s];
+                const std::uint32_t layer = li[i];
+                const double layer_lo =
+                    (layer == 0) ? 0.0 : boundaries_[layer - 1];
+                const double layer_hi = boundaries_[layer];
+                bool stream = layers_[layer].vacuum;
+                if (!stream) {
+                    const double sig_t = sig_s[s] + sig_a[s];
+                    if (sig_t <= 0.0) {
+                        stream = true;
+                    } else {
+                        const double x_new =
+                            x[i] + mu[i] * flight[s] / sig_t;
+                        if (x_new > layer_hi || x_new < layer_lo) {
+                            x[i] = (mu[i] > 0.0) ? layer_hi + 1e-12
+                                                 : layer_lo - 1e-12;
+                        } else {
+                            x[i] = x_new;
+                            ++r.collisions;
+                            const double captured =
+                                w[i] * (sig_a[s] / sig_t);
+                            acc[i] += captured;
+                            r.absorbed_w_by_layer[layer] += captured;
+                            w[i] *= sig_s[s] / sig_t;
+                            if (w[i] < w_floor) {
+                                if (u_roul[s] * w_survival < w[i]) {
+                                    w[i] = w_survival;
+                                } else {
+                                    ++r.absorbed;
+                                    ++r.absorbed_by_layer[layer];
+                                    r.absorbed_w += acc[i];
+                                    r.absorbed_w2 += acc[i] * acc[i];
+                                    continue;
+                                }
+                            }
+                            const double a = mass[s];
+                            if (e[i] > thermal_floor) {
+                                const double mu_cm = -1.0 + 2.0 * u_mucm[s];
+                                const double a1 = a + 1.0;
+                                e[i] *= (a * a + 1.0 + 2.0 * a * mu_cm) /
+                                        (a1 * a1);
+                            }
+                            if (e[i] <= thermal_floor) {
+                                e[i] = kt * (mx1[s] + mx2[s]);
+                            }
+                            mu[i] = -1.0 + 2.0 * u_mu[s];
+                            if (mu[i] == 0.0) mu[i] = 1e-12;
+                        }
+                    }
+                }
+                if (stream) {
+                    x[i] = (mu[i] > 0.0) ? layer_hi + 1e-12 : layer_lo - 1e-12;
+                }
+
+                if (x[i] >= total_) {
+                    tally_exit(i, true);
+                    continue;
+                }
+                if (x[i] <= 0.0) {
+                    tally_exit(i, false);
+                    continue;
+                }
+                if (++steps[i] >= config_.max_scatters) {
+                    ++r.lost;
+                    const std::size_t stall = layer_at(x[i]);
+                    r.absorbed_w_by_layer[stall] += w[i];
+                    acc[i] += w[i];
+                    r.absorbed_w += acc[i];
+                    r.absorbed_w2 += acc[i] * acc[i];
+                    continue;
+                }
+                next_active.push_back(i);
+            }
+            std::swap(active, next_active);
+        }
+    }
+}
+
 template <typename SampleEnergy>
-LayeredResult LayeredTransport::run_histories(SampleEnergy&& sample,
-                                              std::uint64_t n,
-                                              stats::Rng& rng) const {
+LayeredResult LayeredTransport::run_histories(
+    SampleEnergy&& sample, std::uint64_t n, stats::Rng& rng,
+    const std::function<void(stats::Rng&, double*, std::uint32_t)>& block)
+    const {
     const core::obs::Span span("transport.layered", "transport");
     const bool implicit = config_.mode == TransportMode::kImplicitCapture;
     if (implicit && (!(config_.weight_floor > 0.0) ||
@@ -332,14 +513,26 @@ LayeredResult LayeredTransport::run_histories(SampleEnergy&& sample,
         throw std::invalid_argument(
             "LayeredTransport: need 0 < weight_floor <= weight_survival");
     }
+    // The batched walk needs the table's packed lookups; the scalar tier
+    // keeps the per-history loop bitwise identical to the historical one.
+    const core::simd::Tier tier = config_.use_xs_table
+                                      ? core::simd::resolve(config_.simd)
+                                      : core::simd::Tier::kScalar;
+    const bool batched = implicit && tier == core::simd::Tier::kAvx2;
+    const std::function<double(stats::Rng&)> source =
+        batched ? std::function<double(stats::Rng&)>(sample)
+                : std::function<double(stats::Rng&)>{};
     LayeredResult merged = core::parallel::parallel_for_reduce<LayeredResult>(
         n, config_.threads, rng,
-        [this, &sample, implicit](std::uint64_t, std::uint64_t count,
-                                  stats::Rng& stream) {
+        [this, &sample, &block, &source, implicit, batched, tier](
+            std::uint64_t, std::uint64_t count, stats::Rng& stream) {
             LayeredResult result;
             result.absorbed_by_layer.assign(layers_.size(), 0);
             result.absorbed_w_by_layer.assign(layers_.size(), 0.0);
-            if (implicit) {
+            if (batched) {
+                run_batch_implicit(source, block, count, stream, tier,
+                                   result);
+            } else if (implicit) {
                 for (std::uint64_t i = 0; i < count; ++i) {
                     transport_one_implicit(sample(stream), stream, result);
                 }
@@ -372,8 +565,11 @@ LayeredResult LayeredTransport::run_histories(SampleEnergy&& sample,
 LayeredResult LayeredTransport::run_monoenergetic(double energy_ev,
                                                   std::uint64_t n,
                                                   stats::Rng& rng) const {
-    return run_histories([energy_ev](stats::Rng&) { return energy_ev; }, n,
-                         rng);
+    return run_histories(
+        [energy_ev](stats::Rng&) { return energy_ev; }, n, rng,
+        [energy_ev](stats::Rng&, double* out, std::uint32_t count) {
+            std::fill_n(out, count, energy_ev);
+        });
 }
 
 LayeredResult LayeredTransport::run_spectrum(const Spectrum& spectrum,
@@ -385,7 +581,10 @@ LayeredResult LayeredTransport::run_spectrum(const Spectrum& spectrum,
             [&spectrum](stats::Rng& stream) {
                 return spectrum.sample_energy_fast(stream);
             },
-            n, rng);
+            n, rng,
+            [&spectrum](stats::Rng& stream, double* out, std::uint32_t count) {
+                spectrum.sample_energy_block(stream, out, count);
+            });
     }
     return run_histories(
         [&spectrum](stats::Rng& stream) { return spectrum.sample_energy(stream); },

@@ -137,10 +137,24 @@ private:
     void transport_one_implicit(double energy_ev, stats::Rng& rng,
                                 LayeredResult& r) const;
 
+    /// Batched implicit-capture walk: advances a chunk of lanes in lockstep,
+    /// bucketing the in-flight lanes by layer so each material's
+    /// cross-section sweep runs through MaterialXsTable::lookup_batch (and
+    /// the scatter draws through the RNG-block facade) on the given SIMD
+    /// tier. Statistically equivalent to transport_one_implicit — same
+    /// physics per step, different draw assignment — so it only runs on the
+    /// AVX2 tier; the scalar tier keeps the per-history loop bitwise.
+    void run_batch_implicit(
+        const std::function<double(stats::Rng&)>& sample,
+        const std::function<void(stats::Rng&, double*, std::uint32_t)>& block,
+        std::uint64_t count, stats::Rng& rng, core::simd::Tier tier,
+        LayeredResult& r) const;
+
     template <typename SampleEnergy>
-    [[nodiscard]] LayeredResult run_histories(SampleEnergy&& sample,
-                                              std::uint64_t n,
-                                              stats::Rng& rng) const;
+    [[nodiscard]] LayeredResult run_histories(
+        SampleEnergy&& sample, std::uint64_t n, stats::Rng& rng,
+        const std::function<void(stats::Rng&, double*, std::uint32_t)>&
+            block = {}) const;
 
     std::vector<Layer> layers_;
     std::vector<double> boundaries_;  ///< layer upper x, size = layers.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/simd/rng_block.hpp"
 #include "physics/units.hpp"
 
 namespace tnr::physics {
@@ -114,6 +115,11 @@ double Spectrum::sample_energy_fast(stats::Rng& rng) const {
                     ln_cdf_energies_[i + 1] * frac);
 }
 
+void Spectrum::sample_energy_block(stats::Rng& rng, double* out,
+                                   std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = sample_energy_fast(rng);
+}
+
 double Spectrum::sample_energy(stats::Rng& rng) const {
     ensure_sampling_table();
     const double u = rng.uniform();
@@ -167,6 +173,22 @@ std::string MaxwellianSpectrum::name() const {
 double MaxwellianSpectrum::sample_energy(stats::Rng& rng) const {
     // E/kT^2 exp(-E/kT) is Gamma(shape=2, scale=kT): sum of two exponentials.
     return kt_ * (rng.exponential(1.0) + rng.exponential(1.0));
+}
+
+void MaxwellianSpectrum::sample_energy_block(stats::Rng& rng, double* out,
+                                             std::size_t n) const {
+    // Same Gamma(2, kT) sum as sample_energy, drawn as two block fills
+    // (all first exponentials, then all second) through the SIMD facade.
+    const auto tier = core::simd::default_tier();
+    core::simd::fill_unit_exponential(rng, out, n, tier);
+    double tmp[256];
+    for (std::size_t i = 0; i < n; i += 256) {
+        const std::size_t chunk = std::min<std::size_t>(256, n - i);
+        core::simd::fill_unit_exponential(rng, tmp, chunk, tier);
+        for (std::size_t j = 0; j < chunk; ++j) {
+            out[i + j] = kt_ * (out[i + j] + tmp[j]);
+        }
+    }
 }
 
 // --- EpithermalSpectrum ------------------------------------------------------

@@ -58,6 +58,14 @@ public:
     /// their exact samplers.
     [[nodiscard]] virtual double sample_energy_fast(stats::Rng& rng) const;
 
+    /// Fills `out[0..n)` with spectrum draws, consuming the stream in slot
+    /// order. Default: a loop of sample_energy_fast. The AVX2 transport
+    /// tier refills freed lanes through this; analytic spectra override it
+    /// with a vectorized fill (MaxwellianSpectrum runs its two-exponential
+    /// sum through the RNG-block facade).
+    virtual void sample_energy_block(stats::Rng& rng, double* out,
+                                     std::size_t n) const;
+
     /// Builds any lazy sampling state now. Lazy builds are themselves
     /// guarded by std::once_flag, so concurrent first samples are safe;
     /// calling this up front merely keeps the build cost out of the
@@ -110,6 +118,8 @@ public:
     [[nodiscard]] double sample_energy_fast(stats::Rng& rng) const override {
         return sample_energy(rng);  // analytic sampler is already O(1).
     }
+    void sample_energy_block(stats::Rng& rng, double* out,
+                             std::size_t n) const override;
     void prepare_sampling() const override {}  // analytic sampler, no state.
 
     [[nodiscard]] double kt_ev() const noexcept { return kt_; }

@@ -9,6 +9,7 @@
 #include "core/obs/trace.hpp"
 #include "core/parallel/parallel_for.hpp"
 #include "physics/cross_sections.hpp"
+#include "physics/kinematics.hpp"
 #include "physics/transport_batch.hpp"
 #include "physics/units.hpp"
 
@@ -72,22 +73,8 @@ Fate SlabTransport::transport_one(double energy_ev, stats::Rng& rng,
         const double a = use_table
                              ? xs_.sample_scatter_mass(lk, rng)
                              : material_.sample_scatter_mass(e, sigma_s, rng);
-
-        if (e > config_.thermal_floor_ev) {
-            // Isotropic CM elastic scatter: E'/E = (A^2 + 1 + 2A*mu_cm)/(A+1)^2.
-            const double mu_cm = rng.uniform(-1.0, 1.0);
-            const double a1 = a + 1.0;
-            e *= (a * a + 1.0 + 2.0 * a * mu_cm) / (a1 * a1);
-        }
-        if (e <= config_.thermal_floor_ev) {
-            // In equilibrium with the medium: Maxwellian energy (Gamma(2,kT)).
-            e = config_.maxwellian_kt_ev *
-                (rng.exponential(1.0) + rng.exponential(1.0));
-        }
-
-        // Isotropic lab re-direction after scattering (1-D projection).
-        mu = rng.uniform(-1.0, 1.0);
-        if (mu == 0.0) mu = 1e-12;
+        scatter_elastic(a, config_.thermal_floor_ev, config_.maxwellian_kt_ev,
+                        e, mu, rng);
     }
     return Fate::kLost;
 }
@@ -136,9 +123,10 @@ void record(TransportResult& r, Fate fate, double exit_e,
 }  // namespace
 
 template <typename SampleEnergy>
-TransportResult SlabTransport::run_histories(SampleEnergy&& sample,
-                                             std::uint64_t n, stats::Rng& rng,
-                                             unsigned threads) const {
+TransportResult SlabTransport::run_histories(
+    SampleEnergy&& sample, std::uint64_t n, stats::Rng& rng, unsigned threads,
+    const std::function<void(stats::Rng&, double*, std::uint32_t)>& block)
+    const {
     const core::obs::Span span("transport.slab", "transport");
     TransportResult result;
     if (config_.mode == TransportMode::kImplicitCapture) {
@@ -146,12 +134,14 @@ TransportResult SlabTransport::run_histories(SampleEnergy&& sample,
         // feeds its own RNG stream and reduction-local result.
         const SlabBatchKernel kernel(material_, xs_, thickness_, config_);
         const SlabBatchKernel::SourceSampler source = sample;
+        const SlabBatchKernel::SourceBlockSampler block_source = block;
         result = core::parallel::parallel_for_reduce<TransportResult>(
             n, threads, rng,
-            [&kernel, &source](std::uint64_t, std::uint64_t count,
-                               stats::Rng& stream) {
+            [&kernel, &source, &block_source](std::uint64_t,
+                                              std::uint64_t count,
+                                              stats::Rng& stream) {
                 TransportResult r;
-                kernel.run(source, count, stream, r);
+                kernel.run(source, block_source, count, stream, r);
                 return r;
             },
             [](TransportResult& acc, const TransportResult& p) {
@@ -198,8 +188,12 @@ TransportResult SlabTransport::run_histories(SampleEnergy&& sample,
 TransportResult SlabTransport::run_monoenergetic(double energy_ev,
                                                  std::uint64_t n,
                                                  stats::Rng& rng) const {
-    return run_histories([energy_ev](stats::Rng&) { return energy_ev; }, n,
-                         rng, config_.threads);
+    return run_histories(
+        [energy_ev](stats::Rng&) { return energy_ev; }, n, rng,
+        config_.threads,
+        [energy_ev](stats::Rng&, double* out, std::uint32_t count) {
+            std::fill_n(out, count, energy_ev);
+        });
 }
 
 TransportResult SlabTransport::run_spectrum(const Spectrum& spectrum,
@@ -217,7 +211,10 @@ TransportResult SlabTransport::run_spectrum(const Spectrum& spectrum,
             [&spectrum](stats::Rng& stream) {
                 return spectrum.sample_energy_fast(stream);
             },
-            n, rng, config_.threads);
+            n, rng, config_.threads,
+            [&spectrum](stats::Rng& stream, double* out, std::uint32_t count) {
+                spectrum.sample_energy_block(stream, out, count);
+            });
     }
     return run_histories(
         [&spectrum](stats::Rng& stream) { return spectrum.sample_energy(stream); },

@@ -15,7 +15,9 @@
 // temperature Maxwellian).
 
 #include <cstdint>
+#include <functional>
 
+#include "core/simd/dispatch.hpp"
 #include "physics/materials.hpp"
 #include "physics/spectrum.hpp"
 #include "physics/xs_table.hpp"
@@ -75,6 +77,14 @@ struct TransportConfig {
     /// terminated. Unbiased for any 0 < floor <= survival.
     double weight_floor = 0.25;
     double weight_survival = 1.0;
+    /// SIMD tier for the implicit-capture kernels: kAuto runs the AVX2
+    /// sweeps when the build/CPU/TNR_SIMD-env kill switches allow it,
+    /// kForceScalar pins the bitwise-reproducible scalar tier, kForceAvx2
+    /// requires AVX2 (user-facing layers reject it when unavailable; the
+    /// kernels themselves fall back to scalar). The analog mode and any
+    /// scalar-tier run are unaffected — they keep their historical draw
+    /// sequences exactly.
+    core::simd::Policy simd = core::simd::Policy::kAuto;
 };
 
 /// Mean / variance of one weighted tally, normalized per source neutron.
@@ -208,11 +218,15 @@ public:
     [[nodiscard]] double analytic_transmission(double energy_ev) const;
 
 private:
+    /// `block`, when non-empty, is handed to the batched kernel as its lane
+    /// refill source (the AVX2 tier's vectorized path); the scalar tiers
+    /// ignore it.
     template <typename SampleEnergy>
-    [[nodiscard]] TransportResult run_histories(SampleEnergy&& sample,
-                                                std::uint64_t n,
-                                                stats::Rng& rng,
-                                                unsigned threads) const;
+    [[nodiscard]] TransportResult run_histories(
+        SampleEnergy&& sample, std::uint64_t n, stats::Rng& rng,
+        unsigned threads,
+        const std::function<void(stats::Rng&, double*, std::uint32_t)>&
+            block = {}) const;
 
     Material material_;
     double thickness_;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "physics/kinematics.hpp"
 #include "physics/units.hpp"
 
 namespace tnr::physics {
@@ -25,6 +26,41 @@ SlabBatchKernel::SlabBatchKernel(const Material& material,
 
 void SlabBatchKernel::run(const SourceSampler& sample, std::uint64_t count,
                           stats::Rng& rng, TransportResult& result) const {
+    run(sample, SourceBlockSampler{}, count, rng, result);
+}
+
+void SlabBatchKernel::run(const SourceSampler& sample,
+                          const SourceBlockSampler& block,
+                          std::uint64_t count, stats::Rng& rng,
+                          TransportResult& result) const {
+    // The exact-formula path has no batched cross-section evaluation, so it
+    // always runs the scalar tier.
+    const core::simd::Tier tier = config_.use_xs_table
+                                      ? core::simd::resolve(config_.simd)
+                                      : core::simd::Tier::kScalar;
+#if TNR_SIMD_X86_AVX2
+    if (tier == core::simd::Tier::kAvx2) {
+        if (block) {
+            run_avx2(block, count, rng, result);
+        } else {
+            run_avx2(
+                [&sample](stats::Rng& stream, double* out, std::uint32_t n) {
+                    for (std::uint32_t i = 0; i < n; ++i) out[i] = sample(stream);
+                },
+                count, rng, result);
+        }
+        return;
+    }
+#else
+    (void)block;
+#endif
+    (void)tier;
+    run_scalar(sample, count, rng, result);
+}
+
+void SlabBatchKernel::run_scalar(const SourceSampler& sample,
+                                 std::uint64_t count, stats::Rng& rng,
+                                 TransportResult& result) const {
     const std::uint32_t max_lanes = std::max<std::uint32_t>(1, config_.batch_size);
     const bool use_table = config_.use_xs_table;
     const double w_floor = config_.weight_floor;
@@ -154,16 +190,7 @@ void SlabBatchKernel::run(const SourceSampler& sample, std::uint64_t count,
                                      ? xs_->sample_scatter_mass(lk[i], rng)
                                      : material_->sample_scatter_mass(
                                            e[i], sig_s[i], rng);
-                if (e[i] > thermal_floor) {
-                    const double mu_cm = rng.uniform(-1.0, 1.0);
-                    const double a1 = a + 1.0;
-                    e[i] *= (a * a + 1.0 + 2.0 * a * mu_cm) / (a1 * a1);
-                }
-                if (e[i] <= thermal_floor) {
-                    e[i] = kt * (rng.exponential(1.0) + rng.exponential(1.0));
-                }
-                mu[i] = rng.uniform(-1.0, 1.0);
-                if (mu[i] == 0.0) mu[i] = 1e-12;
+                scatter_elastic(a, thermal_floor, kt, e[i], mu[i], rng);
                 next_active.push_back(i);
             }
             std::swap(active, next_active);

@@ -63,13 +63,33 @@ public:
                     double thickness_cm, const TransportConfig& config);
 
     using SourceSampler = std::function<double(stats::Rng&)>;
+    /// Block source: fills `out[0..n)` with source energies, consuming the
+    /// stream in order. The AVX2 tier refills freed lanes through this
+    /// (Spectrum::sample_energy_block vectorizes the Maxwellian fill); the
+    /// scalar tier never calls it, preserving its historical draw sequence.
+    using SourceBlockSampler =
+        std::function<void(stats::Rng&, double*, std::uint32_t)>;
 
     /// Transports `count` histories whose source energies come from
     /// `sample`, accumulating counts and weighted tallies into `result`.
+    /// Dispatches on resolve(config.simd): the scalar tier is bitwise
+    /// identical to the pre-SIMD kernel; the AVX2 tier is statistically
+    /// equivalent (different draw assignment, same physics). When no block
+    /// sampler is supplied the AVX2 tier derives one from `sample`.
     void run(const SourceSampler& sample, std::uint64_t count,
              stats::Rng& rng, TransportResult& result) const;
+    void run(const SourceSampler& sample, const SourceBlockSampler& block,
+             std::uint64_t count, stats::Rng& rng,
+             TransportResult& result) const;
 
 private:
+    void run_scalar(const SourceSampler& sample, std::uint64_t count,
+                    stats::Rng& rng, TransportResult& result) const;
+#if TNR_SIMD_X86_AVX2
+    void run_avx2(const SourceBlockSampler& block, std::uint64_t count,
+                  stats::Rng& rng, TransportResult& result) const;
+#endif
+
     const Material* material_;
     const MaterialXsTable* xs_;
     double thickness_;

@@ -1,0 +1,345 @@
+// AVX2 tier of SlabBatchKernel: the branch-free flight/collision sweep.
+//
+// Layout and physics match run_scalar — the same implicit-capture weight
+// bookkeeping, roulette window and elastic kinematics — but the control
+// flow is inverted for vectors:
+//
+//   * lanes are kept dense: exits/kills mark a lane dead and a compaction
+//     pass packs survivors to the array front, so the vector sweeps always
+//     run over contiguous live lanes and freed slots are refilled from the
+//     source block sampler;
+//   * every random draw is pre-filled per lane index through the RNG-block
+//     facade (flight exponential, roulette uniform, scatter-mass uniform,
+//     mu_cm uniform, two Maxwellian exponentials, new-mu uniform), so the
+//     sweeps consume draws by slot instead of calling the generator
+//     mid-loop. A lane draws its whole collision budget even when a branch
+//     (roulette above the floor, fast-vs-thermal kinematics) would have
+//     skipped a draw in the scalar walk — draws are independent of the
+//     state that skips them, so expectations are unchanged; only the draw
+//     assignment differs, which is why this tier is statistically rather
+//     than bitwise equivalent to scalar (pinned at 3 sigma by the tests);
+//   * rare per-lane outcomes (exits, transparent media, scatter-budget
+//     exhaustion, roulette deaths) drop to scalar fix-up loops driven by
+//     movemask bits; everything hot stays masked vector arithmetic.
+
+#include "physics/transport_batch.hpp"
+
+#if TNR_SIMD_X86_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/simd/rng_block.hpp"
+#include "core/simd/vmath_avx2.hpp"
+#include "physics/units.hpp"
+
+namespace tnr::physics {
+
+__attribute__((target("avx2,fma")))
+void SlabBatchKernel::run_avx2(const SourceBlockSampler& block,
+                               std::uint64_t count, stats::Rng& rng,
+                               TransportResult& result) const {
+    namespace simd = core::simd;
+    constexpr auto kAvx2 = simd::Tier::kAvx2;
+
+    const std::uint32_t max_lanes =
+        std::max<std::uint32_t>(4, config_.batch_size);
+    const double w_floor = config_.weight_floor;
+    const double w_survival = config_.weight_survival;
+    const double kt = config_.maxwellian_kt_ev;
+    const double thermal_floor = config_.thermal_floor_ev;
+    const double max_steps = static_cast<double>(config_.max_scatters);
+    const double thickness = thickness_;
+
+    // Persistent lane state (compacted together).
+    std::vector<double> e(max_lanes), x(max_lanes), mu(max_lanes),
+        w(max_lanes), acc(max_lanes), steps(max_lanes);
+    std::vector<std::uint32_t> node(max_lanes);
+    std::vector<double> frac(max_lanes);
+    std::vector<std::uint8_t> alive(max_lanes);
+    // Per-step scratch.
+    std::vector<double> sig_s(max_lanes), sig_a(max_lanes), flight(max_lanes),
+        u_roul(max_lanes), u_mass(max_lanes), u_mucm(max_lanes),
+        mx1(max_lanes), mx2(max_lanes), u_mu(max_lanes), mass(max_lanes);
+
+    const auto tally_exit = [&result](bool transmitted, double weight,
+                                      double energy) {
+        if (transmitted) {
+            ++result.transmitted;
+            result.transmitted_w += weight;
+            result.transmitted_w2 += weight * weight;
+            if (energy < kThermalCutoffEv) {
+                ++result.transmitted_thermal;
+                result.transmitted_thermal_w += weight;
+            }
+        } else {
+            ++result.reflected;
+            result.reflected_w += weight;
+            result.reflected_w2 += weight * weight;
+            if (energy < kThermalCutoffEv) {
+                ++result.reflected_thermal;
+                result.reflected_thermal_w += weight;
+            }
+        }
+    };
+    const auto tally_absorbed = [&result](double banked) {
+        result.absorbed_w += banked;
+        result.absorbed_w2 += banked * banked;
+    };
+
+    std::uint32_t n = 0;
+    const auto compact = [&]() {
+        std::uint32_t dst = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (!alive[i]) continue;
+            if (dst != i) {
+                e[dst] = e[i];
+                x[dst] = x[i];
+                mu[dst] = mu[i];
+                w[dst] = w[i];
+                acc[dst] = acc[i];
+                steps[dst] = steps[i];
+                node[dst] = node[i];
+                frac[dst] = frac[i];
+                alive[dst] = 1;
+            }
+            ++dst;
+        }
+        n = dst;
+    };
+
+    const __m256d v_zero = _mm256_setzero_pd();
+    const __m256d v_one = _mm256_set1_pd(1.0);
+    const __m256d v_two = _mm256_set1_pd(2.0);
+    const __m256d v_neg1 = _mm256_set1_pd(-1.0);
+    const __m256d v_thick = _mm256_set1_pd(thickness);
+    const __m256d v_maxst = _mm256_set1_pd(max_steps);
+    const __m256d v_wfloor = _mm256_set1_pd(w_floor);
+    const __m256d v_wsurv = _mm256_set1_pd(w_survival);
+    const __m256d v_efloor = _mm256_set1_pd(thermal_floor);
+    const __m256d v_kt = _mm256_set1_pd(kt);
+    const __m256d v_tiny = _mm256_set1_pd(1e-12);
+
+    std::uint64_t remaining = count;
+    for (;;) {
+        compact();  // drop lanes killed by the previous roulette pass.
+
+        if (remaining > 0 && n < max_lanes) {
+            const auto take = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(max_lanes - n, remaining));
+            block(rng, e.data() + n, take);
+            for (std::uint32_t i = n; i < n + take; ++i) {
+                x[i] = 0.0;
+                mu[i] = 1.0;
+                w[i] = 1.0;
+                acc[i] = 0.0;
+                steps[i] = 0.0;
+                alive[i] = 1;
+            }
+            n += take;
+            remaining -= take;
+            result.total += take;
+        }
+        if (n == 0) break;
+
+        // Vectorized xs-table sweep + flight-length block.
+        xs_->lookup_batch(e.data(), n, sig_s.data(), sig_a.data(),
+                          node.data(), frac.data(), kAvx2);
+        simd::fill_unit_exponential(rng, flight.data(), n, kAvx2);
+
+        // Sweep A: flight, exits, implicit capture, scatter budget.
+        std::uint32_t i = 0;
+        for (; i + 4 <= n; i += 4) {
+            const __m256d vss = _mm256_loadu_pd(sig_s.data() + i);
+            const __m256d vsa = _mm256_loadu_pd(sig_a.data() + i);
+            const __m256d vsig = _mm256_add_pd(vss, vsa);
+            const __m256d m_trans = _mm256_cmp_pd(vsig, v_zero, _CMP_LE_OQ);
+            const __m256d vinv = _mm256_div_pd(v_one, vsig);
+
+            const __m256d vx = _mm256_loadu_pd(x.data() + i);
+            const __m256d vmu = _mm256_loadu_pd(mu.data() + i);
+            const __m256d vfl = _mm256_loadu_pd(flight.data() + i);
+            const __m256d vxn =
+                _mm256_fmadd_pd(_mm256_mul_pd(vmu, vfl), vinv, vx);
+
+            // Ordered compares are false on the transparent lanes' NaNs —
+            // those lanes are dead via m_trans regardless.
+            const __m256d m_exit =
+                _mm256_or_pd(_mm256_cmp_pd(vxn, v_thick, _CMP_GE_OQ),
+                             _mm256_cmp_pd(vxn, v_zero, _CMP_LE_OQ));
+            const __m256d m_dead = _mm256_or_pd(m_trans, m_exit);
+
+            // Keep the old x on transparent lanes (exit side comes from mu);
+            // exit lanes store x' so the fix-up can read the crossing side.
+            _mm256_storeu_pd(x.data() + i, _mm256_blendv_pd(vxn, vx, m_trans));
+
+            const __m256d vw = _mm256_loadu_pd(w.data() + i);
+            const __m256d vacc = _mm256_loadu_pd(acc.data() + i);
+            const __m256d captured = _mm256_andnot_pd(
+                m_dead, _mm256_mul_pd(_mm256_mul_pd(vw, vsa), vinv));
+            _mm256_storeu_pd(acc.data() + i, _mm256_add_pd(vacc, captured));
+            const __m256d vw_new =
+                _mm256_mul_pd(_mm256_mul_pd(vw, vss), vinv);
+            _mm256_storeu_pd(w.data() + i,
+                             _mm256_blendv_pd(vw_new, vw, m_dead));
+
+            __m256d vst = _mm256_loadu_pd(steps.data() + i);
+            vst = _mm256_add_pd(vst, _mm256_andnot_pd(m_dead, v_one));
+            _mm256_storeu_pd(steps.data() + i, vst);
+            const __m256d m_budget = _mm256_andnot_pd(
+                m_dead, _mm256_cmp_pd(vst, v_maxst, _CMP_GE_OQ));
+
+            const int dead_bits = _mm256_movemask_pd(m_dead);
+            const int trans_bits = _mm256_movemask_pd(m_trans);
+            const int budget_bits = _mm256_movemask_pd(m_budget);
+            result.collisions +=
+                static_cast<std::uint64_t>(4 - __builtin_popcount(dead_bits));
+
+            if (dead_bits) {
+                for (int lane = 0; lane < 4; ++lane) {
+                    if (!(dead_bits & (1 << lane))) continue;
+                    const std::uint32_t j = i + lane;
+                    const bool transmitted = (trans_bits & (1 << lane))
+                                                 ? mu[j] > 0.0
+                                                 : x[j] >= thickness;
+                    tally_exit(transmitted, w[j], e[j]);
+                    tally_absorbed(acc[j]);
+                    alive[j] = 0;
+                }
+            }
+            if (budget_bits) {
+                for (int lane = 0; lane < 4; ++lane) {
+                    if (!(budget_bits & (1 << lane))) continue;
+                    const std::uint32_t j = i + lane;
+                    ++result.lost;
+                    tally_absorbed(acc[j] + w[j]);
+                    alive[j] = 0;
+                }
+            }
+        }
+        for (; i < n; ++i) {  // scalar tail, same semantics.
+            const double sig_t = sig_s[i] + sig_a[i];
+            if (sig_t <= 0.0) {
+                tally_exit(mu[i] > 0.0, w[i], e[i]);
+                tally_absorbed(acc[i]);
+                alive[i] = 0;
+                continue;
+            }
+            x[i] += mu[i] * flight[i] / sig_t;
+            if (x[i] >= thickness || x[i] <= 0.0) {
+                tally_exit(x[i] >= thickness, w[i], e[i]);
+                tally_absorbed(acc[i]);
+                alive[i] = 0;
+                continue;
+            }
+            ++result.collisions;
+            acc[i] += w[i] * (sig_a[i] / sig_t);
+            w[i] *= sig_s[i] / sig_t;
+            steps[i] += 1.0;
+            if (steps[i] >= max_steps) {
+                ++result.lost;
+                tally_absorbed(acc[i] + w[i]);
+                alive[i] = 0;
+            }
+        }
+
+        compact();  // ~half the lanes exit per step on thin slabs.
+        if (n == 0) continue;
+
+        // Collision draw blocks for the survivors, in fixed slot order.
+        simd::fill_uniform(rng, u_roul.data(), n, kAvx2);
+        simd::fill_uniform(rng, u_mass.data(), n, kAvx2);
+        simd::fill_uniform(rng, u_mucm.data(), n, kAvx2);
+        simd::fill_unit_exponential(rng, mx1.data(), n, kAvx2);
+        simd::fill_unit_exponential(rng, mx2.data(), n, kAvx2);
+        simd::fill_uniform(rng, u_mu.data(), n, kAvx2);
+
+        // Sweep B1: Russian roulette below the weight floor.
+        i = 0;
+        for (; i + 4 <= n; i += 4) {
+            const __m256d vw = _mm256_loadu_pd(w.data() + i);
+            const __m256d m_below = _mm256_cmp_pd(vw, v_wfloor, _CMP_LT_OQ);
+            const __m256d vu = _mm256_loadu_pd(u_roul.data() + i);
+            const __m256d m_surv =
+                _mm256_cmp_pd(_mm256_mul_pd(vu, v_wsurv), vw, _CMP_LT_OQ);
+            const __m256d m_boost = _mm256_and_pd(m_below, m_surv);
+            const __m256d m_die = _mm256_andnot_pd(m_surv, m_below);
+            _mm256_storeu_pd(w.data() + i,
+                             _mm256_blendv_pd(vw, v_wsurv, m_boost));
+            const int die_bits = _mm256_movemask_pd(m_die);
+            if (die_bits) {
+                for (int lane = 0; lane < 4; ++lane) {
+                    if (!(die_bits & (1 << lane))) continue;
+                    const std::uint32_t j = i + lane;
+                    ++result.absorbed;
+                    tally_absorbed(acc[j]);
+                    alive[j] = 0;
+                }
+            }
+        }
+        for (; i < n; ++i) {
+            if (w[i] >= w_floor) continue;
+            if (u_roul[i] * w_survival < w[i]) {
+                w[i] = w_survival;
+            } else {
+                ++result.absorbed;
+                tally_absorbed(acc[i]);
+                alive[i] = 0;
+            }
+        }
+
+        // Sweep B2: scattering-nuclide selection + elastic kinematics.
+        // Roulette-killed lanes compute garbage here and are compacted away
+        // at the top of the next iteration — cheaper than re-packing twice.
+        xs_->sample_scatter_mass_batch(node.data(), frac.data(),
+                                       u_mass.data(), n, mass.data(), kAvx2);
+        i = 0;
+        for (; i + 4 <= n; i += 4) {
+            const __m256d va = _mm256_loadu_pd(mass.data() + i);
+            __m256d ve = _mm256_loadu_pd(e.data() + i);
+            const __m256d m_fast = _mm256_cmp_pd(ve, v_efloor, _CMP_GT_OQ);
+
+            const __m256d vmu_cm = _mm256_fmadd_pd(
+                _mm256_loadu_pd(u_mucm.data() + i), v_two, v_neg1);
+            const __m256d va1 = _mm256_add_pd(va, v_one);
+            const __m256d num =
+                _mm256_fmadd_pd(_mm256_mul_pd(v_two, va), vmu_cm,
+                                _mm256_fmadd_pd(va, va, v_one));
+            const __m256d ve_fast =
+                _mm256_mul_pd(ve, _mm256_div_pd(num, _mm256_mul_pd(va1, va1)));
+            ve = _mm256_blendv_pd(ve, ve_fast, m_fast);
+
+            const __m256d m_cold = _mm256_cmp_pd(ve, v_efloor, _CMP_LE_OQ);
+            const __m256d ve_maxw = _mm256_mul_pd(
+                v_kt, _mm256_add_pd(_mm256_loadu_pd(mx1.data() + i),
+                                    _mm256_loadu_pd(mx2.data() + i)));
+            ve = _mm256_blendv_pd(ve, ve_maxw, m_cold);
+            _mm256_storeu_pd(e.data() + i, ve);
+
+            __m256d vmu = _mm256_fmadd_pd(_mm256_loadu_pd(u_mu.data() + i),
+                                          v_two, v_neg1);
+            const __m256d m_zero_mu = _mm256_cmp_pd(vmu, v_zero, _CMP_EQ_OQ);
+            vmu = _mm256_blendv_pd(vmu, v_tiny, m_zero_mu);
+            _mm256_storeu_pd(mu.data() + i, vmu);
+        }
+        for (; i < n; ++i) {
+            const double a = mass[i];
+            if (e[i] > thermal_floor) {
+                const double mu_cm = -1.0 + 2.0 * u_mucm[i];
+                const double a1 = a + 1.0;
+                e[i] *= (a * a + 1.0 + 2.0 * a * mu_cm) / (a1 * a1);
+            }
+            if (e[i] <= thermal_floor) {
+                e[i] = kt * (mx1[i] + mx2[i]);
+            }
+            mu[i] = -1.0 + 2.0 * u_mu[i];
+            if (mu[i] == 0.0) mu[i] = 1e-12;
+        }
+    }
+}
+
+}  // namespace tnr::physics
+
+#endif  // TNR_SIMD_X86_AVX2

@@ -143,6 +143,56 @@ double MaterialXsTable::sample_scatter_mass(const Lookup& lk,
     return mass_numbers_.back();
 }
 
+void MaterialXsTable::lookup_batch(const double* energy_ev, std::size_t n,
+                                   double* sigma_s, double* sigma_a,
+                                   std::uint32_t* node, double* frac,
+                                   core::simd::Tier tier) const noexcept {
+#if TNR_SIMD_X86_AVX2
+    if (tier == core::simd::Tier::kAvx2) {
+        lookup_batch_avx2(energy_ev, n, sigma_s, sigma_a, node, frac);
+        return;
+    }
+#endif
+    (void)tier;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Lookup lk = lookup(energy_ev[i]);
+        sigma_s[i] = lk.sigma_scatter;
+        sigma_a[i] = lk.sigma_absorb;
+        node[i] = static_cast<std::uint32_t>(lk.node);
+        frac[i] = lk.frac;
+    }
+}
+
+void MaterialXsTable::sample_scatter_mass_batch(
+    const std::uint32_t* node, const double* frac, const double* u,
+    std::size_t n, double* mass, core::simd::Tier tier) const noexcept {
+    if (components_ == 1) {
+        const double m = mass_numbers_.front();
+        for (std::size_t i = 0; i < n; ++i) mass[i] = m;
+        return;
+    }
+#if TNR_SIMD_X86_AVX2
+    if (tier == core::simd::Tier::kAvx2) {
+        sample_scatter_mass_batch_avx2(node, frac, u, n, mass);
+        return;
+    }
+#endif
+    (void)tier;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double* lo = &cum_elastic_[node[i] * components_];
+        const double* hi = lo + components_;
+        double m = mass_numbers_.back();
+        for (std::size_t c = 0; c + 1 < components_; ++c) {
+            const double cum = lo[c] + frac[i] * (hi[c] - lo[c]);
+            if (u[i] < cum) {
+                m = mass_numbers_[c];
+                break;
+            }
+        }
+        mass[i] = m;
+    }
+}
+
 double MaterialXsTable::min_energy_ev() const noexcept { return kGridMinEv; }
 double MaterialXsTable::max_energy_ev() const noexcept { return kGridMaxEv; }
 

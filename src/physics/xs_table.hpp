@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/simd/dispatch.hpp"
 #include "physics/materials.hpp"
 #include "stats/rng.hpp"
 
@@ -70,6 +71,26 @@ public:
     [[nodiscard]] double sample_scatter_mass(const Lookup& lk,
                                              stats::Rng& rng) const noexcept;
 
+    /// Batched lookup over `n` energies for the vectorized transport sweep.
+    /// The scalar tier loops lookup() (bitwise identical to n single calls);
+    /// the AVX2 tier does the whole locate — vector log, multiply-and-floor
+    /// cell index, accel_/node gathers, interpolation — 4 lanes at a time,
+    /// with lanes that land in a cell holding inserted kink nodes (or on an
+    /// exact cell edge) patched up by a scalar lookup() over the rare-lane
+    /// mask. Same <1e-3 accuracy contract as lookup().
+    void lookup_batch(const double* energy_ev, std::size_t n, double* sigma_s,
+                      double* sigma_a, std::uint32_t* node, double* frac,
+                      core::simd::Tier tier) const noexcept;
+
+    /// Batched sample_scatter_mass over pre-drawn uniforms: mass[i] is the
+    /// nuclide selected by u[i] at grid position (node[i], frac[i]). Both
+    /// tiers implement the identical cumulative-table walk (the AVX2 tier
+    /// with per-component gathers and blends).
+    void sample_scatter_mass_batch(const std::uint32_t* node,
+                                   const double* frac, const double* u,
+                                   std::size_t n, double* mass,
+                                   core::simd::Tier tier) const noexcept;
+
     [[nodiscard]] std::size_t grid_size() const noexcept {
         return ln_energy_.size();
     }
@@ -77,6 +98,16 @@ public:
     [[nodiscard]] double max_energy_ev() const noexcept;
 
 private:
+#if TNR_SIMD_X86_AVX2
+    void lookup_batch_avx2(const double* energy_ev, std::size_t n,
+                           double* sigma_s, double* sigma_a,
+                           std::uint32_t* node, double* frac) const noexcept;
+    void sample_scatter_mass_batch_avx2(const std::uint32_t* node,
+                                        const double* frac, const double* u,
+                                        std::size_t n,
+                                        double* mass) const noexcept;
+#endif
+
     std::size_t components_ = 0;
     double ln_e_min_ = 0.0;
     double inv_cell_width_ = 0.0;        ///< 1 / uniform cell width in ln E.

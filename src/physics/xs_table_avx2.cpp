@@ -1,0 +1,153 @@
+// AVX2 tier of MaterialXsTable::lookup_batch / sample_scatter_mass_batch.
+// Compiled with per-function target attributes (no global -mavx2); the
+// whole file is inert when the build or platform lacks the AVX2 units.
+//
+// The vector locate mirrors the scalar lookup(): clamp, vector log,
+// multiply-and-floor cell index, a gather through accel_, then bound
+// gathers on ln_energy_. Lanes whose accel node does not directly bracket
+// ln E — cells holding cadmium's inserted kink nodes, or an energy landing
+// exactly on a cell edge — fail the bracket test and are recomputed with
+// the scalar lookup(); that keeps the vector body branch-free while the
+// kink cells keep their exact short-scan semantics.
+
+#include "physics/xs_table.hpp"
+
+#if TNR_SIMD_X86_AVX2
+
+#include <immintrin.h>
+
+#include "core/simd/vmath_avx2.hpp"
+
+namespace tnr::physics {
+
+__attribute__((target("avx2,fma")))
+void MaterialXsTable::lookup_batch_avx2(const double* energy_ev,
+                                        std::size_t n, double* sigma_s,
+                                        double* sigma_a, std::uint32_t* node,
+                                        double* frac) const noexcept {
+    const double* ln_grid = ln_energy_.data();
+    const double* ss = sigma_s_.data();
+    const double* sa = sigma_a_.data();
+    const auto* accel = reinterpret_cast<const int*>(accel_.data());
+
+    const __m256d v_min = _mm256_set1_pd(min_energy_ev());
+    const __m256d v_max = _mm256_set1_pd(max_energy_ev());
+    const __m256d v_ln_min = _mm256_set1_pd(ln_e_min_);
+    const __m256d v_inv_w = _mm256_set1_pd(inv_cell_width_);
+    const __m256d v_cell_max =
+        _mm256_set1_pd(static_cast<double>(accel_.size() - 1));
+    const __m256d v_zero = _mm256_setzero_pd();
+    const __m256d v_one = _mm256_set1_pd(1.0);
+
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256d e = _mm256_loadu_pd(energy_ev + i);
+        e = _mm256_min_pd(_mm256_max_pd(e, v_min), v_max);
+        const __m256d ln_e = core::simd::v_log(e);
+
+        __m256d cell_f =
+            _mm256_mul_pd(_mm256_sub_pd(ln_e, v_ln_min), v_inv_w);
+        cell_f = _mm256_min_pd(_mm256_max_pd(cell_f, v_zero), v_cell_max);
+        const __m128i cell = _mm256_cvttpd_epi32(cell_f);
+
+        const __m128i lo = _mm_i32gather_epi32(accel, cell, 4);
+        const __m128i hi = _mm_add_epi32(lo, _mm_set1_epi32(1));
+        const __m256d ln_lo = _mm256_i32gather_pd(ln_grid, lo, 8);
+        const __m256d ln_hi = _mm256_i32gather_pd(ln_grid, hi, 8);
+
+        // Bracket test: accel's node is the answer iff ln_lo <= ln_e < ln_hi.
+        const __m256d ok =
+            _mm256_and_pd(_mm256_cmp_pd(ln_lo, ln_e, _CMP_LE_OQ),
+                          _mm256_cmp_pd(ln_e, ln_hi, _CMP_LT_OQ));
+
+        __m256d fr = _mm256_div_pd(_mm256_sub_pd(ln_e, ln_lo),
+                                   _mm256_sub_pd(ln_hi, ln_lo));
+        fr = _mm256_min_pd(_mm256_max_pd(fr, v_zero), v_one);
+
+        const __m256d ss_lo = _mm256_i32gather_pd(ss, lo, 8);
+        const __m256d ss_hi = _mm256_i32gather_pd(ss, hi, 8);
+        const __m256d sa_lo = _mm256_i32gather_pd(sa, lo, 8);
+        const __m256d sa_hi = _mm256_i32gather_pd(sa, hi, 8);
+
+        _mm256_storeu_pd(sigma_s + i,
+                         _mm256_fmadd_pd(fr, _mm256_sub_pd(ss_hi, ss_lo),
+                                         ss_lo));
+        _mm256_storeu_pd(sigma_a + i,
+                         _mm256_fmadd_pd(fr, _mm256_sub_pd(sa_hi, sa_lo),
+                                         sa_lo));
+        _mm256_storeu_pd(frac + i, fr);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(node + i), lo);
+
+        const int mask = _mm256_movemask_pd(ok);
+        if (mask != 0xF) {
+            for (int lane = 0; lane < 4; ++lane) {
+                if (mask & (1 << lane)) continue;
+                const Lookup lk = lookup(energy_ev[i + lane]);
+                sigma_s[i + lane] = lk.sigma_scatter;
+                sigma_a[i + lane] = lk.sigma_absorb;
+                node[i + lane] = static_cast<std::uint32_t>(lk.node);
+                frac[i + lane] = lk.frac;
+            }
+        }
+    }
+    for (; i < n; ++i) {
+        const Lookup lk = lookup(energy_ev[i]);
+        sigma_s[i] = lk.sigma_scatter;
+        sigma_a[i] = lk.sigma_absorb;
+        node[i] = static_cast<std::uint32_t>(lk.node);
+        frac[i] = lk.frac;
+    }
+}
+
+__attribute__((target("avx2,fma")))
+void MaterialXsTable::sample_scatter_mass_batch_avx2(
+    const std::uint32_t* node, const double* frac, const double* u,
+    std::size_t n, double* mass) const noexcept {
+    const double* cum = cum_elastic_.data();
+    const int comps = static_cast<int>(components_);
+    const __m256d last_mass = _mm256_set1_pd(mass_numbers_.back());
+
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i nd =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(node + i));
+        const __m128i base_lo = _mm_mullo_epi32(nd, _mm_set1_epi32(comps));
+        const __m128i base_hi = _mm_add_epi32(base_lo, _mm_set1_epi32(comps));
+        const __m256d fr = _mm256_loadu_pd(frac + i);
+        const __m256d uu = _mm256_loadu_pd(u + i);
+
+        __m256d m = last_mass;
+        __m256d found = _mm256_setzero_pd();
+        for (int c = 0; c + 1 < comps; ++c) {
+            const __m128i off = _mm_set1_epi32(c);
+            const __m256d cum_lo =
+                _mm256_i32gather_pd(cum, _mm_add_epi32(base_lo, off), 8);
+            const __m256d cum_hi =
+                _mm256_i32gather_pd(cum, _mm_add_epi32(base_hi, off), 8);
+            const __m256d cmix =
+                _mm256_fmadd_pd(fr, _mm256_sub_pd(cum_hi, cum_lo), cum_lo);
+            const __m256d take = _mm256_andnot_pd(
+                found, _mm256_cmp_pd(uu, cmix, _CMP_LT_OQ));
+            m = _mm256_blendv_pd(m, _mm256_set1_pd(mass_numbers_[c]), take);
+            found = _mm256_or_pd(found, take);
+        }
+        _mm256_storeu_pd(mass + i, m);
+    }
+    for (; i < n; ++i) {
+        const double* lo = &cum_elastic_[node[i] * components_];
+        const double* hi = lo + components_;
+        double m = mass_numbers_.back();
+        for (std::size_t c = 0; c + 1 < components_; ++c) {
+            const double cmix = lo[c] + frac[i] * (hi[c] - lo[c]);
+            if (u[i] < cmix) {
+                m = mass_numbers_[c];
+                break;
+            }
+        }
+        mass[i] = m;
+    }
+}
+
+}  // namespace tnr::physics
+
+#endif  // TNR_SIMD_X86_AVX2

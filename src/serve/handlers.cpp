@@ -45,6 +45,47 @@ physics::Material material_by_name(const std::string& name) {
 
 }  // namespace
 
+void apply_transport_knobs(physics::TransportConfig& cfg,
+                           const std::string& mode, std::uint32_t batch_size,
+                           const std::string& simd,
+                           const std::string& context) {
+    if (mode == "implicit") {
+        cfg.mode = physics::TransportMode::kImplicitCapture;
+    } else if (mode == "analog") {
+        cfg.mode = physics::TransportMode::kAnalog;
+    } else {
+        throw core::RunError::config(context + ": mode must be analog|implicit");
+    }
+    if (batch_size > 0) {
+        constexpr std::uint32_t kMaxBatch = 1u << 20;
+        if (batch_size > kMaxBatch) {
+            throw core::RunError::config(
+                context + ": batch-size must be between 1 and " +
+                std::to_string(kMaxBatch));
+        }
+        cfg.batch_size = batch_size;
+    }
+    if (simd == "auto") {
+        cfg.simd = core::simd::Policy::kAuto;
+    } else if (simd == "scalar" || simd == "off") {
+        cfg.simd = core::simd::Policy::kForceScalar;
+    } else if (simd == "avx2") {
+        // An explicit tier request fails fast instead of silently running
+        // scalar: resolve() folds in the build, CPU and TNR_SIMD switches.
+        if (core::simd::resolve(core::simd::Policy::kForceAvx2) !=
+            core::simd::Tier::kAvx2) {
+            throw core::RunError::config(
+                context +
+                ": simd=avx2 requested but the AVX2 tier is unavailable "
+                "(not compiled in, unsupported CPU, or disabled by TNR_SIMD)");
+        }
+        cfg.simd = core::simd::Policy::kForceAvx2;
+    } else {
+        throw core::RunError::config(context +
+                                     ": simd must be auto|avx2|scalar|off");
+    }
+}
+
 environment::Site site_by_name(const std::string& name, bool rainy) {
     environment::Site site = [&] {
         if (name == "nyc") return environment::nyc_datacenter();
@@ -123,11 +164,8 @@ std::string render_transmission(const TransmissionParams& params) {
     }
     physics::TransportConfig cfg;
     cfg.threads = params.threads;
-    if (params.mode == "implicit") {
-        cfg.mode = physics::TransportMode::kImplicitCapture;
-    } else if (params.mode != "analog") {
-        throw core::RunError::config("transmission: mode must be analog|implicit");
-    }
+    apply_transport_knobs(cfg, params.mode, params.batch_size, params.simd,
+                          "transmission");
     const physics::SlabTransport slab(material_by_name(params.material),
                                       params.thickness_cm, cfg);
     stats::Rng rng(params.seed);
@@ -156,6 +194,8 @@ beam::CampaignConfig make_campaign_config(const CampaignParams& params) {
     cfg.threads = params.threads;
     cfg.avf_trials = params.avf_trials;
     cfg.max_attempts = std::max(1u, params.max_attempts);
+    apply_transport_knobs(cfg.transport, params.mode, params.batch_size,
+                          params.simd, "campaign");
     return cfg;
 }
 

@@ -12,8 +12,25 @@
 #include "beam/campaign.hpp"
 #include "core/parallel/cancel.hpp"
 #include "environment/site.hpp"
+#include "physics/transport.hpp"
 
 namespace tnr::serve {
+
+/// Shared validation for the transport-kernel knobs every transport-running
+/// command exposes (`--mode`, `--batch-size`, `--simd`): maps the string
+/// values onto `cfg` and throws RunError(kConfig) for anything unknown, so
+/// the CLI commands and the serve method schema reject bad values with one
+/// message. `context` prefixes the error ("transmission", "campaign").
+///
+///   mode        "analog" | "implicit"
+///   batch_size  lanes per SoA block; 0 keeps the kernel default
+///   simd        "auto" | "avx2" | "scalar" | "off" — "avx2" is an explicit
+///               request and fails fast when the tier is unavailable (not
+///               compiled in, CPU lacks AVX2+FMA, or TNR_SIMD disabled it)
+void apply_transport_knobs(physics::TransportConfig& cfg,
+                           const std::string& mode, std::uint32_t batch_size,
+                           const std::string& simd,
+                           const std::string& context);
 
 /// Site lookup shared by the fit/checkpoint commands and the fit handler;
 /// throws RunError(kConfig) for an unknown name.
@@ -49,7 +66,9 @@ struct TransmissionParams {
     double thickness_cm = 5.0;
     double energy_ev = 0.0253;
     std::uint64_t histories = 100'000;
-    std::string mode = "analog";  ///< "analog" | "implicit".
+    std::string mode = "analog";    ///< "analog" | "implicit".
+    std::uint32_t batch_size = 0;   ///< SoA lanes per block; 0 = kernel default.
+    std::string simd = "auto";      ///< "auto" | "avx2" | "scalar" | "off".
     std::uint64_t seed = 7;
     unsigned threads = 1;
     bool csv = false;
@@ -64,6 +83,14 @@ struct CampaignParams {
     unsigned threads = 1;
     std::size_t avf_trials = 0;
     unsigned max_attempts = 1;
+    /// Transport-kernel knobs, validated exactly like `transmission`'s (the
+    /// shared --mode/--batch-size/--simd vocabulary); they configure
+    /// CampaignConfig::transport, the defaults any MC slab sub-analysis of
+    /// the campaign inherits. The shipped ratio pipeline attenuates
+    /// analytically, so defaults leave its output bitwise unchanged.
+    std::string mode = "analog";
+    std::uint32_t batch_size = 0;
+    std::string simd = "auto";
     bool csv = false;
 };
 

@@ -87,6 +87,11 @@ CampaignParams campaign_params(const Params& params) {
     cfg.avf_trials = static_cast<std::size_t>(std::max(
         0.0, params.get_number("avf-trials",
                                static_cast<double>(cfg.avf_trials))));
+    cfg.mode = params.get_string("mode", cfg.mode);
+    cfg.batch_size = static_cast<std::uint32_t>(std::max(
+        0.0, params.get_number("batch-size",
+                               static_cast<double>(cfg.batch_size))));
+    cfg.simd = params.get_string("simd", cfg.simd);
     cfg.csv = params.get_bool("csv", cfg.csv);
     return cfg;
 }
@@ -131,14 +136,18 @@ std::string dispatch(const Request& req,
     }
     if (req.method == "transmission") {
         const Params params(req, {"material", "thickness-cm", "energy-ev",
-                                  "histories", "mode", "seed", "threads",
-                                  "csv"});
+                                  "histories", "mode", "batch-size", "simd",
+                                  "seed", "threads", "csv"});
         TransmissionParams tx;
         tx.material = params.get_string("material", tx.material);
         tx.thickness_cm = params.get_number("thickness-cm", tx.thickness_cm);
         tx.energy_ev = params.get_number("energy-ev", tx.energy_ev);
         tx.histories = params.get_seed("histories", tx.histories);
         tx.mode = params.get_string("mode", tx.mode);
+        tx.batch_size = static_cast<std::uint32_t>(std::max(
+            0.0, params.get_number("batch-size",
+                                   static_cast<double>(tx.batch_size))));
+        tx.simd = params.get_string("simd", tx.simd);
         tx.seed = params.get_seed("seed", tx.seed);
         tx.threads = static_cast<unsigned>(std::max(
             0.0, params.get_number("threads", tx.threads)));
@@ -146,13 +155,14 @@ std::string dispatch(const Request& req,
         return render_transmission(tx);
     }
     if (req.method == "sigma-ratio") {
-        const Params params(req,
-                            {"hours", "seed", "threads", "avf-trials", "csv"});
+        const Params params(req, {"hours", "seed", "threads", "avf-trials",
+                                  "mode", "batch-size", "simd", "csv"});
         return render_sigma_ratio(campaign_params(params), cancel);
     }
     if (req.method == "campaign-slice") {
-        const Params params(
-            req, {"device", "hours", "seed", "threads", "avf-trials", "csv"});
+        const Params params(req, {"device", "hours", "seed", "threads",
+                                  "avf-trials", "mode", "batch-size", "simd",
+                                  "csv"});
         SliceParams slice;
         slice.device = params.get_string("device", "");
         slice.campaign = campaign_params(params);

@@ -4,14 +4,6 @@
 
 namespace tnr::stats {
 
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-    return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) noexcept {
     SplitMix64 sm(seed);
     for (auto& s : state_) s = sm.next();
@@ -20,26 +12,6 @@ Rng::Rng(std::uint64_t seed) noexcept {
     if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
         state_[0] = 0x9e3779b97f4a7c15ULL;
     }
-}
-
-Rng::result_type Rng::next() noexcept {
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-}
-
-double Rng::uniform() noexcept {
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) noexcept {
-    return lo + (hi - lo) * uniform();
 }
 
 std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
@@ -63,11 +35,6 @@ bool Rng::bernoulli(double p) noexcept {
     if (p <= 0.0) return false;
     if (p >= 1.0) return true;
     return uniform() < p;
-}
-
-double Rng::exponential(double rate) noexcept {
-    // -log(1-u) with u in [0,1) avoids log(0).
-    return -std::log1p(-uniform()) / rate;
 }
 
 double Rng::normal() noexcept {

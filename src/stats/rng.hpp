@@ -6,6 +6,7 @@
 // every experiment is reproducible from a single 64-bit seed.
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -45,13 +46,31 @@ public:
     }
 
     result_type operator()() noexcept { return next(); }
-    result_type next() noexcept;
+
+    /// Raw 64-bit draw. Inline: the batched RNG facade (core/simd) pulls
+    /// millions of raws per transport run, so the generator step must fold
+    /// into its fill loops.
+    result_type next() noexcept {
+        const std::uint64_t result = rotl_(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl_(state_[3], 45);
+        return result;
+    }
 
     /// Uniform double in [0, 1) with 53 bits of precision.
-    double uniform() noexcept;
+    double uniform() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /// Uniform double in [lo, hi).
-    double uniform(double lo, double hi) noexcept;
+    double uniform(double lo, double hi) noexcept {
+        return lo + (hi - lo) * uniform();
+    }
 
     /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection
     /// method to avoid modulo bias.
@@ -61,7 +80,10 @@ public:
     bool bernoulli(double p) noexcept;
 
     /// Exponentially distributed variate with the given rate (1/mean).
-    double exponential(double rate) noexcept;
+    double exponential(double rate) noexcept {
+        // -log(1-u) with u in [0,1) avoids log(0).
+        return -std::log1p(-uniform()) / rate;
+    }
 
     /// Standard normal via Box-Muller (cached second variate).
     double normal() noexcept;
@@ -79,6 +101,10 @@ public:
     Rng split() noexcept;
 
 private:
+    static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<std::uint64_t, 4> state_;
     double cached_normal_ = 0.0;
     bool has_cached_normal_ = false;

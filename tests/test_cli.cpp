@@ -393,5 +393,64 @@ TEST(Cli, ResumeRequiresJournal) {
     EXPECT_NE(r.err.find("journal"), std::string::npos);
 }
 
+// --- The shared transport knobs (--mode / --batch-size / --simd) -----------
+
+TEST(Cli, TransmissionRejectsUnknownModeValue) {
+    const auto r = run_cli({"transmission", "--mode", "turbo"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("transmission: mode must be analog|implicit"),
+              std::string::npos);
+}
+
+TEST(Cli, TransmissionRejectsUnknownSimdValue) {
+    const auto r = run_cli({"transmission", "--simd", "frobnicate"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("transmission: simd must be auto|avx2|scalar|off"),
+              std::string::npos);
+}
+
+TEST(Cli, TransmissionRejectsOversizedBatch) {
+    const auto r = run_cli({"transmission", "--batch-size", "99999999"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("transmission: batch-size must be between"),
+              std::string::npos);
+}
+
+TEST(Cli, CampaignRejectsUnknownModeAndSimdValues) {
+    // The campaign accepts the same knob vocabulary, validated by the same
+    // code, so a typo fails fast before any device runs.
+    const auto mode = run_cli({"campaign", "--mode", "quantum"});
+    EXPECT_EQ(mode.code, 2);
+    EXPECT_NE(mode.err.find("campaign: mode must be analog|implicit"),
+              std::string::npos);
+    const auto simd = run_cli({"campaign", "--simd", "banana"});
+    EXPECT_EQ(simd.code, 2);
+    EXPECT_NE(simd.err.find("campaign: simd must be auto|avx2|scalar|off"),
+              std::string::npos);
+}
+
+TEST(Cli, TransmissionSimdScalarAliasesAgreeByteForByte) {
+    // "scalar" and "off" force the same tier; the forced-scalar implicit
+    // kernel is the bitwise reference, so both spellings must print the
+    // same bytes (and valid knobs must not be rejected).
+    const std::vector<std::string> base = {
+        "transmission", "--histories", "5000", "--mode",
+        "implicit",     "--seed",      "21"};
+    auto with = [&base](const std::string& simd) {
+        auto args = base;
+        args.insert(args.end(), {"--simd", simd});
+        return run_cli(args);
+    };
+    const auto scalar = with("scalar");
+    const auto off = with("off");
+    ASSERT_EQ(scalar.code, 0) << scalar.err;
+    ASSERT_EQ(off.code, 0) << off.err;
+    EXPECT_EQ(scalar.out, off.out);
+    // --batch-size is accepted and only changes throughput, not validity.
+    auto batched = base;
+    batched.insert(batched.end(), {"--batch-size", "128"});
+    EXPECT_EQ(run_cli(batched).code, 0);
+}
+
 }  // namespace
 }  // namespace tnr::cli

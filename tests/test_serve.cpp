@@ -218,6 +218,36 @@ TEST(Serve, TransmissionRejectsBadModeAndMaterial) {
     EXPECT_EQ(status_of(session.lines[1]), "error");
 }
 
+TEST(Serve, TransportKnobsRejectUnknownValuesUniformly) {
+    // The --mode/--batch-size/--simd vocabulary is part of the serve schema
+    // on every method that runs (or configures) transport: an unknown value
+    // is an error response, never a silent default.
+    const auto session = run_serve(
+        {R"({"id":"s1","method":"transmission","params":{"simd":"frobnicate"}})",
+         R"({"id":"s2","method":"transmission",)"
+         R"("params":{"batch-size":99999999}})",
+         R"({"id":"s3","method":"sigma-ratio",)"
+         R"("params":{"hours":0.1,"mode":"quantum"}})",
+         R"({"id":"s4","method":"campaign-slice",)"
+         R"("params":{"device":"NVIDIA K20","hours":0.1,"simd":"banana"}})"});
+    ASSERT_EQ(session.lines.size(), 4u);
+    for (const auto& line : session.lines) {
+        EXPECT_EQ(status_of(line), "error") << line;
+    }
+}
+
+TEST(Serve, TransmissionScalarSimdKnobMatchesCliByteForByte) {
+    const auto session = run_serve(
+        {R"({"id":"k1","method":"transmission",)"
+         R"("params":{"histories":5000,"mode":"implicit","seed":21,)"
+         R"("simd":"scalar","batch-size":128}})"});
+    ASSERT_EQ(session.lines.size(), 1u);
+    EXPECT_EQ(output_of(session.lines[0]),
+              cli_stdout({"transmission", "--histories", "5000", "--mode",
+                          "implicit", "--seed", "21", "--simd", "scalar",
+                          "--batch-size", "128"}));
+}
+
 // --- Acceptance (b): repeat requests hit the cache, byte-identically -------
 
 TEST(Serve, RepeatedRequestServedFromCacheIsByteIdentical) {
