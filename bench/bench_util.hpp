@@ -69,14 +69,17 @@ inline std::string slug(const std::string& title) {
 }
 
 inline void write_json(const std::string& path, const char* title,
-                       const std::vector<RecordingReporter::Row>& rows) {
+                       const std::vector<RecordingReporter::Row>& rows,
+                       const std::string& extra_json) {
     std::ofstream file(path);
     if (!file) {
         std::cerr << "bench: cannot open " << path << '\n';
         return;
     }
     namespace json = tnr::core::obs::json;
-    file << "{\"title\":\"" << json::escape(title) << "\",\"benchmarks\":[";
+    file << "{\"title\":\"" << json::escape(title) << "\",";
+    if (!extra_json.empty()) file << extra_json << ',';
+    file << "\"benchmarks\":[";
     bool first = true;
     for (const auto& row : rows) {
         if (!first) file << ',';
@@ -95,9 +98,15 @@ inline void write_json(const std::string& path, const char* title,
 
 /// Prints a banner, runs the table emitter, then hands off to
 /// google-benchmark; timing rows land in BENCH_<slug(title)>.json in the
-/// working directory. Call from each bench's main().
-inline int run_bench_main(int argc, char** argv, const char* title,
-                          const std::function<void(std::ostream&)>& emit_table) {
+/// working directory. Call from each bench's main(). `extra_json` (optional)
+/// supplies extra top-level JSON members — `"key":{...}` fragments, comma
+/// separated — spliced into the file after `title`; it runs at shutdown, so
+/// it may report results the table emitter stashed aside (the pattern
+/// bench_serve's obs_overhead experiment uses).
+inline int run_bench_main(
+    int argc, char** argv, const char* title,
+    const std::function<void(std::ostream&)>& emit_table,
+    const std::function<std::string()>& extra_json = {}) {
     std::cout << "==== " << title << " ====\n\n";
     emit_table(std::cout);
     std::cout << std::endl;
@@ -106,7 +115,7 @@ inline int run_bench_main(int argc, char** argv, const char* title,
     detail::RecordingReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     detail::write_json("BENCH_" + detail::slug(title) + ".json", title,
-                       reporter.rows());
+                       reporter.rows(), extra_json ? extra_json() : "");
     benchmark::Shutdown();
     return 0;
 }

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (v0.0.4) file.
+
+Checks the subset of the format contract the tnr registry writer promises:
+
+  * every sample line parses as  name[{labels}] value
+  * metric and label names match the Prometheus grammar
+  * each family has exactly one `# TYPE` line, appearing before its first
+    sample
+  * the TYPE is one of counter / gauge / summary / histogram / untyped
+  * no duplicate (name, labels) sample within the exposition
+  * counter and gauge samples are finite numbers; summaries may be NaN
+    (an empty quantile is legitimately NaN)
+  * no trailing whitespace, no blank interior lines, file ends with '\n'
+
+Usage: lint_prometheus.py FILE [FILE...]   (or stdin when no args)
+Exits non-zero and prints one line per violation.
+"""
+
+import math
+import re
+import sys
+
+METRIC_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+# Samples of a summary/histogram family carry these suffixes on the
+# family name declared by the TYPE line.
+FAMILY_SUFFIXES = ("_sum", "_count", "_bucket")
+
+
+def base_family(name, typed_families):
+    """Map a sample name back to its TYPE-declared family."""
+    if name in typed_families:
+        return name
+    for suffix in FAMILY_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in typed_families:
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_sample(line):
+    """Return (name, labels_str, value_str) or None if unparseable."""
+    m = METRIC_RE.match(line)
+    if not m:
+        return None
+    name = m.group(0)
+    rest = line[m.end():]
+    labels = ""
+    if rest.startswith("{"):
+        end = rest.find("}")
+        if end < 0:
+            return None
+        labels = rest[1:end]
+        rest = rest[end + 1:]
+    if not rest.startswith(" "):
+        return None
+    value = rest[1:]
+    # Optional trailing timestamp: "value ts"
+    return name, labels, value.split(" ")[0]
+
+
+def lint(text, path):
+    errors = []
+
+    def err(lineno, msg):
+        errors.append(f"{path}:{lineno}: {msg}")
+
+    if text == "":
+        err(0, "empty exposition")
+        return errors
+    if not text.endswith("\n"):
+        err(text.count("\n") + 1, "file does not end with a newline")
+
+    typed_families = {}     # family -> (type, lineno)
+    samples_seen = {}       # (name, canonical labels) -> lineno
+    family_sampled = set()  # families that already emitted a sample
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line != line.rstrip():
+            err(lineno, "trailing whitespace")
+            line = line.rstrip()
+        if line == "":
+            err(lineno, "blank line inside exposition")
+            continue
+
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    err(lineno, f"malformed TYPE line: {line!r}")
+                    continue
+                _, _, family, kind = parts
+                if kind not in TYPES:
+                    err(lineno, f"unknown metric type {kind!r} for {family}")
+                if family in typed_families:
+                    err(lineno, f"duplicate TYPE line for {family} "
+                                f"(first at line {typed_families[family][1]})")
+                elif family in family_sampled:
+                    err(lineno, f"TYPE line for {family} appears after "
+                                f"its first sample")
+                else:
+                    typed_families[family] = (kind, lineno)
+            # HELP/comment lines are otherwise unconstrained.
+            continue
+
+        parsed = parse_sample(line)
+        if parsed is None:
+            err(lineno, f"unparseable sample line: {line!r}")
+            continue
+        name, labels, value = parsed
+
+        label_pairs = []
+        if labels:
+            consumed = LABEL_RE.findall(labels)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in consumed)
+            if rebuilt != labels:
+                err(lineno, f"malformed label set {{{labels}}}")
+            label_pairs = sorted(consumed)
+
+        family = base_family(name, typed_families)
+        family_sampled.add(family)
+        if family not in typed_families:
+            err(lineno, f"sample {name} has no preceding # TYPE line")
+            kind = None
+        else:
+            kind = typed_families[family][0]
+
+        key = (name, tuple(label_pairs))
+        if key in samples_seen:
+            err(lineno, f"duplicate sample {name}{{{labels}}} "
+                        f"(first at line {samples_seen[key]})")
+        else:
+            samples_seen[key] = lineno
+
+        try:
+            v = float(value)
+        except ValueError:
+            err(lineno, f"non-numeric value {value!r} for {name}")
+            continue
+        if kind in ("counter", "gauge") and not math.isfinite(v):
+            err(lineno, f"non-finite {kind} value {value} for {name}")
+
+    for family, (kind, lineno) in typed_families.items():
+        if family not in family_sampled:
+            err(lineno, f"TYPE line for {family} has no samples")
+
+    return errors
+
+
+def main(argv):
+    paths = argv[1:] or ["-"]
+    all_errors = []
+    total_samples = 0
+    for path in paths:
+        text = sys.stdin.read() if path == "-" else open(path).read()
+        errors = lint(text, "<stdin>" if path == "-" else path)
+        all_errors.extend(errors)
+        total_samples += sum(
+            1 for l in text.splitlines() if l and not l.startswith("#"))
+    for e in all_errors:
+        print(e, file=sys.stderr)
+    if all_errors:
+        print(f"lint_prometheus: {len(all_errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint_prometheus: ok ({total_samples} samples, "
+          f"{len(paths)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,14 +2,22 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <streambuf>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "beam/campaign.hpp"
 #include "beam/journal.hpp"
@@ -17,6 +25,7 @@
 #include "core/error.hpp"
 #include "core/fit.hpp"
 #include "core/markdown_report.hpp"
+#include "core/obs/json.hpp"
 #include "core/obs/manifest.hpp"
 #include "core/obs/metrics.hpp"
 #include "core/obs/progress.hpp"
@@ -44,7 +53,7 @@ struct FlagSpec {
 /// Telemetry and verbosity flags accepted by every command.
 constexpr FlagSpec kGlobalFlags[] = {
     {"quiet", false},        {"verbose", false},    {"metrics-out", true},
-    {"trace-out", true},     {"manifest-out", true},
+    {"trace-out", true},     {"manifest-out", true}, {"metrics-interval", true},
 };
 
 struct CommandSpec {
@@ -104,7 +113,19 @@ const std::map<std::string, CommandSpec>& command_specs() {
            {"per-code", false}},
           2020}},
         {"serve",
-         {{{"max-inflight", true}, {"cache-capacity", true}, {"socket", true}},
+         {{{"max-inflight", true},
+           {"cache-capacity", true},
+           {"socket", true},
+           {"slow-ms", true},
+           {"slow-log", true}},
+          std::nullopt}},
+        {"stats",
+         {{{"socket", true},
+           {"watch", false},
+           {"interval", true},
+           {"polls", true},
+           {"window-s", true},
+           {"format", true}},
           std::nullopt}},
     };
     return specs;
@@ -234,6 +255,9 @@ void print_table(const core::TablePrinter& table, bool csv, std::ostream& out) {
         table.print(out);
     }
 }
+
+std::ofstream open_sink(const std::string& path, const char* what,
+                        bool append = false);
 
 int cmd_list_devices(std::ostream& out) {
     out << serve::render_list_devices();
@@ -422,6 +446,16 @@ int cmd_serve(const Flags& flags, const Io& io, RunContext& ctx,
         std::max(0.0, flags.get_double("cache-capacity", 128.0)));
     options.verbose = io.verbose;
     options.stop = &core::parallel::global_cancel_token();
+    options.slow_ms = flags.get_double("slow-ms", 0.0);
+    std::ofstream slow_log_file;
+    if (const std::string path = flags.get("slow-log", ""); !path.empty()) {
+        if (!(options.slow_ms > 0.0)) {
+            throw core::RunError::config(
+                "--slow-log requires --slow-ms to arm the threshold");
+        }
+        slow_log_file = open_sink(path, "slow log");
+        options.slow_log = &slow_log_file;
+    }
     serve::Server server(options);
 
     const std::string socket_path = flags.get("socket", "");
@@ -448,6 +482,261 @@ int cmd_serve(const Flags& flags, const Io& io, RunContext& ctx,
     return 0;
 }
 
+/// Minimal blocking client for `tnr stats`: one connection to the unix
+/// socket of a running `tnr serve --socket`, newline-delimited JSON
+/// request/response round trips on it.
+class SocketClient {
+public:
+    explicit SocketClient(const std::string& path) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (path.size() >= sizeof(addr.sun_path)) {
+            throw core::RunError::config("socket path too long: " + path);
+        }
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      path.c_str());
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0) {
+            throw core::RunError::io("socket() failed for " + path);
+        }
+        if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+            throw core::RunError::io(
+                "cannot connect to " + path +
+                " (is `tnr serve --socket` running there?)");
+        }
+    }
+    ~SocketClient() {
+        if (fd_ >= 0) ::close(fd_);
+    }
+    SocketClient(const SocketClient&) = delete;
+    SocketClient& operator=(const SocketClient&) = delete;
+
+    /// Sends one request line and reads one response line (no newline).
+    std::string round_trip(const std::string& request) {
+        const std::string framed = request + "\n";
+        const char* p = framed.data();
+        std::size_t left = framed.size();
+        while (left > 0) {
+            const ssize_t n = ::write(fd_, p, left);
+            if (n <= 0) {
+                throw core::RunError::io("socket write failed");
+            }
+            p += n;
+            left -= static_cast<std::size_t>(n);
+        }
+        std::string response;
+        char c = 0;
+        ssize_t n = 0;
+        while ((n = ::read(fd_, &c, 1)) == 1 && c != '\n') {
+            response.push_back(c);
+        }
+        if (n <= 0 && response.empty()) {
+            throw core::RunError::io("server closed the connection");
+        }
+        return response;
+    }
+
+private:
+    int fd_ = -1;
+};
+
+/// Walks an object path and returns the number found there (0.0 on any
+/// missing/mistyped step — stats fields are additive, absent means zero).
+double num_at(const obs::json::Value& doc,
+              std::initializer_list<const char*> path) {
+    const obs::json::Value* cur = &doc;
+    for (const char* key : path) {
+        cur = cur->is_object() ? cur->find(key) : nullptr;
+        if (cur == nullptr) return 0.0;
+    }
+    return cur->is_number() ? cur->num : 0.0;
+}
+
+/// One stats round trip: sends the request, validates the envelope, and
+/// returns the server's `output` payload (stats JSON or Prometheus text).
+std::string fetch_stats(SocketClient& client, std::uint64_t seq,
+                        double window_s, bool prometheus) {
+    std::ostringstream req;
+    req << "{\"id\":\"stats-" << seq << "\",\"method\":\"stats\",\"params\":{";
+    if (prometheus) req << "\"format\":\"prometheus\",";
+    req << "\"window-s\":" << obs::json::number(window_s) << "}}";
+    const std::string line = client.round_trip(req.str());
+    const auto doc = obs::json::parse(line);
+    if (!doc || !doc->is_object()) {
+        throw core::RunError::io("malformed stats response: " + line);
+    }
+    const obs::json::Value* status = doc->find("status");
+    if (status == nullptr || status->str != "ok") {
+        const obs::json::Value* error = doc->find("error");
+        const obs::json::Value* msg =
+            error != nullptr ? error->find("message") : nullptr;
+        throw core::RunError::io("server error: " +
+                                 (msg != nullptr ? msg->str : line));
+    }
+    const obs::json::Value* output = doc->find("output");
+    if (output == nullptr || !output->is_string()) {
+        throw core::RunError::io("stats response has no output: " + line);
+    }
+    return output->str;
+}
+
+/// Renders one parsed stats snapshot as the two human tables (summary +
+/// per-method latency).
+void render_stats_tables(const obs::json::Value& stats, std::ostream& out) {
+    core::TablePrinter summary({"metric", "value"});
+    summary.add_row({"uptime [s]",
+                     core::format_fixed(num_at(stats, {"uptime_s"}), 1)});
+    summary.add_row(
+        {"inflight",
+         core::format_fixed(num_at(stats, {"inflight"}), 0) + " / " +
+             core::format_fixed(num_at(stats, {"max_inflight"}), 0)});
+    summary.add_row({"requests",
+                     core::format_fixed(num_at(stats, {"requests", "total"}), 0)});
+    summary.add_row({"  ok",
+                     core::format_fixed(num_at(stats, {"requests", "ok"}), 0)});
+    summary.add_row(
+        {"  error", core::format_fixed(num_at(stats, {"requests", "error"}), 0)});
+    summary.add_row(
+        {"  cancelled",
+         core::format_fixed(num_at(stats, {"requests", "cancelled"}), 0)});
+    summary.add_row(
+        {"  coalesced",
+         core::format_fixed(num_at(stats, {"requests", "coalesced"}), 0)});
+    summary.add_row(
+        {"windowed req/s",
+         core::format_fixed(num_at(stats, {"requests", "rate_per_s"}), 2)});
+    summary.add_row(
+        {"cache hit rate",
+         core::format_percent(num_at(stats, {"cache", "hit_rate"}))});
+    summary.add_row(
+        {"cache size",
+         core::format_fixed(num_at(stats, {"cache", "size"}), 0) + " / " +
+             core::format_fixed(num_at(stats, {"cache", "capacity"}), 0)});
+    summary.add_row(
+        {"cache evictions",
+         core::format_fixed(num_at(stats, {"cache", "evictions"}), 0)});
+    summary.add_row(
+        {"kernel histories",
+         core::format_fixed(num_at(stats, {"kernel", "histories"}), 0)});
+    const obs::json::Value* tier = stats.find("kernel");
+    const obs::json::Value* tier_name =
+        tier != nullptr && tier->is_object() ? tier->find("simd_tier") : nullptr;
+    summary.add_row({"simd tier",
+                     tier_name != nullptr && tier_name->is_string()
+                         ? tier_name->str
+                         : "unknown"});
+    summary.print(out);
+
+    const obs::json::Value* methods = stats.find("methods");
+    if (methods == nullptr || !methods->is_object()) return;
+    out << '\n';
+    core::TablePrinter latency(
+        {"method", "count", "p50 [ms]", "p90 [ms]", "p99 [ms]"});
+    for (const auto& [name, value] : methods->object) {
+        latency.add_row({name,
+                         core::format_fixed(num_at(value, {"count"}), 0),
+                         core::format_fixed(num_at(value, {"p50_ms"}), 3),
+                         core::format_fixed(num_at(value, {"p90_ms"}), 3),
+                         core::format_fixed(num_at(value, {"p99_ms"}), 3)});
+    }
+    latency.print(out);
+}
+
+int cmd_stats(const Flags& flags, const Io& io) {
+    const std::string socket_path = flags.get("socket", "");
+    if (socket_path.empty()) {
+        throw core::RunError::config("stats requires --socket PATH");
+    }
+    const std::string format = flags.get("format", "table");
+    if (format != "table" && format != "json" && format != "prometheus") {
+        throw core::RunError::config(
+            "--format must be table, json, or prometheus");
+    }
+    const bool watch = flags.has("watch");
+    const double interval_s =
+        std::max(0.01, flags.get_double("interval", 2.0));
+    // In watch mode the server-side rate window tracks the poll interval,
+    // so the printed req/s is the rate since (roughly) the previous poll.
+    const double window_s =
+        flags.get_double("window-s", watch ? interval_s : 10.0);
+    if (!(window_s > 0.0)) {
+        throw core::RunError::config("--window-s must be > 0");
+    }
+    const auto polls = static_cast<std::uint64_t>(
+        std::max(0.0, flags.get_double("polls", 0.0)));
+
+    SocketClient client(socket_path);
+    if (!watch) {
+        const std::string output =
+            fetch_stats(client, 0, window_s, format == "prometheus");
+        if (format != "table") {
+            io.out << output;
+            return 0;
+        }
+        const auto stats = obs::json::parse(output);
+        if (!stats) {
+            throw core::RunError::io("malformed stats payload: " + output);
+        }
+        render_stats_tables(*stats, io.out);
+        return 0;
+    }
+
+    // Watch mode: poll forever (or --polls times), one line per poll. The
+    // first line shows lifetime totals; later lines add the deltas since
+    // the previous poll, computed client-side from the two snapshots.
+    double prev_total = 0.0;
+    double prev_hits = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t poll = 0; polls == 0 || poll < polls; ++poll) {
+        if (poll > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(interval_s));
+        }
+        const std::string output =
+            fetch_stats(client, poll, window_s, format == "prometheus");
+        if (format != "table") {
+            // Raw payload per poll (JSON line or Prometheus exposition).
+            io.out << output << std::flush;
+            continue;
+        }
+        const auto stats = obs::json::parse(output);
+        if (!stats) {
+            throw core::RunError::io("malformed stats payload: " + output);
+        }
+        const double elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+        const double total = num_at(*stats, {"requests", "total"});
+        const double hits = num_at(*stats, {"cache", "hits"});
+        io.out << "t+" << core::format_fixed(elapsed, 1) << "s  requests "
+               << core::format_fixed(total, 0);
+        if (poll > 0) {
+            const double delta = total - prev_total;
+            io.out << " (+" << core::format_fixed(delta, 0) << ", "
+                   << core::format_fixed(delta / interval_s, 1) << "/s)";
+        }
+        io.out << "  ok " << core::format_fixed(
+                      num_at(*stats, {"requests", "ok"}), 0)
+               << "  err "
+               << core::format_fixed(num_at(*stats, {"requests", "error"}), 0)
+               << "  cache hits " << core::format_fixed(hits, 0);
+        if (poll > 0) {
+            io.out << " (+" << core::format_fixed(hits - prev_hits, 0) << ")";
+        }
+        io.out << "  inflight "
+               << core::format_fixed(num_at(*stats, {"inflight"}), 0) << "/"
+               << core::format_fixed(num_at(*stats, {"max_inflight"}), 0)
+               << '\n'
+               << std::flush;
+        prev_total = total;
+        prev_hits = hits;
+    }
+    return 0;
+}
+
 int dispatch(const std::string& cmd, const Flags& flags, const Io& io,
              RunContext& ctx, std::istream& in) {
     if (cmd == "list-devices") return cmd_list_devices(io.out);
@@ -459,6 +748,7 @@ int dispatch(const std::string& cmd, const Flags& flags, const Io& io,
     if (cmd == "report") return cmd_report(flags, io);
     if (cmd == "top10") return cmd_top10(flags, io.out);
     if (cmd == "serve") return cmd_serve(flags, io, ctx, in);
+    if (cmd == "stats") return cmd_stats(flags, io);
     throw std::logic_error("dispatch: unreachable command " + cmd);
 }
 
@@ -510,8 +800,9 @@ obs::RunManifest build_manifest(const std::vector<std::string>& args,
 }
 
 /// Opens `path` for writing or throws core::RunError (kIo, exit code 3).
-std::ofstream open_sink(const std::string& path, const char* what) {
-    std::ofstream file(path);
+std::ofstream open_sink(const std::string& path, const char* what,
+                        bool append) {
+    std::ofstream file(path, append ? std::ios::app : std::ios::out);
     if (!file) {
         throw core::RunError::io(std::string("cannot open ") + what +
                                  " file: " + path);
@@ -519,10 +810,62 @@ std::ofstream open_sink(const std::string& path, const char* what) {
     return file;
 }
 
+/// Background thread for --metrics-interval: appends one timestamped
+/// registry snapshot line to the metrics sink every tick, turning the
+/// one-shot snapshot file into a JSON-lines stream. The final
+/// manifest+metrics line is appended by write_sinks after the run, so the
+/// last line of the file keeps the plain-mode shape.
+class MetricsEmitter {
+public:
+    MetricsEmitter(std::ofstream file, double interval_s)
+        : file_(std::move(file)),
+          interval_s_(interval_s),
+          thread_([this] { loop(); }) {}
+
+    ~MetricsEmitter() { stop(); }
+
+    /// Idempotent: joins the thread and flushes/closes the sink.
+    void stop() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (done_) return;
+            done_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+        file_.flush();
+        file_.close();
+    }
+
+private:
+    void loop() {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!cv_.wait_for(lock, std::chrono::duration<double>(interval_s_),
+                             [this] { return done_; })) {
+            const double elapsed =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+            file_ << "{\"elapsed_s\":" << obs::json::number(elapsed)
+                  << ",\"metrics\":" << obs::Registry::global().to_json()
+                  << "}\n";
+            file_.flush();
+        }
+    }
+
+    std::ofstream file_;
+    double interval_s_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    std::thread thread_;
+};
+
 void write_sinks(const Flags& flags, const obs::RunManifest& manifest,
-                 const Io& io) {
+                 const Io& io, bool metrics_append) {
     if (const std::string path = flags.get("metrics-out", ""); !path.empty()) {
-        auto file = open_sink(path, "metrics");
+        auto file = open_sink(path, "metrics", metrics_append);
         file << "{\"manifest\":" << manifest.to_json() << ",\"metrics\":"
              << obs::Registry::global().to_json() << "}\n";
         if (io.verbose) io.diag << "tnr: wrote metrics snapshot to " << path << '\n';
@@ -581,6 +924,15 @@ std::string usage() {
            "                                       unix socket), one JSON\n"
            "                                       response line each; see\n"
            "                                       docs/serving.md\n"
+           "        [--slow-ms T] [--slow-log F]   log requests slower than\n"
+           "                                       T ms as JSON lines (to\n"
+           "                                       stderr, or to F)\n"
+           "  stats --socket PATH [--watch] [--interval S] [--polls N]\n"
+           "        [--window-s W] [--format table|json|prometheus]\n"
+           "                                       query a running serve\n"
+           "                                       instance: one snapshot, or\n"
+           "                                       --watch for per-interval\n"
+           "                                       deltas (--polls 0 = forever)\n"
            "\n"
            "global flags (every command):\n"
            "  --version          print the build version and exit\n"
@@ -591,6 +943,10 @@ std::string usage() {
            "  --trace-out F      write a Chrome trace_event JSON file; open\n"
            "                     in chrome://tracing or ui.perfetto.dev\n"
            "  --manifest-out F   write the reproducibility manifest alone\n"
+           "  --metrics-interval S   with --metrics-out: stream a registry\n"
+           "                     snapshot line every S seconds while the\n"
+           "                     command runs (JSON lines; the final\n"
+           "                     manifest+metrics line is appended last)\n"
            "\n"
            "Results go to stdout; diagnostics and progress go to stderr.\n"
            "Unknown flags are errors.\n"
@@ -634,6 +990,22 @@ int run(const std::vector<std::string>& args, std::istream& in,
 
         if (flags.has("trace-out")) obs::Tracer::global().enable();
 
+        // --metrics-interval: stream registry snapshots to the metrics sink
+        // while the command runs; write_sinks then appends the final
+        // manifest+metrics line instead of truncating them away.
+        const double metrics_interval =
+            flags.get_double("metrics-interval", 0.0);
+        std::optional<MetricsEmitter> emitter;
+        if (metrics_interval > 0.0) {
+            const std::string metrics_path = flags.get("metrics-out", "");
+            if (metrics_path.empty()) {
+                throw core::RunError::config(
+                    "--metrics-interval requires --metrics-out");
+            }
+            emitter.emplace(open_sink(metrics_path, "metrics"),
+                            metrics_interval);
+        }
+
         const std::string started_at = obs::current_utc_timestamp();
         const auto t0 = std::chrono::steady_clock::now();
         RunContext ctx;
@@ -652,12 +1024,13 @@ int run(const std::vector<std::string>& args, std::istream& in,
         const double elapsed_s =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                 .count();
+        if (emitter) emitter->stop();  // release the sink before the append.
 
         if (code == 0 || ctx.cancelled) {
             finalize_derived_metrics(elapsed_s);
             const auto manifest = build_manifest(args, flags, spec_it->second,
                                                  elapsed_s, started_at, ctx);
-            write_sinks(flags, manifest, io);
+            write_sinks(flags, manifest, io, emitter.has_value());
             if (io.verbose) {
                 io.diag << "tnr: " << cmd << " finished in "
                         << core::format_fixed(elapsed_s, 2) << " s\n";

@@ -1,8 +1,10 @@
 #include "core/obs/metrics.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "core/obs/json.hpp"
 
@@ -21,6 +23,96 @@ std::uint64_t steady_ns() noexcept {
 // plenty for "where does the time go" questions.
 stats::Histogram latency_grid() {
     return stats::Histogram::logarithmic(1e2, 1e12, 80);  // 100 ns .. 1000 s.
+}
+
+// Samples retained per counter for snapshot_delta. At the fastest sensible
+// poll cadence (one per second from a watch client) this covers a couple of
+// minutes of history; a 10 s window needs only ~11 of them.
+constexpr std::size_t kRingCapacity = 128;
+
+// Prometheus metric names allow [a-zA-Z0-9_:] only; everything else (the
+// dots in our registry spelling, mostly) becomes an underscore.
+std::string prom_name(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size() + 1);
+    for (const char c : raw) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+        out.insert(out.begin(), '_');
+    }
+    return out;
+}
+
+std::string prom_label_value(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        if (c == '\\' || c == '"') out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+// One registry key split into its Prometheus spelling: the mangled family
+// name plus a rendered `{k="v",...}` block when the key carries a
+// `{k=v,...}` suffix (see obs::labeled).
+struct PromKey {
+    std::string name;
+    std::string labels;  // "" or "{k=\"v\",...}"
+};
+
+PromKey prom_key(const std::string& key) {
+    const auto brace = key.find('{');
+    if (brace == std::string::npos || key.back() != '}') {
+        return {prom_name(key), ""};
+    }
+    PromKey out{prom_name(key.substr(0, brace)), "{"};
+    const std::string_view body(key.data() + brace + 1,
+                                key.size() - brace - 2);
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos < body.size()) {
+        auto comma = body.find(',', pos);
+        if (comma == std::string_view::npos) comma = body.size();
+        const auto item = body.substr(pos, comma - pos);
+        const auto eq = item.find('=');
+        const auto label_key = eq == std::string_view::npos
+                                   ? item
+                                   : item.substr(0, eq);
+        const auto label_value = eq == std::string_view::npos
+                                     ? std::string_view{}
+                                     : item.substr(eq + 1);
+        if (!first) out.labels += ',';
+        first = false;
+        out.labels += prom_name(label_key);
+        out.labels += "=\"";
+        out.labels += prom_label_value(label_value);
+        out.labels += '"';
+        pos = comma + 1;
+    }
+    out.labels += '}';
+    return out;
+}
+
+// Sample lines grouped per Prometheus family so each family is emitted as
+// one contiguous block under a single `# TYPE` line (the registry map is
+// sorted by full key, which interleaves `serve.request{...}` with
+// `serve.requests`).
+using FamilyBlocks =
+    std::map<std::string, std::pair<const char*, std::vector<std::string>>>;
+
+void add_sample(FamilyBlocks& blocks, const char* type,
+                const std::string& family, std::string line) {
+    auto& slot = blocks[family];
+    if (!slot.first) slot.first = type;
+    slot.second.push_back(std::move(line));
 }
 
 }  // namespace
@@ -72,6 +164,31 @@ void LatencyHistogram::reset() {
     max_ns_ = 0.0;
 }
 
+std::string labeled(std::string_view family,
+                    std::initializer_list<Label> labels) {
+    if (labels.size() == 0) return std::string(family);
+    std::vector<Label> sorted(labels);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Label& a, const Label& b) { return a.key < b.key; });
+    std::string out(family);
+    out += '{';
+    bool first = true;
+    for (const auto& l : sorted) {
+        if (!first) out += ',';
+        first = false;
+        out += l.key;
+        out += '=';
+        out += l.value;
+    }
+    out += '}';
+    return out;
+}
+
+CounterDelta DeltaSnapshot::get(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? CounterDelta{} : it->second;
+}
+
 Registry& Registry::global() {
     static Registry registry;
     return registry;
@@ -80,8 +197,11 @@ Registry& Registry::global() {
 Counter& Registry::counter(const std::string& name) {
     const std::lock_guard lock(mutex_);
     auto& slot = counters_[name];
-    if (!slot) slot = std::make_unique<Counter>();
-    return *slot;
+    if (!slot.counter) {
+        slot.counter = std::make_unique<Counter>();
+        slot.created_ns = steady_ns();
+    }
+    return *slot.counter;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
@@ -102,10 +222,10 @@ void Registry::write_json(std::ostream& out) const {
     const std::lock_guard lock(mutex_);
     out << "{\"counters\":{";
     bool first = true;
-    for (const auto& [name, c] : counters_) {
+    for (const auto& [name, slot] : counters_) {
         if (!first) out << ',';
         first = false;
-        out << '"' << json::escape(name) << "\":" << c->value();
+        out << '"' << json::escape(name) << "\":" << slot.counter->value();
     }
     out << "},\"gauges\":{";
     first = true;
@@ -138,9 +258,112 @@ std::string Registry::to_json() const {
     return oss.str();
 }
 
+void Registry::write_prometheus(std::ostream& out) const {
+    FamilyBlocks blocks;
+    {
+        const std::lock_guard lock(mutex_);
+        for (const auto& [name, slot] : counters_) {
+            const auto key = prom_key(name);
+            std::ostringstream line;
+            line << key.name << key.labels << ' ' << slot.counter->value();
+            add_sample(blocks, "counter", key.name, line.str());
+        }
+        for (const auto& [name, g] : gauges_) {
+            const auto key = prom_key(name);
+            std::ostringstream line;
+            line << key.name << key.labels << ' ' << json::number(g->value());
+            add_sample(blocks, "gauge", key.name, line.str());
+        }
+        for (const auto& [name, h] : latencies_) {
+            auto key = prom_key(name);
+            key.name += "_seconds";
+            const auto s = h->summary();
+            // Summary quantiles carry the family labels plus `quantile`;
+            // values are seconds (Prometheus base unit), our grid is ns.
+            const std::string base_labels =
+                key.labels.empty() ? "" : key.labels.substr(1, key.labels.size() - 2);
+            const auto quantile_line = [&](const char* q, double ns) {
+                std::ostringstream line;
+                line << key.name << '{' << base_labels
+                     << (base_labels.empty() ? "" : ",") << "quantile=\"" << q
+                     << "\"} " << json::number(ns * 1e-9);
+                return line.str();
+            };
+            add_sample(blocks, "summary", key.name,
+                       quantile_line("0.5", s.p50_ns));
+            add_sample(blocks, "summary", key.name,
+                       quantile_line("0.9", s.p90_ns));
+            add_sample(blocks, "summary", key.name,
+                       quantile_line("0.99", s.p99_ns));
+            std::ostringstream sum;
+            sum << key.name << "_sum" << key.labels << ' '
+                << json::number(s.total_ns * 1e-9);
+            add_sample(blocks, "summary", key.name, sum.str());
+            std::ostringstream count;
+            count << key.name << "_count" << key.labels << ' ' << s.count;
+            add_sample(blocks, "summary", key.name, count.str());
+        }
+    }
+    for (const auto& [family, block] : blocks) {
+        out << "# TYPE " << family << ' ' << block.first << '\n';
+        for (const auto& line : block.second) out << line << '\n';
+    }
+}
+
+std::string Registry::to_prometheus() const {
+    std::ostringstream oss;
+    write_prometheus(oss);
+    return oss.str();
+}
+
+DeltaSnapshot Registry::snapshot_delta(double window_s) {
+    const std::uint64_t now = steady_ns();
+    const auto window_ns = static_cast<std::uint64_t>(
+        window_s > 0.0 ? window_s * 1e9 : 0.0);
+    DeltaSnapshot snap;
+    const std::lock_guard lock(mutex_);
+    for (auto& [name, slot] : counters_) {
+        const std::uint64_t value = slot.counter->value();
+        // Baseline: the newest retained sample at least `window_s` old, the
+        // oldest retained sample when none is, the creation instant (value
+        // 0) when the ring is empty.
+        std::uint64_t base_t = slot.created_ns;
+        std::uint64_t base_v = 0;
+        bool aged = false;
+        for (auto it = slot.ring.rbegin(); it != slot.ring.rend(); ++it) {
+            if (now - it->first >= window_ns) {
+                base_t = it->first;
+                base_v = it->second;
+                aged = true;
+                break;
+            }
+        }
+        if (!aged && !slot.ring.empty()) {
+            base_t = slot.ring.front().first;
+            base_v = slot.ring.front().second;
+        }
+        CounterDelta d;
+        // A counter is monotonic unless a test reset it mid-window; clamp
+        // instead of wrapping in that case.
+        d.delta = value >= base_v ? value - base_v : value;
+        d.window_s = static_cast<double>(now - base_t) * 1e-9;
+        d.rate_per_s =
+            d.window_s > 0.0 ? static_cast<double>(d.delta) / d.window_s : 0.0;
+        snap.window_s = std::max(snap.window_s, d.window_s);
+        snap.counters.emplace(name, d);
+        slot.ring.emplace_back(now, value);
+        if (slot.ring.size() > kRingCapacity) slot.ring.pop_front();
+    }
+    return snap;
+}
+
 void Registry::reset() {
     const std::lock_guard lock(mutex_);
-    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, slot] : counters_) {
+        slot.counter->reset();
+        slot.ring.clear();
+        slot.created_ns = steady_ns();
+    }
     for (auto& [name, g] : gauges_) g->reset();
     for (auto& [name, h] : latencies_) h->reset();
 }

@@ -6,22 +6,40 @@
 //   * Counter::add / Gauge::set are single relaxed atomics — safe to leave
 //     in hot paths permanently, sink or no sink;
 //   * LatencyHistogram::record_ns takes a mutex — call it at task/span
-//     granularity (a pool task, a transport run), never per collision;
+//     granularity (a pool task, a transport run, a serve request), never
+//     per collision;
 //   * Registry::counter(name) takes the registry mutex — call sites cache
 //     the returned reference (e.g. in a function-local static). References
 //     stay valid forever: the registry never erases entries, reset() only
 //     zeroes values.
 //
-// A snapshot serializes every instrument to JSON; nothing is written
-// anywhere unless a caller asks for the snapshot (the CLI's --metrics-out).
+// Instrument *families* are spelled as dotted names with a sorted label
+// suffix — `labeled("serve.request", {{"method","fit"},{"cache","hit"}})`
+// yields the registry key `serve.request{cache=hit,method=fit}` — so one
+// logical family fans out into per-label instruments without a separate
+// label store, and the Prometheus writer can recover the labels from the
+// name.
+//
+// Snapshots come in three shapes, all pull-based (nothing is written
+// anywhere unless a caller asks):
+//   * write_json — the full point-in-time snapshot (--metrics-out);
+//   * write_prometheus — the same instruments in Prometheus v0.0.4 text
+//     exposition (counters, gauges, latency summaries);
+//   * snapshot_delta — windowed counter deltas ("req/s over the last 10 s")
+//     computed against a per-instrument ring of timestamped samples, so
+//     live rates never require resetting a counter.
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <initializer_list>
 #include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "stats/histogram.hpp"
 
@@ -94,6 +112,37 @@ private:
     double max_ns_ = 0.0;
 };
 
+/// One label of a family instrument.
+struct Label {
+    std::string_view key;
+    std::string_view value;
+};
+
+/// The canonical spelling of one instrument of a labeled family:
+/// `labeled("serve.request", {{"method","fit"},{"cache","hit"}})` returns
+/// `serve.request{cache=hit,method=fit}`. Labels are sorted by key, so the
+/// spelling — and therefore the registry slot — is independent of call-site
+/// label order. Keys and values must not contain `{`, `}`, `,`, `=` or `"`
+/// (names, not free text).
+[[nodiscard]] std::string labeled(std::string_view family,
+                                  std::initializer_list<Label> labels);
+
+/// Windowed change of one counter, from snapshot_delta.
+struct CounterDelta {
+    std::uint64_t delta = 0;   ///< value now minus value at the window edge.
+    double window_s = 0.0;     ///< the span actually covered for this counter.
+    double rate_per_s = 0.0;   ///< delta / window_s (0 for an empty window).
+};
+
+/// One windowed view over every counter; see Registry::snapshot_delta.
+struct DeltaSnapshot {
+    double window_s = 0.0;  ///< the widest span actually covered.
+    std::map<std::string, CounterDelta> counters;
+
+    /// The delta for `name`, or a zero delta if the counter is unknown.
+    [[nodiscard]] CounterDelta get(const std::string& name) const;
+};
+
 /// The process-wide instrument table. Lookup by name creates on first use;
 /// instruments live for the life of the process.
 class Registry {
@@ -114,14 +163,42 @@ public:
     void write_json(std::ostream& out) const;
     [[nodiscard]] std::string to_json() const;
 
+    /// Prometheus v0.0.4 text exposition of the same instruments: counters
+    /// and gauges as single samples, latency histograms as summaries
+    /// (quantile 0.5/0.9/0.99 plus _sum/_count, in seconds). Dotted names
+    /// become underscore names; a `{k=v,...}` family suffix becomes a
+    /// Prometheus label set, one `# TYPE` line per family. No trailing
+    /// whitespace, trailing newline terminated.
+    void write_prometheus(std::ostream& out) const;
+    [[nodiscard]] std::string to_prometheus() const;
+
+    /// Counter deltas over (up to) the last `window_s` seconds, without
+    /// resetting anything. Each call stamps the current value of every
+    /// counter into a bounded per-instrument ring and differences the live
+    /// values against the newest retained sample at least `window_s` old —
+    /// falling back to the oldest retained sample, then to the instrument's
+    /// creation (value 0). Callers that poll (the serve `stats` method,
+    /// `tnr stats --watch`) therefore get honest rates whose covered span
+    /// is reported per counter.
+    [[nodiscard]] DeltaSnapshot snapshot_delta(double window_s);
+
     /// Zeroes every instrument without invalidating references (tests).
+    /// Also drops the windowed-sample rings.
     void reset();
 
 private:
     Registry() = default;
 
+    /// A counter plus its ring of (steady_ns, value) samples for
+    /// snapshot_delta. The ring is only touched under the registry mutex.
+    struct CounterSlot {
+        std::unique_ptr<Counter> counter;
+        std::uint64_t created_ns = 0;
+        std::deque<std::pair<std::uint64_t, std::uint64_t>> ring;
+    };
+
     mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, CounterSlot> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
 };

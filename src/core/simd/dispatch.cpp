@@ -48,4 +48,16 @@ const char* to_string(Tier tier) noexcept {
     return tier == Tier::kAvx2 ? "avx2" : "scalar";
 }
 
+int tier_index(Tier tier) noexcept {
+    return tier == Tier::kAvx2 ? 1 : 0;
+}
+
+const char* tier_name(int index) noexcept {
+    switch (index) {
+        case 0: return "scalar";
+        case 1: return "avx2";
+        default: return "unknown";
+    }
+}
+
 }  // namespace tnr::core::simd

@@ -50,6 +50,13 @@ Tier resolve(Policy policy) noexcept;
 
 const char* to_string(Tier tier) noexcept;
 
+/// Numeric spelling of a tier for the `simd.tier` metrics gauge (gauges
+/// store doubles): kScalar -> 0, kAvx2 -> 1. tier_name() maps a stored
+/// number back for display ("scalar", "avx2", or "unknown" for anything
+/// out of range).
+int tier_index(Tier tier) noexcept;
+const char* tier_name(int index) noexcept;
+
 }  // namespace tnr::core::simd
 
 // Convenience feature macro for the AVX2 translation units and the gated

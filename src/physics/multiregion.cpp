@@ -116,6 +116,10 @@ LayeredFate LayeredTransport::transport_one(double energy_ev,
 void LayeredResult::merge(const LayeredResult& other) {
     total += other.total;
     collisions += other.collisions;
+    compactions += other.compactions;
+    roulette_kills += other.roulette_kills;
+    roulette_survivals += other.roulette_survivals;
+    bank_events += other.bank_events;
     transmitted += other.transmitted;
     transmitted_thermal += other.transmitted_thermal;
     reflected += other.reflected;
@@ -263,18 +267,24 @@ void LayeredTransport::transport_one_implicit(double energy_ev,
                     // Implicit capture: bank the absorbed share in this
                     // layer, keep scattering with the surviving weight.
                     ++r.collisions;
+                    ++r.bank_events;
                     const double captured = w * (sigma_a / sigma_t);
                     acc += captured;
                     r.absorbed_w_by_layer[li] += captured;
                     w *= sigma_s / sigma_t;
+                    // Telemetry only: whether roulette is played depends on
+                    // the weight alone, so peeking costs no draw.
+                    const bool rouletted = w < config_.weight_floor;
                     if (!roulette_survives(w, config_.weight_floor,
                                            config_.weight_survival, rng)) {
+                        ++r.roulette_kills;
                         ++r.absorbed;
                         ++r.absorbed_by_layer[li];
                         r.absorbed_w += acc;
                         r.absorbed_w2 += acc * acc;
                         return;
                     }
+                    if (rouletted) ++r.roulette_survivals;
                     const double a =
                         use_table
                             ? xs_[li].sample_scatter_mass(lk, rng)
@@ -442,6 +452,7 @@ void LayeredTransport::run_batch_implicit(
                         } else {
                             x[i] = x_new;
                             ++r.collisions;
+                            ++r.bank_events;
                             const double captured =
                                 w[i] * (sig_a[s] / sig_t);
                             acc[i] += captured;
@@ -450,7 +461,9 @@ void LayeredTransport::run_batch_implicit(
                             if (w[i] < w_floor) {
                                 if (u_roul[s] * w_survival < w[i]) {
                                     w[i] = w_survival;
+                                    ++r.roulette_survivals;
                                 } else {
+                                    ++r.roulette_kills;
                                     ++r.absorbed;
                                     ++r.absorbed_by_layer[layer];
                                     r.absorbed_w += acc[i];
@@ -496,6 +509,7 @@ void LayeredTransport::run_batch_implicit(
                 }
                 next_active.push_back(i);
             }
+            if (next_active.size() < active.size()) ++r.compactions;
             std::swap(active, next_active);
         }
     }
@@ -554,11 +568,27 @@ LayeredResult LayeredTransport::run_histories(
     static auto& exact_collisions =
         obs::Registry::global().counter("transport.collisions_xs_exact");
     static auto& runs = obs::Registry::global().counter("transport.runs");
+    static auto& compactions =
+        obs::Registry::global().counter("transport.compactions");
+    static auto& roulette_kills =
+        obs::Registry::global().counter("transport.roulette_kills");
+    static auto& roulette_survivals =
+        obs::Registry::global().counter("transport.roulette_survivals");
+    static auto& bank_events =
+        obs::Registry::global().counter("transport.bank_events");
+    static auto& simd_tier = obs::Registry::global().gauge("simd.tier");
     histories.add(merged.total);
     collisions.add(merged.collisions);
     (config_.use_xs_table ? table_collisions : exact_collisions)
         .add(merged.collisions);
     runs.add(1);
+    compactions.add(merged.compactions);
+    roulette_kills.add(merged.roulette_kills);
+    roulette_survivals.add(merged.roulette_survivals);
+    bank_events.add(merged.bank_events);
+    if (implicit) {
+        simd_tier.set(core::simd::tier_index(tier));
+    }
     return merged;
 }
 

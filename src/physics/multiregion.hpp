@@ -54,6 +54,12 @@ struct LayeredResult {
     std::uint64_t lost = 0;
     /// Scattering collisions summed over all histories (telemetry).
     std::uint64_t collisions = 0;
+    /// Kernel health telemetry, mirroring TransportResult: all zero in
+    /// analog mode, tallied off the RNG path in implicit-capture mode.
+    std::uint64_t compactions = 0;
+    std::uint64_t roulette_kills = 0;
+    std::uint64_t roulette_survivals = 0;
+    std::uint64_t bank_events = 0;
     std::vector<std::uint64_t> absorbed_by_layer;
 
     /// Weighted tallies mirroring TransportResult: per-history contributions

@@ -177,11 +177,32 @@ TransportResult SlabTransport::run_histories(
     static auto& exact_collisions =
         obs::Registry::global().counter("transport.collisions_xs_exact");
     static auto& runs = obs::Registry::global().counter("transport.runs");
+    static auto& compactions =
+        obs::Registry::global().counter("transport.compactions");
+    static auto& roulette_kills =
+        obs::Registry::global().counter("transport.roulette_kills");
+    static auto& roulette_survivals =
+        obs::Registry::global().counter("transport.roulette_survivals");
+    static auto& bank_events =
+        obs::Registry::global().counter("transport.bank_events");
+    static auto& simd_tier = obs::Registry::global().gauge("simd.tier");
     histories.add(result.total);
     collisions.add(result.collisions);
     (config_.use_xs_table ? table_collisions : exact_collisions)
         .add(result.collisions);
     runs.add(1);
+    compactions.add(result.compactions);
+    roulette_kills.add(result.roulette_kills);
+    roulette_survivals.add(result.roulette_survivals);
+    bank_events.add(result.bank_events);
+    if (config_.mode == TransportMode::kImplicitCapture) {
+        // Mirror the kernel's dispatch: the exact-formula path has no
+        // batched lookups, so it always runs the scalar tier.
+        const auto tier = config_.use_xs_table
+                              ? core::simd::resolve(config_.simd)
+                              : core::simd::Tier::kScalar;
+        simd_tier.set(core::simd::tier_index(tier));
+    }
     return result;
 }
 
@@ -234,6 +255,10 @@ void TransportResult::merge(const TransportResult& other) noexcept {
     reflected_thermal += other.reflected_thermal;
     total += other.total;
     collisions += other.collisions;
+    compactions += other.compactions;
+    roulette_kills += other.roulette_kills;
+    roulette_survivals += other.roulette_survivals;
+    bank_events += other.bank_events;
     transmitted_w += other.transmitted_w;
     reflected_w += other.reflected_w;
     absorbed_w += other.absorbed_w;

@@ -124,6 +124,15 @@ struct TransportResult {
     /// the transport time goes).
     std::uint64_t collisions = 0;
 
+    /// Kernel health telemetry (implicit-capture batched kernel; all zero
+    /// in analog mode). Tallied in plain result fields — off the RNG path —
+    /// and flushed into the obs Registry once per run, so counting never
+    /// perturbs draw sequences or the bitwise-determinism contract.
+    std::uint64_t compactions = 0;        ///< active-lane compaction passes.
+    std::uint64_t roulette_kills = 0;     ///< histories roulette terminated.
+    std::uint64_t roulette_survivals = 0; ///< histories restored to survival weight.
+    std::uint64_t bank_events = 0;        ///< implicit-capture weight bankings.
+
     /// Weighted tallies: per-history contributions and their squares, for
     /// variance estimation. In analog mode every contribution is 0 or 1, so
     /// e.g. transmitted_w == transmitted; in implicit-capture mode the

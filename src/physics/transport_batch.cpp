@@ -169,6 +169,7 @@ void SlabBatchKernel::run_scalar(const SourceSampler& sample,
                 // Collision: capture reduces the weight instead of ending
                 // the history.
                 ++result.collisions;
+                ++result.bank_events;
                 absorbed[i] += w[i] * (sig_a[i] / sig_t);
                 w[i] *= sig_s[i] / sig_t;
 
@@ -179,11 +180,16 @@ void SlabBatchKernel::run_scalar(const SourceSampler& sample,
                     tally_absorbed(absorbed[i] + w[i]);
                     continue;
                 }
+                // Telemetry: whether roulette is played is decided by the
+                // weight alone, so peeking at it here costs no draw.
+                const bool rouletted = w[i] < w_floor;
                 if (!roulette_survives(w[i], w_floor, w_survival, rng)) {
+                    ++result.roulette_kills;
                     ++result.absorbed;
                     tally_absorbed(absorbed[i]);
                     continue;
                 }
+                if (rouletted) ++result.roulette_survivals;
 
                 // Elastic scatter kinematics, identical to the analog loop.
                 const double a = use_table
@@ -193,6 +199,7 @@ void SlabBatchKernel::run_scalar(const SourceSampler& sample,
                 scatter_elastic(a, thermal_floor, kt, e[i], mu[i], rng);
                 next_active.push_back(i);
             }
+            if (next_active.size() < active.size()) ++result.compactions;
             std::swap(active, next_active);
         }
     }

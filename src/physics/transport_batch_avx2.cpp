@@ -107,6 +107,7 @@ void SlabBatchKernel::run_avx2(const SourceBlockSampler& block,
             }
             ++dst;
         }
+        if (dst < n) ++result.compactions;
         n = dst;
     };
 
@@ -194,8 +195,10 @@ void SlabBatchKernel::run_avx2(const SourceBlockSampler& block,
             const int dead_bits = _mm256_movemask_pd(m_dead);
             const int trans_bits = _mm256_movemask_pd(m_trans);
             const int budget_bits = _mm256_movemask_pd(m_budget);
-            result.collisions +=
+            const auto colliding =
                 static_cast<std::uint64_t>(4 - __builtin_popcount(dead_bits));
+            result.collisions += colliding;
+            result.bank_events += colliding;
 
             if (dead_bits) {
                 for (int lane = 0; lane < 4; ++lane) {
@@ -235,6 +238,7 @@ void SlabBatchKernel::run_avx2(const SourceBlockSampler& block,
                 continue;
             }
             ++result.collisions;
+            ++result.bank_events;
             acc[i] += w[i] * (sig_a[i] / sig_t);
             w[i] *= sig_s[i] / sig_t;
             steps[i] += 1.0;
@@ -269,6 +273,10 @@ void SlabBatchKernel::run_avx2(const SourceBlockSampler& block,
             _mm256_storeu_pd(w.data() + i,
                              _mm256_blendv_pd(vw, v_wsurv, m_boost));
             const int die_bits = _mm256_movemask_pd(m_die);
+            result.roulette_survivals += static_cast<std::uint64_t>(
+                __builtin_popcount(_mm256_movemask_pd(m_boost)));
+            result.roulette_kills +=
+                static_cast<std::uint64_t>(__builtin_popcount(die_bits));
             if (die_bits) {
                 for (int lane = 0; lane < 4; ++lane) {
                     if (!(die_bits & (1 << lane))) continue;
@@ -283,8 +291,10 @@ void SlabBatchKernel::run_avx2(const SourceBlockSampler& block,
             if (w[i] >= w_floor) continue;
             if (u_roul[i] * w_survival < w[i]) {
                 w[i] = w_survival;
+                ++result.roulette_survivals;
             } else {
                 ++result.absorbed;
+                ++result.roulette_kills;
                 tally_absorbed(acc[i]);
                 alive[i] = 0;
             }

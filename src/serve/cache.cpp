@@ -15,6 +15,8 @@ ResponseCache::ResponseCache(std::size_t capacity)
     : capacity_(capacity),
       hits_(core::obs::Registry::global().counter("serve.cache.hits")),
       misses_(core::obs::Registry::global().counter("serve.cache.misses")),
+      collisions_(
+          core::obs::Registry::global().counter("serve.cache.collisions")),
       evictions_(
           core::obs::Registry::global().counter("serve.cache.evictions")) {}
 
@@ -22,8 +24,15 @@ std::optional<std::string> ResponseCache::get(std::uint64_t key,
                                               std::string_view canonical) {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = index_.find(key);
-    if (it == index_.end() || it->second->canonical != canonical) {
+    if (it == index_.end()) {
         misses_.add(1);
+        return std::nullopt;
+    }
+    if (it->second->canonical != canonical) {
+        // A different request hashed to the same 64-bit key: serve nothing
+        // (the stored bytes answer a different question) and count it apart
+        // from a true miss.
+        collisions_.add(1);
         return std::nullopt;
     }
     lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency.

@@ -2,9 +2,12 @@
 // Bounded LRU response cache for the serve engine. Keys are 64-bit FNV-1a
 // hashes of the canonical request text; every entry keeps the canonical
 // text itself so a hash collision degrades to a miss instead of serving the
-// wrong bytes. Hit/miss/eviction counts are reported into the obs Registry
-// (serve.cache.hits / .misses / .evictions) — the admission scheduler and
-// the CI smoke step read them back through --metrics-out.
+// wrong bytes. Counts are reported into the obs Registry: serve.cache.hits,
+// .misses (absent entries only), .collisions (present entry, different
+// canonical text — degraded to a miss), and .evictions — the admission
+// scheduler and the CI smoke step read them back through --metrics-out, and
+// a rising collision count is the signal to widen the hash, which a single
+// merged miss counter would hide.
 
 #include <cstdint>
 #include <list>
@@ -28,7 +31,7 @@ public:
     explicit ResponseCache(std::size_t capacity);
 
     /// The cached body for this request, refreshing its recency; nullopt on
-    /// miss (also counts the hit or miss).
+    /// miss (also counts the hit, miss, or collision-degraded miss).
     std::optional<std::string> get(std::uint64_t key,
                                    std::string_view canonical);
 
@@ -52,6 +55,7 @@ private:
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
     core::obs::Counter& hits_;
     core::obs::Counter& misses_;
+    core::obs::Counter& collisions_;
     core::obs::Counter& evictions_;
 };
 

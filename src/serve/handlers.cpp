@@ -4,6 +4,10 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "core/obs/json.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/simd/dispatch.hpp"
+#include "serve/router.hpp"
 #include "core/fit.hpp"
 #include "core/report.hpp"
 #include "detector/analysis.hpp"
@@ -232,6 +236,121 @@ std::string render_campaign_slice(const SliceParams& params,
         devices::build_calibrated(devices::spec_by_name(params.device));
     const auto result = beam::Campaign(cfg).run({device});
     return render_ratio_table(result, params.campaign.csv);
+}
+
+namespace {
+
+namespace obs = core::obs;
+
+/// `"name":count` from the live registry (creates-on-read: a counter the
+/// process never touched reads as 0, which keeps the stats shape stable).
+void put_counter(std::ostream& out, const char* json_key,
+                 const std::string& counter_name, bool leading_comma = true) {
+    if (leading_comma) out << ',';
+    out << '"' << json_key
+        << "\":" << obs::Registry::global().counter(counter_name).value();
+}
+
+void put_latency_ms(std::ostream& out,
+                    const obs::LatencyHistogram::Summary& s) {
+    out << "\"count\":" << s.count << ",\"mean_ms\":"
+        << obs::json::number(s.mean_ns * 1e-6)
+        << ",\"p50_ms\":" << obs::json::number(s.p50_ns * 1e-6)
+        << ",\"p90_ms\":" << obs::json::number(s.p90_ns * 1e-6)
+        << ",\"p99_ms\":" << obs::json::number(s.p99_ns * 1e-6)
+        << ",\"max_ms\":" << obs::json::number(s.max_ns * 1e-6);
+}
+
+}  // namespace
+
+std::string render_stats(const IntrospectionState& state, double window_s) {
+    auto& reg = obs::Registry::global();
+    const obs::DeltaSnapshot delta = reg.snapshot_delta(window_s);
+
+    std::ostringstream out;
+    out << "{\"uptime_s\":" << obs::json::number(state.uptime_s)
+        << ",\"window_s\":" << obs::json::number(delta.window_s)
+        << ",\"inflight\":" << state.inflight
+        << ",\"max_inflight\":" << state.max_inflight;
+
+    // Lifetime request/response tallies plus the windowed request rate.
+    const auto req_delta = delta.get("serve.requests");
+    out << ",\"requests\":{\"total\":"
+        << reg.counter("serve.requests").value();
+    put_counter(out, "ok", "serve.responses.ok");
+    put_counter(out, "error", "serve.responses.error");
+    put_counter(out, "cancelled", "serve.responses.cancelled");
+    put_counter(out, "coalesced", "serve.coalesced");
+    out << ",\"window_delta\":" << req_delta.delta << ",\"rate_per_s\":"
+        << obs::json::number(req_delta.rate_per_s) << '}';
+
+    // Cache: lifetime counts + hit rates, lifetime and windowed. A
+    // collision is a lookup that found a different request's entry — kept
+    // apart from a true miss, but still a non-hit in the rates.
+    const std::uint64_t hits = reg.counter("serve.cache.hits").value();
+    const std::uint64_t misses = reg.counter("serve.cache.misses").value();
+    const std::uint64_t collisions =
+        reg.counter("serve.cache.collisions").value();
+    const std::uint64_t lookups = hits + misses + collisions;
+    const auto whits = delta.get("serve.cache.hits");
+    const std::uint64_t wlookups = whits.delta +
+                                   delta.get("serve.cache.misses").delta +
+                                   delta.get("serve.cache.collisions").delta;
+    out << ",\"cache\":{\"size\":" << state.cache_size
+        << ",\"capacity\":" << state.cache_capacity << ",\"hits\":" << hits
+        << ",\"misses\":" << misses << ",\"collisions\":" << collisions;
+    put_counter(out, "evictions", "serve.cache.evictions");
+    out << ",\"hit_rate\":"
+        << obs::json::number(
+               lookups > 0 ? static_cast<double>(hits) / lookups : 0.0)
+        << ",\"windowed_hit_rate\":"
+        << obs::json::number(wlookups > 0 ? static_cast<double>(whits.delta) /
+                                                wlookups
+                                          : 0.0)
+        << '}';
+
+    // Per-method latency summaries from the labeled serve.request family.
+    out << ",\"methods\":{";
+    bool first = true;
+    for (const auto& method : method_names()) {
+        const auto s =
+            reg.latency(obs::labeled("serve.request", {{"method", method}}))
+                .summary();
+        if (!first) out << ',';
+        first = false;
+        out << '"' << obs::json::escape(method) << "\":{";
+        put_latency_ms(out, s);
+        out << '}';
+    }
+    out << '}';
+
+    // Kernel telemetry: flushed at batch granularity by run_histories, so a
+    // campaign slice in flight shows up here while it runs.
+    out << ",\"kernel\":{";
+    put_counter(out, "histories", "transport.histories", false);
+    put_counter(out, "collisions", "transport.collisions");
+    put_counter(out, "compactions", "transport.compactions");
+    put_counter(out, "roulette_kills", "transport.roulette_kills");
+    put_counter(out, "roulette_survivals", "transport.roulette_survivals");
+    put_counter(out, "bank_events", "transport.bank_events");
+    const int tier =
+        static_cast<int>(reg.gauge("simd.tier").value());
+    out << ",\"simd_tier\":\"" << core::simd::tier_name(tier) << "\"}";
+
+    out << ",\"pool\":{\"queue_depth_max\":"
+        << obs::json::number(reg.gauge("pool.queue_depth_max").value())
+        << ",\"workers\":"
+        << obs::json::number(reg.gauge("pool.workers").value()) << "}}\n";
+    return out.str();
+}
+
+std::string render_health(const IntrospectionState& state) {
+    std::ostringstream out;
+    out << "{\"status\":\"ok\",\"uptime_s\":"
+        << obs::json::number(state.uptime_s)
+        << ",\"inflight\":" << state.inflight
+        << ",\"max_inflight\":" << state.max_inflight << "}\n";
+    return out.str();
 }
 
 }  // namespace tnr::serve

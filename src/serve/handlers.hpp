@@ -115,4 +115,26 @@ struct SliceParams {
 std::string render_campaign_slice(const SliceParams& params,
                                   const core::parallel::CancelToken* cancel);
 
+/// Live server state the introspection renderers cannot read from the
+/// metrics registry; Server::serve fills one per stats/health request.
+struct IntrospectionState {
+    double uptime_s = 0.0;
+    std::size_t inflight = 0;      ///< computations holding a slot right now.
+    std::size_t max_inflight = 0;
+    std::size_t cache_size = 0;    ///< LRU entries currently resident.
+    std::size_t cache_capacity = 0;
+};
+
+/// `stats`: one JSON line of live introspection — uptime, inflight, per-
+/// method latency summaries (p50/p90/p99 in ms), cache hit/miss/collision/
+/// eviction counts and rates, throughput over (up to) the last `window_s`
+/// seconds via Registry::snapshot_delta, kernel telemetry (histories, lane
+/// compactions, roulette kills/survivals, implicit-capture bank events,
+/// simd tier), and pool gauges. Responses are computed per call and never
+/// cached: two identical stats requests legitimately differ.
+std::string render_stats(const IntrospectionState& state, double window_s);
+
+/// `health`: a one-line liveness probe (status, uptime, inflight headroom).
+std::string render_health(const IntrospectionState& state);
+
 }  // namespace tnr::serve

@@ -100,14 +100,33 @@ CampaignParams campaign_params(const Params& params) {
 
 const std::vector<std::string>& method_names() {
     static const std::vector<std::string> names = {
-        "fit",      "sigma-ratio",  "campaign-slice",
-        "detector", "list-devices", "transmission"};
+        "fit",      "sigma-ratio",  "campaign-slice", "detector",
+        "list-devices", "transmission", "stats",      "health"};
     return names;
 }
 
 bool known_method(const std::string& method) {
     const auto& names = method_names();
     return std::find(names.begin(), names.end(), method) != names.end();
+}
+
+const std::string& method_hint() {
+    static const std::string hint = [] {
+        std::string h = "(use ";
+        bool first = true;
+        for (const auto& name : method_names()) {
+            if (!first) h += '|';
+            first = false;
+            h += name;
+        }
+        h += ')';
+        return h;
+    }();
+    return hint;
+}
+
+bool introspection_method(const std::string& method) {
+    return method == "stats" || method == "health";
 }
 
 std::string dispatch(const Request& req,
@@ -168,12 +187,16 @@ std::string dispatch(const Request& req,
         slice.campaign = campaign_params(params);
         return render_campaign_slice(slice, cancel);
     }
-    // Note: the hint below predates the `transmission` method and is pinned
-    // byte-for-byte by the golden serve transcript; method_names() above is
-    // the authoritative list.
-    throw core::RunError::config("unknown method: " + req.method +
-                                 " (use fit|sigma-ratio|campaign-slice|"
-                                 "detector|list-devices)");
+    if (introspection_method(req.method)) {
+        // stats/health read live server state (uptime, inflight) the router
+        // cannot see; Server::serve answers them before dispatch, so landing
+        // here means dispatch() was called without a server.
+        throw core::RunError::config(req.method +
+                                     " is answered by a running server "
+                                     "(tnr serve), not the router");
+    }
+    throw core::RunError::config("unknown method: " + req.method + " " +
+                                 method_hint());
 }
 
 }  // namespace tnr::serve

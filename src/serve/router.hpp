@@ -18,6 +18,15 @@ const std::vector<std::string>& method_names();
 /// True when `method` names a handler.
 bool known_method(const std::string& method);
 
+/// The `(use fit|sigma-ratio|...)` suffix of unknown-method errors, derived
+/// from method_names() so it can never go stale when a method is added.
+const std::string& method_hint();
+
+/// True for the server-state introspection methods (`stats`, `health`):
+/// they are answered inline on the admission thread — never cached, never
+/// single-flighted, never dispatched to the pool.
+bool introspection_method(const std::string& method);
+
 /// Runs the request's handler and returns its rendered output (the bytes
 /// the equivalent one-shot CLI command writes to stdout). Throws RunError
 /// for validation failures and cancellation; other exceptions propagate for

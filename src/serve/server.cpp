@@ -7,6 +7,7 @@
 #include <istream>
 #include <map>
 #include <ostream>
+#include <sstream>
 #include <streambuf>
 #include <utility>
 
@@ -24,6 +25,13 @@ namespace {
 
 namespace obs = core::obs;
 namespace parallel = core::parallel;
+
+std::uint64_t steady_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 bool is_blank(const std::string& line) {
     for (const char c : line) {
@@ -113,10 +121,31 @@ private:
 Server::Server(ServeOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_capacity),
+      start_ns_(steady_ns()),
       requests_(obs::Registry::global().counter("serve.requests")),
       coalesced_(obs::Registry::global().counter("serve.coalesced")),
-      latency_(obs::Registry::global().latency("serve.request")) {
+      latency_(obs::Registry::global().latency("serve.request")),
+      inflight_gauge_(obs::Registry::global().gauge("serve.inflight")) {
     if (options_.max_inflight == 0) options_.max_inflight = 1;
+    auto& reg = obs::Registry::global();
+    for (const auto& m : method_names()) {
+        MethodInstruments mi;
+        mi.latency =
+            &reg.latency(obs::labeled("serve.request", {{"method", m}}));
+        mi.ok_hit = &reg.counter(obs::labeled(
+            "serve.request",
+            {{"method", m}, {"outcome", "ok"}, {"cache", "hit"}}));
+        mi.ok_miss = &reg.counter(obs::labeled(
+            "serve.request",
+            {{"method", m}, {"outcome", "ok"}, {"cache", "miss"}}));
+        mi.error_miss = &reg.counter(obs::labeled(
+            "serve.request",
+            {{"method", m}, {"outcome", "error"}, {"cache", "miss"}}));
+        mi.cancelled_miss = &reg.counter(obs::labeled(
+            "serve.request",
+            {{"method", m}, {"outcome", "cancelled"}, {"cache", "miss"}}));
+        method_obs_.emplace(m, mi);
+    }
 }
 
 std::string Server::compute(const Request& req) {
@@ -148,14 +177,107 @@ void Server::acquire_slot() {
     std::unique_lock<std::mutex> lock(slots_mutex_);
     slots_cv_.wait(lock, [this] { return inflight_ < options_.max_inflight; });
     ++inflight_;
+    inflight_gauge_.set(static_cast<double>(inflight_));
 }
 
 void Server::release_slot() {
     {
         std::lock_guard<std::mutex> lock(slots_mutex_);
         --inflight_;
+        inflight_gauge_.set(static_cast<double>(inflight_));
     }
     slots_cv_.notify_one();
+}
+
+IntrospectionState Server::introspection_state() {
+    IntrospectionState st;
+    st.uptime_s = static_cast<double>(steady_ns() - start_ns_) * 1e-9;
+    {
+        std::lock_guard<std::mutex> lock(slots_mutex_);
+        st.inflight = inflight_;
+    }
+    st.max_inflight = options_.max_inflight;
+    st.cache_size = cache_.size();
+    st.cache_capacity = cache_.capacity();
+    return st;
+}
+
+std::string Server::introspect(const Request& req) {
+    try {
+        double window_s = 10.0;
+        std::string format = "json";
+        for (const auto& [key, value] : req.params) {
+            if (req.method == "stats" && key == "window-s") {
+                if (value.kind != ParamValue::Kind::kNumber ||
+                    !(value.num > 0.0)) {
+                    throw core::RunError::config(
+                        "stats: parameter window-s must be a positive number");
+                }
+                window_s = value.num;
+            } else if (req.method == "stats" && key == "format") {
+                if (value.kind != ParamValue::Kind::kString ||
+                    (value.str != "json" && value.str != "prometheus")) {
+                    throw core::RunError::config(
+                        "stats: parameter format must be \"json\" or "
+                        "\"prometheus\"");
+                }
+                format = value.str;
+            } else {
+                throw core::RunError::config(req.method +
+                                             ": unknown parameter: " + key);
+            }
+        }
+        if (format == "prometheus") {
+            return ok_body(obs::Registry::global().to_prometheus());
+        }
+        if (req.method == "health") {
+            return ok_body(render_health(introspection_state()));
+        }
+        return ok_body(render_stats(introspection_state(), window_s));
+    } catch (const core::RunError& e) {
+        return error_body(e.category(), e.what());
+    }
+}
+
+void Server::account(const Request& req, std::string_view body,
+                     bool cache_hit, std::uint64_t admitted_ns,
+                     std::ostream& diag) {
+    const std::uint64_t elapsed = steady_ns() - admitted_ns;
+    const auto it = method_obs_.find(req.method);
+    if (it != method_obs_.end()) {
+        const MethodInstruments& m = it->second;
+        m.latency->record_ns(elapsed);
+        const std::string_view status = body_status(body);
+        if (cache_hit) {
+            m.ok_hit->add(1);
+        } else if (status == "ok") {
+            m.ok_miss->add(1);
+        } else if (status == "cancelled") {
+            m.cancelled_miss->add(1);
+        } else {
+            m.error_miss->add(1);
+        }
+    }
+    if (options_.slow_ms <= 0.0 ||
+        static_cast<double>(elapsed) * 1e-6 <= options_.slow_ms) {
+        return;
+    }
+    static obs::Counter& slow =
+        obs::Registry::global().counter("serve.requests.slow");
+    slow.add(1);
+    std::ostringstream line;
+    line << "{\"slow_request\":{\"id\":\"" << obs::json::escape(req.id)
+         << "\",\"method\":\"" << obs::json::escape(req.method)
+         << "\",\"elapsed_ms\":"
+         << obs::json::number(static_cast<double>(elapsed) * 1e-6)
+         << ",\"threshold_ms\":" << obs::json::number(options_.slow_ms)
+         << ",\"status\":\"" << body_status(body) << "\",\"cache\":\""
+         << (cache_hit ? "hit" : "miss") << "\"}}";
+    std::ostream& log = options_.slow_log != nullptr ? *options_.slow_log
+                                                     : diag;
+    const std::lock_guard<std::mutex> lock(slow_log_mutex_);
+    log << line.str() << '\n';
+    log.flush();
 }
 
 void Server::finish_flight(const std::string& canonical) {
@@ -198,6 +320,7 @@ ServeStats Server::serve(std::istream& in, std::ostream& out,
         if (is_blank(line)) continue;
         ++stats.requests;
         requests_.add(1);
+        const std::uint64_t admitted_ns = steady_ns();
 
         const auto doc = core::obs::json::parse(line);
         if (!doc) {
@@ -210,14 +333,22 @@ ServeStats Server::serve(std::istream& in, std::ostream& out,
         try {
             req = parse_request(*doc);
             if (!known_method(req.method)) {
-                throw core::RunError::config(
-                    "unknown method: " + req.method +
-                    " (use fit|sigma-ratio|campaign-slice|detector|"
-                    "list-devices)");
+                throw core::RunError::config("unknown method: " + req.method +
+                                             " " + method_hint());
             }
         } catch (const core::RunError& e) {
             writer.push(seq++, extract_id(*doc),
                         error_body(e.category(), e.what()));
+            continue;
+        }
+
+        // stats/health are answered inline from live server state: their
+        // bodies legitimately differ between identical requests, so they
+        // must never enter the LRU cache or coalesce onto a flight.
+        if (introspection_method(req.method)) {
+            std::string body = introspect(req);
+            account(req, body, /*cache_hit=*/false, admitted_ns, diag);
+            writer.push(seq++, req.id, std::move(body));
             continue;
         }
 
@@ -255,15 +386,18 @@ ServeStats Server::serve(std::istream& in, std::ostream& out,
             flight->cv.wait(lock, [&flight] { return flight->done; });
         }
         if (ready) {
+            account(req, *ready, /*cache_hit=*/true, admitted_ns, diag);
             writer.push(seq++, req.id, std::move(*ready));
             continue;
         }
 
         acquire_slot();
         const std::uint64_t s = seq++;
-        group.run([this, s, req = std::move(req), canonical, key, &writer] {
+        group.run([this, s, req = std::move(req), canonical, key, &writer,
+                   &diag, admitted_ns] {
             std::string body = compute(req);
             if (body_is_ok(body)) cache_.put(key, canonical, body);
+            account(req, body, /*cache_hit=*/false, admitted_ns, diag);
             writer.push(s, req.id, std::move(body));
             finish_flight(canonical);
             release_slot();

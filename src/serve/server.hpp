@@ -32,6 +32,7 @@
 #include "core/obs/metrics.hpp"
 #include "core/parallel/cancel.hpp"
 #include "serve/cache.hpp"
+#include "serve/handlers.hpp"
 #include "serve/protocol.hpp"
 
 namespace tnr::serve {
@@ -42,6 +43,11 @@ struct ServeOptions {
     bool verbose = false;            ///< per-response diagnostics lines.
     /// Server-wide stop token (the CLI passes the SIGINT token); optional.
     const core::parallel::CancelToken* stop = nullptr;
+    /// Slow-request log: a computed request whose admission-to-response time
+    /// exceeds `slow_ms` emits one structured JSON line to `slow_log` (the
+    /// diagnostics stream when null). 0 disables the log entirely.
+    double slow_ms = 0.0;
+    std::ostream* slow_log = nullptr;
 };
 
 /// What one serve session did (also mirrored into the obs Registry under
@@ -75,8 +81,33 @@ private:
     class OrderedWriter;
     struct Flight;
 
+    /// Per-request accounting handles for one method, prebuilt at
+    /// construction from router::method_names() so the cache-hit path never
+    /// touches the registry mutex. The family is
+    /// serve.request{method=...}, with outcome/cache labels on the
+    /// counters (a cache hit is always an ok response — errors are never
+    /// cached).
+    struct MethodInstruments {
+        core::obs::LatencyHistogram* latency = nullptr;
+        core::obs::Counter* ok_hit = nullptr;
+        core::obs::Counter* ok_miss = nullptr;
+        core::obs::Counter* error_miss = nullptr;
+        core::obs::Counter* cancelled_miss = nullptr;
+    };
+
     /// Runs one request to a response body on the calling (pool) thread.
     std::string compute(const Request& req);
+
+    /// Answers a stats/health request inline on the admission thread —
+    /// state is read live, the body never enters the cache or a flight.
+    std::string introspect(const Request& req);
+
+    /// Per-method latency + outcome accounting and the slow-request log;
+    /// `admitted_ns` is the steady-clock stamp taken at admission.
+    void account(const Request& req, std::string_view body, bool cache_hit,
+                 std::uint64_t admitted_ns, std::ostream& diag);
+
+    [[nodiscard]] IntrospectionState introspection_state();
 
     void acquire_slot();
     void release_slot();
@@ -84,6 +115,7 @@ private:
 
     ServeOptions options_;
     ResponseCache cache_;
+    std::uint64_t start_ns_ = 0;  ///< steady-clock construction stamp.
 
     std::mutex slots_mutex_;
     std::condition_variable slots_cv_;
@@ -92,9 +124,13 @@ private:
     std::mutex flights_mutex_;
     std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
 
+    std::mutex slow_log_mutex_;
+
     core::obs::Counter& requests_;
     core::obs::Counter& coalesced_;
     core::obs::LatencyHistogram& latency_;
+    core::obs::Gauge& inflight_gauge_;
+    std::unordered_map<std::string, MethodInstruments> method_obs_;
 };
 
 }  // namespace tnr::serve

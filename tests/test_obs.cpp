@@ -232,6 +232,170 @@ TEST(ObsMetrics, ScopedTimerRecordsAndAccumulates) {
     EXPECT_EQ(total_ns.value(), static_cast<std::uint64_t>(s.total_ns));
 }
 
+TEST(ObsMetrics, LatencyHistogramEmptySummaryIsAllZero) {
+    const obs::LatencyHistogram hist;
+    const auto s = hist.summary();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean_ns, 0.0);
+    EXPECT_DOUBLE_EQ(s.min_ns, 0.0);
+    EXPECT_DOUBLE_EQ(s.max_ns, 0.0);
+    EXPECT_DOUBLE_EQ(s.p50_ns, 0.0);
+    EXPECT_DOUBLE_EQ(s.p90_ns, 0.0);
+    EXPECT_DOUBLE_EQ(s.p99_ns, 0.0);
+}
+
+TEST(ObsMetrics, LatencyHistogramSingleSampleQuantilesBracketIt) {
+    obs::LatencyHistogram hist;
+    hist.record_ns(5000);
+    const auto s = hist.summary();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.min_ns, 5000.0);
+    EXPECT_DOUBLE_EQ(s.max_ns, 5000.0);
+    EXPECT_DOUBLE_EQ(s.mean_ns, 5000.0);
+    // Every quantile falls into the one populated log-grid bucket.
+    EXPECT_GT(s.p50_ns, 0.0);
+    EXPECT_LE(s.p50_ns, s.p90_ns);
+    EXPECT_LE(s.p90_ns, s.p99_ns);
+    EXPECT_LE(s.p99_ns, 2.0 * s.max_ns);
+}
+
+TEST(ObsMetrics, LatencyHistogramResetIsSafeUnderConcurrentRecording) {
+    // Exercised under TSan in CI: reset() and record_ns() race by design
+    // (stats/health can reset nothing, but a run boundary may) and must
+    // stay data-race free.
+    obs::LatencyHistogram hist;
+    {
+        TaskGroup group(ThreadPool::shared());
+        for (int t = 0; t < 8; ++t) {
+            group.run([&hist] {
+                for (int i = 1; i <= 500; ++i) hist.record_ns(1000 * i);
+            });
+        }
+        group.run([&hist] {
+            for (int i = 0; i < 50; ++i) {
+                hist.reset();
+                (void)hist.summary();
+            }
+        });
+        group.wait();
+    }
+    hist.reset();
+    hist.record_ns(2000);
+    const auto s = hist.summary();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.min_ns, 2000.0);
+}
+
+TEST(ObsMetrics, GaugeSetRoundTripsAndResets) {
+    auto& gauge = obs::Registry::global().gauge("test_obs.roundtrip_gauge");
+    gauge.reset();
+    gauge.set(2.5);
+    EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+    gauge.set(-1.25);
+    EXPECT_DOUBLE_EQ(gauge.value(), -1.25);
+    gauge.update_max(3.0);
+    EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+    gauge.update_max(1.0);  // below the current maximum: a no-op.
+    EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+    gauge.reset();
+    EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+// --- Labeled instruments, windowed deltas, Prometheus exposition ------------
+
+TEST(ObsMetrics, LabeledKeysAreSortedAndCanonical) {
+    EXPECT_EQ(obs::labeled("f", {{"b", "2"}, {"a", "1"}}), "f{a=1,b=2}");
+    EXPECT_EQ(obs::labeled("f", {}), "f");
+    // Label order at the call site does not split the instrument.
+    auto& x = obs::Registry::global().counter(
+        obs::labeled("test_obs.lbl", {{"k", "v"}, {"m", "w"}}));
+    auto& y = obs::Registry::global().counter(
+        obs::labeled("test_obs.lbl", {{"m", "w"}, {"k", "v"}}));
+    EXPECT_EQ(&x, &y);
+}
+
+TEST(ObsMetrics, SnapshotDeltaComputesWindowedCounterRates) {
+    auto& reg = obs::Registry::global();
+    auto& counter = reg.counter("test_obs.delta_counter");
+    counter.reset();
+    counter.add(5);
+
+    // First snapshot: no ring samples yet, so the baseline is the counter's
+    // creation instant (value 0) and the delta is the full count.
+    const auto s1 = reg.snapshot_delta(3600.0);
+    const auto d1 = s1.get("test_obs.delta_counter");
+    EXPECT_EQ(d1.delta, 5u);
+    EXPECT_GT(d1.window_s, 0.0);
+    EXPECT_GT(d1.rate_per_s, 0.0);
+
+    // Second snapshot: nothing has aged past the huge window, so the oldest
+    // retained sample (the one s1 pushed, value 5) is the baseline.
+    counter.add(3);
+    const auto s2 = reg.snapshot_delta(3600.0);
+    EXPECT_EQ(s2.get("test_obs.delta_counter").delta, 3u);
+
+    // A counter reset mid-window clamps instead of underflowing.
+    counter.reset();
+    counter.add(2);
+    const auto s3 = reg.snapshot_delta(3600.0);
+    EXPECT_EQ(s3.get("test_obs.delta_counter").delta, 2u);
+
+    // Unknown names read as a zero delta, not an error.
+    EXPECT_EQ(s3.get("test_obs.no_such_counter").delta, 0u);
+    EXPECT_DOUBLE_EQ(s3.get("test_obs.no_such_counter").rate_per_s, 0.0);
+}
+
+TEST(ObsMetrics, PrometheusExpositionGroupsFamiliesAndSanitizesNames) {
+    auto& reg = obs::Registry::global();
+    reg.counter(obs::labeled("test_obs.prom.req",
+                             {{"method", "fit"}, {"outcome", "ok"}}))
+        .reset();
+    reg.counter(obs::labeled("test_obs.prom.req",
+                             {{"method", "fit"}, {"outcome", "ok"}}))
+        .add(2);
+    reg.counter(obs::labeled("test_obs.prom.req", {{"outcome", "error"}}))
+        .add(1);
+    reg.gauge("test_obs.prom.g").set(1.5);
+    auto& lat = reg.latency("test_obs.prom.lat");
+    lat.reset();
+    lat.record_ns(2000000);
+
+    const std::string text = reg.to_prometheus();
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n');
+
+    // Dots become underscores; the labeled and unlabeled spellings of one
+    // family share a single # TYPE header.
+    const std::string type_line = "# TYPE test_obs_prom_req counter";
+    const auto first = text.find(type_line);
+    ASSERT_NE(first, std::string::npos) << text;
+    EXPECT_EQ(text.find(type_line, first + 1), std::string::npos);
+    EXPECT_NE(
+        text.find("test_obs_prom_req{method=\"fit\",outcome=\"ok\"} 2"),
+        std::string::npos);
+    EXPECT_NE(text.find("test_obs_prom_req{outcome=\"error\"} 1"),
+              std::string::npos);
+
+    EXPECT_NE(text.find("# TYPE test_obs_prom_g gauge"), std::string::npos);
+    EXPECT_NE(text.find("test_obs_prom_g 1.5"), std::string::npos);
+
+    // Latency histograms surface as summaries in seconds.
+    EXPECT_NE(text.find("# TYPE test_obs_prom_lat_seconds summary"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_obs_prom_lat_seconds_count 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_obs_prom_lat_seconds{quantile=\"0.99\"}"),
+              std::string::npos);
+
+    // The exposition format forbids trailing whitespace.
+    std::istringstream lines(text);
+    for (std::string line; std::getline(lines, line);) {
+        if (line.empty()) continue;
+        EXPECT_NE(line.back(), ' ') << line;
+        EXPECT_NE(line.back(), '\t') << line;
+    }
+}
+
 // --- Tracing ---------------------------------------------------------------
 
 TEST(ObsTrace, DisabledSpanRecordsNothing) {

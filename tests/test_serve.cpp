@@ -136,12 +136,23 @@ TEST(ServeCache, LruEvictsOldestAndCountsIntoRegistry) {
     EXPECT_EQ(reg.counter("serve.cache.evictions").value(), 1u);
 }
 
-TEST(ServeCache, HashCollisionDegradesToMiss) {
+TEST(ServeCache, HashCollisionCountsApartFromTrueMisses) {
+    auto& reg = core::obs::Registry::global();
+    reg.counter("serve.cache.misses").reset();
+    reg.counter("serve.cache.collisions").reset();
+
     ResponseCache cache(4);
     const std::uint64_t key = 42;  // force both entries onto one key.
     cache.put(key, "first", "body-1");
+    // Same key, different canonical request: a collision, degraded to a
+    // miss for the caller but counted apart from true misses.
     EXPECT_FALSE(cache.get(key, "second").has_value());
     EXPECT_EQ(cache.get(key, "first").value(), "body-1");
+    // Unknown key: a true miss.
+    EXPECT_FALSE(cache.get(key + 1, "third").has_value());
+
+    EXPECT_EQ(reg.counter("serve.cache.collisions").value(), 1u);
+    EXPECT_EQ(reg.counter("serve.cache.misses").value(), 1u);
 }
 
 TEST(ServeCache, ZeroCapacityDisablesCaching) {
@@ -498,6 +509,231 @@ TEST(Serve, UnixSocketRoundTrip) {
     EXPECT_EQ(doc->find("id")->str, "s");
     EXPECT_EQ(doc->find("status")->str, "ok");
     EXPECT_EQ(doc->find("output")->str, cli_stdout({"list-devices"}));
+}
+
+// --- Introspection: stats/health -------------------------------------------
+
+TEST(ServeIntrospection, RouterHintListsEveryMethodAndIntrospectionIsServeOnly) {
+    // The unknown-method hint is derived from method_names(), so a method
+    // added there can never leave the hint stale.
+    for (const auto& method : method_names()) {
+        EXPECT_NE(method_hint().find(method), std::string::npos) << method;
+    }
+    EXPECT_TRUE(introspection_method("stats"));
+    EXPECT_TRUE(introspection_method("health"));
+    EXPECT_FALSE(introspection_method("fit"));
+    // Introspection methods have no one-shot handler: the router refuses
+    // them with an explanatory error instead of "unknown method".
+    Request req;
+    req.method = "stats";
+    EXPECT_THROW(dispatch(req, nullptr), core::RunError);
+}
+
+TEST(ServeIntrospection, StatsAndHealthAreNeverCachedOrCoalesced) {
+    const auto session = run_serve(
+        {R"({"id":"s1","method":"stats"})",
+         R"({"id":"s2","method":"stats"})",
+         R"({"id":"h1","method":"health"})",
+         R"({"id":"h2","method":"health"})"});
+    ASSERT_EQ(session.lines.size(), 4u);
+    for (const auto& line : session.lines) {
+        EXPECT_EQ(status_of(line), "ok") << line;
+    }
+    // Identical back-to-back requests would normally coalesce or hit the
+    // cache; introspection bodies are live snapshots and must not.
+    EXPECT_EQ(session.stats.cache_hits, 0u);
+    EXPECT_EQ(session.stats.coalesced, 0u);
+    const auto a = json::parse(output_of(session.lines[0]));
+    const auto b = json::parse(output_of(session.lines[1]));
+    ASSERT_TRUE(a && b);
+    EXPECT_NE(a->find("uptime_s")->num, b->find("uptime_s")->num)
+        << "two stats snapshots must reflect the clock, not a cached body";
+}
+
+TEST(ServeIntrospection, StatsReportsPerMethodLatencyAndCacheRates) {
+    const auto session = run_serve(
+        {R"({"id":"f1","method":"fit","params":{"site":"nyc"}})",
+         R"({"id":"f2","method":"fit","params":{"site":"nyc"}})",
+         R"({"id":"s","method":"stats","params":{"window-s":60}})"});
+    ASSERT_EQ(session.lines.size(), 3u);
+    const auto stats = json::parse(output_of(session.lines[2]));
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_GE(stats->find("requests")->find("total")->num, 3.0);
+    EXPECT_GE(stats->find("requests")->find("rate_per_s")->num, 0.0);
+    const auto* fit = stats->find("methods")->find("fit");
+    ASSERT_NE(fit, nullptr);
+    EXPECT_GE(fit->find("count")->num, 2.0);
+    for (const char* q : {"p50_ms", "p90_ms", "p99_ms"}) {
+        ASSERT_NE(fit->find(q), nullptr) << q;
+        EXPECT_GT(fit->find(q)->num, 0.0) << q;
+    }
+    const auto* cache = stats->find("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_GE(cache->find("hits")->num + cache->find("misses")->num, 1.0);
+    ASSERT_NE(cache->find("hit_rate"), nullptr);
+    ASSERT_NE(cache->find("collisions"), nullptr);
+}
+
+TEST(ServeIntrospection, HealthReportsUptimeAndInflight) {
+    const auto session = run_serve({R"({"id":"h","method":"health"})"});
+    ASSERT_EQ(session.lines.size(), 1u);
+    const auto doc = json::parse(output_of(session.lines[0]));
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("status")->str, "ok");
+    EXPECT_GE(doc->find("uptime_s")->num, 0.0);
+    EXPECT_EQ(doc->find("inflight")->num, 0.0);
+    EXPECT_EQ(doc->find("max_inflight")->num, 4.0);
+}
+
+TEST(ServeIntrospection, StatsValidatesParamsAndHealthTakesNone) {
+    const auto session = run_serve(
+        {R"({"id":"w","method":"stats","params":{"window-s":-1}})",
+         R"({"id":"x","method":"stats","params":{"format":"xml"}})",
+         R"({"id":"y","method":"health","params":{"x":1}})"});
+    ASSERT_EQ(session.lines.size(), 3u);
+    for (const auto& line : session.lines) {
+        EXPECT_EQ(status_of(line), "error") << line;
+    }
+}
+
+TEST(ServeIntrospection, StatsPrometheusFormatHasTypedFamilies) {
+    const auto session = run_serve(
+        {R"({"id":"f","method":"fit","params":{"site":"nyc"}})",
+         R"({"id":"p","method":"stats","params":{"format":"prometheus"}})"});
+    ASSERT_EQ(session.lines.size(), 2u);
+    const std::string text = output_of(session.lines[1]);
+    EXPECT_NE(text.find("# TYPE serve_requests counter"), std::string::npos);
+    EXPECT_NE(text.find("serve_request_seconds"), std::string::npos);
+    // Labeled per-method series survive the name sanitizer as labels.
+    EXPECT_NE(text.find("method=\"fit\""), std::string::npos);
+    EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ServeIntrospection, KernelTelemetryVisibleInStatsAfterTransportWork) {
+    // Two sessions: stats answers inline at admission, so the transport
+    // work must have drained (serve() returns only after group.wait())
+    // before the snapshot is taken. The registry is process-global, so the
+    // counters carry across into the second session.
+    const auto work = run_serve(
+        {R"({"id":"t","method":"transmission",)"
+         R"("params":{"histories":20000,"mode":"implicit","seed":13}})",
+         R"({"id":"c","method":"campaign-slice",)"
+         R"("params":{"device":"NVIDIA TitanX","hours":0.1,"seed":3}})"});
+    ASSERT_EQ(work.lines.size(), 2u);
+    EXPECT_EQ(status_of(work.lines[0]), "ok");
+    EXPECT_EQ(status_of(work.lines[1]), "ok");
+    const auto session = run_serve({R"({"id":"s","method":"stats"})"});
+    ASSERT_EQ(session.lines.size(), 1u);
+    const auto stats = json::parse(output_of(session.lines[0]));
+    ASSERT_TRUE(stats.has_value());
+    const auto* kernel = stats->find("kernel");
+    ASSERT_NE(kernel, nullptr);
+    EXPECT_GT(kernel->find("histories")->num, 0.0);
+    // The implicit-capture run banked weight at every collision.
+    EXPECT_GT(kernel->find("bank_events")->num, 0.0);
+    EXPECT_GT(kernel->find("roulette_kills")->num +
+                  kernel->find("roulette_survivals")->num,
+              0.0);
+    const std::string tier = kernel->find("simd_tier")->str;
+    EXPECT_TRUE(tier == "scalar" || tier == "avx2") << tier;
+}
+
+TEST(Serve, CampaignStdoutBitwiseStableWithTelemetry) {
+    // The kernel counters are tallied off the RNG path: two runs with the
+    // same (seed, threads, mode) stay bitwise identical.
+    const std::vector<std::string> args = {"campaign", "--hours",   "0.1",
+                                           "--seed",   "7",         "--threads",
+                                           "2",        "--mode",    "implicit"};
+    EXPECT_EQ(cli_stdout(args), cli_stdout(args));
+}
+
+// --- Slow-request log -------------------------------------------------------
+
+TEST(Serve, SlowLogEmitsJsonLinesAboveThreshold) {
+    std::ostringstream slow;
+    ServeOptions options;
+    options.slow_ms = 1e-6;  // everything is slow.
+    options.slow_log = &slow;
+    const auto session =
+        run_serve({R"({"id":"s","method":"list-devices"})"}, options);
+    ASSERT_EQ(session.lines.size(), 1u);
+    std::istringstream lines(slow.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line)) << "no slow-log line emitted";
+    const auto doc = json::parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    const auto* entry = doc->find("slow_request");
+    ASSERT_NE(entry, nullptr) << line;
+    EXPECT_EQ(entry->find("method")->str, "list-devices");
+    EXPECT_GT(entry->find("elapsed_ms")->num, 0.0);
+    EXPECT_EQ(entry->find("cache")->str, "miss");
+    EXPECT_EQ(entry->find("status")->str, "ok");
+}
+
+TEST(Serve, SlowLogStaysSilentBelowThreshold) {
+    std::ostringstream slow;
+    ServeOptions options;
+    options.slow_ms = 60000.0;  // nothing is that slow.
+    options.slow_log = &slow;
+    const auto session =
+        run_serve({R"({"id":"s","method":"list-devices"})"}, options);
+    ASSERT_EQ(session.lines.size(), 1u);
+    EXPECT_TRUE(slow.str().empty()) << slow.str();
+}
+
+// --- `tnr stats` client -----------------------------------------------------
+
+TEST(Serve, CliStatsQueriesLiveSocketAndWatchRendersDeltas) {
+    const std::string path = "/tmp/tnr_test_stats.sock";
+    std::filesystem::remove(path);
+    parallel::CancelToken stop;
+    ServeOptions options;
+    options.stop = &stop;
+    Server server(options);
+    std::ostringstream diag;
+    std::thread server_thread([&] { server.serve_unix_socket(path, diag); });
+    for (int attempt = 0;
+         attempt < 500 && !std::filesystem::exists(path); ++attempt) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(std::filesystem::exists(path));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // One-shot: the human tables.
+    std::ostringstream out;
+    std::ostringstream err;
+    ASSERT_EQ(cli::run({"stats", "--socket", path}, out, err), 0) << err.str();
+    EXPECT_NE(out.str().find("requests"), std::string::npos);
+    EXPECT_NE(out.str().find("p50 [ms]"), std::string::npos);
+
+    // Watch: two polls, the second line annotated with the delta.
+    std::ostringstream wout;
+    std::ostringstream werr;
+    ASSERT_EQ(cli::run({"stats", "--socket", path, "--watch", "--interval",
+                        "0.05", "--polls", "2"},
+                       wout, werr),
+              0)
+        << werr.str();
+    std::vector<std::string> lines;
+    std::istringstream split(wout.str());
+    for (std::string line; std::getline(split, line);) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u) << wout.str();
+    EXPECT_EQ(lines[0].find("(+"), std::string::npos) << lines[0];
+    EXPECT_NE(lines[1].find("(+"), std::string::npos) << lines[1];
+
+    // Prometheus passthrough over the same socket.
+    std::ostringstream pout;
+    std::ostringstream perr;
+    ASSERT_EQ(
+        cli::run({"stats", "--socket", path, "--format", "prometheus"}, pout,
+                 perr),
+        0)
+        << perr.str();
+    EXPECT_NE(pout.str().find("# TYPE"), std::string::npos);
+
+    stop.cancel();
+    server_thread.join();
+    std::filesystem::remove(path);
 }
 
 // --- Golden transcript -----------------------------------------------------
