@@ -1,0 +1,395 @@
+// Storm-load harness for the event-driven serve front-end: hundreds of
+// concurrent socket clients with bursty, pipelined arrivals against a
+// deliberately small admission queue, proving the overload contract the
+// docs promise — every request gets exactly one typed response (zero
+// silent stalls), every shed carries retry_after_ms, and interactive
+// introspection stays fast while batch work saturates the pool.
+//
+// BENCH_serve_storm.json carries the storm block CI gates on:
+//   silent_stalls == 0, shed > 0, shed_missing_retry_after == 0.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "bench_util.hpp"
+#include "core/obs/json.hpp"
+#include "core/parallel/cancel.hpp"
+#include "serve/server.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+namespace json = tnr::core::obs::json;
+using tnr::serve::Server;
+using tnr::serve::ServeOptions;
+using tnr::serve::ServeStats;
+
+constexpr int kClients = 240;
+constexpr int kBursts = 3;
+constexpr int kPipelined = 4;  // requests sent back-to-back per burst.
+
+double now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Minimal blocking line client (the storm measures the server, not a
+/// client library; sends are small enough to never short-write in practice
+/// but are looped anyway).
+class Client {
+public:
+    explicit Client(const std::string& path) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      path.c_str());
+        for (int attempt = 0; attempt < 200 && fd_ < 0; ++attempt) {
+            const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            if (fd < 0) break;
+            if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr)) == 0) {
+                fd_ = fd;
+                break;
+            }
+            ::close(fd);
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+    }
+    ~Client() {
+        if (fd_ >= 0) ::close(fd_);
+    }
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+    bool send(const std::string& request) {
+        const std::string framed = request + "\n";
+        const char* p = framed.data();
+        std::size_t left = framed.size();
+        while (left > 0) {
+            const ssize_t n = ::write(fd_, p, left);
+            if (n <= 0) return false;
+            p += n;
+            left -= static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    /// Blocking read of one line; "" means EOF/error.
+    std::string read_line() {
+        std::string line;
+        char c = 0;
+        ssize_t n = 0;
+        while ((n = ::read(fd_, &c, 1)) == 1 && c != '\n') line.push_back(c);
+        if (n <= 0 && line.empty()) return {};
+        return line;
+    }
+
+private:
+    int fd_ = -1;
+};
+
+/// One client's share of the storm: what it sent and what came back.
+struct ClientTally {
+    int sent = 0;
+    int received = 0;
+    int ok = 0;
+    int shed = 0;
+    int cancelled = 0;
+    int error = 0;
+    int shed_missing_retry = 0;
+    double retry_min_ms = 0.0;
+    double retry_max_ms = 0.0;
+    std::vector<double> latency_ms;              ///< every response.
+    std::vector<double> interactive_latency_ms;  ///< fit/health responses.
+};
+
+/// ~70% cache-hittable fits, 20% unique detector work, 5% campaign-slice
+/// (batch class), 5% health — mixed per (client, burst, slot) so the blend
+/// is deterministic run to run.
+std::string storm_request(int client, int burst, int slot) {
+    const int roll = (client * 7 + burst * 13 + slot * 29) % 20;
+    if (roll < 14) {
+        const char* site = client % 2 == 0 ? "nyc" : "leadville";
+        return R"({"id":"q","method":"fit","params":{"site":")" +
+               std::string(site) + R"(","rainy":)" +
+               (client % 4 < 2 ? "true" : "false") + "}}";
+    }
+    if (roll < 18) {
+        return R"({"id":"q","method":"detector","params":{"seed":)" +
+               std::to_string(client * 1000 + burst * 10 + slot) + "}}";
+    }
+    if (roll < 19) {
+        return R"({"id":"q","method":"campaign-slice","params":{"device":"NVIDIA K20"}})";
+    }
+    return R"({"id":"q","method":"health"})";
+}
+
+bool is_interactive(const std::string& request) {
+    return request.find("\"fit\"") != std::string::npos ||
+           request.find("\"health\"") != std::string::npos;
+}
+
+ClientTally run_client(const std::string& path, int index) {
+    ClientTally tally;
+    tnr::stats::Rng rng(static_cast<std::uint64_t>(index) + 1);
+    Client client(path);
+    if (!client.ok()) return tally;
+    for (int burst = 0; burst < kBursts; ++burst) {
+        // Bursty arrival: a random 0-20 ms lull, then kPipelined requests
+        // written back-to-back before the first response is read.
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<int>(rng.uniform() * 20'000.0)));
+        std::vector<std::string> sent;
+        const double t0 = now_ms();
+        for (int slot = 0; slot < kPipelined; ++slot) {
+            const std::string req = storm_request(index, burst, slot);
+            if (!client.send(req)) break;
+            sent.push_back(req);
+            ++tally.sent;
+        }
+        for (const auto& req : sent) {
+            const std::string line = client.read_line();
+            if (line.empty()) break;  // connection died: counted as stalls.
+            const double elapsed = now_ms() - t0;
+            const auto doc = json::parse(line);
+            if (!doc || doc->find("status") == nullptr) break;
+            ++tally.received;
+            tally.latency_ms.push_back(elapsed);
+            if (is_interactive(req)) {
+                tally.interactive_latency_ms.push_back(elapsed);
+            }
+            const std::string& status = doc->find("status")->str;
+            if (status == "ok") {
+                ++tally.ok;
+            } else if (status == "overloaded") {
+                ++tally.shed;
+                const auto* err = doc->find("error");
+                const auto* retry =
+                    err != nullptr ? err->find("retry_after_ms") : nullptr;
+                if (retry == nullptr || retry->num <= 0.0) {
+                    ++tally.shed_missing_retry;
+                } else {
+                    tally.retry_min_ms = tally.retry_min_ms == 0.0
+                                             ? retry->num
+                                             : std::min(tally.retry_min_ms,
+                                                        retry->num);
+                    tally.retry_max_ms =
+                        std::max(tally.retry_max_ms, retry->num);
+                }
+            } else if (status == "cancelled") {
+                ++tally.cancelled;
+            } else {
+                ++tally.error;
+            }
+        }
+    }
+    return tally;
+}
+
+double percentile(std::vector<double> v, double q) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const auto idx =
+        static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+    return v[idx];
+}
+
+std::string g_storm_json;  // NOLINT(*-avoid-non-const-global-variables)
+
+void emit_table(std::ostream& os) {
+    const std::string path = "/tmp/tnr_storm.sock";
+    std::filesystem::remove(path);
+
+    ServeOptions options;
+    options.max_inflight = 2;
+    options.queue_depth = 16;
+    options.max_clients = 512;
+    tnr::core::parallel::CancelToken stop;
+    options.stop = &stop;
+    Server server(options);
+    std::ostringstream diag;
+    ServeStats server_stats;
+    std::thread serve_thread(
+        [&] { server_stats = server.serve_unix_socket(path, diag); });
+    for (int i = 0; i < 500 && !std::filesystem::exists(path); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    // A dedicated health probe running serially through the whole storm:
+    // its percentiles are the "introspection never starves" evidence.
+    std::atomic<bool> storm_done{false};
+    std::vector<double> health_ms;
+    std::mutex health_mutex;
+    std::thread health_probe([&] {
+        Client probe(path);
+        if (!probe.ok()) return;
+        while (!storm_done.load(std::memory_order_relaxed)) {
+            const double t0 = now_ms();
+            if (!probe.send(R"({"id":"hp","method":"health"})")) break;
+            if (probe.read_line().empty()) break;
+            const double elapsed = now_ms() - t0;
+            {
+                const std::lock_guard<std::mutex> lock(health_mutex);
+                health_ms.push_back(elapsed);
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+    });
+
+    const double storm_t0 = now_ms();
+    std::vector<std::thread> threads;
+    std::vector<ClientTally> tallies(kClients);
+    threads.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back(
+            [&tallies, &path, i] { tallies[i] = run_client(path, i); });
+    }
+    for (auto& t : threads) t.join();
+    const double storm_s = (now_ms() - storm_t0) / 1e3;
+    storm_done.store(true, std::memory_order_relaxed);
+    health_probe.join();
+    stop.cancel();
+    serve_thread.join();
+    std::filesystem::remove(path);
+
+    ClientTally total;
+    std::vector<double> all_ms;
+    std::vector<double> interactive_ms;
+    for (const auto& t : tallies) {
+        total.sent += t.sent;
+        total.received += t.received;
+        total.ok += t.ok;
+        total.shed += t.shed;
+        total.cancelled += t.cancelled;
+        total.error += t.error;
+        total.shed_missing_retry += t.shed_missing_retry;
+        if (t.retry_min_ms > 0.0) {
+            total.retry_min_ms = total.retry_min_ms == 0.0
+                                     ? t.retry_min_ms
+                                     : std::min(total.retry_min_ms,
+                                                t.retry_min_ms);
+        }
+        total.retry_max_ms = std::max(total.retry_max_ms, t.retry_max_ms);
+        all_ms.insert(all_ms.end(), t.latency_ms.begin(), t.latency_ms.end());
+        interactive_ms.insert(interactive_ms.end(),
+                              t.interactive_latency_ms.begin(),
+                              t.interactive_latency_ms.end());
+    }
+    const int silent_stalls = total.sent - total.received;
+    const double shed_rate =
+        total.received > 0
+            ? static_cast<double>(total.shed) / total.received
+            : 0.0;
+
+    os << "storm: " << kClients << " clients x " << kBursts << " bursts x "
+       << kPipelined << " pipelined requests in " << storm_s << " s\n\n";
+    os << "requests sent      " << total.sent << '\n';
+    os << "responses          " << total.received << "  (ok " << total.ok
+       << ", shed " << total.shed << ", cancelled " << total.cancelled
+       << ", error " << total.error << ")\n";
+    os << "silent stalls      " << silent_stalls << '\n';
+    os << "sheds w/o retry    " << total.shed_missing_retry << '\n';
+    os << "shed rate          " << shed_rate << '\n';
+    os << "retry_after_ms     [" << total.retry_min_ms << ", "
+       << total.retry_max_ms << "]\n";
+    os << "\nlatency [ms]   p50     p99\n";
+    os << "all            " << percentile(all_ms, 0.5) << "  "
+       << percentile(all_ms, 0.99) << '\n';
+    os << "interactive    " << percentile(interactive_ms, 0.5) << "  "
+       << percentile(interactive_ms, 0.99) << '\n';
+    os << "health probe   " << percentile(health_ms, 0.5) << "  "
+       << percentile(health_ms, 0.99) << "  (" << health_ms.size()
+       << " polls)\n";
+    os << "\nserver: " << server_stats.requests << " requests, "
+       << server_stats.ok << " ok, " << server_stats.errors << " error, "
+       << server_stats.cancelled << " cancelled, " << server_stats.shed
+       << " shed, " << server_stats.cache_hits << " cache hits, "
+       << server_stats.coalesced << " coalesced\n";
+
+    std::ostringstream fragment;
+    fragment << "\"storm\":{\"clients\":" << kClients
+             << ",\"requests\":" << total.sent
+             << ",\"responses\":" << total.received
+             << ",\"ok\":" << total.ok << ",\"shed\":" << total.shed
+             << ",\"cancelled\":" << total.cancelled
+             << ",\"errors\":" << total.error
+             << ",\"silent_stalls\":" << silent_stalls
+             << ",\"shed_missing_retry_after\":" << total.shed_missing_retry
+             << ",\"shed_rate\":" << json::number(shed_rate)
+             << ",\"elapsed_s\":" << json::number(storm_s)
+             << ",\"latency_ms\":{\"all\":{\"p50\":"
+             << json::number(percentile(all_ms, 0.5))
+             << ",\"p99\":" << json::number(percentile(all_ms, 0.99))
+             << "},\"interactive\":{\"p50\":"
+             << json::number(percentile(interactive_ms, 0.5))
+             << ",\"p99\":" << json::number(percentile(interactive_ms, 0.99))
+             << "},\"health\":{\"p50\":"
+             << json::number(percentile(health_ms, 0.5))
+             << ",\"p99\":" << json::number(percentile(health_ms, 0.99))
+             << ",\"polls\":" << health_ms.size()
+             << "}},\"retry_after_ms\":{\"min\":"
+             << json::number(total.retry_min_ms)
+             << ",\"max\":" << json::number(total.retry_max_ms)
+             << "},\"server\":{\"requests\":" << server_stats.requests
+             << ",\"ok\":" << server_stats.ok
+             << ",\"errors\":" << server_stats.errors
+             << ",\"cancelled\":" << server_stats.cancelled
+             << ",\"shed\":" << server_stats.shed
+             << ",\"cache_hits\":" << server_stats.cache_hits
+             << ",\"coalesced\":" << server_stats.coalesced << "}}";
+    g_storm_json = fragment.str();
+}
+
+void BM_SocketHealthRoundTrip(benchmark::State& state) {
+    const std::string path = "/tmp/tnr_storm_bm.sock";
+    std::filesystem::remove(path);
+    tnr::core::parallel::CancelToken stop;
+    ServeOptions options;
+    options.stop = &stop;
+    Server server(options);
+    std::ostringstream diag;
+    std::thread serve_thread(
+        [&] { (void)server.serve_unix_socket(path, diag); });
+    for (int i = 0; i < 500 && !std::filesystem::exists(path); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    {
+        Client client(path);
+        for (auto _ : state) {
+            client.send(R"({"id":"bm","method":"health"})");
+            benchmark::DoNotOptimize(client.read_line());
+        }
+    }
+    stop.cancel();
+    serve_thread.join();
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_SocketHealthRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // The storm needs compute concurrency even on single-core CI boxes:
+    // without workers the first batch job would serialize everything behind
+    // it and the latency percentiles would measure the box, not the server.
+    ::setenv("TNR_THREADS", "4", /*overwrite=*/0);
+    return tnr::bench::run_bench_main(argc, argv, "Serve storm", emit_table,
+                                      [] { return g_storm_json; });
+}

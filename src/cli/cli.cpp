@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <ostream>
@@ -116,6 +117,9 @@ const std::map<std::string, CommandSpec>& command_specs() {
          {{{"max-inflight", true},
            {"cache-capacity", true},
            {"socket", true},
+           {"max-clients", true},
+           {"queue-depth", true},
+           {"idle-timeout-ms", true},
            {"slow-ms", true},
            {"slow-log", true}},
           std::nullopt}},
@@ -385,7 +389,8 @@ int cmd_transmission(const Flags& flags, std::ostream& out) {
     params.threads = static_cast<unsigned>(
         std::max(0.0, flags.get_double("threads", 1.0)));
     params.csv = flags.has("csv");
-    out << serve::render_transmission(params);
+    out << serve::render_transmission(params,
+                                      &core::parallel::global_cancel_token());
     return 0;
 }
 
@@ -444,6 +449,12 @@ int cmd_serve(const Flags& flags, const Io& io, RunContext& ctx,
         std::max(1.0, flags.get_double("max-inflight", 4.0)));
     options.cache_capacity = static_cast<std::size_t>(
         std::max(0.0, flags.get_double("cache-capacity", 128.0)));
+    options.queue_depth = static_cast<std::size_t>(
+        std::max(1.0, flags.get_double("queue-depth", 64.0)));
+    options.max_clients = static_cast<std::size_t>(
+        std::max(1.0, flags.get_double("max-clients", 64.0)));
+    options.idle_timeout_ms =
+        std::max(0.0, flags.get_double("idle-timeout-ms", 60'000.0));
     options.verbose = io.verbose;
     options.stop = &core::parallel::global_cancel_token();
     options.slow_ms = flags.get_double("slow-ms", 0.0);
@@ -468,12 +479,15 @@ int cmd_serve(const Flags& flags, const Io& io, RunContext& ctx,
         {"serve.ok", static_cast<double>(stats.ok)},
         {"serve.errors", static_cast<double>(stats.errors)},
         {"serve.cancelled", static_cast<double>(stats.cancelled)},
+        {"serve.shed", static_cast<double>(stats.shed)},
         {"serve.cache_hits", static_cast<double>(stats.cache_hits)},
         {"serve.coalesced", static_cast<double>(stats.coalesced)},
+        {"serve.timeouts", static_cast<double>(stats.timeouts)},
     };
     io.diag << "tnr: serve: " << stats.requests << " requests (" << stats.ok
             << " ok, " << stats.errors << " error, " << stats.cancelled
-            << " cancelled), " << stats.cache_hits << " cache hits\n";
+            << " cancelled, " << stats.shed << " shed), " << stats.cache_hits
+            << " cache hits\n";
     if (stats.stopped) {
         // The drain already happened inside serve(); this reuses the
         // cancelled path of the run boundary (sinks flushed, exit 130).
@@ -603,8 +617,21 @@ void render_stats_tables(const obs::json::Value& stats, std::ostream& out) {
         {"  cancelled",
          core::format_fixed(num_at(stats, {"requests", "cancelled"}), 0)});
     summary.add_row(
+        {"  shed",
+         core::format_fixed(num_at(stats, {"requests", "overloaded"}), 0)});
+    summary.add_row(
         {"  coalesced",
          core::format_fixed(num_at(stats, {"requests", "coalesced"}), 0)});
+    summary.add_row(
+        {"queue depth",
+         core::format_fixed(num_at(stats, {"queue", "depth"}), 0) + " / " +
+             core::format_fixed(num_at(stats, {"queue", "capacity"}), 0)});
+    summary.add_row(
+        {"connections",
+         core::format_fixed(num_at(stats, {"connections", "active"}), 0) +
+             " / " +
+             core::format_fixed(num_at(stats, {"connections", "max_clients"}),
+                                0)});
     summary.add_row(
         {"windowed req/s",
          core::format_fixed(num_at(stats, {"requests", "rate_per_s"}), 2)});
@@ -668,8 +695,10 @@ int cmd_stats(const Flags& flags, const Io& io) {
     const auto polls = static_cast<std::uint64_t>(
         std::max(0.0, flags.get_double("polls", 0.0)));
 
-    SocketClient client(socket_path);
     if (!watch) {
+        // One-shot stays fail-fast: a missing server is an actionable error,
+        // not something to wait out.
+        SocketClient client(socket_path);
         const std::string output =
             fetch_stats(client, 0, window_s, format == "prometheus");
         if (format != "table") {
@@ -687,19 +716,53 @@ int cmd_stats(const Flags& flags, const Io& io) {
     // Watch mode: poll forever (or --polls times), one line per poll. The
     // first line shows lifetime totals; later lines add the deltas since
     // the previous poll, computed client-side from the two snapshots.
+    //
+    // A watch is a long-lived observer of a server that may restart or drop
+    // the connection under it (ECONNREFUSED while it comes back up, EPIPE
+    // mid-watch): transient socket errors reconnect with capped exponential
+    // backoff instead of killing the watch. Only a run of consecutive
+    // failures — a server that is really gone — propagates.
+    std::unique_ptr<SocketClient> client;
+    constexpr int kMaxConsecutiveFailures = 8;
+    constexpr double kMaxBackoffMs = 2000.0;
+    int failures = 0;
+    double backoff_ms = 100.0;
     double prev_total = 0.0;
     double prev_hits = 0.0;
     const auto t0 = std::chrono::steady_clock::now();
-    for (std::uint64_t poll = 0; polls == 0 || poll < polls; ++poll) {
-        if (poll > 0) {
+    std::uint64_t poll = 0;  // successful polls; retries don't consume one.
+    while (polls == 0 || poll < polls) {
+        std::string output;
+        try {
+            if (client == nullptr) {
+                client = std::make_unique<SocketClient>(socket_path);
+            }
+            output =
+                fetch_stats(*client, poll, window_s, format == "prometheus");
+        } catch (const core::RunError& e) {
+            if (e.category() != core::ErrorCategory::kIo) throw;
+            client.reset();  // half-dead connections never get reused.
+            if (++failures >= kMaxConsecutiveFailures) throw;
+            io.diag << "tnr: stats: " << e.what() << " — reconnecting in "
+                    << static_cast<int>(backoff_ms) << " ms (attempt "
+                    << failures << "/" << kMaxConsecutiveFailures << ")\n";
+            io.diag.flush();
             std::this_thread::sleep_for(
-                std::chrono::duration<double>(interval_s));
+                std::chrono::duration<double>(backoff_ms * 1e-3));
+            backoff_ms = std::min(backoff_ms * 2.0, kMaxBackoffMs);
+            continue;
         }
-        const std::string output =
-            fetch_stats(client, poll, window_s, format == "prometheus");
+        failures = 0;
+        backoff_ms = 100.0;
+        ++poll;
+        const bool last = polls != 0 && poll >= polls;
         if (format != "table") {
             // Raw payload per poll (JSON line or Prometheus exposition).
             io.out << output << std::flush;
+            if (!last) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(interval_s));
+            }
             continue;
         }
         const auto stats = obs::json::parse(output);
@@ -713,7 +776,7 @@ int cmd_stats(const Flags& flags, const Io& io) {
         const double hits = num_at(*stats, {"cache", "hits"});
         io.out << "t+" << core::format_fixed(elapsed, 1) << "s  requests "
                << core::format_fixed(total, 0);
-        if (poll > 0) {
+        if (poll > 1) {
             const double delta = total - prev_total;
             io.out << " (+" << core::format_fixed(delta, 0) << ", "
                    << core::format_fixed(delta / interval_s, 1) << "/s)";
@@ -722,17 +785,26 @@ int cmd_stats(const Flags& flags, const Io& io) {
                       num_at(*stats, {"requests", "ok"}), 0)
                << "  err "
                << core::format_fixed(num_at(*stats, {"requests", "error"}), 0)
+               << "  shed "
+               << core::format_fixed(
+                      num_at(*stats, {"requests", "overloaded"}), 0)
                << "  cache hits " << core::format_fixed(hits, 0);
-        if (poll > 0) {
+        if (poll > 1) {
             io.out << " (+" << core::format_fixed(hits - prev_hits, 0) << ")";
         }
         io.out << "  inflight "
                << core::format_fixed(num_at(*stats, {"inflight"}), 0) << "/"
                << core::format_fixed(num_at(*stats, {"max_inflight"}), 0)
+               << "  queue "
+               << core::format_fixed(num_at(*stats, {"queue", "depth"}), 0)
                << '\n'
                << std::flush;
         prev_total = total;
         prev_hits = hits;
+        if (!last) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(interval_s));
+        }
     }
     return 0;
 }
@@ -924,6 +996,14 @@ std::string usage() {
            "                                       unix socket), one JSON\n"
            "                                       response line each; see\n"
            "                                       docs/serving.md\n"
+           "        [--queue-depth N]              admission queue bound; a\n"
+           "                                       full queue sheds socket\n"
+           "                                       requests with a typed\n"
+           "                                       overloaded response\n"
+           "        [--max-clients N] [--idle-timeout-ms T]\n"
+           "                                       socket front-end: connection\n"
+           "                                       cap and idle-close timeout\n"
+           "                                       (0 disables)\n"
            "        [--slow-ms T] [--slow-log F]   log requests slower than\n"
            "                                       T ms as JSON lines (to\n"
            "                                       stderr, or to F)\n"

@@ -14,10 +14,12 @@
 namespace tnr::core {
 
 enum class ErrorCategory {
-    kConfig,     ///< invalid configuration or arguments (usage error).
-    kNumeric,    ///< a computation produced or met an invalid value.
-    kIo,         ///< a file could not be read, written, or parsed.
-    kCancelled,  ///< the run was cooperatively cancelled (SIGINT).
+    kConfig,      ///< invalid configuration or arguments (usage error).
+    kNumeric,     ///< a computation produced or met an invalid value.
+    kIo,          ///< a file could not be read, written, or parsed.
+    kCancelled,   ///< the run was cooperatively cancelled (SIGINT).
+    kOverloaded,  ///< admission queue full; the serve load-shed response.
+    kTimeout,     ///< a peer exceeded its idle budget (serve connection).
 };
 
 constexpr const char* to_string(ErrorCategory c) noexcept {
@@ -26,18 +28,24 @@ constexpr const char* to_string(ErrorCategory c) noexcept {
         case ErrorCategory::kNumeric: return "numeric";
         case ErrorCategory::kIo: return "io";
         case ErrorCategory::kCancelled: return "cancelled";
+        case ErrorCategory::kOverloaded: return "overloaded";
+        case ErrorCategory::kTimeout: return "timeout";
     }
     return "unknown";
 }
 
 /// Process exit code convention (see docs/robustness.md): 0 ok, 2 usage,
-/// 3 runtime failure, 130 interrupted (128 + SIGINT).
+/// 3 runtime failure, 130 interrupted (128 + SIGINT). kOverloaded and
+/// kTimeout are protocol-level responses of `tnr serve`; if one ever ends a
+/// process it is a runtime fault.
 constexpr int exit_code(ErrorCategory c) noexcept {
     switch (c) {
         case ErrorCategory::kConfig: return 2;
         case ErrorCategory::kNumeric: return 3;
         case ErrorCategory::kIo: return 3;
         case ErrorCategory::kCancelled: return 130;
+        case ErrorCategory::kOverloaded: return 3;
+        case ErrorCategory::kTimeout: return 3;
     }
     return 3;
 }

@@ -146,14 +146,19 @@ TransportResult SlabTransport::run_histories(
             },
             [](TransportResult& acc, const TransportResult& p) {
                 acc.merge(p);
-            });
+            },
+            config_.cancel);
     } else {
+        const core::parallel::CancelToken* cancel = config_.cancel;
         result = core::parallel::parallel_for_reduce<TransportResult>(
             n, threads, rng,
-            [this, &sample](std::uint64_t, std::uint64_t count,
-                            stats::Rng& stream) {
+            [this, &sample, cancel](std::uint64_t, std::uint64_t count,
+                                    stats::Rng& stream) {
                 TransportResult r;
                 for (std::uint64_t i = 0; i < count; ++i) {
+                    if (cancel != nullptr && (i & 0xFFFu) == 0xFFFu) {
+                        cancel->throw_if_cancelled();
+                    }
                     double exit_e = 0.0;
                     std::uint64_t collisions = 0;
                     const Fate fate = transport_one(sample(stream), stream,
@@ -164,7 +169,8 @@ TransportResult SlabTransport::run_histories(
             },
             [](TransportResult& acc, const TransportResult& p) {
                 acc.merge(p);
-            });
+            },
+            config_.cancel);
     }
 
     // Batch-granularity telemetry: a handful of relaxed adds per run, never

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "core/parallel/cancel.hpp"
 #include "core/simd/dispatch.hpp"
 #include "physics/materials.hpp"
 #include "physics/spectrum.hpp"
@@ -85,6 +86,13 @@ struct TransportConfig {
     /// scalar-tier run are unaffected — they keep their historical draw
     /// sequences exactly.
     core::simd::Policy simd = core::simd::Policy::kAuto;
+    /// Cooperative cancellation: checked between worker chunks and at batch
+    /// boundaries inside the kernels (every `max_lanes` histories in the
+    /// batched tiers, every few thousand in the analog loop), so a serve
+    /// request or SIGINT aborts mid-run via RunError::cancelled instead of
+    /// computing the remaining histories. Null disables the checks; a
+    /// cancelled run's partial tallies are discarded, never returned.
+    const core::parallel::CancelToken* cancel = nullptr;
 };
 
 /// Mean / variance of one weighted tally, normalized per source neutron.

@@ -112,6 +112,7 @@ void SlabBatchKernel::run_scalar(const SourceSampler& sample,
 
     std::uint64_t remaining = count;
     while (remaining > 0) {
+        if (config_.cancel != nullptr) config_.cancel->throw_if_cancelled();
         const auto lanes = static_cast<std::uint32_t>(
             std::min<std::uint64_t>(max_lanes, remaining));
         remaining -= lanes;

@@ -125,6 +125,7 @@ void SlabBatchKernel::run_avx2(const SourceBlockSampler& block,
 
     std::uint64_t remaining = count;
     for (;;) {
+        if (config_.cancel != nullptr) config_.cancel->throw_if_cancelled();
         compact();  // drop lanes killed by the previous roulette pass.
 
         if (remaining > 0 && n < max_lanes) {

@@ -1,0 +1,514 @@
+#include "serve/event_loop.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/framing.hpp"
+
+namespace tnr::serve {
+
+namespace {
+
+namespace obs = core::obs;
+namespace parallel = core::parallel;
+
+std::uint64_t steady_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Owns the listening socket and its filesystem name.
+struct ListenGuard {
+    int fd = -1;
+    std::string path;
+    ~ListenGuard() {
+        if (fd >= 0) ::close(fd);
+        if (!path.empty()) ::unlink(path.c_str());
+    }
+};
+
+/// One finished response on its way back to the event loop thread.
+struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::string line;  ///< full response line, newline included.
+};
+
+/// The cross-thread mailbox: pool runners (and the loop thread itself, for
+/// inline answers) push completions here and poke the self-pipe; the loop
+/// drains it after every poll() return. Outlives every in-flight deliver
+/// callback because the loop calls Server::wait_drained before destroying
+/// it.
+struct Mailbox {
+    std::mutex mutex;
+    std::deque<Completion> completions;
+    int wake_fd = -1;  ///< write end of the self-pipe.
+
+    void post(std::uint64_t conn_id, std::uint64_t seq, std::string line) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex);
+            completions.push_back({conn_id, seq, std::move(line)});
+        }
+        // A full pipe already guarantees a pending wakeup; EINTR on a
+        // 1-byte pipe write cannot leave it half-done.
+        const char byte = 'x';
+        while (::write(wake_fd, &byte, 1) < 0 && errno == EINTR) {
+        }
+    }
+};
+
+/// Per-client state machine.
+struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    LineFramer framer;
+    Server::ResponseSink sink;
+    std::string wbuf;          ///< assembled-but-unsent response bytes.
+    std::size_t woff = 0;      ///< consumed prefix of wbuf.
+    std::map<std::uint64_t, std::string> reorder;  ///< seq -> response line.
+    std::uint64_t next_assign = 0;  ///< admission sequence for new lines.
+    std::uint64_t next_emit = 0;    ///< next sequence wbuf may take.
+    std::uint64_t last_activity_ns = 0;
+    std::size_t outstanding = 0;  ///< admitted lines awaiting completion.
+    bool input_closed = false;    ///< peer EOF: close once drained+flushed.
+    bool doomed = false;          ///< error/timeout: close once flushed.
+
+    explicit Connection(std::size_t max_line) : framer(max_line) {}
+
+    [[nodiscard]] std::size_t unsent() const { return wbuf.size() - woff; }
+    [[nodiscard]] bool drained() const {
+        return outstanding == 0 && reorder.empty() && unsent() == 0;
+    }
+};
+
+/// Appends every reorder-buffer line that is next in sequence to wbuf.
+void flush_reorder(Connection& conn) {
+    while (true) {
+        const auto it = conn.reorder.find(conn.next_emit);
+        if (it == conn.reorder.end()) break;
+        conn.wbuf += it->second;
+        conn.reorder.erase(it);
+        ++conn.next_emit;
+    }
+    if (conn.woff > 0 && conn.woff == conn.wbuf.size()) {
+        conn.wbuf.clear();
+        conn.woff = 0;
+    }
+}
+
+/// Writes as much of wbuf as the socket accepts right now. Returns false
+/// when the connection died (EPIPE/ECONNRESET/...).
+bool try_write(Connection& conn) {
+    while (conn.unsent() > 0) {
+        const ssize_t n =
+            ::send(conn.fd, conn.wbuf.data() + conn.woff, conn.unsent(),
+                   MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.woff += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+        return false;  // peer gone.
+    }
+    conn.wbuf.clear();
+    conn.woff = 0;
+    return true;
+}
+
+}  // namespace
+
+ServeStats run_event_loop(Server& server, const std::string& path,
+                          std::ostream& diag) {
+    const ServeOptions& opts = server.options();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw core::RunError::config("socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    ListenGuard guard;
+    guard.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (guard.fd < 0) {
+        throw core::RunError::io("socket() failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    ::unlink(path.c_str());  // stale socket from a previous run.
+    if (::bind(guard.fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        throw core::RunError::io("bind(" + path +
+                                 ") failed: " + std::strerror(errno));
+    }
+    guard.path = path;
+    if (::listen(guard.fd, 256) != 0) {
+        throw core::RunError::io("listen(" + path +
+                                 ") failed: " + std::strerror(errno));
+    }
+    set_nonblocking(guard.fd);
+
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0) {
+        throw core::RunError::io("pipe() failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    set_nonblocking(pipe_fds[0]);
+    set_nonblocking(pipe_fds[1]);
+
+    diag << "# serving on unix socket " << path << '\n';
+    diag.flush();
+
+    auto& reg = obs::Registry::global();
+    obs::Gauge& active_gauge = reg.gauge("serve.connections.active");
+    obs::Counter& accepted = reg.counter("serve.connections.accepted");
+    obs::Counter& rejected = reg.counter("serve.connections.rejected");
+    obs::Counter& idle_timeouts =
+        reg.counter("serve.connections.idle_timeouts");
+    obs::Counter& write_overflows =
+        reg.counter("serve.connections.write_overflows");
+
+    Server::Session session;
+    Mailbox mailbox;
+    mailbox.wake_fd = pipe_fds[1];
+
+    std::unordered_map<int, Connection> conns;          // by fd.
+    std::unordered_map<std::uint64_t, int> fd_by_id;    // conn id -> fd.
+    std::uint64_t next_conn_id = 1;
+
+    const auto close_conn = [&](int fd) {
+        const auto it = conns.find(fd);
+        if (it == conns.end()) return;
+        fd_by_id.erase(it->second.id);
+        ::close(fd);
+        conns.erase(it);
+        active_gauge.set(static_cast<double>(conns.size()));
+    };
+
+    const parallel::CancelToken* stop = opts.stop;
+    bool stopping = false;
+    std::uint64_t stop_deadline_ns = 0;
+    constexpr std::uint64_t kDrainBudgetNs = 5'000'000'000ULL;
+    std::vector<pollfd> pfds;
+    std::vector<int> io_fds;  // pfds index -> connection fd, aligned.
+    std::string line;
+
+    while (true) {
+        if (!stopping && stop != nullptr && stop->cancelled()) {
+            // Drain phase: no new connections or request lines; everything
+            // admitted still gets its typed response, buffers flush, then
+            // the loop returns for the CLI's exit-130 path.
+            stopping = true;
+            stop_deadline_ns = steady_ns() + kDrainBudgetNs;
+        }
+        if (stopping) {
+            bool drained;
+            {
+                const std::lock_guard<std::mutex> lock(session.mutex);
+                drained = session.pending == 0;
+            }
+            {
+                const std::lock_guard<std::mutex> lock(mailbox.mutex);
+                drained = drained && mailbox.completions.empty();
+            }
+            if (drained) {
+                drained = std::all_of(
+                    conns.begin(), conns.end(),
+                    [](const auto& kv) { return kv.second.drained(); });
+            }
+            if (drained) break;
+            if (steady_ns() >= stop_deadline_ns) {
+                diag << "# drain budget exhausted with responses in flight; "
+                        "flushing best-effort\n";
+                diag.flush();
+                break;
+            }
+        }
+
+        pfds.clear();
+        io_fds.clear();
+        pfds.push_back({pipe_fds[0], POLLIN, 0});
+        io_fds.push_back(-1);
+        if (!stopping) {
+            pfds.push_back({guard.fd, POLLIN, 0});
+            io_fds.push_back(-1);
+        }
+        const std::uint64_t now = steady_ns();
+        const std::uint64_t idle_ns = static_cast<std::uint64_t>(
+            opts.idle_timeout_ms > 0.0 ? opts.idle_timeout_ms * 1e6 : 0.0);
+        int timeout_ms = 200;
+        for (auto& [fd, conn] : conns) {
+            short events = 0;
+            if (!stopping && !conn.doomed && !conn.input_closed) {
+                events |= POLLIN;
+            }
+            if (conn.unsent() > 0) events |= POLLOUT;
+            pfds.push_back({fd, events, 0});
+            io_fds.push_back(fd);
+            if (idle_ns > 0 && !conn.doomed && conn.outstanding == 0) {
+                const std::uint64_t deadline = conn.last_activity_ns + idle_ns;
+                const int left =
+                    deadline > now
+                        ? static_cast<int>(
+                              std::min<std::uint64_t>((deadline - now) / 1'000'000 + 1, 200))
+                        : 0;
+                timeout_ms = std::min(timeout_ms, left);
+            }
+        }
+
+        const int rc = ::poll(pfds.data(),
+                              static_cast<nfds_t>(pfds.size()), timeout_ms);
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            throw core::RunError::io("poll() failed: " +
+                                     std::string(std::strerror(errno)));
+        }
+
+        // 1) Drain the self-pipe and the completion mailbox.
+        {
+            char buf[256];
+            while (::read(pipe_fds[0], buf, sizeof buf) > 0) {
+            }
+        }
+        std::deque<Completion> done;
+        {
+            const std::lock_guard<std::mutex> lock(mailbox.mutex);
+            done.swap(mailbox.completions);
+        }
+        for (auto& c : done) {
+            const auto fit = fd_by_id.find(c.conn_id);
+            if (fit == fd_by_id.end()) continue;  // client already gone.
+            Connection& conn = conns.at(fit->second);
+            if (conn.outstanding > 0) --conn.outstanding;
+            conn.reorder.emplace(c.seq, std::move(c.line));
+            flush_reorder(conn);
+        }
+        // Processed entries must not survive into the second swap below, or
+        // they would ride back into the mailbox and re-run as duplicates.
+        done.clear();
+
+        // 2) Accept. Beyond max_clients each new connection gets one typed
+        // reject line (best effort on a fresh socket) and an immediate
+        // close — a full server must never leave a client hanging.
+        if (!stopping) {
+            while (true) {
+                const int client = ::accept(guard.fd, nullptr, nullptr);
+                if (client < 0) {
+                    if (errno == EINTR) continue;
+                    break;  // EAGAIN or transient accept error: poll again.
+                }
+                set_nonblocking(client);
+                if (conns.size() >= opts.max_clients) {
+                    rejected.add(1);
+                    std::string reject = assemble_response(
+                        "", overloaded_body(
+                                server.retry_after_ms_hint(),
+                                "connection limit reached, retry later"));
+                    reject += '\n';
+                    (void)::send(client, reject.data(), reject.size(),
+                                 MSG_NOSIGNAL);
+                    ::close(client);
+                    continue;
+                }
+                accepted.add(1);
+                const std::uint64_t id = next_conn_id++;
+                Connection& conn =
+                    conns.emplace(client, Connection(opts.max_line_bytes))
+                        .first->second;
+                conn.fd = client;
+                conn.id = id;
+                conn.last_activity_ns = steady_ns();
+                conn.sink = [&mailbox, id](std::uint64_t seq, std::string rid,
+                                           std::string body) {
+                    std::string full = assemble_response(rid, body);
+                    full += '\n';
+                    mailbox.post(id, seq, std::move(full));
+                };
+                fd_by_id.emplace(id, client);
+                active_gauge.set(static_cast<double>(conns.size()));
+            }
+        }
+
+        // 3) Per-connection I/O, driven by poll's revents.
+        for (std::size_t i = 0; i < pfds.size(); ++i) {
+            const int fd = io_fds[i];
+            if (fd < 0) continue;
+            const auto it = conns.find(fd);
+            if (it == conns.end()) continue;
+            Connection& conn = it->second;
+            const short re = pfds[i].revents;
+
+            if ((re & (POLLERR | POLLNVAL)) != 0) {
+                close_conn(fd);
+                continue;
+            }
+            if ((re & POLLIN) != 0) {
+                char buf[4096];
+                while (true) {
+                    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+                    if (n > 0) {
+                        conn.framer.feed(buf, static_cast<std::size_t>(n));
+                        conn.last_activity_ns = steady_ns();
+                        continue;
+                    }
+                    if (n == 0) {
+                        conn.input_closed = true;
+                        break;
+                    }
+                    if (errno == EINTR) continue;
+                    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+                    conn.input_closed = true;  // hard read error.
+                    conn.doomed = true;
+                    break;
+                }
+                // Every complete line goes through the same
+                // parse/cache/admit path as stdin, but with shedding
+                // allowed: the loop thread must never block on admission.
+                while (true) {
+                    const LineFramer::Result r = conn.framer.next(line);
+                    if (r == LineFramer::Result::kNone) break;
+                    if (r == LineFramer::Result::kLine &&
+                        line.find_first_not_of(" \t\r") ==
+                            std::string::npos) {
+                        continue;
+                    }
+                    const std::uint64_t seq = conn.next_assign++;
+                    ++conn.outstanding;
+                    server.process_line(
+                        session, line, seq,
+                        /*oversized=*/r == LineFramer::Result::kOverflow,
+                        /*allow_shed=*/true, diag, conn.sink);
+                }
+            } else if ((re & POLLHUP) != 0 && conn.unsent() == 0) {
+                // Peer hung up and nothing is left to flush toward it.
+                if (conn.drained()) {
+                    close_conn(fd);
+                    continue;
+                }
+                conn.input_closed = true;
+            }
+            if ((re & POLLOUT) != 0 && !try_write(conn)) {
+                close_conn(fd);
+                continue;
+            }
+        }
+
+        // 4) Deferred completions may have landed inline during step 3
+        // (cache hits, parse errors, sheds are delivered on this thread):
+        // pull them into the write buffers now instead of waiting a poll
+        // cycle.
+        {
+            const std::lock_guard<std::mutex> lock(mailbox.mutex);
+            done.swap(mailbox.completions);
+        }
+        for (auto& c : done) {
+            const auto fit = fd_by_id.find(c.conn_id);
+            if (fit == fd_by_id.end()) continue;
+            Connection& conn = conns.at(fit->second);
+            if (conn.outstanding > 0) --conn.outstanding;
+            conn.reorder.emplace(c.seq, std::move(c.line));
+            flush_reorder(conn);
+        }
+        done.clear();
+
+        // 5) Lifecycle sweep: opportunistic writes, write-buffer caps, idle
+        // timeouts, and close-when-done.
+        const std::uint64_t sweep_now = steady_ns();
+        std::vector<int> dead;
+        for (auto& [fd, conn] : conns) {
+            if (conn.unsent() > 0 && !try_write(conn)) {
+                dead.push_back(fd);
+                continue;
+            }
+            if (conn.unsent() > opts.write_buffer_limit) {
+                // Slow or dead reader: its buffered bytes will never drain
+                // at a useful rate. Cut it loose rather than hoarding
+                // memory or blocking the loop.
+                write_overflows.add(1);
+                dead.push_back(fd);
+                continue;
+            }
+            if (idle_ns > 0 && !conn.doomed && !conn.input_closed &&
+                conn.outstanding == 0 && conn.reorder.empty() &&
+                sweep_now - conn.last_activity_ns >= idle_ns) {
+                // Typed close: the client learns why the connection ends.
+                idle_timeouts.add(1);
+                {
+                    const std::lock_guard<std::mutex> lock(session.mutex);
+                    ++session.stats.timeouts;
+                }
+                std::string bye = assemble_response(
+                    "", error_body(core::ErrorCategory::kTimeout,
+                                   "idle timeout: no request in " +
+                                       std::to_string(static_cast<long long>(
+                                           opts.idle_timeout_ms)) +
+                                       " ms"));
+                bye += '\n';
+                conn.wbuf += bye;
+                conn.doomed = true;
+                (void)try_write(conn);
+            }
+            if ((conn.doomed || conn.input_closed) && conn.drained()) {
+                dead.push_back(fd);
+            }
+        }
+        for (const int fd : dead) close_conn(fd);
+    }
+
+    // Every admitted request must deliver (their sinks post to the mailbox,
+    // which is still alive) before connection state goes away.
+    Server::wait_drained(session);
+    // Responses that landed after the drain deadline broke the loop are
+    // still in the mailbox: give each client one best-effort flush so a
+    // slow drain degrades to late answers, not silently dropped ones.
+    {
+        std::deque<Completion> late;
+        {
+            const std::lock_guard<std::mutex> lock(mailbox.mutex);
+            late.swap(mailbox.completions);
+        }
+        for (auto& c : late) {
+            const auto fit = fd_by_id.find(c.conn_id);
+            if (fit == fd_by_id.end()) continue;
+            Connection& conn = conns.at(fit->second);
+            conn.reorder.emplace(c.seq, std::move(c.line));
+            flush_reorder(conn);
+        }
+        for (auto& [fd, conn] : conns) {
+            if (conn.unsent() > 0) (void)try_write(conn);
+        }
+    }
+    for (auto& [fd, conn] : conns) ::close(fd);
+    conns.clear();
+    active_gauge.set(0.0);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+
+    if (stop != nullptr && stop->cancelled()) session.stats.stopped = true;
+    return session.stats;
+}
+
+}  // namespace tnr::serve

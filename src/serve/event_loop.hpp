@@ -1,0 +1,36 @@
+#pragma once
+// The unix-socket front-end of `tnr serve`: a single-threaded poll() event
+// loop multiplexing up to max_clients concurrent connections onto one
+// Server engine (shared cache, shared admission queue). Computations run on
+// the shared ThreadPool; finished responses come back to the loop through a
+// completion queue and a self-pipe wakeup, then flow out through each
+// connection's reorder buffer and backpressure-aware write buffer.
+//
+// Overload and failure handling, per the degradation ladder:
+//   * accept beyond max_clients -> one typed `overloaded` reject line
+//     (retry_after_ms stamped from the scheduler hint), then close;
+//   * admission queue full -> the request sheds with a typed `overloaded`
+//     response (process_line with allow_shed=true) — never a silent stall;
+//   * a connection idle past idle_timeout_ms with nothing outstanding gets
+//     one typed `timeout` error line, a flush, and a close;
+//   * a client that stops reading while its write buffer grows past
+//     write_buffer_limit is dropped (counted, never blocking the loop);
+//   * partial writes (EAGAIN) buffer and resume on POLLOUT; EINTR retries;
+//     sends use MSG_NOSIGNAL so a dead peer is an error, not a SIGPIPE;
+//   * on stop, accepting ends, every admitted request drains to its typed
+//     response, write buffers flush, and the loop returns stopped=true.
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace tnr::serve {
+
+/// Binds `path` and serves until the stop token fires (throws RunError(kIo)
+/// for bind/listen failures). Diagnostics (one "# serving..." line plus
+/// verbose/slow-request output) go to `diag`.
+ServeStats run_event_loop(Server& server, const std::string& path,
+                          std::ostream& diag);
+
+}  // namespace tnr::serve

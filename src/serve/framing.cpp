@@ -1,0 +1,66 @@
+#include "serve/framing.hpp"
+
+#include <istream>
+
+namespace tnr::serve {
+
+void LineFramer::feed(const char* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const char c = data[i];
+        if (skipping_) {
+            if (c == '\n') {
+                skipping_ = false;
+                events_.push_back({true, {}});
+            }
+            continue;
+        }
+        if (c == '\n') {
+            events_.push_back({false, std::move(current_)});
+            current_.clear();
+            continue;
+        }
+        current_.push_back(c);
+        if (current_.size() > max_) {
+            current_.clear();
+            skipping_ = true;
+        }
+    }
+}
+
+LineFramer::Result LineFramer::next(std::string& line) {
+    if (events_.empty()) return Result::kNone;
+    Event ev = std::move(events_.front());
+    events_.pop_front();
+    if (ev.overflow) return Result::kOverflow;
+    line = std::move(ev.line);
+    return Result::kLine;
+}
+
+LineRead read_bounded_line(std::istream& in, std::string& line,
+                           std::size_t max_line_bytes) {
+    line.clear();
+    std::streambuf* sb = in.rdbuf();
+    using traits = std::istream::traits_type;
+    bool any = false;
+    bool toolong = false;
+    while (true) {
+        const int ci = sb->sbumpc();
+        if (traits::eq_int_type(ci, traits::eof())) {
+            in.setstate(std::ios::eofbit);
+            if (!any) return LineRead::kEof;
+            break;
+        }
+        any = true;
+        const char c = traits::to_char_type(ci);
+        if (c == '\n') break;
+        if (toolong) continue;
+        line.push_back(c);
+        if (line.size() > max_line_bytes) {
+            toolong = true;
+            line.clear();
+        }
+    }
+    return toolong ? LineRead::kTooLong : LineRead::kLine;
+}
+
+}  // namespace tnr::serve

@@ -1,0 +1,69 @@
+#pragma once
+// Bounded NDJSON line framing for the serve front-ends. Both readers cap
+// the bytes they will buffer for a single request line: an oversized line
+// is discarded up to its newline and surfaces as a typed bad-request error
+// instead of growing an unbounded buffer on behalf of a hostile or broken
+// client. The socket event loop feeds raw recv() chunks into a LineFramer;
+// the stdin loop uses read_bounded_line over its istream.
+
+#include <cstddef>
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+namespace tnr::serve {
+
+/// Incremental splitter of a byte stream into newline-delimited lines with
+/// a hard per-line byte cap. feed() never keeps more than max_line_bytes of
+/// an unfinished line buffered; once a line crosses the cap its remaining
+/// bytes are discarded until the newline and the line surfaces as one
+/// kOverflow event (in arrival order relative to the surrounding lines).
+class LineFramer {
+public:
+    explicit LineFramer(std::size_t max_line_bytes)
+        : max_(max_line_bytes == 0 ? 1 : max_line_bytes) {}
+
+    /// Appends raw bytes from the transport.
+    void feed(const char* data, std::size_t n);
+
+    enum class Result {
+        kNone,      ///< no complete line buffered yet.
+        kLine,      ///< `line` holds the next complete line (no newline).
+        kOverflow,  ///< the next line exceeded the cap and was discarded.
+    };
+
+    /// Pops the next framed event; `line` is filled only for kLine.
+    Result next(std::string& line);
+
+    /// Bytes of the current unfinished line (bounded by the cap).
+    [[nodiscard]] std::size_t partial_bytes() const noexcept {
+        return current_.size();
+    }
+
+    [[nodiscard]] std::size_t max_line_bytes() const noexcept { return max_; }
+
+private:
+    struct Event {
+        bool overflow = false;
+        std::string line;
+    };
+
+    std::size_t max_;
+    std::string current_;
+    bool skipping_ = false;  ///< discarding an oversized line's tail.
+    std::deque<Event> events_;
+};
+
+enum class LineRead {
+    kLine,     ///< a complete (possibly final, unterminated) line.
+    kTooLong,  ///< the line exceeded the cap; its bytes were discarded.
+    kEof,      ///< end of stream with nothing read.
+};
+
+/// getline with a byte cap: reads up to the next newline (or EOF), storing
+/// at most `max_line_bytes` into `line`. A line that crosses the cap is
+/// consumed to its newline and reported as kTooLong with `line` empty.
+LineRead read_bounded_line(std::istream& in, std::string& line,
+                           std::size_t max_line_bytes);
+
+}  // namespace tnr::serve

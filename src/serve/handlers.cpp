@@ -159,7 +159,8 @@ std::string render_detector(const DetectorParams& params) {
     return print_table(table, params.csv);
 }
 
-std::string render_transmission(const TransmissionParams& params) {
+std::string render_transmission(const TransmissionParams& params,
+                                const core::parallel::CancelToken* cancel) {
     if (!(params.thickness_cm > 0.0)) {
         throw core::RunError::config("transmission: thickness-cm must be > 0");
     }
@@ -168,6 +169,7 @@ std::string render_transmission(const TransmissionParams& params) {
     }
     physics::TransportConfig cfg;
     cfg.threads = params.threads;
+    cfg.cancel = cancel;
     apply_transport_knobs(cfg, params.mode, params.batch_size, params.simd,
                           "transmission");
     const physics::SlabTransport slab(material_by_name(params.material),
@@ -280,9 +282,31 @@ std::string render_stats(const IntrospectionState& state, double window_s) {
     put_counter(out, "ok", "serve.responses.ok");
     put_counter(out, "error", "serve.responses.error");
     put_counter(out, "cancelled", "serve.responses.cancelled");
+    put_counter(out, "overloaded", "serve.responses.overloaded");
     put_counter(out, "coalesced", "serve.coalesced");
     out << ",\"window_delta\":" << req_delta.delta << ",\"rate_per_s\":"
         << obs::json::number(req_delta.rate_per_s) << '}';
+
+    // Admission queue: live depth vs capacity, the deepest it has been, and
+    // the lifetime shed count (requests answered `overloaded`).
+    out << ",\"queue\":{\"depth\":" << state.queue_depth
+        << ",\"capacity\":" << state.queue_capacity << ",\"depth_max\":"
+        << static_cast<std::uint64_t>(
+               reg.gauge("serve.queue.depth_max").value())
+        << ",\"shed\":" << reg.counter("serve.responses.overloaded").value()
+        << '}';
+
+    // Socket front-end connection lifecycle (all zero under the stdin
+    // front-end).
+    out << ",\"connections\":{\"active\":"
+        << static_cast<std::uint64_t>(
+               reg.gauge("serve.connections.active").value())
+        << ",\"max_clients\":" << state.max_clients;
+    put_counter(out, "accepted", "serve.connections.accepted");
+    put_counter(out, "rejected", "serve.connections.rejected");
+    put_counter(out, "idle_timeouts", "serve.connections.idle_timeouts");
+    put_counter(out, "write_overflows", "serve.connections.write_overflows");
+    out << '}';
 
     // Cache: lifetime counts + hit rates, lifetime and windowed. A
     // collision is a lookup that found a different request's entry — kept
@@ -349,7 +373,9 @@ std::string render_health(const IntrospectionState& state) {
     out << "{\"status\":\"ok\",\"uptime_s\":"
         << obs::json::number(state.uptime_s)
         << ",\"inflight\":" << state.inflight
-        << ",\"max_inflight\":" << state.max_inflight << "}\n";
+        << ",\"max_inflight\":" << state.max_inflight
+        << ",\"queue_depth\":" << state.queue_depth
+        << ",\"queue_capacity\":" << state.queue_capacity << "}\n";
     return out.str();
 }
 

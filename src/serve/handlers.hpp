@@ -73,7 +73,9 @@ struct TransmissionParams {
     unsigned threads = 1;
     bool csv = false;
 };
-std::string render_transmission(const TransmissionParams& params);
+std::string render_transmission(
+    const TransmissionParams& params,
+    const core::parallel::CancelToken* cancel = nullptr);
 
 /// Campaign parameters shared by `tnr campaign` and the sigma-ratio /
 /// campaign-slice handlers (defaults match the CLI flags).
@@ -119,10 +121,13 @@ std::string render_campaign_slice(const SliceParams& params,
 /// metrics registry; Server::serve fills one per stats/health request.
 struct IntrospectionState {
     double uptime_s = 0.0;
-    std::size_t inflight = 0;      ///< computations holding a slot right now.
+    std::size_t inflight = 0;      ///< computations running right now.
     std::size_t max_inflight = 0;
+    std::size_t queue_depth = 0;   ///< admitted, waiting for a slot.
+    std::size_t queue_capacity = 0;
     std::size_t cache_size = 0;    ///< LRU entries currently resident.
     std::size_t cache_capacity = 0;
+    std::size_t max_clients = 0;   ///< socket front-end connection cap.
 };
 
 /// `stats`: one JSON line of live introspection — uptime, inflight, per-

@@ -110,8 +110,26 @@ std::string error_body(core::ErrorCategory category, std::string_view message) {
     return body;
 }
 
+std::string overloaded_body(double retry_after_ms, std::string_view message) {
+    std::string body =
+        "\"status\":\"overloaded\",\"error\":{\"category\":\"overloaded\","
+        "\"message\":\"";
+    body += json::escape(message);
+    body += "\",\"retry_after_ms\":";
+    body += json::number(retry_after_ms < 0.0 ? 0.0 : retry_after_ms);
+    body += '}';
+    return body;
+}
+
 bool body_is_ok(std::string_view body) {
     return body.rfind("\"status\":\"ok\"", 0) == 0;
+}
+
+const char* body_status(std::string_view body) noexcept {
+    if (body_is_ok(body)) return "ok";
+    if (body.rfind("\"status\":\"cancelled\"", 0) == 0) return "cancelled";
+    if (body.rfind("\"status\":\"overloaded\"", 0) == 0) return "overloaded";
+    return "error";
 }
 
 std::string assemble_response(std::string_view id, std::string_view body) {

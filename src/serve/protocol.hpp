@@ -7,6 +7,13 @@
 //   {"id":"r1","status":"ok","output":"<the one-shot CLI stdout bytes>"}
 //   {"id":"r1","status":"error","error":{"category":"config","message":..}}
 //   {"id":"r1","status":"cancelled","error":{...,"category":"cancelled"}}
+//   {"id":"r1","status":"overloaded","error":{"category":"overloaded",
+//    "message":...,"retry_after_ms":120}}   (load shed: admission queue full)
+//
+// Every admitted request gets exactly one typed response line — including
+// the shed ones. An `overloaded` body carries a retry_after_ms backoff hint
+// derived from the live queue backlog; it is never cached and never counts
+// as an ok or error outcome.
 //
 // Responses are split into an *id* and a *body* (everything after the id):
 // the body is what gets cached and must be byte-identical whether it was
@@ -65,8 +72,18 @@ std::string canonical_request(const Request& req);
 /// Response bodies (the part after `"id":…,`).
 std::string ok_body(std::string_view output);
 std::string error_body(core::ErrorCategory category, std::string_view message);
+/// The load-shed response: status "overloaded" plus a client backoff hint
+/// (milliseconds, rounded) computed from the live admission backlog. The
+/// default message covers a queue-full shed; the accept path substitutes a
+/// connection-limit message.
+std::string overloaded_body(double retry_after_ms,
+                            std::string_view message =
+                                "admission queue full, retry later");
 /// True for bodies built by ok_body (the only ones the cache stores).
 bool body_is_ok(std::string_view body);
+/// The status discriminant of a response body: "ok", "error", "cancelled",
+/// or "overloaded" (anything unrecognized tallies as "error").
+const char* body_status(std::string_view body) noexcept;
 
 /// The full response line (no trailing newline): `{"id":"...",<body>}`.
 std::string assemble_response(std::string_view id, std::string_view body);

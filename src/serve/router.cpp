@@ -125,6 +125,14 @@ const std::string& method_hint() {
     return hint;
 }
 
+Priority method_priority(const std::string& method) {
+    if (method == "sigma-ratio" || method == "campaign-slice" ||
+        method == "transmission") {
+        return Priority::kBatch;
+    }
+    return Priority::kInteractive;
+}
+
 bool introspection_method(const std::string& method) {
     return method == "stats" || method == "health";
 }
@@ -171,7 +179,7 @@ std::string dispatch(const Request& req,
         tx.threads = static_cast<unsigned>(std::max(
             0.0, params.get_number("threads", tx.threads)));
         tx.csv = params.get_bool("csv", tx.csv);
-        return render_transmission(tx);
+        return render_transmission(tx, cancel);
     }
     if (req.method == "sigma-ratio") {
         const Params params(req, {"hours", "seed", "threads", "avf-trials",

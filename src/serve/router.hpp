@@ -9,6 +9,7 @@
 
 #include "core/parallel/cancel.hpp"
 #include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
 
 namespace tnr::serve {
 
@@ -21,6 +22,13 @@ bool known_method(const std::string& method);
 /// The `(use fit|sigma-ratio|...)` suffix of unknown-method errors, derived
 /// from method_names() so it can never go stale when a method is added.
 const std::string& method_hint();
+
+/// The admission-queue priority class of a computable method: cheap
+/// renders (fit, detector, list-devices) pop before the long Monte Carlo
+/// methods (sigma-ratio, campaign-slice, transmission), so an interactive
+/// query never waits behind a pile of campaign slices. Introspection
+/// methods never reach the queue at all.
+Priority method_priority(const std::string& method);
 
 /// True for the server-state introspection methods (`stats`, `health`):
 /// they are answered inline on the admission thread — never cached, never

@@ -1,0 +1,209 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+#include <utility>
+
+#include "core/parallel/thread_pool.hpp"
+
+namespace tnr::serve {
+
+namespace {
+namespace obs = core::obs;
+
+double steady_ms() noexcept {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+}  // namespace
+
+Scheduler::Scheduler(Options options, ResponseCache& cache, Compute compute)
+    : options_(options),
+      cache_(cache),
+      compute_(std::move(compute)),
+      queue_gauge_(obs::Registry::global().gauge("serve.queue.depth")),
+      queue_max_gauge_(
+          obs::Registry::global().gauge("serve.queue.depth_max")),
+      inflight_gauge_(obs::Registry::global().gauge("serve.inflight")) {
+    if (options_.max_inflight == 0) options_.max_inflight = 1;
+    if (options_.queue_depth == 0) options_.queue_depth = 1;
+}
+
+Scheduler::~Scheduler() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return runners_ == 0 && queued_ == 0; });
+    inflight_gauge_.set(0.0);
+    queue_gauge_.set(0.0);
+}
+
+std::size_t Scheduler::queue_depth() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queued_;
+}
+
+std::size_t Scheduler::inflight() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return running_;
+}
+
+double Scheduler::retry_after_ms_hint() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return retry_after_locked();
+}
+
+double Scheduler::retry_after_locked() const {
+    const double base = ewma_ms_ > 0.0 ? ewma_ms_ : 100.0;
+    const double backlog = static_cast<double>(queued_ + running_ + 1);
+    const double hint =
+        base * backlog / static_cast<double>(options_.max_inflight);
+    return std::clamp(hint, 10.0, 10'000.0);
+}
+
+void Scheduler::spawn_runner_locked() {
+    if (runners_ >= options_.max_inflight) return;
+    if (runners_ >= running_ + queued_) return;  // an idle runner will pop it.
+    ++runners_;
+    core::parallel::ThreadPool::shared().submit([this] { run_worker(); });
+}
+
+std::shared_ptr<Scheduler::Job> Scheduler::pop_locked() {
+    for (auto& cls : queue_) {
+        if (!cls.empty()) {
+            std::shared_ptr<Job> job = std::move(cls.front());
+            cls.pop_front();
+            return job;
+        }
+    }
+    return nullptr;
+}
+
+Scheduler::Admit Scheduler::admit(Request req, std::string canonical,
+                                  std::uint64_t key, Priority priority,
+                                  bool allow_shed, Deliver deliver) {
+    double shed_hint = 0.0;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (true) {
+            // A duplicate of a queued/in-flight request rides the leader's
+            // flight instead of taking a queue slot of its own.
+            const auto it = flights_.find(canonical);
+            if (it != flights_.end()) {
+                it->second->followers.push_back(
+                    {std::move(req), std::move(deliver)});
+                return Admit::kCoalesced;
+            }
+            if (queued_ < options_.queue_depth) break;
+            if (allow_shed) {
+                shed_hint = retry_after_locked();
+                break;
+            }
+            // Backpressure path (stdin): block the reader. A stop while
+            // blocked over-admits — the line was already read, so it must
+            // still be answered; the runner drains it as a fast cancelled
+            // response.
+            if (options_.stop != nullptr && options_.stop->cancelled()) break;
+            space_cv_.wait_for(lock, std::chrono::milliseconds(100));
+        }
+        if (shed_hint == 0.0) {
+            auto job = std::make_shared<Job>();
+            job->req = std::move(req);
+            job->canonical = canonical;
+            job->key = key;
+            job->priority = priority;
+            job->deliver = std::move(deliver);
+            flights_.emplace(std::move(canonical), job);
+            queue_[static_cast<std::size_t>(priority)].push_back(
+                std::move(job));
+            ++queued_;
+            high_water_ = std::max(high_water_, queued_);
+            queue_gauge_.set(static_cast<double>(queued_));
+            queue_max_gauge_.set(static_cast<double>(high_water_));
+            spawn_runner_locked();
+            return Admit::kQueued;
+        }
+    }
+    // Shed outside the lock: deliver may grab session/writer mutexes.
+    deliver(overloaded_body(shed_hint), /*cache_hit=*/false);
+    return Admit::kShed;
+}
+
+void Scheduler::run_worker() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        std::shared_ptr<Job> job = pop_locked();
+        if (!job) break;
+        --queued_;
+        ++running_;
+        queue_gauge_.set(static_cast<double>(queued_));
+        inflight_gauge_.set(static_cast<double>(running_));
+        space_cv_.notify_one();
+        lock.unlock();
+
+        const double t0_ms = steady_ms();
+        std::string body;
+        try {
+            body = compute_(job->req);
+        } catch (const std::exception& e) {
+            // compute() maps its own exceptions; anything landing here is a
+            // harness bug, but it must still produce a typed response.
+            body = error_body(core::ErrorCategory::kNumeric, e.what());
+        }
+        const double elapsed_ms = steady_ms() - t0_ms;
+        if (body_is_ok(body)) cache_.put(job->key, job->canonical, body);
+
+        std::vector<Follower> followers;
+        lock.lock();
+        ewma_ms_ = ewma_ms_ > 0.0 ? 0.8 * ewma_ms_ + 0.2 * elapsed_ms
+                                  : elapsed_ms;
+        const auto it = flights_.find(job->canonical);
+        if (it != flights_.end() && it->second == job) {
+            if (body_is_ok(body) || job->followers.empty()) {
+                followers = std::move(job->followers);
+                flights_.erase(it);
+            } else {
+                // The leader failed and failures are never cached: promote
+                // the first follower to leader (front of its class — it was
+                // admitted long ago) and keep the rest on the new flight.
+                auto promoted = std::make_shared<Job>();
+                promoted->req = std::move(job->followers.front().req);
+                promoted->deliver = std::move(job->followers.front().deliver);
+                promoted->canonical = job->canonical;
+                promoted->key = job->key;
+                promoted->priority = job->priority;
+                promoted->followers.assign(
+                    std::make_move_iterator(job->followers.begin() + 1),
+                    std::make_move_iterator(job->followers.end()));
+                it->second = promoted;
+                queue_[static_cast<std::size_t>(promoted->priority)]
+                    .push_front(promoted);
+                ++queued_;  // over-admitted by design: it was already counted.
+                queue_gauge_.set(static_cast<double>(queued_));
+            }
+        } else {
+            followers = std::move(job->followers);
+        }
+        --running_;
+        inflight_gauge_.set(static_cast<double>(running_));
+        lock.unlock();
+
+        if (followers.empty()) {
+            job->deliver(std::move(body), /*cache_hit=*/false);
+        } else {
+            job->deliver(std::string(body), /*cache_hit=*/false);
+            for (auto& f : followers) {
+                // Served from the leader's answer — the same cache-hit
+                // accounting as the old wait-then-re-lookup path.
+                auto hit = cache_.get(job->key, job->canonical);
+                f.deliver(hit ? std::move(*hit) : std::string(body),
+                          /*cache_hit=*/true);
+            }
+        }
+        lock.lock();
+    }
+    --runners_;
+    idle_cv_.notify_all();
+}
+
+}  // namespace tnr::serve

@@ -1,0 +1,148 @@
+#pragma once
+// Bounded admission scheduling for the serve engine: the stage between a
+// parsed, cache-missed request and the shared ThreadPool.
+//
+// Degradation ladder (docs/robustness.md):
+//   admit -> queue -> shed -> drain
+//   * at most `max_inflight` computations run concurrently (runner tasks on
+//     the shared pool);
+//   * behind them a bounded queue of at most `queue_depth` admitted
+//     requests, popped strictly by priority class (interactive before
+//     batch, FIFO within a class) so a cheap fit never waits behind a pile
+//     of campaign slices;
+//   * when the queue is full, admission either sheds — the request is
+//     answered immediately with a typed `overloaded` body carrying a
+//     retry_after_ms hint derived from the live backlog — or, for the
+//     single-stream stdin front-end, blocks the reader (backpressure on a
+//     pipe beats shedding a request the client cannot retry);
+//   * on stop, everything already admitted still gets a response: queued
+//     requests run to completion, observing the stop token through their
+//     per-request CancelToken, so they drain as fast "cancelled" bodies.
+//
+// Identical concurrent requests are single-flighted here: a duplicate of a
+// queued or in-flight request attaches to the leader's flight and receives
+// the leader's answer (counted as a cache hit) instead of recomputing. If
+// the leader fails — failures are never cached — the first follower is
+// promoted to leader and recomputes, exactly like the old blocking loop.
+//
+// Every admitted request's Deliver callback is invoked exactly once, from
+// an arbitrary thread (the admitting thread for sheds, a pool runner
+// otherwise). The destructor blocks until all runners retired, so the
+// callbacks never outlive their captures as long as sessions drain first.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/obs/metrics.hpp"
+#include "core/parallel/cancel.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace tnr::serve {
+
+/// Priority classes of the admission queue, lowest value pops first.
+enum class Priority : int {
+    kInteractive = 0,  ///< cheap renders: fit, detector, list-devices.
+    kBatch = 1,        ///< long computations: sigma-ratio, campaign-slice,
+                       ///< transmission.
+};
+inline constexpr std::size_t kPriorityClasses = 2;
+
+class Scheduler {
+public:
+    struct Options {
+        std::size_t max_inflight = 4;  ///< concurrent computations (>= 1).
+        std::size_t queue_depth = 64;  ///< admitted-but-not-running bound.
+        const core::parallel::CancelToken* stop = nullptr;
+    };
+
+    /// Runs one request to a response body on the calling (pool) thread.
+    using Compute = std::function<std::string(const Request&)>;
+    /// Called exactly once per admitted request, from an arbitrary thread.
+    using Deliver = std::function<void(std::string body, bool cache_hit)>;
+
+    enum class Admit {
+        kQueued,     ///< enqueued as a flight leader.
+        kCoalesced,  ///< attached to an in-flight duplicate's answer.
+        kShed,       ///< queue full; delivered a typed overloaded body.
+    };
+
+    Scheduler(Options options, ResponseCache& cache, Compute compute);
+    /// Blocks until every runner retired and the queue is empty.
+    ~Scheduler();
+
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /// Admits one parsed, cache-missed request. With `allow_shed`, a full
+    /// queue delivers an overloaded body immediately and returns kShed;
+    /// without it, admission blocks until the queue has room (or the stop
+    /// token fires, in which case the request is over-admitted and drains
+    /// as a cancelled response).
+    Admit admit(Request req, std::string canonical, std::uint64_t key,
+                Priority priority, bool allow_shed, Deliver deliver);
+
+    [[nodiscard]] std::size_t queue_depth();
+    [[nodiscard]] std::size_t queue_capacity() const noexcept {
+        return options_.queue_depth;
+    }
+    [[nodiscard]] std::size_t inflight();
+    [[nodiscard]] std::size_t max_inflight() const noexcept {
+        return options_.max_inflight;
+    }
+
+    /// The client backoff hint for a shed response right now: the recent
+    /// per-request compute EWMA scaled by the backlog per slot, clamped to
+    /// [10 ms, 10 s].
+    [[nodiscard]] double retry_after_ms_hint();
+
+private:
+    struct Follower {
+        Request req;  ///< kept for promotion when the leader fails.
+        Deliver deliver;
+    };
+
+    /// One flight: the leader's request plus everything coalesced onto it.
+    struct Job {
+        Request req;
+        std::string canonical;
+        std::uint64_t key = 0;
+        Priority priority = Priority::kInteractive;
+        Deliver deliver;
+        std::vector<Follower> followers;
+    };
+
+    void spawn_runner_locked();
+    void run_worker();
+    [[nodiscard]] std::shared_ptr<Job> pop_locked();
+    [[nodiscard]] double retry_after_locked() const;
+
+    Options options_;
+    ResponseCache& cache_;
+    Compute compute_;
+
+    std::mutex mutex_;
+    std::condition_variable space_cv_;  ///< queue has room (blocking admit).
+    std::condition_variable idle_cv_;   ///< a runner retired (destructor).
+    std::deque<std::shared_ptr<Job>> queue_[kPriorityClasses];
+    std::unordered_map<std::string, std::shared_ptr<Job>> flights_;
+    std::size_t queued_ = 0;
+    std::size_t running_ = 0;     ///< jobs currently computing.
+    std::size_t runners_ = 0;     ///< pool tasks alive (>= running_).
+    std::size_t high_water_ = 0;  ///< deepest the queue has been.
+    double ewma_ms_ = 0.0;        ///< recent compute latency estimate.
+
+    core::obs::Gauge& queue_gauge_;
+    core::obs::Gauge& queue_max_gauge_;
+    core::obs::Gauge& inflight_gauge_;
+};
+
+}  // namespace tnr::serve

@@ -1,22 +1,15 @@
 #include "serve/server.hpp"
 
-#include <array>
 #include <cctype>
 #include <chrono>
-#include <cstring>
 #include <istream>
 #include <map>
 #include <ostream>
 #include <sstream>
-#include <streambuf>
 #include <utility>
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include "core/parallel/thread_pool.hpp"
+#include "serve/event_loop.hpp"
+#include "serve/framing.hpp"
 #include "serve/router.hpp"
 
 namespace tnr::serve {
@@ -40,43 +33,18 @@ bool is_blank(const std::string& line) {
     return true;
 }
 
-const char* body_status(std::string_view body) {
-    if (body_is_ok(body)) return "ok";
-    if (body.rfind("\"status\":\"cancelled\"", 0) == 0) return "cancelled";
-    return "error";
-}
-
 }  // namespace
-
-/// A duplicate request waits here until its leader finishes (success or
-/// failure), then re-consults the cache.
-struct Server::Flight {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-};
 
 /// Reorder buffer: responses are pushed in completion order but emitted in
 /// admission (sequence) order, so a transcript is deterministic no matter
-/// how the pool schedules the work. Also the single place response statuses
-/// are tallied.
+/// how the pool schedules the work.
 class Server::OrderedWriter {
 public:
-    OrderedWriter(std::ostream& out, std::ostream& diag, bool verbose,
-                  ServeStats& stats)
-        : out_(out),
-          diag_(diag),
-          verbose_(verbose),
-          stats_(stats),
-          ok_(obs::Registry::global().counter("serve.responses.ok")),
-          errors_(obs::Registry::global().counter("serve.responses.error")),
-          cancelled_(
-              obs::Registry::global().counter("serve.responses.cancelled")) {}
+    explicit OrderedWriter(std::ostream& out) : out_(out) {}
 
     void push(std::uint64_t seq, std::string_view id, std::string body) {
         std::lock_guard<std::mutex> lock(mutex_);
         pending_.emplace(seq, assemble_response(id, body));
-        tally(body);
         while (true) {
             const auto it = pending_.find(next_);
             if (it == pending_.end()) break;
@@ -88,31 +56,7 @@ public:
     }
 
 private:
-    void tally(std::string_view body) {
-        const std::string_view status = body_status(body);
-        if (status == "ok") {
-            ++stats_.ok;
-            ok_.add(1);
-        } else if (status == "cancelled") {
-            ++stats_.cancelled;
-            cancelled_.add(1);
-        } else {
-            ++stats_.errors;
-            errors_.add(1);
-        }
-        if (verbose_) {
-            diag_ << "# response status=" << status << '\n';
-            diag_.flush();
-        }
-    }
-
     std::ostream& out_;
-    std::ostream& diag_;
-    bool verbose_;
-    ServeStats& stats_;
-    obs::Counter& ok_;
-    obs::Counter& errors_;
-    obs::Counter& cancelled_;
     std::mutex mutex_;
     std::uint64_t next_ = 0;
     std::map<std::uint64_t, std::string> pending_;
@@ -125,8 +69,20 @@ Server::Server(ServeOptions options)
       requests_(obs::Registry::global().counter("serve.requests")),
       coalesced_(obs::Registry::global().counter("serve.coalesced")),
       latency_(obs::Registry::global().latency("serve.request")),
-      inflight_gauge_(obs::Registry::global().gauge("serve.inflight")) {
+      resp_ok_(obs::Registry::global().counter("serve.responses.ok")),
+      resp_error_(obs::Registry::global().counter("serve.responses.error")),
+      resp_cancelled_(
+          obs::Registry::global().counter("serve.responses.cancelled")),
+      resp_overloaded_(
+          obs::Registry::global().counter("serve.responses.overloaded")),
+      scheduler_({options_.max_inflight == 0 ? 1 : options_.max_inflight,
+                  options_.queue_depth == 0 ? 1 : options_.queue_depth,
+                  options_.stop},
+                 cache_, [this](const Request& req) { return compute(req); }) {
     if (options_.max_inflight == 0) options_.max_inflight = 1;
+    if (options_.queue_depth == 0) options_.queue_depth = 1;
+    if (options_.max_clients == 0) options_.max_clients = 1;
+    if (options_.max_line_bytes == 0) options_.max_line_bytes = 1;
     auto& reg = obs::Registry::global();
     for (const auto& m : method_names()) {
         MethodInstruments mi;
@@ -144,6 +100,9 @@ Server::Server(ServeOptions options)
         mi.cancelled_miss = &reg.counter(obs::labeled(
             "serve.request",
             {{"method", m}, {"outcome", "cancelled"}, {"cache", "miss"}}));
+        mi.overloaded_miss = &reg.counter(obs::labeled(
+            "serve.request",
+            {{"method", m}, {"outcome", "overloaded"}, {"cache", "miss"}}));
         method_obs_.emplace(m, mi);
     }
 }
@@ -173,32 +132,16 @@ std::string Server::compute(const Request& req) {
     }
 }
 
-void Server::acquire_slot() {
-    std::unique_lock<std::mutex> lock(slots_mutex_);
-    slots_cv_.wait(lock, [this] { return inflight_ < options_.max_inflight; });
-    ++inflight_;
-    inflight_gauge_.set(static_cast<double>(inflight_));
-}
-
-void Server::release_slot() {
-    {
-        std::lock_guard<std::mutex> lock(slots_mutex_);
-        --inflight_;
-        inflight_gauge_.set(static_cast<double>(inflight_));
-    }
-    slots_cv_.notify_one();
-}
-
 IntrospectionState Server::introspection_state() {
     IntrospectionState st;
     st.uptime_s = static_cast<double>(steady_ns() - start_ns_) * 1e-9;
-    {
-        std::lock_guard<std::mutex> lock(slots_mutex_);
-        st.inflight = inflight_;
-    }
-    st.max_inflight = options_.max_inflight;
+    st.inflight = scheduler_.inflight();
+    st.max_inflight = scheduler_.max_inflight();
     st.cache_size = cache_.size();
     st.cache_capacity = cache_.capacity();
+    st.queue_depth = scheduler_.queue_depth();
+    st.queue_capacity = scheduler_.queue_capacity();
+    st.max_clients = options_.max_clients;
     return st;
 }
 
@@ -254,6 +197,8 @@ void Server::account(const Request& req, std::string_view body,
             m.ok_miss->add(1);
         } else if (status == "cancelled") {
             m.cancelled_miss->add(1);
+        } else if (status == "overloaded") {
+            m.overloaded_miss->add(1);
         } else {
             m.error_miss->add(1);
         }
@@ -280,250 +225,197 @@ void Server::account(const Request& req, std::string_view body,
     log.flush();
 }
 
-void Server::finish_flight(const std::string& canonical) {
-    std::shared_ptr<Flight> flight;
+void Server::tally(Session& session, std::string_view body,
+                   std::ostream& diag) {
+    const std::string_view status = body_status(body);
     {
-        std::lock_guard<std::mutex> lock(flights_mutex_);
-        const auto it = flights_.find(canonical);
-        if (it == flights_.end()) return;
-        flight = it->second;
-        flights_.erase(it);
+        const std::lock_guard<std::mutex> lock(session.mutex);
+        if (status == "ok") {
+            ++session.stats.ok;
+        } else if (status == "cancelled") {
+            ++session.stats.cancelled;
+        } else if (status == "overloaded") {
+            ++session.stats.shed;
+        } else {
+            ++session.stats.errors;
+        }
+        if (options_.verbose) {
+            // Serialized under the session mutex: deliveries come from pool
+            // threads and the admitting thread alike.
+            diag << "# response status=" << status << '\n';
+            diag.flush();
+        }
     }
+    if (status == "ok") {
+        resp_ok_.add(1);
+    } else if (status == "cancelled") {
+        resp_cancelled_.add(1);
+    } else if (status == "overloaded") {
+        resp_overloaded_.add(1);
+    } else {
+        resp_error_.add(1);
+    }
+}
+
+void Server::finish_direct(Session& session, std::uint64_t seq,
+                           const std::string& id, std::string body,
+                           std::ostream& diag, const ResponseSink& sink) {
+    tally(session, body, diag);
+    sink(seq, id, std::move(body));
+    // Notify while holding the lock: a waiter in wait_drained may destroy
+    // the session the instant it observes pending == 0.
+    const std::lock_guard<std::mutex> lock(session.mutex);
+    --session.pending;
+    session.cv.notify_all();
+}
+
+void Server::wait_drained(Session& session) {
+    std::unique_lock<std::mutex> lock(session.mutex);
+    session.cv.wait(lock, [&session] { return session.pending == 0; });
+}
+
+void Server::process_line(Session& session, const std::string& line,
+                          std::uint64_t seq, bool oversized, bool allow_shed,
+                          std::ostream& diag, const ResponseSink& sink) {
     {
-        std::lock_guard<std::mutex> lock(flight->mutex);
-        flight->done = true;
+        const std::lock_guard<std::mutex> lock(session.mutex);
+        ++session.stats.requests;
+        ++session.pending;
     }
-    flight->cv.notify_all();
+    requests_.add(1);
+    const std::uint64_t admitted_ns = steady_ns();
+
+    if (oversized) {
+        finish_direct(session, seq, "",
+                      error_body(core::ErrorCategory::kConfig,
+                                 "bad-request: request line exceeds " +
+                                     std::to_string(options_.max_line_bytes) +
+                                     " bytes"),
+                      diag, sink);
+        return;
+    }
+
+    const auto doc = core::obs::json::parse(line);
+    if (!doc) {
+        finish_direct(session, seq, "",
+                      error_body(core::ErrorCategory::kConfig,
+                                 "invalid JSON request line"),
+                      diag, sink);
+        return;
+    }
+    Request req;
+    try {
+        req = parse_request(*doc);
+        if (!known_method(req.method)) {
+            throw core::RunError::config("unknown method: " + req.method +
+                                         " " + method_hint());
+        }
+    } catch (const core::RunError& e) {
+        finish_direct(session, seq, extract_id(*doc),
+                      error_body(e.category(), e.what()), diag, sink);
+        return;
+    }
+
+    // stats/health are answered inline from live server state on the
+    // admitting thread: their bodies legitimately differ between identical
+    // requests, so they must never enter the LRU cache or coalesce onto a
+    // flight — and under saturation they bypass the admission queue
+    // entirely, which is what keeps introspection p99 bounded while
+    // campaign slices occupy every slot.
+    if (introspection_method(req.method)) {
+        if (!allow_shed) {
+            // Single-stream front-end: the transcript is ordered, so a
+            // stats body should reflect every request admitted before it.
+            // Wait for them (pending == 1 is this very line). The socket
+            // front-end must never block its loop thread — there the stats
+            // body is a live snapshot of whatever has finished so far.
+            std::unique_lock<std::mutex> lock(session.mutex);
+            session.cv.wait(lock, [&session] { return session.pending == 1; });
+        }
+        std::string body = introspect(req);
+        account(req, body, /*cache_hit=*/false, admitted_ns, diag);
+        finish_direct(session, seq, req.id, std::move(body), diag, sink);
+        return;
+    }
+
+    const std::string canonical = canonical_request(req);
+    const std::uint64_t key = canonical_hash(canonical);
+    if (auto hit = cache_.get(key, canonical)) {
+        {
+            const std::lock_guard<std::mutex> lock(session.mutex);
+            ++session.stats.cache_hits;
+        }
+        account(req, *hit, /*cache_hit=*/true, admitted_ns, diag);
+        finish_direct(session, seq, req.id, std::move(*hit), diag, sink);
+        return;
+    }
+
+    // Cache miss: into the bounded admission queue. The deliver closure runs
+    // exactly once — on the admitting thread for sheds, on a pool runner for
+    // computed flights and coalesced followers.
+    auto deliver = [this, &session, seq, sink, &diag, admitted_ns,
+                    req](std::string body, bool cache_hit) {
+        if (cache_hit) {
+            const std::lock_guard<std::mutex> lock(session.mutex);
+            ++session.stats.cache_hits;
+        }
+        account(req, body, cache_hit, admitted_ns, diag);
+        finish_direct(session, seq, req.id, std::move(body), diag, sink);
+    };
+    const Priority priority = method_priority(req.method);
+    const auto admitted =
+        scheduler_.admit(std::move(req), canonical, key, priority, allow_shed,
+                         std::move(deliver));
+    if (admitted == Scheduler::Admit::kCoalesced) {
+        {
+            const std::lock_guard<std::mutex> lock(session.mutex);
+            ++session.stats.coalesced;
+        }
+        coalesced_.add(1);
+    }
 }
 
 ServeStats Server::serve(std::istream& in, std::ostream& out,
                          std::ostream& diag) {
-    ServeStats stats;
-    OrderedWriter writer(out, diag, options_.verbose, stats);
-    parallel::TaskGroup group(parallel::ThreadPool::shared());
+    Session session;
+    OrderedWriter writer(out);
+    const ResponseSink sink = [&writer](std::uint64_t seq, std::string id,
+                                        std::string body) {
+        writer.push(seq, id, std::move(body));
+    };
     const parallel::CancelToken* stop = options_.stop;
 
     std::uint64_t seq = 0;
     std::string line;
     while (true) {
         if (stop != nullptr && stop->cancelled()) {
-            stats.stopped = true;
+            session.stats.stopped = true;
             break;
         }
-        if (!std::getline(in, line)) {
-            // A stop that landed while we were blocked in getline (the
-            // SIGINT test drives this through a streambuf that trips the
-            // token at EOF) still counts as a stop, not a clean EOF.
-            if (stop != nullptr && stop->cancelled()) stats.stopped = true;
+        const LineRead rd =
+            read_bounded_line(in, line, options_.max_line_bytes);
+        if (rd == LineRead::kEof) {
+            // A stop that landed while we were blocked reading (the SIGINT
+            // test drives this through a streambuf that trips the token at
+            // EOF) still counts as a stop, not a clean EOF.
+            if (stop != nullptr && stop->cancelled()) {
+                session.stats.stopped = true;
+            }
             break;
         }
-        if (is_blank(line)) continue;
-        ++stats.requests;
-        requests_.add(1);
-        const std::uint64_t admitted_ns = steady_ns();
-
-        const auto doc = core::obs::json::parse(line);
-        if (!doc) {
-            writer.push(seq++, "",
-                        error_body(core::ErrorCategory::kConfig,
-                                   "invalid JSON request line"));
-            continue;
-        }
-        Request req;
-        try {
-            req = parse_request(*doc);
-            if (!known_method(req.method)) {
-                throw core::RunError::config("unknown method: " + req.method +
-                                             " " + method_hint());
-            }
-        } catch (const core::RunError& e) {
-            writer.push(seq++, extract_id(*doc),
-                        error_body(e.category(), e.what()));
-            continue;
-        }
-
-        // stats/health are answered inline from live server state: their
-        // bodies legitimately differ between identical requests, so they
-        // must never enter the LRU cache or coalesce onto a flight.
-        if (introspection_method(req.method)) {
-            std::string body = introspect(req);
-            account(req, body, /*cache_hit=*/false, admitted_ns, diag);
-            writer.push(seq++, req.id, std::move(body));
-            continue;
-        }
-
-        const std::string canonical = canonical_request(req);
-        const std::uint64_t key = canonical_hash(canonical);
-
-        // Cache, then single-flight: a duplicate of an in-flight request
-        // waits for the leader on the admission thread (no slot held), then
-        // re-consults the cache. If the leader failed (errors are never
-        // cached), the loop promotes the duplicate to leader.
-        std::optional<std::string> ready;
-        bool leader = false;
-        while (true) {
-            if (auto hit = cache_.get(key, canonical)) {
-                ready = std::move(*hit);
-                ++stats.cache_hits;
-                break;
-            }
-            std::shared_ptr<Flight> flight;
-            {
-                std::lock_guard<std::mutex> lock(flights_mutex_);
-                const auto it = flights_.find(canonical);
-                if (it == flights_.end()) {
-                    flight = std::make_shared<Flight>();
-                    flights_.emplace(canonical, flight);
-                    leader = true;
-                } else {
-                    flight = it->second;
-                }
-            }
-            if (leader) break;
-            ++stats.coalesced;
-            coalesced_.add(1);
-            std::unique_lock<std::mutex> lock(flight->mutex);
-            flight->cv.wait(lock, [&flight] { return flight->done; });
-        }
-        if (ready) {
-            account(req, *ready, /*cache_hit=*/true, admitted_ns, diag);
-            writer.push(seq++, req.id, std::move(*ready));
-            continue;
-        }
-
-        acquire_slot();
-        const std::uint64_t s = seq++;
-        group.run([this, s, req = std::move(req), canonical, key, &writer,
-                   &diag, admitted_ns] {
-            std::string body = compute(req);
-            if (body_is_ok(body)) cache_.put(key, canonical, body);
-            account(req, body, /*cache_hit=*/false, admitted_ns, diag);
-            writer.push(s, req.id, std::move(body));
-            finish_flight(canonical);
-            release_slot();
-        });
+        if (rd == LineRead::kLine && is_blank(line)) continue;
+        process_line(session, line, seq++, rd == LineRead::kTooLong,
+                     /*allow_shed=*/false, diag, sink);
     }
 
-    group.wait();
+    wait_drained(session);
     out.flush();
-    return stats;
+    return session.stats;
 }
-
-namespace {
-
-/// Bidirectional streambuf over a connected socket fd (blocking I/O).
-class FdStreamBuf : public std::streambuf {
-public:
-    explicit FdStreamBuf(int fd) : fd_(fd) {
-        setg(in_.data(), in_.data(), in_.data());
-        setp(out_.data(), out_.data() + out_.size());
-    }
-    ~FdStreamBuf() override { sync(); }
-
-protected:
-    int_type underflow() override {
-        if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-        const ssize_t n = ::read(fd_, in_.data(), in_.size());
-        if (n <= 0) return traits_type::eof();
-        setg(in_.data(), in_.data(), in_.data() + n);
-        return traits_type::to_int_type(*gptr());
-    }
-
-    int_type overflow(int_type ch) override {
-        if (sync() != 0) return traits_type::eof();
-        if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-            *pptr() = traits_type::to_char_type(ch);
-            pbump(1);
-        }
-        return traits_type::not_eof(ch);
-    }
-
-    int sync() override {
-        const char* p = pbase();
-        while (p < pptr()) {
-            const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
-            if (n <= 0) return -1;
-            p += n;
-        }
-        setp(out_.data(), out_.data() + out_.size());
-        return 0;
-    }
-
-private:
-    int fd_;
-    std::array<char, 4096> in_{};
-    std::array<char, 4096> out_{};
-};
-
-/// Owns the listening socket and its filesystem name.
-struct ListenGuard {
-    int fd = -1;
-    std::string path;
-    ~ListenGuard() {
-        if (fd >= 0) ::close(fd);
-        if (!path.empty()) ::unlink(path.c_str());
-    }
-};
-
-}  // namespace
 
 ServeStats Server::serve_unix_socket(const std::string& path,
                                      std::ostream& diag) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path)) {
-        throw core::RunError::config("socket path too long: " + path);
-    }
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-
-    ListenGuard guard;
-    guard.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (guard.fd < 0) {
-        throw core::RunError::io("socket() failed: " +
-                                 std::string(std::strerror(errno)));
-    }
-    ::unlink(path.c_str());  // stale socket from a previous run.
-    if (::bind(guard.fd, reinterpret_cast<const sockaddr*>(&addr),
-               sizeof(addr)) != 0) {
-        throw core::RunError::io("bind(" + path +
-                                 ") failed: " + std::strerror(errno));
-    }
-    guard.path = path;
-    if (::listen(guard.fd, 4) != 0) {
-        throw core::RunError::io("listen(" + path +
-                                 ") failed: " + std::strerror(errno));
-    }
-    diag << "# serving on unix socket " << path << '\n';
-    diag.flush();
-
-    ServeStats total;
-    const parallel::CancelToken* stop = options_.stop;
-    while (stop == nullptr || !stop->cancelled()) {
-        pollfd pfd{guard.fd, POLLIN, 0};
-        const int rc = ::poll(&pfd, 1, 200);  // wake to re-check stop.
-        if (rc < 0) {
-            if (errno == EINTR) continue;
-            throw core::RunError::io("poll() failed: " +
-                                     std::string(std::strerror(errno)));
-        }
-        if (rc == 0) continue;
-        const int client = ::accept(guard.fd, nullptr, nullptr);
-        if (client < 0) continue;
-        FdStreamBuf buf(client);
-        std::istream in(&buf);
-        std::ostream out(&buf);
-        const ServeStats s = serve(in, out, diag);
-        ::close(client);
-        total.requests += s.requests;
-        total.ok += s.ok;
-        total.errors += s.errors;
-        total.cancelled += s.cancelled;
-        total.cache_hits += s.cache_hits;
-        total.coalesced += s.coalesced;
-        if (s.stopped) break;
-    }
-    if (stop != nullptr && stop->cancelled()) total.stopped = true;
-    return total;
+    return run_event_loop(*this, path, diag);
 }
 
 }  // namespace tnr::serve

@@ -1,30 +1,44 @@
 #pragma once
 // The `tnr serve` engine: a long-running request/response loop that reads
 // newline-delimited JSON requests, routes them to handlers, and writes one
-// JSON response line per request — in admission order, whatever order the
-// computations finish in.
+// JSON response line per request — in admission order per stream, whatever
+// order the computations finish in.
 //
-// Scheduling model (one admission thread + the shared ThreadPool):
-//   * the admission thread reads lines, parses, consults the response
-//     cache, and submits cache misses to the pool — at most `max_inflight`
-//     computations run concurrently, the admission thread blocks on a free
-//     slot beyond that;
+// Two front-ends share one engine:
+//   * the stdin loop (serve): one NDJSON stream, bounded line reads,
+//     blocking admission (backpressure on the pipe, never shedding);
+//   * the unix-socket event loop (serve_unix_socket): an event-driven
+//     poll() acceptor serving many concurrent clients, each with its own
+//     bounded incremental read framer, backpressure-aware write buffer
+//     (EAGAIN-safe partial writes, EINTR retry, SIGPIPE-proof sends), idle
+//     timeout, and per-connection response ordering. See event_loop.cpp.
+//
+// Scheduling model (shared by both front-ends):
+//   * parsed requests consult the response cache, then enter the bounded
+//     priority-classed admission queue (serve/scheduler.hpp) in front of at
+//     most `max_inflight` concurrent computations on the shared ThreadPool;
+//   * when the queue is full the socket front-end sheds: the request is
+//     answered immediately with a typed `overloaded` body carrying a
+//     retry_after_ms hint — never a silent stall;
+//   * stats/health and cache hits are answered inline on the admitting
+//     thread, so introspection stays fast while campaign slices saturate
+//     the pool;
 //   * identical concurrent requests are single-flighted: a duplicate of an
-//     in-flight request waits for the leader, then takes the answer from
-//     the cache instead of recomputing;
+//     in-flight request takes the leader's answer instead of recomputing;
 //   * each computation gets its own CancelToken, linked to the server-wide
 //     stop token and deadline-armed from the request's deadline_ms, so a
 //     late request turns into a "cancelled" response while the server keeps
 //     serving;
-//   * on stop (SIGINT), admission ends, in-flight work drains (observing
-//     the stop token through the parent link), buffered responses flush,
-//     and serve() returns with stopped=true for the CLI's exit-130 path.
+//   * on stop (SIGINT), admission ends, every admitted request still gets
+//     its response (queued work drains as fast cancelled bodies), buffered
+//     responses flush, and the front-end returns with stopped=true for the
+//     CLI's exit-130 path.
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <condition_variable>
+#include <functional>
 #include <iosfwd>
-#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -34,12 +48,25 @@
 #include "serve/cache.hpp"
 #include "serve/handlers.hpp"
 #include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
 
 namespace tnr::serve {
 
 struct ServeOptions {
     std::size_t max_inflight = 4;    ///< concurrent computations (>= 1).
+    std::size_t queue_depth = 64;    ///< admission queue bound (>= 1).
     std::size_t cache_capacity = 128;  ///< LRU entries; 0 disables caching.
+    std::size_t max_clients = 64;    ///< concurrent socket connections.
+    /// Close a socket connection (typed `timeout` line, counted in the obs
+    /// registry) after this long without a complete request; 0 disables.
+    double idle_timeout_ms = 60'000.0;
+    /// Request-line byte cap for both front-ends: longer lines answer with
+    /// a typed bad-request error instead of growing an unbounded buffer.
+    std::size_t max_line_bytes = 64 * 1024;
+    /// Per-connection write-buffer cap: a client that stops reading while
+    /// responses pile up past this is dropped (counted, never blocking the
+    /// event loop).
+    std::size_t write_buffer_limit = 4 * 1024 * 1024;
     bool verbose = false;            ///< per-response diagnostics lines.
     /// Server-wide stop token (the CLI passes the SIGINT token); optional.
     const core::parallel::CancelToken* stop = nullptr;
@@ -57,8 +84,10 @@ struct ServeStats {
     std::uint64_t ok = 0;
     std::uint64_t errors = 0;
     std::uint64_t cancelled = 0;
+    std::uint64_t shed = 0;        ///< overloaded responses (queue full).
     std::uint64_t cache_hits = 0;  ///< responses served without computing.
-    std::uint64_t coalesced = 0;   ///< duplicates that waited on a leader.
+    std::uint64_t coalesced = 0;   ///< duplicates that rode a leader.
+    std::uint64_t timeouts = 0;    ///< idle connections closed (typed line).
     bool stopped = false;          ///< ended by the stop token, not EOF.
 };
 
@@ -70,16 +99,70 @@ public:
     /// (one line each, flushed); human diagnostics go to `diag`.
     ServeStats serve(std::istream& in, std::ostream& out, std::ostream& diag);
 
-    /// Unix-socket front-end: binds `path`, accepts one client at a time,
-    /// and runs serve() over each connection until the stop token fires.
-    /// The response cache persists across connections.
+    /// Unix-socket front-end: binds `path` and serves up to `max_clients`
+    /// concurrent connections from one poll() event loop until the stop
+    /// token fires. The response cache and admission queue are shared
+    /// across connections.
     ServeStats serve_unix_socket(const std::string& path, std::ostream& diag);
 
     [[nodiscard]] ResponseCache& cache() noexcept { return cache_; }
+    [[nodiscard]] const ServeOptions& options() const noexcept {
+        return options_;
+    }
+
+    // ---- internal surface shared by the stdin loop and the socket event
+    // ---- loop (event_loop.cpp); not a public API.
+
+    /// Per-front-end accounting: response tallies plus the count of
+    /// admitted-but-unanswered requests, so a front-end can drain before it
+    /// returns. One Session spans one stdin stream or one whole event loop.
+    struct Session {
+        ServeStats stats;
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::size_t pending = 0;  ///< admitted, response not yet delivered.
+    };
+
+    /// Receives each finished response; must be callable from any thread.
+    /// `seq` is the per-stream admission sequence for reorder buffering.
+    using ResponseSink =
+        std::function<void(std::uint64_t seq, std::string id,
+                           std::string body)>;
+
+    /// Runs one raw request line through parse -> introspection -> cache ->
+    /// admission. Exactly one response eventually reaches `sink` (possibly
+    /// before this returns, possibly from a pool thread); session tallies
+    /// and per-method accounting happen on the way. `oversized` marks a
+    /// line the framer discarded for exceeding max_line_bytes. Without
+    /// `allow_shed`, a full admission queue blocks the caller instead of
+    /// shedding.
+    void process_line(Session& session, const std::string& line,
+                      std::uint64_t seq, bool oversized, bool allow_shed,
+                      std::ostream& diag, const ResponseSink& sink);
+
+    /// Emits one already-built response body for an admitted line through
+    /// the accounting path: tally, then sink, then the pending decrement
+    /// process_line's admission incremented. Connection-level lines the
+    /// event loop fabricates (accept-time rejects, idle-timeout closes) do
+    /// NOT go through here — they are responses without requests and are
+    /// counted by their own serve.connections.* instruments instead.
+    void finish_direct(Session& session, std::uint64_t seq,
+                       const std::string& id, std::string body,
+                       std::ostream& diag, const ResponseSink& sink);
+
+    /// Blocks until every admitted request of this session was answered.
+    static void wait_drained(Session& session);
+
+    /// The scheduler's live client-backoff hint — the event loop stamps it
+    /// into accept-time reject lines.
+    [[nodiscard]] double retry_after_ms_hint() {
+        return scheduler_.retry_after_ms_hint();
+    }
+
+    [[nodiscard]] IntrospectionState introspection_state();
 
 private:
     class OrderedWriter;
-    struct Flight;
 
     /// Per-request accounting handles for one method, prebuilt at
     /// construction from router::method_names() so the cache-hit path never
@@ -93,12 +176,13 @@ private:
         core::obs::Counter* ok_miss = nullptr;
         core::obs::Counter* error_miss = nullptr;
         core::obs::Counter* cancelled_miss = nullptr;
+        core::obs::Counter* overloaded_miss = nullptr;
     };
 
     /// Runs one request to a response body on the calling (pool) thread.
     std::string compute(const Request& req);
 
-    /// Answers a stats/health request inline on the admission thread —
+    /// Answers a stats/health request inline on the admitting thread —
     /// state is read live, the body never enters the cache or a flight.
     std::string introspect(const Request& req);
 
@@ -107,30 +191,27 @@ private:
     void account(const Request& req, std::string_view body, bool cache_hit,
                  std::uint64_t admitted_ns, std::ostream& diag);
 
-    [[nodiscard]] IntrospectionState introspection_state();
-
-    void acquire_slot();
-    void release_slot();
-    void finish_flight(const std::string& canonical);
+    /// Session + registry response tallies and the verbose status line.
+    void tally(Session& session, std::string_view body, std::ostream& diag);
 
     ServeOptions options_;
     ResponseCache cache_;
     std::uint64_t start_ns_ = 0;  ///< steady-clock construction stamp.
-
-    std::mutex slots_mutex_;
-    std::condition_variable slots_cv_;
-    std::size_t inflight_ = 0;
-
-    std::mutex flights_mutex_;
-    std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
 
     std::mutex slow_log_mutex_;
 
     core::obs::Counter& requests_;
     core::obs::Counter& coalesced_;
     core::obs::LatencyHistogram& latency_;
-    core::obs::Gauge& inflight_gauge_;
+    core::obs::Counter& resp_ok_;
+    core::obs::Counter& resp_error_;
+    core::obs::Counter& resp_cancelled_;
+    core::obs::Counter& resp_overloaded_;
     std::unordered_map<std::string, MethodInstruments> method_obs_;
+
+    /// Declared last: its destructor waits for every runner, so runners can
+    /// never touch a dead cache_/options_/instrument.
+    Scheduler scheduler_;
 };
 
 }  // namespace tnr::serve

@@ -21,6 +21,7 @@
 #include "core/obs/metrics.hpp"
 #include "core/parallel/cancel.hpp"
 #include "serve/cache.hpp"
+#include "serve/framing.hpp"
 #include "serve/protocol.hpp"
 #include "serve/router.hpp"
 #include "serve/server.hpp"
@@ -759,6 +760,75 @@ TEST(Serve, GoldenTranscriptIsStable) {
     EXPECT_EQ(out.str(), slurp(data_file("serve_golden_responses.jsonl")));
     EXPECT_GE(stats.cache_hits, 1u) << "golden transcript must exercise the "
                                        "response cache";
+}
+
+// --- Bounded line framing ---------------------------------------------------
+
+TEST(ServeFraming, LineFramerSplitsChunksAndFlagsOversizedLines) {
+    LineFramer framer(8);
+    const std::string input = "short\n" + std::string(100, 'x') +
+                              "\nafter\npart";
+    // Feed in awkward chunk sizes to exercise incremental reassembly.
+    for (std::size_t i = 0; i < input.size(); i += 3) {
+        framer.feed(input.data() + i, std::min<std::size_t>(3, input.size() - i));
+    }
+    std::string line;
+    EXPECT_EQ(framer.next(line), LineFramer::Result::kLine);
+    EXPECT_EQ(line, "short");
+    EXPECT_EQ(framer.next(line), LineFramer::Result::kOverflow);
+    EXPECT_EQ(framer.next(line), LineFramer::Result::kLine);
+    EXPECT_EQ(line, "after");
+    EXPECT_EQ(framer.next(line), LineFramer::Result::kNone);
+    // The unfinished tail stays buffered, bounded by the cap.
+    EXPECT_EQ(framer.partial_bytes(), 4u);
+    framer.feed("\n", 1);
+    EXPECT_EQ(framer.next(line), LineFramer::Result::kLine);
+    EXPECT_EQ(line, "part");
+}
+
+TEST(ServeFraming, LineFramerNeverBuffersMoreThanTheCap) {
+    LineFramer framer(16);
+    const std::string big(1 << 20, 'y');  // 1 MiB, no newline.
+    framer.feed(big.data(), big.size());
+    // The whole megabyte arrived, but at most cap+1 bytes are held.
+    EXPECT_LE(framer.partial_bytes(), 17u);
+    framer.feed("\n", 1);
+    std::string line;
+    EXPECT_EQ(framer.next(line), LineFramer::Result::kOverflow);
+}
+
+TEST(ServeFraming, ReadBoundedLineMatchesGetlineAndCapsLongLines) {
+    std::istringstream in("one\n" + std::string(64, 'z') + "\ntail");
+    std::string line;
+    EXPECT_EQ(read_bounded_line(in, line, 32), LineRead::kLine);
+    EXPECT_EQ(line, "one");
+    EXPECT_EQ(read_bounded_line(in, line, 32), LineRead::kTooLong);
+    EXPECT_TRUE(line.empty());
+    // The oversized line was consumed to its newline; the stream resumes.
+    EXPECT_EQ(read_bounded_line(in, line, 32), LineRead::kLine);
+    EXPECT_EQ(line, "tail");
+    EXPECT_EQ(read_bounded_line(in, line, 32), LineRead::kEof);
+}
+
+TEST(Serve, OversizedRequestLineGetsTypedBadRequestAndServerContinues) {
+    ServeOptions options;
+    options.max_line_bytes = 128;
+    const std::string huge = R"({"id":"big","method":"fit","params":{"site":")" +
+                             std::string(4096, 'a') + R"("}})";
+    const auto session = run_serve(
+        {huge, R"({"id":"ok","method":"list-devices"})"}, options);
+    ASSERT_EQ(session.lines.size(), 2u);
+    const auto err = json::parse(session.lines[0]);
+    ASSERT_TRUE(err.has_value()) << session.lines[0];
+    EXPECT_EQ(err->find("status")->str, "error");
+    EXPECT_EQ(err->find("id")->str, "");  // the line never parsed far enough.
+    EXPECT_NE(err->find("error")->find("message")->str.find("bad-request"),
+              std::string::npos);
+    // The server keeps serving after discarding the oversized line.
+    EXPECT_EQ(status_of(session.lines[1]), "ok");
+    EXPECT_EQ(session.stats.requests, 2u);
+    EXPECT_EQ(session.stats.errors, 1u);
+    EXPECT_EQ(session.stats.ok, 1u);
 }
 
 }  // namespace

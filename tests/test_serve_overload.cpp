@@ -1,0 +1,466 @@
+// Overload-control tests for the multi-client serve front-end: bounded
+// admission with typed `overloaded` sheds (never cached, always carrying
+// retry_after_ms), priority classes keeping interactive queries ahead of
+// batch work, inline stats/health under saturation, idle-timeout closes,
+// stop-drain answering every admitted request, and the `tnr stats --watch`
+// reconnect loop.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "cli/cli.hpp"
+#include "core/obs/json.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/parallel/cancel.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace tnr::serve {
+namespace {
+
+namespace json = core::obs::json;
+namespace parallel = core::parallel;
+
+// These tests need real compute concurrency (an occupier in one inflight
+// slot while another slot answers), so pin the shared pool to 4 workers
+// regardless of the host's core count. Must run before the first
+// ThreadPool::shared() touch, hence a namespace-scope initializer.
+const bool kPoolPinned = [] {
+    ::setenv("TNR_THREADS", "4", /*overwrite=*/0);
+    return true;
+}();
+
+/// A serve_unix_socket instance on its own thread, torn down by the stop
+/// token. The returned ServeStats are captured for post-mortem assertions.
+struct SocketServer {
+    std::string path;
+    parallel::CancelToken stop;
+    Server server;
+    std::ostringstream diag;
+    ServeStats stats;
+    std::thread thread;
+
+    SocketServer(ServeOptions options, std::string socket_path)
+        : path(std::move(socket_path)),
+          server([&options, this] {
+              options.stop = &stop;
+              return options;
+          }()) {
+        std::filesystem::remove(path);
+        thread = std::thread(
+            [this] { stats = server.serve_unix_socket(path, diag); });
+        for (int i = 0; i < 500 && !std::filesystem::exists(path); ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        EXPECT_TRUE(std::filesystem::exists(path)) << "server never bound";
+    }
+
+    ~SocketServer() {
+        if (thread.joinable()) {
+            stop.cancel();
+            thread.join();
+        }
+        std::filesystem::remove(path);
+    }
+
+    void shutdown() {
+        stop.cancel();
+        thread.join();
+    }
+};
+
+/// Minimal blocking test client: one connection, line-at-a-time I/O.
+class Client {
+public:
+    explicit Client(const std::string& path) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      path.c_str());
+        for (int attempt = 0; attempt < 200 && fd_ < 0; ++attempt) {
+            const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            if (fd < 0) break;
+            if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr)) == 0) {
+                fd_ = fd;
+                break;
+            }
+            ::close(fd);
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        EXPECT_GE(fd_, 0) << "could not connect to " << path;
+    }
+    ~Client() {
+        if (fd_ >= 0) ::close(fd_);
+    }
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    void send(const std::string& request) {
+        const std::string framed = request + "\n";
+        const char* p = framed.data();
+        std::size_t left = framed.size();
+        while (left > 0) {
+            const ssize_t n = ::write(fd_, p, left);
+            ASSERT_GT(n, 0) << "socket write failed";
+            p += n;
+            left -= static_cast<std::size_t>(n);
+        }
+    }
+
+    /// Blocking read of one response line ("" on EOF).
+    std::string read_line() {
+        std::string line;
+        char c = 0;
+        ssize_t n = 0;
+        while ((n = ::read(fd_, &c, 1)) == 1 && c != '\n') line.push_back(c);
+        if (n <= 0 && line.empty()) return {};
+        return line;
+    }
+
+    /// True when the peer closed the connection (EOF on read).
+    bool at_eof() {
+        char c = 0;
+        return ::read(fd_, &c, 1) == 0;
+    }
+
+    std::string round_trip(const std::string& request) {
+        send(request);
+        return read_line();
+    }
+
+private:
+    int fd_ = -1;
+};
+
+double num_of(const json::Value& doc, std::initializer_list<const char*> path) {
+    const json::Value* v = &doc;
+    for (const char* key : path) {
+        if (v == nullptr || !v->is_object()) return -1.0;
+        v = v->find(key);
+    }
+    return v != nullptr ? v->num : -1.0;
+}
+
+/// Polls the server's stats method until `pred` holds (or ~5 s pass).
+template <typename Pred>
+bool wait_for_stats(const std::string& path, Pred pred) {
+    for (int attempt = 0; attempt < 500; ++attempt) {
+        Client probe(path);
+        const std::string line =
+            probe.round_trip(R"({"id":"probe","method":"stats"})");
+        const auto doc = json::parse(line);
+        if (doc && doc->find("status") != nullptr &&
+            doc->find("status")->str == "ok") {
+            const auto stats = json::parse(doc->find("output")->str);
+            if (stats && pred(*stats)) return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+}
+
+/// A batch request big enough to hold its inflight slot until the stop
+/// token drains it (~seconds of Monte Carlo; the per-request token linked
+/// to the server stop turns it into a fast cancelled response on drain).
+std::string occupier(int seed) {
+    return R"({"id":"occ)" + std::to_string(seed) +
+           R"(","method":"transmission","params":{"histories":200000000,)"
+           R"("seed":)" +
+           std::to_string(seed) + "}}";
+}
+
+// --- Queue-full shed + drain ------------------------------------------------
+
+TEST(ServeOverload, QueueFullShedsTypedOverloadedUncachedAndDrainAnswersAll) {
+    ServeOptions options;
+    options.max_inflight = 1;
+    options.queue_depth = 1;
+    SocketServer srv(options, "/tmp/tnr_test_shed.sock");
+
+    // Fill the single inflight slot, then the single queue slot.
+    Client a(srv.path);
+    a.send(occupier(1));
+    ASSERT_TRUE(wait_for_stats(srv.path, [](const json::Value& s) {
+        return num_of(s, {"inflight"}) >= 1.0;
+    }));
+    Client b(srv.path);
+    b.send(occupier(2));
+    ASSERT_TRUE(wait_for_stats(srv.path, [](const json::Value& s) {
+        return num_of(s, {"queue", "depth"}) >= 1.0;
+    }));
+
+    // A full queue must answer immediately with a typed overloaded body
+    // carrying a retry hint — never park the request or stall the client.
+    Client c(srv.path);
+    const std::string shed_line =
+        c.round_trip(R"({"id":"shed","method":"fit","params":{"site":"nyc"}})");
+    const auto shed = json::parse(shed_line);
+    ASSERT_TRUE(shed.has_value()) << shed_line;
+    EXPECT_EQ(shed->find("id")->str, "shed");
+    EXPECT_EQ(shed->find("status")->str, "overloaded");
+    EXPECT_EQ(shed->find("error")->find("category")->str, "overloaded");
+    EXPECT_GT(num_of(*shed, {"error", "retry_after_ms"}), 0.0);
+
+    // Sheds never enter the response cache: the identical request's
+    // canonical key must still miss.
+    const auto doc = json::parse(
+        R"({"id":"shed","method":"fit","params":{"site":"nyc"}})");
+    ASSERT_TRUE(doc.has_value());
+    const std::string canonical = canonical_request(parse_request(*doc));
+    EXPECT_FALSE(
+        srv.server.cache().get(canonical_hash(canonical), canonical)
+            .has_value());
+
+    // Stop. Both admitted occupiers must still get exactly one typed
+    // response each (cancelled via the stop-linked per-request tokens).
+    srv.shutdown();
+    for (Client* victim : {&a, &b}) {
+        const auto resp = json::parse(victim->read_line());
+        ASSERT_TRUE(resp.has_value());
+        const std::string status = resp->find("status")->str;
+        EXPECT_TRUE(status == "cancelled" || status == "ok") << status;
+    }
+    EXPECT_TRUE(srv.stats.stopped);
+    EXPECT_GE(srv.stats.shed, 1u);
+    EXPECT_EQ(srv.stats.requests,
+              srv.stats.ok + srv.stats.errors + srv.stats.cancelled +
+                  srv.stats.shed)
+        << "every admitted request must resolve to exactly one outcome";
+}
+
+// --- Priority classes -------------------------------------------------------
+
+TEST(ServeOverload, InteractiveClassOvertakesQueuedBatchWork) {
+    ServeOptions options;
+    options.max_inflight = 1;
+    options.queue_depth = 8;
+    SocketServer srv(options, "/tmp/tnr_test_prio.sock");
+
+    // Occupy the only slot for roughly a second of compute.
+    Client occ(srv.path);
+    occ.send(
+        R"({"id":"occ","method":"transmission","params":{"histories":1000000,"seed":9}})");
+    ASSERT_TRUE(wait_for_stats(srv.path, [](const json::Value& s) {
+        return num_of(s, {"inflight"}) >= 1.0;
+    }));
+
+    // Queue batch work first, then an interactive query behind it. The
+    // batch job is itself slow (~0.5 s) so the interactive response lands
+    // a comfortable margin ahead when it is popped first.
+    Client batch(srv.path);
+    batch.send(
+        R"({"id":"b","method":"transmission","params":{"histories":400000,"seed":3}})");
+    Client inter(srv.path);
+    inter.send(R"({"id":"i","method":"fit","params":{"site":"nyc"}})");
+    ASSERT_TRUE(wait_for_stats(srv.path, [](const json::Value& s) {
+        return num_of(s, {"queue", "depth"}) >= 2.0;
+    }));
+
+    // While the slot is saturated, stats and health still answer inline.
+    Client probe(srv.path);
+    const auto health =
+        json::parse(probe.round_trip(R"({"id":"h","method":"health"})"));
+    ASSERT_TRUE(health.has_value());
+    EXPECT_EQ(health->find("status")->str, "ok");
+
+    // When the slot frees, the interactive request must pop first even
+    // though the batch request was queued ahead of it.
+    std::atomic<std::uint64_t> t_inter{0};
+    std::atomic<std::uint64_t> t_batch{0};
+    const auto stamp = [] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    };
+    std::thread ri([&] {
+        const std::string line = inter.read_line();
+        t_inter = stamp();
+        const auto doc = json::parse(line);
+        EXPECT_TRUE(doc && doc->find("status")->str == "ok") << line;
+    });
+    std::thread rb([&] {
+        const std::string line = batch.read_line();
+        t_batch = stamp();
+        const auto doc = json::parse(line);
+        EXPECT_TRUE(doc && doc->find("status")->str == "ok") << line;
+    });
+    ri.join();
+    rb.join();
+    EXPECT_LT(t_inter.load(), t_batch.load())
+        << "interactive response must land before the earlier-queued batch "
+           "response";
+
+    const auto occ_resp = json::parse(occ.read_line());
+    ASSERT_TRUE(occ_resp.has_value());
+}
+
+// --- Idle timeout -----------------------------------------------------------
+
+TEST(ServeOverload, IdleConnectionGetsTypedTimeoutLineThenClose) {
+    auto& reg = core::obs::Registry::global();
+    const std::uint64_t before =
+        reg.counter("serve.connections.idle_timeouts").value();
+
+    ServeOptions options;
+    options.idle_timeout_ms = 150.0;
+    SocketServer srv(options, "/tmp/tnr_test_idle.sock");
+
+    Client idle(srv.path);
+    // An active request resets the idle clock; the timeout only fires on a
+    // connection with nothing outstanding.
+    const auto ok =
+        json::parse(idle.round_trip(R"({"id":"w","method":"health"})"));
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->find("status")->str, "ok");
+
+    const std::string bye_line = idle.read_line();  // blocks until timeout.
+    const auto bye = json::parse(bye_line);
+    ASSERT_TRUE(bye.has_value()) << bye_line;
+    EXPECT_EQ(bye->find("status")->str, "error");
+    EXPECT_EQ(bye->find("error")->find("category")->str, "timeout");
+    EXPECT_TRUE(idle.at_eof()) << "server must close after the typed line";
+
+    EXPECT_GT(reg.counter("serve.connections.idle_timeouts").value(), before);
+    srv.shutdown();
+    EXPECT_GE(srv.stats.timeouts, 1u);
+}
+
+// --- Mini-storm: every request gets a typed response ------------------------
+
+TEST(ServeOverload, MiniStormAnswersEveryRequestTyped) {
+    ServeOptions options;
+    options.max_inflight = 2;
+    options.queue_depth = 4;
+    options.max_clients = 128;
+    SocketServer srv(options, "/tmp/tnr_test_storm.sock");
+
+    constexpr int kClients = 64;
+    constexpr int kPerClient = 2;
+    std::atomic<int> responses{0};
+    std::atomic<int> sheds{0};
+    std::atomic<int> malformed{0};
+    std::atomic<int> sheds_without_retry{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            Client client(srv.path);
+            for (int r = 0; r < kPerClient; ++r) {
+                // Mostly cache-hittable fits plus some unique detector work.
+                const std::string req =
+                    (c % 4 != 0)
+                        ? R"({"id":"q","method":"fit","params":{"site":"nyc"}})"
+                        : R"({"id":"q","method":"detector","params":{"seed":)" +
+                              std::to_string(c * 100 + r) + "}}";
+                const std::string line = client.round_trip(req);
+                const auto doc = json::parse(line);
+                if (!doc || doc->find("status") == nullptr) {
+                    ++malformed;
+                    continue;
+                }
+                ++responses;
+                if (doc->find("status")->str == "overloaded") {
+                    ++sheds;
+                    if (num_of(*doc, {"error", "retry_after_ms"}) <= 0.0) {
+                        ++sheds_without_retry;
+                    }
+                }
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+
+    EXPECT_EQ(malformed.load(), 0);
+    EXPECT_EQ(responses.load(), kClients * kPerClient)
+        << "no request may go unanswered (zero silent stalls)";
+    EXPECT_EQ(sheds_without_retry.load(), 0)
+        << "every shed must carry retry_after_ms";
+
+    srv.shutdown();
+    EXPECT_EQ(srv.stats.requests,
+              static_cast<std::uint64_t>(kClients * kPerClient));
+    EXPECT_EQ(srv.stats.requests,
+              srv.stats.ok + srv.stats.errors + srv.stats.cancelled +
+                  srv.stats.shed);
+}
+
+// --- Multi-client interleaving ----------------------------------------------
+
+TEST(ServeOverload, SecondClientAnsweredWhileFirstStillComputing) {
+    ServeOptions options;
+    options.max_inflight = 2;
+    SocketServer srv(options, "/tmp/tnr_test_interleave.sock");
+
+    // The old front-end served one connection at a time: B's request would
+    // hang until A's connection closed. Now B must round-trip while A's
+    // long request is still in flight.
+    Client a(srv.path);
+    a.send(
+        R"({"id":"slow","method":"transmission","params":{"histories":200000000,"seed":1}})");
+    ASSERT_TRUE(wait_for_stats(srv.path, [](const json::Value& s) {
+        return num_of(s, {"inflight"}) >= 1.0;
+    }));
+
+    Client b(srv.path);
+    const auto fast =
+        json::parse(b.round_trip(R"({"id":"fast","method":"list-devices"})"));
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_EQ(fast->find("status")->str, "ok");
+
+    srv.shutdown();
+    const auto slow = json::parse(a.read_line());
+    ASSERT_TRUE(slow.has_value());
+    const std::string status = slow->find("status")->str;
+    EXPECT_TRUE(status == "cancelled" || status == "ok") << status;
+}
+
+// --- `tnr stats --watch` reconnect ------------------------------------------
+
+TEST(ServeOverload, StatsWatchReconnectsWithBackoffWhenServerComesUpLate) {
+    const std::string path = "/tmp/tnr_test_watch_late.sock";
+    std::filesystem::remove(path);
+
+    // Start the watch against a socket that does not exist yet: the first
+    // connects fail (ECONNREFUSED-equivalent) and must back off and retry
+    // rather than kill the watch.
+    std::ostringstream out;
+    std::ostringstream err;
+    std::atomic<int> code{-1};
+    std::thread watcher([&] {
+        code = cli::run({"stats", "--socket", path, "--watch", "--interval",
+                         "0.05", "--polls", "2"},
+                        out, err);
+    });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    {
+        SocketServer srv({}, path);
+        watcher.join();
+    }
+    EXPECT_EQ(code.load(), 0) << err.str();
+    EXPECT_NE(err.str().find("reconnecting in"), std::string::npos)
+        << err.str();
+    std::vector<std::string> lines;
+    std::istringstream split(out.str());
+    for (std::string line; std::getline(split, line);) lines.push_back(line);
+    EXPECT_EQ(lines.size(), 2u) << out.str();
+}
+
+}  // namespace
+}  // namespace tnr::serve
