@@ -1,0 +1,153 @@
+// Fleet simulator benchmark: streaming throughput (devices/s) and the
+// constant-memory claim. The table runs the same study at 1e5 and 1e6
+// devices and reports the process peak RSS after each — the aggregator
+// lattice depends only on the study dimensions, so a 10x fleet must not
+// move the high-water mark. CI archives the JSON (BENCH_fleet.json) as the
+// acceptance artifact for that claim.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fleet/aggregator.hpp"
+#include "fleet/simulator.hpp"
+#include "fleet/spec.hpp"
+
+namespace {
+
+using tnr::fleet::FleetRunOptions;
+using tnr::fleet::FleetSpec;
+using tnr::fleet::FleetTally;
+using tnr::fleet::ResolvedFleet;
+
+FleetSpec study(std::uint64_t devices) {
+    FleetSpec spec;
+    spec.devices = devices;
+    spec.days = 30;
+    spec.bucket_hours = 24;
+    spec.seed = 2020;
+    spec.sites.push_back({tnr::environment::nyc_datacenter(), 2.0, {}});
+    spec.sites.back().policy.scrub_interval_h = 24.0;
+    spec.sites.back().policy.rain_probability = 0.25;
+    spec.sites.push_back({tnr::environment::leadville_datacenter(), 1.0, {}});
+    spec.sites.back().policy.repair_hours = 48;
+    spec.sites.back().policy.rain_probability = 0.25;
+    spec.mix.push_back({"NVIDIA K20", 2.0});
+    spec.mix.push_back({"Intel Xeon Phi", 1.0});
+    return spec;
+}
+
+/// Peak RSS of this process in KiB (Linux ru_maxrss unit). A high-water
+/// mark: it can only grow, which is exactly what the scaling table needs.
+long peak_rss_kb() {
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return usage.ru_maxrss;
+}
+
+struct ScalingRun {
+    std::uint64_t devices = 0;
+    double seconds = 0.0;
+    double devices_per_s = 0.0;
+    long peak_rss_kb = 0;
+};
+
+std::vector<ScalingRun> g_runs;  // NOLINT(*-avoid-non-const-global-variables)
+
+void emit_table(std::ostream& os) {
+    os << "streaming walk, 30-day study, 2 sites x 2 classes, 4 shards\n\n";
+    os << "devices    wall [s]   devices/s   peak RSS [KiB]\n";
+    for (const std::uint64_t devices : {100'000ULL, 1'000'000ULL}) {
+        const ResolvedFleet fleet(study(devices));
+        FleetRunOptions opts;
+        opts.shards = 4;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto result = tnr::fleet::run_fleet(fleet, opts);
+        const double s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        ScalingRun run;
+        run.devices = devices;
+        run.seconds = s;
+        run.devices_per_s = static_cast<double>(devices) / s;
+        run.peak_rss_kb = peak_rss_kb();
+        g_runs.push_back(run);
+        os << devices << "   " << s << "   " << run.devices_per_s << "   "
+           << run.peak_rss_kb << '\n';
+        // Touch the result so the walk cannot be elided.
+        benchmark::DoNotOptimize(result.tally.grand_total().sdc);
+    }
+    if (g_runs.size() == 2) {
+        os << "\npeak RSS growth for 10x devices: "
+           << g_runs[1].peak_rss_kb - g_runs[0].peak_rss_kb << " KiB\n";
+    }
+}
+
+std::string extra_json() {
+    namespace json = tnr::core::obs::json;
+    std::ostringstream fragment;
+    fragment << "\"fleet\":{\"runs\":[";
+    bool first = true;
+    for (const auto& run : g_runs) {
+        if (!first) fragment << ',';
+        first = false;
+        fragment << "{\"devices\":" << run.devices
+                 << ",\"seconds\":" << json::number(run.seconds)
+                 << ",\"devices_per_s\":" << json::number(run.devices_per_s)
+                 << ",\"peak_rss_kb\":" << run.peak_rss_kb << '}';
+    }
+    fragment << ']';
+    if (g_runs.size() == 2) {
+        fragment << ",\"rss_growth_kb\":"
+                 << g_runs[1].peak_rss_kb - g_runs[0].peak_rss_kb;
+    }
+    fragment << '}';
+    return fragment.str();
+}
+
+void BM_FleetWalk10k(benchmark::State& state) {
+    const ResolvedFleet fleet(study(10'000));
+    FleetRunOptions opts;
+    opts.shards = 1;
+    std::uint64_t devices = 0;
+    for (auto _ : state) {
+        const auto result = tnr::fleet::run_fleet(fleet, opts);
+        benchmark::DoNotOptimize(result.tally.grand_total().device_hours);
+        devices += 10'000;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(devices));
+}
+BENCHMARK(BM_FleetWalk10k)->Unit(benchmark::kMillisecond);
+
+void BM_DeviceStreamOpen(benchmark::State& state) {
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        auto rng = tnr::fleet::device_stream(2020, i++);
+        benchmark::DoNotOptimize(rng.uniform());
+    }
+}
+BENCHMARK(BM_DeviceStreamOpen);
+
+void BM_TallyMerge(benchmark::State& state) {
+    // A realistic lattice: 10 sites x 8 classes x 30 buckets.
+    FleetTally a(10, 8, 30);
+    const FleetTally b(10, 8, 30);
+    for (auto _ : state) {
+        a.merge(b);
+        benchmark::DoNotOptimize(a.cells().data());
+    }
+}
+BENCHMARK(BM_TallyMerge);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return tnr::bench::run_bench_main(argc, argv, "fleet", emit_table,
+                                      extra_json);
+}

@@ -36,6 +36,9 @@
 #include "core/study.hpp"
 #include "devices/catalog.hpp"
 #include "environment/site.hpp"
+#include "fleet/checkpoint.hpp"
+#include "fleet/render.hpp"
+#include "fleet/simulator.hpp"
 #include "serve/handlers.hpp"
 #include "serve/server.hpp"
 
@@ -79,6 +82,24 @@ const std::map<std::string, CommandSpec>& command_specs() {
            {"mode", true},
            {"batch-size", true},
            {"simd", true},
+           {"journal", true},
+           {"resume", false},
+           {"csv", false}},
+          2020}},
+        {"fleet",
+         {{{"devices", true},
+           {"days", true},
+           {"bucket-hours", true},
+           {"seed", true},
+           {"acceleration", true},
+           {"sites", true},
+           {"mix", true},
+           {"scrub-hours", true},
+           {"repair-hours", true},
+           {"rain-prob", true},
+           {"shards", true},
+           {"chunk-devices", true},
+           {"slice", true},
            {"journal", true},
            {"resume", false},
            {"csv", false}},
@@ -358,6 +379,96 @@ int cmd_campaign(const Flags& flags, const Io& io, RunContext& ctx) {
     progress.finish();
     report_failures(result, io, ctx);
     io.out << serve::render_ratio_table(result, flags.has("csv"));
+    return 0;
+}
+
+/// The flag set `fleet` maps onto the serve handler's parameter struct —
+/// one source of defaults for both layers, so CLI stdout and the
+/// `fleet-slice` response stay byte-identical.
+serve::FleetParams fleet_params(const Flags& flags) {
+    serve::FleetParams params;
+    params.devices = static_cast<std::uint64_t>(std::max(
+        0.0, flags.get_double("devices",
+                              static_cast<double>(params.devices))));
+    params.days = static_cast<unsigned>(
+        std::max(0.0, flags.get_double("days", params.days)));
+    params.bucket_hours = static_cast<unsigned>(std::max(
+        0.0, flags.get_double("bucket-hours", params.bucket_hours)));
+    params.seed = static_cast<std::uint64_t>(flags.get_double("seed", 2020.0));
+    params.acceleration =
+        flags.get_double("acceleration", params.acceleration);
+    params.sites = flags.get("sites", params.sites);
+    params.mix = flags.get("mix", params.mix);
+    params.scrub_hours = flags.get_double("scrub-hours", params.scrub_hours);
+    params.repair_hours = static_cast<unsigned>(std::max(
+        0.0, flags.get_double("repair-hours", params.repair_hours)));
+    params.rain_probability =
+        flags.get_double("rain-prob", params.rain_probability);
+    params.shards = static_cast<unsigned>(
+        std::max(0.0, flags.get_double("shards", params.shards)));
+    params.slice = flags.get("slice", params.slice);
+    params.csv = flags.has("csv");
+    return params;
+}
+
+int cmd_fleet(const Flags& flags, const Io& io) {
+    const serve::FleetParams params = fleet_params(flags);
+    const fleet::ResolvedFleet resolved(serve::make_fleet_spec(params));
+
+    fleet::FleetRunOptions options;
+    options.shards = params.shards;
+    options.chunk_devices = static_cast<std::uint64_t>(std::max(
+        1.0, flags.get_double("chunk-devices",
+                              static_cast<double>(
+                                  fleet::kDefaultChunkDevices))));
+    options.cancel = &core::parallel::global_cancel_token();
+
+    const std::string journal_path = flags.get("journal", "");
+    const bool resume = flags.has("resume");
+    if (resume && journal_path.empty()) {
+        throw core::RunError::config("--resume requires --journal");
+    }
+    std::optional<fleet::FleetReplay> replay;
+    std::optional<fleet::FleetJournal> journal;
+    if (!journal_path.empty()) {
+        const bool resuming =
+            resume && std::filesystem::exists(journal_path);
+        if (resuming) {
+            replay = fleet::replay_fleet_journal(journal_path);
+            fleet::validate_fleet_resume(*replay, resolved,
+                                         options.chunk_devices);
+            io.diag << "tnr: resuming from " << journal_path << " ("
+                    << replay->completed.size() << " chunks replayed)\n";
+            options.completed = &replay->completed;
+        }
+        journal.emplace(journal_path, /*truncate=*/!resuming);
+        if (!resuming) {
+            journal->write_header(resolved, options.chunk_devices);
+        }
+    }
+
+    const std::uint64_t chunks =
+        fleet::chunk_count(resolved.spec(), options.chunk_devices);
+    obs::ProgressMeter progress(io.progress(), "fleet", "chunks", chunks);
+    if (replay) {
+        for (std::size_t i = 0; i < replay->completed.size(); ++i) {
+            progress.tick();
+        }
+    }
+    options.on_chunk_done = [&journal, &progress](
+                                std::uint64_t chunk,
+                                const fleet::FleetTally& delta) {
+        if (journal) journal->append_chunk(chunk, delta);
+        progress.tick();
+    };
+
+    const auto result = fleet::run_fleet(resolved, options);
+    progress.finish();
+
+    fleet::FleetReportOptions report;
+    report.slice = params.slice;
+    report.csv = params.csv;
+    io.out << fleet::render_fleet_report(resolved, result.tally, report);
     return 0;
 }
 
@@ -814,6 +925,7 @@ int dispatch(const std::string& cmd, const Flags& flags, const Io& io,
     if (cmd == "list-devices") return cmd_list_devices(io.out);
     if (cmd == "fit") return cmd_fit(flags, io.out);
     if (cmd == "campaign") return cmd_campaign(flags, io, ctx);
+    if (cmd == "fleet") return cmd_fleet(flags, io);
     if (cmd == "detector") return cmd_detector(flags, io.out);
     if (cmd == "transmission") return cmd_transmission(flags, io.out);
     if (cmd == "checkpoint") return cmd_checkpoint(flags, io.out);
@@ -976,6 +1088,27 @@ std::string usage() {
            "           [--simd auto|avx2|scalar]    transport defaults for MC\n"
            "                                        sub-analyses (same knobs\n"
            "                                        as transmission)\n"
+           "  fleet [--devices N] [--days D] [--bucket-hours H] [--seed S]\n"
+           "           [--sites top10|slug,...]     fleet-scale field study:\n"
+           "                                        stream N devices across\n"
+           "                                        sites in constant memory\n"
+           "                                        (slugs: nyc|leadville|\n"
+           "                                        star-hall|hotnes)\n"
+           "           [--mix standard|Name:w,...]  device-class mix from the\n"
+           "                                        catalog roster\n"
+           "           [--scrub-hours H] [--repair-hours H] [--rain-prob P]\n"
+           "           [--acceleration A]           rate multiplier for\n"
+           "                                        accelerated studies (FITs\n"
+           "                                        are de-accelerated)\n"
+           "           [--shards N]                 worker shards; stdout is\n"
+           "                                        bitwise identical for any N\n"
+           "           [--chunk-devices N]          journal/progress chunk size\n"
+           "                                        (result-invariant)\n"
+           "           [--journal F] [--resume]     crash-safe chunk journal;\n"
+           "                                        --resume merges completed\n"
+           "                                        chunks bit-for-bit\n"
+           "           [--slice SITE] [--csv]       restrict the report to one\n"
+           "                                        site (exact system name)\n"
            "  detector [--days D] [--water-days D] [--seed S] [--csv]\n"
            "  transmission [--material M] [--thickness-cm T] [--energy-ev E]\n"
            "           [--histories N] [--mode analog|implicit] [--seed S]\n"

@@ -10,6 +10,15 @@
 //   * combined slab + water-cooling adjustment used for the FIT figures: +44%.
 // Contributions combine additively (each material adds its own back-scattered
 // thermal population to the ambient field), matching the paper's 20+24=44.
+//
+// Composition semantics (audited for double application): the weather factor
+// scales only the *ambient open-field* term. Rain moderates the atmospheric
+// cascade, doubling the thermal population arriving from outside; the
+// back-scatter contributed by nearby concrete/water is fed by the fast flux,
+// which rain does not change, so those additive boosts must NOT be multiplied
+// by the weather factor. A rainy data center is therefore 2.0 + 0.44 = 2.44,
+// not (1 + 0.44) x 2 = 2.88. Pinned by test_environment
+// (RainScalesAmbientOnly / TripleCompositionNoDoubleApplication).
 
 namespace tnr::environment {
 
@@ -36,14 +45,17 @@ struct ThermalEnvironment {
     /// humans are mostly water and excellent moderators).
     double extra_material_boost = 0.0;
 
-    /// Multiplier on the open-field thermal flux.
+    /// Multiplier on the open-field thermal flux. Weather scales the ambient
+    /// term only; material back-scatter boosts are additive on top (see the
+    /// composition-semantics note above).
     [[nodiscard]] double thermal_multiplier() const {
-        double boost = 1.0;
+        const double ambient =
+            weather == Weather::kRainy ? kRainMultiplier : 1.0;
+        double boost = 0.0;
         if (concrete_slab) boost += kConcreteSlabBoost;
         if (water_cooling) boost += kWaterCoolingBoost;
         boost += extra_material_boost;
-        if (weather == Weather::kRainy) boost *= kRainMultiplier;
-        return boost;
+        return ambient + boost;
     }
 
     /// The paper's data-center configuration (slab + cooling): 1.44.

@@ -41,4 +41,44 @@ Site leadville_datacenter() {
             ThermalEnvironment::datacenter(), 0.0, DramGeneration::kDdr4};
 }
 
+Site star_hall() {
+    Site s{"STAR experimental hall (BNL)",
+           Location("Upton, NY", 40.87, -72.87, 25.0),
+           ThermalEnvironment::open_field(), 0.0, DramGeneration::kDdr4};
+    // Adopted hall-average thermal flux during RHIC operations, ~12
+    // n/cm^2/s [arXiv:1310.2495] — roughly four orders of magnitude above
+    // the sea-level cosmic background. High-energy flux stays at the
+    // location's cosmic baseline.
+    s.thermal_flux_override = 4.3e4;
+    return s;
+}
+
+Site hotnes_chamber() {
+    Site s{"HOTNES thermal chamber (ENEA Frascati)",
+           Location("Frascati, IT", 41.8, 12.7, 320.0),
+           ThermalEnvironment::open_field(), 0.0, DramGeneration::kDdr4};
+    // Adopted cavity thermal flux, ~7.0e2 n/cm^2/s [arXiv:1802.08132].
+    // The field is purely thermal (moderated Am-B sources): no high-energy
+    // component reaches the device under test.
+    s.thermal_flux_override = 2.52e6;
+    s.high_energy_flux_override = 0.0;
+    return s;
+}
+
+const Site* site_by_slug(const std::string& slug) {
+    static const Site kNyc = nyc_datacenter();
+    static const Site kLeadville = leadville_datacenter();
+    static const Site kStar = star_hall();
+    static const Site kHotnes = hotnes_chamber();
+    if (slug == "nyc") return &kNyc;
+    if (slug == "leadville") return &kLeadville;
+    if (slug == "star-hall") return &kStar;
+    if (slug == "hotnes") return &kHotnes;
+    return nullptr;
+}
+
+std::vector<std::string> site_slugs() {
+    return {"nyc", "leadville", "star-hall", "hotnes"};
+}
+
 }  // namespace tnr::environment

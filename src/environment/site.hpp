@@ -23,15 +23,23 @@ struct Site {
     /// Total system DRAM [Gbit] (0 when not modelling a fleet).
     double dram_capacity_gbit = 0.0;
     DramGeneration dram_generation = DramGeneration::kDdr4;
+    /// Facility-measured flux overrides [n/cm^2/h]; negative = unset, i.e.
+    /// derive the flux from location + environment as usual. Used for the
+    /// instrumented halls (STAR, HOTNES) whose fields are measured, not
+    /// modelled.
+    double thermal_flux_override = -1.0;
+    double high_energy_flux_override = -1.0;
 
     /// High-energy flux at the device [n/cm^2/h].
     [[nodiscard]] double high_energy_flux() const {
+        if (high_energy_flux_override >= 0.0) return high_energy_flux_override;
         return location.high_energy_flux();
     }
 
     /// Thermal flux at the device including environment modifiers
     /// [n/cm^2/h].
     [[nodiscard]] double thermal_flux() const {
+        if (thermal_flux_override >= 0.0) return thermal_flux_override;
         return location.thermal_flux_baseline() *
                environment.thermal_multiplier();
     }
@@ -48,5 +56,27 @@ std::vector<Site> top10_supercomputers();
 /// thermal adjustment.
 Site nyc_datacenter();
 Site leadville_datacenter();
+
+/// Instrumented facilities from the flux-measurement papers (PAPERS.md),
+/// carried as flux-override sites so fleets and campaigns can be placed in
+/// a measured field. Adopted values are tabulated with sources in
+/// docs/fleet.md.
+///
+/// STAR experimental hall at RHIC (BNL): thermal-neutron field measured in
+/// the hall during collider operations [arXiv:1310.2495].
+Site star_hall();
+/// HOTNES thermal-neutron facility (ENEA Frascati): homogeneous thermal
+/// field from an Am-B source array in a polyethylene cavity
+/// [arXiv:1802.08132]; no fast/high-energy component.
+Site hotnes_chamber();
+
+/// Sites addressable by slug from the CLI and serve layers ("nyc",
+/// "leadville", "star-hall", "hotnes", plus "top10:<n>" is NOT included —
+/// the Top-10 catalog is addressed positionally). Returns nullptr for an
+/// unknown slug.
+const Site* site_by_slug(const std::string& slug);
+
+/// The slugs accepted by site_by_slug, in display order.
+std::vector<std::string> site_slugs();
 
 }  // namespace tnr::environment

@@ -1,0 +1,111 @@
+#include "fleet/aggregator.hpp"
+
+#include "core/error.hpp"
+
+namespace tnr::fleet {
+
+FleetTally::FleetTally(std::size_t sites, std::size_t classes,
+                       std::size_t buckets)
+    : sites_(sites),
+      classes_(classes),
+      buckets_(buckets),
+      cells_(sites * classes * buckets),
+      assigned_(sites * classes, 0) {}
+
+void FleetTally::merge(const FleetTally& other) {
+    if (other.empty_shell()) return;
+    if (empty_shell()) {
+        *this = other;
+        return;
+    }
+    if (sites_ != other.sites_ || classes_ != other.classes_ ||
+        buckets_ != other.buckets_) {
+        throw core::RunError::config(
+            "fleet: cannot merge tallies with different dimensions");
+    }
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        cells_[i].add(other.cells_[i]);
+    }
+    for (std::size_t i = 0; i < assigned_.size(); ++i) {
+        assigned_[i] += other.assigned_[i];
+    }
+}
+
+CellTally FleetTally::site_total(std::size_t s) const {
+    CellTally total;
+    for (std::size_t c = 0; c < classes_; ++c) {
+        for (std::size_t b = 0; b < buckets_; ++b) total.add(cell(s, c, b));
+    }
+    return total;
+}
+
+CellTally FleetTally::class_total(std::size_t c) const {
+    CellTally total;
+    for (std::size_t s = 0; s < sites_; ++s) {
+        for (std::size_t b = 0; b < buckets_; ++b) total.add(cell(s, c, b));
+    }
+    return total;
+}
+
+CellTally FleetTally::bucket_total(std::size_t b) const {
+    CellTally total;
+    for (std::size_t s = 0; s < sites_; ++s) {
+        for (std::size_t c = 0; c < classes_; ++c) total.add(cell(s, c, b));
+    }
+    return total;
+}
+
+CellTally FleetTally::site_bucket_total(std::size_t s, std::size_t b) const {
+    CellTally total;
+    for (std::size_t c = 0; c < classes_; ++c) total.add(cell(s, c, b));
+    return total;
+}
+
+CellTally FleetTally::site_class_total(std::size_t s, std::size_t c) const {
+    CellTally total;
+    for (std::size_t b = 0; b < buckets_; ++b) total.add(cell(s, c, b));
+    return total;
+}
+
+CellTally FleetTally::grand_total() const {
+    CellTally total;
+    for (const auto& cell : cells_) total.add(cell);
+    return total;
+}
+
+std::uint64_t FleetTally::site_assigned(std::size_t s) const {
+    std::uint64_t total = 0;
+    for (std::size_t c = 0; c < classes_; ++c) total += assigned(s, c);
+    return total;
+}
+
+std::uint64_t FleetTally::class_assigned(std::size_t c) const {
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < sites_; ++s) total += assigned(s, c);
+    return total;
+}
+
+std::uint64_t FleetTally::total_assigned() const {
+    std::uint64_t total = 0;
+    for (const auto n : assigned_) total += n;
+    return total;
+}
+
+stats::Interval fit_interval(std::uint64_t count, std::uint64_t device_hours,
+                             double acceleration) {
+    if (device_hours == 0) return {};
+    // Exposure in units of 1e9 (accelerated) device-hours puts the rate
+    // directly in FIT; acceleration stretches the effective exposure.
+    const double exposure =
+        static_cast<double>(device_hours) * acceleration / 1e9;
+    return stats::poisson_rate_interval(count, exposure);
+}
+
+double fit_estimate(std::uint64_t count, std::uint64_t device_hours,
+                    double acceleration) {
+    if (device_hours == 0) return 0.0;
+    return static_cast<double>(count) /
+           (static_cast<double>(device_hours) * acceleration) * 1e9;
+}
+
+}  // namespace tnr::fleet

@@ -1,0 +1,117 @@
+#pragma once
+// The streaming fleet aggregator: a fixed-size lattice of integer tallies,
+// sites x device-classes x time-buckets, that devices fold into as they are
+// walked. Its size depends only on the study dimensions — never on the
+// fleet size — which is what makes the simulator constant-memory.
+//
+// Everything merged across shards is integral (event counts and whole
+// device-hours). Integer addition is associative and commutative, so
+// merging shard tallies in any grouping yields bit-identical state — the
+// foundation of the `--shards N` bitwise-invariance guarantee. Derived
+// floating-point quantities (FIT, Poisson CIs) are computed once at render
+// time from the merged integers.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/poisson.hpp"
+
+namespace tnr::fleet {
+
+/// Integer tallies for one (site, class, bucket) cell.
+struct CellTally {
+    std::uint64_t sdc = 0;        ///< silent corruptions that reached a read.
+    std::uint64_t due = 0;        ///< detected unrecoverable errors.
+    std::uint64_t corrected = 0;  ///< latent faults removed by scrubbing.
+    std::uint64_t repairs = 0;    ///< repair windows entered.
+    std::uint64_t device_hours = 0;  ///< exposure actually accumulated.
+
+    void add(const CellTally& o) noexcept {
+        sdc += o.sdc;
+        due += o.due;
+        corrected += o.corrected;
+        repairs += o.repairs;
+        device_hours += o.device_hours;
+    }
+    bool operator==(const CellTally&) const = default;
+};
+
+/// The mergeable aggregator. Default-constructed tallies are empty shells
+/// (parallel_map slot placeholders); merging one is a no-op.
+class FleetTally {
+public:
+    FleetTally() = default;
+    FleetTally(std::size_t sites, std::size_t classes, std::size_t buckets);
+
+    [[nodiscard]] std::size_t sites() const noexcept { return sites_; }
+    [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
+    [[nodiscard]] std::size_t buckets() const noexcept { return buckets_; }
+    [[nodiscard]] bool empty_shell() const noexcept { return cells_.empty(); }
+
+    [[nodiscard]] CellTally& cell(std::size_t s, std::size_t c,
+                                  std::size_t b) {
+        return cells_[(s * classes_ + c) * buckets_ + b];
+    }
+    [[nodiscard]] const CellTally& cell(std::size_t s, std::size_t c,
+                                        std::size_t b) const {
+        return cells_[(s * classes_ + c) * buckets_ + b];
+    }
+    [[nodiscard]] std::uint64_t& assigned(std::size_t s, std::size_t c) {
+        return assigned_[s * classes_ + c];
+    }
+    [[nodiscard]] std::uint64_t assigned(std::size_t s, std::size_t c) const {
+        return assigned_[s * classes_ + c];
+    }
+
+    /// Elementwise integer addition. Merging an empty shell is a no-op;
+    /// merging mismatched dimensions throws RunError(kConfig).
+    void merge(const FleetTally& other);
+
+    /// Marginals (computed on demand; cheap — the lattice is small).
+    [[nodiscard]] CellTally site_total(std::size_t s) const;
+    [[nodiscard]] CellTally class_total(std::size_t c) const;
+    [[nodiscard]] CellTally bucket_total(std::size_t b) const;
+    [[nodiscard]] CellTally site_bucket_total(std::size_t s,
+                                              std::size_t b) const;
+    [[nodiscard]] CellTally site_class_total(std::size_t s,
+                                             std::size_t c) const;
+    [[nodiscard]] CellTally grand_total() const;
+    [[nodiscard]] std::uint64_t site_assigned(std::size_t s) const;
+    [[nodiscard]] std::uint64_t class_assigned(std::size_t c) const;
+    [[nodiscard]] std::uint64_t total_assigned() const;
+
+    /// Flat views for serialization (journal) and property tests.
+    [[nodiscard]] const std::vector<CellTally>& cells() const noexcept {
+        return cells_;
+    }
+    [[nodiscard]] const std::vector<std::uint64_t>& assigned_flat()
+        const noexcept {
+        return assigned_;
+    }
+    [[nodiscard]] std::vector<CellTally>& cells() noexcept { return cells_; }
+    [[nodiscard]] std::vector<std::uint64_t>& assigned_flat() noexcept {
+        return assigned_;
+    }
+
+    bool operator==(const FleetTally&) const = default;
+
+private:
+    std::size_t sites_ = 0;
+    std::size_t classes_ = 0;
+    std::size_t buckets_ = 0;
+    std::vector<CellTally> cells_;          ///< sites x classes x buckets.
+    std::vector<std::uint64_t> assigned_;   ///< sites x classes.
+};
+
+/// 95% Garwood CI on a FIT estimate from merged integers: `count` events
+/// over `device_hours` of (accelerated) exposure. The acceleration factor
+/// divides back out so the interval is in true (unaccelerated) FIT.
+stats::Interval fit_interval(std::uint64_t count, std::uint64_t device_hours,
+                             double acceleration);
+
+/// The point estimate matching fit_interval: count / exposure in FIT.
+double fit_estimate(std::uint64_t count, std::uint64_t device_hours,
+                    double acceleration);
+
+}  // namespace tnr::fleet

@@ -1,0 +1,247 @@
+#include "fleet/checkpoint.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/obs/json.hpp"
+#include "core/obs/manifest.hpp"
+
+namespace tnr::fleet {
+
+namespace json = core::obs::json;
+using core::RunError;
+
+namespace {
+
+const json::Value& require(const json::Value& obj, const char* key,
+                           std::size_t line_no) {
+    const json::Value* v = obj.find(key);
+    if (!v) {
+        throw RunError::io("fleet journal line " + std::to_string(line_no) +
+                           ": missing field \"" + key + "\"");
+    }
+    return *v;
+}
+
+double require_number(const json::Value& obj, const char* key,
+                      std::size_t line_no) {
+    const json::Value& v = require(obj, key, line_no);
+    if (!v.is_number()) {
+        throw RunError::io("fleet journal line " + std::to_string(line_no) +
+                           ": field \"" + key + "\" is not a number");
+    }
+    return v.num;
+}
+
+std::uint64_t require_u64(const json::Value& obj, const char* key,
+                          std::size_t line_no) {
+    return static_cast<std::uint64_t>(require_number(obj, key, line_no));
+}
+
+std::string require_string(const json::Value& obj, const char* key,
+                           std::size_t line_no) {
+    const json::Value& v = require(obj, key, line_no);
+    if (!v.is_string()) {
+        throw RunError::io("fleet journal line " + std::to_string(line_no) +
+                           ": field \"" + key + "\" is not a string");
+    }
+    return v.str;
+}
+
+std::vector<std::uint64_t> require_u64_array(const json::Value& obj,
+                                             const char* key,
+                                             std::size_t expected,
+                                             std::size_t line_no) {
+    const json::Value& v = require(obj, key, line_no);
+    if (!v.is_array() || v.array.size() != expected) {
+        throw RunError::io("fleet journal line " + std::to_string(line_no) +
+                           ": field \"" + key + "\" must be an array of " +
+                           std::to_string(expected) + " numbers");
+    }
+    std::vector<std::uint64_t> out;
+    out.reserve(expected);
+    for (const auto& e : v.array) {
+        if (!e.is_number()) {
+            throw RunError::io("fleet journal line " +
+                               std::to_string(line_no) + ": field \"" + key +
+                               "\" holds a non-number");
+        }
+        out.push_back(static_cast<std::uint64_t>(e.num));
+    }
+    return out;
+}
+
+}  // namespace
+
+FleetJournal::FleetJournal(const std::string& path, bool truncate)
+    : path_(path) {
+    file_.open(path, truncate ? std::ios::out | std::ios::trunc
+                              : std::ios::out | std::ios::app);
+    if (!file_) {
+        throw RunError::io("cannot open fleet journal file: " + path);
+    }
+}
+
+void FleetJournal::append_line(const std::string& line) {
+    const std::lock_guard lock(mutex_);
+    file_ << line << '\n';
+    file_.flush();
+    if (!file_) {
+        throw RunError::io("fleet journal write failed: " + path_);
+    }
+}
+
+void FleetJournal::write_header(const ResolvedFleet& fleet,
+                                std::uint64_t chunk_devices) {
+    const FleetSpec& spec = fleet.spec();
+    const std::uint64_t chunk =
+        chunk_devices > 0 ? chunk_devices : std::uint64_t{1};
+    std::ostringstream oss;
+    oss << "{\"kind\":\"fleet-header\",\"tool\":\"tnr\",\"version\":\""
+        << json::escape(core::obs::build_version())
+        << "\",\"seed\":" << spec.seed << ",\"devices\":" << spec.devices
+        << ",\"days\":" << spec.days
+        << ",\"bucket_hours\":" << spec.bucket_hours
+        << ",\"acceleration\":" << json::number(spec.acceleration)
+        << ",\"chunk_devices\":" << chunk
+        << ",\"chunks\":" << (spec.devices + chunk - 1) / chunk
+        << ",\"sites\":" << fleet.site_count()
+        << ",\"classes\":" << fleet.class_count()
+        << ",\"buckets\":" << fleet.bucket_count() << ",\"fingerprint\":\""
+        << json::escape(spec_fingerprint(spec)) << "\"}";
+    append_line(oss.str());
+}
+
+void FleetJournal::append_chunk(std::uint64_t index,
+                                const FleetTally& delta) {
+    std::ostringstream oss;
+    oss << "{\"kind\":\"chunk\",\"index\":" << index << ",\"assigned\":[";
+    bool first = true;
+    for (const auto n : delta.assigned_flat()) {
+        if (!first) oss << ',';
+        first = false;
+        oss << n;
+    }
+    oss << "],\"cells\":[";
+    first = true;
+    for (const auto& cell : delta.cells()) {
+        for (const auto n : {cell.sdc, cell.due, cell.corrected, cell.repairs,
+                             cell.device_hours}) {
+            if (!first) oss << ',';
+            first = false;
+            oss << n;
+        }
+    }
+    oss << "]}";
+    append_line(oss.str());
+}
+
+FleetReplay replay_fleet_journal(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) {
+        throw RunError::io("cannot read fleet journal file: " + path);
+    }
+
+    FleetReplay replay;
+    bool saw_header = false;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(file, line)) {
+        ++line_no;
+        const bool torn_tail = file.eof() && !line.empty();
+        if (line.empty()) continue;
+        const auto doc = json::parse(line);
+        if (!doc || !doc->is_object()) {
+            if (torn_tail) break;  // crashed mid-append; drop the tail.
+            throw RunError::io("fleet journal line " +
+                               std::to_string(line_no) + ": malformed JSON");
+        }
+        const std::string kind = require_string(*doc, "kind", line_no);
+        if (kind == "fleet-header") {
+            replay.seed = require_u64(*doc, "seed", line_no);
+            replay.devices = require_u64(*doc, "devices", line_no);
+            replay.days =
+                static_cast<unsigned>(require_u64(*doc, "days", line_no));
+            replay.bucket_hours = static_cast<unsigned>(
+                require_u64(*doc, "bucket_hours", line_no));
+            replay.acceleration =
+                require_number(*doc, "acceleration", line_no);
+            replay.chunk_devices =
+                require_u64(*doc, "chunk_devices", line_no);
+            replay.chunks = require_u64(*doc, "chunks", line_no);
+            replay.sites = static_cast<std::size_t>(
+                require_u64(*doc, "sites", line_no));
+            replay.classes = static_cast<std::size_t>(
+                require_u64(*doc, "classes", line_no));
+            replay.buckets = static_cast<std::size_t>(
+                require_u64(*doc, "buckets", line_no));
+            replay.fingerprint = require_string(*doc, "fingerprint", line_no);
+            saw_header = true;
+        } else if (kind == "chunk") {
+            if (!saw_header) {
+                throw RunError::config("fleet journal " + path +
+                                       ": chunk line before header");
+            }
+            const std::uint64_t index = require_u64(*doc, "index", line_no);
+            const std::size_t sc = replay.sites * replay.classes;
+            const auto assigned =
+                require_u64_array(*doc, "assigned", sc, line_no);
+            const auto flat = require_u64_array(*doc, "cells",
+                                                sc * replay.buckets * 5,
+                                                line_no);
+            FleetTally tally(replay.sites, replay.classes, replay.buckets);
+            tally.assigned_flat() = assigned;
+            auto& cells = tally.cells();
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                cells[i].sdc = flat[i * 5 + 0];
+                cells[i].due = flat[i * 5 + 1];
+                cells[i].corrected = flat[i * 5 + 2];
+                cells[i].repairs = flat[i * 5 + 3];
+                cells[i].device_hours = flat[i * 5 + 4];
+            }
+            // First completion wins, mirroring the campaign journal.
+            replay.completed.emplace(index, std::move(tally));
+        } else {
+            throw RunError::io("fleet journal line " +
+                               std::to_string(line_no) + ": unknown kind \"" +
+                               kind + "\"");
+        }
+    }
+    if (!saw_header) {
+        throw RunError::config("fleet journal " + path +
+                               " has no header line — not a fleet journal");
+    }
+    return replay;
+}
+
+void validate_fleet_resume(const FleetReplay& replay,
+                           const ResolvedFleet& fleet,
+                           std::uint64_t chunk_devices) {
+    const FleetSpec& spec = fleet.spec();
+    const auto mismatch = [](const std::string& what) {
+        throw RunError::config("cannot resume fleet: journal " + what +
+                               " does not match the configured run");
+    };
+    if (replay.seed != spec.seed) mismatch("seed");
+    if (replay.devices != spec.devices) mismatch("devices");
+    if (replay.days != spec.days) mismatch("days");
+    if (replay.bucket_hours != spec.bucket_hours) mismatch("bucket_hours");
+    if (replay.acceleration != spec.acceleration) mismatch("acceleration");
+    if (replay.chunk_devices != chunk_devices) mismatch("chunk_devices");
+    if (replay.sites != fleet.site_count() ||
+        replay.classes != fleet.class_count() ||
+        replay.buckets != fleet.bucket_count()) {
+        mismatch("dimensions");
+    }
+    if (replay.fingerprint != spec_fingerprint(spec)) mismatch("fingerprint");
+    for (const auto& [index, tally] : replay.completed) {
+        (void)tally;
+        if (index >= replay.chunks) {
+            throw RunError::config(
+                "cannot resume fleet: journal chunk index " +
+                std::to_string(index) + " out of range");
+        }
+    }
+}
+
+}  // namespace tnr::fleet

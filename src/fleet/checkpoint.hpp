@@ -1,0 +1,75 @@
+#pragma once
+// Crash-safe fleet checkpointing, journal-compatible with the campaign's
+// (beam/journal.hpp): append-only JSON lines, one write+flush per line
+// under a mutex, strict replay with the single torn-tail exception. The
+// unit of work is the chunk — each line carries one chunk's integer tally
+// delta, and because the merged state is integral, replayed chunks merge
+// into a resumed run bit-for-bit, keeping resumed stdout identical to an
+// uninterrupted run.
+//
+// Line kinds:
+//   {"kind":"fleet-header", seed, devices, days, bucket_hours,
+//    acceleration, chunk_devices, chunks, sites, classes, buckets,
+//    fingerprint, version}
+//   {"kind":"chunk", index, assigned:[...], cells:[...]}  (flat uint64
+//    arrays: assigned is sites x classes, cells is sites x classes x
+//    buckets x 5 in sdc/due/corrected/repairs/device_hours order)
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "fleet/aggregator.hpp"
+#include "fleet/spec.hpp"
+
+namespace tnr::fleet {
+
+/// Thread-safe appender; shard workers call append_chunk concurrently.
+class FleetJournal {
+public:
+    /// Opens `path` for appending; `truncate` starts a fresh journal.
+    /// Throws core::RunError (kIo) when the file cannot be opened.
+    FleetJournal(const std::string& path, bool truncate);
+
+    void write_header(const ResolvedFleet& fleet,
+                      std::uint64_t chunk_devices);
+    void append_chunk(std::uint64_t index, const FleetTally& delta);
+
+private:
+    void append_line(const std::string& line);
+
+    std::mutex mutex_;
+    std::ofstream file_;
+    std::string path_;
+};
+
+/// What replay recovers.
+struct FleetReplay {
+    std::uint64_t seed = 0;
+    std::uint64_t devices = 0;
+    unsigned days = 0;
+    unsigned bucket_hours = 0;
+    double acceleration = 1.0;
+    std::uint64_t chunk_devices = 0;
+    std::uint64_t chunks = 0;
+    std::size_t sites = 0;
+    std::size_t classes = 0;
+    std::size_t buckets = 0;
+    std::string fingerprint;
+    std::map<std::uint64_t, FleetTally> completed;
+};
+
+/// Parses a fleet journal. Throws core::RunError — kIo for an unreadable
+/// file or malformed line, kConfig for a missing header.
+FleetReplay replay_fleet_journal(const std::string& path);
+
+/// Validates a replayed journal against the resuming run's resolved spec
+/// and chunk size; throws core::RunError (kConfig) on any mismatch (the
+/// shard count may differ — results are shard-invariant).
+void validate_fleet_resume(const FleetReplay& replay,
+                           const ResolvedFleet& fleet,
+                           std::uint64_t chunk_devices);
+
+}  // namespace tnr::fleet

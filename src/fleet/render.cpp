@@ -1,0 +1,161 @@
+#include "fleet/render.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/report.hpp"
+
+namespace tnr::fleet {
+
+namespace {
+
+void print_table(std::ostringstream& oss, const core::TablePrinter& table,
+                 bool csv) {
+    if (csv) {
+        table.print_csv(oss);
+    } else {
+        table.print(oss);
+    }
+}
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+std::string fit_cell(std::uint64_t count, std::uint64_t device_hours,
+                     double acceleration) {
+    if (device_hours == 0) return "-";
+    return core::format_fixed(fit_estimate(count, device_hours, acceleration),
+                              2);
+}
+
+std::string ci_cell(std::uint64_t count, std::uint64_t device_hours,
+                    double acceleration) {
+    if (device_hours == 0) return "-";
+    const auto ci = fit_interval(count, device_hours, acceleration);
+    return "[" + core::format_fixed(ci.lower, 2) + ", " +
+           core::format_fixed(ci.upper, 2) + "]";
+}
+
+}  // namespace
+
+std::string render_fleet_report(const ResolvedFleet& fleet,
+                                const FleetTally& tally,
+                                const FleetReportOptions& options) {
+    const FleetSpec& spec = fleet.spec();
+    const std::size_t S = fleet.site_count();
+    const std::size_t C = fleet.class_count();
+    const std::size_t B = fleet.bucket_count();
+    const double accel = spec.acceleration;
+
+    // Resolve the slice filter up front so an unknown name is a config
+    // error, not an empty report.
+    std::size_t slice_site = S;  // S = no filter.
+    if (!options.slice.empty()) {
+        for (std::size_t s = 0; s < S; ++s) {
+            if (spec.sites[s].site.system_name == options.slice) {
+                slice_site = s;
+                break;
+            }
+        }
+        if (slice_site == S) {
+            std::string known;
+            for (const auto& fs : spec.sites) {
+                if (!known.empty()) known += "|";
+                known += fs.site.system_name;
+            }
+            throw core::RunError::config("fleet: unknown slice site: " +
+                                         options.slice + " (use " + known +
+                                         ")");
+        }
+    }
+    const bool sliced = slice_site < S;
+
+    std::ostringstream oss;
+
+    core::TablePrinter summary({"quantity", "value"});
+    summary.add_row({"devices", u64(spec.devices)});
+    summary.add_row({"sites", u64(S)});
+    summary.add_row({"device classes", u64(C)});
+    summary.add_row({"days", u64(spec.days)});
+    summary.add_row({"bucket hours", u64(spec.bucket_hours)});
+    summary.add_row({"buckets", u64(B)});
+    summary.add_row({"seed", u64(spec.seed)});
+    summary.add_row({"acceleration", core::format_fixed(accel, 2)});
+    if (sliced) summary.add_row({"slice", options.slice});
+    print_table(oss, summary, options.csv);
+
+    oss << "\nper-site\n";
+    core::TablePrinter sites({"site", "devices", "Phi_th [n/cm^2/h]",
+                              "Phi_HE [n/cm^2/h]", "device-hours", "SDC",
+                              "DUE", "corrected", "repairs", "SDC FIT",
+                              "SDC FIT 95% CI", "DUE FIT",
+                              "DUE FIT 95% CI"});
+    for (std::size_t s = 0; s < S; ++s) {
+        if (sliced && s != slice_site) continue;
+        const CellTally total = tally.site_total(s);
+        const auto& site = spec.sites[s].site;
+        sites.add_row(
+            {site.system_name, u64(tally.site_assigned(s)),
+             core::format_scientific(site.thermal_flux(), 2),
+             core::format_scientific(site.high_energy_flux(), 2),
+             u64(total.device_hours), u64(total.sdc), u64(total.due),
+             u64(total.corrected), u64(total.repairs),
+             fit_cell(total.sdc, total.device_hours, accel),
+             ci_cell(total.sdc, total.device_hours, accel),
+             fit_cell(total.due, total.device_hours, accel),
+             ci_cell(total.due, total.device_hours, accel)});
+    }
+    print_table(oss, sites, options.csv);
+
+    oss << "\nper-class\n";
+    core::TablePrinter classes({"device class", "devices", "device-hours",
+                                "SDC", "DUE", "SDC FIT", "SDC FIT 95% CI",
+                                "DUE FIT", "DUE FIT 95% CI"});
+    for (std::size_t c = 0; c < C; ++c) {
+        CellTally total;
+        std::uint64_t assigned = 0;
+        if (sliced) {
+            total = tally.site_class_total(slice_site, c);
+            assigned = tally.assigned(slice_site, c);
+        } else {
+            total = tally.class_total(c);
+            assigned = tally.class_assigned(c);
+        }
+        classes.add_row({spec.mix[c].device, u64(assigned),
+                         u64(total.device_hours), u64(total.sdc),
+                         u64(total.due),
+                         fit_cell(total.sdc, total.device_hours, accel),
+                         ci_cell(total.sdc, total.device_hours, accel),
+                         fit_cell(total.due, total.device_hours, accel),
+                         ci_cell(total.due, total.device_hours, accel)});
+    }
+    print_table(oss, classes, options.csv);
+
+    oss << "\ntimeline\n";
+    core::TablePrinter timeline({"bucket", "start day", "rainy sites",
+                                 "device-hours", "SDC", "DUE", "corrected",
+                                 "repairs", "cum SDC", "cum DUE"});
+    std::uint64_t cum_sdc = 0;
+    std::uint64_t cum_due = 0;
+    for (std::size_t b = 0; b < B; ++b) {
+        const BucketInfo& bucket = fleet.bucket(b);
+        const CellTally total = sliced
+                                    ? tally.site_bucket_total(slice_site, b)
+                                    : tally.bucket_total(b);
+        std::uint64_t rainy_sites = 0;
+        for (std::size_t s = 0; s < S; ++s) {
+            if (sliced && s != slice_site) continue;
+            if (fleet.rainy(s, bucket.day)) ++rainy_sites;
+        }
+        cum_sdc += total.sdc;
+        cum_due += total.due;
+        timeline.add_row({u64(b), u64(bucket.day), u64(rainy_sites),
+                          u64(total.device_hours), u64(total.sdc),
+                          u64(total.due), u64(total.corrected),
+                          u64(total.repairs), u64(cum_sdc), u64(cum_due)});
+    }
+    print_table(oss, timeline, options.csv);
+
+    return oss.str();
+}
+
+}  // namespace tnr::fleet

@@ -1,0 +1,28 @@
+#pragma once
+// Renders a finished fleet study as the exact bytes `tnr fleet` writes to
+// stdout. The serve `fleet-slice` method calls the same function, so the
+// served response is byte-identical to the one-shot CLI output by
+// construction. The report deliberately contains no timing values, shard
+// counts, or chunk sizes — nothing that varies between equivalent runs —
+// which is what keeps it cacheable and bitwise shard-invariant.
+
+#include <string>
+
+#include "fleet/aggregator.hpp"
+#include "fleet/spec.hpp"
+
+namespace tnr::fleet {
+
+struct FleetReportOptions {
+    /// When non-empty, restrict the per-site row, the per-class table, and
+    /// the timeline to the named site (exact system_name match); unknown
+    /// names throw RunError(kConfig).
+    std::string slice;
+    bool csv = false;
+};
+
+std::string render_fleet_report(const ResolvedFleet& fleet,
+                                const FleetTally& tally,
+                                const FleetReportOptions& options);
+
+}  // namespace tnr::fleet

@@ -1,0 +1,193 @@
+#include "fleet/simulator.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/error.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/parallel/parallel_for.hpp"
+
+namespace tnr::fleet {
+
+namespace {
+
+namespace obs = core::obs;
+
+/// fleet.* telemetry, cached once (Registry::counter takes the registry
+/// mutex) and bumped at chunk granularity so the hot device loop stays
+/// instrument-free.
+struct Instruments {
+    obs::Counter& devices;
+    obs::Counter& chunks;
+    obs::Counter& sdc;
+    obs::Counter& due;
+    obs::Counter& corrected;
+    obs::Counter& repairs;
+    obs::LatencyHistogram& chunk_latency;
+
+    static Instruments& get() {
+        static Instruments in{
+            obs::Registry::global().counter("fleet.devices"),
+            obs::Registry::global().counter("fleet.chunks"),
+            obs::Registry::global().counter("fleet.events.sdc"),
+            obs::Registry::global().counter("fleet.events.due"),
+            obs::Registry::global().counter("fleet.events.corrected"),
+            obs::Registry::global().counter("fleet.events.repairs"),
+            obs::Registry::global().latency("fleet.chunk"),
+        };
+        return in;
+    }
+};
+
+/// Walks one device: assignment draws, then one Poisson draw per error
+/// type per bucket, folding into `tally`. All randomness comes from the
+/// device's own counter-derived stream, so the walk is independent of
+/// which shard or chunk invoked it.
+void walk_device(const ResolvedFleet& fleet, std::uint64_t index,
+                 FleetTally& tally) {
+    const FleetSpec& spec = fleet.spec();
+    stats::Rng rng = device_stream(spec.seed, index);
+    const std::size_t s = fleet.pick_site(rng.uniform());
+    const std::size_t c = fleet.pick_class(rng.uniform());
+    ++tally.assigned(s, c);
+
+    const SitePolicy& policy = spec.sites[s].policy;
+    const double survival = fleet.scrub_survival(s);
+    std::uint64_t offline_until_h = 0;
+
+    for (std::size_t b = 0; b < fleet.bucket_count(); ++b) {
+        const BucketInfo& bucket = fleet.bucket(b);
+        const std::uint64_t end_h = bucket.start_h + bucket.hours;
+        const std::uint64_t exposed_from =
+            std::max<std::uint64_t>(bucket.start_h, offline_until_h);
+        if (exposed_from >= end_h) continue;  // fully inside a repair window.
+        const std::uint64_t hours = end_h - exposed_from;
+
+        const bool rainy = fleet.rainy(s, bucket.day);
+        CellTally& cell = tally.cell(s, c, b);
+        cell.device_hours += hours;
+
+        const double h = static_cast<double>(hours);
+        const std::uint64_t raw_sdc = rng.poisson(
+            fleet.hourly_rate(s, c, rainy, devices::ErrorType::kSdc) * h);
+        // Scrub thinning: each latent fault independently survives to a
+        // consuming read with the site's survival probability.
+        std::uint64_t surviving = raw_sdc;
+        if (survival < 1.0) {
+            surviving = 0;
+            for (std::uint64_t k = 0; k < raw_sdc; ++k) {
+                if (rng.bernoulli(survival)) ++surviving;
+            }
+        }
+        cell.sdc += surviving;
+        cell.corrected += raw_sdc - surviving;
+
+        const std::uint64_t dues = rng.poisson(
+            fleet.hourly_rate(s, c, rainy, devices::ErrorType::kDue) * h);
+        cell.due += dues;
+        if (dues > 0 && policy.repair_hours > 0) {
+            // The device leaves service for repair at the end of the bucket
+            // that detected the DUE.
+            ++cell.repairs;
+            offline_until_h = end_h + policy.repair_hours;
+        }
+    }
+}
+
+}  // namespace
+
+std::uint64_t chunk_count(const FleetSpec& spec,
+                          std::uint64_t chunk_devices) {
+    const std::uint64_t chunk = std::max<std::uint64_t>(1, chunk_devices);
+    return (spec.devices + chunk - 1) / chunk;
+}
+
+FleetResult run_fleet(const ResolvedFleet& fleet,
+                      const FleetRunOptions& opts) {
+    const FleetSpec& spec = fleet.spec();
+    const std::uint64_t chunk_devices =
+        std::max<std::uint64_t>(1, opts.chunk_devices);
+    const std::uint64_t chunks = chunk_count(spec, chunk_devices);
+    const std::size_t S = fleet.site_count();
+    const std::size_t C = fleet.class_count();
+    const std::size_t B = fleet.bucket_count();
+    auto& instruments = Instruments::get();
+
+    FleetResult result;
+    result.chunks = chunks;
+
+    const auto is_replayed = [&](std::uint64_t chunk) {
+        return opts.completed != nullptr &&
+               opts.completed->find(chunk) != opts.completed->end();
+    };
+
+    // Contiguous shard ranges over the chunk index space. Each shard walks
+    // its range into a private tally; memory scales with the shard count,
+    // never with the fleet size.
+    const unsigned shards = core::parallel::resolve_threads(
+        opts.shards, chunks);
+    const std::uint64_t per_shard = (chunks + shards - 1) / shards;
+
+    auto shard_tallies = core::parallel::parallel_map<FleetTally>(
+        shards, shards,
+        [&](std::size_t shard) {
+            FleetTally tally(S, C, B);
+            const std::uint64_t begin = per_shard * shard;
+            const std::uint64_t end =
+                std::min<std::uint64_t>(chunks, begin + per_shard);
+            for (std::uint64_t chunk = begin; chunk < end; ++chunk) {
+                if (opts.cancel != nullptr && opts.cancel->cancelled()) break;
+                if (is_replayed(chunk)) continue;
+                const auto t0 = std::chrono::steady_clock::now();
+                FleetTally delta(S, C, B);
+                const std::uint64_t first = chunk * chunk_devices;
+                const std::uint64_t last =
+                    std::min<std::uint64_t>(spec.devices,
+                                            first + chunk_devices);
+                for (std::uint64_t i = first; i < last; ++i) {
+                    walk_device(fleet, i, delta);
+                }
+                const auto elapsed =
+                    std::chrono::steady_clock::now() - t0;
+                const CellTally chunk_total = delta.grand_total();
+                instruments.devices.add(last - first);
+                instruments.chunks.add(1);
+                instruments.sdc.add(chunk_total.sdc);
+                instruments.due.add(chunk_total.due);
+                instruments.corrected.add(chunk_total.corrected);
+                instruments.repairs.add(chunk_total.repairs);
+                instruments.chunk_latency.record_ns(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        elapsed)
+                        .count()));
+                if (opts.on_chunk_done) opts.on_chunk_done(chunk, delta);
+                tally.merge(delta);
+            }
+            return tally;
+        },
+        opts.cancel);
+
+    if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+        // Completed chunks reached the journal through on_chunk_done; a
+        // partial tally must never reach stdout.
+        throw core::RunError::cancelled("fleet run cancelled");
+    }
+
+    FleetTally merged(S, C, B);
+    for (const auto& shard_tally : shard_tallies) {
+        merged.merge(shard_tally);
+    }
+    result.simulated_chunks = chunks;
+    if (opts.completed != nullptr) {
+        for (const auto& [chunk, tally] : *opts.completed) {
+            if (chunk >= chunks) continue;  // validated earlier; belt.
+            merged.merge(tally);
+            ++result.replayed_chunks;
+        }
+        result.simulated_chunks -= result.replayed_chunks;
+    }
+    result.tally = std::move(merged);
+    return result;
+}
+
+}  // namespace tnr::fleet

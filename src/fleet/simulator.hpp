@@ -1,0 +1,55 @@
+#pragma once
+// The streaming fleet walk. The device range [0, devices) is cut into
+// fixed-size chunks (the unit of journaling and progress); chunks are
+// grouped into contiguous shard ranges and each shard folds its chunks
+// into a private FleetTally, one device at a time — per-device state lives
+// only in registers while that device is being walked. Shard tallies (and
+// any chunk tallies replayed from a journal) merge by integer addition, so
+// the result — and the rendered report — is bitwise invariant to the shard
+// count AND to the chunk size. Chunk tallies surface through on_chunk_done
+// for crash-safe checkpointing (fleet/checkpoint.hpp).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "core/parallel/cancel.hpp"
+#include "fleet/aggregator.hpp"
+#include "fleet/spec.hpp"
+
+namespace tnr::fleet {
+
+/// Default devices per chunk: small enough that a kill loses seconds of
+/// work, large enough that journal lines stay rare.
+inline constexpr std::uint64_t kDefaultChunkDevices = 65'536;
+
+struct FleetRunOptions {
+    unsigned shards = 1;  ///< worker count; 0 = pool default.
+    std::uint64_t chunk_devices = kDefaultChunkDevices;
+    const core::parallel::CancelToken* cancel = nullptr;
+    /// Chunk tallies replayed from a journal; these chunks are skipped by
+    /// the walk and their tallies merged into the result.
+    const std::map<std::uint64_t, FleetTally>* completed = nullptr;
+    /// Called from worker threads after each freshly simulated chunk (not
+    /// for replayed ones); the callee synchronizes (the journal holds a
+    /// mutex per append).
+    std::function<void(std::uint64_t chunk, const FleetTally& delta)>
+        on_chunk_done;
+};
+
+struct FleetResult {
+    FleetTally tally;
+    std::uint64_t chunks = 0;            ///< total chunks in the fleet.
+    std::uint64_t simulated_chunks = 0;  ///< walked this run.
+    std::uint64_t replayed_chunks = 0;   ///< merged from the journal.
+};
+
+/// Number of chunks a fleet of this spec splits into.
+std::uint64_t chunk_count(const FleetSpec& spec, std::uint64_t chunk_devices);
+
+/// Runs the walk. Throws RunError(kCancelled) when the token fires —
+/// completed chunks have already been journaled through on_chunk_done, so
+/// a subsequent --resume continues where the kill landed.
+FleetResult run_fleet(const ResolvedFleet& fleet, const FleetRunOptions& opts);
+
+}  // namespace tnr::fleet

@@ -1,0 +1,205 @@
+#include "fleet/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/fit.hpp"
+#include "core/obs/json.hpp"
+
+namespace tnr::fleet {
+
+namespace {
+
+using core::RunError;
+
+/// Domain-separation tags for the counter-based stream derivations; the
+/// values are arbitrary but fixed forever (changing one changes every
+/// result).
+constexpr std::uint64_t kDeviceStreamTag = 0x666c6565742d646dULL;  // "fleet-dm"
+constexpr std::uint64_t kWeatherTag = 0x666c6565742d7778ULL;       // "fleet-wx"
+
+std::uint64_t scramble(std::uint64_t x) {
+    return stats::SplitMix64(x).next();
+}
+
+std::vector<double> weight_cdf(const std::vector<double>& weights,
+                               const char* what) {
+    double total = 0.0;
+    for (const double w : weights) {
+        if (!(w > 0.0)) {
+            throw RunError::config(std::string("fleet: every ") + what +
+                                   " weight must be > 0");
+        }
+        total += w;
+    }
+    std::vector<double> cdf;
+    cdf.reserve(weights.size());
+    double acc = 0.0;
+    for (const double w : weights) {
+        acc += w;
+        cdf.push_back(acc / total);
+    }
+    cdf.back() = 1.0;  // guard against rounding shaving the last bin.
+    return cdf;
+}
+
+std::size_t pick(const std::vector<double>& cdf, double u) {
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+    const auto idx = static_cast<std::size_t>(it - cdf.begin());
+    return idx < cdf.size() ? idx : cdf.size() - 1;
+}
+
+}  // namespace
+
+void FleetSpec::validate() const {
+    if (devices == 0 || devices > 20'000'000ULL) {
+        throw RunError::config("fleet: devices must be in [1, 2e7]");
+    }
+    if (days == 0 || days > 3650) {
+        throw RunError::config("fleet: days must be in [1, 3650]");
+    }
+    if (bucket_hours == 0 || bucket_hours > total_hours()) {
+        throw RunError::config(
+            "fleet: bucket-hours must be in [1, days*24]");
+    }
+    if (!(acceleration > 0.0) || acceleration > 1e9) {
+        throw RunError::config("fleet: acceleration must be in (0, 1e9]");
+    }
+    if (sites.empty()) {
+        throw RunError::config("fleet: at least one site is required");
+    }
+    if (mix.empty()) {
+        throw RunError::config("fleet: at least one device class is required");
+    }
+    for (const auto& fs : sites) {
+        if (fs.policy.rain_probability < 0.0 ||
+            fs.policy.rain_probability > 1.0) {
+            throw RunError::config(
+                "fleet: rain probability must be in [0, 1]");
+        }
+        if (fs.policy.scrub_interval_h < 0.0) {
+            throw RunError::config("fleet: scrub interval must be >= 0");
+        }
+    }
+}
+
+std::string spec_fingerprint(const FleetSpec& spec) {
+    std::ostringstream oss;
+    oss << "v1;devices=" << spec.devices << ";days=" << spec.days
+        << ";bucket_h=" << spec.bucket_hours << ";seed=" << spec.seed
+        << ";accel=" << core::obs::json::number(spec.acceleration);
+    for (const auto& fs : spec.sites) {
+        oss << ";site=" << fs.site.system_name << "|w="
+            << core::obs::json::number(fs.weight) << "|phi_th="
+            << core::obs::json::number(fs.site.thermal_flux()) << "|phi_he="
+            << core::obs::json::number(fs.site.high_energy_flux()) << "|scrub="
+            << core::obs::json::number(fs.policy.scrub_interval_h)
+            << "|repair=" << fs.policy.repair_hours << "|rain="
+            << core::obs::json::number(fs.policy.rain_probability);
+    }
+    for (const auto& m : spec.mix) {
+        oss << ";class=" << m.device << "|w="
+            << core::obs::json::number(m.weight);
+    }
+    return oss.str();
+}
+
+stats::Rng device_stream(std::uint64_t seed, std::uint64_t device_index) {
+    // Two scramble rounds decorrelate neighbouring indices before the Rng
+    // constructor expands the state through SplitMix64 once more.
+    return stats::Rng(scramble(scramble(seed ^ kDeviceStreamTag) ^
+                               device_index));
+}
+
+ResolvedFleet::ResolvedFleet(FleetSpec spec) : spec_(std::move(spec)) {
+    spec_.validate();
+    const std::size_t S = spec_.sites.size();
+    const std::size_t C = spec_.mix.size();
+
+    devices_.reserve(C);
+    for (const auto& entry : spec_.mix) {
+        const devices::DeviceSpec* device_spec =
+            devices::try_spec_by_name(entry.device);
+        if (device_spec == nullptr) {
+            throw RunError::config("fleet: unknown device: " + entry.device +
+                                   " (see `tnr list-devices`)");
+        }
+        devices_.push_back(devices::build_calibrated(*device_spec));
+    }
+
+    // Timeline buckets; the last one may be partial.
+    const std::uint64_t total = spec_.total_hours();
+    buckets_.reserve(spec_.bucket_count());
+    for (std::uint64_t start = 0; start < total;
+         start += spec_.bucket_hours) {
+        BucketInfo b;
+        b.start_h = start;
+        b.hours = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(spec_.bucket_hours, total - start));
+        b.day = static_cast<std::uint32_t>(start / 24);
+        buckets_.push_back(b);
+    }
+
+    // Weather series: hash (seed, site, day) so every shard reconstructs
+    // the identical series without coordination.
+    rainy_.assign(S * spec_.days, 0);
+    for (std::size_t s = 0; s < S; ++s) {
+        const double p = spec_.sites[s].policy.rain_probability;
+        const std::uint64_t site_key =
+            scramble(scramble(spec_.seed ^ kWeatherTag) ^ s);
+        for (unsigned day = 0; day < spec_.days; ++day) {
+            stats::Rng rng(scramble(site_key ^ day));
+            rainy_[s * spec_.days + day] = rng.bernoulli(p) ? 1 : 0;
+        }
+    }
+
+    // Accelerated hourly event rates per (site, class, weather, type):
+    // FIT is events per 1e9 device-hours, so rate/h = FIT/1e9 x accel.
+    rates_.assign(S * C * 4, 0.0);
+    for (std::size_t s = 0; s < S; ++s) {
+        for (int w = 0; w < 2; ++w) {
+            environment::Site site = spec_.sites[s].site;
+            site.environment.weather = w == 1 ? environment::Weather::kRainy
+                                              : environment::Weather::kSunny;
+            for (std::size_t c = 0; c < C; ++c) {
+                for (const auto type :
+                     {devices::ErrorType::kSdc, devices::ErrorType::kDue}) {
+                    const std::size_t t =
+                        type == devices::ErrorType::kSdc ? 0 : 1;
+                    const double fit =
+                        core::device_fit(devices_[c], type, site).total();
+                    rates_[((s * C + c) * 2 + static_cast<std::size_t>(w)) *
+                               2 +
+                           t] = fit / 1e9 * spec_.acceleration;
+                }
+            }
+        }
+    }
+
+    scrub_survival_.resize(S);
+    for (std::size_t s = 0; s < S; ++s) {
+        const double interval = spec_.sites[s].policy.scrub_interval_h;
+        scrub_survival_[s] =
+            interval > 0.0 ? interval / (interval + kMeanConsumeHours) : 1.0;
+    }
+
+    std::vector<double> sw;
+    sw.reserve(S);
+    for (const auto& fs : spec_.sites) sw.push_back(fs.weight);
+    site_cdf_ = weight_cdf(sw, "site");
+    std::vector<double> cw;
+    cw.reserve(C);
+    for (const auto& m : spec_.mix) cw.push_back(m.weight);
+    class_cdf_ = weight_cdf(cw, "device-class");
+}
+
+std::size_t ResolvedFleet::pick_site(double u) const {
+    return pick(site_cdf_, u);
+}
+
+std::size_t ResolvedFleet::pick_class(double u) const {
+    return pick(class_cdf_, u);
+}
+
+}  // namespace tnr::fleet

@@ -1,0 +1,162 @@
+#pragma once
+// FleetSpec — the declarative description of a fleet-scale field study
+// (ROADMAP item: "simulate a datacenter, not a device"): which sites host
+// devices, which device classes populate them, how each site scrubs and
+// repairs, how long the study runs, and the single seed everything derives
+// from. A ResolvedFleet precomputes everything a shard needs to walk its
+// device range in constant memory: calibrated devices, per-(site, class,
+// weather, error-type) hourly event rates, the per-site daily weather
+// series, and assignment CDFs.
+//
+// Determinism contract: every random quantity is derived by counter-based
+// hashing from (seed, index) — a device's stream from its global device
+// index, a site's weather from (site, day) — never from shard-local state,
+// so results are bitwise invariant to the shard count and to the
+// journaling chunk size (tests/test_fleet.cpp pins this).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "devices/catalog.hpp"
+#include "devices/device.hpp"
+#include "environment/site.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::fleet {
+
+/// Per-site operational policy.
+struct SitePolicy {
+    /// Memory-scrub pass interval [h]; 0 disables scrubbing. A latent
+    /// corrupted word is consumed (becomes an SDC) only if it is read
+    /// before the next scrub pass; with a mean fault-to-consumption
+    /// residency of kMeanConsumeHours the survival probability is
+    /// scrub_interval_h / (scrub_interval_h + kMeanConsumeHours).
+    double scrub_interval_h = 0.0;
+    /// Hours a device is offline (no exposure) after a bucket with >= 1
+    /// DUE; 0 means DUEs are counted but never take the device down.
+    unsigned repair_hours = 0;
+    /// Probability that any given day at the site is rainy (thermal flux
+    /// doubled per the environment model).
+    double rain_probability = 0.0;
+};
+
+/// One installation hosting a share of the fleet.
+struct FleetSite {
+    environment::Site site;
+    double weight = 1.0;  ///< relative share of devices assigned here.
+    SitePolicy policy;
+};
+
+/// One device class in the fleet mix, by catalog name.
+struct DeviceMixEntry {
+    std::string device;
+    double weight = 1.0;
+};
+
+/// Mean latent-fault residency before consumption [h] for the scrub model.
+inline constexpr double kMeanConsumeHours = 24.0;
+
+/// The full study description. `validate()` throws RunError(kConfig) on
+/// nonsense (empty mix, zero devices, out-of-range probabilities, ...).
+struct FleetSpec {
+    std::uint64_t devices = 100'000;  ///< fleet size (1 .. 2e7).
+    unsigned days = 30;               ///< study length.
+    unsigned bucket_hours = 24;       ///< timeline resolution.
+    std::uint64_t seed = 2020;
+    /// Rate multiplier for accelerated studies (HOTNES-style): event rates
+    /// are scaled up by this factor during simulation and divided back out
+    /// of every reported FIT, so CIs tighten without changing the estimate.
+    double acceleration = 1.0;
+    std::vector<FleetSite> sites;
+    std::vector<DeviceMixEntry> mix;
+
+    void validate() const;
+
+    [[nodiscard]] std::uint64_t total_hours() const {
+        return static_cast<std::uint64_t>(days) * 24ULL;
+    }
+    [[nodiscard]] std::size_t bucket_count() const {
+        return static_cast<std::size_t>((total_hours() + bucket_hours - 1) /
+                                        bucket_hours);
+    }
+};
+
+/// A canonical one-line description of everything that shapes the result
+/// (sites, policies, mix, flux overrides) — journal headers store it and
+/// --resume compares it, so a resumed run cannot silently continue a
+/// different study.
+std::string spec_fingerprint(const FleetSpec& spec);
+
+/// One timeline bucket: [start_h, start_h + hours), inheriting the weather
+/// of the day containing start_h.
+struct BucketInfo {
+    std::uint64_t start_h = 0;
+    std::uint32_t hours = 0;
+    std::uint32_t day = 0;
+};
+
+/// The per-device RNG stream: counter-based pre-split keyed on the global
+/// device index (the PR 3 device-major scheme extended so any shard opens
+/// any device's stream in O(1) instead of splitting serially).
+stats::Rng device_stream(std::uint64_t seed, std::uint64_t device_index);
+
+/// Everything precomputed once per run; immutable during the walk so
+/// shards share one instance without synchronization.
+class ResolvedFleet {
+public:
+    /// Validates and resolves; throws RunError(kConfig) for an invalid
+    /// spec or an unknown catalog device name.
+    explicit ResolvedFleet(FleetSpec spec);
+
+    [[nodiscard]] const FleetSpec& spec() const noexcept { return spec_; }
+    [[nodiscard]] std::size_t site_count() const noexcept {
+        return spec_.sites.size();
+    }
+    [[nodiscard]] std::size_t class_count() const noexcept {
+        return spec_.mix.size();
+    }
+    [[nodiscard]] std::size_t bucket_count() const noexcept {
+        return buckets_.size();
+    }
+    [[nodiscard]] const BucketInfo& bucket(std::size_t b) const {
+        return buckets_[b];
+    }
+    [[nodiscard]] const devices::Device& device_class(std::size_t c) const {
+        return devices_[c];
+    }
+
+    /// Weather series: was day `day` rainy at site `s`? Derived by hashing
+    /// (seed, site, day) — identical for every shard that asks.
+    [[nodiscard]] bool rainy(std::size_t s, std::uint32_t day) const {
+        return rainy_[s * spec_.days + day] != 0;
+    }
+
+    /// Accelerated event rate [events / device-hour] for one cell.
+    [[nodiscard]] double hourly_rate(std::size_t s, std::size_t c, bool rainy,
+                                     devices::ErrorType type) const {
+        const std::size_t t = type == devices::ErrorType::kSdc ? 0 : 1;
+        return rates_[((s * class_count() + c) * 2 + (rainy ? 1 : 0)) * 2 + t];
+    }
+
+    /// P(latent fault survives scrubbing) at site `s`.
+    [[nodiscard]] double scrub_survival(std::size_t s) const {
+        return scrub_survival_[s];
+    }
+
+    /// Weighted assignment from a uniform draw in [0, 1).
+    [[nodiscard]] std::size_t pick_site(double u) const;
+    [[nodiscard]] std::size_t pick_class(double u) const;
+
+private:
+    FleetSpec spec_;
+    std::vector<devices::Device> devices_;
+    std::vector<BucketInfo> buckets_;
+    std::vector<std::uint8_t> rainy_;     ///< sites x days.
+    std::vector<double> rates_;           ///< sites x classes x 2 x 2.
+    std::vector<double> scrub_survival_;  ///< per site.
+    std::vector<double> site_cdf_;
+    std::vector<double> class_cdf_;
+};
+
+}  // namespace tnr::fleet

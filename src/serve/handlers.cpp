@@ -13,6 +13,8 @@
 #include "detector/analysis.hpp"
 #include "detector/tin2.hpp"
 #include "devices/catalog.hpp"
+#include "fleet/render.hpp"
+#include "fleet/simulator.hpp"
 #include "physics/materials.hpp"
 #include "physics/transport.hpp"
 #include "stats/rng.hpp"
@@ -91,12 +93,17 @@ void apply_transport_knobs(physics::TransportConfig& cfg,
 }
 
 environment::Site site_by_name(const std::string& name, bool rainy) {
-    environment::Site site = [&] {
-        if (name == "nyc") return environment::nyc_datacenter();
-        if (name == "leadville") return environment::leadville_datacenter();
-        throw core::RunError::config("unknown site: " + name +
-                                     " (use nyc|leadville)");
-    }();
+    const environment::Site* found = environment::site_by_slug(name);
+    if (found == nullptr) {
+        std::string slugs;
+        for (const auto& slug : environment::site_slugs()) {
+            if (!slugs.empty()) slugs += "|";
+            slugs += slug;
+        }
+        throw core::RunError::config("unknown site: " + name + " (use " +
+                                     slugs + ")");
+    }
+    environment::Site site = *found;
     if (rainy) site.environment.weather = environment::Weather::kRainy;
     return site;
 }
@@ -238,6 +245,108 @@ std::string render_campaign_slice(const SliceParams& params,
         devices::build_calibrated(devices::spec_by_name(params.device));
     const auto result = beam::Campaign(cfg).run({device});
     return render_ratio_table(result, params.campaign.csv);
+}
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& text) {
+    std::vector<std::string> parts;
+    std::string current;
+    for (const char ch : text) {
+        if (ch == ',') {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current += ch;
+        }
+    }
+    parts.push_back(current);
+    return parts;
+}
+
+/// Parses "Name" or "Name:weight"; the name may contain spaces and colons
+/// never appear in catalog names, so the last ':' splits the weight.
+std::pair<std::string, double> parse_weighted(const std::string& entry,
+                                              const char* context) {
+    const auto colon = entry.rfind(':');
+    if (colon == std::string::npos) return {entry, 1.0};
+    const std::string name = entry.substr(0, colon);
+    const std::string weight_text = entry.substr(colon + 1);
+    try {
+        std::size_t used = 0;
+        const double weight = std::stod(weight_text, &used);
+        if (used != weight_text.size() || !(weight > 0.0)) {
+            throw std::invalid_argument(weight_text);
+        }
+        return {name, weight};
+    } catch (const std::exception&) {
+        throw core::RunError::config(std::string(context) +
+                                     ": bad weight in \"" + entry + "\"");
+    }
+}
+
+}  // namespace
+
+fleet::FleetSpec make_fleet_spec(const FleetParams& params) {
+    fleet::FleetSpec spec;
+    spec.devices = params.devices;
+    spec.days = params.days;
+    spec.bucket_hours = params.bucket_hours;
+    spec.seed = params.seed;
+    spec.acceleration = params.acceleration;
+
+    fleet::SitePolicy policy;
+    policy.scrub_interval_h = params.scrub_hours;
+    policy.repair_hours = params.repair_hours;
+    policy.rain_probability = params.rain_probability;
+
+    if (params.sites == "top10") {
+        for (const auto& site : environment::top10_supercomputers()) {
+            spec.sites.push_back({site, 1.0, policy});
+        }
+    } else {
+        for (const auto& entry : split_list(params.sites)) {
+            const auto [slug, weight] = parse_weighted(entry, "fleet sites");
+            const environment::Site* site = environment::site_by_slug(slug);
+            if (site == nullptr) {
+                std::string slugs = "top10";
+                for (const auto& s : environment::site_slugs()) {
+                    slugs += "|" + s;
+                }
+                throw core::RunError::config("fleet: unknown site: " + slug +
+                                             " (use " + slugs + ")");
+            }
+            spec.sites.push_back({*site, weight, policy});
+        }
+    }
+
+    if (params.mix == "standard") {
+        for (const auto& device_spec : devices::standard_specs()) {
+            spec.mix.push_back({device_spec.name, 1.0});
+        }
+    } else {
+        for (const auto& entry : split_list(params.mix)) {
+            const auto [name, weight] = parse_weighted(entry, "fleet mix");
+            if (!devices::try_spec_by_name(name)) {
+                throw core::RunError::config("fleet: unknown device: " + name);
+            }
+            spec.mix.push_back({name, weight});
+        }
+    }
+    return spec;
+}
+
+std::string render_fleet(const FleetParams& params,
+                         const core::parallel::CancelToken* cancel) {
+    const fleet::ResolvedFleet resolved(make_fleet_spec(params));
+    fleet::FleetRunOptions options;
+    options.shards = params.shards;
+    options.cancel = cancel;
+    const auto result = fleet::run_fleet(resolved, options);
+    fleet::FleetReportOptions report;
+    report.slice = params.slice;
+    report.csv = params.csv;
+    return fleet::render_fleet_report(resolved, result.tally, report);
 }
 
 namespace {

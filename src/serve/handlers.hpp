@@ -12,6 +12,7 @@
 #include "beam/campaign.hpp"
 #include "core/parallel/cancel.hpp"
 #include "environment/site.hpp"
+#include "fleet/spec.hpp"
 #include "physics/transport.hpp"
 
 namespace tnr::serve {
@@ -116,6 +117,36 @@ struct SliceParams {
 };
 std::string render_campaign_slice(const SliceParams& params,
                                   const core::parallel::CancelToken* cancel);
+
+/// Fleet parameters shared by `tnr fleet` and the `fleet-slice` handler
+/// (defaults match the CLI flags). `sites` is "top10" or a comma list of
+/// site slugs (nyc|leadville|star-hall|hotnes); `mix` is "standard" (the
+/// whole calibrated roster, equal weights) or "Name:weight,Name:weight"
+/// with catalog device names. The report is bitwise invariant to `shards`,
+/// which only sets worker parallelism.
+struct FleetParams {
+    std::uint64_t devices = 100'000;
+    unsigned days = 30;
+    unsigned bucket_hours = 24;
+    std::uint64_t seed = 2020;
+    double acceleration = 1.0;
+    std::string sites = "top10";
+    std::string mix = "standard";
+    double scrub_hours = 0.0;
+    unsigned repair_hours = 0;
+    double rain_probability = 0.25;
+    unsigned shards = 1;
+    std::string slice;  ///< optional site filter (exact system name).
+    bool csv = false;
+};
+
+/// Builds the FleetSpec both layers run; throws RunError(kConfig) for an
+/// unknown site slug, device name, or malformed mix/sites string.
+fleet::FleetSpec make_fleet_spec(const FleetParams& params);
+
+/// `fleet-slice` / `tnr fleet`: resolve, run, render.
+std::string render_fleet(const FleetParams& params,
+                         const core::parallel::CancelToken* cancel = nullptr);
 
 /// Live server state the introspection renderers cannot read from the
 /// metrics registry; Server::serve fills one per stats/health request.

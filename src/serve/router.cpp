@@ -100,8 +100,9 @@ CampaignParams campaign_params(const Params& params) {
 
 const std::vector<std::string>& method_names() {
     static const std::vector<std::string> names = {
-        "fit",      "sigma-ratio",  "campaign-slice", "detector",
-        "list-devices", "transmission", "stats",      "health"};
+        "fit",      "sigma-ratio",  "campaign-slice", "fleet-slice",
+        "detector", "list-devices", "transmission",   "stats",
+        "health"};
     return names;
 }
 
@@ -127,7 +128,7 @@ const std::string& method_hint() {
 
 Priority method_priority(const std::string& method) {
     if (method == "sigma-ratio" || method == "campaign-slice" ||
-        method == "transmission") {
+        method == "fleet-slice" || method == "transmission") {
         return Priority::kBatch;
     }
     return Priority::kInteractive;
@@ -194,6 +195,34 @@ std::string dispatch(const Request& req,
         slice.device = params.get_string("device", "");
         slice.campaign = campaign_params(params);
         return render_campaign_slice(slice, cancel);
+    }
+    if (req.method == "fleet-slice") {
+        const Params params(req,
+                            {"devices", "days", "bucket-hours", "seed",
+                             "acceleration", "sites", "mix", "scrub-hours",
+                             "repair-hours", "rain-prob", "shards", "slice",
+                             "csv"});
+        FleetParams fp;
+        fp.devices = params.get_seed("devices", fp.devices);
+        fp.days = static_cast<unsigned>(std::max(
+            0.0, params.get_number("days", fp.days)));
+        fp.bucket_hours = static_cast<unsigned>(std::max(
+            0.0, params.get_number("bucket-hours", fp.bucket_hours)));
+        fp.seed = params.get_seed("seed", fp.seed);
+        fp.acceleration =
+            params.get_number("acceleration", fp.acceleration);
+        fp.sites = params.get_string("sites", fp.sites);
+        fp.mix = params.get_string("mix", fp.mix);
+        fp.scrub_hours = params.get_number("scrub-hours", fp.scrub_hours);
+        fp.repair_hours = static_cast<unsigned>(std::max(
+            0.0, params.get_number("repair-hours", fp.repair_hours)));
+        fp.rain_probability =
+            params.get_number("rain-prob", fp.rain_probability);
+        fp.shards = static_cast<unsigned>(std::max(
+            0.0, params.get_number("shards", fp.shards)));
+        fp.slice = params.get_string("slice", fp.slice);
+        fp.csv = params.get_bool("csv", fp.csv);
+        return render_fleet(fp, cancel);
     }
     if (introspection_method(req.method)) {
         // stats/health read live server state (uptime, inflight) the router

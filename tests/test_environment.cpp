@@ -88,10 +88,32 @@ TEST(Modifiers, RainDoubles) {
     EXPECT_DOUBLE_EQ(env.thermal_multiplier(), 2.0);
 }
 
-TEST(Modifiers, RainMultipliesMaterials) {
+TEST(Modifiers, RainScalesAmbientOnly) {
+    // Regression for the double-application audit: rain replaces the
+    // open-field ambient term (1.0 -> 2.0) and the material boosts add on
+    // top, because back-scatter scales with the fast flux, which rain does
+    // not change. A rainy datacenter is 2.0 + 0.44 = 2.44, not
+    // (1 + 0.44) x 2 = 2.88.
     ThermalEnvironment env = ThermalEnvironment::datacenter();
     env.weather = Weather::kRainy;
-    EXPECT_DOUBLE_EQ(env.thermal_multiplier(), 2.88);
+    EXPECT_DOUBLE_EQ(env.thermal_multiplier(), 2.44);
+}
+
+TEST(Modifiers, TripleCompositionNoDoubleApplication) {
+    // Every modifier composes additively against one ambient term: the
+    // rainy + water-cooled + extra-material case is 2.0 + 0.24 + 0.10,
+    // never a product of per-modifier factors.
+    ThermalEnvironment env;
+    env.weather = Weather::kRainy;
+    env.water_cooling = true;
+    env.extra_material_boost = 0.10;
+    EXPECT_DOUBLE_EQ(env.thermal_multiplier(), 2.34);
+
+    // Sunny counterpart differs by exactly the ambient delta (+1.0).
+    ThermalEnvironment sunny = env;
+    sunny.weather = Weather::kSunny;
+    EXPECT_DOUBLE_EQ(env.thermal_multiplier() - sunny.thermal_multiplier(),
+                     1.0);
 }
 
 TEST(Modifiers, ExtraMaterialBoost) {
@@ -109,6 +131,31 @@ TEST(Site, ThermalFluxIncludesEnvironment) {
     const Site site = nyc_datacenter();
     EXPECT_NEAR(site.thermal_flux(),
                 kSeaLevelThermalFlux * 1.44, 0.05);
+}
+
+TEST(Site, StarHallPinsAdoptedFlux) {
+    // docs/fleet.md: adopted thermal flux for the BNL STAR hall
+    // (arXiv:1310.2495). The override bypasses the location model.
+    const Site* star = site_by_slug("star-hall");
+    ASSERT_NE(star, nullptr);
+    EXPECT_DOUBLE_EQ(star->thermal_flux(), 4.3e4);
+    EXPECT_GT(star->high_energy_flux(), 0.0);  // HE still from location.
+}
+
+TEST(Site, HotnesPinsAdoptedFlux) {
+    // docs/fleet.md: HOTNES thermal chamber (arXiv:1802.08132) — a pure
+    // thermal source, so the high-energy flux is pinned to zero.
+    const Site* hotnes = site_by_slug("hotnes");
+    ASSERT_NE(hotnes, nullptr);
+    EXPECT_DOUBLE_EQ(hotnes->thermal_flux(), 2.52e6);
+    EXPECT_DOUBLE_EQ(hotnes->high_energy_flux(), 0.0);
+}
+
+TEST(Site, SlugLookupCoversAllSlugs) {
+    for (const std::string& slug : site_slugs()) {
+        EXPECT_NE(site_by_slug(slug), nullptr) << slug;
+    }
+    EXPECT_EQ(site_by_slug("atlantis"), nullptr);
 }
 
 TEST(Site, LeadvilleDatacenterHotterThanNyc) {

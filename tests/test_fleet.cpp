@@ -1,0 +1,480 @@
+// Tests for the streaming fleet simulator (src/fleet): aggregator merge
+// algebra, Poisson CI correctness against the closed form, the bitwise
+// shard/chunk invariance contract, scrub/repair policy effects, journal
+// resume identity, and CLI/serve byte identity.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "core/error.hpp"
+#include "fleet/aggregator.hpp"
+#include "fleet/checkpoint.hpp"
+#include "fleet/render.hpp"
+#include "fleet/simulator.hpp"
+#include "fleet/spec.hpp"
+#include "serve/handlers.hpp"
+#include "stats/poisson.hpp"
+#include "stats/rng.hpp"
+
+namespace tnr::fleet {
+namespace {
+
+// --- Fixtures ---------------------------------------------------------------
+
+/// A small but non-trivial study: two sites with different policies, two
+/// device classes, sub-daily buckets, accelerated so events are plentiful.
+FleetSpec small_spec() {
+    FleetSpec spec;
+    spec.devices = 3'000;
+    spec.days = 5;
+    spec.bucket_hours = 12;
+    spec.seed = 99;
+    spec.acceleration = 2'000.0;
+    FleetSite nyc{environment::nyc_datacenter(), 2.0, {}};
+    nyc.policy.scrub_interval_h = 12.0;
+    nyc.policy.repair_hours = 24;
+    nyc.policy.rain_probability = 0.3;
+    spec.sites.push_back(nyc);
+    spec.sites.push_back({environment::star_hall(), 1.0, {}});
+    spec.mix.push_back({"NVIDIA K20", 2.0});
+    spec.mix.push_back({"Intel Xeon Phi", 1.0});
+    return spec;
+}
+
+FleetTally random_tally(std::uint64_t seed, std::size_t sites = 2,
+                        std::size_t classes = 3, std::size_t buckets = 4) {
+    FleetTally tally(sites, classes, buckets);
+    stats::Rng rng(seed);
+    for (auto& cell : tally.cells()) {
+        cell.sdc = rng.uniform_index(100);
+        cell.due = rng.uniform_index(100);
+        cell.corrected = rng.uniform_index(100);
+        cell.repairs = rng.uniform_index(10);
+        cell.device_hours = rng.uniform_index(100'000);
+    }
+    for (auto& a : tally.assigned_flat()) a = rng.uniform_index(1'000);
+    return tally;
+}
+
+// --- Aggregator algebra -----------------------------------------------------
+
+TEST(FleetAggregator, MergeIsAssociative) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const FleetTally a = random_tally(seed);
+        const FleetTally b = random_tally(seed + 100);
+        const FleetTally c = random_tally(seed + 200);
+
+        FleetTally left = a;   // (a + b) + c
+        left.merge(b);
+        left.merge(c);
+        FleetTally bc = b;     // a + (b + c)
+        bc.merge(c);
+        FleetTally right = a;
+        right.merge(bc);
+        EXPECT_EQ(left, right) << "seed " << seed;
+    }
+}
+
+TEST(FleetAggregator, MergeIsCommutative) {
+    const FleetTally a = random_tally(7);
+    const FleetTally b = random_tally(8);
+    FleetTally ab = a;
+    ab.merge(b);
+    FleetTally ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab, ba);
+}
+
+TEST(FleetAggregator, MergingEmptyShellIsNoOp) {
+    const FleetTally a = random_tally(11);
+    FleetTally merged = a;
+    merged.merge(FleetTally{});  // default-constructed placeholder slot.
+    EXPECT_EQ(merged, a);
+
+    FleetTally shell;  // and folding INTO a shell adopts the other side.
+    shell.merge(a);
+    EXPECT_EQ(shell, a);
+}
+
+TEST(FleetAggregator, MergeRejectsMismatchedDimensions) {
+    FleetTally a(2, 3, 4);
+    const FleetTally b(2, 3, 5);
+    EXPECT_THROW(a.merge(b), core::RunError);
+}
+
+TEST(FleetAggregator, MarginalsSumTheLattice) {
+    const FleetTally t = random_tally(13);
+    CellTally by_site;
+    for (std::size_t s = 0; s < t.sites(); ++s) by_site.add(t.site_total(s));
+    CellTally by_class;
+    for (std::size_t c = 0; c < t.classes(); ++c) {
+        by_class.add(t.class_total(c));
+    }
+    CellTally by_bucket;
+    for (std::size_t b = 0; b < t.buckets(); ++b) {
+        by_bucket.add(t.bucket_total(b));
+    }
+    const CellTally grand = t.grand_total();
+    EXPECT_EQ(by_site, grand);
+    EXPECT_EQ(by_class, grand);
+    EXPECT_EQ(by_bucket, grand);
+}
+
+// --- Poisson CI correctness -------------------------------------------------
+
+TEST(FleetAggregator, FitIntervalMatchesClosedForm) {
+    // fit_interval is poisson_rate_interval with exposure in units of 1e9
+    // accelerated device-hours, so the interval lands directly in FIT.
+    const std::uint64_t count = 42;
+    const std::uint64_t device_hours = 1'000'000;
+    const double accel = 50.0;
+    const stats::Interval got = fit_interval(count, device_hours, accel);
+    const stats::Interval want = stats::poisson_rate_interval(
+        count, static_cast<double>(device_hours) * accel / 1e9);
+    EXPECT_DOUBLE_EQ(got.lower, want.lower);
+    EXPECT_DOUBLE_EQ(got.upper, want.upper);
+
+    const double estimate = fit_estimate(count, device_hours, accel);
+    EXPECT_NEAR(estimate,
+                static_cast<double>(count) /
+                    (static_cast<double>(device_hours) * accel / 1e9),
+                1e-9);
+    EXPECT_TRUE(got.contains(estimate));
+
+    // Garwood relation to the mean interval: rate CI = mean CI / exposure.
+    const stats::Interval mean = stats::poisson_mean_interval(count);
+    const double exposure =
+        static_cast<double>(device_hours) * accel / 1e9;
+    EXPECT_NEAR(got.lower, mean.lower / exposure, 1e-9 * got.lower);
+    EXPECT_NEAR(got.upper, mean.upper / exposure, 1e-9 * got.upper);
+}
+
+TEST(FleetAggregator, FitIntervalZeroExposureIsEmpty) {
+    const stats::Interval got = fit_interval(5, 0, 1.0);
+    EXPECT_DOUBLE_EQ(got.lower, 0.0);
+    EXPECT_DOUBLE_EQ(got.upper, 0.0);
+    EXPECT_DOUBLE_EQ(fit_estimate(5, 0, 1.0), 0.0);
+}
+
+TEST(FleetAggregator, FitIntervalZeroCountLowerBoundIsZero) {
+    const stats::Interval got = fit_interval(0, 1'000'000, 1.0);
+    EXPECT_DOUBLE_EQ(got.lower, 0.0);
+    EXPECT_GT(got.upper, 0.0);
+}
+
+// --- Determinism and invariance ---------------------------------------------
+
+TEST(FleetSimulator, ShardCountIsBitwiseInvariant) {
+    const ResolvedFleet fleet(small_spec());
+    FleetRunOptions one;
+    one.shards = 1;
+    one.chunk_devices = 256;  // 12 chunks, so shards have real ranges.
+    const FleetResult r1 = run_fleet(fleet, one);
+    for (const unsigned shards : {4u, 7u}) {
+        FleetRunOptions opts;
+        opts.shards = shards;
+        opts.chunk_devices = 256;
+        const FleetResult rn = run_fleet(fleet, opts);
+        EXPECT_EQ(r1.tally, rn.tally) << shards << " shards";
+        EXPECT_EQ(render_fleet_report(fleet, r1.tally, {}),
+                  render_fleet_report(fleet, rn.tally, {}))
+            << shards << " shards";
+    }
+}
+
+TEST(FleetSimulator, ChunkSizeIsBitwiseInvariant) {
+    const ResolvedFleet fleet(small_spec());
+    FleetRunOptions big;
+    big.chunk_devices = kDefaultChunkDevices;
+    const FleetResult base = run_fleet(fleet, big);
+    for (const std::uint64_t chunk : {1'000ULL, 777ULL}) {
+        FleetRunOptions opts;
+        opts.shards = 3;
+        opts.chunk_devices = chunk;
+        const FleetResult r = run_fleet(fleet, opts);
+        EXPECT_EQ(base.tally, r.tally) << "chunk_devices " << chunk;
+    }
+}
+
+TEST(FleetSimulator, SameSeedSameResultDifferentSeedDifferent) {
+    const ResolvedFleet fleet(small_spec());
+    const FleetResult a = run_fleet(fleet, {});
+    const FleetResult b = run_fleet(fleet, {});
+    EXPECT_EQ(a.tally, b.tally);
+
+    FleetSpec reseeded = small_spec();
+    reseeded.seed = 100;
+    const ResolvedFleet other(reseeded);
+    const FleetResult c = run_fleet(other, {});
+    EXPECT_NE(a.tally, c.tally);
+}
+
+TEST(FleetSimulator, DeviceStreamIsCounterBased) {
+    // Opening a device's stream is pure in (seed, index): no serial
+    // splitting, so any shard reconstructs any stream identically.
+    stats::Rng a = device_stream(2020, 1'234'567);
+    stats::Rng b = device_stream(2020, 1'234'567);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    }
+    stats::Rng c = device_stream(2020, 1'234'568);
+    EXPECT_NE(device_stream(2020, 1'234'567).uniform(), c.uniform());
+}
+
+TEST(FleetSimulator, WeatherSeriesTracksRainProbability) {
+    FleetSpec spec = small_spec();
+    spec.days = 365;
+    spec.sites[0].policy.rain_probability = 0.25;
+    const ResolvedFleet fleet(spec);
+    unsigned rainy_days = 0;
+    for (std::uint32_t day = 0; day < spec.days; ++day) {
+        rainy_days += fleet.rainy(0, day) ? 1 : 0;
+        EXPECT_FALSE(fleet.rainy(1, day));  // site 1 has p = 0.
+    }
+    const double frac = static_cast<double>(rainy_days) / spec.days;
+    EXPECT_GT(frac, 0.15);
+    EXPECT_LT(frac, 0.35);
+}
+
+TEST(FleetSimulator, ConservationOfDevicesAndExposure) {
+    const FleetSpec spec = small_spec();
+    const ResolvedFleet fleet(spec);
+    const FleetResult r = run_fleet(fleet, {});
+    EXPECT_EQ(r.tally.total_assigned(), spec.devices);
+    // Exposure can only be lost to repair downtime, never gained.
+    const std::uint64_t full =
+        spec.devices * spec.days * 24ULL;
+    EXPECT_LE(r.tally.grand_total().device_hours, full);
+    EXPECT_GT(r.tally.grand_total().device_hours, 0u);
+}
+
+// --- Policy effects ---------------------------------------------------------
+
+TEST(FleetSimulator, ScrubbingCorrectsAndThinsSdc) {
+    FleetSpec off = small_spec();
+    off.sites[0].policy.scrub_interval_h = 0.0;  // scrubbing off everywhere.
+    off.sites[0].policy.repair_hours = 0;
+    off.sites[1].policy.scrub_interval_h = 0.0;
+    const FleetResult r_off = run_fleet(ResolvedFleet(off), {});
+    EXPECT_EQ(r_off.tally.grand_total().corrected, 0u);
+
+    FleetSpec on = off;
+    on.sites[0].policy.scrub_interval_h = 6.0;
+    on.sites[1].policy.scrub_interval_h = 6.0;
+    const FleetResult r_on = run_fleet(ResolvedFleet(on), {});
+    EXPECT_GT(r_on.tally.grand_total().corrected, 0u);
+    EXPECT_LT(r_on.tally.grand_total().sdc, r_off.tally.grand_total().sdc);
+    // Scrubbing intercepts latent faults on their way to a consuming read;
+    // it does not suppress the arrivals themselves, so faults seen (SDC +
+    // corrected) stay in the same ballpark as the unscrubbed SDC count.
+    const double seen = static_cast<double>(
+        r_on.tally.grand_total().sdc + r_on.tally.grand_total().corrected);
+    const double unscrubbed =
+        static_cast<double>(r_off.tally.grand_total().sdc);
+    EXPECT_GT(seen, 0.8 * unscrubbed);
+    EXPECT_LT(seen, 1.2 * unscrubbed);
+}
+
+TEST(FleetSimulator, RepairTakesDevicesOffline) {
+    FleetSpec no_repair = small_spec();
+    no_repair.sites[0].policy.repair_hours = 0;
+    no_repair.sites[1].policy.repair_hours = 0;
+    const FleetResult r_none = run_fleet(ResolvedFleet(no_repair), {});
+    EXPECT_EQ(r_none.tally.grand_total().repairs, 0u);
+
+    FleetSpec repair = no_repair;
+    repair.sites[0].policy.repair_hours = 48;
+    repair.sites[1].policy.repair_hours = 48;
+    const FleetResult r_some = run_fleet(ResolvedFleet(repair), {});
+    EXPECT_GT(r_some.tally.grand_total().repairs, 0u);
+    EXPECT_LT(r_some.tally.grand_total().device_hours,
+              r_none.tally.grand_total().device_hours);
+}
+
+// --- Spec validation --------------------------------------------------------
+
+TEST(FleetSpecValidation, RejectsNonsense) {
+    FleetSpec spec = small_spec();
+    spec.devices = 0;
+    EXPECT_THROW(ResolvedFleet{spec}, core::RunError);
+    spec = small_spec();
+    spec.mix.clear();
+    EXPECT_THROW(ResolvedFleet{spec}, core::RunError);
+    spec = small_spec();
+    spec.sites[0].policy.rain_probability = 1.5;
+    EXPECT_THROW(ResolvedFleet{spec}, core::RunError);
+    spec = small_spec();
+    spec.mix[0].device = "No Such Device";
+    EXPECT_THROW(ResolvedFleet{spec}, core::RunError);
+    spec = small_spec();
+    spec.acceleration = 0.0;
+    EXPECT_THROW(ResolvedFleet{spec}, core::RunError);
+}
+
+TEST(FleetSpecValidation, FingerprintSeesPolicyChanges) {
+    const FleetSpec a = small_spec();
+    FleetSpec b = small_spec();
+    b.sites[0].policy.scrub_interval_h += 1.0;
+    EXPECT_NE(spec_fingerprint(a), spec_fingerprint(b));
+    EXPECT_EQ(spec_fingerprint(a), spec_fingerprint(small_spec()));
+}
+
+// --- Journal / resume -------------------------------------------------------
+
+std::string temp_journal_path(const char* tag) {
+    return (std::filesystem::temp_directory_path() /
+            (std::string("tnr_fleet_test_") + tag + ".jsonl"))
+        .string();
+}
+
+TEST(FleetJournalTest, ResumeReproducesUninterruptedRunBitwise) {
+    const FleetSpec spec = small_spec();
+    const ResolvedFleet fleet(spec);
+    const std::uint64_t chunk_devices = 500;
+
+    FleetRunOptions direct;
+    direct.chunk_devices = chunk_devices;
+    const FleetResult base = run_fleet(fleet, direct);
+
+    // Journal a full run, then pretend the process died after 3 chunks by
+    // replaying only a truncated prefix.
+    const std::string path = temp_journal_path("resume");
+    {
+        FleetJournal journal(path, /*truncate=*/true);
+        journal.write_header(fleet, chunk_devices);
+        FleetRunOptions opts;
+        opts.chunk_devices = chunk_devices;
+        opts.on_chunk_done = [&](std::uint64_t chunk,
+                                 const FleetTally& delta) {
+            journal.append_chunk(chunk, delta);
+        };
+        const FleetResult journaled = run_fleet(fleet, opts);
+        EXPECT_EQ(journaled.tally, base.tally);
+    }
+
+    FleetReplay replay = replay_fleet_journal(path);
+    EXPECT_EQ(replay.chunks, chunk_count(spec, chunk_devices));
+    EXPECT_EQ(replay.completed.size(), replay.chunks);
+    validate_fleet_resume(replay, fleet, chunk_devices);
+
+    // Keep only 3 chunk tallies and resume: the walk must simulate the
+    // rest and the merged result must be bit-identical to the direct run.
+    std::map<std::uint64_t, FleetTally> partial;
+    std::size_t kept = 0;
+    for (const auto& [index, tally] : replay.completed) {
+        if (kept++ == 3) break;
+        partial.emplace(index, tally);
+    }
+    FleetRunOptions resume;
+    resume.chunk_devices = chunk_devices;
+    resume.completed = &partial;
+    resume.shards = 2;
+    const FleetResult resumed = run_fleet(fleet, resume);
+    EXPECT_EQ(resumed.replayed_chunks, 3u);
+    EXPECT_EQ(resumed.simulated_chunks + resumed.replayed_chunks,
+              resumed.chunks);
+    EXPECT_EQ(resumed.tally, base.tally);
+    EXPECT_EQ(render_fleet_report(fleet, resumed.tally, {}),
+              render_fleet_report(fleet, base.tally, {}));
+
+    std::filesystem::remove(path);
+}
+
+TEST(FleetJournalTest, ResumeRejectsMismatchedSpec) {
+    const FleetSpec spec = small_spec();
+    const ResolvedFleet fleet(spec);
+    const std::string path = temp_journal_path("mismatch");
+    {
+        FleetJournal journal(path, /*truncate=*/true);
+        journal.write_header(fleet, 500);
+    }
+    const FleetReplay replay = replay_fleet_journal(path);
+
+    FleetSpec reseeded = spec;
+    reseeded.seed += 1;
+    EXPECT_THROW(validate_fleet_resume(replay, ResolvedFleet(reseeded), 500),
+                 core::RunError);
+    // Same spec, different chunk size: chunk indices would not line up.
+    EXPECT_THROW(validate_fleet_resume(replay, fleet, 1'000), core::RunError);
+    // Policy change shows up via the fingerprint.
+    FleetSpec repoliced = spec;
+    repoliced.sites[0].policy.scrub_interval_h += 1.0;
+    EXPECT_THROW(
+        validate_fleet_resume(replay, ResolvedFleet(repoliced), 500),
+        core::RunError);
+
+    std::filesystem::remove(path);
+}
+
+TEST(FleetJournalTest, ReplayToleratesTornTailOnly) {
+    const FleetSpec spec = small_spec();
+    const ResolvedFleet fleet(spec);
+    const std::string path = temp_journal_path("torn");
+    {
+        FleetJournal journal(path, /*truncate=*/true);
+        journal.write_header(fleet, 500);
+        FleetRunOptions opts;
+        opts.chunk_devices = 500;
+        opts.on_chunk_done = [&](std::uint64_t chunk,
+                                 const FleetTally& delta) {
+            journal.append_chunk(chunk, delta);
+        };
+        run_fleet(fleet, opts);
+    }
+    // Chop the file mid-line: the torn tail must be ignored, everything
+    // before it recovered.
+    const auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 10);
+    const FleetReplay replay = replay_fleet_journal(path);
+    EXPECT_EQ(replay.completed.size(),
+              chunk_count(spec, 500) - 1);
+    std::filesystem::remove(path);
+}
+
+// --- CLI / serve byte identity ----------------------------------------------
+
+TEST(FleetServe, FleetSliceMatchesCliByteForByte) {
+    serve::FleetParams params;
+    params.devices = 2'000;
+    params.days = 3;
+    params.seed = 5;
+    params.sites = "nyc,star-hall";
+    params.mix = "NVIDIA K20:1";
+    params.rain_probability = 0.3;
+    const std::string served = serve::render_fleet(params);
+
+    std::ostringstream out;
+    std::ostringstream err;
+    ASSERT_EQ(cli::run({"fleet", "--devices", "2000", "--days", "3",
+                        "--seed", "5", "--sites", "nyc,star-hall", "--mix",
+                        "NVIDIA K20:1", "--rain-prob", "0.3"},
+                       out, err),
+              0)
+        << err.str();
+    EXPECT_EQ(out.str(), served);
+}
+
+TEST(FleetServe, SliceFilterAndUnknownSlice) {
+    serve::FleetParams params;
+    params.devices = 1'000;
+    params.days = 2;
+    params.sites = "nyc,star-hall";
+    params.mix = "NVIDIA K20:1";
+    params.slice = "STAR experimental hall (BNL)";
+    const std::string sliced = serve::render_fleet(params);
+    EXPECT_NE(sliced.find("STAR experimental hall (BNL)"), std::string::npos);
+    EXPECT_EQ(sliced.find("NYC reference data center"), std::string::npos);
+
+    params.slice = "No Such Hall";
+    EXPECT_THROW(serve::render_fleet(params), core::RunError);
+}
+
+}  // namespace
+}  // namespace tnr::fleet
