@@ -1,9 +1,13 @@
-// Fleet simulator benchmark: streaming throughput (devices/s) and the
-// constant-memory claim. The table runs the same study at 1e5 and 1e6
-// devices and reports the process peak RSS after each — the aggregator
-// lattice depends only on the study dimensions, so a 10x fleet must not
-// move the high-water mark. CI archives the JSON (BENCH_fleet.json) as the
-// acceptance artifact for that claim.
+// Fleet simulator benchmark: streaming throughput (devices/s), the
+// constant-memory claim, and the event-driven fast-path claims. The first
+// table runs the same study at 1e5 and 1e6 devices and reports the process
+// peak RSS after each — the aggregator lattice depends only on the study
+// dimensions, so a 10x fleet must not move the high-water mark. The second
+// table runs a year-long unaccelerated (field-rate) study in both sampling
+// modes — the regime the skip-ahead walk targets — and reports the
+// event/dense speedup; the third scales the event walk across shard
+// counts. CI archives the JSON (BENCH_fleet.json) as the acceptance
+// artifact for the RSS bound and the mode_speedup >= 5 gate.
 
 #include <sys/resource.h>
 
@@ -51,6 +55,17 @@ long peak_rss_kb() {
     return usage.ru_maxrss;
 }
 
+/// The regime the event-driven walk targets: a year of unaccelerated
+/// field-rate operation, where almost every dense per-bucket Poisson draw
+/// returns zero.
+FleetSpec year_study(std::uint64_t devices, tnr::fleet::FleetMode mode) {
+    FleetSpec spec = study(devices);
+    spec.days = 365;
+    spec.acceleration = 1.0;
+    spec.mode = mode;
+    return spec;
+}
+
 struct ScalingRun {
     std::uint64_t devices = 0;
     double seconds = 0.0;
@@ -58,7 +73,36 @@ struct ScalingRun {
     long peak_rss_kb = 0;
 };
 
-std::vector<ScalingRun> g_runs;  // NOLINT(*-avoid-non-const-global-variables)
+struct ModeRun {
+    const char* mode = "";
+    double seconds = 0.0;
+    double devices_per_s = 0.0;
+};
+
+struct ShardRun {
+    unsigned shards = 0;
+    double seconds = 0.0;
+    double devices_per_s = 0.0;
+    double efficiency = 0.0;
+};
+
+// NOLINTBEGIN(*-avoid-non-const-global-variables)
+std::vector<ScalingRun> g_runs;
+std::vector<ModeRun> g_modes;
+std::vector<ShardRun> g_shards;
+// NOLINTEND(*-avoid-non-const-global-variables)
+
+double timed_run(const ResolvedFleet& fleet, unsigned shards) {
+    FleetRunOptions opts;
+    opts.shards = shards;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = tnr::fleet::run_fleet(fleet, opts);
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    benchmark::DoNotOptimize(result.tally.grand_total().sdc);
+    return s;
+}
 
 void emit_table(std::ostream& os) {
     os << "streaming walk, 30-day study, 2 sites x 2 classes, 4 shards\n\n";
@@ -87,6 +131,48 @@ void emit_table(std::ostream& os) {
         os << "\npeak RSS growth for 10x devices: "
            << g_runs[1].peak_rss_kb - g_runs[0].peak_rss_kb << " KiB\n";
     }
+
+    os << "\nsampling modes, 365-day unaccelerated study, 200k devices, "
+          "4 shards\n\n";
+    os << "mode    wall [s]   devices/s\n";
+    constexpr std::uint64_t kModeDevices = 200'000;
+    for (const auto mode : {tnr::fleet::FleetMode::kDense,
+                            tnr::fleet::FleetMode::kEventDriven}) {
+        const ResolvedFleet fleet(year_study(kModeDevices, mode));
+        const double s = timed_run(fleet, 4);
+        ModeRun run;
+        run.mode = tnr::fleet::to_string(mode);
+        run.seconds = s;
+        run.devices_per_s = static_cast<double>(kModeDevices) / s;
+        g_modes.push_back(run);
+        os << run.mode << "   " << s << "   " << run.devices_per_s << '\n';
+    }
+    if (g_modes.size() == 2 && g_modes[0].devices_per_s > 0.0) {
+        os << "\nevent/dense speedup: "
+           << g_modes[1].devices_per_s / g_modes[0].devices_per_s << "x\n";
+    }
+
+    os << "\nevent-mode shard scaling, 365-day unaccelerated study, "
+          "1M devices\n\n";
+    os << "shards   wall [s]   devices/s   efficiency\n";
+    constexpr std::uint64_t kScaleDevices = 1'000'000;
+    const ResolvedFleet event_fleet(
+        year_study(kScaleDevices, tnr::fleet::FleetMode::kEventDriven));
+    for (const unsigned shards : {1u, 4u, 8u}) {
+        const double s = timed_run(event_fleet, shards);
+        ShardRun run;
+        run.shards = shards;
+        run.seconds = s;
+        run.devices_per_s = static_cast<double>(kScaleDevices) / s;
+        run.efficiency =
+            g_shards.empty()
+                ? 1.0
+                : run.devices_per_s /
+                      (g_shards.front().devices_per_s * shards);
+        g_shards.push_back(run);
+        os << shards << "   " << s << "   " << run.devices_per_s << "   "
+           << run.efficiency << '\n';
+    }
 }
 
 std::string extra_json() {
@@ -107,7 +193,33 @@ std::string extra_json() {
         fragment << ",\"rss_growth_kb\":"
                  << g_runs[1].peak_rss_kb - g_runs[0].peak_rss_kb;
     }
-    fragment << '}';
+    fragment << ",\"modes\":{";
+    first = true;
+    for (const auto& run : g_modes) {
+        if (!first) fragment << ',';
+        first = false;
+        fragment << '"' << run.mode
+                 << "\":{\"seconds\":" << json::number(run.seconds)
+                 << ",\"devices_per_s\":" << json::number(run.devices_per_s)
+                 << '}';
+    }
+    if (g_modes.size() == 2 && g_modes[0].devices_per_s > 0.0) {
+        fragment << ",\"mode_speedup\":"
+                 << json::number(g_modes[1].devices_per_s /
+                                 g_modes[0].devices_per_s);
+    }
+    fragment << "},\"scaling\":[";
+    first = true;
+    for (const auto& run : g_shards) {
+        if (!first) fragment << ',';
+        first = false;
+        fragment << "{\"shards\":" << run.shards
+                 << ",\"seconds\":" << json::number(run.seconds)
+                 << ",\"devices_per_s\":" << json::number(run.devices_per_s)
+                 << ",\"efficiency\":" << json::number(run.efficiency)
+                 << '}';
+    }
+    fragment << "]}";
     return fragment.str();
 }
 

@@ -92,6 +92,7 @@ const std::map<std::string, CommandSpec>& command_specs() {
            {"bucket-hours", true},
            {"seed", true},
            {"acceleration", true},
+           {"fleet-mode", true},
            {"sites", true},
            {"mix", true},
            {"scrub-hours", true},
@@ -397,6 +398,7 @@ serve::FleetParams fleet_params(const Flags& flags) {
     params.seed = static_cast<std::uint64_t>(flags.get_double("seed", 2020.0));
     params.acceleration =
         flags.get_double("acceleration", params.acceleration);
+    params.fleet_mode = flags.get("fleet-mode", params.fleet_mode);
     params.sites = flags.get("sites", params.sites);
     params.mix = flags.get("mix", params.mix);
     params.scrub_hours = flags.get_double("scrub-hours", params.scrub_hours);
@@ -411,7 +413,7 @@ serve::FleetParams fleet_params(const Flags& flags) {
     return params;
 }
 
-int cmd_fleet(const Flags& flags, const Io& io) {
+int cmd_fleet(const Flags& flags, const Io& io, RunContext& ctx) {
     const serve::FleetParams params = fleet_params(flags);
     const fleet::ResolvedFleet resolved(serve::make_fleet_spec(params));
 
@@ -464,6 +466,17 @@ int cmd_fleet(const Flags& flags, const Io& io) {
 
     const auto result = fleet::run_fleet(resolved, options);
     progress.finish();
+
+    // The manifest records the sampling mode even when it was defaulted —
+    // a reproduced run must know which event stream produced the numbers.
+    ctx.stats = {
+        {"fleet.mode_event",
+         resolved.spec().mode == fleet::FleetMode::kEventDriven ? 1.0 : 0.0},
+        {"fleet.simulated_chunks",
+         static_cast<double>(result.simulated_chunks)},
+        {"fleet.replayed_chunks",
+         static_cast<double>(result.replayed_chunks)},
+    };
 
     fleet::FleetReportOptions report;
     report.slice = params.slice;
@@ -925,7 +938,7 @@ int dispatch(const std::string& cmd, const Flags& flags, const Io& io,
     if (cmd == "list-devices") return cmd_list_devices(io.out);
     if (cmd == "fit") return cmd_fit(flags, io.out);
     if (cmd == "campaign") return cmd_campaign(flags, io, ctx);
-    if (cmd == "fleet") return cmd_fleet(flags, io);
+    if (cmd == "fleet") return cmd_fleet(flags, io, ctx);
     if (cmd == "detector") return cmd_detector(flags, io.out);
     if (cmd == "transmission") return cmd_transmission(flags, io.out);
     if (cmd == "checkpoint") return cmd_checkpoint(flags, io.out);
@@ -1096,6 +1109,10 @@ std::string usage() {
            "                                        star-hall|hotnes)\n"
            "           [--mix standard|Name:w,...]  device-class mix from the\n"
            "                                        catalog roster\n"
+           "           [--fleet-mode dense|event]   sampling mode: dense\n"
+           "                                        per-bucket sweep (default)\n"
+           "                                        or event-driven skip-ahead\n"
+           "                                        (fast for low-rate studies)\n"
            "           [--scrub-hours H] [--repair-hours H] [--rain-prob P]\n"
            "           [--acceleration A]           rate multiplier for\n"
            "                                        accelerated studies (FITs\n"

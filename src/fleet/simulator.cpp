@@ -6,6 +6,7 @@
 #include "core/error.hpp"
 #include "core/obs/metrics.hpp"
 #include "core/parallel/parallel_for.hpp"
+#include "core/simd/rng_block.hpp"
 
 namespace tnr::fleet {
 
@@ -94,12 +95,207 @@ void walk_device(const ResolvedFleet& fleet, std::uint64_t index,
     }
 }
 
+/// Per-chunk working state for the event-driven walk, reused across the
+/// devices of a chunk so the hot loop never allocates.
+struct EventScratch {
+    /// Devices per (site, class) that finished with no repair window; their
+    /// full-exposure device-hours are added per bucket in one multiply at
+    /// chunk flush (integer distributivity keeps the result bitwise
+    /// invariant to the chunk size).
+    std::vector<std::uint64_t> clean_devices;
+    /// Realized repair windows of the device being walked:
+    /// (offline-from hour, offline-until hour), in time order.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> windows;
+
+    explicit EventScratch(std::size_t site_classes)
+        : clean_devices(site_classes, 0) {}
+};
+
+/// Skip-ahead gap draws, pulled from the device stream through the block
+/// RNG facade (core/simd): the first block is small because the common
+/// field-study device needs exactly one gap to clear the whole horizon.
+struct GapBlock {
+    static constexpr std::size_t kFirst = 2;
+    static constexpr std::size_t kBlock = 8;
+    double gaps[kBlock];
+    std::size_t next = 0;
+    std::size_t filled = 0;
+
+    double draw(stats::Rng& rng, core::simd::Tier tier) {
+        if (next == filled) {
+            filled = filled == 0 ? kFirst : kBlock;
+            core::simd::fill_unit_exponential(rng, gaps, filled, tier);
+            next = 0;
+        }
+        return gaps[next++];
+    }
+};
+
+/// Walks one device in event-driven mode: the same assignment draws as the
+/// dense walk, then exponential inter-event gaps at the (site, class)
+/// envelope rate. Each candidate is accepted with probability
+/// rate(bucket)/envelope and classified SDC-vs-DUE by rate proportion (one
+/// uniform does both), scrub survival is a per-event Bernoulli thin, and a
+/// DUE with repair enabled opens an offline window at the end of its bucket
+/// — candidates landing inside a window are discarded and the (memoryless)
+/// clock restarts at the window's end. Event tallies go straight into
+/// `tally`; device-hours go through `scratch` (clean devices are counted,
+/// repaired devices replay the dense exposure arithmetic per bucket).
+void walk_device_event(const ResolvedFleet& fleet, std::uint64_t index,
+                       FleetTally& tally, EventScratch& scratch,
+                       core::simd::Tier tier) {
+    const FleetSpec& spec = fleet.spec();
+    stats::Rng rng = device_stream(spec.seed, index);
+    const std::size_t s = fleet.pick_site(rng.uniform());
+    const std::size_t c = fleet.pick_class(rng.uniform());
+    ++tally.assigned(s, c);
+
+    const SitePolicy& policy = spec.sites[s].policy;
+    const double survival = fleet.scrub_survival(s);
+    const double envelope = fleet.envelope_rate(s, c);
+    const double total_h = static_cast<double>(spec.total_hours());
+    const std::size_t B = fleet.bucket_count();
+
+    auto& windows = scratch.windows;
+    windows.clear();
+
+    if (envelope > 0.0) {
+        GapBlock block;
+        double t = 0.0;
+        std::uint64_t offline_start = 0;  // == end of the triggering bucket.
+        std::uint64_t offline_until = 0;
+        std::size_t b = 0;
+        while (true) {
+            t += block.draw(rng, tier) / envelope;
+            if (!(t < total_h)) break;
+            if (offline_until > offline_start &&
+                t >= static_cast<double>(offline_start) &&
+                t < static_cast<double>(offline_until)) {
+                // Not exposed: drop the candidate and restart the clock at
+                // the window end (the envelope process is memoryless, so
+                // the post-window candidates are a fresh Exp(envelope)
+                // stream — never an event AT the window boundary).
+                t = static_cast<double>(offline_until);
+                if (!(t < total_h)) break;
+                continue;
+            }
+            while (b + 1 < B &&
+                   t >= static_cast<double>(fleet.bucket(b).start_h +
+                                            fleet.bucket(b).hours)) {
+                ++b;
+            }
+            const BucketInfo& bucket = fleet.bucket(b);
+            const bool rainy = fleet.rainy(s, bucket.day);
+            const double r_sdc =
+                fleet.hourly_rate(s, c, rainy, devices::ErrorType::kSdc);
+            const double r_due =
+                fleet.hourly_rate(s, c, rainy, devices::ErrorType::kDue);
+            const double scaled = rng.uniform() * envelope;
+            if (scaled < r_sdc) {
+                CellTally& cell = tally.cell(s, c, b);
+                if (survival >= 1.0 || rng.bernoulli(survival)) {
+                    ++cell.sdc;
+                } else {
+                    ++cell.corrected;
+                }
+            } else if (scaled < r_sdc + r_due) {
+                CellTally& cell = tally.cell(s, c, b);
+                ++cell.due;
+                const std::uint64_t end_h = bucket.start_h + bucket.hours;
+                if (policy.repair_hours > 0 && offline_start != end_h) {
+                    // First DUE of this bucket schedules the (single)
+                    // repair; the device stays exposed until the bucket
+                    // ends, exactly like the dense walk.
+                    ++cell.repairs;
+                    offline_start = end_h;
+                    offline_until = end_h + policy.repair_hours;
+                    windows.emplace_back(offline_start, offline_until);
+                }
+            }
+            // else: envelope slack — the candidate is thinned away.
+        }
+    }
+
+    if (windows.empty()) {
+        ++scratch.clean_devices[s * fleet.class_count() + c];
+    } else {
+        // Replay the dense exposure arithmetic against the realized repair
+        // windows so per-cell device_hours stays the same integer function
+        // of the windows in both modes.
+        std::uint64_t off = 0;
+        std::size_t wi = 0;
+        for (std::size_t bi = 0; bi < B; ++bi) {
+            const BucketInfo& bucket = fleet.bucket(bi);
+            while (wi < windows.size() &&
+                   windows[wi].first <= bucket.start_h) {
+                off = windows[wi++].second;
+            }
+            const std::uint64_t end_h = bucket.start_h + bucket.hours;
+            const std::uint64_t exposed_from =
+                std::max<std::uint64_t>(bucket.start_h, off);
+            if (exposed_from >= end_h) continue;
+            tally.cell(s, c, bi).device_hours += end_h - exposed_from;
+        }
+    }
+}
+
+/// Adds the full-exposure device-hours of a chunk's clean (never-repaired)
+/// devices: count x bucket hours per cell, then resets the counts.
+void flush_clean_device_hours(const ResolvedFleet& fleet,
+                              EventScratch& scratch, FleetTally& delta) {
+    const std::size_t C = fleet.class_count();
+    for (std::size_t s = 0; s < fleet.site_count(); ++s) {
+        for (std::size_t c = 0; c < C; ++c) {
+            std::uint64_t& count = scratch.clean_devices[s * C + c];
+            if (count == 0) continue;
+            for (std::size_t b = 0; b < fleet.bucket_count(); ++b) {
+                delta.cell(s, c, b).device_hours +=
+                    count * fleet.bucket(b).hours;
+            }
+            count = 0;
+        }
+    }
+}
+
 }  // namespace
 
 std::uint64_t chunk_count(const FleetSpec& spec,
                           std::uint64_t chunk_devices) {
     const std::uint64_t chunk = std::max<std::uint64_t>(1, chunk_devices);
     return (spec.devices + chunk - 1) / chunk;
+}
+
+std::vector<std::uint64_t> pending_chunks(
+    std::uint64_t chunks,
+    const std::map<std::uint64_t, FleetTally>* completed) {
+    std::vector<std::uint64_t> pending;
+    if (completed == nullptr || completed->empty()) {
+        pending.resize(chunks);
+        for (std::uint64_t chunk = 0; chunk < chunks; ++chunk) {
+            pending[chunk] = chunk;
+        }
+        return pending;
+    }
+    pending.reserve(chunks >= completed->size()
+                        ? static_cast<std::size_t>(chunks -
+                                                   completed->size())
+                        : 0);
+    for (std::uint64_t chunk = 0; chunk < chunks; ++chunk) {
+        if (completed->find(chunk) == completed->end()) {
+            pending.push_back(chunk);
+        }
+    }
+    return pending;
+}
+
+std::pair<std::uint64_t, std::uint64_t> shard_range(std::uint64_t pending,
+                                                    unsigned shards,
+                                                    unsigned shard) {
+    const std::uint64_t base = pending / shards;
+    const std::uint64_t extra = pending % shards;
+    const std::uint64_t begin =
+        base * shard + std::min<std::uint64_t>(shard, extra);
+    return {begin, begin + base + (shard < extra ? 1 : 0)};
 }
 
 FleetResult run_fleet(const ResolvedFleet& fleet,
@@ -111,41 +307,49 @@ FleetResult run_fleet(const ResolvedFleet& fleet,
     const std::size_t S = fleet.site_count();
     const std::size_t C = fleet.class_count();
     const std::size_t B = fleet.bucket_count();
+    const bool event_mode = spec.mode == FleetMode::kEventDriven;
+    const core::simd::Tier tier = core::simd::default_tier();
     auto& instruments = Instruments::get();
+    core::obs::Registry::global().gauge("fleet.mode").set(event_mode ? 1.0
+                                                                    : 0.0);
 
     FleetResult result;
     result.chunks = chunks;
 
-    const auto is_replayed = [&](std::uint64_t chunk) {
-        return opts.completed != nullptr &&
-               opts.completed->find(chunk) != opts.completed->end();
-    };
-
-    // Contiguous shard ranges over the chunk index space. Each shard walks
-    // its range into a private tally; memory scales with the shard count,
-    // never with the fleet size.
+    // Contiguous shard ranges over the NOT-yet-completed chunks (a resumed
+    // run partitions only the live work, so every shard simulates). Each
+    // shard walks its slice into a private tally; memory scales with the
+    // shard count, never with the fleet size.
+    const std::vector<std::uint64_t> pending =
+        pending_chunks(chunks, opts.completed);
     const unsigned shards = core::parallel::resolve_threads(
-        opts.shards, chunks);
-    const std::uint64_t per_shard = (chunks + shards - 1) / shards;
+        opts.shards, pending.empty() ? 1 : pending.size());
 
     auto shard_tallies = core::parallel::parallel_map<FleetTally>(
         shards, shards,
         [&](std::size_t shard) {
             FleetTally tally(S, C, B);
-            const std::uint64_t begin = per_shard * shard;
-            const std::uint64_t end =
-                std::min<std::uint64_t>(chunks, begin + per_shard);
-            for (std::uint64_t chunk = begin; chunk < end; ++chunk) {
+            const auto [begin, end] = shard_range(
+                pending.size(), shards, static_cast<unsigned>(shard));
+            EventScratch scratch(S * C);
+            for (std::uint64_t p = begin; p < end; ++p) {
                 if (opts.cancel != nullptr && opts.cancel->cancelled()) break;
-                if (is_replayed(chunk)) continue;
+                const std::uint64_t chunk = pending[p];
                 const auto t0 = std::chrono::steady_clock::now();
                 FleetTally delta(S, C, B);
                 const std::uint64_t first = chunk * chunk_devices;
                 const std::uint64_t last =
                     std::min<std::uint64_t>(spec.devices,
                                             first + chunk_devices);
-                for (std::uint64_t i = first; i < last; ++i) {
-                    walk_device(fleet, i, delta);
+                if (event_mode) {
+                    for (std::uint64_t i = first; i < last; ++i) {
+                        walk_device_event(fleet, i, delta, scratch, tier);
+                    }
+                    flush_clean_device_hours(fleet, scratch, delta);
+                } else {
+                    for (std::uint64_t i = first; i < last; ++i) {
+                        walk_device(fleet, i, delta);
+                    }
                 }
                 const auto elapsed =
                     std::chrono::steady_clock::now() - t0;

@@ -8,10 +8,17 @@
 // the result — and the rendered report — is bitwise invariant to the shard
 // count AND to the chunk size. Chunk tallies surface through on_chunk_done
 // for crash-safe checkpointing (fleet/checkpoint.hpp).
+//
+// Two sampling modes share this frame (FleetSpec::mode): the dense
+// per-bucket Poisson sweep (default, bitwise-pinned) and the event-driven
+// skip-ahead walk that jumps over zero-event spans in O(1) — see FleetMode
+// in fleet/spec.hpp and docs/performance.md ("fleet fast path").
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "core/parallel/cancel.hpp"
 #include "fleet/aggregator.hpp"
@@ -46,6 +53,23 @@ struct FleetResult {
 
 /// Number of chunks a fleet of this spec splits into.
 std::uint64_t chunk_count(const FleetSpec& spec, std::uint64_t chunk_devices);
+
+/// The chunk indices a run still has to walk: [0, chunks) minus the
+/// journal-replayed set. Shards are partitioned over THIS list, not over
+/// the full index space — otherwise a mostly-complete --resume hands most
+/// shards nothing but replayed chunks to skip while one shard walks the
+/// whole tail alone.
+std::vector<std::uint64_t> pending_chunks(
+    std::uint64_t chunks,
+    const std::map<std::uint64_t, FleetTally>* completed);
+
+/// Balanced contiguous [begin, end) slice of `pending` items for one shard:
+/// every shard gets floor(pending/shards) items and the first
+/// pending % shards shards get one more, so no shard is empty while
+/// pending >= shards. Exposed for the resume load-balance regression test.
+std::pair<std::uint64_t, std::uint64_t> shard_range(std::uint64_t pending,
+                                                    unsigned shards,
+                                                    unsigned shard);
 
 /// Runs the walk. Throws RunError(kCancelled) when the token fires —
 /// completed chunks have already been journaled through on_chunk_done, so

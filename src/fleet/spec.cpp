@@ -84,11 +84,27 @@ void FleetSpec::validate() const {
     }
 }
 
+FleetMode parse_fleet_mode(const std::string& text,
+                           const std::string& context) {
+    if (text == "dense") return FleetMode::kDense;
+    if (text == "event") return FleetMode::kEventDriven;
+    throw RunError::config(context + ": unknown fleet-mode: " + text +
+                           " (use dense|event)");
+}
+
+const char* to_string(FleetMode mode) noexcept {
+    return mode == FleetMode::kEventDriven ? "event" : "dense";
+}
+
 std::string spec_fingerprint(const FleetSpec& spec) {
+    // v2: the sampling mode joined the fingerprint — the two modes consume
+    // a device's stream differently, so their chunk tallies must never be
+    // merged into one another through --resume.
     std::ostringstream oss;
-    oss << "v1;devices=" << spec.devices << ";days=" << spec.days
+    oss << "v2;devices=" << spec.devices << ";days=" << spec.days
         << ";bucket_h=" << spec.bucket_hours << ";seed=" << spec.seed
-        << ";accel=" << core::obs::json::number(spec.acceleration);
+        << ";accel=" << core::obs::json::number(spec.acceleration)
+        << ";mode=" << to_string(spec.mode);
     for (const auto& fs : spec.sites) {
         oss << ";site=" << fs.site.system_name << "|w="
             << core::obs::json::number(fs.weight) << "|phi_th="
@@ -174,6 +190,25 @@ ResolvedFleet::ResolvedFleet(FleetSpec spec) : spec_(std::move(spec)) {
                            t] = fit / 1e9 * spec_.acceleration;
                 }
             }
+        }
+    }
+
+    // Event-mode envelopes: the rainy state can only raise the thermal
+    // term, but max over both states keeps the bound correct for any
+    // future modifier that cuts a rate instead.
+    envelope_.assign(S * C, 0.0);
+    for (std::size_t s = 0; s < S; ++s) {
+        for (std::size_t c = 0; c < C; ++c) {
+            double env = 0.0;
+            for (int w = 0; w < 2; ++w) {
+                const bool rainy = w == 1;
+                env = std::max(env,
+                               hourly_rate(s, c, rainy,
+                                           devices::ErrorType::kSdc) +
+                                   hourly_rate(s, c, rainy,
+                                               devices::ErrorType::kDue));
+            }
+            envelope_[s * C + c] = env;
         }
     }
 

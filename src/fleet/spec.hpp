@@ -57,6 +57,33 @@ struct DeviceMixEntry {
 /// Mean latent-fault residency before consumption [h] for the scrub model.
 inline constexpr double kMeanConsumeHours = 24.0;
 
+/// How the walk samples events.
+///
+/// kDense is the original per-bucket sweep: two Poisson draws per device
+/// per bucket. It is the default and stays bitwise pinned to the pre-mode
+/// goldens. kEventDriven replaces the sweep with exponential skip-ahead
+/// thinning: inter-event gaps are drawn at a per-(site, class) envelope
+/// rate (the max over weather states of the combined SDC+DUE rate), so a
+/// device whose next event falls past the study horizon costs O(1) instead
+/// of O(buckets) — the field-study regime, where >99.9% of daily Poisson
+/// draws return zero. Candidates are accepted with probability
+/// rate(bucket)/envelope and classified SDC-vs-DUE by rate proportion,
+/// which thins the envelope process into exactly the per-bucket Poisson
+/// processes kDense samples (tests pin 3-sigma equivalence). Both modes
+/// are bitwise invariant to --shards and chunk size; their event streams
+/// differ, so a journal written in one mode refuses to resume in the
+/// other (the mode is part of the spec fingerprint).
+enum class FleetMode { kDense, kEventDriven };
+
+/// Maps the shared CLI/serve vocabulary ("dense" | "event") onto FleetMode;
+/// throws RunError(kConfig) for anything else. `context` prefixes the
+/// error ("fleet", "fleet-slice") — the same pattern as
+/// serve::apply_transport_knobs, so both layers reject bad values with one
+/// message.
+FleetMode parse_fleet_mode(const std::string& text,
+                           const std::string& context);
+const char* to_string(FleetMode mode) noexcept;
+
 /// The full study description. `validate()` throws RunError(kConfig) on
 /// nonsense (empty mix, zero devices, out-of-range probabilities, ...).
 struct FleetSpec {
@@ -68,6 +95,8 @@ struct FleetSpec {
     /// are scaled up by this factor during simulation and divided back out
     /// of every reported FIT, so CIs tighten without changing the estimate.
     double acceleration = 1.0;
+    /// Sampling mode (see FleetMode); part of the spec fingerprint.
+    FleetMode mode = FleetMode::kDense;
     std::vector<FleetSite> sites;
     std::vector<DeviceMixEntry> mix;
 
@@ -144,6 +173,15 @@ public:
         return scrub_survival_[s];
     }
 
+    /// Event-mode envelope rate [events/device-hour] for (s, c): the max
+    /// over weather states of the combined accelerated SDC+DUE rate, i.e.
+    /// an upper bound on the instantaneous total event rate in any bucket.
+    /// Gap draws at this rate dominate the true inhomogeneous process;
+    /// thinning by rate(bucket)/envelope recovers it exactly.
+    [[nodiscard]] double envelope_rate(std::size_t s, std::size_t c) const {
+        return envelope_[s * class_count() + c];
+    }
+
     /// Weighted assignment from a uniform draw in [0, 1).
     [[nodiscard]] std::size_t pick_site(double u) const;
     [[nodiscard]] std::size_t pick_class(double u) const;
@@ -154,6 +192,7 @@ private:
     std::vector<BucketInfo> buckets_;
     std::vector<std::uint8_t> rainy_;     ///< sites x days.
     std::vector<double> rates_;           ///< sites x classes x 2 x 2.
+    std::vector<double> envelope_;        ///< sites x classes.
     std::vector<double> scrub_survival_;  ///< per site.
     std::vector<double> site_cdf_;
     std::vector<double> class_cdf_;

@@ -294,6 +294,7 @@ fleet::FleetSpec make_fleet_spec(const FleetParams& params) {
     spec.bucket_hours = params.bucket_hours;
     spec.seed = params.seed;
     spec.acceleration = params.acceleration;
+    spec.mode = fleet::parse_fleet_mode(params.fleet_mode, "fleet");
 
     fleet::SitePolicy policy;
     policy.scrub_interval_h = params.scrub_hours;

@@ -122,7 +122,11 @@ std::string render_campaign_slice(const SliceParams& params,
 /// (defaults match the CLI flags). `sites` is "top10" or a comma list of
 /// site slugs (nyc|leadville|star-hall|hotnes); `mix` is "standard" (the
 /// whole calibrated roster, equal weights) or "Name:weight,Name:weight"
-/// with catalog device names. The report is bitwise invariant to `shards`,
+/// with catalog device names. `fleet_mode` is "dense" (the default
+/// per-bucket sweep, bitwise-pinned) or "event" (skip-ahead sampling —
+/// docs/performance.md); make_fleet_spec validates it through
+/// fleet::parse_fleet_mode, so the CLI flag and the serve param reject bad
+/// values with one message. The report is bitwise invariant to `shards`,
 /// which only sets worker parallelism.
 struct FleetParams {
     std::uint64_t devices = 100'000;
@@ -130,6 +134,7 @@ struct FleetParams {
     unsigned bucket_hours = 24;
     std::uint64_t seed = 2020;
     double acceleration = 1.0;
+    std::string fleet_mode = "dense";
     std::string sites = "top10";
     std::string mix = "standard";
     double scrub_hours = 0.0;

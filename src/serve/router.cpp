@@ -199,11 +199,12 @@ std::string dispatch(const Request& req,
     if (req.method == "fleet-slice") {
         const Params params(req,
                             {"devices", "days", "bucket-hours", "seed",
-                             "acceleration", "sites", "mix", "scrub-hours",
-                             "repair-hours", "rain-prob", "shards", "slice",
-                             "csv"});
+                             "acceleration", "fleet-mode", "sites", "mix",
+                             "scrub-hours", "repair-hours", "rain-prob",
+                             "shards", "slice", "csv"});
         FleetParams fp;
         fp.devices = params.get_seed("devices", fp.devices);
+        fp.fleet_mode = params.get_string("fleet-mode", fp.fleet_mode);
         fp.days = static_cast<unsigned>(std::max(
             0.0, params.get_number("days", fp.days)));
         fp.bucket_hours = static_cast<unsigned>(std::max(

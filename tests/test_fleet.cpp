@@ -1,10 +1,14 @@
 // Tests for the streaming fleet simulator (src/fleet): aggregator merge
 // algebra, Poisson CI correctness against the closed form, the bitwise
-// shard/chunk invariance contract, scrub/repair policy effects, journal
-// resume identity, and CLI/serve byte identity.
+// shard/chunk invariance contract, scrub/repair policy effects, the
+// event-driven fast path (statistical equivalence to the dense sweep,
+// envelope-acceptance unbiasedness, its own invariance/resume contract),
+// resume load balancing, journal resume identity, and CLI/serve byte
+// identity.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -298,7 +302,270 @@ TEST(FleetSimulator, RepairTakesDevicesOffline) {
               r_none.tally.grand_total().device_hours);
 }
 
+// --- Event-driven fast path -------------------------------------------------
+
+FleetSpec event_spec() {
+    FleetSpec spec = small_spec();
+    spec.mode = FleetMode::kEventDriven;
+    return spec;
+}
+
+/// Two independent runs of the same study produce independent Poisson-ish
+/// counts with a common mean; Var(a - b) ~ E[a] + E[b], so 3 sigma with a
+/// small-count slack is a deterministic-but-principled equality band.
+void expect_3sigma(std::uint64_t a, std::uint64_t b, const char* what,
+                   double scale = 1.0) {
+    const double diff =
+        std::abs(static_cast<double>(a) - static_cast<double>(b));
+    const double tol =
+        (3.0 * std::sqrt(static_cast<double>(a + b)) + 10.0) * scale;
+    EXPECT_LE(diff, tol) << what << ": " << a << " vs " << b;
+}
+
+TEST(FleetEventMode, MatchesDenseWithin3Sigma) {
+    // Sweep scrub x repair x rain x acceleration (and a bucket size that
+    // does not divide the horizon, so the last bucket is partial): the
+    // thinned envelope process must reproduce the dense per-bucket Poisson
+    // statistics in every configuration.
+    struct Config {
+        const char* name;
+        double scrub_h;
+        unsigned repair_h;
+        double rain;
+        double accel;
+        unsigned bucket_hours;
+    };
+    const Config configs[] = {
+        {"baseline", 12.0, 24, 0.3, 2'000.0, 12},
+        {"no-policy", 0.0, 0, 0.5, 500.0, 24},
+        {"scrub-only", 6.0, 0, 0.0, 2'000.0, 12},
+        {"repair-rain", 0.0, 12, 1.0, 1'000.0, 12},
+        {"partial-bucket", 12.0, 24, 0.3, 2'000.0, 7},
+    };
+    for (const Config& cfg : configs) {
+        FleetSpec dense = small_spec();
+        dense.bucket_hours = cfg.bucket_hours;
+        dense.acceleration = cfg.accel;
+        for (auto& site : dense.sites) {
+            site.policy.scrub_interval_h = cfg.scrub_h;
+            site.policy.repair_hours = cfg.repair_h;
+            site.policy.rain_probability = cfg.rain;
+        }
+        FleetSpec event = dense;
+        event.mode = FleetMode::kEventDriven;
+
+        const FleetResult rd = run_fleet(ResolvedFleet(dense), {});
+        const FleetResult re = run_fleet(ResolvedFleet(event), {});
+        SCOPED_TRACE(cfg.name);
+
+        const CellTally gd = rd.tally.grand_total();
+        const CellTally ge = re.tally.grand_total();
+        expect_3sigma(gd.sdc, ge.sdc, "sdc");
+        expect_3sigma(gd.due, ge.due, "due");
+        expect_3sigma(gd.corrected, ge.corrected, "corrected");
+        expect_3sigma(gd.repairs, ge.repairs, "repairs");
+        for (std::size_t s = 0; s < rd.tally.sites(); ++s) {
+            const CellTally sd = rd.tally.site_total(s);
+            const CellTally se = re.tally.site_total(s);
+            expect_3sigma(sd.sdc, se.sdc, "site sdc");
+            expect_3sigma(sd.due, se.due, "site due");
+            expect_3sigma(sd.corrected, se.corrected, "site corrected");
+        }
+        for (std::size_t c = 0; c < rd.tally.classes(); ++c) {
+            const CellTally cd = rd.tally.class_total(c);
+            const CellTally ce = re.tally.class_total(c);
+            expect_3sigma(cd.sdc, ce.sdc, "class sdc");
+            expect_3sigma(cd.due, ce.due, "class due");
+        }
+
+        // Exposure: every repair removes at most repair_hours of it, so the
+        // modes' device-hours differ by at most the repair-count difference
+        // band scaled by the window length.
+        const std::uint64_t full =
+            dense.devices * dense.total_hours();
+        EXPECT_LE(gd.device_hours, full);
+        EXPECT_LE(ge.device_hours, full);
+        if (cfg.repair_h == 0) {
+            EXPECT_EQ(gd.device_hours, full);
+            EXPECT_EQ(ge.device_hours, full);
+        } else {
+            expect_3sigma(full - gd.device_hours, full - ge.device_hours,
+                          "lost device-hours",
+                          static_cast<double>(cfg.repair_h));
+        }
+    }
+}
+
+TEST(FleetEventMode, DeviceHoursConservationBothModes) {
+    // With repair off, no exposure is ever lost: both modes must report
+    // exactly devices x hours in total and devices x bucket hours per
+    // bucket (the event mode's counted fast path plus its replay path must
+    // reconstruct the dense integers, not approximate them).
+    for (const FleetMode mode : {FleetMode::kDense, FleetMode::kEventDriven}) {
+        FleetSpec spec = small_spec();
+        spec.mode = mode;
+        for (auto& site : spec.sites) site.policy.repair_hours = 0;
+        const ResolvedFleet fleet(spec);
+        const FleetResult r = run_fleet(fleet, {});
+        EXPECT_EQ(r.tally.grand_total().device_hours,
+                  spec.devices * spec.total_hours())
+            << to_string(mode);
+        for (std::size_t b = 0; b < r.tally.buckets(); ++b) {
+            EXPECT_EQ(r.tally.bucket_total(b).device_hours,
+                      spec.devices * fleet.bucket(b).hours)
+                << to_string(mode) << " bucket " << b;
+        }
+    }
+}
+
+TEST(FleetEventMode, EnvelopeAcceptanceIsUnbiased) {
+    // One site, one class: assignment is deterministic, so the event-mode
+    // totals are Poisson with an analytically known mean — the integral of
+    // the true (weather-modulated) rate over the horizon. Rainy days run AT
+    // the envelope rate and dry days strictly below it, so this exercises
+    // both the accept-at-1 and the thinning branches.
+    FleetSpec spec;
+    spec.devices = 2'000;
+    spec.days = 30;
+    spec.bucket_hours = 24;
+    spec.seed = 77;
+    spec.acceleration = 1.0;
+    spec.mode = FleetMode::kEventDriven;
+    FleetSite hall{environment::star_hall(), 1.0, {}};
+    hall.policy.rain_probability = 0.5;
+    spec.sites.push_back(hall);
+    spec.mix.push_back({"NVIDIA K20", 1.0});
+    const ResolvedFleet fleet(spec);
+
+    double expected_sdc = 0.0;
+    double expected_due = 0.0;
+    for (std::size_t b = 0; b < fleet.bucket_count(); ++b) {
+        const BucketInfo& bucket = fleet.bucket(b);
+        const bool rainy = fleet.rainy(0, bucket.day);
+        const double h =
+            static_cast<double>(bucket.hours) * spec.devices;
+        expected_sdc +=
+            fleet.hourly_rate(0, 0, rainy, devices::ErrorType::kSdc) * h;
+        expected_due +=
+            fleet.hourly_rate(0, 0, rainy, devices::ErrorType::kDue) * h;
+    }
+    ASSERT_GT(expected_sdc, 500.0);  // enough statistics to mean something.
+
+    const FleetResult r = run_fleet(fleet, {});
+    const CellTally g = r.tally.grand_total();
+    EXPECT_EQ(g.corrected, 0u);  // no scrubbing configured.
+    EXPECT_NEAR(static_cast<double>(g.sdc), expected_sdc,
+                3.0 * std::sqrt(expected_sdc) + 10.0);
+    EXPECT_NEAR(static_cast<double>(g.due), expected_due,
+                3.0 * std::sqrt(expected_due) + 10.0);
+}
+
+TEST(FleetEventMode, ShardCountIsBitwiseInvariant) {
+    const ResolvedFleet fleet(event_spec());
+    FleetRunOptions one;
+    one.shards = 1;
+    one.chunk_devices = 256;
+    const FleetResult r1 = run_fleet(fleet, one);
+    for (const unsigned shards : {4u, 7u}) {
+        FleetRunOptions opts;
+        opts.shards = shards;
+        opts.chunk_devices = 256;
+        const FleetResult rn = run_fleet(fleet, opts);
+        EXPECT_EQ(r1.tally, rn.tally) << shards << " shards";
+        EXPECT_EQ(render_fleet_report(fleet, r1.tally, {}),
+                  render_fleet_report(fleet, rn.tally, {}))
+            << shards << " shards";
+    }
+}
+
+TEST(FleetEventMode, ChunkSizeIsBitwiseInvariant) {
+    const ResolvedFleet fleet(event_spec());
+    FleetRunOptions big;
+    big.chunk_devices = kDefaultChunkDevices;
+    const FleetResult base = run_fleet(fleet, big);
+    for (const std::uint64_t chunk : {1'000ULL, 777ULL, 100ULL}) {
+        FleetRunOptions opts;
+        opts.shards = 3;
+        opts.chunk_devices = chunk;
+        const FleetResult r = run_fleet(fleet, opts);
+        EXPECT_EQ(base.tally, r.tally) << "chunk_devices " << chunk;
+    }
+}
+
+TEST(FleetEventMode, ModeChangesResultDenseStaysPinned) {
+    // The dense walk must not consume its stream differently because the
+    // enum exists (golden stability), and the event walk must actually be a
+    // different sampler, not an alias.
+    const FleetResult dense_a = run_fleet(ResolvedFleet(small_spec()), {});
+    const FleetResult dense_b = run_fleet(ResolvedFleet(small_spec()), {});
+    EXPECT_EQ(dense_a.tally, dense_b.tally);
+    const FleetResult event = run_fleet(ResolvedFleet(event_spec()), {});
+    EXPECT_NE(dense_a.tally, event.tally);
+}
+
 // --- Spec validation --------------------------------------------------------
+
+TEST(FleetSpecValidation, ParseFleetModeSharedVocabulary) {
+    EXPECT_EQ(parse_fleet_mode("dense", "fleet"), FleetMode::kDense);
+    EXPECT_EQ(parse_fleet_mode("event", "fleet"), FleetMode::kEventDriven);
+    EXPECT_STREQ(to_string(FleetMode::kDense), "dense");
+    EXPECT_STREQ(to_string(FleetMode::kEventDriven), "event");
+    try {
+        parse_fleet_mode("bogus", "fleet-slice");
+        FAIL() << "expected RunError";
+    } catch (const core::RunError& e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "fleet-slice: unknown fleet-mode: bogus"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(FleetSpecValidation, FingerprintSeesMode) {
+    EXPECT_NE(spec_fingerprint(small_spec()), spec_fingerprint(event_spec()));
+}
+
+TEST(FleetSpecResolution, PickMatchesLinearScanReference) {
+    // pick_site/pick_class binary-search the weight CDF; pin them against a
+    // straightforward linear scan over the same CDF arithmetic so the
+    // upper_bound implementation can never silently shift assignment.
+    FleetSpec spec = small_spec();
+    spec.mix.clear();
+    std::vector<double> weights;
+    for (int i = 0; i < 12; ++i) {
+        const double w = 0.7 * static_cast<double>(i + 1);
+        spec.mix.push_back(
+            {i % 2 == 0 ? "NVIDIA K20" : "Intel Xeon Phi", w});
+        weights.push_back(w);
+    }
+    const ResolvedFleet fleet(spec);
+
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    std::vector<double> cdf;
+    double acc = 0.0;
+    for (const double w : weights) {
+        acc += w;
+        cdf.push_back(acc / total);
+    }
+    cdf.back() = 1.0;
+    const auto linear = [&](double u) {
+        for (std::size_t i = 0; i < cdf.size(); ++i) {
+            if (u < cdf[i]) return i;
+        }
+        return cdf.size() - 1;
+    };
+
+    EXPECT_EQ(fleet.pick_class(0.0), 0u);
+    for (const double boundary : cdf) {
+        EXPECT_EQ(fleet.pick_class(boundary), linear(boundary)) << boundary;
+    }
+    stats::Rng rng(4242);
+    for (int k = 0; k < 20'000; ++k) {
+        const double u = rng.uniform();
+        ASSERT_EQ(fleet.pick_class(u), linear(u)) << u;
+    }
+}
 
 TEST(FleetSpecValidation, RejectsNonsense) {
     FleetSpec spec = small_spec();
@@ -438,6 +705,129 @@ TEST(FleetJournalTest, ReplayToleratesTornTailOnly) {
     std::filesystem::remove(path);
 }
 
+TEST(FleetJournalTest, CrossModeResumeRefused) {
+    // The two modes consume a device's stream differently, so a journal
+    // written in one mode must refuse to resume in the other (the mode is
+    // part of the spec fingerprint the header stores).
+    const ResolvedFleet dense_fleet(small_spec());
+    const std::string path = temp_journal_path("xmode");
+    {
+        FleetJournal journal(path, /*truncate=*/true);
+        journal.write_header(dense_fleet, 500);
+    }
+    const FleetReplay replay = replay_fleet_journal(path);
+    validate_fleet_resume(replay, dense_fleet, 500);  // same mode: fine.
+    EXPECT_THROW(
+        validate_fleet_resume(replay, ResolvedFleet(event_spec()), 500),
+        core::RunError);
+    std::filesystem::remove(path);
+}
+
+TEST(FleetJournalTest, EventModeResumeReproducesBitwise) {
+    const ResolvedFleet fleet(event_spec());
+    const std::uint64_t chunk_devices = 500;
+    FleetRunOptions direct;
+    direct.chunk_devices = chunk_devices;
+    const FleetResult base = run_fleet(fleet, direct);
+
+    std::map<std::uint64_t, FleetTally> completed;
+    FleetRunOptions journaled;
+    journaled.chunk_devices = chunk_devices;
+    journaled.on_chunk_done = [&](std::uint64_t chunk,
+                                  const FleetTally& delta) {
+        completed.emplace(chunk, delta);
+    };
+    run_fleet(fleet, journaled);
+
+    std::map<std::uint64_t, FleetTally> partial;
+    std::size_t kept = 0;
+    for (const auto& [index, tally] : completed) {
+        if (kept++ == 3) break;
+        partial.emplace(index, tally);
+    }
+    FleetRunOptions resume;
+    resume.chunk_devices = chunk_devices;
+    resume.completed = &partial;
+    resume.shards = 2;
+    const FleetResult resumed = run_fleet(fleet, resume);
+    EXPECT_EQ(resumed.replayed_chunks, 3u);
+    EXPECT_EQ(resumed.tally, base.tally);
+}
+
+// --- Resume load balancing --------------------------------------------------
+
+TEST(FleetSimulator, ResumePartitionGivesEveryShardLiveWork) {
+    // A 90%-complete journal leaves 10 of 100 chunks pending; partitioning
+    // the SHARD RANGES over the pending list (not the raw chunk index
+    // space) must hand every one of 4 shards real work, in disjoint
+    // contiguous ranges that cover exactly the pending chunks.
+    std::map<std::uint64_t, FleetTally> completed;
+    for (std::uint64_t chunk = 0; chunk < 90; ++chunk) {
+        completed.emplace(chunk, FleetTally{});
+    }
+    const std::vector<std::uint64_t> pending =
+        pending_chunks(100, &completed);
+    ASSERT_EQ(pending.size(), 10u);
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        EXPECT_EQ(pending[i], 90 + i);
+    }
+
+    std::uint64_t prev_end = 0;
+    for (unsigned shard = 0; shard < 4; ++shard) {
+        const auto [begin, end] = shard_range(pending.size(), 4, shard);
+        EXPECT_GT(end, begin) << "shard " << shard << " got no live work";
+        EXPECT_EQ(begin, prev_end) << "shard " << shard;
+        EXPECT_LE(end - begin, 3u);  // balanced: sizes 3,3,2,2.
+        prev_end = end;
+    }
+    EXPECT_EQ(prev_end, pending.size());
+
+    // No journal at all: the pending list is every chunk.
+    EXPECT_EQ(pending_chunks(5, nullptr).size(), 5u);
+    // More shards than pending work: ranges stay disjoint and covering,
+    // sizes differ by at most one.
+    std::uint64_t covered = 0;
+    for (unsigned shard = 0; shard < 5; ++shard) {
+        const auto [begin, end] = shard_range(3, 5, shard);
+        EXPECT_LE(end - begin, 1u);
+        covered += end - begin;
+    }
+    EXPECT_EQ(covered, 3u);
+}
+
+TEST(FleetSimulator, NinetyPercentResumeIsBitwiseIdenticalAcrossShards) {
+    // End-to-end satellite check: resuming the last 10% of a run with 4
+    // shards must reproduce the uninterrupted single-shard result bitwise.
+    const ResolvedFleet fleet(small_spec());
+    const std::uint64_t chunk_devices = 30;  // 3000 devices -> 100 chunks.
+    ASSERT_EQ(chunk_count(fleet.spec(), chunk_devices), 100u);
+
+    FleetRunOptions direct;
+    direct.chunk_devices = chunk_devices;
+    const FleetResult base = run_fleet(fleet, direct);
+
+    std::map<std::uint64_t, FleetTally> completed;
+    FleetRunOptions journaled;
+    journaled.chunk_devices = chunk_devices;
+    journaled.on_chunk_done = [&](std::uint64_t chunk,
+                                  const FleetTally& delta) {
+        if (chunk < 90) completed.emplace(chunk, delta);
+    };
+    run_fleet(fleet, journaled);
+    ASSERT_EQ(completed.size(), 90u);
+
+    FleetRunOptions resume;
+    resume.chunk_devices = chunk_devices;
+    resume.completed = &completed;
+    resume.shards = 4;
+    const FleetResult resumed = run_fleet(fleet, resume);
+    EXPECT_EQ(resumed.replayed_chunks, 90u);
+    EXPECT_EQ(resumed.simulated_chunks, 10u);
+    EXPECT_EQ(resumed.tally, base.tally);
+    EXPECT_EQ(render_fleet_report(fleet, resumed.tally, {}),
+              render_fleet_report(fleet, base.tally, {}));
+}
+
 // --- CLI / serve byte identity ----------------------------------------------
 
 TEST(FleetServe, FleetSliceMatchesCliByteForByte) {
@@ -459,6 +849,32 @@ TEST(FleetServe, FleetSliceMatchesCliByteForByte) {
               0)
         << err.str();
     EXPECT_EQ(out.str(), served);
+}
+
+TEST(FleetServe, FleetModeParamMatchesCliByteForByte) {
+    serve::FleetParams params;
+    params.devices = 2'000;
+    params.days = 3;
+    params.seed = 5;
+    params.sites = "nyc,star-hall";
+    params.mix = "NVIDIA K20:1";
+    params.rain_probability = 0.3;
+    params.fleet_mode = "event";
+    const std::string served = serve::render_fleet(params);
+
+    std::ostringstream out;
+    std::ostringstream err;
+    ASSERT_EQ(cli::run({"fleet", "--devices", "2000", "--days", "3",
+                        "--seed", "5", "--sites", "nyc,star-hall", "--mix",
+                        "NVIDIA K20:1", "--rain-prob", "0.3",
+                        "--fleet-mode", "event"},
+                       out, err),
+              0)
+        << err.str();
+    EXPECT_EQ(out.str(), served);
+
+    params.fleet_mode = "bogus";
+    EXPECT_THROW(serve::render_fleet(params), core::RunError);
 }
 
 TEST(FleetServe, SliceFilterAndUnknownSlice) {
